@@ -1,0 +1,296 @@
+//! **Cole–Vishkin 3-coloring of rooted forests** in O(log* n) rounds
+//! (\[12, 21\], cited in the paper's introduction as the origin of the
+//! deterministic log*-round technique Linial's algorithm generalizes).
+//!
+//! Each vertex knows its parent (the forest is rooted). One bit-trick
+//! round shrinks a k-bit palette to ~2·log₂(k) colors: a vertex takes the
+//! index of the lowest bit where its color differs from its parent's,
+//! appending that bit's value. After O(log* n) rounds the palette is ≤ 6;
+//! three shift-down + recolor rounds finish with 3 colors.
+
+use decolor_graph::coloring::{Color, VertexColoring};
+use decolor_graph::{Graph, VertexId};
+use decolor_runtime::{IdAssignment, Network, NetworkStats};
+use decolor_core::AlgoError;
+
+/// A rooted forest structure over a graph: `parent[v] = None` for roots.
+///
+/// Every non-root's parent must be a neighbor, and parent pointers must be
+/// acyclic and span all edges (i.e. every edge connects a child to its
+/// parent — the input graph must *be* the forest).
+#[derive(Clone, Debug)]
+pub struct RootedForest {
+    /// Parent pointer per vertex (`None` = root).
+    pub parent: Vec<Option<VertexId>>,
+}
+
+impl RootedForest {
+    /// Roots each connected component of a forest at its smallest-index
+    /// vertex via BFS. (Centralized preprocessing helper; in the LOCAL
+    /// model the rooting is assumed given, as in \[12, 21\].)
+    ///
+    /// # Errors
+    ///
+    /// [`AlgoError::InvalidParameters`] if `g` is not a forest.
+    pub fn root_at_min_ids(g: &Graph) -> Result<RootedForest, AlgoError> {
+        if !decolor_graph::properties::is_forest(g) {
+            return Err(AlgoError::InvalidParameters {
+                reason: "Cole–Vishkin requires a forest".into(),
+            });
+        }
+        let n = g.num_vertices();
+        let mut parent = vec![None; n];
+        let mut seen = vec![false; n];
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            seen[s] = true;
+            let mut queue = std::collections::VecDeque::from([VertexId::new(s)]);
+            while let Some(v) = queue.pop_front() {
+                for u in g.neighbors(v) {
+                    if !seen[u.index()] {
+                        seen[u.index()] = true;
+                        parent[u.index()] = Some(v);
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+        Ok(RootedForest { parent })
+    }
+
+    /// Validates parent pointers against `g`.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgoError::InvalidParameters`] on non-neighbor parents or wrong
+    /// shape.
+    pub fn validate(&self, g: &Graph) -> Result<(), AlgoError> {
+        if self.parent.len() != g.num_vertices() {
+            return Err(AlgoError::InvalidParameters {
+                reason: "parent vector length mismatch".into(),
+            });
+        }
+        for v in g.vertices() {
+            if let Some(p) = self.parent[v.index()] {
+                if !g.has_edge(v, p) {
+                    return Err(AlgoError::InvalidParameters {
+                        reason: format!("parent of {v} is not a neighbor"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One Cole–Vishkin step: the new color of `v` with color `c` and parent
+/// color `p` (`c != p`) is `2·i + bit_i(c)` where `i` is the lowest
+/// differing bit index. Roots pretend their parent differs at bit 0.
+fn cv_step(c: u64, p: Option<u64>) -> u64 {
+    let parent = p.unwrap_or(c ^ 1);
+    let diff = c ^ parent;
+    debug_assert_ne!(diff, 0, "child and parent share a color");
+    let i = diff.trailing_zeros() as u64;
+    2 * i + ((c >> i) & 1)
+}
+
+/// Computes a proper **3-coloring** of a rooted forest in O(log* n)
+/// communication rounds. Returns the coloring and the measured stats.
+///
+/// # Errors
+///
+/// [`AlgoError::InvalidParameters`] if the forest structure is invalid or
+/// `ids` has the wrong shape.
+pub fn cole_vishkin_forest_coloring(
+    g: &Graph,
+    forest: &RootedForest,
+    ids: &IdAssignment,
+) -> Result<(VertexColoring, NetworkStats), AlgoError> {
+    forest.validate(g)?;
+    if ids.len() != g.num_vertices() {
+        return Err(AlgoError::InvalidParameters {
+            reason: format!("{} ids for {} vertices", ids.len(), g.num_vertices()),
+        });
+    }
+    let n = g.num_vertices();
+    if n == 0 {
+        let c = VertexColoring::new(vec![], 1)
+            .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+        return Ok((c, NetworkStats::default()));
+    }
+    let mut net = Network::new(g);
+    let mut colors: Vec<u64> = ids.as_slice().to_vec();
+
+    // Phase 1: bit-index reduction to a ≤ 6-color palette.
+    let mut palette = ids.id_space().max(2);
+    while palette > 6 {
+        let inbox = net.broadcast(&colors);
+        let mut next = colors.clone();
+        for v in g.vertices() {
+            let pc = forest.parent[v.index()].map(|p| {
+                // Find the parent's color in the inbox (port order).
+                let port = g
+                    .incidence(v)
+                    .iter()
+                    .position(|&(u, _)| u == p)
+                    .expect("parent is a neighbor");
+                inbox[v.index()][port]
+            });
+            next[v.index()] = cv_step(colors[v.index()], pc);
+        }
+        colors = next;
+        // New palette: 2 * bits(palette).
+        let bits = 64 - u64::leading_zeros(palette - 1) as u64;
+        palette = (2 * bits).max(6);
+    }
+
+    // Phase 2: shift-down + recolor classes 5, 4, 3 into {0, 1, 2}.
+    for top in (3..6u64).rev() {
+        // Shift down: every vertex adopts its parent's color; roots take
+        // a color different from their own current one (mod small).
+        let inbox = net.broadcast(&colors);
+        let mut shifted = colors.clone();
+        for v in g.vertices() {
+            shifted[v.index()] = match forest.parent[v.index()] {
+                Some(p) => {
+                    let port = g
+                        .incidence(v)
+                        .iter()
+                        .position(|&(u, _)| u == p)
+                        .expect("parent is a neighbor");
+                    inbox[v.index()][port]
+                }
+                None => (colors[v.index()] + 1) % 3,
+            };
+        }
+        colors = shifted;
+        // Recolor the `top` class: after shift-down, all children of a
+        // vertex share its old color, so a vertex sees ≤ 2 distinct
+        // neighbor colors (parent's new color + its own old color at the
+        // children) — a free color < 3 exists.
+        let inbox = net.broadcast(&colors);
+        for v in g.vertices() {
+            if colors[v.index()] == top {
+                let used: std::collections::HashSet<u64> =
+                    inbox[v.index()].iter().copied().collect();
+                colors[v.index()] =
+                    (0..3).find(|c| !used.contains(c)).expect("≤ 2 blocked colors");
+            }
+        }
+    }
+
+    let out: Vec<Color> = colors.iter().map(|&c| c as Color).collect();
+    let coloring = VertexColoring::new(out, 3)
+        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+    coloring
+        .validate(g)
+        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+    Ok((coloring, net.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decolor_graph::generators;
+
+    fn run(g: &Graph, seed: u64) -> (VertexColoring, NetworkStats) {
+        let forest = RootedForest::root_at_min_ids(g).unwrap();
+        let ids = IdAssignment::shuffled(g.num_vertices(), seed);
+        cole_vishkin_forest_coloring(g, &forest, &ids).unwrap()
+    }
+
+    #[test]
+    fn three_colors_trees() {
+        for n in [2usize, 5, 50, 500, 5000] {
+            let g = generators::random_tree(n, n as u64).unwrap();
+            let (c, _) = run(&g, 7);
+            assert!(c.is_proper(&g), "n = {n}");
+            assert!(c.palette() <= 3);
+        }
+    }
+
+    #[test]
+    fn three_colors_paths_and_forests() {
+        let g = generators::path(1000).unwrap();
+        let (c, _) = run(&g, 3);
+        assert!(c.is_proper(&g));
+        // A disconnected forest.
+        let g = generators::forest_union(300, 1, 4, 9).unwrap();
+        if decolor_graph::properties::is_forest(&g) {
+            let (c, _) = run(&g, 4);
+            assert!(c.is_proper(&g));
+        }
+    }
+
+    #[test]
+    fn round_count_is_log_star_like() {
+        let mut rounds = Vec::new();
+        for n in [100usize, 10_000] {
+            let g = generators::random_tree(n, 5).unwrap();
+            let (_, stats) = run(&g, 5);
+            rounds.push(stats.rounds);
+        }
+        // 100× size increase adds at most 2 rounds.
+        assert!(rounds[1] <= rounds[0] + 2, "rounds {rounds:?}");
+        assert!(rounds[1] <= 16);
+    }
+
+    #[test]
+    fn rejects_non_forest() {
+        let g = generators::cycle(5).unwrap();
+        assert!(RootedForest::root_at_min_ids(&g).is_err());
+    }
+
+    #[test]
+    fn rejects_bogus_parents() {
+        let g = generators::path(3).unwrap();
+        let forest = RootedForest { parent: vec![None, None, Some(VertexId::new(0))] };
+        let ids = IdAssignment::sequential(3);
+        assert!(cole_vishkin_forest_coloring(&g, &forest, &ids).is_err());
+    }
+
+    #[test]
+    fn cv_step_distinguishes_neighbors() {
+        // Exhaustive check on small colors: if c != p then step values
+        // differ whenever both use the true parent chain... (local check:
+        // child vs its parent always differ).
+        for c in 0u64..64 {
+            for p in 0u64..64 {
+                if c == p {
+                    continue;
+                }
+                let child = cv_step(c, Some(p));
+                let parent_root = cv_step(p, None);
+                // Child's differing-bit encoding never equals what the
+                // parent computes against ITS parent when that parent is
+                // the root-fallback with the same bit index... the real
+                // invariant: child value != parent value whenever parent
+                // computed with any grandparent g != p.
+                for gp in 0u64..64 {
+                    if gp == p {
+                        continue;
+                    }
+                    let parent = cv_step(p, Some(gp));
+                    if child == parent {
+                        // Same index i and same bit value would mean
+                        // c and p agree at bit i — contradiction.
+                        let i = child / 2;
+                        assert_ne!((c >> i) & 1, (p >> i) & 1);
+                        panic!("cv_step collision: c={c}, p={p}, gp={gp}");
+                    }
+                }
+                let _ = parent_root;
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let g = decolor_graph::GraphBuilder::new(1).build();
+        let (c, stats) = run(&g, 0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(stats.messages, 0);
+    }
+}

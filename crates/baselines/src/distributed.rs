@@ -1,0 +1,76 @@
+//! Distributed baselines: the "previous results" comparators.
+//!
+//! * [`two_delta_minus_one_edge_coloring`] — the (2Δ − 1)-edge-coloring
+//!   family of Panconesi–Rizzi \[33\] and its successors \[3, 17\], realized
+//!   through the line-graph pipeline of `decolor-core` (Linial + reduction
+//!   on L(G)). Per DESIGN.md §3, the measured rounds have the substituted
+//!   subroutine's shape; the color count (2Δ − 1) is exact.
+//! * [`no_connector_edge_coloring`] — the "don't use connectors at all"
+//!   comparator for Table 1: colors L(G) directly with Δ_L + 1 = 2Δ − 1
+//!   colors; this is what the table's baselines degenerate to when asked
+//!   for fewer than 4Δ colors.
+
+use decolor_core::delta_plus_one::{edge_coloring_with_target, SubroutineConfig};
+use decolor_core::AlgoError;
+use decolor_graph::coloring::EdgeColoring;
+use decolor_graph::Graph;
+use decolor_runtime::NetworkStats;
+
+/// The classical distributed (2Δ − 1)-edge-coloring baseline.
+///
+/// # Errors
+///
+/// Propagates subroutine errors (none for well-formed simple graphs).
+pub fn two_delta_minus_one_edge_coloring(
+    g: &Graph,
+) -> Result<(EdgeColoring, NetworkStats), AlgoError> {
+    let delta = g.max_degree() as u64;
+    let target = if delta == 0 { 1 } else { 2 * delta - 1 };
+    edge_coloring_with_target(g, target, SubroutineConfig::default())
+}
+
+/// Alias used by the table harness: coloring the line graph directly with
+/// its (Δ_L + 1)-coloring — no connectors involved.
+///
+/// # Errors
+///
+/// Propagates subroutine errors.
+pub fn no_connector_edge_coloring(
+    g: &Graph,
+) -> Result<(EdgeColoring, NetworkStats), AlgoError> {
+    two_delta_minus_one_edge_coloring(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decolor_graph::generators;
+
+    #[test]
+    fn two_delta_minus_one_exact_palette() {
+        let g = generators::random_regular(80, 10, 1).unwrap();
+        let (c, stats) = two_delta_minus_one_edge_coloring(&g).unwrap();
+        assert!(c.is_proper(&g));
+        assert_eq!(c.palette(), 19);
+        assert!(stats.rounds > 0);
+    }
+
+    #[test]
+    fn handles_degenerate_graphs() {
+        let g = decolor_graph::GraphBuilder::new(3).build();
+        let (c, _) = two_delta_minus_one_edge_coloring(&g).unwrap();
+        assert!(c.is_empty());
+        let g = generators::path(2).unwrap();
+        let (c, _) = two_delta_minus_one_edge_coloring(&g).unwrap();
+        assert!(c.is_proper(&g));
+        assert_eq!(c.palette(), 1);
+    }
+
+    #[test]
+    fn uses_more_colors_than_misra_gries_but_is_distributed() {
+        let g = generators::gnm(60, 240, 2).unwrap();
+        let (dist, _) = two_delta_minus_one_edge_coloring(&g).unwrap();
+        let central = crate::misra_gries::misra_gries_edge_coloring(&g);
+        assert!(central.palette() <= dist.palette());
+    }
+}

@@ -1,0 +1,139 @@
+//! Centralized greedy colorings — the classical color-count floors.
+
+use decolor_graph::coloring::{Color, EdgeColoring, VertexColoring};
+use decolor_graph::{Graph, VertexId};
+
+/// Greedy vertex coloring in the given order: each vertex takes the
+/// smallest color unused by its already-colored neighbors. Uses at most
+/// Δ + 1 colors for any order, and `degeneracy + 1` colors along a
+/// degeneracy ordering.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the vertices.
+///
+/// ```rust
+/// use decolor_graph::generators;
+/// use decolor_baselines::greedy::greedy_vertex_coloring;
+/// let g = generators::complete(5).unwrap();
+/// let order: Vec<_> = g.vertices().collect();
+/// let c = greedy_vertex_coloring(&g, &order);
+/// assert!(c.is_proper(&g));
+/// assert_eq!(c.distinct_colors(), 5);
+/// ```
+pub fn greedy_vertex_coloring(g: &Graph, order: &[VertexId]) -> VertexColoring {
+    assert_eq!(order.len(), g.num_vertices(), "order must cover all vertices");
+    let mut colors: Vec<Option<Color>> = vec![None; g.num_vertices()];
+    let palette = g.max_degree() as u64 + 1;
+    for &v in order {
+        let mut used = vec![false; palette as usize];
+        for u in g.neighbors(v) {
+            if let Some(c) = colors[u.index()] {
+                used[c as usize] = true;
+            }
+        }
+        let free = used.iter().position(|&t| !t).expect("Δ neighbors cannot block Δ + 1 colors");
+        assert!(colors[v.index()].is_none(), "order repeats vertex {v}");
+        colors[v.index()] = Some(free as Color);
+    }
+    let colors: Vec<Color> = colors.into_iter().map(|c| c.expect("all vertices ordered")).collect();
+    VertexColoring::new(colors, palette).expect("greedy colors fit the palette")
+}
+
+/// Greedy vertex coloring along a degeneracy ordering — ≤ degeneracy + 1
+/// colors, the strongest easy centralized bound.
+pub fn greedy_degeneracy_coloring(g: &Graph) -> VertexColoring {
+    let ord = decolor_graph::properties::degeneracy_ordering(g);
+    // Color in REVERSE elimination order, so each vertex has ≤ degeneracy
+    // colored neighbors when processed.
+    let order: Vec<VertexId> = ord.order.iter().rev().copied().collect();
+    let c = greedy_vertex_coloring(g, &order);
+    c.compacted()
+}
+
+/// Greedy edge coloring in edge-id order: ≤ 2Δ − 1 colors.
+///
+/// ```rust
+/// use decolor_graph::generators;
+/// use decolor_baselines::greedy::greedy_edge_coloring;
+/// let g = generators::gnm(50, 200, 1).unwrap();
+/// let c = greedy_edge_coloring(&g);
+/// assert!(c.is_proper(&g));
+/// assert!(c.palette() <= 2 * g.max_degree() as u64 - 1);
+/// ```
+pub fn greedy_edge_coloring(g: &Graph) -> EdgeColoring {
+    let delta = g.max_degree() as u64;
+    let palette = if delta == 0 { 1 } else { 2 * delta - 1 };
+    let mut colors: Vec<Option<Color>> = vec![None; g.num_edges()];
+    for (e, [u, v]) in g.edge_list() {
+        let mut used = vec![false; palette as usize];
+        for w in [u, v] {
+            for f in g.incident_edges(w) {
+                if let Some(c) = colors[f.index()] {
+                    used[c as usize] = true;
+                }
+            }
+        }
+        let free =
+            used.iter().position(|&t| !t).expect("2Δ − 2 incident edges cannot block 2Δ − 1");
+        colors[e.index()] = Some(free as Color);
+    }
+    let colors: Vec<Color> = colors.into_iter().map(|c| c.expect("all edges visited")).collect();
+    EdgeColoring::new(colors, palette).expect("greedy colors fit the palette")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decolor_graph::generators;
+
+    #[test]
+    fn greedy_vertex_within_delta_plus_one() {
+        for seed in 0..4u64 {
+            let g = generators::gnm(100, 400, seed).unwrap();
+            let order: Vec<VertexId> = g.vertices().collect();
+            let c = greedy_vertex_coloring(&g, &order);
+            assert!(c.is_proper(&g));
+            assert!(c.palette() <= g.max_degree() as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn degeneracy_coloring_beats_delta_on_sparse() {
+        let g = generators::forest_union(300, 2, 10, 1).unwrap();
+        let c = greedy_degeneracy_coloring(&g);
+        assert!(c.is_proper(&g));
+        let degeneracy = decolor_graph::properties::degeneracy_ordering(&g).degeneracy as u64;
+        assert!(c.distinct_colors() as u64 <= degeneracy + 1);
+        assert!((degeneracy + 1) < g.max_degree() as u64 + 1);
+    }
+
+    #[test]
+    fn tree_gets_two_colors() {
+        let g = generators::random_tree(100, 2).unwrap();
+        let c = greedy_degeneracy_coloring(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.distinct_colors(), 2);
+    }
+
+    #[test]
+    fn greedy_edge_on_various_graphs() {
+        for g in [
+            generators::complete(8).unwrap(),
+            generators::cycle(9).unwrap(),
+            generators::star(12).unwrap(),
+            generators::gnm(60, 250, 3).unwrap(),
+        ] {
+            let c = greedy_edge_coloring(&g);
+            assert!(c.is_proper(&g));
+            assert!(c.palette() <= (2 * g.max_degree() as u64).saturating_sub(1).max(1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "order must cover")]
+    fn short_order_panics() {
+        let g = generators::path(3).unwrap();
+        let _ = greedy_vertex_coloring(&g, &[VertexId::new(0)]);
+    }
+}

@@ -1,0 +1,294 @@
+//! **Misra–Gries (Δ + 1)-edge-coloring** — the constructive form of
+//! Vizing's theorem \[36\] the paper cites as the existential optimum
+//! ("any graph admits an edge-coloring with Δ + 1 colors").
+//!
+//! Centralized and sequential (O(nm)); it provides the color-count floor
+//! the distributed algorithms are measured against in EXPERIMENTS.md.
+//!
+//! The algorithm colors edges one by one. For an uncolored edge (u, v) it
+//! builds a *maximal fan* of u starting at v, picks a color `c` free at
+//! `u` and `d` free at the fan's last vertex, inverts the maximal
+//! cd-alternating path through `u`, rotates a fan prefix that is still
+//! valid, and completes with `d`.
+
+use decolor_graph::coloring::{Color, EdgeColoring};
+use decolor_graph::{EdgeId, Graph, VertexId};
+
+/// Internal coloring state with O(1) free-color/used-edge lookups.
+struct State<'g> {
+    g: &'g Graph,
+    palette: usize,
+    /// color per edge (None = uncolored)
+    color: Vec<Option<Color>>,
+    /// used[v * palette + c] = edge at v colored c
+    used: Vec<Option<EdgeId>>,
+}
+
+impl<'g> State<'g> {
+    fn new(g: &'g Graph, palette: usize) -> Self {
+        State {
+            g,
+            palette,
+            color: vec![None; g.num_edges()],
+            used: vec![None; g.num_vertices() * palette],
+        }
+    }
+
+    #[inline]
+    fn edge_with(&self, v: VertexId, c: Color) -> Option<EdgeId> {
+        self.used[v.index() * self.palette + c as usize]
+    }
+
+    #[inline]
+    fn is_free(&self, v: VertexId, c: Color) -> bool {
+        self.edge_with(v, c).is_none()
+    }
+
+    fn free_color(&self, v: VertexId) -> Color {
+        (0..self.palette as u32)
+            .find(|&c| self.is_free(v, c))
+            .expect("degree ≤ Δ leaves a free color in a Δ + 1 palette")
+    }
+
+    fn set(&mut self, e: EdgeId, c: Option<Color>) {
+        let [u, v] = self.g.endpoints(e);
+        if let Some(old) = self.color[e.index()] {
+            self.used[u.index() * self.palette + old as usize] = None;
+            self.used[v.index() * self.palette + old as usize] = None;
+        }
+        self.color[e.index()] = c;
+        if let Some(new) = c {
+            debug_assert!(self.is_free(u, new) && self.is_free(v, new));
+            self.used[u.index() * self.palette + new as usize] = Some(e);
+            self.used[v.index() * self.palette + new as usize] = Some(e);
+        }
+    }
+
+    /// Maximal fan of `u` starting at `v`: a sequence of distinct
+    /// neighbors f₀ = v, f₁, … where color(u, f_{i+1}) is free at f_i.
+    fn maximal_fan(&self, u: VertexId, v: VertexId) -> Vec<VertexId> {
+        let mut fan = vec![v];
+        let mut in_fan: std::collections::HashSet<VertexId> = [v].into_iter().collect();
+        loop {
+            let last = *fan.last().expect("fan nonempty");
+            let mut extended = false;
+            for (w, e) in self.g.incidence(u).iter().copied() {
+                if in_fan.contains(&w) {
+                    continue;
+                }
+                if let Some(c) = self.color[e.index()] {
+                    if self.is_free(last, c) {
+                        fan.push(w);
+                        in_fan.insert(w);
+                        extended = true;
+                        break;
+                    }
+                }
+            }
+            if !extended {
+                return fan;
+            }
+        }
+    }
+
+    /// Inverts the maximal cd-alternating path starting at `u` (which has
+    /// `c` free): edges colored d, c, d, … along the path swap colors.
+    fn invert_cd_path(&mut self, u: VertexId, c: Color, d: Color) {
+        // Collect the path first (walking while flipping would corrupt
+        // lookups), then flip atomically.
+        let mut path = Vec::new();
+        let mut cur = u;
+        let mut want = d;
+        let mut prev_edge: Option<EdgeId> = None;
+        while let Some(e) = self.edge_with(cur, want) {
+            if Some(e) == prev_edge {
+                break;
+            }
+            path.push(e);
+            cur = self.g.other_endpoint(e, cur);
+            prev_edge = Some(e);
+            want = if want == d { c } else { d };
+        }
+        // Uncolor the whole path, then recolor flipped.
+        let old: Vec<Color> =
+            path.iter().map(|&e| self.color[e.index()].expect("path edges are colored")).collect();
+        for &e in &path {
+            self.set(e, None);
+        }
+        for (&e, &oc) in path.iter().zip(&old) {
+            self.set(e, Some(if oc == c { d } else { c }));
+        }
+    }
+
+    /// Rotates the fan prefix `fan[0..=j]`: edge (u, fan[i]) takes the old
+    /// color of (u, fan[i+1]); (u, fan[j]) is left uncolored.
+    fn rotate_fan(&mut self, u: VertexId, fan: &[VertexId], j: usize) {
+        for i in 0..j {
+            let e_i = self.edge_between(u, fan[i]);
+            let e_next = self.edge_between(u, fan[i + 1]);
+            let next_color = self.color[e_next.index()].expect("fan edges beyond 0 are colored");
+            self.set(e_next, None);
+            self.set(e_i, Some(next_color));
+        }
+    }
+
+    fn edge_between(&self, u: VertexId, w: VertexId) -> EdgeId {
+        self.g
+            .incidence(u)
+            .iter()
+            .find(|&&(x, _)| x == w)
+            .map(|&(_, e)| e)
+            .expect("fan vertices are neighbors of u")
+    }
+}
+
+/// Computes a proper (Δ + 1)-edge-coloring of any simple graph.
+///
+/// # Panics
+///
+/// Panics if `g` has parallel edges (Vizing's bound for multigraphs is
+/// Δ + multiplicity, out of scope here).
+///
+/// ```rust
+/// use decolor_graph::generators;
+/// use decolor_baselines::misra_gries::misra_gries_edge_coloring;
+/// let g = generators::complete(6).unwrap();
+/// let c = misra_gries_edge_coloring(&g);
+/// assert!(c.is_proper(&g));
+/// assert!(c.palette() <= 6); // Δ + 1 = 6
+/// ```
+pub fn misra_gries_edge_coloring(g: &Graph) -> EdgeColoring {
+    assert!(!g.has_parallel_edges(), "Misra–Gries requires a simple graph");
+    let delta = g.max_degree();
+    if g.num_edges() == 0 {
+        return EdgeColoring::new(vec![], 1).expect("empty coloring is valid");
+    }
+    let palette = delta + 1;
+    let mut st = State::new(g, palette);
+
+    for (e0, [u, v]) in g.edge_list() {
+        debug_assert!(st.color[e0.index()].is_none());
+        let fan = st.maximal_fan(u, v);
+        let c = st.free_color(u);
+        let last = *fan.last().expect("fan nonempty");
+        let d = st.free_color(last);
+        if c != d {
+            st.invert_cd_path(u, c, d);
+        }
+        // Find a fan prefix that is still valid under the current colors
+        // whose last vertex has d free; the Vizing argument guarantees one
+        // exists after the inversion.
+        let mut w = None;
+        for (j, &fj) in fan.iter().enumerate() {
+            if j > 0 {
+                let e_j = st.edge_between(u, fan[j]);
+                let cj = st.color[e_j.index()];
+                let valid = match cj {
+                    Some(col) => st.is_free(fan[j - 1], col),
+                    None => false,
+                };
+                if !valid {
+                    break;
+                }
+            }
+            if st.is_free(fj, d) {
+                w = Some(j);
+                break;
+            }
+        }
+        let j = w.expect("Vizing fan argument guarantees a rotatable prefix");
+        st.rotate_fan(u, &fan, j);
+        debug_assert!(st.is_free(u, d), "d must be free at u after the inversion");
+        let e_w = st.edge_between(u, fan[j]);
+        st.set(e_w, Some(d));
+    }
+
+    let colors: Vec<Color> =
+        st.color.into_iter().map(|c| c.expect("all edges colored")).collect();
+    let ec = EdgeColoring::new(colors, palette as u64).expect("colors fit palette");
+    debug_assert!(ec.is_proper(g));
+    ec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decolor_graph::generators;
+
+    #[test]
+    fn delta_plus_one_on_many_graphs() {
+        for (n, m, seed) in
+            [(30usize, 100usize, 1u64), (60, 300, 2), (80, 200, 3), (100, 600, 4), (50, 50, 5)]
+        {
+            let g = generators::gnm(n, m, seed).unwrap();
+            let c = misra_gries_edge_coloring(&g);
+            assert!(c.is_proper(&g), "improper for seed {seed}");
+            assert!(c.palette() <= g.max_degree() as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn bipartite_graphs_use_delta_or_delta_plus_one() {
+        let g = generators::complete_bipartite(7, 7).unwrap();
+        let c = misra_gries_edge_coloring(&g);
+        assert!(c.is_proper(&g));
+        assert!(c.palette() <= 8);
+    }
+
+    #[test]
+    fn odd_cycle_needs_three() {
+        let g = generators::cycle(7).unwrap();
+        let c = misra_gries_edge_coloring(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.distinct_colors(), 3); // class-2 graph: Δ + 1 = 3
+    }
+
+    #[test]
+    fn even_cycle_and_path() {
+        let g = generators::cycle(8).unwrap();
+        let c = misra_gries_edge_coloring(&g);
+        assert!(c.is_proper(&g));
+        let g = generators::path(10).unwrap();
+        let c = misra_gries_edge_coloring(&g);
+        assert!(c.is_proper(&g));
+        assert!(c.distinct_colors() <= 3);
+    }
+
+    #[test]
+    fn complete_graphs() {
+        for n in [3usize, 4, 5, 6, 7, 8, 9] {
+            let g = generators::complete(n).unwrap();
+            let c = misra_gries_edge_coloring(&g);
+            assert!(c.is_proper(&g), "K{n} improper");
+            assert!(c.palette() <= n as u64, "K{n} used too many colors");
+        }
+    }
+
+    #[test]
+    fn regular_graphs_stress() {
+        for seed in 0..5u64 {
+            let g = generators::random_regular(40, 7, seed).unwrap();
+            let c = misra_gries_edge_coloring(&g);
+            assert!(c.is_proper(&g));
+            assert!(c.palette() <= 8);
+        }
+    }
+
+    #[test]
+    fn stars_and_trees_are_class_one() {
+        let g = generators::star(20).unwrap();
+        let c = misra_gries_edge_coloring(&g);
+        assert!(c.is_proper(&g));
+        assert_eq!(c.distinct_colors(), 19);
+        let g = generators::random_tree(200, 6).unwrap();
+        let c = misra_gries_edge_coloring(&g);
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let g = decolor_graph::GraphBuilder::new(4).build();
+        let c = misra_gries_edge_coloring(&g);
+        assert!(c.is_empty());
+    }
+}

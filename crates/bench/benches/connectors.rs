@@ -1,0 +1,36 @@
+//! Criterion bench: connector construction costs across `t` (ablation A2)
+//! — these are the O(1)-round local restructurings of the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decolor_core::connectors::clique::clique_connector;
+use decolor_core::connectors::edge::edge_connector;
+use decolor_core::connectors::orientation::orientation_connector;
+use decolor_graph::line_graph::LineGraph;
+use decolor_graph::generators;
+
+fn bench_connectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connectors");
+    let g = generators::random_regular(256, 16, 11).unwrap();
+    let lg = LineGraph::new(&g);
+    for t in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("clique_connector", t), &t, |b, &t| {
+            b.iter(|| clique_connector(&lg.graph, &lg.cover, t).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("edge_connector", t), &t, |b, &t| {
+            b.iter(|| edge_connector(&g, t).unwrap())
+        });
+    }
+    let fg = generators::forest_union(400, 3, 8, 2).unwrap();
+    let hp = decolor_core::h_partition::h_partition_for_arboricity(&fg, 3, 2.5).unwrap();
+    let o = hp.orientation(&fg);
+    group.bench_function("orientation_connector_shared", |b| {
+        b.iter(|| orientation_connector(&fg, &o, 5, 3, false).unwrap())
+    });
+    group.bench_function("orientation_connector_bipartite", |b| {
+        b.iter(|| orientation_connector(&fg, &o, 5, 3, true).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_connectors);
+criterion_main!(benches);

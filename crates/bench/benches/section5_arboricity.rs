@@ -1,0 +1,25 @@
+//! Criterion bench for Section 5: the Δ + o(Δ) colorings on
+//! bounded-arboricity workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decolor_bench::arboricity_workload;
+use decolor_core::arboricity::{theorem52, theorem53, theorem54};
+use decolor_core::delta_plus_one::SubroutineConfig;
+
+fn bench_section5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section5");
+    group.sample_size(10);
+    let cfg = SubroutineConfig::default();
+    let g = arboricity_workload(400, 2, 16, 9);
+    group.bench_function("theorem52", |b| b.iter(|| theorem52(&g, 2, 2.5, cfg).unwrap()));
+    group.bench_function("theorem53", |b| b.iter(|| theorem53(&g, 2, 2.5, cfg).unwrap()));
+    for x in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::new("theorem54", x), &x, |b, &x| {
+            b.iter(|| theorem54(&g, 2, 2.5, x, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_section5);
+criterion_main!(benches);

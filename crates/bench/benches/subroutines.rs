@@ -1,0 +1,51 @@
+//! Criterion bench: the subroutine stack (ablation A1) — Linial and the
+//! two reduction strategies standing in for \[17\].
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decolor_core::delta_plus_one::{
+    delta_plus_one_coloring, ReductionStrategy, Seed, SubroutineConfig,
+};
+use decolor_core::linial::linial_coloring;
+use decolor_graph::generators;
+use decolor_runtime::{IdAssignment, Network};
+
+fn bench_subroutines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subroutines");
+    group.sample_size(10);
+    let g = generators::random_regular(512, 8, 13).unwrap();
+    let ids = IdAssignment::shuffled(512, 1);
+    group.bench_function("linial", |b| {
+        b.iter(|| {
+            let mut net = Network::new(&g);
+            linial_coloring(&mut net, &ids).unwrap()
+        })
+    });
+    group.bench_function("delta_plus_one_kw", |b| {
+        b.iter(|| {
+            delta_plus_one_coloring(&g, Seed::Ids(&ids), SubroutineConfig::default()).unwrap()
+        })
+    });
+    group.bench_function("delta_plus_one_basic", |b| {
+        b.iter(|| {
+            delta_plus_one_coloring(
+                &g,
+                Seed::Ids(&ids),
+                SubroutineConfig { reduction: ReductionStrategy::Basic },
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("baseline_misra_gries", |b| {
+        b.iter(|| decolor_baselines::misra_gries::misra_gries_edge_coloring(&g))
+    });
+    group.bench_function("baseline_greedy_edge", |b| {
+        b.iter(|| decolor_baselines::greedy::greedy_edge_coloring(&g))
+    });
+    group.bench_function("baseline_randomized_edge", |b| {
+        b.iter(|| decolor_baselines::randomized::randomized_edge_coloring(&g, 15, 3).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_subroutines);
+criterion_main!(benches);

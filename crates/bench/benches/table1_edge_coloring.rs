@@ -1,0 +1,26 @@
+//! Criterion bench for Table 1: star-partition edge coloring across
+//! recursion depths, vs the (2Δ − 1) baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decolor_baselines::distributed::two_delta_minus_one_edge_coloring;
+use decolor_bench::regular_workload;
+use decolor_core::star_partition::{star_partition_edge_coloring, StarPartitionParams};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    let g = regular_workload(256, 16, 7);
+    for x in [1usize, 2, 3] {
+        let params = StarPartitionParams::for_levels(&g, x);
+        group.bench_with_input(BenchmarkId::new("star_partition", x), &x, |b, _| {
+            b.iter(|| star_partition_edge_coloring(&g, &params).unwrap())
+        });
+    }
+    group.bench_function("baseline_2delta_minus_1", |b| {
+        b.iter(|| two_delta_minus_one_edge_coloring(&g).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

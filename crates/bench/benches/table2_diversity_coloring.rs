@@ -1,0 +1,32 @@
+//! Criterion bench for Table 2: CD-Coloring on bounded-diversity graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decolor_core::cd_coloring::{cd_coloring, CdParams};
+use decolor_graph::line_graph::LineGraph;
+use decolor_graph::generators;
+use decolor_runtime::IdAssignment;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    let g = generators::random_regular(128, 16, 3).unwrap();
+    let lg = LineGraph::new(&g);
+    let ids = IdAssignment::shuffled(lg.graph.num_vertices(), 1);
+    for x in [1usize, 2, 3] {
+        let params = CdParams::for_levels(lg.cover.max_clique_size(), x);
+        group.bench_with_input(BenchmarkId::new("cd_line_graph_D2", x), &x, |b, _| {
+            b.iter(|| cd_coloring(&lg.graph, &lg.cover, &params, &ids).unwrap())
+        });
+    }
+    let h = generators::random_uniform_hypergraph(150, 120, 3, 8, 5).unwrap();
+    let hlg = h.line_graph();
+    let hids = IdAssignment::shuffled(hlg.graph.num_vertices(), 2);
+    let params = CdParams::for_levels(hlg.cover.max_clique_size().max(2), 2);
+    group.bench_function("cd_hypergraph_D3_x2", |b| {
+        b.iter(|| cd_coloring(&hlg.graph, &hlg.cover, &params, &hids).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

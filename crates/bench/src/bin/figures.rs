@@ -1,0 +1,114 @@
+//! Regenerates **Figures 1–3** of the paper as Graphviz DOT files under
+//! `figures/` (render with `dot -Tpng figures/figure1.dot -o fig1.png`).
+//!
+//! * Figure 1 — clique connector with t = 4 on two cliques sharing a
+//!   vertex (solid = connector edges E′, dashed = removed clique edges).
+//! * Figure 2 — edge connector with t = 3 (virtual vertices labeled
+//!   `v.i`).
+//! * Figure 3 — orientation connector (in-groups vs out-groups).
+//!
+//! `cargo run --release -p decolor-bench --bin figures`
+
+use decolor_core::connectors::clique::clique_connector;
+use decolor_core::connectors::edge::edge_connector;
+use decolor_core::connectors::orientation::{orientation_connector, VirtualKind};
+use decolor_graph::cliques::CliqueCover;
+use decolor_graph::dot::{render, DotOptions};
+use decolor_graph::orientation::Orientation;
+use decolor_graph::{GraphBuilder, VertexId};
+
+fn write(name: &str, contents: &str) {
+    let dir = std::path::Path::new("figures");
+    std::fs::create_dir_all(dir).expect("can create figures/");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("can write figure");
+    println!("wrote {}", path.display());
+}
+
+fn figure1() {
+    // Two K7 cliques Q, R sharing vertex 0, connector parameter t = 4.
+    let mut b = GraphBuilder::new(13);
+    let q: Vec<usize> = (0..7).collect();
+    let r: Vec<usize> = std::iter::once(0).chain(7..13).collect();
+    for set in [&q, &r] {
+        for i in 0..set.len() {
+            for j in (i + 1)..set.len() {
+                let _ = b.add_edge_dedup(set[i], set[j]).unwrap();
+            }
+        }
+    }
+    let g = b.build();
+    let ids = |v: &[usize]| v.iter().map(|&x| VertexId::new(x)).collect::<Vec<_>>();
+    let cover = CliqueCover::new(&g, vec![ids(&q), ids(&r)]).unwrap();
+    let conn = clique_connector(&g, &cover, 4).unwrap();
+    // Solid connector edges, dashed removed edges.
+    let styles: Vec<String> = g
+        .edge_list()
+        .map(|(_, [u, v])| {
+            if conn.graph.has_edge(u, v) {
+                "penwidth=2".to_string()
+            } else {
+                "style=dashed, color=gray".to_string()
+            }
+        })
+        .collect();
+    let opts = DotOptions {
+        title: Some("Figure 1: clique connector, t = 4, cliques Q and R sharing v0".into()),
+        edge_styles: Some(styles),
+        ..Default::default()
+    };
+    write("figure1.dot", &render(&g, &opts));
+}
+
+fn figure2() {
+    // Edge connector with t = 3 on a degree-7 star (paper's Figure 2
+    // shows the virtual split of a high-degree vertex).
+    let g = decolor_graph::generators::star(8).unwrap();
+    let conn = edge_connector(&g, 3).unwrap();
+    let labels: Vec<String> = conn
+        .owner
+        .iter()
+        .zip(&conn.group_index)
+        .map(|(o, i)| format!("v{}.{}", o.index(), i))
+        .collect();
+    let opts = DotOptions {
+        title: Some("Figure 2: edge connector, t = 3 (virtual vertices v.i)".into()),
+        vertex_labels: Some(labels),
+        ..Default::default()
+    };
+    write("figure2.dot", &render(&conn.graph, &opts));
+}
+
+fn figure3() {
+    // Orientation connector: star center with 6 in- and 2 out-edges,
+    // in-groups of 3, out-groups of 1 (the paper's Figure 3 shape).
+    let g = decolor_graph::generators::star(9).unwrap();
+    let mut heads = vec![VertexId::new(0); 8];
+    heads[6] = VertexId::new(7);
+    heads[7] = VertexId::new(8);
+    let o = Orientation::new(&g, heads).unwrap();
+    let conn = orientation_connector(&g, &o, 3, 1, true).unwrap();
+    let labels: Vec<String> = conn
+        .owner
+        .iter()
+        .zip(&conn.kind)
+        .map(|(owner, kind)| match kind {
+            VirtualKind::In(i) => format!("v{}·in{}", owner.index(), i),
+            VirtualKind::Out(i) => format!("v{}·out{}", owner.index(), i),
+            VirtualKind::Shared(i) => format!("v{}·{}", owner.index(), i),
+        })
+        .collect();
+    let opts = DotOptions {
+        title: Some("Figure 3: orientation connector (bipartite flavor)".into()),
+        vertex_labels: Some(labels),
+        ..Default::default()
+    };
+    write("figure3.dot", &render(&conn.graph, &opts));
+}
+
+fn main() {
+    figure1();
+    figure2();
+    figure3();
+    println!("render with: dot -Tpng figures/figureN.dot -o figureN.png");
+}

@@ -1,0 +1,81 @@
+//! Scaling study: how measured rounds grow with `n` at fixed Δ — the
+//! log* n (Linial), O(log n) (Theorem 5.2 via the H-partition) and
+//! n-independent (star partition beyond its log* entry cost) signatures
+//! the paper's running times predict.
+//!
+//! `cargo run --release -p decolor-bench --bin scaling [-- --quick]`
+
+use decolor_bench::{append_record, arboricity_workload, markdown_table, regular_workload, Record};
+use decolor_core::arboricity::theorem52;
+use decolor_core::delta_plus_one::SubroutineConfig;
+use decolor_core::linial::linial_coloring;
+use decolor_core::star_partition::{star_partition_edge_coloring, StarPartitionParams};
+use decolor_runtime::{IdAssignment, Network};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes: &[usize] =
+        if quick { &[256, 1024] } else { &[256, 1024, 4096, 16384] };
+
+    println!("# Scaling study — rounds vs n at fixed Δ\n");
+    let mut rows = Vec::new();
+    for &n in sizes {
+        // Linial on 8-regular graphs: rounds should be ~flat (log* n).
+        let g = regular_workload(n, 8, 1);
+        // Sparse O(n·2^16)-sized ID space so the log* cascade is exercised
+        // (dense IDs can start below the O(Δ²) fixed point).
+        let ids = IdAssignment::sparse(n, 1 << 16, 2);
+        let mut net = Network::new(&g);
+        let lin = linial_coloring(&mut net, &ids).expect("linial succeeds");
+        let linial_rounds = net.stats().rounds;
+        assert!(lin.coloring.is_proper(&g));
+
+        // Star partition x = 1 on the same graph: log*-dominated entry.
+        let star = star_partition_edge_coloring(&g, &StarPartitionParams::for_levels(&g, 1))
+            .expect("star partition succeeds");
+
+        // Theorem 5.2 on arboricity-2 workloads: ℓ = O(log n) stages.
+        let ga = arboricity_workload(n, 2, 8, 3);
+        let t52 = theorem52(&ga, 2, 2.5, SubroutineConfig::default())
+            .expect("theorem 5.2 succeeds");
+
+        rows.push(vec![
+            format!("{n}"),
+            format!("{linial_rounds}"),
+            format!("{}", star.stats.rounds),
+            format!("{}", t52.stats.rounds),
+        ]);
+        for (tag, rounds, msgs) in [
+            ("scaling_linial", linial_rounds, net.stats().messages),
+            ("scaling_star", star.stats.rounds, star.stats.messages),
+            ("scaling_t52", t52.stats.rounds, t52.stats.messages),
+        ] {
+            append_record(&Record {
+                experiment: tag.into(),
+                workload: format!("n={n}"),
+                n,
+                m: g.num_edges(),
+                delta: g.max_degree(),
+                x: 1,
+                palette: 0,
+                colors_used: 0,
+                bound: 0,
+                rounds,
+                messages: msgs,
+                time_shape: 0.0,
+            });
+        }
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["n", "Linial rounds (log* n)", "star partition x=1", "Theorem 5.2 (O(log n))"],
+            &rows
+        )
+    );
+    println!(
+        "Expected shapes: Linial ~flat; star partition ~flat after the \
+         log* entry; Theorem 5.2 grows ~logarithmically (ℓ peeling stages \
+         × d label rounds)."
+    );
+}

@@ -1,0 +1,138 @@
+//! # decolor-bench
+//!
+//! Harness that regenerates **every table and figure** of the paper:
+//!
+//! | Artifact | Binary | Criterion bench |
+//! |----------|--------|-----------------|
+//! | Table 1 (edge coloring, general graphs) | `table1` | `table1_edge_coloring` |
+//! | Table 2 (bounded-diversity vertex coloring) | `table2` | `table2_diversity_coloring` |
+//! | §5 theorems (Δ + o(Δ), bounded arboricity) | `section5` | `section5_arboricity` |
+//! | Figures 1–3 (connector constructions) | `figures` | `connectors` |
+//! | Ablations (reduction strategies, Linial) | — | `subroutines` |
+//!
+//! Each binary prints a Markdown table with the paper's analytic columns
+//! next to the measured palettes and LOCAL rounds, and appends one JSON
+//! record per run to `target/experiments.jsonl` for EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+
+use serde::Serialize;
+
+/// One experiment record, serialized as a JSON line.
+#[derive(Clone, Debug, Serialize)]
+pub struct Record {
+    /// Experiment id (e.g. "table1", "table2", "t52").
+    pub experiment: String,
+    /// Workload description.
+    pub workload: String,
+    /// Graph size.
+    pub n: usize,
+    /// Edge count.
+    pub m: usize,
+    /// Maximum degree.
+    pub delta: usize,
+    /// Recursion levels / variant tag.
+    pub x: u32,
+    /// Measured palette size.
+    pub palette: u64,
+    /// Measured distinct colors.
+    pub colors_used: usize,
+    /// Paper's analytic color bound for this row.
+    pub bound: u64,
+    /// Measured LOCAL rounds.
+    pub rounds: u64,
+    /// Measured messages.
+    pub messages: u64,
+    /// The paper's Õ(·) time-shape score for this row.
+    pub time_shape: f64,
+}
+
+/// Appends `record` to `target/experiments.jsonl` (best-effort: failures
+/// to write the artifact never fail the run).
+pub fn append_record(record: &Record) {
+    let path = std::path::Path::new("target");
+    let _ = std::fs::create_dir_all(path);
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path.join("experiments.jsonl"))
+    {
+        if let Ok(line) = serde_json::to_string(record) {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+}
+
+/// Renders a Markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&headers.join(" | "));
+    out.push_str(" |\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Standard Table 1 / §5 workloads: seeded random regular graphs.
+pub fn regular_workload(n: usize, d: usize, seed: u64) -> decolor_graph::Graph {
+    decolor_graph::generators::random_regular(n, d, seed)
+        .expect("table workload parameters are valid")
+}
+
+/// Standard bounded-arboricity workload: a union of `a` bounded-degree
+/// forests.
+pub fn arboricity_workload(n: usize, a: usize, cap: usize, seed: u64) -> decolor_graph::Graph {
+    decolor_graph::generators::forest_union(n, a, cap, seed)
+        .expect("arboricity workload parameters are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(t.contains("| a | b |"));
+        assert!(t.contains("| 1 | 2 |"));
+        assert_eq!(t.lines().count(), 3);
+    }
+
+    #[test]
+    fn records_serialize_to_json_lines() {
+        let r = Record {
+            experiment: "unit".into(),
+            workload: "w".into(),
+            n: 1,
+            m: 2,
+            delta: 3,
+            x: 4,
+            palette: 5,
+            colors_used: 6,
+            bound: 7,
+            rounds: 8,
+            messages: 9,
+            time_shape: 0.5,
+        };
+        let line = serde_json::to_string(&r).unwrap();
+        assert!(line.contains("\"experiment\":\"unit\""));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        assert_eq!(regular_workload(32, 4, 1), regular_workload(32, 4, 1));
+        assert_eq!(arboricity_workload(64, 2, 4, 2), arboricity_workload(64, 2, 4, 2));
+    }
+}

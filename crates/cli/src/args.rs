@@ -1,0 +1,168 @@
+//! Minimal argument parsing: `command positional... --flag value...`.
+
+/// A parsed command line.
+#[derive(Clone, Debug, Default)]
+pub struct Parsed {
+    /// First token (the subcommand).
+    pub command: String,
+    /// Positional arguments after the command.
+    pub positional: Vec<String>,
+    /// `--key value` options.
+    pub options: Vec<(String, String)>,
+}
+
+impl Parsed {
+    /// Looks up a `--key` option.
+    pub fn option(&self, key: &str) -> Option<&str> {
+        self.options.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Removes and returns the positional at `index`, if present.
+    pub fn positional(&self, index: usize) -> Option<&str> {
+        self.positional.get(index).map(String::as_str)
+    }
+}
+
+/// Parses `argv` (without the program name).
+///
+/// # Errors
+///
+/// Returns a description when a `--flag` lacks its value.
+pub fn parse(argv: &[String]) -> Result<Parsed, String> {
+    let mut parsed = Parsed::default();
+    let mut it = argv.iter().peekable();
+    if let Some(cmd) = it.next() {
+        parsed.command = cmd.clone();
+    }
+    while let Some(tok) = it.next() {
+        if let Some(key) = tok.strip_prefix("--") {
+            // Value-less flags (next token is another option, or nothing)
+            // parse as boolean `true`.
+            match it.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = it.next().expect("peeked");
+                    parsed.options.push((key.to_string(), value.clone()));
+                }
+                _ => parsed.options.push((key.to_string(), "true".to_string())),
+            }
+        } else {
+            parsed.positional.push(tok.clone());
+        }
+    }
+    Ok(parsed)
+}
+
+/// Parses `key=value,key=value` parameter lists (the part of a spec after
+/// the colon).
+///
+/// # Errors
+///
+/// Returns a description of the malformed pair.
+pub fn parse_kv(params: &str) -> Result<Vec<(String, String)>, String> {
+    if params.is_empty() {
+        return Ok(Vec::new());
+    }
+    params
+        .split(',')
+        .map(|pair| {
+            pair.split_once('=')
+                .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+                .ok_or_else(|| format!("malformed parameter `{pair}` (expected key=value)"))
+        })
+        .collect()
+}
+
+/// Fetches a required integer parameter.
+///
+/// # Errors
+///
+/// Missing key or unparsable value.
+pub fn req_usize(kv: &[(String, String)], key: &str) -> Result<usize, String> {
+    kv.iter()
+        .find(|(k, _)| k == key)
+        .ok_or_else(|| format!("missing parameter `{key}`"))?
+        .1
+        .parse()
+        .map_err(|_| format!("parameter `{key}` must be an integer"))
+}
+
+/// Fetches an optional integer parameter with a default.
+///
+/// # Errors
+///
+/// Unparsable value.
+pub fn opt_usize(kv: &[(String, String)], key: &str, default: usize) -> Result<usize, String> {
+    match kv.iter().find(|(k, _)| k == key) {
+        None => Ok(default),
+        Some((_, v)) => v.parse().map_err(|_| format!("parameter `{key}` must be an integer")),
+    }
+}
+
+/// Fetches an optional float parameter with a default.
+///
+/// # Errors
+///
+/// Unparsable value.
+pub fn opt_f64(kv: &[(String, String)], key: &str, default: f64) -> Result<f64, String> {
+    match kv.iter().find(|(k, _)| k == key) {
+        None => Ok(default),
+        Some((_, v)) => v.parse().map_err(|_| format!("parameter `{key}` must be a number")),
+    }
+}
+
+/// Fetches an optional u64 parameter with a default.
+///
+/// # Errors
+///
+/// Unparsable value.
+pub fn opt_u64(kv: &[(String, String)], key: &str, default: u64) -> Result<u64, String> {
+    match kv.iter().find(|(k, _)| k == key) {
+        None => Ok(default),
+        Some((_, v)) => v.parse().map_err(|_| format!("parameter `{key}` must be an integer")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_command_positionals_and_options() {
+        let p = parse(&argv("color star:x=1 gnm:n=10,m=20 --json out.json")).unwrap();
+        assert_eq!(p.command, "color");
+        assert_eq!(p.positional, vec!["star:x=1", "gnm:n=10,m=20"]);
+        assert_eq!(p.option("json"), Some("out.json"));
+        assert_eq!(p.option("dot"), None);
+    }
+
+    #[test]
+    fn trailing_flag_parses_as_boolean() {
+        let p = parse(&argv("color star gnm:n=3,m=1 --verify")).unwrap();
+        assert_eq!(p.option("verify"), Some("true"));
+        let p = parse(&argv("color star g --verify --json out.json")).unwrap();
+        assert_eq!(p.option("verify"), Some("true"));
+        assert_eq!(p.option("json"), Some("out.json"));
+    }
+
+    #[test]
+    fn kv_parsing() {
+        let kv = parse_kv("n=10,m=20,seed=3").unwrap();
+        assert_eq!(req_usize(&kv, "n").unwrap(), 10);
+        assert_eq!(opt_usize(&kv, "x", 7).unwrap(), 7);
+        assert_eq!(opt_u64(&kv, "seed", 0).unwrap(), 3);
+        assert!(req_usize(&kv, "zzz").is_err());
+        assert!(parse_kv("oops").is_err());
+        assert!(parse_kv("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn float_params() {
+        let kv = parse_kv("r=0.25").unwrap();
+        assert!((opt_f64(&kv, "r", 1.0).unwrap() - 0.25).abs() < 1e-12);
+        assert!(opt_f64(&parse_kv("r=x").unwrap(), "r", 1.0).is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! `decolor color <algorithm> <spec>`.
+
+use decolor_baselines::distributed::two_delta_minus_one_edge_coloring;
+use decolor_baselines::greedy::greedy_edge_coloring;
+use decolor_baselines::misra_gries::misra_gries_edge_coloring;
+use decolor_baselines::randomized::randomized_edge_coloring;
+use decolor_core::arboricity::{corollary55, theorem52, theorem53, theorem54};
+use decolor_core::cd_coloring::{cd_edge_coloring, CdParams};
+use decolor_core::delta_plus_one::SubroutineConfig;
+use decolor_core::star_partition::{star_partition_edge_coloring, StarPartitionParams};
+use decolor_core::verify;
+use decolor_graph::coloring::EdgeColoring;
+use decolor_graph::Graph;
+use decolor_runtime::NetworkStats;
+
+use crate::args::{opt_f64, opt_usize, parse_kv, Parsed};
+use crate::spec::build_graph;
+
+/// Runs the requested edge-coloring algorithm; prints palette, distinct
+/// colors, rounds and messages; validates properness.
+///
+/// # Errors
+///
+/// Malformed algorithm/spec or algorithm precondition failures.
+pub fn run(parsed: &mut Parsed) -> Result<String, String> {
+    let algo = parsed.positional(0).ok_or("color needs an algorithm")?.to_string();
+    let spec = parsed.positional(1).ok_or("color needs a graph spec")?.to_string();
+    let g = build_graph(&spec)?;
+    let (coloring, stats, label) = dispatch(&algo, &g)?;
+    if !coloring.is_proper(&g) {
+        return Err("internal error: produced an improper coloring".into());
+    }
+    let mut verify_report = String::new();
+    if parsed.option("verify").is_some() {
+        verify_report = certificate_report(&algo, &g, &coloring)?;
+    }
+    let delta = g.max_degree();
+    let mut out = format!(
+        "{label} on {spec} (n = {}, m = {}, Δ = {delta})\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    out.push_str(&format!(
+        "palette {}  distinct {}  (Δ+1 = {}, 2Δ−1 = {})\n",
+        coloring.palette(),
+        coloring.distinct_colors(),
+        delta + 1,
+        (2 * delta).saturating_sub(1).max(1),
+    ));
+    match stats {
+        Some(s) => out.push_str(&format!(
+            "rounds {}  messages {}  payload {} bytes\n",
+            s.rounds, s.messages, s.payload_bytes
+        )),
+        None => out.push_str("centralized (no LOCAL rounds)\n"),
+    }
+    out.push_str(&verify_report);
+    out.push_str(&super::write_artifacts(parsed, &g, Some(&coloring))?);
+    Ok(out)
+}
+
+/// Runs the applicable certificate checks for the chosen algorithm.
+fn certificate_report(
+    algo: &str,
+    g: &Graph,
+    coloring: &EdgeColoring,
+) -> Result<String, String> {
+    let (name, params) = algo.split_once(':').unwrap_or((algo, ""));
+    let kv = parse_kv(params)?;
+    let checks = match name {
+        "star" => verify::check_star_partition(g, coloring, opt_usize(&kv, "x", 1)? as u32),
+        "t52" => verify::check_theorem52(
+            g,
+            coloring,
+            opt_usize(&kv, "a", 2)? as u64,
+            opt_f64(&kv, "q", 2.5)?,
+        ),
+        "t54" => verify::check_theorem54(
+            g,
+            coloring,
+            opt_usize(&kv, "a", 2)? as u64,
+            opt_f64(&kv, "q", 2.5)?,
+            opt_usize(&kv, "x", 2)? as u32,
+        ),
+        _ => vec![],
+    };
+    if checks.is_empty() {
+        return Ok("(no certificate checks registered for this algorithm)
+".into());
+    }
+    verify::ensure_all(&checks).map_err(|e| e.to_string())?;
+    Ok(verify::render_report(&checks))
+}
+
+fn dispatch(
+    algo: &str,
+    g: &Graph,
+) -> Result<(EdgeColoring, Option<NetworkStats>, String), String> {
+    let (name, params) = algo.split_once(':').unwrap_or((algo, ""));
+    let kv = parse_kv(params)?;
+    let cfg = SubroutineConfig::default();
+    let err = |e: decolor_core::AlgoError| e.to_string();
+    match name {
+        "star" => {
+            let x = opt_usize(&kv, "x", 1)?;
+            let res = star_partition_edge_coloring(g, &StarPartitionParams::for_levels(g, x))
+                .map_err(err)?;
+            Ok((res.coloring, Some(res.stats), format!("star partition (x = {x})")))
+        }
+        "cd" => {
+            let x = opt_usize(&kv, "x", 1)?;
+            let (c, s) = cd_edge_coloring(g, &CdParams::for_levels(g.max_degree().max(2), x))
+                .map_err(err)?;
+            Ok((c, Some(s), format!("CD-Coloring of the line graph (x = {x})")))
+        }
+        "t52" => {
+            let a = opt_usize(&kv, "a", 2)?;
+            let q = opt_f64(&kv, "q", 2.5)?;
+            let res = theorem52(g, a, q, cfg).map_err(err)?;
+            Ok((res.coloring, Some(res.stats), format!("Theorem 5.2 (a = {a})")))
+        }
+        "t53" => {
+            let a = opt_usize(&kv, "a", 2)?;
+            let q = opt_f64(&kv, "q", 2.5)?;
+            let res = theorem53(g, a, q, cfg).map_err(err)?;
+            Ok((res.coloring, Some(res.stats), format!("Theorem 5.3 (a = {a})")))
+        }
+        "t54" => {
+            let a = opt_usize(&kv, "a", 2)?;
+            let x = opt_usize(&kv, "x", 2)?;
+            let q = opt_f64(&kv, "q", 2.5)?;
+            let res = theorem54(g, a, q, x, cfg).map_err(err)?;
+            Ok((res.coloring, Some(res.stats), format!("Theorem 5.4 (a = {a}, x = {x})")))
+        }
+        "c55" => {
+            let a = opt_usize(&kv, "a", 2)?;
+            let (res, p) = corollary55(g, a, cfg).map_err(err)?;
+            Ok((
+                res.coloring,
+                Some(res.stats),
+                format!("Corollary 5.5 (a = {a}; chose x = {}, q = {:.1})", p.x, p.q),
+            ))
+        }
+        "baseline" => {
+            let (c, s) = two_delta_minus_one_edge_coloring(g).map_err(err)?;
+            Ok((c, Some(s), "(2Δ−1) baseline".to_string()))
+        }
+        "misra" => Ok((misra_gries_edge_coloring(g), None, "Misra–Gries (Δ+1)".to_string())),
+        "random" => {
+            let seed = opt_usize(&kv, "seed", 0)? as u64;
+            let delta = g.max_degree() as u64;
+            let palette = (2 * delta).saturating_sub(1).max(1);
+            let (c, s) = randomized_edge_coloring(g, palette, seed).map_err(err)?;
+            Ok((c, Some(s), "randomized (2Δ−1), Luby-style".to_string()))
+        }
+        "greedy" => Ok((greedy_edge_coloring(g), None, "greedy (2Δ−1)".to_string())),
+        other => Err(format!("unknown algorithm `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_every_algorithm() {
+        let g = decolor_graph::generators::forest_union(60, 2, 6, 1).unwrap();
+        for algo in ["star:x=1", "star:x=2", "cd:x=1", "t52:a=2", "t53:a=2", "t54:a=2,x=2",
+                     "c55:a=2", "baseline", "misra", "greedy", "random:seed=1"] {
+            let (c, _, _) = dispatch(algo, &g).unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(c.is_proper(&g), "{algo} produced improper coloring");
+        }
+        assert!(dispatch("zzz", &g).is_err());
+    }
+}

@@ -1,0 +1,142 @@
+//! Graph-spec parsing: `family:key=value,...` strings to graphs.
+
+use decolor_graph::io::GraphData;
+use decolor_graph::{generators, ops, Graph};
+
+use crate::args::{opt_f64, opt_u64, opt_usize, parse_kv, req_usize};
+
+/// Builds a graph from a spec string (see `decolor help` for the list).
+///
+/// # Errors
+///
+/// Human-readable description of the malformed spec or generator failure.
+pub fn build_graph(spec: &str) -> Result<Graph, String> {
+    let (family, params) = spec.split_once(':').unwrap_or((spec, ""));
+    if family == "dimacs" {
+        if params.is_empty() {
+            return Err("dimacs spec needs a path: dimacs:graph.col".into());
+        }
+        let text = std::fs::read_to_string(params)
+            .map_err(|e| format!("cannot read {params}: {e}"))?;
+        return decolor_graph::io::from_dimacs(&text).map_err(|e| e.to_string());
+    }
+    if family == "file" {
+        if params.is_empty() {
+            return Err("file spec needs a path: file:graph.json".into());
+        }
+        let text = std::fs::read_to_string(params)
+            .map_err(|e| format!("cannot read {params}: {e}"))?;
+        let data: GraphData =
+            serde_json::from_str(&text).map_err(|e| format!("bad JSON in {params}: {e}"))?;
+        return data.to_graph().map_err(|e| e.to_string());
+    }
+    let kv = parse_kv(params)?;
+    let g = match family {
+        "gnm" => generators::gnm(
+            req_usize(&kv, "n")?,
+            req_usize(&kv, "m")?,
+            opt_u64(&kv, "seed", 0)?,
+        ),
+        "gnp" => generators::gnp(
+            req_usize(&kv, "n")?,
+            opt_f64(&kv, "p", 0.1)?,
+            opt_u64(&kv, "seed", 0)?,
+        ),
+        "regular" => generators::random_regular(
+            req_usize(&kv, "n")?,
+            req_usize(&kv, "d")?,
+            opt_u64(&kv, "seed", 0)?,
+        ),
+        "grid" => generators::grid(req_usize(&kv, "rows")?, req_usize(&kv, "cols")?),
+        "torus" => generators::torus(req_usize(&kv, "rows")?, req_usize(&kv, "cols")?),
+        "tree" => generators::random_tree(req_usize(&kv, "n")?, opt_u64(&kv, "seed", 0)?),
+        "forest" => generators::forest_union(
+            req_usize(&kv, "n")?,
+            opt_usize(&kv, "a", 2)?,
+            opt_usize(&kv, "cap", 8)?,
+            opt_u64(&kv, "seed", 0)?,
+        ),
+        "unitdisk" => generators::unit_disk(
+            req_usize(&kv, "n")?,
+            opt_f64(&kv, "r", 0.1)?,
+            opt_u64(&kv, "seed", 0)?,
+        ),
+        "hypercube" => generators::hypercube(req_usize(&kv, "dim")? as u32),
+        "ba" => generators::barabasi_albert(
+            req_usize(&kv, "n")?,
+            opt_usize(&kv, "k", 3)?,
+            opt_u64(&kv, "seed", 0)?,
+        ),
+        "rooks" => {
+            return ops::rooks_graph(req_usize(&kv, "p")?, req_usize(&kv, "q")?)
+                .map(|(g, _)| g)
+                .map_err(|e| e.to_string())
+        }
+        "complete" => generators::complete(req_usize(&kv, "n")?),
+        "star" => generators::star(req_usize(&kv, "n")?),
+        "cycle" => generators::cycle(req_usize(&kv, "n")?),
+        "path" => generators::path(req_usize(&kv, "n")?),
+        other => return Err(format!("unknown graph family `{other}`")),
+    };
+    g.map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_each_family() {
+        for spec in [
+            "gnm:n=20,m=30,seed=1",
+            "gnp:n=15,p=0.2",
+            "regular:n=16,d=4",
+            "grid:rows=3,cols=4",
+            "torus:rows=3,cols=3",
+            "tree:n=10",
+            "forest:n=30,a=2,cap=4",
+            "unitdisk:n=20,r=0.3",
+            "hypercube:dim=4",
+            "ba:n=20,k=2",
+            "rooks:p=3,q=4",
+            "complete:n=5",
+            "star:n=6",
+            "cycle:n=7",
+            "path:n=8",
+        ] {
+            let g = build_graph(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
+            assert!(g.num_vertices() > 0, "{spec}");
+        }
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(build_graph("gnm:n=10").unwrap_err().contains("missing parameter `m`"));
+        assert!(build_graph("martian:n=1").unwrap_err().contains("unknown graph family"));
+        assert!(build_graph("file:").unwrap_err().contains("needs a path"));
+        assert!(build_graph("gnm:n=3,m=99").unwrap_err().contains("exceeds"));
+    }
+
+    #[test]
+    fn dimacs_spec_roundtrip() {
+        let g = generators::cycle(6).unwrap();
+        let dir = std::env::temp_dir().join("decolor-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.col");
+        std::fs::write(&path, decolor_graph::io::to_dimacs(&g)).unwrap();
+        let loaded = build_graph(&format!("dimacs:{}", path.display())).unwrap();
+        assert_eq!(loaded, g);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = generators::cycle(5).unwrap();
+        let data = decolor_graph::io::GraphData::from_graph(&g);
+        let dir = std::env::temp_dir().join("decolor-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.json");
+        std::fs::write(&path, serde_json::to_string(&data).unwrap()).unwrap();
+        let loaded = build_graph(&format!("file:{}", path.display())).unwrap();
+        assert_eq!(loaded, g);
+    }
+}

@@ -1,0 +1,69 @@
+//! End-to-end CLI tests driving the actual binary.
+
+use std::process::Command;
+
+fn decolor(args: &[&str]) -> (bool, String, String) {
+    let exe = env!("CARGO_BIN_EXE_decolor");
+    let out = Command::new(exe).args(args).output().expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_commands() {
+    let (ok, stdout, _) = decolor(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("generate"));
+    assert!(stdout.contains("Theorem 5.2"));
+}
+
+#[test]
+fn generate_analyze_color_pipeline() {
+    let dir = std::env::temp_dir().join("decolor-cli-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let json = dir.join("g.json");
+    let json_s = json.to_string_lossy().into_owned();
+
+    let (ok, stdout, stderr) =
+        decolor(&["generate", "grid:rows=6,cols=7", "--json", &json_s]);
+    assert!(ok, "generate failed: {stderr}");
+    assert!(stdout.contains("n = 42"));
+    assert!(json.exists());
+
+    let spec = format!("file:{json_s}");
+    let (ok, stdout, stderr) = decolor(&["analyze", &spec]);
+    assert!(ok, "analyze failed: {stderr}");
+    assert!(stdout.contains("degeneracy"));
+
+    let dot = dir.join("colored.dot");
+    let (ok, stdout, stderr) =
+        decolor(&["color", "star:x=1", &spec, "--dot", &dot.to_string_lossy()]);
+    assert!(ok, "color failed: {stderr}");
+    assert!(stdout.contains("palette"));
+    let dot_text = std::fs::read_to_string(&dot).unwrap();
+    assert!(dot_text.starts_with("graph G {"));
+}
+
+#[test]
+fn bad_input_fails_with_message() {
+    let (ok, _, stderr) = decolor(&["color", "star:x=1", "gnm:n=10"]);
+    assert!(!ok);
+    assert!(stderr.contains("missing parameter"));
+
+    let (ok, _, stderr) = decolor(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn every_section5_algorithm_via_cli() {
+    for algo in ["t52:a=2", "t54:a=2,x=2", "c55:a=2"] {
+        let (ok, stdout, stderr) =
+            decolor(&["color", algo, "forest:n=200,a=2,cap=8,seed=1"]);
+        assert!(ok, "{algo} failed: {stderr}");
+        assert!(stdout.contains("rounds"), "{algo}: {stdout}");
+    }
+}

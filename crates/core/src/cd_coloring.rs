@@ -1,0 +1,507 @@
+//! **Algorithm 1: CD-Coloring** — vertex coloring via clique
+//! decompositions (§2–§3).
+//!
+//! Each level builds a clique connector with parameter `t`, colors it with
+//! γ = D(t − 1) + 1 colors using the \[17\] stand-in
+//! ([`crate::delta_plus_one`]), and recurses in parallel on the subgraphs
+//! induced by the color classes; cliques shrink by a factor of `t` per
+//! level (Lemma 2.3). After `x` levels the subgraphs have cliques of size
+//! ≈ S/tˣ and degree ≤ D(⌈S/tˣ⌉ − 1), so they are colored directly. The
+//! final color of a vertex is the pair ⟨ϕ, ψ⟩ (line 15 of Algorithm 1),
+//! encoded canonically.
+//!
+//! Per §3, Linial's O(Δ²)-coloring is computed **once** on the input
+//! graph; every recursive subroutine call is seeded with the inherited
+//! coloring instead of IDs, so the O(log* n) term is paid once.
+
+use decolor_graph::cliques::CliqueCover;
+use decolor_graph::coloring::{Color, VertexColoring};
+use decolor_graph::line_graph::LineGraph;
+use decolor_graph::subgraph::InducedSubgraph;
+use decolor_graph::Graph;
+use decolor_runtime::{IdAssignment, Network, NetworkStats};
+use rayon::prelude::*;
+
+use crate::connectors::clique::clique_connector;
+use crate::delta_plus_one::{vertex_coloring_with_target, Seed, SubroutineConfig};
+use crate::error::AlgoError;
+use crate::linial;
+use crate::util::integer_root;
+
+/// Parameters of CD-Coloring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CdParams {
+    /// Connector group size `t ≥ 2`.
+    pub t: usize,
+    /// Number of recursion levels `x ≥ 1`.
+    pub x: usize,
+    /// Configuration of the coloring subroutine.
+    pub subroutine: SubroutineConfig,
+    /// Appendix B's `A_{i+1}` schedule: recompute `t = ⌊S^{1/(i+2)}⌋` at
+    /// every level from the *current* clique size instead of reusing the
+    /// top-level `t`. Slightly fewer colors at deep recursion.
+    pub per_level_t: bool,
+    /// §3 / Appendix B final trim: run the basic color reduction down to
+    /// this palette after combining (skipped unless it saves colors;
+    /// the target is clamped to ≥ Δ + 1). Costs `palette − target`
+    /// rounds, so only small trims are worthwhile.
+    pub trim_to: Option<u64>,
+}
+
+impl Default for CdParams {
+    fn default() -> Self {
+        CdParams {
+            t: 2,
+            x: 1,
+            subroutine: SubroutineConfig::default(),
+            per_level_t: false,
+            trim_to: None,
+        }
+    }
+}
+
+impl CdParams {
+    /// §3's optimizing choice for `x` levels: `t = ⌊S^{1/(x+1)}⌋`
+    /// (clamped to ≥ 2), where `S` is the maximal clique size.
+    pub fn for_levels(max_clique_size: usize, x: usize) -> CdParams {
+        let t = integer_root(max_clique_size as u64, x as u32 + 1).max(2) as usize;
+        CdParams { t, x: x.max(1), ..CdParams::default() }
+    }
+
+    /// The §3 polylogarithmic-time corollary: `x = log S / (ε log log S)`,
+    /// giving 2·S^{1 + 1/(ε log log S)}·-ish colors in polylog rounds.
+    pub fn polylog(max_clique_size: usize, epsilon: f64) -> CdParams {
+        let s = (max_clique_size.max(4)) as f64;
+        let x = (s.log2() / (epsilon.max(0.1) * s.log2().log2().max(1.0))).ceil() as usize;
+        CdParams::for_levels(max_clique_size, x.max(1))
+    }
+}
+
+/// Result of CD-Coloring.
+#[derive(Clone, Debug)]
+pub struct CdColoring {
+    /// The proper coloring of the input graph.
+    pub coloring: VertexColoring,
+    /// Measured LOCAL statistics (rounds compose per the model: parallel
+    /// recursion takes the max of its branches).
+    pub stats: NetworkStats,
+    /// The exact palette-product bound realized by the recursion
+    /// (`≤ γ^x · (D(⌈S/tˣ⌉ − 1) + 1)` levels multiplied out).
+    pub palette_bound: u64,
+}
+
+/// Runs CD-Coloring on `g` with the consistent clique identification
+/// `cover`.
+///
+/// ```rust
+/// use decolor_core::cd_coloring::{cd_coloring, CdParams};
+/// use decolor_graph::{generators, line_graph::LineGraph};
+/// use decolor_runtime::IdAssignment;
+///
+/// # fn main() -> Result<(), decolor_core::AlgoError> {
+/// let g = generators::random_regular(32, 8, 1).unwrap();
+/// let lg = LineGraph::new(&g); // diversity 2, clique size Δ = 8
+/// let params = CdParams::for_levels(8, 1);
+/// let ids = IdAssignment::sequential(lg.graph.num_vertices());
+/// let res = cd_coloring(&lg.graph, &lg.cover, &params, &ids)?;
+/// assert!(res.coloring.is_proper(&lg.graph));
+/// assert!(res.coloring.palette() <= 4 * 8); // D²S = 4Δ
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// [`AlgoError::InvalidParameters`] for `t < 2`, `x < 1`, or mismatched
+/// shapes; [`AlgoError::InvariantViolated`] if a paper lemma fails at
+/// runtime (indicates an inconsistent cover).
+pub fn cd_coloring(
+    g: &Graph,
+    cover: &CliqueCover,
+    params: &CdParams,
+    ids: &IdAssignment,
+) -> Result<CdColoring, AlgoError> {
+    if params.t < 2 {
+        return Err(AlgoError::InvalidParameters { reason: "t must be ≥ 2".into() });
+    }
+    if params.x < 1 {
+        return Err(AlgoError::InvalidParameters { reason: "x must be ≥ 1".into() });
+    }
+    if ids.len() != g.num_vertices() {
+        return Err(AlgoError::InvalidParameters {
+            reason: format!("{} ids for {} vertices", ids.len(), g.num_vertices()),
+        });
+    }
+    let diversity = cover.diversity().max(1);
+
+    // §3: one Linial pass on the input graph; recursion inherits colors.
+    let mut net = Network::new(g);
+    let base = linial::linial_coloring(&mut net, ids)?.coloring;
+    let base_stats = net.stats();
+
+    let (colors, palette, stats) = level(g, cover, &base, diversity, params, params.x)?;
+    let mut coloring = VertexColoring::new(colors, palette)
+        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+    let mut stats = base_stats.then(stats);
+
+    // §3 / Appendix B: the final basic color reduction ("we can apply the
+    // basic reduction for 2 rounds, and obtain D²S-coloring").
+    if let Some(requested) = params.trim_to {
+        let target = requested.max(g.max_degree() as u64 + 1);
+        if coloring.palette() > target {
+            let mut colors = coloring.as_slice().to_vec();
+            let mut net = Network::new(g);
+            let new_palette =
+                crate::reduction::basic_reduction(&mut net, &mut colors, coloring.palette(), target)?;
+            stats = stats.then(net.stats());
+            coloring = VertexColoring::new(colors, new_palette)
+                .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+        }
+    }
+
+    coloring
+        .validate(g)
+        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+    Ok(CdColoring { coloring, stats, palette_bound: palette })
+}
+
+/// One recursion level of Algorithm 1.
+fn level(
+    g: &Graph,
+    cover: &CliqueCover,
+    base: &VertexColoring,
+    diversity: usize,
+    params: &CdParams,
+    x: usize,
+) -> Result<(Vec<Color>, u64, NetworkStats), AlgoError> {
+    let cfg = params.subroutine;
+    let n = g.num_vertices();
+    if g.num_edges() == 0 {
+        return Ok((vec![0; n], 1, NetworkStats::default()));
+    }
+    // Appendix B's A_{i+1}: re-optimize t from the current clique size.
+    let t = if params.per_level_t {
+        integer_root(cover.max_clique_size() as u64, x as u32 + 1).max(2) as usize
+    } else {
+        params.t
+    };
+
+    // Line 1: the connector (O(1) rounds, charged below).
+    let conn = clique_connector(g, cover, t)?;
+    let gamma = (diversity as u64) * (t as u64 - 1) + 1;
+    if (conn.graph.max_degree() as u64) >= gamma {
+        return Err(AlgoError::InvariantViolated {
+            reason: format!(
+                "Lemma 2.1 violated: connector degree {} ≥ γ = {gamma} (cover inconsistent?)",
+                conn.graph.max_degree()
+            ),
+        });
+    }
+
+    // Line 3: ϕ := color G′ with γ colors, seeded by the inherited coloring.
+    let (phi, phi_stats) =
+        vertex_coloring_with_target(&conn.graph, Seed::Coloring(base), gamma, cfg)?;
+    let mut stats = NetworkStats { rounds: 1, ..Default::default() }.then(phi_stats);
+
+    // Lines 4–13: recurse (or finish) on the color classes in parallel.
+    let s_cur = cover.max_clique_size();
+    let k = s_cur.div_ceil(t);
+    let classes = phi.classes();
+    let child_results: Vec<Result<Option<ChildOutcome>, AlgoError>> = classes
+        .par_iter()
+        .map(|class| {
+            if class.is_empty() {
+                return Ok(None);
+            }
+            let sub = InducedSubgraph::new(g, class);
+            let sub_cover = cover.restrict(&sub);
+            let sub_base_colors: Vec<Color> =
+                sub.parent_vertices().iter().map(|&v| base.color(v)).collect();
+            let sub_base = VertexColoring::new(sub_base_colors, base.palette())
+                .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+            let (colors, palette, child_stats) = if x > 1 {
+                level(sub.graph(), &sub_cover, &sub_base, diversity, params, x - 1)?
+            } else {
+                // Line 12: direct coloring with D(⌈S/t⌉ − 1) + 1 colors.
+                let target = (diversity as u64) * (k as u64 - 1) + 1;
+                if (sub.graph().max_degree() as u64) >= target.max(1) {
+                    return Err(AlgoError::InvariantViolated {
+                        reason: format!(
+                            "Lemma 2.2 violated: class degree {} ≥ D(k−1)+1 = {target}",
+                            sub.graph().max_degree()
+                        ),
+                    });
+                }
+                let (c, s) = vertex_coloring_with_target(
+                    sub.graph(),
+                    Seed::Coloring(&sub_base),
+                    target,
+                    cfg,
+                )?;
+                (c.as_slice().to_vec(), c.palette(), s)
+            };
+            Ok(Some(ChildOutcome { sub, colors, palette, stats: child_stats }))
+        })
+        .collect();
+
+    let mut children = Vec::new();
+    for r in child_results {
+        if let Some(c) = r? {
+            children.push(c);
+        }
+    }
+
+    // Line 15: combine ⟨ϕ, ψ⟩ canonically.
+    let inner_palette = children.iter().map(|c| c.palette).max().unwrap_or(1);
+    let mut out = vec![0 as Color; n];
+    for child in &children {
+        for (local, &parent) in child.sub.parent_vertices().iter().enumerate() {
+            let combined =
+                u64::from(phi.color(parent)) * inner_palette + u64::from(child.colors[local]);
+            out[parent.index()] = u32::try_from(combined).map_err(|_| {
+                AlgoError::InvariantViolated { reason: "combined color exceeds u32".into() }
+            })?;
+        }
+    }
+    stats = stats.then(NetworkStats::in_parallel(children.iter().map(|c| c.stats)));
+    Ok((out, gamma * inner_palette, stats))
+}
+
+struct ChildOutcome {
+    sub: InducedSubgraph,
+    colors: Vec<Color>,
+    palette: u64,
+    stats: NetworkStats,
+}
+
+/// Theorem 3.3 (ii): edge coloring of `g` as CD-Coloring of its line graph
+/// (diversity 2, maximal clique size Δ). Charges one round for the
+/// line-graph simulation.
+///
+/// # Errors
+///
+/// Propagates [`cd_coloring`] errors.
+pub fn cd_edge_coloring(
+    g: &Graph,
+    params: &CdParams,
+) -> Result<(decolor_graph::coloring::EdgeColoring, NetworkStats), AlgoError> {
+    if g.num_edges() == 0 {
+        let empty = decolor_graph::coloring::EdgeColoring::new(vec![], 1)
+            .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+        return Ok((empty, NetworkStats::default()));
+    }
+    let lg = LineGraph::new(g);
+    let ids = IdAssignment::sequential(lg.graph.num_vertices());
+    let result = cd_coloring(&lg.graph, &lg.cover, params, &ids)?;
+    let mut stats = result.stats;
+    stats.rounds += 1;
+    let ec = lg
+        .to_edge_coloring(&result.coloring)
+        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+    debug_assert!(ec.is_proper(g));
+    Ok((ec, stats))
+}
+
+/// §3's constant-S case: "If S is a constant, we directly obtain a
+/// (D(S − 1) + 1)-coloring in Õ(√D + log* n) time" — no connectors, one
+/// subroutine call with target `D(S − 1) + 1 ≥ Δ + 1`.
+///
+/// # Errors
+///
+/// Propagates subroutine errors; fails if the cover is inconsistent
+/// (`D(S − 1) < Δ`).
+pub fn direct_bounded_diversity_coloring(
+    g: &Graph,
+    cover: &CliqueCover,
+    ids: &IdAssignment,
+) -> Result<CdColoring, AlgoError> {
+    let d = cover.diversity().max(1) as u64;
+    let s = cover.max_clique_size().max(1) as u64;
+    let target = d * (s - 1) + 1;
+    if (g.max_degree() as u64) >= target.max(1) {
+        return Err(AlgoError::InvariantViolated {
+            reason: format!(
+                "cover inconsistent: Δ = {} ≥ D(S−1)+1 = {target}",
+                g.max_degree()
+            ),
+        });
+    }
+    let mut net = Network::new(g);
+    let base = linial::linial_coloring(&mut net, ids)?.coloring;
+    let base_stats = net.stats();
+    let (coloring, stats) = vertex_coloring_with_target(
+        g,
+        Seed::Coloring(&base),
+        target,
+        SubroutineConfig::default(),
+    )?;
+    Ok(CdColoring { coloring, stats: base_stats.then(stats), palette_bound: target })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decolor_graph::cliques::cover_from_all_maximal_cliques;
+    use decolor_graph::generators;
+
+    #[test]
+    fn line_graph_coloring_matches_table2_row1() {
+        // D = 2, x = 1 ⇒ ≈ D²S = 4Δ colors.
+        let g = generators::random_regular(128, 16, 1).unwrap();
+        let lg = LineGraph::new(&g);
+        let s = lg.cover.max_clique_size();
+        assert_eq!(s, 16);
+        let params = CdParams::for_levels(s, 1);
+        let ids = IdAssignment::shuffled(lg.graph.num_vertices(), 5);
+        let res = cd_coloring(&lg.graph, &lg.cover, &params, &ids).unwrap();
+        assert!(res.coloring.is_proper(&lg.graph));
+        // Exact product bound: γ(t)·(D(⌈S/t⌉−1)+1).
+        let d = 2u64;
+        let t = params.t as u64;
+        let gamma = d * (t - 1) + 1;
+        let k = (s as u64).div_ceil(t);
+        assert!(res.coloring.palette() <= gamma * (d * (k - 1) + 1));
+    }
+
+    #[test]
+    fn deeper_recursion_uses_more_colors_but_stays_proper() {
+        let g = generators::random_regular(128, 16, 2).unwrap();
+        let lg = LineGraph::new(&g);
+        let ids = IdAssignment::sequential(lg.graph.num_vertices());
+        let mut palettes = Vec::new();
+        for x in 1..=3usize {
+            let params = CdParams::for_levels(lg.cover.max_clique_size(), x);
+            let res = cd_coloring(&lg.graph, &lg.cover, &params, &ids).unwrap();
+            assert!(res.coloring.is_proper(&lg.graph), "x = {x} improper");
+            palettes.push(res.coloring.palette());
+        }
+        // All within a constant factor of 2^{x+1}Δ.
+        for (i, &p) in palettes.iter().enumerate() {
+            let x = i as u32 + 1;
+            let bound = 2u64.pow(x + 1) * 16 * 2; // slack 2 for ceilings
+            assert!(p <= bound, "x = {} palette {} > {}", x, p, bound);
+        }
+    }
+
+    #[test]
+    fn hypergraph_line_graphs_diversity_three() {
+        let h = generators::random_uniform_hypergraph(120, 90, 3, 8, 3).unwrap();
+        let lg = h.line_graph();
+        let ids = IdAssignment::shuffled(lg.graph.num_vertices(), 7);
+        let params = CdParams::for_levels(lg.cover.max_clique_size().max(2), 2);
+        let res = cd_coloring(&lg.graph, &lg.cover, &params, &ids).unwrap();
+        assert!(res.coloring.is_proper(&lg.graph));
+    }
+
+    #[test]
+    fn general_graph_with_bron_kerbosch_cover() {
+        let g = generators::gnm(60, 200, 9).unwrap();
+        let cover = cover_from_all_maximal_cliques(&g).unwrap();
+        let ids = IdAssignment::sequential(60);
+        let params = CdParams { t: 2, x: 1, ..CdParams::default() };
+        let res = cd_coloring(&g, &cover, &params, &ids).unwrap();
+        assert!(res.coloring.is_proper(&g));
+    }
+
+    #[test]
+    fn edge_coloring_wrapper() {
+        let g = generators::gnm(80, 320, 4).unwrap();
+        let params = CdParams::for_levels(g.max_degree(), 1);
+        let (ec, stats) = cd_edge_coloring(&g, &params).unwrap();
+        assert!(ec.is_proper(&g));
+        assert!(stats.rounds > 0);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let g = generators::complete(4).unwrap();
+        let cover = cover_from_all_maximal_cliques(&g).unwrap();
+        let ids = IdAssignment::sequential(4);
+        let bad_t = CdParams { t: 1, x: 1, ..CdParams::default() };
+        assert!(cd_coloring(&g, &cover, &bad_t, &ids).is_err());
+        let bad_x = CdParams { t: 2, x: 0, ..CdParams::default() };
+        assert!(cd_coloring(&g, &cover, &bad_x, &ids).is_err());
+    }
+
+    #[test]
+    fn edgeless_graph_gets_one_color() {
+        let g = decolor_graph::GraphBuilder::new(6).build();
+        let cover = cover_from_all_maximal_cliques(&g).unwrap();
+        let ids = IdAssignment::sequential(6);
+        let params = CdParams { t: 2, x: 2, ..CdParams::default() };
+        let res = cd_coloring(&g, &cover, &params, &ids).unwrap();
+        assert_eq!(res.coloring.distinct_colors(), 1);
+    }
+
+    #[test]
+    fn params_constructors() {
+        let p = CdParams::for_levels(256, 1);
+        assert_eq!(p.t, 16);
+        let p = CdParams::for_levels(256, 3);
+        assert_eq!(p.t, 4);
+        let p = CdParams::for_levels(3, 5);
+        assert_eq!(p.t, 2); // clamped
+        let p = CdParams::polylog(1 << 16, 1.0);
+        assert!(p.x >= 2);
+    }
+
+    #[test]
+    fn stats_account_parallel_children_as_max() {
+        let g = generators::random_regular(64, 8, 6).unwrap();
+        let lg = LineGraph::new(&g);
+        let ids = IdAssignment::sequential(lg.graph.num_vertices());
+        let params = CdParams::for_levels(lg.cover.max_clique_size(), 2);
+        let res = cd_coloring(&lg.graph, &lg.cover, &params, &ids).unwrap();
+        // Sanity: rounds are bounded well below a full sequential sweep of
+        // all subgraphs (which would be ≥ number of classes).
+        assert!(res.stats.rounds < 10_000);
+        assert!(res.stats.rounds > 0);
+    }
+
+    #[test]
+    fn per_level_t_schedule_stays_proper_and_bounded() {
+        let g = generators::random_regular(128, 27, 8).unwrap();
+        let lg = LineGraph::new(&g);
+        let ids = IdAssignment::sequential(lg.graph.num_vertices());
+        for x in 2..=3usize {
+            let fixed = CdParams::for_levels(lg.cover.max_clique_size(), x);
+            let per_level = CdParams { per_level_t: true, ..fixed };
+            let rf = cd_coloring(&lg.graph, &lg.cover, &fixed, &ids).unwrap();
+            let rp = cd_coloring(&lg.graph, &lg.cover, &per_level, &ids).unwrap();
+            assert!(rf.coloring.is_proper(&lg.graph));
+            assert!(rp.coloring.is_proper(&lg.graph));
+        }
+    }
+
+    #[test]
+    fn trim_reduces_palette_when_requested() {
+        let g = generators::random_regular(96, 9, 9).unwrap();
+        let lg = LineGraph::new(&g);
+        let ids = IdAssignment::sequential(lg.graph.num_vertices());
+        let base = CdParams::for_levels(lg.cover.max_clique_size(), 1);
+        let plain = cd_coloring(&lg.graph, &lg.cover, &base, &ids).unwrap();
+        let target = plain.coloring.palette() - 3;
+        let trimmed = cd_coloring(
+            &lg.graph,
+            &lg.cover,
+            &CdParams { trim_to: Some(target), ..base },
+            &ids,
+        )
+        .unwrap();
+        assert!(trimmed.coloring.is_proper(&lg.graph));
+        assert!(trimmed.coloring.palette() <= plain.coloring.palette());
+        assert!(trimmed.coloring.palette() > lg.graph.max_degree() as u64);
+    }
+
+    #[test]
+    fn direct_coloring_for_constant_s() {
+        let h = generators::random_uniform_hypergraph(100, 70, 3, 4, 12).unwrap();
+        let lg = h.line_graph();
+        let d = lg.cover.diversity() as u64;
+        let s = lg.cover.max_clique_size() as u64;
+        let ids = IdAssignment::shuffled(lg.graph.num_vertices(), 2);
+        let res = direct_bounded_diversity_coloring(&lg.graph, &lg.cover, &ids).unwrap();
+        assert!(res.coloring.is_proper(&lg.graph));
+        assert_eq!(res.coloring.palette(), d * (s - 1) + 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Clique connectors (§2).
+//!
+//! Given a graph `G` with a consistent clique identification `Q` and a
+//! parameter `t > 1`, each clique's master partitions the clique's vertex
+//! set into groups of size ≤ t (deterministically, in ascending vertex
+//! order — any fixed rule works and each clique has diameter 1, so this is
+//! O(1) rounds). The connector `G′ = (V, E′)` keeps exactly the edges
+//! joining two vertices of the same group of the same clique.
+//!
+//! **Lemma 2.1**: Δ(G′) ≤ D·(t − 1) — verified by
+//! [`CliqueConnector::verify_degree_bound`] and the test suite.
+
+use decolor_graph::cliques::CliqueCover;
+use decolor_graph::{Graph, GraphBuilder, VertexId};
+
+use crate::error::AlgoError;
+
+/// A clique connector: the graph `G′` plus the grouping that produced it.
+#[derive(Clone, Debug)]
+pub struct CliqueConnector {
+    /// The connector graph `G′` (same vertex set as the source).
+    pub graph: Graph,
+    /// For each clique of the cover, its vertex groups (each of size ≤ t,
+    /// only the last may be smaller).
+    pub groups: Vec<Vec<Vec<VertexId>>>,
+    /// The group-size parameter.
+    pub t: usize,
+}
+
+/// Builds the clique connector of `g` under `cover` with parameter `t`.
+///
+/// This is a purely local construction: each clique master sees the whole
+/// clique (diameter 1), so the paper charges O(1) rounds; callers charge
+/// the round via `Network::charge_local_rounds`.
+///
+/// # Errors
+///
+/// [`AlgoError::InvalidParameters`] if `t < 2` or the cover's shape does
+/// not match `g`.
+pub fn clique_connector(
+    g: &Graph,
+    cover: &CliqueCover,
+    t: usize,
+) -> Result<CliqueConnector, AlgoError> {
+    if t < 2 {
+        return Err(AlgoError::InvalidParameters {
+            reason: format!("connector parameter t = {t} must be at least 2"),
+        });
+    }
+    let mut groups = Vec::with_capacity(cover.num_cliques());
+    let mut b = GraphBuilder::new(g.num_vertices());
+    for q in 0..cover.num_cliques() {
+        // Deterministic split in ascending vertex order ("the master is
+        // responsible for the computation in its clique").
+        let mut members = cover.clique(q).to_vec();
+        members.sort_unstable();
+        let mut clique_groups = Vec::with_capacity(members.len().div_ceil(t));
+        for chunk in members.chunks(t) {
+            for (i, &u) in chunk.iter().enumerate() {
+                for &v in &chunk[i + 1..] {
+                    // The same pair may share several groups across
+                    // cliques; E′ is a set, so dedup.
+                    let _ = b.add_edge_dedup(u.index(), v.index())?;
+                }
+            }
+            clique_groups.push(chunk.to_vec());
+        }
+        groups.push(clique_groups);
+    }
+    Ok(CliqueConnector { graph: b.build(), groups, t })
+}
+
+impl CliqueConnector {
+    /// Checks **Lemma 2.1**: Δ(G′) ≤ D·(t − 1).
+    ///
+    /// # Errors
+    ///
+    /// [`AlgoError::InvariantViolated`] naming the violating vertex.
+    pub fn verify_degree_bound(&self, diversity: usize) -> Result<(), AlgoError> {
+        let bound = diversity * (self.t - 1);
+        for v in self.graph.vertices() {
+            if self.graph.degree(v) > bound {
+                return Err(AlgoError::InvariantViolated {
+                    reason: format!(
+                        "connector degree {} of {v} exceeds D(t−1) = {bound}",
+                        self.graph.degree(v)
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decolor_graph::cliques::cover_from_all_maximal_cliques;
+    use decolor_graph::line_graph::LineGraph;
+    use decolor_graph::{builder_from_edges, generators};
+
+    fn ids(raw: &[usize]) -> Vec<VertexId> {
+        raw.iter().map(|&v| VertexId::new(v)).collect()
+    }
+
+    #[test]
+    fn figure1_instance_two_cliques_sharing_a_vertex() {
+        // Figure 1 of the paper: two cliques Q, R sharing a vertex, t = 4.
+        // Build K7 ∪ K7 sharing vertex 0 (clique size 7 each).
+        let mut b = GraphBuilder::new(13);
+        let q: Vec<usize> = (0..7).collect();
+        let r: Vec<usize> = std::iter::once(0).chain(7..13).collect();
+        for set in [&q, &r] {
+            for i in 0..set.len() {
+                for j in (i + 1)..set.len() {
+                    let _ = b.add_edge_dedup(set[i], set[j]).unwrap();
+                }
+            }
+        }
+        let g = b.build();
+        let cover = CliqueCover::new(&g, vec![ids(&q), ids(&r)]).unwrap();
+        assert_eq!(cover.diversity(), 2);
+        let conn = clique_connector(&g, &cover, 4).unwrap();
+        conn.verify_degree_bound(2).unwrap();
+        // Each clique of 7 splits into groups of 4 and 3:
+        // C(4,2) + C(3,2) = 6 + 3 = 9 edges per clique, shared vertex in
+        // both first groups, no duplicated edges between cliques.
+        assert_eq!(conn.graph.num_edges(), 18);
+        assert_eq!(conn.groups[0].len(), 2);
+        assert_eq!(conn.groups[0][0].len(), 4);
+        assert_eq!(conn.groups[0][1].len(), 3);
+    }
+
+    #[test]
+    fn connector_edges_are_subset_of_source_edges() {
+        let g = generators::gnm(40, 150, 3).unwrap();
+        let cover = cover_from_all_maximal_cliques(&g).unwrap();
+        let conn = clique_connector(&g, &cover, 2).unwrap();
+        for (_, [u, v]) in conn.graph.edge_list() {
+            assert!(g.has_edge(u, v), "connector invented edge ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn lemma_2_1_on_line_graphs() {
+        for (seed, t) in [(1u64, 2usize), (2, 3), (3, 5), (4, 8)] {
+            let g = generators::gnm(60, 240, seed).unwrap();
+            let lg = LineGraph::new(&g);
+            let d = lg.cover.diversity();
+            let conn = clique_connector(&lg.graph, &lg.cover, t).unwrap();
+            conn.verify_degree_bound(d).unwrap();
+        }
+    }
+
+    #[test]
+    fn group_sizes_respect_t() {
+        let g = generators::complete(11).unwrap();
+        let cover = cover_from_all_maximal_cliques(&g).unwrap();
+        let conn = clique_connector(&g, &cover, 3).unwrap();
+        for clique_groups in &conn.groups {
+            for (i, grp) in clique_groups.iter().enumerate() {
+                assert!(grp.len() <= 3);
+                if i + 1 < clique_groups.len() {
+                    assert_eq!(grp.len(), 3, "only the last group may be short");
+                }
+            }
+        }
+        // K11 with t=3: groups 3/3/3/2 -> 3·C(3,2) + C(2,2)... = 3·3 + 1 = 10 edges.
+        assert_eq!(conn.graph.num_edges(), 10);
+    }
+
+    #[test]
+    fn t_equal_to_clique_size_keeps_clique_intact() {
+        let g = generators::complete(5).unwrap();
+        let cover = cover_from_all_maximal_cliques(&g).unwrap();
+        let conn = clique_connector(&g, &cover, 5).unwrap();
+        assert_eq!(conn.graph.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn rejects_t_below_two() {
+        let g = builder_from_edges(2, &[(0, 1)]).unwrap();
+        let cover = cover_from_all_maximal_cliques(&g).unwrap();
+        assert!(clique_connector(&g, &cover, 1).is_err());
+    }
+
+    #[test]
+    fn shared_pairs_are_deduplicated() {
+        // Two cliques {0,1,2} and {0,1,3}: pair (0,1) appears in both.
+        let g =
+            builder_from_edges(4, &[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)]).unwrap();
+        let cover = CliqueCover::new(&g, vec![ids(&[0, 1, 2]), ids(&[0, 1, 3])]).unwrap();
+        let conn = clique_connector(&g, &cover, 3).unwrap();
+        assert!(!conn.graph.has_parallel_edges());
+    }
+}

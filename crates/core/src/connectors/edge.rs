@@ -1,0 +1,196 @@
+//! Edge connectors (§4).
+//!
+//! Each vertex `v` enumerates its incident edges and groups them into
+//! subsets of size ≤ t, defining one *virtual vertex* per subset (all
+//! simulated locally by `v`). Every original edge `(u, v)` becomes the
+//! connector edge `(u_i, v_j)` where `i`/`j` are the group indices at each
+//! endpoint. The connector has maximum degree ≤ t, and connector edge `k`
+//! **is** original edge `k` (identifiers align), so an edge coloring of
+//! the connector is a candidate labeling of `E(G)` directly — this is the
+//! "no line-graph simulation needed" point of §4.
+
+use decolor_graph::{EdgeId, Graph, GraphBuilder, VertexId};
+
+use crate::error::AlgoError;
+
+/// An edge connector: virtual-vertex graph plus the owner bookkeeping.
+#[derive(Clone, Debug)]
+pub struct EdgeConnector {
+    /// The connector graph on virtual vertices; its edge `k` corresponds
+    /// to edge `k` of the source graph.
+    pub graph: Graph,
+    /// Owner (original vertex) of each virtual vertex.
+    pub owner: Vec<VertexId>,
+    /// Group index of each virtual vertex within its owner.
+    pub group_index: Vec<u32>,
+    /// Virtual vertices of each original vertex, in group order.
+    pub virtuals_of: Vec<Vec<VertexId>>,
+    /// The group-size parameter.
+    pub t: usize,
+}
+
+/// Builds the edge connector of `g` with group size `t ≥ 1`.
+///
+/// Purely local (each vertex groups its own ports); callers charge O(1)
+/// rounds.
+///
+/// # Errors
+///
+/// [`AlgoError::InvalidParameters`] if `t == 0` or `g` has parallel edges.
+pub fn edge_connector(g: &Graph, t: usize) -> Result<EdgeConnector, AlgoError> {
+    if t == 0 {
+        return Err(AlgoError::InvalidParameters {
+            reason: "edge-connector group size t must be positive".into(),
+        });
+    }
+    if g.has_parallel_edges() {
+        return Err(AlgoError::InvalidParameters {
+            reason: "edge connector requires a simple source graph".into(),
+        });
+    }
+    // Virtual vertices: ⌈deg(v)/t⌉ per vertex (≥ 1 so isolated vertices
+    // keep a representative; the paper's ⌈Δ/t⌉ uses the global bound, the
+    // local count only tightens it).
+    let mut owner = Vec::new();
+    let mut group_index = Vec::new();
+    let mut virtuals_of = Vec::with_capacity(g.num_vertices());
+    for v in g.vertices() {
+        let k = g.degree(v).div_ceil(t).max(1);
+        let mut mine = Vec::with_capacity(k);
+        for i in 0..k {
+            mine.push(VertexId::new(owner.len()));
+            owner.push(v);
+            group_index.push(i as u32);
+        }
+        virtuals_of.push(mine);
+    }
+    // Port p of v falls in group p / t. Distinct source edges share at
+    // most one endpoint, so connector edges are unique.
+    let mut b = GraphBuilder::new(owner.len()).with_edge_capacity(g.num_edges());
+    for (e, [u, v]) in g.edge_list() {
+        let pu = port_of(g, u, e);
+        let pv = port_of(g, v, e);
+        let cu = virtuals_of[u.index()][pu / t];
+        let cv = virtuals_of[v.index()][pv / t];
+        b.add_edge(cu.index(), cv.index())
+            .map_err(|err| AlgoError::InvariantViolated { reason: err.to_string() })?;
+    }
+    Ok(EdgeConnector { graph: b.build(), owner, group_index, virtuals_of, t })
+}
+
+fn port_of(g: &Graph, v: VertexId, e: EdgeId) -> usize {
+    g.incidence(v)
+        .iter()
+        .position(|&(_, f)| f == e)
+        .expect("edge is incident on its endpoint")
+}
+
+impl EdgeConnector {
+    /// Checks the §4 degree guarantee: Δ(connector) ≤ t.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgoError::InvariantViolated`] naming the violating virtual
+    /// vertex.
+    pub fn verify_degree_bound(&self) -> Result<(), AlgoError> {
+        for v in self.graph.vertices() {
+            if self.graph.degree(v) > self.t {
+                return Err(AlgoError::InvariantViolated {
+                    reason: format!(
+                        "virtual vertex {v} (owner {}) has degree {} > t = {}",
+                        self.owner[v.index()],
+                        self.graph.degree(v),
+                        self.t
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Maximum number of same-connector-color edges any original vertex
+    /// can see: `⌈deg(v)/t⌉ ≤ ⌈Δ/t⌉` (the star bound of §4).
+    pub fn star_bound(&self, g: &Graph) -> usize {
+        g.vertices().map(|v| g.degree(v).div_ceil(self.t)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decolor_graph::generators;
+
+    #[test]
+    fn figure2_instance_t_three() {
+        // Figure 2 of the paper: edge connector with t = 3 on a vertex of
+        // high degree. Star K_{1,7}: center splits into ⌈7/3⌉ = 3 virtual
+        // vertices of degrees 3, 3, 1.
+        let g = generators::star(8).unwrap();
+        let conn = edge_connector(&g, 3).unwrap();
+        conn.verify_degree_bound().unwrap();
+        assert_eq!(conn.virtuals_of[0].len(), 3);
+        let mut degs: Vec<usize> =
+            conn.virtuals_of[0].iter().map(|&v| conn.graph.degree(v)).collect();
+        degs.sort_unstable();
+        assert_eq!(degs, vec![1, 3, 3]);
+        assert_eq!(conn.graph.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn edge_ids_align_with_source() {
+        let g = generators::gnm(50, 200, 7).unwrap();
+        let conn = edge_connector(&g, 4).unwrap();
+        assert_eq!(conn.graph.num_edges(), g.num_edges());
+        for (e, [cu, cv]) in conn.graph.edge_list() {
+            let [u, v] = g.endpoints(e);
+            let owners = [conn.owner[cu.index()], conn.owner[cv.index()]];
+            assert!(owners == [u, v] || owners == [v, u]);
+        }
+    }
+
+    #[test]
+    fn degree_bound_holds_across_t() {
+        let g = generators::random_regular(60, 12, 5).unwrap();
+        for t in [1usize, 2, 3, 5, 12, 20] {
+            let conn = edge_connector(&g, t).unwrap();
+            conn.verify_degree_bound().unwrap();
+            assert_eq!(conn.star_bound(&g), 12usize.div_ceil(t));
+        }
+    }
+
+    #[test]
+    fn t_one_gives_perfect_matching_structure() {
+        let g = generators::gnm(30, 60, 2).unwrap();
+        let conn = edge_connector(&g, 1).unwrap();
+        // Every virtual vertex has degree ≤ 1: the connector is a matching.
+        assert!(conn.graph.max_degree() <= 1);
+    }
+
+    #[test]
+    fn isolated_vertices_keep_one_virtual() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        let conn = edge_connector(&g, 2).unwrap();
+        assert_eq!(conn.virtuals_of[2].len(), 1);
+        assert_eq!(conn.graph.num_vertices(), 3);
+    }
+
+    #[test]
+    fn group_indices_are_dense_per_owner() {
+        let g = generators::gnm(20, 80, 9).unwrap();
+        let conn = edge_connector(&g, 3).unwrap();
+        for v in g.vertices() {
+            for (i, &cv) in conn.virtuals_of[v.index()].iter().enumerate() {
+                assert_eq!(conn.owner[cv.index()], v);
+                assert_eq!(conn.group_index[cv.index()] as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_zero_t() {
+        let g = generators::path(3).unwrap();
+        assert!(edge_connector(&g, 0).is_err());
+    }
+}

@@ -1,0 +1,19 @@
+//! The paper's **connectors** — structures that "connect vertices or edges
+//! in a certain way that reduces clique size" (§1.3).
+//!
+//! Three kinds are introduced, each powering one family of results:
+//!
+//! * [`clique`] — clique connectors (§2): partition each identified clique
+//!   into groups of `t`; keeping only intra-group edges yields a graph of
+//!   degree ≤ D(t − 1) whose coloring induces a clique decomposition.
+//! * [`edge`] — edge connectors (§4): split each vertex into virtual
+//!   vertices owning ≤ `t` incident edges; the connector has maximum
+//!   degree `t` and its edge coloring induces a star partition.
+//! * [`orientation`] — orientation connectors (§5): given an acyclic
+//!   orientation with out-degree ≤ d, split incoming and outgoing edges
+//!   separately; the connector has degree ≈ Δ/k + d/k' and arboricity
+//!   bounded by the out-group size.
+
+pub mod clique;
+pub mod edge;
+pub mod orientation;

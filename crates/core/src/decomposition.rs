@@ -1,0 +1,382 @@
+//! The paper's decompositions as first-class objects.
+//!
+//! * **Theorem 2.4**: a ((t·D)^x, S/tˣ + 2)-**clique-decomposition** — a
+//!   vertex partition into ≤ (tD)^x parts whose induced subgraphs have
+//!   maximal cliques of size ≤ S/tˣ + 2 — computed by x levels of clique
+//!   connectors.
+//! * **§4**: a (p, q)-**star-partition** — an edge partition into ≤ p
+//!   classes whose stars have size ≤ q — computed by x levels of edge
+//!   connectors.
+//!
+//! CD-Coloring and the star-partition edge coloring use these implicitly;
+//! here they are exposed (and verified) as standalone results, matching
+//! the paper's statements.
+
+use decolor_graph::cliques::CliqueCover;
+use decolor_graph::coloring::VertexColoring;
+use decolor_graph::subgraph::{InducedSubgraph, SpanningEdgeSubgraph};
+use decolor_graph::{EdgeId, Graph, VertexId};
+use decolor_runtime::{IdAssignment, Network, NetworkStats};
+use rayon::prelude::*;
+
+use crate::connectors::clique::clique_connector;
+use crate::connectors::edge::edge_connector;
+use crate::delta_plus_one::{
+    edge_coloring_with_target, vertex_coloring_with_target, Seed, SubroutineConfig,
+};
+use crate::error::AlgoError;
+use crate::linial;
+
+/// Child outcome of a vertex-partition recursion.
+type VertexChild = (InducedSubgraph, Vec<u64>, NetworkStats);
+/// Child outcome of an edge-partition recursion.
+type EdgeChild = (SpanningEdgeSubgraph, Vec<u64>, NetworkStats);
+
+/// A ((t·D)^x, S/tˣ + 2)-clique-decomposition (Theorem 2.4).
+#[derive(Clone, Debug)]
+pub struct CliqueDecomposition {
+    /// Part label per vertex (dense in `0..num_parts`).
+    pub part: Vec<usize>,
+    /// Number of nonempty parts (≤ (tD)^x).
+    pub num_parts: usize,
+    /// The analytic part-count bound `(t·D)^x`.
+    pub parts_bound: u64,
+    /// The analytic clique bound `S/tˣ + 2`.
+    pub clique_bound: usize,
+    /// Measured LOCAL statistics.
+    pub stats: NetworkStats,
+}
+
+impl CliqueDecomposition {
+    /// Verifies Theorem 2.4 against the graph: every part's maximal
+    /// cliques (under the restricted cover) are ≤ `clique_bound`, and the
+    /// part count is within `parts_bound`.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgoError::InvariantViolated`] naming the violated bound.
+    pub fn verify(&self, g: &Graph, cover: &CliqueCover) -> Result<(), AlgoError> {
+        if self.num_parts as u64 > self.parts_bound {
+            return Err(AlgoError::InvariantViolated {
+                reason: format!("{} parts exceed (tD)^x = {}", self.num_parts, self.parts_bound),
+            });
+        }
+        for p in 0..self.num_parts {
+            let members: Vec<VertexId> = g
+                .vertices()
+                .filter(|v| self.part[v.index()] == p)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let sub = InducedSubgraph::new(g, &members);
+            let restricted = cover.restrict(&sub);
+            if restricted.max_clique_size() > self.clique_bound {
+                return Err(AlgoError::InvariantViolated {
+                    reason: format!(
+                        "part {p} has clique size {} > S/tˣ + 2 = {}",
+                        restricted.max_clique_size(),
+                        self.clique_bound
+                    ),
+                });
+            }
+            if restricted.diversity() > cover.diversity() {
+                return Err(AlgoError::InvariantViolated {
+                    reason: "Lemma 2.3(ii) violated: diversity increased".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Computes the Theorem 2.4 clique-decomposition with parameters `t`, `x`.
+///
+/// ```rust
+/// use decolor_core::decomposition::clique_decomposition;
+/// use decolor_graph::{generators, line_graph::LineGraph};
+/// use decolor_runtime::IdAssignment;
+///
+/// # fn main() -> Result<(), decolor_core::AlgoError> {
+/// let g = generators::random_regular(32, 8, 1).unwrap();
+/// let lg = LineGraph::new(&g);
+/// let ids = IdAssignment::sequential(lg.graph.num_vertices());
+/// let dec = clique_decomposition(&lg.graph, &lg.cover, 3, 1, &ids)?;
+/// dec.verify(&lg.graph, &lg.cover)?; // Theorem 2.4 bounds hold
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// [`AlgoError::InvalidParameters`] for `t < 2` / `x < 1`; propagates
+/// subroutine errors.
+pub fn clique_decomposition(
+    g: &Graph,
+    cover: &CliqueCover,
+    t: usize,
+    x: usize,
+    ids: &IdAssignment,
+) -> Result<CliqueDecomposition, AlgoError> {
+    if t < 2 || x < 1 {
+        return Err(AlgoError::InvalidParameters { reason: "need t ≥ 2, x ≥ 1".into() });
+    }
+    let diversity = cover.diversity().max(1);
+    let s = cover.max_clique_size();
+    let mut net = Network::new(g);
+    let base = linial::linial_coloring(&mut net, ids)?.coloring;
+    let base_stats = net.stats();
+
+    let (labels, stats) = decompose_level(g, cover, &base, diversity, t, x)?;
+    // Compact the labels.
+    let mut map = std::collections::HashMap::new();
+    let mut part = vec![0usize; g.num_vertices()];
+    for (v, &l) in labels.iter().enumerate() {
+        let next = map.len();
+        part[v] = *map.entry(l).or_insert(next);
+    }
+    let gamma = (diversity * t) as u64;
+    let clique_bound = s / t.pow(x as u32).max(1) + 2;
+    Ok(CliqueDecomposition {
+        part,
+        num_parts: map.len(),
+        parts_bound: gamma.saturating_pow(x as u32),
+        clique_bound,
+        stats: base_stats.then(stats),
+    })
+}
+
+fn decompose_level(
+    g: &Graph,
+    cover: &CliqueCover,
+    base: &VertexColoring,
+    diversity: usize,
+    t: usize,
+    x: usize,
+) -> Result<(Vec<u64>, NetworkStats), AlgoError> {
+    let n = g.num_vertices();
+    if g.num_edges() == 0 || x == 0 {
+        return Ok((vec![0; n], NetworkStats::default()));
+    }
+    let conn = clique_connector(g, cover, t)?;
+    let gamma = (diversity as u64) * (t as u64 - 1) + 1;
+    let (phi, phi_stats) = vertex_coloring_with_target(
+        &conn.graph,
+        Seed::Coloring(base),
+        gamma,
+        SubroutineConfig::default(),
+    )?;
+    let mut stats = NetworkStats { rounds: 1, ..Default::default() }.then(phi_stats);
+    let classes = phi.classes();
+    let results: Vec<Result<Option<VertexChild>, AlgoError>> =
+        classes
+            .par_iter()
+            .map(|class| {
+                if class.is_empty() {
+                    return Ok(None);
+                }
+                let sub = InducedSubgraph::new(g, class);
+                let sub_cover = cover.restrict(&sub);
+                let sub_base_colors: Vec<u32> =
+                    sub.parent_vertices().iter().map(|&v| base.color(v)).collect();
+                let sub_base = VertexColoring::new(sub_base_colors, base.palette())
+                    .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+                let (labels, s) =
+                    decompose_level(sub.graph(), &sub_cover, &sub_base, diversity, t, x - 1)?;
+                Ok(Some((sub, labels, s)))
+            })
+            .collect();
+    let mut out = vec![0u64; n];
+    let mut children = Vec::new();
+    for r in results {
+        if let Some(c) = r? {
+            children.push(c);
+        }
+    }
+    let width = (diversity as u64 * t as u64).saturating_pow(x as u32 - 1);
+    for (sub, labels, _) in &children {
+        for (local, &parent) in sub.parent_vertices().iter().enumerate() {
+            out[parent.index()] = u64::from(phi.color(parent)) * width + labels[local];
+        }
+    }
+    stats = stats.then(NetworkStats::in_parallel(children.iter().map(|&(_, _, s)| s)));
+    Ok((out, stats))
+}
+
+/// A (p, q)-star-partition (§4): an edge partition into ≤ `p` classes with
+/// stars of size ≤ `q`.
+#[derive(Clone, Debug)]
+pub struct StarPartition {
+    /// Class label per edge (dense in `0..num_classes`).
+    pub class: Vec<usize>,
+    /// Number of nonempty classes.
+    pub num_classes: usize,
+    /// Analytic class bound `(2t − 1)^x`.
+    pub classes_bound: u64,
+    /// Analytic star bound `⌈Δ/tˣ⌉` (+ rounding slack 1 per level).
+    pub star_bound: usize,
+    /// Measured LOCAL statistics.
+    pub stats: NetworkStats,
+}
+
+impl StarPartition {
+    /// Verifies the (p, q)-star-partition property against `g`.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgoError::InvariantViolated`] naming the violated bound.
+    pub fn verify(&self, g: &Graph) -> Result<(), AlgoError> {
+        if self.num_classes as u64 > self.classes_bound {
+            return Err(AlgoError::InvariantViolated {
+                reason: format!(
+                    "{} classes exceed (2t−1)^x = {}",
+                    self.num_classes, self.classes_bound
+                ),
+            });
+        }
+        for c in 0..self.num_classes {
+            let edges: Vec<EdgeId> =
+                g.edges().filter(|e| self.class[e.index()] == c).collect();
+            let sub = SpanningEdgeSubgraph::new(g, &edges);
+            if sub.graph().max_degree() > self.star_bound {
+                return Err(AlgoError::InvariantViolated {
+                    reason: format!(
+                        "class {c} has star size {} > bound {}",
+                        sub.graph().max_degree(),
+                        self.star_bound
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Computes the §4 star-partition with parameters `t`, `x` (x connector
+/// levels, no final coloring).
+///
+/// # Errors
+///
+/// [`AlgoError::InvalidParameters`] for `t < 2` / `x < 1`.
+pub fn star_partition(g: &Graph, t: usize, x: usize) -> Result<StarPartition, AlgoError> {
+    if t < 2 || x < 1 {
+        return Err(AlgoError::InvalidParameters { reason: "need t ≥ 2, x ≥ 1".into() });
+    }
+    let (labels, stats) = star_level(g, t, x)?;
+    let mut map = std::collections::HashMap::new();
+    let mut class = vec![0usize; g.num_edges()];
+    for (e, &l) in labels.iter().enumerate() {
+        let next = map.len();
+        class[e] = *map.entry(l).or_insert(next);
+    }
+    // Star bound: each level divides by t with a ceiling.
+    let mut star_bound = g.max_degree();
+    for _ in 0..x {
+        star_bound = star_bound.div_ceil(t);
+    }
+    Ok(StarPartition {
+        class,
+        num_classes: map.len(),
+        classes_bound: (2 * t as u64 - 1).saturating_pow(x as u32),
+        star_bound,
+        stats,
+    })
+}
+
+fn star_level(g: &Graph, t: usize, x: usize) -> Result<(Vec<u64>, NetworkStats), AlgoError> {
+    if g.num_edges() == 0 || x == 0 {
+        return Ok((vec![0; g.num_edges()], NetworkStats::default()));
+    }
+    let conn = edge_connector(g, t)?;
+    let target = 2 * t as u64 - 1;
+    let (phi, phi_stats) =
+        edge_coloring_with_target(&conn.graph, target, SubroutineConfig::default())?;
+    let mut stats = NetworkStats { rounds: 1, ..Default::default() }.then(phi_stats);
+    let classes = phi.classes();
+    let results: Vec<Result<Option<EdgeChild>, AlgoError>> =
+        classes
+            .par_iter()
+            .map(|class| {
+                if class.is_empty() {
+                    return Ok(None);
+                }
+                let sub = SpanningEdgeSubgraph::new(g, class);
+                let (labels, s) = star_level(sub.graph(), t, x - 1)?;
+                Ok(Some((sub, labels, s)))
+            })
+            .collect();
+    let mut out = vec![0u64; g.num_edges()];
+    let mut children = Vec::new();
+    for r in results {
+        if let Some(c) = r? {
+            children.push(c);
+        }
+    }
+    let width = (2 * t as u64 - 1).saturating_pow(x as u32 - 1);
+    for (sub, labels, _) in &children {
+        for (local, &l) in labels.iter().enumerate() {
+            let parent = sub.to_parent_edge(EdgeId::new(local));
+            out[parent.index()] = u64::from(phi.color(parent)) * width + l;
+        }
+    }
+    stats = stats.then(NetworkStats::in_parallel(children.iter().map(|&(_, _, s)| s)));
+    Ok((out, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decolor_graph::generators;
+    use decolor_graph::line_graph::LineGraph;
+
+    #[test]
+    fn theorem_2_4_on_line_graphs() {
+        let g = generators::random_regular(96, 16, 1).unwrap();
+        let lg = LineGraph::new(&g);
+        let ids = IdAssignment::sequential(lg.graph.num_vertices());
+        for (t, x) in [(4usize, 1usize), (2, 2), (2, 3)] {
+            let dec = clique_decomposition(&lg.graph, &lg.cover, t, x, &ids).unwrap();
+            dec.verify(&lg.graph, &lg.cover).unwrap();
+            assert!(dec.num_parts >= 1);
+        }
+    }
+
+    #[test]
+    fn star_partition_bounds_hold() {
+        let g = generators::random_regular(128, 16, 2).unwrap();
+        for (t, x) in [(4usize, 1usize), (2, 2), (2, 3)] {
+            let sp = star_partition(&g, t, x).unwrap();
+            sp.verify(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn decomposition_part_count_grows_with_x() {
+        let g = generators::random_regular(64, 9, 3).unwrap();
+        let lg = LineGraph::new(&g);
+        let ids = IdAssignment::sequential(lg.graph.num_vertices());
+        let d1 = clique_decomposition(&lg.graph, &lg.cover, 3, 1, &ids).unwrap();
+        let d2 = clique_decomposition(&lg.graph, &lg.cover, 3, 2, &ids).unwrap();
+        assert!(d2.clique_bound <= d1.clique_bound);
+        assert!(d2.parts_bound >= d1.parts_bound);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let g = generators::path(4).unwrap();
+        let lg = LineGraph::new(&g);
+        let ids = IdAssignment::sequential(lg.graph.num_vertices());
+        assert!(clique_decomposition(&lg.graph, &lg.cover, 1, 1, &ids).is_err());
+        assert!(star_partition(&g, 2, 0).is_err());
+    }
+
+    #[test]
+    fn edgeless_graph_single_part() {
+        let g = decolor_graph::GraphBuilder::new(5).build();
+        let cover = decolor_graph::cliques::cover_from_all_maximal_cliques(&g).unwrap();
+        let ids = IdAssignment::sequential(5);
+        let dec = clique_decomposition(&g, &cover, 2, 2, &ids).unwrap();
+        assert_eq!(dec.num_parts, 1);
+        dec.verify(&g, &cover).unwrap();
+    }
+}

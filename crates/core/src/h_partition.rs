@@ -1,0 +1,228 @@
+//! **H-partitions** (Nash–Williams forest-decomposition peeling, \[4\]; used
+//! throughout §5).
+//!
+//! An H-partition with degree `d` splits `V` into sets `H_1, …, H_ℓ` such
+//! that every `v ∈ H_i` has at most `d` neighbors in `H_i ∪ … ∪ H_ℓ`. For
+//! a graph of arboricity `a` and `d = ⌈q·a⌉` with `q ≥ 2 + ε`, repeatedly
+//! peeling all vertices of remaining degree ≤ d removes at least an
+//! ε/(2+ε) fraction of the remaining vertices per round, so ℓ = O(log n)
+//! (O(log n / log q) for larger q, which Theorem 5.4 exploits).
+//!
+//! Orienting every edge toward the higher-index H-set (ties toward the
+//! higher ID) yields an **acyclic orientation with out-degree ≤ d** — the
+//! arboricity certificate consumed by the orientation connectors.
+
+use decolor_graph::orientation::Orientation;
+use decolor_graph::Graph;
+use decolor_runtime::{Network, NetworkStats};
+
+use crate::error::AlgoError;
+
+/// An H-partition of a graph.
+#[derive(Clone, Debug)]
+pub struct HPartition {
+    /// H-set index of each vertex (0-based: `H_1` is index 0).
+    pub index: Vec<usize>,
+    /// Number of sets ℓ.
+    pub num_sets: usize,
+    /// The peeling threshold `d`.
+    pub degree_bound: usize,
+    /// Measured LOCAL statistics of the peeling.
+    pub stats: NetworkStats,
+}
+
+/// Computes an H-partition with degree bound `d` by parallel peeling.
+///
+/// Each peeling phase costs one communication round (vertices broadcast
+/// whether they are still active).
+///
+/// ```rust
+/// use decolor_core::h_partition::h_partition;
+/// use decolor_graph::generators;
+///
+/// # fn main() -> Result<(), decolor_core::AlgoError> {
+/// let g = generators::random_tree(100, 1).unwrap(); // arboricity 1
+/// let hp = h_partition(&g, 3)?;
+/// hp.verify(&g)?;
+/// let o = hp.orientation(&g);
+/// assert!(o.is_acyclic(&g));
+/// assert!(o.max_out_degree(&g) <= 3);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// [`AlgoError::InvalidParameters`] if `d` is too small to peel — i.e.
+/// some remaining subgraph has minimum degree > d, which happens exactly
+/// when `d < 2·density`; pass `d ≥ ⌈(2 + ε)·a⌉`.
+pub fn h_partition(g: &Graph, d: usize) -> Result<HPartition, AlgoError> {
+    let n = g.num_vertices();
+    let mut net = Network::new(g);
+    let mut index = vec![usize::MAX; n];
+    let mut active: Vec<bool> = vec![true; n];
+    let mut remaining = n;
+    let mut level = 0usize;
+    while remaining > 0 {
+        // One round: everyone announces whether they are still active.
+        let inbox = net.broadcast(&active.iter().map(|&b| u8::from(b)).collect::<Vec<_>>());
+        let mut peeled = Vec::new();
+        for v in 0..n {
+            if !active[v] {
+                continue;
+            }
+            let deg_active: usize = inbox[v].iter().map(|&b| b as usize).sum();
+            if deg_active <= d {
+                peeled.push(v);
+            }
+        }
+        if peeled.is_empty() {
+            return Err(AlgoError::InvalidParameters {
+                reason: format!(
+                    "H-partition stuck at level {level} with {remaining} vertices: \
+                     threshold d = {d} is below twice the remaining density"
+                ),
+            });
+        }
+        for &v in &peeled {
+            index[v] = level;
+            active[v] = false;
+        }
+        remaining -= peeled.len();
+        level += 1;
+    }
+    Ok(HPartition { index, num_sets: level, degree_bound: d, stats: net.stats() })
+}
+
+impl HPartition {
+    /// Checks the defining property: every `v ∈ H_i` has at most `d`
+    /// neighbors in `H_i ∪ … ∪ H_ℓ`.
+    ///
+    /// # Errors
+    ///
+    /// [`AlgoError::InvariantViolated`] naming the violating vertex.
+    pub fn verify(&self, g: &Graph) -> Result<(), AlgoError> {
+        for v in g.vertices() {
+            let i = self.index[v.index()];
+            let later = g.neighbors(v).filter(|u| self.index[u.index()] >= i).count();
+            if later > self.degree_bound {
+                return Err(AlgoError::InvariantViolated {
+                    reason: format!(
+                        "vertex {v} in H_{} has {later} ≥-index neighbors > d = {}",
+                        i + 1,
+                        self.degree_bound
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The acyclic orientation of \[4\]: edges point to the higher H-index,
+    /// ties to the higher ID. Out-degree ≤ `d`.
+    pub fn orientation(&self, g: &Graph) -> Orientation {
+        let rank: Vec<u64> = self.index.iter().map(|&i| i as u64).collect();
+        Orientation::from_rank(g, &rank)
+    }
+
+    /// Vertices of H-set `i` (0-based).
+    pub fn set(&self, i: usize) -> Vec<decolor_graph::VertexId> {
+        (0..self.index.len())
+            .filter(|&v| self.index[v] == i)
+            .map(decolor_graph::VertexId::new)
+            .collect()
+    }
+}
+
+/// Convenience: the paper's threshold `d = ⌈q·a⌉` for arboricity `a`.
+///
+/// # Errors
+///
+/// [`AlgoError::InvalidParameters`] if `q < 2` (peeling can stall) or
+/// `a == 0` on a non-edgeless graph.
+pub fn h_partition_for_arboricity(g: &Graph, a: usize, q: f64) -> Result<HPartition, AlgoError> {
+    if q < 2.0 {
+        return Err(AlgoError::InvalidParameters {
+            reason: format!("q = {q} must be ≥ 2 (+ε) for the peeling to make progress"),
+        });
+    }
+    if a == 0 && g.num_edges() > 0 {
+        return Err(AlgoError::InvalidParameters {
+            reason: "arboricity bound 0 for a graph with edges".into(),
+        });
+    }
+    let d = (q * a as f64).ceil() as usize;
+    h_partition(g, d.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decolor_graph::generators;
+
+    #[test]
+    fn partition_of_forest_union() {
+        let g = generators::forest_union(300, 3, 6, 1).unwrap();
+        let hp = h_partition_for_arboricity(&g, 3, 2.5).unwrap();
+        hp.verify(&g).unwrap();
+        assert!(hp.num_sets >= 1);
+        // Rounds = number of peeling levels.
+        assert_eq!(hp.stats.rounds, hp.num_sets as u64);
+    }
+
+    #[test]
+    fn orientation_is_acyclic_with_bounded_out_degree() {
+        let g = generators::forest_union(200, 4, 5, 2).unwrap();
+        let hp = h_partition_for_arboricity(&g, 4, 2.5).unwrap();
+        let o = hp.orientation(&g);
+        assert!(o.is_acyclic(&g));
+        assert!(o.max_out_degree(&g) <= hp.degree_bound);
+    }
+
+    #[test]
+    fn tree_peels_fast() {
+        let g = generators::random_tree(1000, 3).unwrap();
+        let hp = h_partition_for_arboricity(&g, 1, 3.0).unwrap();
+        hp.verify(&g).unwrap();
+        // d = 3 peeling on a tree: ℓ = O(log n), generously < 20.
+        assert!(hp.num_sets < 20, "ℓ = {}", hp.num_sets);
+    }
+
+    #[test]
+    fn larger_q_gives_fewer_levels() {
+        let g = generators::forest_union(500, 2, 8, 3).unwrap();
+        let small_q = h_partition_for_arboricity(&g, 2, 2.5).unwrap();
+        let large_q = h_partition_for_arboricity(&g, 2, 8.0).unwrap();
+        assert!(large_q.num_sets <= small_q.num_sets);
+    }
+
+    #[test]
+    fn stall_detected_for_undersized_threshold() {
+        // K6 has min degree 5; threshold 2 cannot peel anything.
+        let g = generators::complete(6).unwrap();
+        assert!(h_partition(&g, 2).is_err());
+    }
+
+    #[test]
+    fn sets_partition_the_vertices() {
+        let g = generators::grid(10, 12).unwrap();
+        let hp = h_partition_for_arboricity(&g, 2, 2.5).unwrap();
+        let total: usize = (0..hp.num_sets).map(|i| hp.set(i).len()).sum();
+        assert_eq!(total, g.num_vertices());
+        assert!(hp.set(hp.num_sets).is_empty());
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let g = generators::path(5).unwrap();
+        assert!(h_partition_for_arboricity(&g, 1, 1.5).is_err());
+        assert!(h_partition_for_arboricity(&g, 0, 2.5).is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = decolor_graph::GraphBuilder::new(0).build();
+        let hp = h_partition(&g, 1).unwrap();
+        assert_eq!(hp.num_sets, 0);
+    }
+}

@@ -1,0 +1,323 @@
+//! Linial's deterministic O(Δ²)-coloring in O(log* n) rounds \[30\].
+//!
+//! Each iteration reduces a proper `m`-coloring to a proper `q²`-coloring
+//! where `q` is a prime chosen so that colors embed into polynomials of
+//! degree ≤ `deg` over GF(q) with `q > Δ·deg` and `q^(deg+1) ≥ m`
+//! (the Erdős–Frankl–Füredi cover-free-family construction). A vertex with
+//! polynomial `p` picks an evaluation point `α` at which it differs from
+//! all neighbors' polynomials — at most `Δ·deg < q` points are ruled out —
+//! and recolors to `(α, p(α))`. Palettes shrink log-log per round, so
+//! O(log* m) rounds reach the fixed point `q²` with
+//! `q = nextprime(Δ·deg + 1)`, i.e. O(Δ²) colors.
+//!
+//! The initial coloring is either the distinct IDs (§1.1) or, per §3's
+//! optimization, an inherited proper coloring of a parent graph.
+
+use decolor_graph::coloring::VertexColoring;
+use decolor_runtime::{IdAssignment, Network};
+
+use crate::error::AlgoError;
+use crate::util::{integer_root_ceil, next_prime};
+
+/// Outcome of [`linial_coloring`]: the coloring plus per-iteration palette
+/// trace (useful for the log* verification in tests and benches).
+#[derive(Clone, Debug)]
+pub struct LinialResult {
+    /// The resulting proper coloring (palette ≤ [`final_palette_bound`]).
+    pub coloring: VertexColoring,
+    /// Palette sizes after each communication round (starting palette
+    /// first).
+    pub palette_trace: Vec<u64>,
+}
+
+/// The guaranteed fixed-point palette bound of the iteration for maximum
+/// degree `delta`: `q²` with `q = nextprime(2Δ + 1)` — O(Δ²), and
+/// ≤ `(4Δ + 2)²` by Bertrand's postulate.
+///
+/// (Why `2Δ + 1`: a degree-2 polynomial step needs a prime `q > 2Δ`;
+/// degree-1 steps stall once `√m ≈ 2Δ`, so the iteration's true fixed
+/// point is `nextprime(2Δ + 1)²`, the usual "O(Δ²) colors" of \[30\].)
+pub fn final_palette_bound(delta: usize) -> u64 {
+    let q = next_prime(2 * (delta as u64).max(1) + 1);
+    q * q
+}
+
+/// Picks `(q, deg)` minimizing the next palette `q²` subject to
+/// `q > Δ·deg`, `q prime`, `q^(deg+1) ≥ m`.
+fn choose_parameters(m: u64, delta: u64) -> (u64, u32) {
+    debug_assert!(m >= 2);
+    let mut best: Option<(u64, u32)> = None;
+    for deg in 1..=64u32 {
+        // q must satisfy q >= Δ·deg + 1 and q >= ceil(m^{1/(deg+1)}).
+        let lower = (delta * deg as u64 + 1).max(integer_root_ceil(m, deg + 1)).max(2);
+        let q = next_prime(lower);
+        match best {
+            Some((bq, _)) if bq <= q => {}
+            _ => best = Some((q, deg)),
+        }
+        // Once Δ·deg dominates the root bound, larger deg only hurts.
+        if delta * deg as u64 + 1 >= integer_root_ceil(m, deg + 1) {
+            break;
+        }
+    }
+    best.expect("deg = 1 always yields a candidate")
+}
+
+/// Evaluates the polynomial with base-`q` digit coefficients of `c` at
+/// point `a`, over GF(q).
+fn eval_poly(mut c: u64, q: u64, a: u64) -> u64 {
+    // Horner on digits: c = Σ digit_i q^i, p(a) = Σ digit_i a^i.
+    let mut coeffs = Vec::with_capacity(8);
+    while c > 0 {
+        coeffs.push(c % q);
+        c /= q;
+    }
+    let mut acc = 0u64;
+    for &d in coeffs.iter().rev() {
+        acc = (acc * a + d) % q;
+    }
+    acc
+}
+
+/// One Linial recoloring round over the network: all vertices broadcast
+/// their colors, then recolor from palette `m` to palette `q²`.
+///
+/// Precondition (checked in debug): `colors` is proper with values `< m`.
+fn linial_round(net: &mut Network<'_>, colors: &mut [u64], m: u64, delta: u64) -> u64 {
+    let (q, _deg) = choose_parameters(m, delta);
+    let inbox = net.broadcast(colors);
+    for v in 0..colors.len() {
+        let my = colors[v];
+        // Choose the smallest α where p_v differs from every neighbor's
+        // polynomial (their colors differ, so polynomials differ and agree
+        // on ≤ deg points each; Δ·deg < q points are excluded in total).
+        let mut alpha = None;
+        'points: for a in 0..q {
+            let mine = eval_poly(my, q, a);
+            for &their in &inbox[v] {
+                if their != my && eval_poly(their, q, a) == mine {
+                    continue 'points;
+                }
+                // Neighbors with *equal* color would break properness of
+                // the input; debug-checked below.
+                debug_assert_ne!(their, my, "input coloring is not proper");
+            }
+            alpha = Some(a);
+            break;
+        }
+        let a = alpha.expect("a valid evaluation point exists by the pigeonhole argument");
+        colors[v] = a * q + eval_poly(my, q, a);
+    }
+    q * q
+}
+
+/// Runs Linial's iteration from an arbitrary proper coloring down to its
+/// fixed point (an O(Δ²)-coloring), counting real communication rounds on
+/// `net`.
+///
+/// # Errors
+///
+/// [`AlgoError::InvalidParameters`] if `initial` has the wrong length or
+/// is not a proper coloring of the network's graph.
+pub fn linial_from_coloring(
+    net: &mut Network<'_>,
+    initial: &VertexColoring,
+) -> Result<LinialResult, AlgoError> {
+    let g = net.graph();
+    initial
+        .validate(g)
+        .map_err(|e| AlgoError::InvalidParameters { reason: e.to_string() })?;
+    let delta = g.max_degree() as u64;
+    let mut colors: Vec<u64> = initial.as_slice().iter().map(|&c| u64::from(c)).collect();
+    let mut m = initial.palette().max(1);
+    let mut trace = vec![m];
+
+    if g.num_vertices() == 0 {
+        let coloring = VertexColoring::new(vec![], 1).expect("empty coloring is valid");
+        return Ok(LinialResult { coloring, palette_trace: trace });
+    }
+    if delta == 0 {
+        // No edges: everything can take color 0 without communication.
+        let coloring =
+            VertexColoring::new(vec![0; g.num_vertices()], 1).expect("constant coloring");
+        return Ok(LinialResult { coloring, palette_trace: trace });
+    }
+
+    let target = final_palette_bound(delta as usize);
+    while m > target {
+        let next = {
+            let (q, _) = choose_parameters(m, delta);
+            q * q
+        };
+        if next >= m {
+            break; // fixed point reached early
+        }
+        let reached = linial_round(net, &mut colors, m, delta);
+        m = reached;
+        trace.push(m);
+    }
+
+    let colors_u32: Vec<u32> = colors
+        .iter()
+        .map(|&c| u32::try_from(c).expect("palette fits u32 at the fixed point"))
+        .collect();
+    let coloring = VertexColoring::new(colors_u32, m)
+        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+    debug_assert!(coloring.is_proper(g));
+    Ok(LinialResult { coloring, palette_trace: trace })
+}
+
+/// Runs Linial's algorithm from the distinct-ID assignment (the standard
+/// entry point).
+///
+/// ```rust
+/// use decolor_core::linial::{final_palette_bound, linial_coloring};
+/// use decolor_graph::generators;
+/// use decolor_runtime::{IdAssignment, Network};
+///
+/// # fn main() -> Result<(), decolor_core::AlgoError> {
+/// let g = generators::random_regular(500, 4, 1).unwrap();
+/// let mut net = Network::new(&g);
+/// let ids = IdAssignment::shuffled(500, 7);
+/// let res = linial_coloring(&mut net, &ids)?;
+/// assert!(res.coloring.is_proper(&g));
+/// assert!(res.coloring.palette() <= final_palette_bound(4)); // O(Δ²)
+/// assert!(net.stats().rounds <= 5); // log* n
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// [`AlgoError::InvalidParameters`] if `ids` does not cover the graph or
+/// an identifier exceeds `u32` (identifiers are O(log n)-bit).
+pub fn linial_coloring(
+    net: &mut Network<'_>,
+    ids: &IdAssignment,
+) -> Result<LinialResult, AlgoError> {
+    let g = net.graph();
+    if ids.len() != g.num_vertices() {
+        return Err(AlgoError::InvalidParameters {
+            reason: format!("{} ids for {} vertices", ids.len(), g.num_vertices()),
+        });
+    }
+    let colors: Result<Vec<u32>, _> = ids.as_slice().iter().map(|&i| u32::try_from(i)).collect();
+    let colors = colors.map_err(|_| AlgoError::InvalidParameters {
+        reason: "identifier exceeds u32 (IDs must be O(log n)-bit)".into(),
+    })?;
+    let initial = VertexColoring::new(colors, ids.id_space().max(1))
+        .map_err(|e| AlgoError::InvalidParameters { reason: e.to_string() })?;
+    linial_from_coloring(net, &initial)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decolor_graph::{generators, Graph};
+
+    fn run(g: &Graph, seed: u64) -> (LinialResult, decolor_runtime::NetworkStats) {
+        let mut net = Network::new(g);
+        let ids = IdAssignment::shuffled(g.num_vertices(), seed);
+        let res = linial_coloring(&mut net, &ids).unwrap();
+        (res, net.stats())
+    }
+
+    #[test]
+    fn proper_and_within_bound_on_random_graphs() {
+        for (n, m, seed) in [(50, 200, 1u64), (200, 1000, 2), (400, 800, 3)] {
+            let g = generators::gnm(n, m, seed).unwrap();
+            let (res, _) = run(&g, seed);
+            assert!(res.coloring.is_proper(&g));
+            assert!(
+                res.coloring.palette() <= final_palette_bound(g.max_degree()),
+                "palette {} exceeds bound {}",
+                res.coloring.palette(),
+                final_palette_bound(g.max_degree())
+            );
+        }
+    }
+
+    #[test]
+    fn round_count_is_log_star_like() {
+        // Rounds should be tiny (≤ ~6) even for large sparse instances.
+        let g = generators::random_regular(2000, 4, 7).unwrap();
+        let (res, stats) = run(&g, 9);
+        assert!(res.coloring.is_proper(&g));
+        assert!(stats.rounds <= 6, "took {} rounds", stats.rounds);
+    }
+
+    #[test]
+    fn palette_trace_is_strictly_decreasing() {
+        let g = generators::gnm(300, 900, 4).unwrap();
+        let (res, _) = run(&g, 4);
+        for w in res.palette_trace.windows(2) {
+            assert!(w[1] < w[0], "trace not decreasing: {:?}", res.palette_trace);
+        }
+    }
+
+    #[test]
+    fn fixed_point_bound_is_o_delta_squared() {
+        for delta in 1usize..200 {
+            let b = final_palette_bound(delta);
+            assert!(b <= (4 * delta as u64 + 2).pow(2), "Δ = {delta} gives {b}");
+        }
+    }
+
+    #[test]
+    fn handles_edgeless_and_empty_graphs() {
+        let g = decolor_graph::GraphBuilder::new(5).build();
+        let (res, stats) = run(&g, 0);
+        assert_eq!(res.coloring.palette(), 1);
+        assert_eq!(stats.rounds, 0);
+
+        let g = decolor_graph::GraphBuilder::new(0).build();
+        let mut net = Network::new(&g);
+        let ids = IdAssignment::sequential(0);
+        let res = linial_coloring(&mut net, &ids).unwrap();
+        assert!(res.coloring.is_empty());
+    }
+
+    #[test]
+    fn accepts_inherited_coloring_entry_point() {
+        let g = generators::gnm(100, 300, 5).unwrap();
+        let mut net = Network::new(&g);
+        // A proper coloring with a wasteful palette.
+        let init = VertexColoring::new((0..100u32).map(|i| i * 3).collect(), 300).unwrap();
+        let res = linial_from_coloring(&mut net, &init).unwrap();
+        assert!(res.coloring.is_proper(&g));
+        assert!(res.coloring.palette() <= final_palette_bound(g.max_degree()));
+    }
+
+    #[test]
+    fn rejects_improper_initial_coloring() {
+        let g = generators::complete(3).unwrap();
+        let mut net = Network::new(&g);
+        let bad = VertexColoring::new(vec![0, 0, 1], 2).unwrap();
+        assert!(linial_from_coloring(&mut net, &bad).is_err());
+    }
+
+    #[test]
+    fn works_on_dense_graph() {
+        let g = generators::complete(30).unwrap();
+        let (res, _) = run(&g, 11);
+        assert!(res.coloring.is_proper(&g));
+        // K_30 already has only 30 colors from IDs; fixed point for Δ=29
+        // is larger than 30, so the algorithm must not blow the palette up.
+        assert!(res.coloring.palette() <= final_palette_bound(29).max(30));
+    }
+
+    #[test]
+    fn parameter_chooser_respects_constraints() {
+        for (m, delta) in [(1_000u64, 5u64), (1 << 20, 16), (u32::MAX as u64, 100), (50, 3)] {
+            let (q, deg) = super::choose_parameters(m, delta);
+            assert!(q > delta * deg as u64);
+            assert!(super::super::util::is_prime(q));
+            // q^(deg+1) >= m
+            let mut acc: u128 = 1;
+            for _ in 0..=deg {
+                acc = acc.saturating_mul(q as u128);
+            }
+            assert!(acc >= m as u128);
+        }
+    }
+}

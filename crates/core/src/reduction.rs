@@ -1,0 +1,321 @@
+//! Deterministic color-reduction subroutines.
+//!
+//! * [`basic_reduction`] — the paper's "basic color reduction" (Appendix
+//!   B): a proper (Δ + r)-coloring becomes a (Δ + 1)-coloring in r − 1
+//!   rounds by recoloring one top color class per round (a color class is
+//!   an independent set, so its vertices act simultaneously).
+//! * [`kw_reduction`] — Kuhn–Wattenhofer blockwise divide-and-conquer:
+//!   reduces an `m`-coloring to `target` colors in
+//!   O(target · log(m / target)) rounds by running basic reductions on
+//!   vertex-disjoint palette blocks in parallel.
+//! * [`edge_palette_trim`] — the edge-coloring analogue used by §4's
+//!   "within an additional round the number of colors can be reduced":
+//!   each top edge-color class is a matching, so it recolors in one round.
+
+use decolor_graph::coloring::Color;
+use decolor_runtime::Network;
+
+use crate::error::AlgoError;
+
+/// Smallest color `< limit` absent from `used` (the "mex below limit").
+///
+/// Returns `None` if all of `0..limit` are used.
+fn mex_below(used: &[Color], limit: u64) -> Option<Color> {
+    let mut taken = vec![false; limit as usize];
+    for &c in used {
+        if u64::from(c) < limit {
+            taken[c as usize] = true;
+        }
+    }
+    taken.iter().position(|&t| !t).map(|p| p as Color)
+}
+
+/// Reduces a proper vertex coloring with palette `palette` to palette
+/// `target` by recoloring top color classes one round at a time.
+///
+/// Costs exactly `palette − target` communication rounds (0 if the palette
+/// is already within target).
+///
+/// # Errors
+///
+/// [`AlgoError::InvalidParameters`] if `target < Δ + 1` or the coloring
+/// length mismatches the network's graph.
+pub fn basic_reduction(
+    net: &mut Network<'_>,
+    colors: &mut [Color],
+    palette: u64,
+    target: u64,
+) -> Result<u64, AlgoError> {
+    let g = net.graph();
+    if colors.len() != g.num_vertices() {
+        return Err(AlgoError::InvalidParameters {
+            reason: format!("{} colors for {} vertices", colors.len(), g.num_vertices()),
+        });
+    }
+    if target < g.max_degree() as u64 + 1 {
+        return Err(AlgoError::InvalidParameters {
+            reason: format!("target {} below Δ + 1 = {}", target, g.max_degree() + 1),
+        });
+    }
+    if palette <= target {
+        return Ok(palette.max(1));
+    }
+    for top in (target..palette).rev() {
+        let inbox = net.broadcast(colors);
+        for v in 0..colors.len() {
+            if u64::from(colors[v]) == top {
+                colors[v] = mex_below(&inbox[v], target)
+                    .expect("Δ neighbors cannot block Δ + 1 colors");
+            }
+        }
+    }
+    Ok(target)
+}
+
+/// Kuhn–Wattenhofer reduction: proper `palette`-coloring → proper
+/// `target`-coloring in O(target · log(palette / target)) rounds.
+///
+/// # Errors
+///
+/// Same preconditions as [`basic_reduction`].
+pub fn kw_reduction(
+    net: &mut Network<'_>,
+    colors: &mut [Color],
+    palette: u64,
+    target: u64,
+) -> Result<u64, AlgoError> {
+    let g = net.graph();
+    if colors.len() != g.num_vertices() {
+        return Err(AlgoError::InvalidParameters {
+            reason: format!("{} colors for {} vertices", colors.len(), g.num_vertices()),
+        });
+    }
+    if target < g.max_degree() as u64 + 1 {
+        return Err(AlgoError::InvalidParameters {
+            reason: format!("target {} below Δ + 1 = {}", target, g.max_degree() + 1),
+        });
+    }
+    let t = target;
+    let mut m = palette.max(1);
+    // Halving phases: blocks of size 2t reduce to t colors each, all
+    // blocks in parallel (they occupy disjoint vertex sets).
+    while m > 2 * t {
+        let block_of = |c: Color| u64::from(c) / (2 * t);
+        for step in 0..t {
+            let top_local = 2 * t - 1 - step;
+            let inbox = net.broadcast(colors);
+            for v in 0..colors.len() {
+                let local = u64::from(colors[v]) % (2 * t);
+                if local == top_local {
+                    let b = block_of(colors[v]);
+                    // Only same-block neighbors constrain the local mex.
+                    let local_used: Vec<Color> = inbox[v]
+                        .iter()
+                        .filter(|&&c| block_of(c) == b)
+                        .map(|&c| (u64::from(c) % (2 * t)) as Color)
+                        .collect();
+                    let free = mex_below(&local_used, t)
+                        .expect("Δ same-block neighbors cannot block t ≥ Δ + 1 colors");
+                    // Stay in the original block encoding during the
+                    // phase so neighbors keep classifying us correctly.
+                    colors[v] = (b * 2 * t) as Color + free;
+                }
+            }
+        }
+        // All local colors are now < t; renumber blocks densely.
+        let blocks = m.div_ceil(2 * t);
+        for c in colors.iter_mut() {
+            let b = u64::from(*c) / (2 * t);
+            let local = u64::from(*c) % (2 * t);
+            debug_assert!(local < t, "halving phase left a local color ≥ t");
+            *c = (b * t + local) as Color;
+        }
+        m = blocks * t;
+    }
+    basic_reduction(net, colors, m, t)
+}
+
+/// Reduces a proper **edge** coloring to palette `target` one top class
+/// per round. Each top class is a matching, so its edges recolor
+/// simultaneously; both endpoints broadcast their incident colors each
+/// round, and the lower endpoint (deterministically) computes the mex.
+///
+/// # Errors
+///
+/// [`AlgoError::InvalidParameters`] if `target < 2Δ − 1` (an edge can have
+/// up to 2Δ − 2 incident edges) or lengths mismatch.
+pub fn edge_palette_trim(
+    net: &mut Network<'_>,
+    colors: &mut [Color],
+    palette: u64,
+    target: u64,
+) -> Result<u64, AlgoError> {
+    let g = net.graph();
+    if colors.len() != g.num_edges() {
+        return Err(AlgoError::InvalidParameters {
+            reason: format!("{} colors for {} edges", colors.len(), g.num_edges()),
+        });
+    }
+    let delta = g.max_degree() as u64;
+    let needed = if delta == 0 { 1 } else { 2 * delta - 1 };
+    if target < needed {
+        return Err(AlgoError::InvalidParameters {
+            reason: format!("target {target} below 2Δ − 1 = {needed}"),
+        });
+    }
+    if palette <= target {
+        return Ok(palette.max(1));
+    }
+    for top in (target..palette).rev() {
+        // Each vertex broadcasts the colors of all its incident edges
+        // (LOCAL messages are unbounded).
+        let incident_colors: Vec<Vec<Color>> = g
+            .vertices()
+            .map(|v| g.incident_edges(v).map(|e| colors[e.index()]).collect())
+            .collect();
+        let inbox = net.broadcast(&incident_colors);
+        let mut updates: Vec<(usize, Color)> = Vec::new();
+        for (e, [u, _v]) in g.edge_list() {
+            if u64::from(colors[e.index()]) != top {
+                continue;
+            }
+            // The lower endpoint u decides: it knows its own incident
+            // colors locally and the other endpoint's from the inbox.
+            // Top-class edges form a matching, so decisions are
+            // independent.
+            let pu = net.port_of(u, e);
+            let mut used: Vec<Color> = incident_colors[u.index()].clone();
+            used.extend_from_slice(&inbox[u.index()][pu]);
+            let free =
+                mex_below(&used, target).expect("2Δ − 2 incident edges cannot block 2Δ − 1 colors");
+            updates.push((e.index(), free));
+        }
+        for (i, c) in updates {
+            colors[i] = c;
+        }
+    }
+    Ok(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decolor_graph::coloring::{EdgeColoring, VertexColoring};
+    use decolor_graph::generators;
+    use decolor_runtime::{IdAssignment, Network};
+
+    /// A proper but wasteful coloring to reduce: Linial output.
+    fn start(g: &decolor_graph::Graph, seed: u64) -> Vec<Color> {
+        let mut net = Network::new(g);
+        let ids = IdAssignment::shuffled(g.num_vertices(), seed);
+        crate::linial::linial_coloring(&mut net, &ids).unwrap().coloring.into_inner()
+    }
+
+    #[test]
+    fn basic_reduction_reaches_delta_plus_one() {
+        let g = generators::gnm(120, 500, 1).unwrap();
+        let target = g.max_degree() as u64 + 1;
+        let mut net = Network::new(&g);
+        let mut colors = start(&g, 1);
+        let m = crate::linial::final_palette_bound(g.max_degree());
+        let new_palette = basic_reduction(&mut net, &mut colors, m, target).unwrap();
+        assert_eq!(new_palette, target);
+        let c = VertexColoring::new(colors, target).unwrap();
+        assert!(c.is_proper(&g));
+        assert_eq!(net.stats().rounds, m - target);
+    }
+
+    #[test]
+    fn kw_reduction_reaches_target_with_fewer_rounds() {
+        let g = generators::gnm(200, 1000, 2).unwrap();
+        let target = g.max_degree() as u64 + 1;
+        let m = crate::linial::final_palette_bound(g.max_degree());
+
+        let mut net_kw = Network::new(&g);
+        let mut kw_colors = start(&g, 2);
+        kw_reduction(&mut net_kw, &mut kw_colors, m, target).unwrap();
+        let c = VertexColoring::new(kw_colors, target).unwrap();
+        assert!(c.is_proper(&g));
+
+        let mut net_basic = Network::new(&g);
+        let mut basic_colors = start(&g, 2);
+        basic_reduction(&mut net_basic, &mut basic_colors, m, target).unwrap();
+
+        assert!(
+            net_kw.stats().rounds < net_basic.stats().rounds,
+            "KW ({}) should beat basic ({}) for m ≫ Δ",
+            net_kw.stats().rounds,
+            net_basic.stats().rounds
+        );
+    }
+
+    #[test]
+    fn kw_round_bound_matches_theory() {
+        let g = generators::random_regular(256, 8, 3).unwrap();
+        let target = g.max_degree() as u64 + 1;
+        let m = 4096u64;
+        // Build a proper coloring with palette m by spreading IDs.
+        let mut colors: Vec<Color> = (0..g.num_vertices() as u32).collect();
+        for c in colors.iter_mut() {
+            *c *= (m as u32) / g.num_vertices() as u32;
+        }
+        let mut net = Network::new(&g);
+        kw_reduction(&mut net, &mut colors, m, target).unwrap();
+        let c = VertexColoring::new(colors, target).unwrap();
+        assert!(c.is_proper(&g));
+        // O(t log(m/t)): generous constant check.
+        let bound = target * ((m / target) as f64).log2().ceil() as u64 * 2 + target;
+        assert!(net.stats().rounds <= bound, "{} > {}", net.stats().rounds, bound);
+    }
+
+    #[test]
+    fn rejects_target_below_delta_plus_one() {
+        let g = generators::complete(5).unwrap();
+        let mut net = Network::new(&g);
+        let mut colors: Vec<Color> = (0..5).collect();
+        assert!(basic_reduction(&mut net, &mut colors, 5, 4).is_err());
+        assert!(kw_reduction(&mut net, &mut colors, 5, 4).is_err());
+    }
+
+    #[test]
+    fn noop_when_palette_already_small() {
+        let g = generators::cycle(6).unwrap();
+        let mut net = Network::new(&g);
+        let mut colors: Vec<Color> = vec![0, 1, 0, 1, 0, 2];
+        let p = basic_reduction(&mut net, &mut colors, 3, 3).unwrap();
+        assert_eq!(p, 3);
+        assert_eq!(net.stats().rounds, 0);
+    }
+
+    #[test]
+    fn edge_trim_reduces_matching_classes() {
+        let g = generators::gnm(60, 150, 4).unwrap();
+        let delta = g.max_degree() as u64;
+        // Start from a trivially proper edge coloring: all edges distinct.
+        let m = g.num_edges() as u64;
+        let mut colors: Vec<Color> = (0..g.num_edges() as u32).collect();
+        let target = 2 * delta - 1 + 5;
+        let mut net = Network::new(&g);
+        let p = edge_palette_trim(&mut net, &mut colors, m, target).unwrap();
+        assert_eq!(p, target);
+        let c = EdgeColoring::new(colors, target).unwrap();
+        assert!(c.is_proper(&g), "trimmed edge coloring must stay proper");
+        assert_eq!(net.stats().rounds, m - target);
+    }
+
+    #[test]
+    fn edge_trim_rejects_tight_target() {
+        let g = generators::complete(4).unwrap(); // Δ = 3
+        let mut net = Network::new(&g);
+        let mut colors: Vec<Color> = (0..6).collect();
+        assert!(edge_palette_trim(&mut net, &mut colors, 6, 4).is_err());
+    }
+
+    #[test]
+    fn mex_below_basics() {
+        assert_eq!(mex_below(&[0, 1, 3], 5), Some(2));
+        assert_eq!(mex_below(&[1, 2], 5), Some(0));
+        assert_eq!(mex_below(&[0, 1, 2], 3), None);
+        assert_eq!(mex_below(&[], 1), Some(0));
+    }
+}

@@ -1,0 +1,324 @@
+//! **Star-partition edge coloring** (§4, Theorem 4.1): deterministic
+//! (2^{x+1}Δ)-edge-coloring in Õ(x · Δ^{1/(2x+2)}) + O(log* n)
+//! rounds-shape, without simulating the line graph of the input.
+//!
+//! Each stage builds an [edge connector](crate::connectors::edge) with
+//! group size `t` (maximum degree ≤ t), edge-colors it with 2t − 1 colors,
+//! and groups the original edges by connector color; each class has stars
+//! of size ≤ ⌈Δ/t⌉, so stages shrink star sizes geometrically. After `x`
+//! stages the classes are colored directly with 2⌈Δ/tˣ⌉ − 1 colors. With
+//! `t = ⌊Δ^{1/(x+1)}⌋`, the combined palette is ≤ 2^{x+1}Δ after the
+//! final one-class-per-round trim (§4's "within an additional round").
+
+use decolor_graph::coloring::{Color, EdgeColoring};
+use decolor_graph::subgraph::SpanningEdgeSubgraph;
+use decolor_graph::{EdgeId, Graph};
+use decolor_runtime::{Network, NetworkStats};
+use rayon::prelude::*;
+
+use crate::connectors::edge::edge_connector;
+use crate::delta_plus_one::{edge_coloring_with_target, SubroutineConfig};
+use crate::error::AlgoError;
+use crate::reduction::edge_palette_trim;
+use crate::util::integer_root;
+
+/// Child outcome of a parallel class recursion (subgraph, colors,
+/// palette, stats).
+type ClassOutcome = (SpanningEdgeSubgraph, Vec<Color>, u64, NetworkStats);
+
+/// Parameters for the star-partition edge coloring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StarPartitionParams {
+    /// Connector group size `t ≥ 2`.
+    pub t: usize,
+    /// Number of connector stages `x ≥ 1`.
+    pub x: usize,
+    /// Subroutine configuration.
+    pub subroutine: SubroutineConfig,
+    /// Run the final palette trim down to 2^{x+1}Δ (default true).
+    pub trim: bool,
+    /// Ablation: recompute `t = ⌊Δ_cur^{1/(x_rem+1)}⌋` at every stage from
+    /// the *current* maximum degree instead of reusing the top-level `t`
+    /// (the paper fixes `t`; adaptive `t` trades a few colors for rounds
+    /// on irregular graphs).
+    pub adaptive_t: bool,
+}
+
+impl Default for StarPartitionParams {
+    fn default() -> Self {
+        StarPartitionParams {
+            t: 2,
+            x: 1,
+            subroutine: SubroutineConfig::default(),
+            trim: true,
+            adaptive_t: false,
+        }
+    }
+}
+
+impl StarPartitionParams {
+    /// §4's choice for `x` stages: `t = ⌊Δ^{1/(x+1)}⌋` (clamped ≥ 2).
+    pub fn for_levels(g: &Graph, x: usize) -> StarPartitionParams {
+        let t = integer_root(g.max_degree() as u64, x as u32 + 1).max(2) as usize;
+        StarPartitionParams { t, x: x.max(1), ..StarPartitionParams::default() }
+    }
+}
+
+/// Result of the star-partition edge coloring.
+#[derive(Clone, Debug)]
+pub struct StarPartitionResult {
+    /// The proper edge coloring of the input graph.
+    pub coloring: EdgeColoring,
+    /// Measured LOCAL statistics.
+    pub stats: NetworkStats,
+    /// Palette before the final trim (the raw product of stage palettes).
+    pub untrimmed_palette: u64,
+}
+
+/// Computes the (2^{x+1}Δ)-edge-coloring of Theorem 4.1.
+///
+/// ```rust
+/// use decolor_core::star_partition::{star_partition_edge_coloring, StarPartitionParams};
+/// use decolor_graph::generators;
+///
+/// # fn main() -> Result<(), decolor_core::AlgoError> {
+/// let g = generators::random_regular(64, 16, 2).unwrap();
+/// let res = star_partition_edge_coloring(&g, &StarPartitionParams::for_levels(&g, 1))?;
+/// assert!(res.coloring.is_proper(&g));
+/// assert!(res.coloring.palette() <= 4 * 16); // 2^{x+1}Δ with x = 1
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// [`AlgoError::InvalidParameters`] for `t < 2` or `x < 1`;
+/// [`AlgoError::InvariantViolated`] if a §4 bound fails at runtime.
+pub fn star_partition_edge_coloring(
+    g: &Graph,
+    params: &StarPartitionParams,
+) -> Result<StarPartitionResult, AlgoError> {
+    if params.t < 2 {
+        return Err(AlgoError::InvalidParameters { reason: "t must be ≥ 2".into() });
+    }
+    if params.x < 1 {
+        return Err(AlgoError::InvalidParameters { reason: "x must be ≥ 1".into() });
+    }
+    let (colors, palette, mut stats) =
+        stage(g, params.t, params.x, params.subroutine, params.adaptive_t)?;
+    let untrimmed_palette = palette;
+    let mut colors = colors;
+    let mut palette = palette;
+    if params.trim && g.num_edges() > 0 {
+        let delta = g.max_degree() as u64;
+        let target = (1u64 << (params.x as u32 + 1)) * delta.max(1);
+        let target = target.max(2 * delta.saturating_sub(1).max(1) + 1);
+        if palette > target {
+            let mut net = Network::new(g);
+            palette = edge_palette_trim(&mut net, &mut colors, palette, target)?;
+            stats = stats.then(net.stats());
+        }
+    }
+    let coloring = EdgeColoring::new(colors, palette)
+        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+    coloring
+        .validate(g)
+        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+    Ok(StarPartitionResult { coloring, stats, untrimmed_palette })
+}
+
+/// One connector stage (or the direct base case for `x == 0`).
+fn stage(
+    g: &Graph,
+    t: usize,
+    x: usize,
+    cfg: SubroutineConfig,
+    adaptive_t: bool,
+) -> Result<(Vec<Color>, u64, NetworkStats), AlgoError> {
+    if g.num_edges() == 0 {
+        return Ok((vec![], 1, NetworkStats::default()));
+    }
+    let delta = g.max_degree() as u64;
+    let t = if adaptive_t { integer_root(delta, x as u32 + 1).max(2) as usize } else { t };
+    if x == 0 || delta <= t as u64 {
+        // Base: color directly with 2Δ − 1 colors.
+        let target = (2 * delta - 1).max(1);
+        let (c, s) = edge_coloring_with_target(g, target, cfg)?;
+        return Ok((c.as_slice().to_vec(), c.palette(), s));
+    }
+
+    // Build the connector (O(1) local rounds) and edge-color it with
+    // 2t − 1 colors; its maximum degree is ≤ t by construction.
+    let conn = edge_connector(g, t)?;
+    conn.verify_degree_bound()?;
+    let target_conn = (2 * t as u64 - 1).max(1);
+    let (phi, phi_stats) = edge_coloring_with_target(&conn.graph, target_conn, cfg)?;
+    let mut stats = NetworkStats { rounds: 1, ..Default::default() }.then(phi_stats);
+
+    // Group original edges by connector color (edge ids align).
+    let classes = phi.classes();
+    let star_bound = conn.star_bound(g) as u64;
+    let outcomes: Vec<Result<Option<ClassOutcome>, AlgoError>> =
+        classes
+            .par_iter()
+            .map(|class| {
+                if class.is_empty() {
+                    return Ok(None);
+                }
+                let edge_ids: Vec<EdgeId> = class.iter().map(|&v| EdgeId::new(v.index())).collect();
+                let sub = SpanningEdgeSubgraph::new(g, &edge_ids);
+                if sub.graph().max_degree() as u64 > star_bound {
+                    return Err(AlgoError::InvariantViolated {
+                        reason: format!(
+                            "class star size {} exceeds ⌈Δ/t⌉ = {star_bound}",
+                            sub.graph().max_degree()
+                        ),
+                    });
+                }
+                let (colors, palette, s) = stage(sub.graph(), t, x - 1, cfg, adaptive_t)?;
+                Ok(Some((sub, colors, palette, s)))
+            })
+            .collect();
+
+    let mut children = Vec::new();
+    for o in outcomes {
+        if let Some(c) = o? {
+            children.push(c);
+        }
+    }
+    let inner_palette = children.iter().map(|&(_, _, p, _)| p).max().unwrap_or(1);
+    let mut out = vec![0 as Color; g.num_edges()];
+    for (sub, colors, _, _) in &children {
+        for (local, &c) in colors.iter().enumerate() {
+            let parent = sub.to_parent_edge(EdgeId::new(local));
+            let phi_color = phi.color(parent); // connector edge id == parent edge id
+            let combined = u64::from(phi_color) * inner_palette + u64::from(c);
+            out[parent.index()] = u32::try_from(combined).map_err(|_| {
+                AlgoError::InvariantViolated { reason: "combined color exceeds u32".into() }
+            })?;
+        }
+    }
+    stats = stats.then(NetworkStats::in_parallel(children.iter().map(|&(_, _, _, s)| s)));
+    Ok((out, target_conn * inner_palette, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decolor_graph::generators;
+
+    #[test]
+    fn four_delta_coloring_x1() {
+        // Theorem 4.1, x = 1: 4Δ colors.
+        for seed in 0..3u64 {
+            let g = generators::random_regular(128, 16, seed).unwrap();
+            let params = StarPartitionParams::for_levels(&g, 1);
+            let res = star_partition_edge_coloring(&g, &params).unwrap();
+            assert!(res.coloring.is_proper(&g));
+            assert!(
+                res.coloring.palette() <= 4 * 16,
+                "palette {} exceeds 4Δ = 64",
+                res.coloring.palette()
+            );
+        }
+    }
+
+    #[test]
+    fn two_pow_x_plus_one_delta_for_deeper_x() {
+        let g = generators::random_regular(256, 32, 5).unwrap();
+        for x in 1..=3usize {
+            let params = StarPartitionParams::for_levels(&g, x);
+            let res = star_partition_edge_coloring(&g, &params).unwrap();
+            assert!(res.coloring.is_proper(&g), "x = {x} improper");
+            let bound = (1u64 << (x as u32 + 1)) * 32;
+            assert!(
+                res.coloring.palette() <= bound,
+                "x = {x}: palette {} > 2^{}Δ = {bound}",
+                res.coloring.palette(),
+                x + 1
+            );
+        }
+    }
+
+    #[test]
+    fn trim_reduces_palette() {
+        let g = generators::random_regular(128, 27, 2).unwrap();
+        let with_trim = star_partition_edge_coloring(&g, &StarPartitionParams::for_levels(&g, 1))
+            .unwrap();
+        let mut no_trim_params = StarPartitionParams::for_levels(&g, 1);
+        no_trim_params.trim = false;
+        let without = star_partition_edge_coloring(&g, &no_trim_params).unwrap();
+        assert!(without.coloring.is_proper(&g));
+        assert!(with_trim.coloring.palette() <= without.coloring.palette());
+        assert_eq!(with_trim.untrimmed_palette, without.coloring.palette());
+    }
+
+    #[test]
+    fn works_on_sparse_and_odd_shapes() {
+        for g in [
+            generators::path(20).unwrap(),
+            generators::cycle(21).unwrap(),
+            generators::star(40).unwrap(),
+            generators::grid(8, 9).unwrap(),
+            generators::gnm(100, 130, 3).unwrap(),
+        ] {
+            let params = StarPartitionParams::for_levels(&g, 1);
+            let res = star_partition_edge_coloring(&g, &params).unwrap();
+            assert!(res.coloring.is_proper(&g));
+        }
+    }
+
+    #[test]
+    fn handles_edgeless_graph() {
+        let g = decolor_graph::GraphBuilder::new(5).build();
+        let params = StarPartitionParams { t: 2, x: 1, ..StarPartitionParams::default() };
+        let res = star_partition_edge_coloring(&g, &params).unwrap();
+        assert!(res.coloring.is_empty());
+        assert_eq!(res.stats.rounds, 0);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let g = generators::path(4).unwrap();
+        let bad_t = StarPartitionParams { t: 1, x: 1, trim: false, ..StarPartitionParams::default() };
+        assert!(star_partition_edge_coloring(&g, &bad_t).is_err());
+        let bad_x = StarPartitionParams { t: 2, x: 0, trim: false, ..StarPartitionParams::default() };
+        assert!(star_partition_edge_coloring(&g, &bad_x).is_err());
+    }
+
+    #[test]
+    fn for_levels_computes_roots() {
+        let g = generators::random_regular(100, 16, 1).unwrap();
+        assert_eq!(StarPartitionParams::for_levels(&g, 1).t, 4); // ⌊16^{1/2}⌋
+        assert_eq!(StarPartitionParams::for_levels(&g, 3).t, 2); // ⌊16^{1/4}⌋
+    }
+
+    #[test]
+    fn more_levels_fewer_rounds_shape_on_large_delta() {
+        // The qualitative Table 1 shape: deeper recursion should not cost
+        // more rounds than x = 1 on high-degree graphs (our subroutine is
+        // linear in subgraph degree, which the recursion shrinks).
+        let g = generators::random_regular(512, 64, 4).unwrap();
+        let r1 = star_partition_edge_coloring(&g, &StarPartitionParams::for_levels(&g, 1)).unwrap();
+        let r3 = star_partition_edge_coloring(&g, &StarPartitionParams::for_levels(&g, 3)).unwrap();
+        assert!(r1.coloring.is_proper(&g));
+        assert!(r3.coloring.is_proper(&g));
+        assert!(
+            r3.stats.rounds <= r1.stats.rounds * 2,
+            "x=3 rounds {} unexpectedly dwarf x=1 rounds {}",
+            r3.stats.rounds,
+            r1.stats.rounds
+        );
+    }
+
+    #[test]
+    fn adaptive_t_stays_proper_on_irregular_graphs() {
+        let g = generators::barabasi_albert(300, 4, 3).unwrap();
+        let fixed = StarPartitionParams::for_levels(&g, 2);
+        let adaptive = StarPartitionParams { adaptive_t: true, ..fixed };
+        let rf = star_partition_edge_coloring(&g, &fixed).unwrap();
+        let ra = star_partition_edge_coloring(&g, &adaptive).unwrap();
+        assert!(rf.coloring.is_proper(&g));
+        assert!(ra.coloring.is_proper(&g));
+    }
+}

@@ -1,0 +1,105 @@
+//! Crate-level property tests: the paper's theorems across randomized
+//! parameter grids.
+
+use decolor_core::arboricity::{theorem52, theorem54};
+use decolor_core::decomposition::{clique_decomposition, star_partition};
+use decolor_core::delta_plus_one::{
+    delta_plus_one_coloring, Seed, SubroutineConfig,
+};
+use decolor_core::linial::{final_palette_bound, linial_coloring};
+use decolor_core::reduction::{basic_reduction, kw_reduction};
+use decolor_graph::generators;
+use decolor_graph::line_graph::LineGraph;
+use decolor_runtime::{IdAssignment, Network};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Linial: proper, within the fixed-point bound, for arbitrary ID
+    /// permutations (including sparse ID spaces).
+    #[test]
+    fn linial_under_arbitrary_ids(seed in 0u64..1000, stride in 1u64..500) {
+        let g = generators::gnm(60, 180, seed).unwrap();
+        let ids = IdAssignment::sparse(60, stride, seed);
+        let mut net = Network::new(&g);
+        let res = linial_coloring(&mut net, &ids).unwrap();
+        prop_assert!(res.coloring.is_proper(&g));
+        prop_assert!(
+            res.coloring.palette()
+                <= final_palette_bound(g.max_degree()).max(ids.id_space())
+        );
+        prop_assert!(net.stats().rounds <= 8);
+    }
+
+    /// Both reductions reach any legal target and stay proper.
+    #[test]
+    fn reductions_reach_any_legal_target(seed in 0u64..500, slack in 0u64..20) {
+        let g = generators::gnm(50, 150, seed).unwrap();
+        let target = g.max_degree() as u64 + 1 + slack;
+        let ids = IdAssignment::shuffled(50, seed);
+        let mut net = Network::new(&g);
+        let start = linial_coloring(&mut net, &ids).unwrap().coloring;
+        let palette = start.palette();
+
+        let mut a = start.as_slice().to_vec();
+        let mut net_a = Network::new(&g);
+        let pa = basic_reduction(&mut net_a, &mut a, palette, target).unwrap();
+        prop_assert!(pa <= target);
+        prop_assert!(decolor_graph::coloring::VertexColoring::new(a, pa).unwrap().is_proper(&g));
+
+        let mut b = start.as_slice().to_vec();
+        let mut net_b = Network::new(&g);
+        let pb = kw_reduction(&mut net_b, &mut b, palette, target).unwrap();
+        prop_assert!(pb <= target);
+        prop_assert!(decolor_graph::coloring::VertexColoring::new(b, pb).unwrap().is_proper(&g));
+    }
+
+    /// The (Δ+1) subroutine is ID-permutation invariant in its guarantees.
+    #[test]
+    fn delta_plus_one_id_invariance(seed in 0u64..500) {
+        let g = generators::random_regular(48, 6, 3).unwrap();
+        let ids = IdAssignment::shuffled(48, seed);
+        let (c, _) = delta_plus_one_coloring(&g, Seed::Ids(&ids), SubroutineConfig::default())
+            .unwrap();
+        prop_assert!(c.is_proper(&g));
+        prop_assert_eq!(c.palette(), 7);
+    }
+
+    /// Theorem 5.2 palette bound across (a, q) grids.
+    #[test]
+    fn theorem52_parameter_grid(seed in 0u64..200, a in 1usize..5, qx in 0u32..3) {
+        let q = 2.5 + qx as f64;
+        let g = generators::forest_union(150, a, 6, seed).unwrap();
+        let res = theorem52(&g, a, q, SubroutineConfig::default()).unwrap();
+        prop_assert!(res.coloring.is_proper(&g));
+        let d = (q * a as f64).ceil() as u64;
+        prop_assert!(res.coloring.palette() <= (4 * d + 1).max(g.max_degree() as u64 + d));
+    }
+
+    /// Theorem 5.4 stays proper across x and a.
+    #[test]
+    fn theorem54_parameter_grid(seed in 0u64..200, a in 1usize..4, x in 1usize..4) {
+        let g = generators::forest_union(120, a, 6, seed).unwrap();
+        let res = theorem54(&g, a, 2.5, x, SubroutineConfig::default()).unwrap();
+        prop_assert!(res.coloring.is_proper(&g));
+    }
+
+    /// Theorem 2.4 decomposition bounds on random line graphs.
+    #[test]
+    fn clique_decomposition_grid(seed in 0u64..200, t in 2usize..5, x in 1usize..3) {
+        let g = generators::random_regular(40, 8, seed).unwrap();
+        let lg = LineGraph::new(&g);
+        let ids = IdAssignment::shuffled(lg.graph.num_vertices(), seed);
+        let dec = clique_decomposition(&lg.graph, &lg.cover, t, x, &ids).unwrap();
+        dec.verify(&lg.graph, &lg.cover).unwrap();
+    }
+
+    /// (p, q)-star-partitions verify across the grid.
+    #[test]
+    fn star_partition_grid(seed in 0u64..200, t in 2usize..6, x in 1usize..3) {
+        let g = generators::gnm(40, 140, seed).unwrap();
+        let sp = star_partition(&g, t, x).unwrap();
+        sp.verify(&g).unwrap();
+    }
+}

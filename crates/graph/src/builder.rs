@@ -1,0 +1,190 @@
+//! Incremental construction of [`Graph`]s.
+
+use std::collections::HashSet;
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::VertexId;
+
+/// Incremental builder for [`Graph`].
+///
+/// By default the builder rejects self-loops and parallel edges, which is
+/// what all algorithms in this workspace assume of *input* graphs; use
+/// [`GraphBuilder::new_multi`] when a construction (e.g. a connector over
+/// virtual vertices) may legitimately produce parallel edges.
+///
+/// ```rust
+/// use decolor_graph::GraphBuilder;
+/// # fn main() -> Result<(), decolor_graph::GraphError> {
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// assert!(b.add_edge(1, 0).is_err()); // parallel
+/// assert!(b.add_edge(2, 2).is_err()); // self-loop
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<[VertexId; 2]>,
+    seen: Option<HashSet<(u32, u32)>>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a simple graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new(), seen: Some(HashSet::new()) }
+    }
+
+    /// Creates a builder that permits parallel edges (but not self-loops).
+    pub fn new_multi(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new(), seen: None }
+    }
+
+    /// Pre-allocates space for `m` edges.
+    pub fn with_edge_capacity(mut self, m: usize) -> Self {
+        self.edges.reserve(m);
+        if let Some(seen) = &mut self.seen {
+            seen.reserve(m);
+        }
+        self
+    }
+
+    /// Number of vertices this builder was created with.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::VertexOutOfRange`] if `u >= n` or `v >= n`.
+    /// * [`GraphError::SelfLoop`] if `u == v`.
+    /// * [`GraphError::ParallelEdge`] if the edge already exists and the
+    ///   builder was created with [`GraphBuilder::new`].
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        if u >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        if let Some(seen) = &mut self.seen {
+            if !seen.insert((lo as u32, hi as u32)) {
+                return Err(GraphError::ParallelEdge { u, v });
+            }
+        }
+        self.edges.push([VertexId::new(lo), VertexId::new(hi)]);
+        Ok(())
+    }
+
+    /// Adds `{u, v}` unless it is a duplicate, reporting whether it was added.
+    ///
+    /// Only meaningful for simple builders; for multi builders this always
+    /// adds.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GraphBuilder::add_edge`] except duplicates are tolerated.
+    pub fn add_edge_dedup(&mut self, u: usize, v: usize) -> Result<bool, GraphError> {
+        match self.add_edge(u, v) {
+            Ok(()) => Ok(true),
+            Err(GraphError::ParallelEdge { .. }) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Returns `true` if the simple builder already contains `{u, v}`.
+    ///
+    /// Always `false` for multi builders.
+    pub fn contains_edge(&self, u: usize, v: usize) -> bool {
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        self.seen.as_ref().is_some_and(|s| s.contains(&(lo as u32, hi as u32)))
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        Graph::from_parts(self.n, self.edges)
+    }
+}
+
+/// Convenience constructor: builds a simple graph from an edge list.
+///
+/// # Errors
+///
+/// Propagates the first [`GraphError`] encountered.
+///
+/// ```rust
+/// use decolor_graph::builder_from_edges;
+/// let g = builder_from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+pub fn builder_from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Graph, GraphError> {
+    let mut b = GraphBuilder::new(n).with_edge_capacity(edges.len());
+    for &(u, v) in edges {
+        b.add_edge(u, v)?;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(b.add_edge(0, 2), Err(GraphError::VertexOutOfRange { vertex: 2, n: 2 }));
+    }
+
+    #[test]
+    fn rejects_self_loop_even_in_multi() {
+        let mut b = GraphBuilder::new_multi(2);
+        assert_eq!(b.add_edge(1, 1), Err(GraphError::SelfLoop { vertex: 1 }));
+    }
+
+    #[test]
+    fn dedup_add_reports_duplicates() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge_dedup(0, 1).unwrap());
+        assert!(!b.add_edge_dedup(1, 0).unwrap());
+        assert_eq!(b.num_edges(), 1);
+    }
+
+    #[test]
+    fn contains_edge_is_order_insensitive() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(2, 0).unwrap();
+        assert!(b.contains_edge(0, 2));
+        assert!(b.contains_edge(2, 0));
+        assert!(!b.contains_edge(0, 1));
+    }
+
+    #[test]
+    fn endpoints_are_normalized_ascending() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(2, 1).unwrap();
+        let g = b.build();
+        let [a, c] = g.endpoints(crate::EdgeId::new(0));
+        assert!(a < c);
+    }
+
+    #[test]
+    fn from_edges_helper() {
+        let g = builder_from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(builder_from_edges(1, &[(0, 0)]).is_err());
+    }
+}

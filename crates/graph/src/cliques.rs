@@ -1,0 +1,417 @@
+//! Clique covers, the paper's *diversity* measure, and maximal-clique
+//! machinery.
+//!
+//! Section 1.2 of the paper defines the **diversity** `D(G)` as the maximal
+//! number of *identified* maximal cliques that any vertex belongs to, under
+//! a *consistent clique identification* — a set of cliques such that, for
+//! every vertex, the union of its cliques contains all its neighbors
+//! (footnote 3). Line graphs come with a canonical identification (one
+//! clique per original vertex, diversity ≤ 2); for arbitrary graphs we also
+//! provide Bron–Kerbosch enumeration of all maximal cliques, which yields a
+//! consistent identification for verification at small scale.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::VertexId;
+
+/// Identifier of a clique inside a [`CliqueCover`].
+pub type CliqueId = usize;
+
+/// A consistent clique identification of a graph.
+///
+/// Stores the vertex list of every identified clique and, per vertex, the
+/// list of cliques it belongs to. Validity ([`CliqueCover::validate`])
+/// requires each clique to induce a complete subgraph and every edge to be
+/// inside at least one clique (this is exactly "the cliques that a vertex
+/// belongs to contain all its neighbors").
+///
+/// ```rust
+/// use decolor_graph::{builder_from_edges, cliques::CliqueCover, VertexId};
+/// // Two triangles sharing vertex 2 (a "bowtie").
+/// let g = builder_from_edges(5, &[(0,1),(0,2),(1,2),(2,3),(2,4),(3,4)]).unwrap();
+/// let cover = CliqueCover::new(&g, vec![vec![0,1,2], vec![2,3,4]]
+///     .into_iter()
+///     .map(|c| c.into_iter().map(VertexId::new).collect())
+///     .collect())
+///     .unwrap();
+/// assert_eq!(cover.diversity(), 2); // vertex 2 is in both cliques
+/// assert_eq!(cover.max_clique_size(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CliqueCover {
+    cliques: Vec<Vec<VertexId>>,
+    membership: Vec<Vec<CliqueId>>,
+}
+
+impl CliqueCover {
+    /// Builds and validates a cover from explicit clique vertex lists.
+    ///
+    /// Empty cliques are rejected; singleton cliques are permitted (they
+    /// cover isolated vertices).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::ValidationFailed`] if a clique is not complete in `g`,
+    /// an edge of `g` is covered by no clique, or a clique repeats a vertex.
+    pub fn new(g: &Graph, cliques: Vec<Vec<VertexId>>) -> Result<Self, GraphError> {
+        let cover = Self::new_unchecked(g.num_vertices(), cliques)?;
+        cover.validate(g)?;
+        Ok(cover)
+    }
+
+    /// Builds a cover without the completeness/coverage checks (still
+    /// rejects empty cliques, out-of-range or repeated vertices).
+    ///
+    /// Useful when the construction guarantees validity (e.g. line graphs)
+    /// and the graph is large.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::ValidationFailed`] on structurally malformed input.
+    pub fn new_unchecked(n: usize, cliques: Vec<Vec<VertexId>>) -> Result<Self, GraphError> {
+        let mut membership = vec![Vec::new(); n];
+        for (qi, clique) in cliques.iter().enumerate() {
+            if clique.is_empty() {
+                return Err(GraphError::ValidationFailed {
+                    reason: format!("clique {qi} is empty"),
+                });
+            }
+            let mut sorted = clique.clone();
+            sorted.sort_unstable();
+            if sorted.windows(2).any(|w| w[0] == w[1]) {
+                return Err(GraphError::ValidationFailed {
+                    reason: format!("clique {qi} repeats a vertex"),
+                });
+            }
+            for &v in clique {
+                if v.index() >= n {
+                    return Err(GraphError::ValidationFailed {
+                        reason: format!("clique {qi} mentions out-of-range vertex {v}"),
+                    });
+                }
+                membership[v.index()].push(qi);
+            }
+        }
+        Ok(CliqueCover { cliques, membership })
+    }
+
+    /// Checks that every clique is complete in `g` and every edge of `g`
+    /// lies inside at least one clique.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::ValidationFailed`] describing the first violation.
+    pub fn validate(&self, g: &Graph) -> Result<(), GraphError> {
+        if self.membership.len() != g.num_vertices() {
+            return Err(GraphError::ValidationFailed {
+                reason: format!(
+                    "cover built for {} vertices, graph has {}",
+                    self.membership.len(),
+                    g.num_vertices()
+                ),
+            });
+        }
+        for (qi, clique) in self.cliques.iter().enumerate() {
+            for (i, &u) in clique.iter().enumerate() {
+                for &v in &clique[i + 1..] {
+                    if !g.has_edge(u, v) {
+                        return Err(GraphError::ValidationFailed {
+                            reason: format!("clique {qi} contains non-adjacent {u}, {v}"),
+                        });
+                    }
+                }
+            }
+        }
+        // Edge coverage: each edge must appear inside some clique.
+        for (e, [u, v]) in g.edge_list() {
+            let covered = self.membership[u.index()]
+                .iter()
+                .any(|&qi| self.cliques[qi].contains(&v));
+            if !covered {
+                return Err(GraphError::ValidationFailed {
+                    reason: format!("edge {e} = ({u},{v}) not covered by any clique"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of identified cliques.
+    pub fn num_cliques(&self) -> usize {
+        self.cliques.len()
+    }
+
+    /// Vertices of clique `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn clique(&self, q: CliqueId) -> &[VertexId] {
+        &self.cliques[q]
+    }
+
+    /// All cliques.
+    pub fn cliques(&self) -> &[Vec<VertexId>] {
+        &self.cliques
+    }
+
+    /// Cliques containing vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn cliques_of(&self, v: VertexId) -> &[CliqueId] {
+        &self.membership[v.index()]
+    }
+
+    /// The diversity `D`: maximal number of identified cliques any vertex
+    /// belongs to (0 for the empty cover).
+    pub fn diversity(&self) -> usize {
+        self.membership.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The maximal clique size `S` (0 for the empty cover).
+    pub fn max_clique_size(&self) -> usize {
+        self.cliques.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The *clique master* of clique `q`: its highest-ID vertex, per §2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range or empty (excluded by construction).
+    pub fn master(&self, q: CliqueId) -> VertexId {
+        *self.cliques[q].iter().max().expect("cliques are nonempty by construction")
+    }
+
+    /// Restricts the cover to an induced subgraph: each clique is
+    /// intersected with the subgraph's vertex set and re-indexed to local
+    /// identifiers; empty intersections are dropped.
+    ///
+    /// This is how Algorithm 1 maintains consistent cliques through the
+    /// recursion (each clique of `G_i` is a subset of a clique of `G`,
+    /// Lemma 2.3).
+    pub fn restrict(&self, sub: &crate::subgraph::InducedSubgraph) -> CliqueCover {
+        let mut cliques = Vec::new();
+        for clique in &self.cliques {
+            let local: Vec<VertexId> = clique
+                .iter()
+                .filter_map(|&v| sub.from_parent_vertex(v))
+                .collect();
+            if !local.is_empty() {
+                cliques.push(local);
+            }
+        }
+        CliqueCover::new_unchecked(sub.graph().num_vertices(), cliques)
+            .expect("restriction of a well-formed cover is well-formed")
+    }
+
+    /// The trivial cover of an edgeless-or-not graph by one clique per edge
+    /// plus one singleton per isolated vertex. Diversity = Δ in the worst
+    /// case — only useful as a fallback or in tests.
+    pub fn per_edge(g: &Graph) -> CliqueCover {
+        let mut cliques: Vec<Vec<VertexId>> =
+            g.edge_list().map(|(_, [u, v])| vec![u, v]).collect();
+        for v in g.vertices() {
+            if g.degree(v) == 0 {
+                cliques.push(vec![v]);
+            }
+        }
+        CliqueCover::new_unchecked(g.num_vertices(), cliques)
+            .expect("per-edge cover is well-formed")
+    }
+}
+
+/// Enumerates **all maximal cliques** of `g` via Bron–Kerbosch with
+/// pivoting. Exponential in the worst case — intended for verification and
+/// for building consistent identifications on small/medium graphs (the
+/// paper notes each vertex can identify its maximal cliques in one round;
+/// this is the centralized equivalent).
+///
+/// ```rust
+/// use decolor_graph::{builder_from_edges, cliques::maximal_cliques};
+/// let g = builder_from_edges(4, &[(0,1),(1,2),(2,0),(2,3)]).unwrap();
+/// let mut cliques = maximal_cliques(&g);
+/// cliques.sort();
+/// assert_eq!(cliques.len(), 2); // {0,1,2} and {2,3}
+/// ```
+pub fn maximal_cliques(g: &Graph) -> Vec<Vec<VertexId>> {
+    let n = g.num_vertices();
+    // Sorted adjacency sets for O(log) membership tests.
+    let adj: Vec<Vec<VertexId>> = (0..n)
+        .map(|v| {
+            let mut a: Vec<VertexId> = g.neighbors(VertexId::new(v)).collect();
+            a.sort_unstable();
+            a.dedup();
+            a
+        })
+        .collect();
+    let is_adj = |u: VertexId, v: VertexId| adj[u.index()].binary_search(&v).is_ok();
+
+    let mut out = Vec::new();
+    let mut r: Vec<VertexId> = Vec::new();
+    let p: Vec<VertexId> = (0..n).map(VertexId::new).collect();
+    let x: Vec<VertexId> = Vec::new();
+
+    fn bk(
+        r: &mut Vec<VertexId>,
+        mut p: Vec<VertexId>,
+        mut x: Vec<VertexId>,
+        is_adj: &dyn Fn(VertexId, VertexId) -> bool,
+        out: &mut Vec<Vec<VertexId>>,
+    ) {
+        if p.is_empty() && x.is_empty() {
+            let mut clique = r.clone();
+            clique.sort_unstable();
+            out.push(clique);
+            return;
+        }
+        // Pivot: vertex of P ∪ X with most neighbors in P.
+        let pivot = p
+            .iter()
+            .chain(x.iter())
+            .copied()
+            .max_by_key(|&u| p.iter().filter(|&&w| is_adj(u, w)).count())
+            .expect("P ∪ X nonempty here");
+        let candidates: Vec<VertexId> =
+            p.iter().copied().filter(|&v| !is_adj(pivot, v)).collect();
+        for v in candidates {
+            r.push(v);
+            let np: Vec<VertexId> = p.iter().copied().filter(|&w| is_adj(v, w)).collect();
+            let nx: Vec<VertexId> = x.iter().copied().filter(|&w| is_adj(v, w)).collect();
+            bk(r, np, nx, is_adj, out);
+            r.pop();
+            p.retain(|&w| w != v);
+            x.push(v);
+        }
+    }
+
+    bk(&mut r, p, x, &is_adj, &mut out);
+    out
+}
+
+/// Builds a consistent identification from **all** maximal cliques
+/// (footnote 3's fallback: "each vertex identifies all maximal cliques it
+/// belongs to"). Adds singletons for isolated vertices so every vertex is
+/// covered.
+///
+/// # Errors
+///
+/// Propagates [`GraphError::ValidationFailed`] (cannot happen for outputs
+/// of [`maximal_cliques`], but the signature keeps the invariant explicit).
+pub fn cover_from_all_maximal_cliques(g: &Graph) -> Result<CliqueCover, GraphError> {
+    let mut cliques = maximal_cliques(g);
+    cliques.retain(|c| !c.is_empty());
+    CliqueCover::new_unchecked(g.num_vertices(), cliques)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder_from_edges;
+
+    fn bowtie() -> Graph {
+        builder_from_edges(5, &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)]).unwrap()
+    }
+
+    fn ids(raw: &[usize]) -> Vec<VertexId> {
+        raw.iter().map(|&v| VertexId::new(v)).collect()
+    }
+
+    #[test]
+    fn bowtie_cover_diversity() {
+        let g = bowtie();
+        let cover = CliqueCover::new(&g, vec![ids(&[0, 1, 2]), ids(&[2, 3, 4])]).unwrap();
+        assert_eq!(cover.diversity(), 2);
+        assert_eq!(cover.max_clique_size(), 3);
+        assert_eq!(cover.cliques_of(VertexId::new(2)), &[0, 1]);
+        assert_eq!(cover.master(0), VertexId::new(2));
+        assert_eq!(cover.master(1), VertexId::new(4));
+    }
+
+    #[test]
+    fn incomplete_clique_rejected() {
+        let g = builder_from_edges(3, &[(0, 1)]).unwrap();
+        assert!(CliqueCover::new(&g, vec![ids(&[0, 1, 2])]).is_err());
+    }
+
+    #[test]
+    fn uncovered_edge_rejected() {
+        let g = builder_from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert!(CliqueCover::new(&g, vec![ids(&[0, 1])]).is_err());
+    }
+
+    #[test]
+    fn empty_clique_rejected() {
+        assert!(CliqueCover::new_unchecked(3, vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn repeated_vertex_rejected() {
+        assert!(CliqueCover::new_unchecked(3, vec![ids(&[1, 1])]).is_err());
+    }
+
+    #[test]
+    fn bron_kerbosch_on_bowtie() {
+        let g = bowtie();
+        let mut cliques = maximal_cliques(&g);
+        cliques.sort();
+        assert_eq!(cliques, vec![ids(&[0, 1, 2]), ids(&[2, 3, 4])]);
+    }
+
+    #[test]
+    fn bron_kerbosch_on_complete_graph() {
+        let g = crate::generators::complete(6).unwrap();
+        let cliques = maximal_cliques(&g);
+        assert_eq!(cliques.len(), 1);
+        assert_eq!(cliques[0].len(), 6);
+    }
+
+    #[test]
+    fn bron_kerbosch_on_triangle_free() {
+        // C5 has exactly its 5 edges as maximal cliques.
+        let g = crate::generators::cycle(5).unwrap();
+        let cliques = maximal_cliques(&g);
+        assert_eq!(cliques.len(), 5);
+        assert!(cliques.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn cover_from_maximal_cliques_is_valid() {
+        let g = bowtie();
+        let cover = cover_from_all_maximal_cliques(&g).unwrap();
+        cover.validate(&g).unwrap();
+        assert_eq!(cover.diversity(), 2);
+    }
+
+    #[test]
+    fn per_edge_cover_covers_everything() {
+        let g = bowtie();
+        let cover = CliqueCover::per_edge(&g);
+        cover.validate(&g).unwrap();
+        assert_eq!(cover.diversity(), 4); // vertex 2 has degree 4
+    }
+
+    #[test]
+    fn restrict_cover_to_induced_subgraph() {
+        let g = bowtie();
+        let cover = CliqueCover::new(&g, vec![ids(&[0, 1, 2]), ids(&[2, 3, 4])]).unwrap();
+        let sub = crate::subgraph::InducedSubgraph::new(&g, &ids(&[1, 2, 3]));
+        let restricted = cover.restrict(&sub);
+        restricted.validate(sub.graph()).unwrap();
+        // Both cliques survive as {1,2} and {2,3} locally.
+        assert_eq!(restricted.num_cliques(), 2);
+        assert_eq!(restricted.max_clique_size(), 2);
+        assert!(restricted.diversity() <= cover.diversity());
+    }
+
+    #[test]
+    fn isolated_vertices_get_singletons() {
+        let mut b = crate::GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        let cover = cover_from_all_maximal_cliques(&g).unwrap();
+        cover.validate(&g).unwrap();
+        assert!(cover.cliques_of(VertexId::new(2)).len() == 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Graphviz DOT export, used to regenerate the paper's Figures 1–3.
+
+use std::fmt::Write as _;
+
+use crate::coloring::{EdgeColoring, VertexColoring};
+use crate::graph::Graph;
+
+/// A small qualitative palette; colors beyond it cycle with varying hue.
+const PALETTE: [&str; 12] = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+    "#bcbd22", "#17becf", "#aec7e8", "#ffbb78",
+];
+
+fn color_hex(c: u32) -> String {
+    if (c as usize) < PALETTE.len() {
+        PALETTE[c as usize].to_string()
+    } else {
+        // Golden-angle hue walk for arbitrarily many colors.
+        let hue = (c as f64 * 137.507_764) % 360.0;
+        let (r, g, b) = hsl_to_rgb(hue, 0.65, 0.5);
+        format!("#{r:02x}{g:02x}{b:02x}")
+    }
+}
+
+fn hsl_to_rgb(h: f64, s: f64, l: f64) -> (u8, u8, u8) {
+    let c = (1.0 - (2.0 * l - 1.0).abs()) * s;
+    let hp = h / 60.0;
+    let x = c * (1.0 - (hp % 2.0 - 1.0).abs());
+    let (r1, g1, b1) = match hp as u32 {
+        0 => (c, x, 0.0),
+        1 => (x, c, 0.0),
+        2 => (0.0, c, x),
+        3 => (0.0, x, c),
+        4 => (x, 0.0, c),
+        _ => (c, 0.0, x),
+    };
+    let m = l - c / 2.0;
+    (
+        ((r1 + m) * 255.0).round() as u8,
+        ((g1 + m) * 255.0).round() as u8,
+        ((b1 + m) * 255.0).round() as u8,
+    )
+}
+
+/// Options controlling DOT rendering.
+#[derive(Clone, Debug, Default)]
+pub struct DotOptions {
+    /// Graph title rendered as a label.
+    pub title: Option<String>,
+    /// Per-vertex labels; defaults to `v{i}`.
+    pub vertex_labels: Option<Vec<String>>,
+    /// Fill vertices by this coloring.
+    pub vertex_coloring: Option<VertexColoring>,
+    /// Color edges by this coloring.
+    pub edge_coloring: Option<EdgeColoring>,
+    /// Extra per-edge style attributes (e.g. `style=dashed` for removed
+    /// clique edges in Figure 1).
+    pub edge_styles: Option<Vec<String>>,
+}
+
+/// Renders `g` as an undirected Graphviz `graph`.
+///
+/// ```rust
+/// use decolor_graph::{builder_from_edges, dot};
+/// let g = builder_from_edges(2, &[(0, 1)]).unwrap();
+/// let s = dot::render(&g, &dot::DotOptions::default());
+/// assert!(s.contains("graph G {"));
+/// assert!(s.contains("v0 -- v1"));
+/// ```
+pub fn render(g: &Graph, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    out.push_str("graph G {\n");
+    out.push_str("  node [shape=circle, style=filled, fillcolor=white];\n");
+    if let Some(title) = &opts.title {
+        let _ = writeln!(out, "  label=\"{}\";\n  labelloc=t;", escape(title));
+    }
+    for v in g.vertices() {
+        let label = opts
+            .vertex_labels
+            .as_ref()
+            .and_then(|l| l.get(v.index()).cloned())
+            .unwrap_or_else(|| v.to_string());
+        let mut attrs = format!("label=\"{}\"", escape(&label));
+        if let Some(c) = &opts.vertex_coloring {
+            let _ = write!(attrs, ", fillcolor=\"{}\"", color_hex(c.color(v)));
+        }
+        let _ = writeln!(out, "  v{} [{}];", v.index(), attrs);
+    }
+    for (e, [u, v]) in g.edge_list() {
+        let mut attrs = Vec::new();
+        if let Some(c) = &opts.edge_coloring {
+            attrs.push(format!("color=\"{}\"", color_hex(c.color(e))));
+            attrs.push("penwidth=2".to_string());
+        }
+        if let Some(styles) = &opts.edge_styles {
+            if let Some(s) = styles.get(e.index()) {
+                if !s.is_empty() {
+                    attrs.push(s.clone());
+                }
+            }
+        }
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  v{} -- v{};", u.index(), v.index());
+        } else {
+            let _ = writeln!(out, "  v{} -- v{} [{}];", u.index(), v.index(), attrs.join(", "));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder_from_edges;
+    use crate::coloring::{EdgeColoring, VertexColoring};
+
+    #[test]
+    fn renders_plain_graph() {
+        let g = builder_from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let s = render(&g, &DotOptions::default());
+        assert!(s.starts_with("graph G {"));
+        assert!(s.contains("v1 -- v2"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn renders_colorings_and_title() {
+        let g = builder_from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let opts = DotOptions {
+            title: Some("Figure \"1\"".into()),
+            vertex_coloring: Some(VertexColoring::new(vec![0, 1, 0], 2).unwrap()),
+            edge_coloring: Some(EdgeColoring::new(vec![0, 1], 2).unwrap()),
+            ..Default::default()
+        };
+        let s = render(&g, &opts);
+        assert!(s.contains("fillcolor=\"#1f77b4\""));
+        assert!(s.contains("label=\"Figure \\\"1\\\"\""));
+        assert!(s.contains("penwidth=2"));
+    }
+
+    #[test]
+    fn large_colors_get_generated_hues() {
+        let hex = super::color_hex(1000);
+        assert!(hex.starts_with('#') && hex.len() == 7);
+    }
+
+    #[test]
+    fn edge_styles_apply() {
+        let g = builder_from_edges(2, &[(0, 1)]).unwrap();
+        let opts = DotOptions {
+            edge_styles: Some(vec!["style=dashed".into()]),
+            ..Default::default()
+        };
+        assert!(render(&g, &opts).contains("style=dashed"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for graph construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction, generators and validators.
+///
+/// ```rust
+/// use decolor_graph::{GraphBuilder, GraphError};
+/// let mut b = GraphBuilder::new(2);
+/// assert!(matches!(b.add_edge(0, 5), Err(GraphError::VertexOutOfRange { .. })));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An endpoint index is `>= n`.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: usize,
+        /// The number of vertices in the graph.
+        n: usize,
+    },
+    /// A self-loop `{v, v}` was inserted.
+    SelfLoop {
+        /// The vertex with the self-loop.
+        vertex: usize,
+    },
+    /// A parallel edge was inserted while the builder forbids them.
+    ParallelEdge {
+        /// One endpoint.
+        u: usize,
+        /// The other endpoint.
+        v: usize,
+    },
+    /// A generator received parameters that admit no graph.
+    InvalidParameters {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A generator exhausted its retry budget (e.g. the pairing model for
+    /// random regular graphs kept producing collisions).
+    GenerationFailed {
+        /// Human-readable description of the failure.
+        reason: String,
+    },
+    /// A validation failed (improper coloring, broken clique cover, ...).
+    ValidationFailed {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex index {vertex} out of range for graph with {n} vertices")
+            }
+            GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
+            GraphError::ParallelEdge { u, v } => {
+                write!(f, "parallel edge between {u} and {v} (builder forbids parallel edges)")
+            }
+            GraphError::InvalidParameters { reason } => write!(f, "invalid parameters: {reason}"),
+            GraphError::GenerationFailed { reason } => write!(f, "generation failed: {reason}"),
+            GraphError::ValidationFailed { reason } => write!(f, "validation failed: {reason}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::VertexOutOfRange { vertex: 9, n: 3 };
+        assert_eq!(e.to_string(), "vertex index 9 out of range for graph with 3 vertices");
+        let e = GraphError::SelfLoop { vertex: 2 };
+        assert!(e.to_string().contains("self-loop"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

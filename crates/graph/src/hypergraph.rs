@@ -1,0 +1,208 @@
+//! c-uniform hypergraphs and their line graphs.
+//!
+//! The paper (§1.2) observes that the line graph of a c-uniform hypergraph
+//! has diversity ≤ c under the canonical clique identification: each vertex
+//! of the hypergraph identifies the clique of hyperedges containing it.
+
+use crate::cliques::CliqueCover;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::VertexId;
+
+/// A hypergraph on vertex set `0..n` with hyperedges given as sorted
+/// vertex lists.
+///
+/// ```rust
+/// use decolor_graph::hypergraph::Hypergraph;
+/// let h = Hypergraph::new(5, vec![vec![0, 1, 2], vec![2, 3, 4]]).unwrap();
+/// assert!(h.is_uniform(3));
+/// assert_eq!(h.max_vertex_degree(), 1 + 1); // vertex 2 is in both
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hypergraph {
+    n: usize,
+    edges: Vec<Vec<usize>>,
+    /// Per vertex, the hyperedges containing it.
+    membership: Vec<Vec<usize>>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph, sorting each hyperedge and validating.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameters`] for out-of-range vertices,
+    /// repeated vertices inside a hyperedge, hyperedges of size < 2, or
+    /// duplicate hyperedges.
+    pub fn new(n: usize, mut edges: Vec<Vec<usize>>) -> Result<Self, GraphError> {
+        let mut seen = std::collections::HashSet::new();
+        for (i, e) in edges.iter_mut().enumerate() {
+            if e.len() < 2 {
+                return Err(GraphError::InvalidParameters {
+                    reason: format!("hyperedge {i} has fewer than 2 vertices"),
+                });
+            }
+            e.sort_unstable();
+            if e.windows(2).any(|w| w[0] == w[1]) {
+                return Err(GraphError::InvalidParameters {
+                    reason: format!("hyperedge {i} repeats a vertex"),
+                });
+            }
+            if let Some(&v) = e.iter().find(|&&v| v >= n) {
+                return Err(GraphError::InvalidParameters {
+                    reason: format!("hyperedge {i} mentions out-of-range vertex {v}"),
+                });
+            }
+            if !seen.insert(e.clone()) {
+                return Err(GraphError::InvalidParameters {
+                    reason: format!("duplicate hyperedge {e:?}"),
+                });
+            }
+        }
+        let mut membership = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            for &v in e {
+                membership[v].push(i);
+            }
+        }
+        Ok(Hypergraph { n, edges, membership })
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of hyperedges.
+    pub fn num_hyperedges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The (sorted) vertex list of hyperedge `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn hyperedge(&self, i: usize) -> &[usize] {
+        &self.edges[i]
+    }
+
+    /// Hyperedges containing vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn hyperedges_of(&self, v: usize) -> &[usize] {
+        &self.membership[v]
+    }
+
+    /// `true` iff every hyperedge has exactly `c` vertices.
+    pub fn is_uniform(&self, c: usize) -> bool {
+        self.edges.iter().all(|e| e.len() == c)
+    }
+
+    /// The rank: maximum hyperedge size (0 if there are no hyperedges).
+    pub fn rank(&self) -> usize {
+        self.edges.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Maximum number of hyperedges any vertex belongs to.
+    pub fn max_vertex_degree(&self) -> usize {
+        self.membership.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Builds the **line graph**: one vertex per hyperedge, adjacent iff
+    /// the hyperedges intersect, together with the canonical clique cover
+    /// (one clique per hypergraph vertex of degree ≥ 1).
+    ///
+    /// For a c-uniform hypergraph the cover has diversity ≤ c and maximal
+    /// clique size = [`Hypergraph::max_vertex_degree`].
+    pub fn line_graph(&self) -> HypergraphLineGraph {
+        let m = self.edges.len();
+        let mut b = crate::builder::GraphBuilder::new(m);
+        for mem in &self.membership {
+            for (i, &e1) in mem.iter().enumerate() {
+                for &e2 in &mem[i + 1..] {
+                    // Two hyperedges may share several vertices; dedup.
+                    let _ = b
+                        .add_edge_dedup(e1, e2)
+                        .expect("indices are in range by construction");
+                }
+            }
+        }
+        let graph = b.build();
+        let cliques: Vec<Vec<VertexId>> = self
+            .membership
+            .iter()
+            .filter(|mem| !mem.is_empty())
+            .map(|mem| mem.iter().map(|&e| VertexId::new(e)).collect())
+            .collect();
+        let cover = CliqueCover::new_unchecked(m, cliques)
+            .expect("canonical hypergraph cover is well-formed");
+        HypergraphLineGraph { graph, cover }
+    }
+}
+
+/// The line graph of a [`Hypergraph`] with its canonical clique cover.
+///
+/// Line-graph vertex `i` corresponds to hyperedge `i` of the source.
+#[derive(Clone, Debug)]
+pub struct HypergraphLineGraph {
+    /// The line graph itself.
+    pub graph: Graph,
+    /// Canonical consistent clique identification (one clique per source
+    /// vertex); diversity ≤ c for c-uniform sources.
+    pub cover: CliqueCover,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Hypergraph::new(3, vec![vec![0]]).is_err());
+        assert!(Hypergraph::new(3, vec![vec![0, 0, 1]]).is_err());
+        assert!(Hypergraph::new(3, vec![vec![0, 5]]).is_err());
+        assert!(Hypergraph::new(3, vec![vec![0, 1], vec![1, 0]]).is_err());
+    }
+
+    #[test]
+    fn line_graph_of_two_sharing_edges() {
+        let h = Hypergraph::new(5, vec![vec![0, 1, 2], vec![2, 3, 4]]).unwrap();
+        let lg = h.line_graph();
+        assert_eq!(lg.graph.num_vertices(), 2);
+        assert_eq!(lg.graph.num_edges(), 1);
+        lg.cover.validate(&lg.graph).unwrap();
+        // Each hyperedge belongs to exactly 3 cliques (its 3 vertices).
+        assert_eq!(lg.cover.diversity(), 3);
+    }
+
+    #[test]
+    fn line_graph_diversity_bounded_by_uniformity() {
+        let h = crate::generators::random_uniform_hypergraph(50, 30, 4, 6, 3).unwrap();
+        let lg = h.line_graph();
+        lg.cover.validate(&lg.graph).unwrap();
+        assert!(lg.cover.diversity() <= 4);
+        assert_eq!(lg.cover.max_clique_size(), h.max_vertex_degree());
+    }
+
+    #[test]
+    fn line_graph_handles_multiply_intersecting_hyperedges() {
+        // Hyperedges sharing two vertices must still yield a single edge.
+        let h = Hypergraph::new(4, vec![vec![0, 1, 2], vec![0, 1, 3]]).unwrap();
+        let lg = h.line_graph();
+        assert_eq!(lg.graph.num_edges(), 1);
+        lg.cover.validate(&lg.graph).unwrap();
+    }
+
+    #[test]
+    fn membership_is_consistent() {
+        let h = Hypergraph::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3]]).unwrap();
+        assert_eq!(h.hyperedges_of(1), &[0, 1]);
+        assert_eq!(h.hyperedges_of(3), &[2]);
+        assert_eq!(h.rank(), 2);
+        assert!(h.is_uniform(2));
+        assert!(!h.is_uniform(3));
+    }
+}

@@ -1,0 +1,129 @@
+//! Newtype identifiers for vertices and edges.
+
+use std::fmt;
+
+/// Identifier of a vertex inside a particular [`Graph`](crate::Graph).
+///
+/// Vertex identifiers are dense indices `0..n`; they are *not* the
+/// O(log n)-bit distinct identifiers the LOCAL model assumes — those are
+/// assigned by the runtime (see `decolor-runtime`) so that experiments can
+/// permute them adversarially.
+///
+/// ```rust
+/// use decolor_graph::VertexId;
+/// let v = VertexId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(format!("{v}"), "v3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct VertexId(u32);
+
+/// Identifier of an edge inside a particular [`Graph`](crate::Graph).
+///
+/// Edge identifiers are dense indices `0..m` in insertion order.
+///
+/// ```rust
+/// use decolor_graph::EdgeId;
+/// let e = EdgeId::new(7);
+/// assert_eq!(e.index(), 7);
+/// assert_eq!(format!("{e}"), "e7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub struct EdgeId(u32);
+
+impl VertexId {
+    /// Creates a vertex identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        VertexId(u32::try_from(index).expect("vertex index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this vertex.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Creates an edge identifier from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this edge.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<VertexId> for usize {
+    fn from(v: VertexId) -> usize {
+        v.index()
+    }
+}
+
+impl From<EdgeId> for usize {
+    fn from(e: EdgeId) -> usize {
+        e.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        for i in [0usize, 1, 17, 1 << 20] {
+            assert_eq!(VertexId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        for i in [0usize, 1, 17, 1 << 20] {
+            assert_eq!(EdgeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(VertexId::new(1) < VertexId::new(2));
+        assert!(EdgeId::new(0) < EdgeId::new(100));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(VertexId::new(12).to_string(), "v12");
+        assert_eq!(EdgeId::new(3).to_string(), "e3");
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex index exceeds")]
+    fn vertex_id_overflow_panics() {
+        let _ = VertexId::new(usize::MAX);
+    }
+}

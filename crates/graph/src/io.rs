@@ -1,0 +1,222 @@
+//! Plain-data graph interchange (for the CLI and external tooling).
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::GraphBuilder;
+
+/// A serializable plain-data view of a graph: vertex count plus an edge
+/// list. The JSON form is `{"n": 3, "edges": [[0,1],[1,2]]}`.
+///
+/// ```rust
+/// use decolor_graph::{generators, io::GraphData};
+/// let g = generators::cycle(4).unwrap();
+/// let data = GraphData::from_graph(&g);
+/// let back = data.to_graph().unwrap();
+/// assert_eq!(g, back);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct GraphData {
+    /// Number of vertices.
+    pub n: usize,
+    /// Undirected edges as index pairs.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl GraphData {
+    /// Extracts the plain data of a graph (edges in id order).
+    pub fn from_graph(g: &Graph) -> GraphData {
+        GraphData {
+            n: g.num_vertices(),
+            edges: g.edge_list().map(|(_, [u, v])| (u.index(), v.index())).collect(),
+        }
+    }
+
+    /// Rebuilds a simple [`Graph`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates builder errors (out-of-range endpoints, self-loops,
+    /// duplicate edges).
+    pub fn to_graph(&self) -> Result<Graph, GraphError> {
+        let mut b = GraphBuilder::new(self.n).with_edge_capacity(self.edges.len());
+        for &(u, v) in &self.edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+}
+
+impl From<&Graph> for GraphData {
+    fn from(g: &Graph) -> GraphData {
+        GraphData::from_graph(g)
+    }
+}
+
+impl TryFrom<GraphData> for Graph {
+    type Error = GraphError;
+    fn try_from(d: GraphData) -> Result<Graph, GraphError> {
+        d.to_graph()
+    }
+}
+
+
+/// Serializes a graph in DIMACS-like text: a `p edge n m` header followed
+/// by one `e u v` line per edge (1-based vertex indices, the common
+/// interchange format of graph-coloring tools).
+///
+/// ```rust
+/// use decolor_graph::{generators, io};
+/// let g = generators::path(3).unwrap();
+/// let text = io::to_dimacs(&g);
+/// assert!(text.starts_with("p edge 3 2"));
+/// let back = io::from_dimacs(&text).unwrap();
+/// assert_eq!(back, g);
+/// ```
+pub fn to_dimacs(g: &Graph) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(16 + 12 * g.num_edges());
+    let _ = writeln!(out, "p edge {} {}", g.num_vertices(), g.num_edges());
+    for (_, [u, v]) in g.edge_list() {
+        let _ = writeln!(out, "e {} {}", u.index() + 1, v.index() + 1);
+    }
+    out
+}
+
+/// Parses DIMACS-like text (`c` comment lines, one `p edge n m` header,
+/// `e u v` edge lines with 1-based indices).
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameters`] on malformed input;
+/// [`GraphError::VertexOutOfRange`] / [`GraphError::SelfLoop`] /
+/// [`GraphError::ParallelEdge`] on inconsistent edges.
+pub fn from_dimacs(text: &str) -> Result<Graph, GraphError> {
+    let mut builder: Option<GraphBuilder> = None;
+    let mut declared_m = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        match tok.next() {
+            Some("p") => {
+                if builder.is_some() {
+                    return Err(GraphError::InvalidParameters {
+                        reason: format!("line {}: duplicate problem line", lineno + 1),
+                    });
+                }
+                let kind = tok.next().unwrap_or_default();
+                if kind != "edge" {
+                    return Err(GraphError::InvalidParameters {
+                        reason: format!("line {}: expected `p edge`, got `p {kind}`", lineno + 1),
+                    });
+                }
+                let n: usize = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| GraphError::InvalidParameters {
+                        reason: format!("line {}: bad vertex count", lineno + 1),
+                    })?;
+                declared_m = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| GraphError::InvalidParameters {
+                        reason: format!("line {}: bad edge count", lineno + 1),
+                    })?;
+                builder = Some(GraphBuilder::new(n).with_edge_capacity(declared_m));
+            }
+            Some("e") => {
+                let b = builder.as_mut().ok_or_else(|| GraphError::InvalidParameters {
+                    reason: format!("line {}: edge before problem line", lineno + 1),
+                })?;
+                let u: usize = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .filter(|&x: &usize| x >= 1)
+                    .ok_or_else(|| GraphError::InvalidParameters {
+                        reason: format!("line {}: bad endpoint", lineno + 1),
+                    })?;
+                let v: usize = tok
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .filter(|&x: &usize| x >= 1)
+                    .ok_or_else(|| GraphError::InvalidParameters {
+                        reason: format!("line {}: bad endpoint", lineno + 1),
+                    })?;
+                b.add_edge(u - 1, v - 1)?;
+            }
+            Some(other) => {
+                return Err(GraphError::InvalidParameters {
+                    reason: format!("line {}: unknown record `{other}`", lineno + 1),
+                })
+            }
+            None => {}
+        }
+    }
+    let b = builder.ok_or_else(|| GraphError::InvalidParameters {
+        reason: "missing `p edge n m` problem line".into(),
+    })?;
+    if b.num_edges() != declared_m {
+        return Err(GraphError::InvalidParameters {
+            reason: format!("header declares {declared_m} edges, found {}", b.num_edges()),
+        });
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn roundtrip_random_graph() {
+        let g = generators::gnm(40, 120, 3).unwrap();
+        let data = GraphData::from_graph(&g);
+        assert_eq!(data.edges.len(), 120);
+        assert_eq!(data.to_graph().unwrap(), g);
+    }
+
+    #[test]
+    fn rejects_malformed_data() {
+        let bad = GraphData { n: 2, edges: vec![(0, 2)] };
+        assert!(bad.to_graph().is_err());
+        let dup = GraphData { n: 3, edges: vec![(0, 1), (1, 0)] };
+        assert!(dup.to_graph().is_err());
+    }
+
+    #[test]
+    fn conversion_traits() {
+        let g = generators::path(5).unwrap();
+        let data: GraphData = (&g).into();
+        let back: Graph = data.try_into().unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn dimacs_roundtrip_random() {
+        let g = generators::gnm(30, 90, 7).unwrap();
+        let back = from_dimacs(&to_dimacs(&g)).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn dimacs_tolerates_comments_and_blank_lines() {
+        let text = "c a comment\n\np edge 3 2\ne 1 2\nc mid comment\ne 2 3\n";
+        let g = from_dimacs(text).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn dimacs_rejects_malformed() {
+        assert!(from_dimacs("e 1 2\n").is_err()); // edge before header
+        assert!(from_dimacs("p edge 3 1\n").is_err()); // edge count mismatch
+        assert!(from_dimacs("p edge 2 1\ne 0 1\n").is_err()); // 0-based
+        assert!(from_dimacs("p edge 2 1\ne 1 5\n").is_err()); // out of range
+        assert!(from_dimacs("p node 2 1\n").is_err()); // wrong kind
+        assert!(from_dimacs("q edge\n").is_err()); // unknown record
+        assert!(from_dimacs("").is_err()); // empty
+    }
+}

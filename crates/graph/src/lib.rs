@@ -1,0 +1,69 @@
+//! # decolor-graph
+//!
+//! Graph substrate for the `decolor` workspace — a from-scratch
+//! reproduction of the data structures needed by *"Deterministic
+//! Distributed (Δ + o(Δ))-Edge-Coloring, and Vertex-Coloring of Graphs
+//! with Bounded Diversity"* (Barenboim, Elkin, Maimon; PODC 2017).
+//!
+//! The crate provides:
+//!
+//! * [`Graph`] — an immutable CSR (compressed sparse row) undirected
+//!   graph with stable vertex and edge identifiers ([`VertexId`],
+//!   [`EdgeId`]), built through [`GraphBuilder`].
+//! * Subgraph views with back-mappings to the parent graph
+//!   ([`subgraph::InducedSubgraph`], [`subgraph::SpanningEdgeSubgraph`]).
+//! * Coloring types with validation ([`coloring::VertexColoring`],
+//!   [`coloring::EdgeColoring`]).
+//! * Clique covers and the paper's *diversity* measure
+//!   ([`cliques::CliqueCover`]).
+//! * Line graphs of graphs and of c-uniform hypergraphs with consistent
+//!   clique identification ([`line_graph`], [`hypergraph`]).
+//! * Acyclic orientations and arboricity certificates ([`orientation`],
+//!   [`properties`]).
+//! * Deterministic workload generators ([`generators`]).
+//!
+//! # Example
+//!
+//! ```rust
+//! use decolor_graph::{GraphBuilder, generators};
+//!
+//! # fn main() -> Result<(), decolor_graph::GraphError> {
+//! // Hand-built triangle.
+//! let mut b = GraphBuilder::new(3);
+//! b.add_edge(0, 1)?;
+//! b.add_edge(1, 2)?;
+//! b.add_edge(0, 2)?;
+//! let g = b.build();
+//! assert_eq!(g.max_degree(), 2);
+//!
+//! // Generated workload.
+//! let g = generators::gnm(1_000, 5_000, 42)?;
+//! assert_eq!(g.num_vertices(), 1_000);
+//! assert_eq!(g.num_edges(), 5_000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+pub mod cliques;
+pub mod coloring;
+pub mod dot;
+mod error;
+pub mod generators;
+mod graph;
+pub mod hypergraph;
+mod ids;
+pub mod io;
+pub mod line_graph;
+pub mod ops;
+pub mod orientation;
+pub mod properties;
+pub mod subgraph;
+
+pub use builder::{builder_from_edges, GraphBuilder};
+pub use error::GraphError;
+pub use graph::Graph;
+pub use ids::{EdgeId, VertexId};

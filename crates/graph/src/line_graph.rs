@@ -1,0 +1,170 @@
+//! Line graphs of graphs, with the canonical clique identification.
+//!
+//! An edge coloring of `G` is exactly a vertex coloring of its line graph
+//! `L(G)`; the paper's Table 1 follows from Table 2 through this reduction.
+//! Under the canonical identification — one clique per vertex of `G`,
+//! consisting of the edges incident on it — every line-graph vertex belongs
+//! to exactly 2 cliques, so `D(L(G)) ≤ 2` (§1.2 and footnote 5).
+
+use crate::cliques::CliqueCover;
+use crate::coloring::{EdgeColoring, VertexColoring};
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::{EdgeId, VertexId};
+
+/// The line graph of a [`Graph`] with its canonical clique cover.
+///
+/// Line-graph vertex `i` corresponds to edge `EdgeId(i)` of the source
+/// graph; [`LineGraph::source_edge`] / [`LineGraph::line_vertex`] convert.
+///
+/// ```rust
+/// use decolor_graph::{builder_from_edges, line_graph::LineGraph};
+/// let g = builder_from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+/// let lg = LineGraph::new(&g);
+/// assert_eq!(lg.graph.num_vertices(), 3);
+/// assert_eq!(lg.graph.num_edges(), 2); // e0-e1 share v1, e1-e2 share v2
+/// assert!(lg.cover.diversity() <= 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LineGraph {
+    /// The line graph L(G).
+    pub graph: Graph,
+    /// Canonical clique cover: one clique per source vertex of degree ≥ 1.
+    /// Diversity ≤ 2, maximal clique size = Δ(G) (for Δ ≥ 2; 3 when G has
+    /// a triangle and Δ = 2, cf. the paper's `max{Δ, 3}` remark — under
+    /// the *canonical* identification cliques are per-vertex, so size is
+    /// exactly Δ(G)).
+    pub cover: CliqueCover,
+}
+
+impl LineGraph {
+    /// Builds the line graph of `g` (which must be simple).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has parallel edges (line graphs of multigraphs need
+    /// multi-cliques; none of the workloads produce them).
+    pub fn new(g: &Graph) -> Self {
+        assert!(!g.has_parallel_edges(), "line graph requires a simple source graph");
+        let m = g.num_edges();
+        let mut b = crate::builder::GraphBuilder::new(m)
+            .with_edge_capacity(g.line_graph_edge_count());
+        for v in g.vertices() {
+            let inc: Vec<EdgeId> = g.incident_edges(v).collect();
+            for (i, &e1) in inc.iter().enumerate() {
+                for &e2 in &inc[i + 1..] {
+                    // Distinct simple-graph edges share at most one vertex,
+                    // so each line edge is added exactly once.
+                    b.add_edge(e1.index(), e2.index())
+                        .expect("line edges are unique for simple graphs");
+                }
+            }
+        }
+        let graph = b.build();
+        let cliques: Vec<Vec<VertexId>> = g
+            .vertices()
+            .filter(|&v| g.degree(v) > 0)
+            .map(|v| g.incident_edges(v).map(|e| VertexId::new(e.index())).collect())
+            .collect();
+        let cover =
+            CliqueCover::new_unchecked(m, cliques).expect("canonical line cover is well-formed");
+        LineGraph { graph, cover }
+    }
+
+    /// The source edge corresponding to line-graph vertex `v`.
+    #[inline]
+    pub fn source_edge(&self, v: VertexId) -> EdgeId {
+        EdgeId::new(v.index())
+    }
+
+    /// The line-graph vertex corresponding to source edge `e`.
+    #[inline]
+    pub fn line_vertex(&self, e: EdgeId) -> VertexId {
+        VertexId::new(e.index())
+    }
+
+    /// Converts a proper vertex coloring of the line graph into the
+    /// corresponding edge coloring of the source graph.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::ValidationFailed`] if the coloring length mismatches.
+    pub fn to_edge_coloring(&self, c: &VertexColoring) -> Result<EdgeColoring, GraphError> {
+        if c.len() != self.graph.num_vertices() {
+            return Err(GraphError::ValidationFailed {
+                reason: format!(
+                    "line coloring has {} entries for {} line vertices",
+                    c.len(),
+                    self.graph.num_vertices()
+                ),
+            });
+        }
+        EdgeColoring::new(c.as_slice().to_vec(), c.palette())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{builder_from_edges, generators};
+
+    #[test]
+    fn line_graph_of_triangle_is_triangle() {
+        let g = builder_from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let lg = LineGraph::new(&g);
+        assert_eq!(lg.graph.num_vertices(), 3);
+        assert_eq!(lg.graph.num_edges(), 3);
+        lg.cover.validate(&lg.graph).unwrap();
+        assert_eq!(lg.cover.diversity(), 2);
+    }
+
+    #[test]
+    fn line_graph_of_star_is_complete() {
+        let g = generators::star(6).unwrap();
+        let lg = LineGraph::new(&g);
+        assert_eq!(lg.graph.num_vertices(), 5);
+        assert_eq!(lg.graph.num_edges(), 10);
+        assert_eq!(lg.cover.max_clique_size(), 5);
+    }
+
+    #[test]
+    fn diversity_always_at_most_two() {
+        for seed in 0..5u64 {
+            let g = generators::gnm(40, 120, seed).unwrap();
+            let lg = LineGraph::new(&g);
+            lg.cover.validate(&lg.graph).unwrap();
+            assert!(lg.cover.diversity() <= 2);
+            assert_eq!(lg.cover.max_clique_size(), g.max_degree());
+        }
+    }
+
+    #[test]
+    fn degree_in_line_graph_matches_formula() {
+        let g = generators::gnm(30, 80, 2).unwrap();
+        let lg = LineGraph::new(&g);
+        for (e, [u, v]) in g.edge_list() {
+            let expected = g.degree(u) + g.degree(v) - 2;
+            assert_eq!(lg.graph.degree(lg.line_vertex(e)), expected);
+        }
+    }
+
+    #[test]
+    fn vertex_coloring_transfers_to_edges() {
+        let g = builder_from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let lg = LineGraph::new(&g);
+        // Proper 2-coloring of L(P4) = P3.
+        let c = VertexColoring::new(vec![0, 1, 0], 2).unwrap();
+        assert!(c.is_proper(&lg.graph));
+        let ec = lg.to_edge_coloring(&c).unwrap();
+        assert!(ec.is_proper(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "simple source graph")]
+    fn rejects_multigraphs() {
+        let mut b = crate::GraphBuilder::new_multi(2);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 1).unwrap();
+        let _ = LineGraph::new(&b.build());
+    }
+}

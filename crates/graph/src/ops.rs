@@ -1,0 +1,158 @@
+//! Graph operations: disjoint union, Cartesian product, complement.
+//!
+//! These build structured workloads: the Cartesian product of complete
+//! graphs `K_p × K_q` is the rook's graph = the line graph of `K_{p,q}`
+//! (diversity 2 with its canonical row/column clique cover), and disjoint
+//! unions exercise the algorithms' component independence.
+
+use crate::cliques::CliqueCover;
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::VertexId;
+use crate::GraphBuilder;
+
+/// Disjoint union: vertices of `b` are shifted by `a.num_vertices()`.
+pub fn disjoint_union(a: &Graph, b: &Graph) -> Graph {
+    let na = a.num_vertices();
+    let mut builder = GraphBuilder::new(na + b.num_vertices())
+        .with_edge_capacity(a.num_edges() + b.num_edges());
+    for (_, [u, v]) in a.edge_list() {
+        builder.add_edge(u.index(), v.index()).expect("edges of a are valid");
+    }
+    for (_, [u, v]) in b.edge_list() {
+        builder.add_edge(na + u.index(), na + v.index()).expect("edges of b are valid");
+    }
+    builder.build()
+}
+
+/// Cartesian product `a □ b`: vertex `(u, w)` ↦ index `u·|V(b)| + w`;
+/// `(u, w) ~ (u', w')` iff (`u = u'` and `w ~ w'`) or (`w = w'` and
+/// `u ~ u'`).
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameters`] if either factor is empty.
+pub fn cartesian_product(a: &Graph, b: &Graph) -> Result<Graph, GraphError> {
+    let (na, nb) = (a.num_vertices(), b.num_vertices());
+    if na == 0 || nb == 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: "cartesian product needs nonempty factors".into(),
+        });
+    }
+    let mut builder = GraphBuilder::new(na * nb)
+        .with_edge_capacity(na * b.num_edges() + nb * a.num_edges());
+    for u in 0..na {
+        for (_, [w1, w2]) in b.edge_list() {
+            builder.add_edge(u * nb + w1.index(), u * nb + w2.index())?;
+        }
+    }
+    for (_, [u1, u2]) in a.edge_list() {
+        for w in 0..nb {
+            builder.add_edge(u1.index() * nb + w, u2.index() * nb + w)?;
+        }
+    }
+    Ok(builder.build())
+}
+
+/// The complement graph (no self-loops). Quadratic; intended for small
+/// verification instances.
+pub fn complement(g: &Graph) -> Graph {
+    let n = g.num_vertices();
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !g.has_edge(VertexId::new(u), VertexId::new(v)) {
+                builder.add_edge(u, v).expect("complement edges are valid");
+            }
+        }
+    }
+    builder.build()
+}
+
+/// The rook's graph `K_p □ K_q` together with its canonical clique cover
+/// (one clique per row, one per column) — a diversity-2, clique-size
+/// max(p, q) workload that is exactly the line graph of `K_{p,q}`.
+///
+/// # Errors
+///
+/// [`GraphError::InvalidParameters`] if `p == 0` or `q == 0`.
+pub fn rooks_graph(p: usize, q: usize) -> Result<(Graph, CliqueCover), GraphError> {
+    let kp = crate::generators::complete(p)?;
+    let kq = crate::generators::complete(q)?;
+    let g = cartesian_product(&kp, &kq)?;
+    let mut cliques = Vec::with_capacity(p + q);
+    for u in 0..p {
+        cliques.push((0..q).map(|w| VertexId::new(u * q + w)).collect::<Vec<_>>());
+    }
+    for w in 0..q {
+        cliques.push((0..p).map(|u| VertexId::new(u * q + w)).collect::<Vec<_>>());
+    }
+    let cover = CliqueCover::new_unchecked(g.num_vertices(), cliques)?;
+    debug_assert!(cover.validate(&g).is_ok());
+    Ok((g, cover))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn disjoint_union_counts() {
+        let a = generators::complete(4).unwrap();
+        let b = generators::cycle(5).unwrap();
+        let u = disjoint_union(&a, &b);
+        assert_eq!(u.num_vertices(), 9);
+        assert_eq!(u.num_edges(), 6 + 5);
+        assert!(!u.has_edge(VertexId::new(0), VertexId::new(4)));
+    }
+
+    #[test]
+    fn product_of_paths_is_grid() {
+        let p3 = generators::path(3).unwrap();
+        let p4 = generators::path(4).unwrap();
+        let prod = cartesian_product(&p3, &p4).unwrap();
+        let grid = generators::grid(3, 4).unwrap();
+        assert_eq!(prod.num_vertices(), grid.num_vertices());
+        assert_eq!(prod.num_edges(), grid.num_edges());
+        assert_eq!(prod.max_degree(), grid.max_degree());
+    }
+
+    #[test]
+    fn complement_of_complete_is_empty() {
+        let g = generators::complete(6).unwrap();
+        assert_eq!(complement(&g).num_edges(), 0);
+        let e = crate::GraphBuilder::new(4).build();
+        assert_eq!(complement(&e).num_edges(), 6);
+    }
+
+    #[test]
+    fn rooks_graph_is_line_graph_of_complete_bipartite() {
+        let (g, cover) = rooks_graph(4, 5).unwrap();
+        cover.validate(&g).unwrap();
+        assert_eq!(cover.diversity(), 2);
+        assert_eq!(cover.max_clique_size(), 5);
+        // Compare against LineGraph::new(K_{4,5}).
+        let kpq = generators::complete_bipartite(4, 5).unwrap();
+        let lg = crate::line_graph::LineGraph::new(&kpq);
+        assert_eq!(g.num_vertices(), lg.graph.num_vertices());
+        assert_eq!(g.num_edges(), lg.graph.num_edges());
+        assert_eq!(g.max_degree(), lg.graph.max_degree());
+    }
+
+    #[test]
+    fn product_degree_is_sum_of_factor_degrees() {
+        let a = generators::cycle(5).unwrap();
+        let b = generators::complete(4).unwrap();
+        let p = cartesian_product(&a, &b).unwrap();
+        assert_eq!(p.max_degree(), 2 + 3);
+        assert_eq!(p.num_vertices(), 20);
+    }
+
+    #[test]
+    fn empty_factor_rejected() {
+        let a = crate::GraphBuilder::new(0).build();
+        let b = generators::path(2).unwrap();
+        assert!(cartesian_product(&a, &b).is_err());
+    }
+}

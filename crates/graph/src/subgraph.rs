@@ -1,0 +1,294 @@
+//! Subgraph views with back-mappings to the parent graph.
+//!
+//! The paper's algorithms constantly recurse into (a) subgraphs induced by
+//! a color class of a vertex coloring (Algorithm 1 line 4) and (b) spanning
+//! subgraphs consisting of one color class of an edge coloring (Sections
+//! 4–5). Both views materialize a fresh [`Graph`] plus mappings so results
+//! can be lifted back to the parent.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::{EdgeId, VertexId};
+
+/// Subgraph induced by a vertex subset, with vertex/edge back-mappings.
+///
+/// ```rust
+/// use decolor_graph::{builder_from_edges, subgraph::InducedSubgraph, VertexId};
+/// let g = builder_from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+/// let s = InducedSubgraph::new(&g, &[VertexId::new(1), VertexId::new(2), VertexId::new(3)]);
+/// assert_eq!(s.graph().num_vertices(), 3);
+/// assert_eq!(s.graph().num_edges(), 2); // (1,2) and (2,3)
+/// assert_eq!(s.to_parent_vertex(VertexId::new(0)), VertexId::new(1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    graph: Graph,
+    to_parent_vertex: Vec<VertexId>,
+    from_parent_vertex: Vec<Option<VertexId>>,
+    to_parent_edge: Vec<EdgeId>,
+}
+
+impl InducedSubgraph {
+    /// Builds the subgraph of `parent` induced by `vertices`.
+    ///
+    /// Duplicate entries in `vertices` are ignored; order of first
+    /// occurrence determines local indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vertex is out of range for `parent`.
+    pub fn new(parent: &Graph, vertices: &[VertexId]) -> Self {
+        let mut from_parent_vertex: Vec<Option<VertexId>> = vec![None; parent.num_vertices()];
+        let mut to_parent_vertex = Vec::with_capacity(vertices.len());
+        for &v in vertices {
+            if from_parent_vertex[v.index()].is_none() {
+                from_parent_vertex[v.index()] = Some(VertexId::new(to_parent_vertex.len()));
+                to_parent_vertex.push(v);
+            }
+        }
+        let mut edges = Vec::new();
+        let mut to_parent_edge = Vec::new();
+        for (e, [u, v]) in parent.edge_list() {
+            if let (Some(lu), Some(lv)) =
+                (from_parent_vertex[u.index()], from_parent_vertex[v.index()])
+            {
+                edges.push([lu.min(lv), lu.max(lv)]);
+                to_parent_edge.push(e);
+            }
+        }
+        let graph = Graph::from_parts(to_parent_vertex.len(), edges);
+        InducedSubgraph { graph, to_parent_vertex, from_parent_vertex, to_parent_edge }
+    }
+
+    /// The materialized subgraph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Maps a local vertex to its parent-graph identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    #[inline]
+    pub fn to_parent_vertex(&self, local: VertexId) -> VertexId {
+        self.to_parent_vertex[local.index()]
+    }
+
+    /// Maps a parent vertex into this subgraph, if present.
+    #[inline]
+    pub fn from_parent_vertex(&self, parent: VertexId) -> Option<VertexId> {
+        self.from_parent_vertex[parent.index()]
+    }
+
+    /// Maps a local edge to its parent-graph identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    #[inline]
+    pub fn to_parent_edge(&self, local: EdgeId) -> EdgeId {
+        self.to_parent_edge[local.index()]
+    }
+
+    /// All parent vertices present in this subgraph, in local order.
+    #[inline]
+    pub fn parent_vertices(&self) -> &[VertexId] {
+        &self.to_parent_vertex
+    }
+
+    /// Lifts per-local-vertex values into a parent-sized vector.
+    ///
+    /// Entries for absent vertices are left untouched in `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::ValidationFailed`] if `values`/`out` have wrong length.
+    pub fn scatter_vertex_values<T: Copy>(
+        &self,
+        values: &[T],
+        out: &mut [T],
+    ) -> Result<(), GraphError> {
+        if values.len() != self.graph.num_vertices() {
+            return Err(GraphError::ValidationFailed {
+                reason: format!(
+                    "expected {} local values, got {}",
+                    self.graph.num_vertices(),
+                    values.len()
+                ),
+            });
+        }
+        if out.len() != self.from_parent_vertex.len() {
+            return Err(GraphError::ValidationFailed {
+                reason: format!(
+                    "expected parent-sized output of {} entries, got {}",
+                    self.from_parent_vertex.len(),
+                    out.len()
+                ),
+            });
+        }
+        for (local, &parent) in self.to_parent_vertex.iter().enumerate() {
+            out[parent.index()] = values[local];
+        }
+        Ok(())
+    }
+}
+
+/// Spanning subgraph on the *same vertex set* as the parent but a subset of
+/// edges — the natural view for one color class of an edge coloring.
+///
+/// ```rust
+/// use decolor_graph::{builder_from_edges, subgraph::SpanningEdgeSubgraph, EdgeId};
+/// let g = builder_from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+/// let s = SpanningEdgeSubgraph::new(&g, &[EdgeId::new(0), EdgeId::new(2)]);
+/// assert_eq!(s.graph().num_vertices(), 4);
+/// assert_eq!(s.graph().num_edges(), 2);
+/// assert_eq!(s.to_parent_edge(EdgeId::new(1)), EdgeId::new(2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpanningEdgeSubgraph {
+    graph: Graph,
+    to_parent_edge: Vec<EdgeId>,
+}
+
+impl SpanningEdgeSubgraph {
+    /// Builds the spanning subgraph of `parent` with exactly `edges`.
+    ///
+    /// Local edge `i` corresponds to `edges[i]` (duplicates are kept, which
+    /// only matters for multigraph parents).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge is out of range for `parent`.
+    pub fn new(parent: &Graph, edges: &[EdgeId]) -> Self {
+        let endpoint_list: Vec<[VertexId; 2]> =
+            edges.iter().map(|&e| parent.endpoints(e)).collect();
+        let graph = Graph::from_parts(parent.num_vertices(), endpoint_list);
+        SpanningEdgeSubgraph { graph, to_parent_edge: edges.to_vec() }
+    }
+
+    /// The materialized subgraph (same vertex ids as the parent).
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Maps a local edge to its parent-graph identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    #[inline]
+    pub fn to_parent_edge(&self, local: EdgeId) -> EdgeId {
+        self.to_parent_edge[local.index()]
+    }
+
+    /// Lifts per-local-edge values into a parent-sized vector.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::ValidationFailed`] on length mismatch.
+    pub fn scatter_edge_values<T: Copy>(
+        &self,
+        values: &[T],
+        out: &mut [T],
+    ) -> Result<(), GraphError> {
+        if values.len() != self.graph.num_edges() {
+            return Err(GraphError::ValidationFailed {
+                reason: format!(
+                    "expected {} local values, got {}",
+                    self.graph.num_edges(),
+                    values.len()
+                ),
+            });
+        }
+        for (local, &parent) in self.to_parent_edge.iter().enumerate() {
+            if parent.index() >= out.len() {
+                return Err(GraphError::ValidationFailed {
+                    reason: format!("parent edge {parent} out of range for output"),
+                });
+            }
+            out[parent.index()] = values[local];
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder_from_edges;
+
+    fn p4() -> Graph {
+        builder_from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        let g = p4();
+        let s = InducedSubgraph::new(&g, &[VertexId::new(0), VertexId::new(2), VertexId::new(3)]);
+        assert_eq!(s.graph().num_vertices(), 3);
+        // Only (2,3) survives.
+        assert_eq!(s.graph().num_edges(), 1);
+        assert_eq!(s.to_parent_edge(EdgeId::new(0)), EdgeId::new(2));
+    }
+
+    #[test]
+    fn induced_dedups_input_vertices() {
+        let g = p4();
+        let s = InducedSubgraph::new(&g, &[VertexId::new(1), VertexId::new(1)]);
+        assert_eq!(s.graph().num_vertices(), 1);
+        assert_eq!(s.from_parent_vertex(VertexId::new(1)), Some(VertexId::new(0)));
+        assert_eq!(s.from_parent_vertex(VertexId::new(0)), None);
+    }
+
+    #[test]
+    fn induced_empty_subset() {
+        let g = p4();
+        let s = InducedSubgraph::new(&g, &[]);
+        assert_eq!(s.graph().num_vertices(), 0);
+        assert_eq!(s.graph().num_edges(), 0);
+    }
+
+    #[test]
+    fn scatter_vertex_values_roundtrip() {
+        let g = p4();
+        let s = InducedSubgraph::new(&g, &[VertexId::new(3), VertexId::new(1)]);
+        let mut out = vec![u32::MAX; 4];
+        s.scatter_vertex_values(&[7, 9], &mut out).unwrap();
+        assert_eq!(out, vec![u32::MAX, 9, u32::MAX, 7]);
+        assert!(s.scatter_vertex_values(&[1], &mut out).is_err());
+    }
+
+    #[test]
+    fn spanning_subgraph_preserves_vertex_set() {
+        let g = p4();
+        let s = SpanningEdgeSubgraph::new(&g, &[EdgeId::new(1)]);
+        assert_eq!(s.graph().num_vertices(), 4);
+        assert_eq!(s.graph().degree(VertexId::new(0)), 0);
+        assert_eq!(s.graph().degree(VertexId::new(1)), 1);
+    }
+
+    #[test]
+    fn scatter_edge_values_roundtrip() {
+        let g = p4();
+        let s = SpanningEdgeSubgraph::new(&g, &[EdgeId::new(2), EdgeId::new(0)]);
+        let mut out = vec![0u32; 3];
+        s.scatter_edge_values(&[5, 6], &mut out).unwrap();
+        assert_eq!(out, vec![6, 0, 5]);
+    }
+
+    #[test]
+    fn induced_preserves_adjacency() {
+        let g = builder_from_edges(5, &[(0, 1), (0, 2), (1, 2), (3, 4)]).unwrap();
+        let s = InducedSubgraph::new(&g, &[VertexId::new(0), VertexId::new(1), VertexId::new(2)]);
+        assert_eq!(s.graph().num_edges(), 3);
+        for e in s.graph().edges() {
+            let [lu, lv] = s.graph().endpoints(e);
+            let pu = s.to_parent_vertex(lu);
+            let pv = s.to_parent_vertex(lv);
+            assert!(g.has_edge(pu, pv));
+        }
+    }
+}

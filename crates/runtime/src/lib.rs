@@ -1,0 +1,48 @@
+//! # decolor-runtime
+//!
+//! A faithful simulator of the **synchronous message-passing (LOCAL)
+//! model** of §1.1 of the paper: a communication network is a graph whose
+//! vertices perform unrestricted local computation and exchange messages
+//! over edges in discrete synchronized rounds; the running time is the
+//! number of rounds.
+//!
+//! The central type is [`Network`], a port-numbered wrapper over a
+//! [`Graph`](decolor_graph::Graph): in each [`Network::exchange`] call
+//! every vertex places at most one message per incident port, messages
+//! traverse exactly one edge, and the round counter advances by one.
+//! Distributed algorithms in `decolor-core` are written against this
+//! interface, so their reported round counts are *measured*, not modelled
+//! (composite algorithms combine phase counts with [`Rounds`] using the
+//! LOCAL semantics: parallel executions on disjoint subgraphs cost the max
+//! of their rounds).
+//!
+//! # Example
+//!
+//! ```rust
+//! use decolor_graph::builder_from_edges;
+//! use decolor_runtime::Network;
+//!
+//! # fn main() -> Result<(), decolor_graph::GraphError> {
+//! let g = builder_from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+//! let mut net = Network::new(&g);
+//! // Every vertex broadcasts its index; afterwards each vertex knows its
+//! // neighbors' indices, at the cost of one round.
+//! let values: Vec<u32> = (0..3).collect();
+//! let inbox = net.broadcast(&values);
+//! assert_eq!(inbox[1], vec![0, 2]); // in port order
+//! assert_eq!(net.stats().rounds, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ids;
+mod metrics;
+mod network;
+pub mod program;
+
+pub use ids::IdAssignment;
+pub use metrics::{NetworkStats, Rounds};
+pub use network::Network;

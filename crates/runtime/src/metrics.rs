@@ -1,0 +1,138 @@
+//! Round and message accounting.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Cumulative statistics of a [`Network`](crate::Network) execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Number of synchronized communication rounds executed.
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total payload volume in bytes (a `size_of`-based estimate; the
+    /// paper does not bound message size, this is reported for interest).
+    pub payload_bytes: u64,
+}
+
+impl NetworkStats {
+    /// Merges statistics of a *sequential* phase executed after `self`.
+    pub fn then(self, later: NetworkStats) -> NetworkStats {
+        NetworkStats {
+            rounds: self.rounds + later.rounds,
+            messages: self.messages + later.messages,
+            payload_bytes: self.payload_bytes + later.payload_bytes,
+        }
+    }
+
+    /// Merges statistics of phases executed *in parallel on disjoint
+    /// subgraphs*: rounds take the maximum (the LOCAL model runs them
+    /// simultaneously), messages and payload add.
+    pub fn in_parallel(phases: impl IntoIterator<Item = NetworkStats>) -> NetworkStats {
+        let mut out = NetworkStats::default();
+        for p in phases {
+            out.rounds = out.rounds.max(p.rounds);
+            out.messages += p.messages;
+            out.payload_bytes += p.payload_bytes;
+        }
+        out
+    }
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} messages, {} payload bytes",
+            self.rounds, self.messages, self.payload_bytes
+        )
+    }
+}
+
+/// A round count in the LOCAL model, with the paper's composition rules:
+/// `+` for sequential phases, [`Rounds::par`] for parallel execution on
+/// disjoint subgraphs.
+///
+/// ```rust
+/// use decolor_runtime::Rounds;
+/// let a = Rounds(10) + Rounds(5);
+/// assert_eq!(a, Rounds(15));
+/// let b = Rounds::par([Rounds(3), Rounds(9), Rounds(4)]);
+/// assert_eq!(b, Rounds(9));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rounds(pub u64);
+
+impl Rounds {
+    /// Zero rounds.
+    pub const ZERO: Rounds = Rounds(0);
+
+    /// Maximum over phases executed in parallel on disjoint subgraphs.
+    pub fn par(phases: impl IntoIterator<Item = Rounds>) -> Rounds {
+        phases.into_iter().max().unwrap_or(Rounds::ZERO)
+    }
+}
+
+impl Add for Rounds {
+    type Output = Rounds;
+    fn add(self, rhs: Rounds) -> Rounds {
+        Rounds(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Rounds {
+    fn add_assign(&mut self, rhs: Rounds) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Rounds {
+    fn sum<I: Iterator<Item = Rounds>>(iter: I) -> Rounds {
+        iter.fold(Rounds::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Rounds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} rounds", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_sequential_composition() {
+        let a = NetworkStats { rounds: 3, messages: 10, payload_bytes: 40 };
+        let b = NetworkStats { rounds: 2, messages: 5, payload_bytes: 20 };
+        assert_eq!(a.then(b), NetworkStats { rounds: 5, messages: 15, payload_bytes: 60 });
+    }
+
+    #[test]
+    fn stats_parallel_composition_takes_max_rounds() {
+        let a = NetworkStats { rounds: 3, messages: 10, payload_bytes: 40 };
+        let b = NetworkStats { rounds: 7, messages: 5, payload_bytes: 20 };
+        let p = NetworkStats::in_parallel([a, b]);
+        assert_eq!(p.rounds, 7);
+        assert_eq!(p.messages, 15);
+    }
+
+    #[test]
+    fn rounds_algebra() {
+        assert_eq!(Rounds(2) + Rounds(3), Rounds(5));
+        assert_eq!(Rounds::par(std::iter::empty()), Rounds::ZERO);
+        assert_eq!([Rounds(1), Rounds(4)].into_iter().sum::<Rounds>(), Rounds(5));
+        let mut r = Rounds(1);
+        r += Rounds(2);
+        assert_eq!(r, Rounds(3));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Rounds(4).to_string(), "4 rounds");
+        let s = NetworkStats { rounds: 1, messages: 2, payload_bytes: 3 }.to_string();
+        assert!(s.contains("1 rounds"));
+    }
+}

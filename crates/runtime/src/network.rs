@@ -1,0 +1,298 @@
+//! The port-numbered synchronous network.
+
+use decolor_graph::{EdgeId, Graph, VertexId};
+
+use crate::metrics::NetworkStats;
+
+/// A synchronous port-numbered network over a graph.
+///
+/// Port `p` of vertex `v` is position `p` in `graph.incidence(v)`; a
+/// message sent by `v` on port `p` traverses that edge and is delivered to
+/// the opposite endpoint, tagged with *its* port for the same edge. One
+/// call to [`Network::exchange`] (or any helper built on it) is one round.
+#[derive(Debug)]
+pub struct Network<'g> {
+    graph: &'g Graph,
+    /// For every edge, the port index it occupies at each endpoint:
+    /// `ports[e] = (port at lower endpoint, port at higher endpoint)`.
+    ports: Vec<(u32, u32)>,
+    stats: NetworkStats,
+}
+
+impl<'g> Network<'g> {
+    /// Wraps `graph` in a network with zeroed statistics.
+    pub fn new(graph: &'g Graph) -> Self {
+        let mut ports = vec![(0u32, 0u32); graph.num_edges()];
+        for v in graph.vertices() {
+            for (p, &(_, e)) in graph.incidence(v).iter().enumerate() {
+                let [lo, _hi] = graph.endpoints(e);
+                if v == lo {
+                    ports[e.index()].0 = p as u32;
+                } else {
+                    ports[e.index()].1 = p as u32;
+                }
+            }
+        }
+        Network { graph, ports, stats: NetworkStats::default() }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Statistics accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+
+    /// The port of edge `e` at endpoint `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an endpoint of `e`.
+    #[inline]
+    pub fn port_of(&self, v: VertexId, e: EdgeId) -> usize {
+        let [lo, hi] = self.graph.endpoints(e);
+        if v == lo {
+            self.ports[e.index()].0 as usize
+        } else if v == hi {
+            self.ports[e.index()].1 as usize
+        } else {
+            panic!("{v} is not an endpoint of {e}");
+        }
+    }
+
+    /// Executes one communication round with explicit per-port outboxes.
+    ///
+    /// `outbox[v]` lists `(port, message)` pairs sent by `v`; the returned
+    /// inbox mirrors that shape on the receiving side: `inbox[u]` lists
+    /// `(port at u, message)` in deterministic (sender-index) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outbox` does not have one entry per vertex or a port is
+    /// out of range.
+    pub fn exchange<M: Clone>(&mut self, outbox: &[Vec<(usize, M)>]) -> Vec<Vec<(usize, M)>> {
+        assert_eq!(
+            outbox.len(),
+            self.graph.num_vertices(),
+            "outbox must have one entry per vertex"
+        );
+        let mut inbox: Vec<Vec<(usize, M)>> = vec![Vec::new(); outbox.len()];
+        let mut messages = 0u64;
+        for (vi, sends) in outbox.iter().enumerate() {
+            let v = VertexId::new(vi);
+            let incidence = self.graph.incidence(v);
+            for (port, msg) in sends {
+                let &(u, e) = incidence
+                    .get(*port)
+                    .unwrap_or_else(|| panic!("port {port} out of range at {v}"));
+                let their_port = self.port_of(u, e);
+                inbox[u.index()].push((their_port, msg.clone()));
+                messages += 1;
+            }
+        }
+        self.stats.rounds += 1;
+        self.stats.messages += messages;
+        self.stats.payload_bytes += messages * std::mem::size_of::<M>() as u64;
+        inbox
+    }
+
+    /// One round in which every vertex sends `values[v]` on **all** its
+    /// ports. Returns, per vertex, the received neighbor values *in port
+    /// order* (`result[v][p]` = value of the neighbor across port `p`).
+    ///
+    /// This is the workhorse of color-exchange algorithms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not have one entry per vertex.
+    pub fn broadcast<M: Clone>(&mut self, values: &[M]) -> Vec<Vec<M>> {
+        assert_eq!(
+            values.len(),
+            self.graph.num_vertices(),
+            "values must have one entry per vertex"
+        );
+        let outbox: Vec<Vec<(usize, M)>> = self
+            .graph
+            .vertices()
+            .map(|v| (0..self.graph.degree(v)).map(|p| (p, values[v.index()].clone())).collect())
+            .collect();
+        let inbox = self.exchange(&outbox);
+        inbox
+            .into_iter()
+            .enumerate()
+            .map(|(vi, mut msgs)| {
+                msgs.sort_by_key(|&(p, _)| p);
+                debug_assert_eq!(msgs.len(), self.graph.degree(VertexId::new(vi)));
+                msgs.into_iter().map(|(_, m)| m).collect()
+            })
+            .collect()
+    }
+
+    /// One round in which both endpoints of every edge learn a value
+    /// attached to that edge by each side: every vertex sends
+    /// `values[e]`... more precisely, each vertex `v` sends `values[v]`
+    /// only over the given `edges` (a subset), and the inbox maps each
+    /// receiving edge to the sender's value. Returns `per_edge[e] =
+    /// (value from lower endpoint, value from higher endpoint)` for edges
+    /// in the subset, `None` elsewhere.
+    ///
+    /// Useful for algorithms that activate a subset of edges per round
+    /// (Lemma 5.1's label classes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not have one entry per vertex or an edge id
+    /// is out of range.
+    pub fn exchange_on_edges<M: Clone>(
+        &mut self,
+        values: &[M],
+        edges: &[EdgeId],
+    ) -> Vec<Option<(M, M)>> {
+        assert_eq!(values.len(), self.graph.num_vertices());
+        let mut outbox: Vec<Vec<(usize, M)>> = vec![Vec::new(); values.len()];
+        for &e in edges {
+            let [lo, hi] = self.graph.endpoints(e);
+            outbox[lo.index()].push((self.port_of(lo, e), values[lo.index()].clone()));
+            outbox[hi.index()].push((self.port_of(hi, e), values[hi.index()].clone()));
+        }
+        let inbox = self.exchange(&outbox);
+        let mut per_edge: Vec<Option<(M, M)>> = vec![None; self.graph.num_edges()];
+        // Reconstruct per-edge pairs from the inbox: the message arriving
+        // at `hi`'s port for e came from `lo` and vice versa.
+        let mut half: Vec<Option<M>> = vec![None; self.graph.num_edges()];
+        for (vi, msgs) in inbox.into_iter().enumerate() {
+            let v = VertexId::new(vi);
+            for (port, msg) in msgs {
+                let (_, e) = self.graph.incidence(v)[port];
+                let [lo, _hi] = self.graph.endpoints(e);
+                if v == lo {
+                    // This message was sent by hi.
+                    match half[e.index()].take() {
+                        None => half[e.index()] = Some(msg),
+                        Some(from_lo) => per_edge[e.index()] = Some((from_lo, msg)),
+                    }
+                } else {
+                    // Sent by lo.
+                    match half[e.index()].take() {
+                        None => half[e.index()] = Some(msg),
+                        Some(from_hi) => per_edge[e.index()] = Some((msg, from_hi)),
+                    }
+                }
+            }
+        }
+        per_edge
+    }
+
+    /// Charges `rounds` of *local restructuring* to the ledger without
+    /// exchanging messages — the paper's "performed in O(1) rounds"
+    /// bookkeeping for connector constructions and virtual-vertex setup.
+    pub fn charge_local_rounds(&mut self, rounds: u64) {
+        self.stats.rounds += rounds;
+    }
+
+    /// Absorbs statistics of networks run *in parallel on disjoint
+    /// subgraphs* (rounds: max; messages/payload: sum).
+    pub fn absorb_parallel(&mut self, phases: impl IntoIterator<Item = NetworkStats>) {
+        self.stats = self.stats.then(NetworkStats::in_parallel(phases));
+    }
+
+    /// Absorbs statistics of a network run *sequentially after* the work
+    /// recorded so far.
+    pub fn absorb_sequential(&mut self, phase: NetworkStats) {
+        self.stats = self.stats.then(phase);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decolor_graph::builder_from_edges;
+
+    fn p3() -> Graph {
+        builder_from_edges(3, &[(0, 1), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn ports_are_mutually_consistent() {
+        let g = decolor_graph::generators::gnm(30, 90, 4).unwrap();
+        let net = Network::new(&g);
+        for (e, [u, v]) in g.edge_list() {
+            let pu = net.port_of(u, e);
+            let pv = net.port_of(v, e);
+            assert_eq!(g.incidence(u)[pu], (v, e));
+            assert_eq!(g.incidence(v)[pv], (u, e));
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_neighbor_values_in_port_order() {
+        let g = p3();
+        let mut net = Network::new(&g);
+        let vals = vec![10u32, 20, 30];
+        let inbox = net.broadcast(&vals);
+        assert_eq!(inbox[0], vec![20]);
+        assert_eq!(inbox[1], vec![10, 30]);
+        assert_eq!(inbox[2], vec![20]);
+        assert_eq!(net.stats().rounds, 1);
+        assert_eq!(net.stats().messages, 4); // 2 per edge
+    }
+
+    #[test]
+    fn exchange_point_to_point() {
+        let g = p3();
+        let mut net = Network::new(&g);
+        // Vertex 1 sends distinct messages to each neighbor.
+        let outbox: Vec<Vec<(usize, u64)>> = vec![vec![], vec![(0, 100), (1, 200)], vec![]];
+        let inbox = net.exchange(&outbox);
+        assert_eq!(inbox[0], vec![(0, 100)]);
+        assert_eq!(inbox[2], vec![(0, 200)]);
+        assert_eq!(net.stats().messages, 2);
+    }
+
+    #[test]
+    fn exchange_on_edges_pairs_values() {
+        let g = p3();
+        let mut net = Network::new(&g);
+        let vals = vec![7u32, 8, 9];
+        let per_edge = net.exchange_on_edges(&vals, &[EdgeId::new(1)]);
+        assert_eq!(per_edge[0], None);
+        assert_eq!(per_edge[1], Some((8, 9))); // lower endpoint 1, higher 2
+        assert_eq!(net.stats().rounds, 1);
+    }
+
+    #[test]
+    fn local_rounds_are_charged() {
+        let g = p3();
+        let mut net = Network::new(&g);
+        net.charge_local_rounds(3);
+        assert_eq!(net.stats().rounds, 3);
+        assert_eq!(net.stats().messages, 0);
+    }
+
+    #[test]
+    fn absorb_compositions() {
+        let g = p3();
+        let mut net = Network::new(&g);
+        net.absorb_parallel([
+            NetworkStats { rounds: 5, messages: 1, payload_bytes: 4 },
+            NetworkStats { rounds: 2, messages: 1, payload_bytes: 4 },
+        ]);
+        assert_eq!(net.stats().rounds, 5);
+        assert_eq!(net.stats().messages, 2);
+        net.absorb_sequential(NetworkStats { rounds: 1, messages: 0, payload_bytes: 0 });
+        assert_eq!(net.stats().rounds, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per vertex")]
+    fn exchange_shape_is_validated() {
+        let g = p3();
+        let mut net = Network::new(&g);
+        let _ = net.exchange::<u32>(&[vec![]]);
+    }
+}

@@ -1,0 +1,301 @@
+//! Node programs: the "write your own LOCAL algorithm" API.
+//!
+//! [`crate::Network`] exposes round-by-round exchange primitives;
+//! this module adds the textbook formulation on top: every vertex runs the
+//! same [`NodeProgram`] state machine, and [`run_program`] drives all of
+//! them in synchronized rounds until every node has halted. Determinism is
+//! total: node order inside a round never affects outcomes because all
+//! sends are collected before any delivery.
+//!
+//! ```rust
+//! use decolor_graph::builder_from_edges;
+//! use decolor_runtime::program::{run_program, NodeContext, NodeProgram, Outcome};
+//!
+//! /// Every node learns the maximum identifier within `budget` hops.
+//! struct MaxFlood { known: u64, budget: u32 }
+//!
+//! impl NodeProgram for MaxFlood {
+//!     type Message = u64;
+//!     type Output = u64;
+//!     fn round(
+//!         &mut self,
+//!         _ctx: &NodeContext,
+//!         inbox: &[(usize, u64)],
+//!     ) -> Outcome<u64, u64> {
+//!         for &(_, m) in inbox {
+//!             self.known = self.known.max(m);
+//!         }
+//!         if self.budget == 0 {
+//!             return Outcome::Halt(self.known);
+//!         }
+//!         self.budget -= 1;
+//!         Outcome::Continue(vec![(usize::MAX, self.known)]) // broadcast
+//!     }
+//! }
+//!
+//! let g = builder_from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+//! // Budget = diameter suffices for everyone to learn the global max.
+//! let out = run_program(&g, |v| MaxFlood { known: v.index() as u64 * 10, budget: 3 }, 64)
+//!     .unwrap();
+//! assert!(out.outputs.iter().all(|&o| o == 30));
+//! ```
+
+use decolor_graph::{Graph, VertexId};
+
+use crate::metrics::NetworkStats;
+use crate::network::Network;
+
+/// Immutable per-node facts available every round.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeContext {
+    /// This node's vertex id (dense index; use an
+    /// [`IdAssignment`](crate::IdAssignment) for model-level IDs).
+    pub vertex: VertexId,
+    /// Number of incident ports.
+    pub degree: usize,
+}
+
+/// What a node does at the end of a round.
+#[derive(Clone, Debug)]
+pub enum Outcome<M, O> {
+    /// Keep running; send the listed `(port, message)` pairs. The
+    /// sentinel port `usize::MAX` broadcasts the message on every port.
+    Continue(Vec<(usize, M)>),
+    /// Halt with a final output. Halted nodes send nothing and receive
+    /// nothing in later rounds.
+    Halt(O),
+}
+
+/// A deterministic LOCAL-model node state machine.
+pub trait NodeProgram {
+    /// Message type exchanged over edges.
+    type Message: Clone;
+    /// Final per-node output.
+    type Output;
+
+    /// One synchronous round: consume the inbox (pairs of `(port,
+    /// message)` in deterministic order), update state, and either halt
+    /// or emit sends for the next round.
+    fn round(
+        &mut self,
+        ctx: &NodeContext,
+        inbox: &[(usize, Self::Message)],
+    ) -> Outcome<Self::Message, Self::Output>;
+}
+
+/// Result of a [`run_program`] execution.
+#[derive(Clone, Debug)]
+pub struct ProgramRun<O> {
+    /// Output per vertex.
+    pub outputs: Vec<O>,
+    /// Measured statistics (rounds = number of synchronized steps).
+    pub stats: NetworkStats,
+}
+
+/// Errors of the program executor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// Some node had not halted after `max_rounds` rounds.
+    RoundLimitExceeded {
+        /// The configured limit.
+        max_rounds: u64,
+        /// Vertices still running.
+        still_running: usize,
+    },
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::RoundLimitExceeded { max_rounds, still_running } => write!(
+                f,
+                "{still_running} nodes still running after {max_rounds} rounds"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// Runs one [`NodeProgram`] instance per vertex of `g` in synchronized
+/// rounds until all halt (or `max_rounds` is exceeded).
+///
+/// The first round delivers an empty inbox (nodes act on local state
+/// only), matching the standard LOCAL convention.
+///
+/// # Errors
+///
+/// [`ProgramError::RoundLimitExceeded`] if some node never halts.
+pub fn run_program<P, F>(
+    g: &Graph,
+    mut init: F,
+    max_rounds: u64,
+) -> Result<ProgramRun<P::Output>, ProgramError>
+where
+    P: NodeProgram,
+    F: FnMut(VertexId) -> P,
+{
+    let n = g.num_vertices();
+    let mut net = Network::new(g);
+    let mut programs: Vec<Option<P>> = g.vertices().map(|v| Some(init(v))).collect();
+    let mut outputs: Vec<Option<P::Output>> = (0..n).map(|_| None).collect();
+    let mut inboxes: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
+    let mut running = n;
+
+    while running > 0 {
+        if net.stats().rounds >= max_rounds {
+            return Err(ProgramError::RoundLimitExceeded {
+                max_rounds,
+                still_running: running,
+            });
+        }
+        let mut outbox: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
+        for v in g.vertices() {
+            let Some(program) = programs[v.index()].as_mut() else { continue };
+            let ctx = NodeContext { vertex: v, degree: g.degree(v) };
+            let inbox = std::mem::take(&mut inboxes[v.index()]);
+            match program.round(&ctx, &inbox) {
+                Outcome::Continue(sends) => {
+                    for (port, msg) in sends {
+                        if port == usize::MAX {
+                            for p in 0..g.degree(v) {
+                                outbox[v.index()].push((p, msg.clone()));
+                            }
+                        } else {
+                            outbox[v.index()].push((port, msg));
+                        }
+                    }
+                }
+                Outcome::Halt(out) => {
+                    programs[v.index()] = None;
+                    outputs[v.index()] = Some(out);
+                    running -= 1;
+                }
+            }
+        }
+        if running == 0 {
+            break;
+        }
+        let delivered = net.exchange(&outbox);
+        for (v, msgs) in delivered.into_iter().enumerate() {
+            let mut msgs = msgs;
+            msgs.sort_by_key(|&(p, _)| p);
+            inboxes[v] = msgs;
+        }
+    }
+
+    let outputs = outputs
+        .into_iter()
+        .map(|o| o.expect("all nodes halted"))
+        .collect();
+    Ok(ProgramRun { outputs, stats: net.stats() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decolor_graph::generators;
+
+    /// Each node halts immediately with its own degree.
+    struct DegreeEcho;
+    impl NodeProgram for DegreeEcho {
+        type Message = ();
+        type Output = usize;
+        fn round(&mut self, ctx: &NodeContext, _inbox: &[(usize, ())]) -> Outcome<(), usize> {
+            Outcome::Halt(ctx.degree)
+        }
+    }
+
+    #[test]
+    fn zero_round_programs_cost_zero_rounds() {
+        let g = generators::gnm(20, 50, 1).unwrap();
+        let run = run_program(&g, |_| DegreeEcho, 10).unwrap();
+        assert_eq!(run.stats.rounds, 0);
+        for v in g.vertices() {
+            assert_eq!(run.outputs[v.index()], g.degree(v));
+        }
+    }
+
+    /// Count rounds until a token from vertex 0 arrives (BFS distance).
+    struct Distance {
+        dist: Option<u32>,
+        clock: u32,
+        announced: bool,
+    }
+    impl NodeProgram for Distance {
+        type Message = ();
+        type Output = u32;
+        fn round(&mut self, _ctx: &NodeContext, inbox: &[(usize, ())]) -> Outcome<(), u32> {
+            if self.dist.is_none() && !inbox.is_empty() {
+                self.dist = Some(self.clock);
+            }
+            self.clock += 1;
+            match self.dist {
+                Some(d) if self.announced => Outcome::Halt(d),
+                Some(d) => {
+                    self.announced = true;
+                    let _ = d;
+                    Outcome::Continue(vec![(usize::MAX, ())])
+                }
+                None => Outcome::Continue(vec![]),
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_distances_via_flooding() {
+        let g = generators::path(6).unwrap();
+        let run = run_program(
+            &g,
+            |v| Distance {
+                dist: (v.index() == 0).then_some(0),
+                clock: 0,
+                announced: false,
+            },
+            32,
+        )
+        .unwrap();
+        assert_eq!(run.outputs, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        struct Forever;
+        impl NodeProgram for Forever {
+            type Message = ();
+            type Output = ();
+            fn round(&mut self, _: &NodeContext, _: &[(usize, ())]) -> Outcome<(), ()> {
+                Outcome::Continue(vec![])
+            }
+        }
+        let g = generators::path(3).unwrap();
+        let err = run_program(&g, |_| Forever, 5).unwrap_err();
+        assert!(matches!(err, ProgramError::RoundLimitExceeded { still_running: 3, .. }));
+    }
+
+    #[test]
+    fn halted_nodes_stop_sending() {
+        // Vertex 0 halts in round 0; others run one more round and must
+        // not receive anything from it afterwards.
+        struct HaltFirst {
+            me: usize,
+        }
+        impl NodeProgram for HaltFirst {
+            type Message = u32;
+            type Output = usize;
+            fn round(
+                &mut self,
+                _ctx: &NodeContext,
+                inbox: &[(usize, u32)],
+            ) -> Outcome<u32, usize> {
+                if self.me == 0 {
+                    return Outcome::Halt(0);
+                }
+                Outcome::Halt(inbox.len())
+            }
+        }
+        let g = generators::star(4).unwrap();
+        let run = run_program(&g, |v| HaltFirst { me: v.index() }, 10).unwrap();
+        assert_eq!(run.outputs, vec![0, 0, 0, 0]);
+    }
+}

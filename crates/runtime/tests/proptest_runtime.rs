@@ -1,0 +1,68 @@
+//! Property-based tests of the LOCAL simulator.
+
+use decolor_graph::generators;
+use decolor_runtime::{IdAssignment, Network};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Port numbering is an involution across each edge.
+    #[test]
+    fn ports_are_involutive(seed in 0u64..1000, m in 5usize..150) {
+        let g = generators::gnm(30, m.min(30 * 29 / 2), seed).unwrap();
+        let net = Network::new(&g);
+        for (e, [u, v]) in g.edge_list() {
+            let pu = net.port_of(u, e);
+            let pv = net.port_of(v, e);
+            prop_assert_eq!(g.incidence(u)[pu], (v, e));
+            prop_assert_eq!(g.incidence(v)[pv], (u, e));
+        }
+    }
+
+    /// Broadcast delivers exactly the neighbor multiset, in port order.
+    #[test]
+    fn broadcast_is_exact(seed in 0u64..1000) {
+        let g = generators::gnm(25, 70, seed).unwrap();
+        let mut net = Network::new(&g);
+        let values: Vec<u64> = (0..25).map(|v| v * 31 + 7).collect();
+        let inbox = net.broadcast(&values);
+        for v in g.vertices() {
+            let expected: Vec<u64> = g.neighbors(v).map(|u| values[u.index()]).collect();
+            prop_assert_eq!(&inbox[v.index()], &expected);
+        }
+        prop_assert_eq!(net.stats().rounds, 1);
+        prop_assert_eq!(net.stats().messages, 2 * g.num_edges() as u64);
+    }
+
+    /// Exchange conservation: every sent message arrives exactly once.
+    #[test]
+    fn exchange_conserves_messages(seed in 0u64..1000) {
+        let g = generators::gnm(20, 50, seed).unwrap();
+        let mut net = Network::new(&g);
+        let outbox: Vec<Vec<(usize, u32)>> = g
+            .vertices()
+            .map(|v| (0..g.degree(v)).step_by(2).map(|p| (p, v.index() as u32)).collect())
+            .collect();
+        let sent: usize = outbox.iter().map(Vec::len).sum();
+        let inbox = net.exchange(&outbox);
+        let received: usize = inbox.iter().map(Vec::len).sum();
+        prop_assert_eq!(sent, received);
+    }
+
+    /// Shuffled IDs are permutations; restriction preserves distinctness.
+    #[test]
+    fn id_assignment_permutation(n in 1usize..200, seed in 0u64..1000) {
+        let ids = IdAssignment::shuffled(n, seed);
+        let mut sorted = ids.as_slice().to_vec();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n as u64).collect::<Vec<_>>());
+        let subset: Vec<decolor_graph::VertexId> =
+            (0..n).step_by(3).map(decolor_graph::VertexId::new).collect();
+        let sub = ids.restrict(&subset);
+        let mut s = sub.as_slice().to_vec();
+        s.sort_unstable();
+        s.dedup();
+        prop_assert_eq!(s.len(), subset.len());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests (proptest) of the paper's structural lemmas on
+//! randomized workloads.
+
+use decolor::core::cd_coloring::{cd_coloring, CdParams};
+use decolor::core::connectors::clique::clique_connector;
+use decolor::core::connectors::edge::edge_connector;
+use decolor::core::h_partition::h_partition_for_arboricity;
+use decolor::core::star_partition::{star_partition_edge_coloring, StarPartitionParams};
+use decolor::graph::line_graph::LineGraph;
+use decolor::graph::generators;
+use decolor::runtime::IdAssignment;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Lemma 2.1 on arbitrary line graphs: Δ(G′) ≤ D(t − 1).
+    #[test]
+    fn lemma_2_1_connector_degree(seed in 0u64..500, t in 2usize..8, d in 3usize..10) {
+        let n = 48;
+        let g = generators::random_regular(n, d, seed).unwrap();
+        let lg = LineGraph::new(&g);
+        let conn = clique_connector(&lg.graph, &lg.cover, t).unwrap();
+        let bound = lg.cover.diversity() * (t - 1);
+        prop_assert!(conn.graph.max_degree() <= bound);
+        // Connector edges ⊆ source edges.
+        for (_, [u, v]) in conn.graph.edge_list() {
+            prop_assert!(lg.graph.has_edge(u, v));
+        }
+    }
+
+    /// §4 invariants: edge-connector degree ≤ t and star bound ⌈Δ/t⌉.
+    #[test]
+    fn edge_connector_bounds(seed in 0u64..500, t in 1usize..10, m in 40usize..160) {
+        let g = generators::gnm(40, m, seed).unwrap();
+        let conn = edge_connector(&g, t).unwrap();
+        prop_assert!(conn.graph.max_degree() <= t);
+        prop_assert_eq!(conn.graph.num_edges(), g.num_edges());
+    }
+
+    /// Star partition produces proper colorings within 2^{x+1}Δ for all
+    /// parameters.
+    #[test]
+    fn star_partition_proper_and_bounded(seed in 0u64..200, x in 1usize..4) {
+        let g = generators::random_regular(64, 8, seed).unwrap();
+        let params = StarPartitionParams::for_levels(&g, x);
+        let res = star_partition_edge_coloring(&g, &params).unwrap();
+        prop_assert!(res.coloring.is_proper(&g));
+        prop_assert!(res.coloring.palette() <= (1u64 << (x as u32 + 1)) * 8);
+    }
+
+    /// CD-Coloring on line graphs: proper, within the exact product bound.
+    #[test]
+    fn cd_coloring_proper_and_bounded(seed in 0u64..200, x in 1usize..3) {
+        let g = generators::random_regular(48, 8, seed).unwrap();
+        let lg = LineGraph::new(&g);
+        let params = CdParams::for_levels(lg.cover.max_clique_size(), x);
+        let ids = IdAssignment::shuffled(lg.graph.num_vertices(), seed);
+        let res = cd_coloring(&lg.graph, &lg.cover, &params, &ids).unwrap();
+        prop_assert!(res.coloring.is_proper(&lg.graph));
+        let bound = decolor::core::analysis::cd_palette_product(
+            lg.cover.diversity() as u64,
+            lg.cover.max_clique_size() as u64,
+            params.t as u64,
+            x as u32,
+        );
+        prop_assert!(res.coloring.palette() <= bound);
+    }
+
+    /// H-partition defining property + acyclic bounded-out-degree
+    /// orientation, for arbitrary forest unions.
+    #[test]
+    fn h_partition_property(seed in 0u64..500, a in 1usize..5) {
+        let g = generators::forest_union(120, a, 6, seed).unwrap();
+        let hp = h_partition_for_arboricity(&g, a, 2.5).unwrap();
+        hp.verify(&g).unwrap();
+        let o = hp.orientation(&g);
+        prop_assert!(o.is_acyclic(&g));
+        prop_assert!(o.max_out_degree(&g) <= hp.degree_bound);
+    }
+
+    /// Line graphs always have diversity ≤ 2 with clique size Δ.
+    #[test]
+    fn line_graph_diversity(seed in 0u64..500, m in 30usize..120) {
+        let g = generators::gnm(30, m, seed).unwrap();
+        let lg = LineGraph::new(&g);
+        lg.cover.validate(&lg.graph).unwrap();
+        prop_assert!(lg.cover.diversity() <= 2);
+        prop_assert_eq!(lg.cover.max_clique_size(), g.max_degree());
+    }
+
+    /// Misra–Gries stays within Δ + 1 on arbitrary G(n, m).
+    #[test]
+    fn misra_gries_vizing_bound(seed in 0u64..500, m in 20usize..150) {
+        let g = generators::gnm(30, m, seed).unwrap();
+        let c = decolor::baselines::misra_gries::misra_gries_edge_coloring(&g);
+        prop_assert!(c.is_proper(&g));
+        prop_assert!(c.palette() <= g.max_degree() as u64 + 1);
+    }
+}

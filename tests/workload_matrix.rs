@@ -1,0 +1,122 @@
+//! Workload matrix: every main algorithm across the full generator zoo.
+//! Family-specific structure (bipartite, symmetric, heavy-tailed, planar,
+//! tree-like) exercises different code paths than G(n,m).
+
+use decolor::baselines::misra_gries::misra_gries_edge_coloring;
+use decolor::baselines::randomized::randomized_edge_coloring;
+use decolor::core::arboricity::theorem52;
+use decolor::core::cd_coloring::{cd_coloring, CdParams};
+use decolor::core::delta_plus_one::SubroutineConfig;
+use decolor::core::star_partition::{star_partition_edge_coloring, StarPartitionParams};
+use decolor::graph::line_graph::LineGraph;
+use decolor::graph::properties;
+use decolor::graph::{generators, ops, Graph};
+use decolor::runtime::IdAssignment;
+
+fn zoo() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("torus", generators::torus(8, 9).unwrap()),
+        ("hypercube", generators::hypercube(6).unwrap()),
+        ("barabasi_albert", generators::barabasi_albert(150, 3, 1).unwrap()),
+        ("caterpillar", generators::caterpillar(20, 5).unwrap()),
+        ("unit_disk", generators::unit_disk(150, 0.12, 2).unwrap()),
+        ("complete_bipartite", generators::complete_bipartite(9, 11).unwrap()),
+        ("random_bipartite", generators::random_bipartite(30, 40, 0.15, 3).unwrap()),
+        ("grid", generators::grid(10, 11).unwrap()),
+        ("gnp", generators::gnp(80, 0.08, 4).unwrap()),
+        ("rooks", ops::rooks_graph(6, 7).unwrap().0),
+        (
+            "disjoint_union",
+            ops::disjoint_union(
+                &generators::cycle(15).unwrap(),
+                &generators::star(20).unwrap(),
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn star_partition_across_the_zoo() {
+    for (name, g) in zoo() {
+        if g.num_edges() == 0 {
+            continue;
+        }
+        for x in [1usize, 2] {
+            let res = star_partition_edge_coloring(&g, &StarPartitionParams::for_levels(&g, x))
+                .unwrap_or_else(|e| panic!("{name} x={x}: {e}"));
+            assert!(res.coloring.is_proper(&g), "{name} x={x} improper");
+            let bound = (1u64 << (x as u32 + 1)) * g.max_degree().max(1) as u64;
+            assert!(
+                res.coloring.palette() <= bound,
+                "{name} x={x}: palette {} > {bound}",
+                res.coloring.palette()
+            );
+        }
+    }
+}
+
+#[test]
+fn cd_coloring_across_the_zoo() {
+    for (name, g) in zoo() {
+        if g.num_edges() == 0 {
+            continue;
+        }
+        let lg = LineGraph::new(&g);
+        assert!(lg.cover.diversity() <= 2, "{name}: line diversity must be ≤ 2");
+        let params = CdParams::for_levels(lg.cover.max_clique_size().max(2), 1);
+        let ids = IdAssignment::shuffled(lg.graph.num_vertices(), 7);
+        let res = cd_coloring(&lg.graph, &lg.cover, &params, &ids)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(res.coloring.is_proper(&lg.graph), "{name} improper");
+    }
+}
+
+#[test]
+fn theorem52_on_sparse_zoo_members() {
+    for (name, g) in zoo() {
+        let degeneracy = properties::degeneracy_ordering(&g).degeneracy;
+        // Theorem 5.2 applies with a ≥ arboricity; degeneracy suffices.
+        if g.num_edges() == 0 || degeneracy == 0 {
+            continue;
+        }
+        let res = theorem52(&g, degeneracy, 2.5, SubroutineConfig::default())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(res.coloring.is_proper(&g), "{name} improper");
+        let d = (2.5 * degeneracy as f64).ceil() as u64;
+        assert!(
+            res.coloring.palette() <= (4 * d + 1).max(g.max_degree() as u64 + d),
+            "{name}: palette {} out of bound",
+            res.coloring.palette()
+        );
+    }
+}
+
+#[test]
+fn centralized_floors_across_the_zoo() {
+    for (name, g) in zoo() {
+        if g.num_edges() == 0 {
+            continue;
+        }
+        let vizing = misra_gries_edge_coloring(&g);
+        assert!(vizing.is_proper(&g), "{name}");
+        assert!(vizing.palette() <= g.max_degree() as u64 + 1, "{name}");
+        let delta = g.max_degree() as u64;
+        let (rnd, _) = randomized_edge_coloring(&g, (2 * delta).saturating_sub(1).max(1), 5)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(rnd.is_proper(&g), "{name}");
+        // Vizing never uses more colors than the randomized baseline's
+        // palette.
+        assert!(vizing.palette() <= rnd.palette(), "{name}");
+    }
+}
+
+#[test]
+fn hypercube_symmetry_is_fully_broken() {
+    // Vertex-transitive graphs are the adversarial case for deterministic
+    // symmetry breaking: only IDs distinguish vertices.
+    let g = generators::hypercube(7).unwrap();
+    let res =
+        star_partition_edge_coloring(&g, &StarPartitionParams::for_levels(&g, 1)).unwrap();
+    assert!(res.coloring.is_proper(&g));
+    assert!(res.coloring.palette() <= 4 * 7);
+}
