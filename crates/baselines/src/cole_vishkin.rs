@@ -8,10 +8,10 @@
 //! appending that bit's value. After O(log* n) rounds the palette is ≤ 6;
 //! three shift-down + recolor rounds finish with 3 colors.
 
+use decolor_core::AlgoError;
 use decolor_graph::coloring::{Color, VertexColoring};
 use decolor_graph::{Graph, VertexId};
 use decolor_runtime::{IdAssignment, Network, NetworkStats};
-use decolor_core::AlgoError;
 
 /// A rooted forest structure over a graph: `parent[v] = None` for roots.
 ///
@@ -116,8 +116,9 @@ pub fn cole_vishkin_forest_coloring(
     }
     let n = g.num_vertices();
     if n == 0 {
-        let c = VertexColoring::new(vec![], 1)
-            .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+        let c = VertexColoring::new(vec![], 1).map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
         return Ok((c, NetworkStats::default()));
     }
     let mut net = Network::new(g);
@@ -175,18 +176,22 @@ pub fn cole_vishkin_forest_coloring(
             if colors[v.index()] == top {
                 let used: std::collections::HashSet<u64> =
                     inbox[v.index()].iter().copied().collect();
-                colors[v.index()] =
-                    (0..3).find(|c| !used.contains(c)).expect("≤ 2 blocked colors");
+                colors[v.index()] = (0..3)
+                    .find(|c| !used.contains(c))
+                    .expect("≤ 2 blocked colors");
             }
         }
     }
 
     let out: Vec<Color> = colors.iter().map(|&c| c as Color).collect();
-    let coloring = VertexColoring::new(out, 3)
-        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+    let coloring = VertexColoring::new(out, 3).map_err(|e| AlgoError::InvariantViolated {
+        reason: e.to_string(),
+    })?;
     coloring
         .validate(g)
-        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+        .map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
     Ok((coloring, net.stats()))
 }
 
@@ -246,7 +251,9 @@ mod tests {
     #[test]
     fn rejects_bogus_parents() {
         let g = generators::path(3).unwrap();
-        let forest = RootedForest { parent: vec![None, None, Some(VertexId::new(0))] };
+        let forest = RootedForest {
+            parent: vec![None, None, Some(VertexId::new(0))],
+        };
         let ids = IdAssignment::sequential(3);
         assert!(cole_vishkin_forest_coloring(&g, &forest, &ids).is_err());
     }

@@ -35,9 +35,7 @@ pub fn two_delta_minus_one_edge_coloring(
 /// # Errors
 ///
 /// Propagates subroutine errors.
-pub fn no_connector_edge_coloring(
-    g: &Graph,
-) -> Result<(EdgeColoring, NetworkStats), AlgoError> {
+pub fn no_connector_edge_coloring(g: &Graph) -> Result<(EdgeColoring, NetworkStats), AlgoError> {
     two_delta_minus_one_edge_coloring(g)
 }
 

@@ -22,7 +22,11 @@ use decolor_graph::{Graph, VertexId};
 /// assert_eq!(c.distinct_colors(), 5);
 /// ```
 pub fn greedy_vertex_coloring(g: &Graph, order: &[VertexId]) -> VertexColoring {
-    assert_eq!(order.len(), g.num_vertices(), "order must cover all vertices");
+    assert_eq!(
+        order.len(),
+        g.num_vertices(),
+        "order must cover all vertices"
+    );
     let mut colors: Vec<Option<Color>> = vec![None; g.num_vertices()];
     let palette = g.max_degree() as u64 + 1;
     for &v in order {
@@ -32,11 +36,17 @@ pub fn greedy_vertex_coloring(g: &Graph, order: &[VertexId]) -> VertexColoring {
                 used[c as usize] = true;
             }
         }
-        let free = used.iter().position(|&t| !t).expect("Δ neighbors cannot block Δ + 1 colors");
+        let free = used
+            .iter()
+            .position(|&t| !t)
+            .expect("Δ neighbors cannot block Δ + 1 colors");
         assert!(colors[v.index()].is_none(), "order repeats vertex {v}");
         colors[v.index()] = Some(free as Color);
     }
-    let colors: Vec<Color> = colors.into_iter().map(|c| c.expect("all vertices ordered")).collect();
+    let colors: Vec<Color> = colors
+        .into_iter()
+        .map(|c| c.expect("all vertices ordered"))
+        .collect();
     VertexColoring::new(colors, palette).expect("greedy colors fit the palette")
 }
 
@@ -74,11 +84,16 @@ pub fn greedy_edge_coloring(g: &Graph) -> EdgeColoring {
                 }
             }
         }
-        let free =
-            used.iter().position(|&t| !t).expect("2Δ − 2 incident edges cannot block 2Δ − 1");
+        let free = used
+            .iter()
+            .position(|&t| !t)
+            .expect("2Δ − 2 incident edges cannot block 2Δ − 1");
         colors[e.index()] = Some(free as Color);
     }
-    let colors: Vec<Color> = colors.into_iter().map(|c| c.expect("all edges visited")).collect();
+    let colors: Vec<Color> = colors
+        .into_iter()
+        .map(|c| c.expect("all edges visited"))
+        .collect();
     EdgeColoring::new(colors, palette).expect("greedy colors fit the palette")
 }
 

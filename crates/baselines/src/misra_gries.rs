@@ -110,8 +110,10 @@ impl<'g> State<'g> {
             want = if want == d { c } else { d };
         }
         // Uncolor the whole path, then recolor flipped.
-        let old: Vec<Color> =
-            path.iter().map(|&e| self.color[e.index()].expect("path edges are colored")).collect();
+        let old: Vec<Color> = path
+            .iter()
+            .map(|&e| self.color[e.index()].expect("path edges are colored"))
+            .collect();
         for &e in &path {
             self.set(e, None);
         }
@@ -158,7 +160,10 @@ impl<'g> State<'g> {
 /// assert!(c.palette() <= 6); // Δ + 1 = 6
 /// ```
 pub fn misra_gries_edge_coloring(g: &Graph) -> EdgeColoring {
-    assert!(!g.has_parallel_edges(), "Misra–Gries requires a simple graph");
+    assert!(
+        !g.has_parallel_edges(),
+        "Misra–Gries requires a simple graph"
+    );
     let delta = g.max_degree();
     if g.num_edges() == 0 {
         return EdgeColoring::new(vec![], 1).expect("empty coloring is valid");
@@ -203,8 +208,11 @@ pub fn misra_gries_edge_coloring(g: &Graph) -> EdgeColoring {
         st.set(e_w, Some(d));
     }
 
-    let colors: Vec<Color> =
-        st.color.into_iter().map(|c| c.expect("all edges colored")).collect();
+    let colors: Vec<Color> = st
+        .color
+        .into_iter()
+        .map(|c| c.expect("all edges colored"))
+        .collect();
     let ec = EdgeColoring::new(colors, palette as u64).expect("colors fit palette");
     debug_assert!(ec.is_proper(g));
     ec
@@ -217,9 +225,13 @@ mod tests {
 
     #[test]
     fn delta_plus_one_on_many_graphs() {
-        for (n, m, seed) in
-            [(30usize, 100usize, 1u64), (60, 300, 2), (80, 200, 3), (100, 600, 4), (50, 50, 5)]
-        {
+        for (n, m, seed) in [
+            (30usize, 100usize, 1u64),
+            (60, 300, 2),
+            (80, 200, 3),
+            (100, 600, 4),
+            (50, 50, 5),
+        ] {
             let g = generators::gnm(n, m, seed).unwrap();
             let c = misra_gries_edge_coloring(&g);
             assert!(c.is_proper(&g), "improper for seed {seed}");

@@ -33,8 +33,9 @@ pub fn randomized_edge_coloring(
     let delta = g.max_degree() as u64;
     let m = g.num_edges();
     if m == 0 {
-        let empty = EdgeColoring::new(vec![], 1)
-            .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+        let empty = EdgeColoring::new(vec![], 1).map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
         return Ok((empty, NetworkStats::default()));
     }
     let needed = 2 * delta - 1;
@@ -70,8 +71,7 @@ pub fn randomized_edge_coloring(
                     }
                 }
             }
-            let free: Vec<Color> =
-                (0..palette as u32).filter(|&c| !used[c as usize]).collect();
+            let free: Vec<Color> = (0..palette as u32).filter(|&c| !used[c as usize]).collect();
             proposal[e.index()] = free.choose(&mut rng).copied();
         }
         // One round: endpoints exchange the proposals of their incident
@@ -89,11 +89,12 @@ pub fn randomized_edge_coloring(
         // proposals.
         let mut accepted: Vec<(usize, Color)> = Vec::new();
         for (e, [u, v]) in g.edge_list() {
-            let Some(cand) = proposal[e.index()] else { continue };
+            let Some(cand) = proposal[e.index()] else {
+                continue;
+            };
             let conflict = [u, v].iter().any(|&w| {
-                g.incident_edges(w).any(|f| {
-                    f != e && proposal[f.index()] == Some(cand)
-                })
+                g.incident_edges(w)
+                    .any(|f| f != e && proposal[f.index()] == Some(cand))
             });
             if !conflict {
                 accepted.push((e.index(), cand));
@@ -109,9 +110,12 @@ pub fn randomized_edge_coloring(
         .into_iter()
         .map(|c| c.expect("loop exits only when all edges are colored"))
         .collect();
-    let ec = EdgeColoring::new(out, palette)
-        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
-    ec.validate(g).map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+    let ec = EdgeColoring::new(out, palette).map_err(|e| AlgoError::InvariantViolated {
+        reason: e.to_string(),
+    })?;
+    ec.validate(g).map_err(|e| AlgoError::InvariantViolated {
+        reason: e.to_string(),
+    })?;
     Ok((ec, net.stats()))
 }
 

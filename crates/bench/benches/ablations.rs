@@ -22,7 +22,10 @@ fn bench_ablations(c: &mut Criterion) {
     group.bench_function("cd_fixed_t", |b| {
         b.iter(|| cd_coloring(&lg.graph, &lg.cover, &fixed, &ids).unwrap())
     });
-    let per_level = CdParams { per_level_t: true, ..fixed };
+    let per_level = CdParams {
+        per_level_t: true,
+        ..fixed
+    };
     group.bench_function("cd_per_level_t", |b| {
         b.iter(|| cd_coloring(&lg.graph, &lg.cover, &per_level, &ids).unwrap())
     });
@@ -31,7 +34,10 @@ fn bench_ablations(c: &mut Criterion) {
     group.bench_function("star_fixed_t", |b| {
         b.iter(|| star_partition_edge_coloring(&g, &sp_fixed).unwrap())
     });
-    let sp_adaptive = StarPartitionParams { adaptive_t: true, ..sp_fixed };
+    let sp_adaptive = StarPartitionParams {
+        adaptive_t: true,
+        ..sp_fixed
+    };
     group.bench_function("star_adaptive_t", |b| {
         b.iter(|| star_partition_edge_coloring(&g, &sp_adaptive).unwrap())
     });

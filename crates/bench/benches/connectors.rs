@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use decolor_core::connectors::clique::clique_connector;
 use decolor_core::connectors::edge::edge_connector;
 use decolor_core::connectors::orientation::orientation_connector;
-use decolor_graph::line_graph::LineGraph;
 use decolor_graph::generators;
+use decolor_graph::line_graph::LineGraph;
 
 fn bench_connectors(c: &mut Criterion) {
     let mut group = c.benchmark_group("connectors");

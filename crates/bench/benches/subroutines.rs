@@ -30,7 +30,9 @@ fn bench_subroutines(c: &mut Criterion) {
             delta_plus_one_coloring(
                 &g,
                 Seed::Ids(&ids),
-                SubroutineConfig { reduction: ReductionStrategy::Basic },
+                SubroutineConfig {
+                    reduction: ReductionStrategy::Basic,
+                },
             )
             .unwrap()
         })

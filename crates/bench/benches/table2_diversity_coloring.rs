@@ -2,8 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use decolor_core::cd_coloring::{cd_coloring, CdParams};
-use decolor_graph::line_graph::LineGraph;
 use decolor_graph::generators;
+use decolor_graph::line_graph::LineGraph;
 use decolor_runtime::IdAssignment;
 
 fn bench_table2(c: &mut Criterion) {

@@ -14,8 +14,11 @@ use decolor_runtime::{IdAssignment, Network};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let sizes: &[usize] =
-        if quick { &[256, 1024] } else { &[256, 1024, 4096, 16384] };
+    let sizes: &[usize] = if quick {
+        &[256, 1024]
+    } else {
+        &[256, 1024, 4096, 16384]
+    };
 
     println!("# Scaling study — rounds vs n at fixed Δ\n");
     let mut rows = Vec::new();
@@ -36,8 +39,8 @@ fn main() {
 
         // Theorem 5.2 on arboricity-2 workloads: ℓ = O(log n) stages.
         let ga = arboricity_workload(n, 2, 8, 3);
-        let t52 = theorem52(&ga, 2, 2.5, SubroutineConfig::default())
-            .expect("theorem 5.2 succeeds");
+        let t52 =
+            theorem52(&ga, 2, 2.5, SubroutineConfig::default()).expect("theorem 5.2 succeeds");
 
         rows.push(vec![
             format!("{n}"),
@@ -69,7 +72,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["n", "Linial rounds (log* n)", "star partition x=1", "Theorem 5.2 (O(log n))"],
+            &[
+                "n",
+                "Linial rounds (log* n)",
+                "star partition x=1",
+                "Theorem 5.2 (O(log n))"
+            ],
             &rows
         )
     );

@@ -32,7 +32,14 @@ fn main() {
         let delta = g.max_degree() as u64;
         let nn = g.num_vertices() as u64;
         let mut rows = Vec::new();
-        let record = |tag: &str, x: u32, palette: u64, used: usize, rounds: u64, msgs: u64, bound: u64, shape: f64| {
+        let record = |tag: &str,
+                      x: u32,
+                      palette: u64,
+                      used: usize,
+                      rounds: u64,
+                      msgs: u64,
+                      bound: u64,
+                      shape: f64| {
             append_record(&Record {
                 experiment: tag.into(),
                 workload: format!("forest_union(n={n}, a={a}, cap={cap})"),
@@ -70,27 +77,45 @@ fn main() {
         assert!(t52.coloring.is_proper(&g));
         rows.push(vec![
             "Theorem 5.2".into(),
-            format!("Δ+O(a) = {}", analysis::theorem52_palette(delta, a as u64, q)),
+            format!(
+                "Δ+O(a) = {}",
+                analysis::theorem52_palette(delta, a as u64, q)
+            ),
             format!("Δ+{}", t52.coloring.palette() as i64 - delta as i64),
             format!("{}", t52.stats.rounds),
         ]);
-        record("t52", 1, t52.coloring.palette(), t52.coloring.distinct_colors(),
-               t52.stats.rounds, t52.stats.messages,
-               analysis::theorem52_palette(delta, a as u64, q),
-               analysis::theorem52_time(a as u64, nn));
+        record(
+            "t52",
+            1,
+            t52.coloring.palette(),
+            t52.coloring.distinct_colors(),
+            t52.stats.rounds,
+            t52.stats.messages,
+            analysis::theorem52_palette(delta, a as u64, q),
+            analysis::theorem52_time(a as u64, nn),
+        );
 
         let t53 = theorem53(&g, a, q, cfg).expect("theorem 5.3 succeeds");
         assert!(t53.coloring.is_proper(&g));
         rows.push(vec![
             "Theorem 5.3".into(),
-            format!("Δ+O(√(Δa)) = {}", analysis::theorem53_palette(delta, a as u64, q)),
+            format!(
+                "Δ+O(√(Δa)) = {}",
+                analysis::theorem53_palette(delta, a as u64, q)
+            ),
             format!("Δ+{}", t53.coloring.palette() as i64 - delta as i64),
             format!("{}", t53.stats.rounds),
         ]);
-        record("t53", 1, t53.coloring.palette(), t53.coloring.distinct_colors(),
-               t53.stats.rounds, t53.stats.messages,
-               analysis::theorem53_palette(delta, a as u64, q),
-               analysis::theorem53_time(a as u64, nn));
+        record(
+            "t53",
+            1,
+            t53.coloring.palette(),
+            t53.coloring.distinct_colors(),
+            t53.stats.rounds,
+            t53.stats.messages,
+            analysis::theorem53_palette(delta, a as u64, q),
+            analysis::theorem53_time(a as u64, nn),
+        );
 
         for x in [2usize, 3] {
             let t54 = theorem54(&g, a, q, x, cfg).expect("theorem 5.4 succeeds");
@@ -104,10 +129,16 @@ fn main() {
                 format!("Δ+{}", t54.coloring.palette() as i64 - delta as i64),
                 format!("{}", t54.stats.rounds),
             ]);
-            record("t54", x as u32, t54.coloring.palette(), t54.coloring.distinct_colors(),
-                   t54.stats.rounds, t54.stats.messages,
-                   analysis::theorem54_palette(delta, a as u64, q, x as u32),
-                   analysis::theorem54_time(a as u64, q, x as u32, nn));
+            record(
+                "t54",
+                x as u32,
+                t54.coloring.palette(),
+                t54.coloring.distinct_colors(),
+                t54.stats.rounds,
+                t54.stats.messages,
+                analysis::theorem54_palette(delta, a as u64, q, x as u32),
+                analysis::theorem54_time(a as u64, q, x as u32, nn),
+            );
         }
 
         let (c55, params) = corollary55(&g, a, cfg).expect("corollary 5.5 succeeds");
@@ -118,9 +149,16 @@ fn main() {
             format!("Δ+{}", c55.coloring.palette() as i64 - delta as i64),
             format!("{}", c55.stats.rounds),
         ]);
-        record("c55", params.x as u32, c55.coloring.palette(),
-               c55.coloring.distinct_colors(), c55.stats.rounds, c55.stats.messages,
-               delta * 2, 0.0);
+        record(
+            "c55",
+            params.x as u32,
+            c55.coloring.palette(),
+            c55.coloring.distinct_colors(),
+            c55.stats.rounds,
+            c55.stats.messages,
+            delta * 2,
+            0.0,
+        );
 
         println!("## n = {n}, a = {a}, Δ = {delta}, m = {}\n", g.num_edges());
         println!(

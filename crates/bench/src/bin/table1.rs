@@ -74,7 +74,11 @@ fn main() {
                 format!("{}", res.coloring.palette()),
                 format!("{:.1} / {:.1}", t_ours, t_prev),
                 format!("{}", res.stats.rounds),
-                format!("(2^{}+ε)Δ = {:.0}", x + 1, analysis::table1_prev_colors(delta, x as u32, 0.1)),
+                format!(
+                    "(2^{}+ε)Δ = {:.0}",
+                    x + 1,
+                    analysis::table1_prev_colors(delta, x as u32, 0.1)
+                ),
             ]);
             append_record(&Record {
                 experiment: "table1".into(),

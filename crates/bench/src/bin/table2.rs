@@ -41,7 +41,11 @@ fn workloads(quick: bool) -> Vec<Workload> {
     // Rook's graph = L(K_{p,q}): the structured diversity-2 family.
     let (p, q) = if quick { (8, 9) } else { (16, 18) };
     let (g, cover) = decolor_graph::ops::rooks_graph(p, q).unwrap();
-    out.push(Workload { name: format!("rook's graph K_{p} × K_{q}  [D=2]"), graph: g, cover });
+    out.push(Workload {
+        name: format!("rook's graph K_{p} × K_{q}  [D=2]"),
+        graph: g,
+        cover,
+    });
     out
 }
 

@@ -133,6 +133,9 @@ mod tests {
     #[test]
     fn workloads_are_deterministic() {
         assert_eq!(regular_workload(32, 4, 1), regular_workload(32, 4, 1));
-        assert_eq!(arboricity_workload(64, 2, 4, 2), arboricity_workload(64, 2, 4, 2));
+        assert_eq!(
+            arboricity_workload(64, 2, 4, 2),
+            arboricity_workload(64, 2, 4, 2)
+        );
     }
 }

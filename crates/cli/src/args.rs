@@ -14,7 +14,11 @@ pub struct Parsed {
 impl Parsed {
     /// Looks up a `--key` option.
     pub fn option(&self, key: &str) -> Option<&str> {
-        self.options.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Removes and returns the positional at `index`, if present.
@@ -94,7 +98,9 @@ pub fn req_usize(kv: &[(String, String)], key: &str) -> Result<usize, String> {
 pub fn opt_usize(kv: &[(String, String)], key: &str, default: usize) -> Result<usize, String> {
     match kv.iter().find(|(k, _)| k == key) {
         None => Ok(default),
-        Some((_, v)) => v.parse().map_err(|_| format!("parameter `{key}` must be an integer")),
+        Some((_, v)) => v
+            .parse()
+            .map_err(|_| format!("parameter `{key}` must be an integer")),
     }
 }
 
@@ -106,7 +112,9 @@ pub fn opt_usize(kv: &[(String, String)], key: &str, default: usize) -> Result<u
 pub fn opt_f64(kv: &[(String, String)], key: &str, default: f64) -> Result<f64, String> {
     match kv.iter().find(|(k, _)| k == key) {
         None => Ok(default),
-        Some((_, v)) => v.parse().map_err(|_| format!("parameter `{key}` must be a number")),
+        Some((_, v)) => v
+            .parse()
+            .map_err(|_| format!("parameter `{key}` must be a number")),
     }
 }
 
@@ -118,7 +126,9 @@ pub fn opt_f64(kv: &[(String, String)], key: &str, default: f64) -> Result<f64, 
 pub fn opt_u64(kv: &[(String, String)], key: &str, default: u64) -> Result<u64, String> {
     match kv.iter().find(|(k, _)| k == key) {
         None => Ok(default),
-        Some((_, v)) => v.parse().map_err(|_| format!("parameter `{key}` must be an integer")),
+        Some((_, v)) => v
+            .parse()
+            .map_err(|_| format!("parameter `{key}` must be an integer")),
     }
 }
 

@@ -11,7 +11,10 @@ use crate::spec::build_graph;
 ///
 /// Malformed spec.
 pub fn run(parsed: &mut Parsed) -> Result<String, String> {
-    let spec = parsed.positional(0).ok_or("analyze needs a graph spec")?.to_string();
+    let spec = parsed
+        .positional(0)
+        .ok_or("analyze needs a graph spec")?
+        .to_string();
     let g = build_graph(&spec)?;
     let stats = properties::degree_stats(&g);
     let degeneracy = properties::degeneracy_ordering(&g).degeneracy;
@@ -22,10 +25,20 @@ pub fn run(parsed: &mut Parsed) -> Result<String, String> {
     out.push_str(&format!("vertices        {}\n", g.num_vertices()));
     out.push_str(&format!("edges           {}\n", g.num_edges()));
     out.push_str(&format!("Δ (max degree)  {}\n", stats.max));
-    out.push_str(&format!("min/mean degree {} / {:.2}\n", stats.min, stats.mean));
+    out.push_str(&format!(
+        "min/mean degree {} / {:.2}\n",
+        stats.min, stats.mean
+    ));
     out.push_str(&format!("degeneracy      {degeneracy}\n"));
-    out.push_str(&format!("arboricity      in [{}, {}]\n", a_lo.max(1).min(degeneracy.max(1)), degeneracy.max(1)));
-    out.push_str(&format!("connected       {}\n", properties::is_connected(&g)));
+    out.push_str(&format!(
+        "arboricity      in [{}, {}]\n",
+        a_lo.max(1).min(degeneracy.max(1)),
+        degeneracy.max(1)
+    ));
+    out.push_str(&format!(
+        "connected       {}\n",
+        properties::is_connected(&g)
+    ));
     out.push_str(&format!("forest          {}\n", properties::is_forest(&g)));
     if lg_feasible {
         let lg = decolor_graph::line_graph::LineGraph::new(&g);

@@ -23,8 +23,14 @@ use crate::spec::build_graph;
 ///
 /// Malformed algorithm/spec or algorithm precondition failures.
 pub fn run(parsed: &mut Parsed) -> Result<String, String> {
-    let algo = parsed.positional(0).ok_or("color needs an algorithm")?.to_string();
-    let spec = parsed.positional(1).ok_or("color needs a graph spec")?.to_string();
+    let algo = parsed
+        .positional(0)
+        .ok_or("color needs an algorithm")?
+        .to_string();
+    let spec = parsed
+        .positional(1)
+        .ok_or("color needs a graph spec")?
+        .to_string();
     let g = build_graph(&spec)?;
     let (coloring, stats, label) = dispatch(&algo, &g)?;
     if !coloring.is_proper(&g) {
@@ -60,11 +66,7 @@ pub fn run(parsed: &mut Parsed) -> Result<String, String> {
 }
 
 /// Runs the applicable certificate checks for the chosen algorithm.
-fn certificate_report(
-    algo: &str,
-    g: &Graph,
-    coloring: &EdgeColoring,
-) -> Result<String, String> {
+fn certificate_report(algo: &str, g: &Graph, coloring: &EdgeColoring) -> Result<String, String> {
     let (name, params) = algo.split_once(':').unwrap_or((algo, ""));
     let kv = parse_kv(params)?;
     let checks = match name {
@@ -86,16 +88,14 @@ fn certificate_report(
     };
     if checks.is_empty() {
         return Ok("(no certificate checks registered for this algorithm)
-".into());
+"
+        .into());
     }
     verify::ensure_all(&checks).map_err(|e| e.to_string())?;
     Ok(verify::render_report(&checks))
 }
 
-fn dispatch(
-    algo: &str,
-    g: &Graph,
-) -> Result<(EdgeColoring, Option<NetworkStats>, String), String> {
+fn dispatch(algo: &str, g: &Graph) -> Result<(EdgeColoring, Option<NetworkStats>, String), String> {
     let (name, params) = algo.split_once(':').unwrap_or((algo, ""));
     let kv = parse_kv(params)?;
     let cfg = SubroutineConfig::default();
@@ -105,32 +105,52 @@ fn dispatch(
             let x = opt_usize(&kv, "x", 1)?;
             let res = star_partition_edge_coloring(g, &StarPartitionParams::for_levels(g, x))
                 .map_err(err)?;
-            Ok((res.coloring, Some(res.stats), format!("star partition (x = {x})")))
+            Ok((
+                res.coloring,
+                Some(res.stats),
+                format!("star partition (x = {x})"),
+            ))
         }
         "cd" => {
             let x = opt_usize(&kv, "x", 1)?;
             let (c, s) = cd_edge_coloring(g, &CdParams::for_levels(g.max_degree().max(2), x))
                 .map_err(err)?;
-            Ok((c, Some(s), format!("CD-Coloring of the line graph (x = {x})")))
+            Ok((
+                c,
+                Some(s),
+                format!("CD-Coloring of the line graph (x = {x})"),
+            ))
         }
         "t52" => {
             let a = opt_usize(&kv, "a", 2)?;
             let q = opt_f64(&kv, "q", 2.5)?;
             let res = theorem52(g, a, q, cfg).map_err(err)?;
-            Ok((res.coloring, Some(res.stats), format!("Theorem 5.2 (a = {a})")))
+            Ok((
+                res.coloring,
+                Some(res.stats),
+                format!("Theorem 5.2 (a = {a})"),
+            ))
         }
         "t53" => {
             let a = opt_usize(&kv, "a", 2)?;
             let q = opt_f64(&kv, "q", 2.5)?;
             let res = theorem53(g, a, q, cfg).map_err(err)?;
-            Ok((res.coloring, Some(res.stats), format!("Theorem 5.3 (a = {a})")))
+            Ok((
+                res.coloring,
+                Some(res.stats),
+                format!("Theorem 5.3 (a = {a})"),
+            ))
         }
         "t54" => {
             let a = opt_usize(&kv, "a", 2)?;
             let x = opt_usize(&kv, "x", 2)?;
             let q = opt_f64(&kv, "q", 2.5)?;
             let res = theorem54(g, a, q, x, cfg).map_err(err)?;
-            Ok((res.coloring, Some(res.stats), format!("Theorem 5.4 (a = {a}, x = {x})")))
+            Ok((
+                res.coloring,
+                Some(res.stats),
+                format!("Theorem 5.4 (a = {a}, x = {x})"),
+            ))
         }
         "c55" => {
             let a = opt_usize(&kv, "a", 2)?;
@@ -145,7 +165,11 @@ fn dispatch(
             let (c, s) = two_delta_minus_one_edge_coloring(g).map_err(err)?;
             Ok((c, Some(s), "(2Δ−1) baseline".to_string()))
         }
-        "misra" => Ok((misra_gries_edge_coloring(g), None, "Misra–Gries (Δ+1)".to_string())),
+        "misra" => Ok((
+            misra_gries_edge_coloring(g),
+            None,
+            "Misra–Gries (Δ+1)".to_string(),
+        )),
         "random" => {
             let seed = opt_usize(&kv, "seed", 0)? as u64;
             let delta = g.max_degree() as u64;
@@ -165,8 +189,19 @@ mod tests {
     #[test]
     fn dispatch_every_algorithm() {
         let g = decolor_graph::generators::forest_union(60, 2, 6, 1).unwrap();
-        for algo in ["star:x=1", "star:x=2", "cd:x=1", "t52:a=2", "t53:a=2", "t54:a=2,x=2",
-                     "c55:a=2", "baseline", "misra", "greedy", "random:seed=1"] {
+        for algo in [
+            "star:x=1",
+            "star:x=2",
+            "cd:x=1",
+            "t52:a=2",
+            "t53:a=2",
+            "t54:a=2,x=2",
+            "c55:a=2",
+            "baseline",
+            "misra",
+            "greedy",
+            "random:seed=1",
+        ] {
             let (c, _, _) = dispatch(algo, &g).unwrap_or_else(|e| panic!("{algo}: {e}"));
             assert!(c.is_proper(&g), "{algo} produced improper coloring");
         }

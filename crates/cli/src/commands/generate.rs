@@ -9,7 +9,10 @@ use crate::spec::build_graph;
 ///
 /// Malformed spec or unwritable output paths.
 pub fn run(parsed: &mut Parsed) -> Result<String, String> {
-    let spec = parsed.positional(0).ok_or("generate needs a graph spec")?.to_string();
+    let spec = parsed
+        .positional(0)
+        .ok_or("generate needs a graph spec")?
+        .to_string();
     let g = build_graph(&spec)?;
     let mut out = format!(
         "generated {spec}: n = {}, m = {}, Δ = {}\n",

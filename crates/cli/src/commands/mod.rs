@@ -34,9 +34,11 @@ pub(crate) fn write_artifacts(
         notes.push_str(&format!("wrote {path}\n"));
     }
     if let Some(path) = parsed.option("dot") {
-        let opts = DotOptions { edge_coloring: coloring.cloned(), ..Default::default() };
-        std::fs::write(path, render(g, &opts))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        let opts = DotOptions {
+            edge_coloring: coloring.cloned(),
+            ..Default::default()
+        };
+        std::fs::write(path, render(g, &opts)).map_err(|e| format!("cannot write {path}: {e}"))?;
         notes.push_str(&format!("wrote {path}\n"));
     }
     Ok(notes)

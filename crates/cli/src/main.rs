@@ -44,7 +44,8 @@ pub(crate) fn run(argv: &[String]) -> Result<String, String> {
         "generate" => commands::generate::run(&mut parsed),
         "analyze" => commands::analyze::run(&mut parsed),
         "color" => commands::color::run(&mut parsed),
-        "help" | "" => Ok(HELP.to_string()),
+        "help" | "--help" | "-h" | "" => Ok(HELP.to_string()),
+        "--version" | "-V" => Ok(format!("decolor {}\n", env!("CARGO_PKG_VERSION"))),
         other => Err(format!("unknown command `{other}`")),
     }
 }

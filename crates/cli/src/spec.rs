@@ -16,16 +16,16 @@ pub fn build_graph(spec: &str) -> Result<Graph, String> {
         if params.is_empty() {
             return Err("dimacs spec needs a path: dimacs:graph.col".into());
         }
-        let text = std::fs::read_to_string(params)
-            .map_err(|e| format!("cannot read {params}: {e}"))?;
+        let text =
+            std::fs::read_to_string(params).map_err(|e| format!("cannot read {params}: {e}"))?;
         return decolor_graph::io::from_dimacs(&text).map_err(|e| e.to_string());
     }
     if family == "file" {
         if params.is_empty() {
             return Err("file spec needs a path: file:graph.json".into());
         }
-        let text = std::fs::read_to_string(params)
-            .map_err(|e| format!("cannot read {params}: {e}"))?;
+        let text =
+            std::fs::read_to_string(params).map_err(|e| format!("cannot read {params}: {e}"))?;
         let data: GraphData =
             serde_json::from_str(&text).map_err(|e| format!("bad JSON in {params}: {e}"))?;
         return data.to_graph().map_err(|e| e.to_string());
@@ -111,8 +111,12 @@ mod tests {
 
     #[test]
     fn errors_are_descriptive() {
-        assert!(build_graph("gnm:n=10").unwrap_err().contains("missing parameter `m`"));
-        assert!(build_graph("martian:n=1").unwrap_err().contains("unknown graph family"));
+        assert!(build_graph("gnm:n=10")
+            .unwrap_err()
+            .contains("missing parameter `m`"));
+        assert!(build_graph("martian:n=1")
+            .unwrap_err()
+            .contains("unknown graph family"));
         assert!(build_graph("file:").unwrap_err().contains("needs a path"));
         assert!(build_graph("gnm:n=3,m=99").unwrap_err().contains("exceeds"));
     }

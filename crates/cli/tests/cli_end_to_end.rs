@@ -27,8 +27,7 @@ fn generate_analyze_color_pipeline() {
     let json = dir.join("g.json");
     let json_s = json.to_string_lossy().into_owned();
 
-    let (ok, stdout, stderr) =
-        decolor(&["generate", "grid:rows=6,cols=7", "--json", &json_s]);
+    let (ok, stdout, stderr) = decolor(&["generate", "grid:rows=6,cols=7", "--json", &json_s]);
     assert!(ok, "generate failed: {stderr}");
     assert!(stdout.contains("n = 42"));
     assert!(json.exists());
@@ -61,8 +60,7 @@ fn bad_input_fails_with_message() {
 #[test]
 fn every_section5_algorithm_via_cli() {
     for algo in ["t52:a=2", "t54:a=2,x=2", "c55:a=2"] {
-        let (ok, stdout, stderr) =
-            decolor(&["color", algo, "forest:n=200,a=2,cap=8,seed=1"]);
+        let (ok, stdout, stderr) = decolor(&["color", algo, "forest:n=200,a=2,cap=8,seed=1"]);
         assert!(ok, "{algo} failed: {stderr}");
         assert!(stdout.contains("rounds"), "{algo}: {stdout}");
     }

@@ -38,9 +38,7 @@ pub fn table2_ours_colors(diversity: u64, clique_size: u64, x: u32) -> u64 {
 /// Table 2, "our results" time shape: `x·√D·S^{1/(2x+2)}... ` — precisely
 /// `x · √(D) · S^{1/(2x+2)} + log* n` (the table's Õ(x·√(D)·S^{1/(2x+2)})).
 pub fn table2_ours_time(diversity: u64, clique_size: u64, x: u32, n: u64) -> f64 {
-    x as f64
-        * (diversity as f64).sqrt()
-        * (clique_size as f64).powf(1.0 / (2.0 * x as f64 + 2.0))
+    x as f64 * (diversity as f64).sqrt() * (clique_size as f64).powf(1.0 / (2.0 * x as f64 + 2.0))
         + f64::from(log_star(n))
 }
 
@@ -51,9 +49,7 @@ pub fn table2_prev_colors(diversity: u64, delta: u64, x: u32, epsilon: f64) -> f
 
 /// Table 2, "previous results" time shape: `x·D^x·Δ^{1/(x+2)} + log* n`.
 pub fn table2_prev_time(diversity: u64, delta: u64, x: u32, n: u64) -> f64 {
-    x as f64
-        * (diversity.pow(x) as f64)
-        * (delta as f64).powf(1.0 / (x as f64 + 2.0))
+    x as f64 * (diversity.pow(x) as f64) * (delta as f64).powf(1.0 / (x as f64 + 2.0))
         + f64::from(log_star(n))
 }
 

@@ -44,9 +44,13 @@ pub struct ArboricityColoring {
 }
 
 fn empty_coloring() -> Result<ArboricityColoring, AlgoError> {
-    let coloring = EdgeColoring::new(vec![], 1)
-        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
-    Ok(ArboricityColoring { coloring, stats: NetworkStats::default() })
+    let coloring = EdgeColoring::new(vec![], 1).map_err(|e| AlgoError::InvariantViolated {
+        reason: e.to_string(),
+    })?;
+    Ok(ArboricityColoring {
+        coloring,
+        stats: NetworkStats::default(),
+    })
 }
 
 /// **Theorem 5.2**: a (Δ + O(a))-edge-coloring in O(a log n) rounds, given
@@ -170,14 +174,20 @@ pub fn theorem52_with_intra_levels(
     let colors: Vec<Color> = edge_colors
         .into_iter()
         .map(|c| {
-            c.ok_or_else(|| AlgoError::InvariantViolated { reason: "edge left uncolored".into() })
+            c.ok_or_else(|| AlgoError::InvariantViolated {
+                reason: "edge left uncolored".into(),
+            })
         })
         .collect::<Result<_, _>>()?;
-    let coloring = EdgeColoring::new(colors, palette)
-        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+    let coloring =
+        EdgeColoring::new(colors, palette).map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
     coloring
         .validate(g)
-        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+        .map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
     Ok(ArboricityColoring { coloring, stats })
 }
 
@@ -233,10 +243,12 @@ fn combine_classes_with_theorem52(
                     return Ok(None);
                 }
                 let sub = SpanningEdgeSubgraph::new(g, class);
-                let heads: Vec<VertexId> =
-                    class.iter().map(|&e| orient.head(e)).collect();
-                let sub_orient = Orientation::new(sub.graph(), heads)
-                    .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+                let heads: Vec<VertexId> = class.iter().map(|&e| orient.head(e)).collect();
+                let sub_orient = Orientation::new(sub.graph(), heads).map_err(|e| {
+                    AlgoError::InvariantViolated {
+                        reason: e.to_string(),
+                    }
+                })?;
                 let a_sub = sub_orient.max_out_degree(sub.graph()).max(1);
                 let psi = theorem52(sub.graph(), a_sub, q, cfg)?;
                 Ok(Some((sub, psi)))
@@ -248,24 +260,36 @@ fn combine_classes_with_theorem52(
             children.push(c);
         }
     }
-    let inner = children.iter().map(|(_, c)| c.coloring.palette()).max().unwrap_or(1);
+    let inner = children
+        .iter()
+        .map(|(_, c)| c.coloring.palette())
+        .max()
+        .unwrap_or(1);
     let mut out = vec![0 as Color; g.num_edges()];
     for (sub, psi) in &children {
         for local in 0..sub.graph().num_edges() {
             let parent = sub.to_parent_edge(EdgeId::new(local));
             let combined = u64::from(phi.color(parent)) * inner
                 + u64::from(psi.coloring.color(EdgeId::new(local)));
-            out[parent.index()] = u32::try_from(combined).map_err(|_| {
-                AlgoError::InvariantViolated { reason: "combined color exceeds u32".into() }
-            })?;
+            out[parent.index()] =
+                u32::try_from(combined).map_err(|_| AlgoError::InvariantViolated {
+                    reason: "combined color exceeds u32".into(),
+                })?;
         }
     }
-    stats = stats.then(NetworkStats::in_parallel(children.iter().map(|(_, c)| c.stats)));
-    let coloring = EdgeColoring::new(out, phi.palette() * inner)
-        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+    stats = stats.then(NetworkStats::in_parallel(
+        children.iter().map(|(_, c)| c.stats),
+    ));
+    let coloring = EdgeColoring::new(out, phi.palette() * inner).map_err(|e| {
+        AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        }
+    })?;
     coloring
         .validate(g)
-        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+        .map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
     Ok(ArboricityColoring { coloring, stats })
 }
 
@@ -287,7 +311,9 @@ pub fn theorem54(
     cfg: SubroutineConfig,
 ) -> Result<ArboricityColoring, AlgoError> {
     if x == 0 {
-        return Err(AlgoError::InvalidParameters { reason: "x must be ≥ 1".into() });
+        return Err(AlgoError::InvalidParameters {
+            reason: "x must be ≥ 1".into(),
+        });
     }
     if g.num_edges() == 0 {
         return empty_coloring();
@@ -309,12 +335,19 @@ pub fn theorem54(
     let s_in = (integer_root_ceil(delta, x as u32) as usize + 1).max(2);
     let s_out = (integer_root_ceil(d as u64, x as u32) as usize + 1).max(2);
     let (colors, palette, level_stats) = t54_level(g, &orient, s_in, s_out, x, q, cfg)?;
-    let coloring = EdgeColoring::new(colors, palette)
-        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+    let coloring =
+        EdgeColoring::new(colors, palette).map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
     coloring
         .validate(g)
-        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
-    Ok(ArboricityColoring { coloring, stats: stats.then(level_stats) })
+        .map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
+    Ok(ArboricityColoring {
+        coloring,
+        stats: stats.then(level_stats),
+    })
 }
 
 fn t54_level(
@@ -339,11 +372,18 @@ fn t54_level(
         ));
     }
     let conn = orientation_connector(g, orient, s_in, s_out, true)?;
-    let in_a: Vec<bool> =
-        conn.kind.iter().map(|k| matches!(k, VirtualKind::Out(_))).collect();
+    let in_a: Vec<bool> = conn
+        .kind
+        .iter()
+        .map(|k| matches!(k, VirtualKind::Out(_)))
+        .collect();
     let palette_conn = (s_in + s_out - 1) as u64;
     let (phi, phi_stats) = one_sided_edge_coloring(&conn.graph, &in_a, palette_conn)?;
-    let mut stats = NetworkStats { rounds: 1, ..Default::default() }.then(phi_stats);
+    let mut stats = NetworkStats {
+        rounds: 1,
+        ..Default::default()
+    }
+    .then(phi_stats);
 
     let classes = phi.classes();
     let outcomes: Vec<Result<Option<ClassOutcome>, AlgoError>> = classes
@@ -354,8 +394,10 @@ fn t54_level(
             }
             let sub = SpanningEdgeSubgraph::new(g, class);
             let heads: Vec<VertexId> = class.iter().map(|&e| orient.head(e)).collect();
-            let sub_orient = Orientation::new(sub.graph(), heads)
-                .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+            let sub_orient =
+                Orientation::new(sub.graph(), heads).map_err(|e| AlgoError::InvariantViolated {
+                    reason: e.to_string(),
+                })?;
             let (c, p, s) = t54_level(sub.graph(), &sub_orient, s_in, s_out, levels - 1, q, cfg)?;
             Ok(Some((sub, c, p, s)))
         })
@@ -372,12 +414,15 @@ fn t54_level(
         for (local, &c) in colors.iter().enumerate() {
             let parent = sub.to_parent_edge(EdgeId::new(local));
             let combined = u64::from(phi.color(parent)) * inner + u64::from(c);
-            out[parent.index()] = u32::try_from(combined).map_err(|_| {
-                AlgoError::InvariantViolated { reason: "combined color exceeds u32".into() }
-            })?;
+            out[parent.index()] =
+                u32::try_from(combined).map_err(|_| AlgoError::InvariantViolated {
+                    reason: "combined color exceeds u32".into(),
+                })?;
         }
     }
-    stats = stats.then(NetworkStats::in_parallel(children.iter().map(|&(_, _, _, s)| s)));
+    stats = stats.then(NetworkStats::in_parallel(
+        children.iter().map(|&(_, _, _, s)| s),
+    ));
     Ok((out, palette_conn * inner, stats))
 }
 
@@ -415,7 +460,9 @@ pub fn corollary55(
     let small_a_threshold = (log_delta / (4.0 * loglog_delta)).exp2();
     let (x, q) = if a_eff < small_a_threshold {
         // Small-arboricity regime: crank q up so ℓ = O(log n / log q).
-        let q = (2.0f64).max((log_delta / loglog_delta).exp2() / a_eff).min(1e6);
+        let q = (2.0f64)
+            .max((log_delta / loglog_delta).exp2() / a_eff)
+            .min(1e6);
         let ahat = (q * a_eff).max(2.0);
         ((ahat.log2().ceil() as usize).clamp(1, 6), q.max(2.5))
     } else {
@@ -519,7 +566,10 @@ mod tests {
 
     #[test]
     fn all_theorems_on_grid_and_tree() {
-        for g in [generators::grid(12, 12).unwrap(), generators::random_tree(150, 8).unwrap()] {
+        for g in [
+            generators::grid(12, 12).unwrap(),
+            generators::random_tree(150, 8).unwrap(),
+        ] {
             let a = 2;
             assert!(theorem52(&g, a, 2.5, SubroutineConfig::default())
                 .unwrap()
@@ -546,17 +596,21 @@ mod tests {
     #[test]
     fn empty_graphs_short_circuit() {
         let g = decolor_graph::GraphBuilder::new(3).build();
-        assert!(theorem52(&g, 1, 2.5, SubroutineConfig::default()).unwrap().coloring.is_empty());
-        assert!(theorem53(&g, 1, 2.5, SubroutineConfig::default()).unwrap().coloring.is_empty());
+        assert!(theorem52(&g, 1, 2.5, SubroutineConfig::default())
+            .unwrap()
+            .coloring
+            .is_empty());
+        assert!(theorem53(&g, 1, 2.5, SubroutineConfig::default())
+            .unwrap()
+            .coloring
+            .is_empty());
     }
 
     #[test]
     fn theorem52_intra_levels_tradeoff() {
         let g = workload(500, 3, 12, 10);
-        let slow = theorem52_with_intra_levels(&g, 3, 2.5, 1, SubroutineConfig::default())
-            .unwrap();
-        let fast = theorem52_with_intra_levels(&g, 3, 2.5, 2, SubroutineConfig::default())
-            .unwrap();
+        let slow = theorem52_with_intra_levels(&g, 3, 2.5, 1, SubroutineConfig::default()).unwrap();
+        let fast = theorem52_with_intra_levels(&g, 3, 2.5, 2, SubroutineConfig::default()).unwrap();
         assert!(slow.coloring.is_proper(&g));
         assert!(fast.coloring.is_proper(&g));
         // Deeper intra recursion may cost more colors but never breaks
@@ -564,7 +618,6 @@ mod tests {
         let delta = g.max_degree() as u64;
         let d = (2.5f64 * 3.0).ceil() as u64;
         assert!(fast.coloring.palette() <= (8 * d + 1).max(delta + d));
-        assert!(theorem52_with_intra_levels(&g, 3, 2.5, 0, SubroutineConfig::default())
-            .is_err());
+        assert!(theorem52_with_intra_levels(&g, 3, 2.5, 0, SubroutineConfig::default()).is_err());
     }
 }

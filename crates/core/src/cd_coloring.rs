@@ -65,7 +65,11 @@ impl CdParams {
     /// (clamped to ≥ 2), where `S` is the maximal clique size.
     pub fn for_levels(max_clique_size: usize, x: usize) -> CdParams {
         let t = integer_root(max_clique_size as u64, x as u32 + 1).max(2) as usize;
-        CdParams { t, x: x.max(1), ..CdParams::default() }
+        CdParams {
+            t,
+            x: x.max(1),
+            ..CdParams::default()
+        }
     }
 
     /// The §3 polylogarithmic-time corollary: `x = log S / (ε log log S)`,
@@ -122,10 +126,14 @@ pub fn cd_coloring(
     ids: &IdAssignment,
 ) -> Result<CdColoring, AlgoError> {
     if params.t < 2 {
-        return Err(AlgoError::InvalidParameters { reason: "t must be ≥ 2".into() });
+        return Err(AlgoError::InvalidParameters {
+            reason: "t must be ≥ 2".into(),
+        });
     }
     if params.x < 1 {
-        return Err(AlgoError::InvalidParameters { reason: "x must be ≥ 1".into() });
+        return Err(AlgoError::InvalidParameters {
+            reason: "x must be ≥ 1".into(),
+        });
     }
     if ids.len() != g.num_vertices() {
         return Err(AlgoError::InvalidParameters {
@@ -140,8 +148,10 @@ pub fn cd_coloring(
     let base_stats = net.stats();
 
     let (colors, palette, stats) = level(g, cover, &base, diversity, params, params.x)?;
-    let mut coloring = VertexColoring::new(colors, palette)
-        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+    let mut coloring =
+        VertexColoring::new(colors, palette).map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
     let mut stats = base_stats.then(stats);
 
     // §3 / Appendix B: the final basic color reduction ("we can apply the
@@ -151,18 +161,31 @@ pub fn cd_coloring(
         if coloring.palette() > target {
             let mut colors = coloring.as_slice().to_vec();
             let mut net = Network::new(g);
-            let new_palette =
-                crate::reduction::basic_reduction(&mut net, &mut colors, coloring.palette(), target)?;
+            let new_palette = crate::reduction::basic_reduction(
+                &mut net,
+                &mut colors,
+                coloring.palette(),
+                target,
+            )?;
             stats = stats.then(net.stats());
-            coloring = VertexColoring::new(colors, new_palette)
-                .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+            coloring = VertexColoring::new(colors, new_palette).map_err(|e| {
+                AlgoError::InvariantViolated {
+                    reason: e.to_string(),
+                }
+            })?;
         }
     }
 
     coloring
         .validate(g)
-        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
-    Ok(CdColoring { coloring, stats, palette_bound: palette })
+        .map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
+    Ok(CdColoring {
+        coloring,
+        stats,
+        palette_bound: palette,
+    })
 }
 
 /// One recursion level of Algorithm 1.
@@ -201,7 +224,11 @@ fn level(
     // Line 3: ϕ := color G′ with γ colors, seeded by the inherited coloring.
     let (phi, phi_stats) =
         vertex_coloring_with_target(&conn.graph, Seed::Coloring(base), gamma, cfg)?;
-    let mut stats = NetworkStats { rounds: 1, ..Default::default() }.then(phi_stats);
+    let mut stats = NetworkStats {
+        rounds: 1,
+        ..Default::default()
+    }
+    .then(phi_stats);
 
     // Lines 4–13: recurse (or finish) on the color classes in parallel.
     let s_cur = cover.max_clique_size();
@@ -215,10 +242,16 @@ fn level(
             }
             let sub = InducedSubgraph::new(g, class);
             let sub_cover = cover.restrict(&sub);
-            let sub_base_colors: Vec<Color> =
-                sub.parent_vertices().iter().map(|&v| base.color(v)).collect();
-            let sub_base = VertexColoring::new(sub_base_colors, base.palette())
-                .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+            let sub_base_colors: Vec<Color> = sub
+                .parent_vertices()
+                .iter()
+                .map(|&v| base.color(v))
+                .collect();
+            let sub_base = VertexColoring::new(sub_base_colors, base.palette()).map_err(|e| {
+                AlgoError::InvariantViolated {
+                    reason: e.to_string(),
+                }
+            })?;
             let (colors, palette, child_stats) = if x > 1 {
                 level(sub.graph(), &sub_cover, &sub_base, diversity, params, x - 1)?
             } else {
@@ -240,7 +273,12 @@ fn level(
                 )?;
                 (c.as_slice().to_vec(), c.palette(), s)
             };
-            Ok(Some(ChildOutcome { sub, colors, palette, stats: child_stats }))
+            Ok(Some(ChildOutcome {
+                sub,
+                colors,
+                palette,
+                stats: child_stats,
+            }))
         })
         .collect();
 
@@ -258,9 +296,10 @@ fn level(
         for (local, &parent) in child.sub.parent_vertices().iter().enumerate() {
             let combined =
                 u64::from(phi.color(parent)) * inner_palette + u64::from(child.colors[local]);
-            out[parent.index()] = u32::try_from(combined).map_err(|_| {
-                AlgoError::InvariantViolated { reason: "combined color exceeds u32".into() }
-            })?;
+            out[parent.index()] =
+                u32::try_from(combined).map_err(|_| AlgoError::InvariantViolated {
+                    reason: "combined color exceeds u32".into(),
+                })?;
         }
     }
     stats = stats.then(NetworkStats::in_parallel(children.iter().map(|c| c.stats)));
@@ -286,8 +325,11 @@ pub fn cd_edge_coloring(
     params: &CdParams,
 ) -> Result<(decolor_graph::coloring::EdgeColoring, NetworkStats), AlgoError> {
     if g.num_edges() == 0 {
-        let empty = decolor_graph::coloring::EdgeColoring::new(vec![], 1)
-            .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+        let empty = decolor_graph::coloring::EdgeColoring::new(vec![], 1).map_err(|e| {
+            AlgoError::InvariantViolated {
+                reason: e.to_string(),
+            }
+        })?;
         return Ok((empty, NetworkStats::default()));
     }
     let lg = LineGraph::new(g);
@@ -297,7 +339,9 @@ pub fn cd_edge_coloring(
     stats.rounds += 1;
     let ec = lg
         .to_edge_coloring(&result.coloring)
-        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+        .map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
     debug_assert!(ec.is_proper(g));
     Ok((ec, stats))
 }
@@ -335,7 +379,11 @@ pub fn direct_bounded_diversity_coloring(
         target,
         SubroutineConfig::default(),
     )?;
-    Ok(CdColoring { coloring, stats: base_stats.then(stats), palette_bound: target })
+    Ok(CdColoring {
+        coloring,
+        stats: base_stats.then(stats),
+        palette_bound: target,
+    })
 }
 
 #[cfg(test)]
@@ -398,7 +446,11 @@ mod tests {
         let g = generators::gnm(60, 200, 9).unwrap();
         let cover = cover_from_all_maximal_cliques(&g).unwrap();
         let ids = IdAssignment::sequential(60);
-        let params = CdParams { t: 2, x: 1, ..CdParams::default() };
+        let params = CdParams {
+            t: 2,
+            x: 1,
+            ..CdParams::default()
+        };
         let res = cd_coloring(&g, &cover, &params, &ids).unwrap();
         assert!(res.coloring.is_proper(&g));
     }
@@ -417,9 +469,17 @@ mod tests {
         let g = generators::complete(4).unwrap();
         let cover = cover_from_all_maximal_cliques(&g).unwrap();
         let ids = IdAssignment::sequential(4);
-        let bad_t = CdParams { t: 1, x: 1, ..CdParams::default() };
+        let bad_t = CdParams {
+            t: 1,
+            x: 1,
+            ..CdParams::default()
+        };
         assert!(cd_coloring(&g, &cover, &bad_t, &ids).is_err());
-        let bad_x = CdParams { t: 2, x: 0, ..CdParams::default() };
+        let bad_x = CdParams {
+            t: 2,
+            x: 0,
+            ..CdParams::default()
+        };
         assert!(cd_coloring(&g, &cover, &bad_x, &ids).is_err());
     }
 
@@ -428,7 +488,11 @@ mod tests {
         let g = decolor_graph::GraphBuilder::new(6).build();
         let cover = cover_from_all_maximal_cliques(&g).unwrap();
         let ids = IdAssignment::sequential(6);
-        let params = CdParams { t: 2, x: 2, ..CdParams::default() };
+        let params = CdParams {
+            t: 2,
+            x: 2,
+            ..CdParams::default()
+        };
         let res = cd_coloring(&g, &cover, &params, &ids).unwrap();
         assert_eq!(res.coloring.distinct_colors(), 1);
     }
@@ -465,7 +529,10 @@ mod tests {
         let ids = IdAssignment::sequential(lg.graph.num_vertices());
         for x in 2..=3usize {
             let fixed = CdParams::for_levels(lg.cover.max_clique_size(), x);
-            let per_level = CdParams { per_level_t: true, ..fixed };
+            let per_level = CdParams {
+                per_level_t: true,
+                ..fixed
+            };
             let rf = cd_coloring(&lg.graph, &lg.cover, &fixed, &ids).unwrap();
             let rp = cd_coloring(&lg.graph, &lg.cover, &per_level, &ids).unwrap();
             assert!(rf.coloring.is_proper(&lg.graph));
@@ -484,7 +551,10 @@ mod tests {
         let trimmed = cd_coloring(
             &lg.graph,
             &lg.cover,
-            &CdParams { trim_to: Some(target), ..base },
+            &CdParams {
+                trim_to: Some(target),
+                ..base
+            },
             &ids,
         )
         .unwrap();

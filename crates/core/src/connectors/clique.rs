@@ -67,7 +67,11 @@ pub fn clique_connector(
         }
         groups.push(clique_groups);
     }
-    Ok(CliqueConnector { graph: b.build(), groups, t })
+    Ok(CliqueConnector {
+        graph: b.build(),
+        groups,
+        t,
+    })
 }
 
 impl CliqueConnector {
@@ -187,8 +191,7 @@ mod tests {
     #[test]
     fn shared_pairs_are_deduplicated() {
         // Two cliques {0,1,2} and {0,1,3}: pair (0,1) appears in both.
-        let g =
-            builder_from_edges(4, &[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)]).unwrap();
+        let g = builder_from_edges(4, &[(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)]).unwrap();
         let cover = CliqueCover::new(&g, vec![ids(&[0, 1, 2]), ids(&[0, 1, 3])]).unwrap();
         let conn = clique_connector(&g, &cover, 3).unwrap();
         assert!(!conn.graph.has_parallel_edges());

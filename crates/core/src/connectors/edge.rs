@@ -73,9 +73,17 @@ pub fn edge_connector(g: &Graph, t: usize) -> Result<EdgeConnector, AlgoError> {
         let cu = virtuals_of[u.index()][pu / t];
         let cv = virtuals_of[v.index()][pv / t];
         b.add_edge(cu.index(), cv.index())
-            .map_err(|err| AlgoError::InvariantViolated { reason: err.to_string() })?;
+            .map_err(|err| AlgoError::InvariantViolated {
+                reason: err.to_string(),
+            })?;
     }
-    Ok(EdgeConnector { graph: b.build(), owner, group_index, virtuals_of, t })
+    Ok(EdgeConnector {
+        graph: b.build(),
+        owner,
+        group_index,
+        virtuals_of,
+        t,
+    })
 }
 
 fn port_of(g: &Graph, v: VertexId, e: EdgeId) -> usize {
@@ -111,7 +119,10 @@ impl EdgeConnector {
     /// Maximum number of same-connector-color edges any original vertex
     /// can see: `⌈deg(v)/t⌉ ≤ ⌈Δ/t⌉` (the star bound of §4).
     pub fn star_bound(&self, g: &Graph) -> usize {
-        g.vertices().map(|v| g.degree(v).div_ceil(self.t)).max().unwrap_or(0)
+        g.vertices()
+            .map(|v| g.degree(v).div_ceil(self.t))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -129,8 +140,10 @@ mod tests {
         let conn = edge_connector(&g, 3).unwrap();
         conn.verify_degree_bound().unwrap();
         assert_eq!(conn.virtuals_of[0].len(), 3);
-        let mut degs: Vec<usize> =
-            conn.virtuals_of[0].iter().map(|&v| conn.graph.degree(v)).collect();
+        let mut degs: Vec<usize> = conn.virtuals_of[0]
+            .iter()
+            .map(|&v| conn.graph.degree(v))
+            .collect();
         degs.sort_unstable();
         assert_eq!(degs, vec![1, 3, 3]);
         assert_eq!(conn.graph.num_edges(), g.num_edges());

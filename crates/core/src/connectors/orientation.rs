@@ -136,13 +136,25 @@ pub fn orientation_connector(
         let cv_head = in_virtuals[head.index()][in_slot[e.index()] / s_in];
         let cv_tail = out_virtuals[tail.index()][out_slot[e.index()] / s_out];
         b.add_edge(cv_tail.index(), cv_head.index())
-            .map_err(|err| AlgoError::InvariantViolated { reason: err.to_string() })?;
+            .map_err(|err| AlgoError::InvariantViolated {
+                reason: err.to_string(),
+            })?;
         heads.push(cv_head);
     }
     let graph = b.build();
-    let orientation = Orientation::new(&graph, heads)
-        .map_err(|err| AlgoError::InvariantViolated { reason: err.to_string() })?;
-    Ok(OrientationConnector { graph, orientation, owner, kind, s_in, s_out, bipartite })
+    let orientation =
+        Orientation::new(&graph, heads).map_err(|err| AlgoError::InvariantViolated {
+            reason: err.to_string(),
+        })?;
+    Ok(OrientationConnector {
+        graph,
+        orientation,
+        owner,
+        kind,
+        s_in,
+        s_out,
+        bipartite,
+    })
 }
 
 impl OrientationConnector {
@@ -259,8 +271,11 @@ mod tests {
         conn.verify().unwrap();
         // Center: 6 in-edges in groups of 3 → 2 in-groups; 2 out-edges in
         // groups of 1 → 2 out-groups; shared → max(2,2) = 2 virtuals.
-        let center_virtuals =
-            conn.owner.iter().filter(|&&w| w == VertexId::new(0)).count();
+        let center_virtuals = conn
+            .owner
+            .iter()
+            .filter(|&&w| w == VertexId::new(0))
+            .count();
         assert_eq!(center_virtuals, 2);
     }
 

@@ -72,7 +72,9 @@ pub fn color_crossing_edges(
         let incident: Vec<Vec<Color>> = g
             .vertices()
             .map(|v| {
-                g.incident_edges(v).filter_map(|e| edge_colors[e.index()]).collect()
+                g.incident_edges(v)
+                    .filter_map(|e| edge_colors[e.index()])
+                    .collect()
             })
             .collect();
         let inbox = net.broadcast(&incident);
@@ -107,11 +109,14 @@ pub fn color_crossing_edges(
                     used[c as usize] = true;
                 }
             }
-            let free = used.iter().position(|&t| !t).ok_or_else(|| {
-                AlgoError::InvariantViolated {
-                    reason: format!("palette {palette} exhausted at edge {e} (needs Δ + d − 1)"),
-                }
-            })? as Color;
+            let free =
+                used.iter()
+                    .position(|&t| !t)
+                    .ok_or_else(|| AlgoError::InvariantViolated {
+                        reason: format!(
+                            "palette {palette} exhausted at edge {e} (needs Δ + d − 1)"
+                        ),
+                    })? as Color;
             let _ = a;
             per_b.entry(b.index()).or_default().push(free);
             assigned_this_round.push((e.index(), free));
@@ -156,11 +161,18 @@ pub fn one_sided_edge_coloring(
     color_crossing_edges(&mut net, in_a, &mut edge_colors, &all, palette)?;
     let colors: Vec<Color> = edge_colors
         .into_iter()
-        .map(|c| c.ok_or_else(|| AlgoError::InvariantViolated { reason: "edge left uncolored".into() }))
+        .map(|c| {
+            c.ok_or_else(|| AlgoError::InvariantViolated {
+                reason: "edge left uncolored".into(),
+            })
+        })
         .collect::<Result<_, _>>()?;
-    let ec = EdgeColoring::new(colors, palette)
-        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
-    ec.validate(g).map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+    let ec = EdgeColoring::new(colors, palette).map_err(|e| AlgoError::InvariantViolated {
+        reason: e.to_string(),
+    })?;
+    ec.validate(g).map_err(|e| AlgoError::InvariantViolated {
+        reason: e.to_string(),
+    })?;
     Ok((ec, net.stats()))
 }
 
@@ -215,7 +227,11 @@ mod tests {
         color_crossing_edges(&mut net, &in_a, &mut colors, &crossing, 10).unwrap();
         let ec = EdgeColoring::new(colors.iter().map(|c| c.unwrap()).collect(), 10).unwrap();
         assert!(ec.is_proper(&g));
-        assert_eq!(ec.color(EdgeId::new(1)), 0, "precolored edge must not change");
+        assert_eq!(
+            ec.color(EdgeId::new(1)),
+            0,
+            "precolored edge must not change"
+        );
     }
 
     #[test]

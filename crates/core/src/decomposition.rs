@@ -58,14 +58,15 @@ impl CliqueDecomposition {
     pub fn verify(&self, g: &Graph, cover: &CliqueCover) -> Result<(), AlgoError> {
         if self.num_parts as u64 > self.parts_bound {
             return Err(AlgoError::InvariantViolated {
-                reason: format!("{} parts exceed (tD)^x = {}", self.num_parts, self.parts_bound),
+                reason: format!(
+                    "{} parts exceed (tD)^x = {}",
+                    self.num_parts, self.parts_bound
+                ),
             });
         }
         for p in 0..self.num_parts {
-            let members: Vec<VertexId> = g
-                .vertices()
-                .filter(|v| self.part[v.index()] == p)
-                .collect();
+            let members: Vec<VertexId> =
+                g.vertices().filter(|v| self.part[v.index()] == p).collect();
             if members.is_empty() {
                 continue;
             }
@@ -119,7 +120,9 @@ pub fn clique_decomposition(
     ids: &IdAssignment,
 ) -> Result<CliqueDecomposition, AlgoError> {
     if t < 2 || x < 1 {
-        return Err(AlgoError::InvalidParameters { reason: "need t ≥ 2, x ≥ 1".into() });
+        return Err(AlgoError::InvalidParameters {
+            reason: "need t ≥ 2, x ≥ 1".into(),
+        });
     }
     let diversity = cover.diversity().max(1);
     let s = cover.max_clique_size();
@@ -166,26 +169,35 @@ fn decompose_level(
         gamma,
         SubroutineConfig::default(),
     )?;
-    let mut stats = NetworkStats { rounds: 1, ..Default::default() }.then(phi_stats);
+    let mut stats = NetworkStats {
+        rounds: 1,
+        ..Default::default()
+    }
+    .then(phi_stats);
     let classes = phi.classes();
-    let results: Vec<Result<Option<VertexChild>, AlgoError>> =
-        classes
-            .par_iter()
-            .map(|class| {
-                if class.is_empty() {
-                    return Ok(None);
+    let results: Vec<Result<Option<VertexChild>, AlgoError>> = classes
+        .par_iter()
+        .map(|class| {
+            if class.is_empty() {
+                return Ok(None);
+            }
+            let sub = InducedSubgraph::new(g, class);
+            let sub_cover = cover.restrict(&sub);
+            let sub_base_colors: Vec<u32> = sub
+                .parent_vertices()
+                .iter()
+                .map(|&v| base.color(v))
+                .collect();
+            let sub_base = VertexColoring::new(sub_base_colors, base.palette()).map_err(|e| {
+                AlgoError::InvariantViolated {
+                    reason: e.to_string(),
                 }
-                let sub = InducedSubgraph::new(g, class);
-                let sub_cover = cover.restrict(&sub);
-                let sub_base_colors: Vec<u32> =
-                    sub.parent_vertices().iter().map(|&v| base.color(v)).collect();
-                let sub_base = VertexColoring::new(sub_base_colors, base.palette())
-                    .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
-                let (labels, s) =
-                    decompose_level(sub.graph(), &sub_cover, &sub_base, diversity, t, x - 1)?;
-                Ok(Some((sub, labels, s)))
-            })
-            .collect();
+            })?;
+            let (labels, s) =
+                decompose_level(sub.graph(), &sub_cover, &sub_base, diversity, t, x - 1)?;
+            Ok(Some((sub, labels, s)))
+        })
+        .collect();
     let mut out = vec![0u64; n];
     let mut children = Vec::new();
     for r in results {
@@ -199,7 +211,9 @@ fn decompose_level(
             out[parent.index()] = u64::from(phi.color(parent)) * width + labels[local];
         }
     }
-    stats = stats.then(NetworkStats::in_parallel(children.iter().map(|&(_, _, s)| s)));
+    stats = stats.then(NetworkStats::in_parallel(
+        children.iter().map(|&(_, _, s)| s),
+    ));
     Ok((out, stats))
 }
 
@@ -235,8 +249,7 @@ impl StarPartition {
             });
         }
         for c in 0..self.num_classes {
-            let edges: Vec<EdgeId> =
-                g.edges().filter(|e| self.class[e.index()] == c).collect();
+            let edges: Vec<EdgeId> = g.edges().filter(|e| self.class[e.index()] == c).collect();
             let sub = SpanningEdgeSubgraph::new(g, &edges);
             if sub.graph().max_degree() > self.star_bound {
                 return Err(AlgoError::InvariantViolated {
@@ -260,7 +273,9 @@ impl StarPartition {
 /// [`AlgoError::InvalidParameters`] for `t < 2` / `x < 1`.
 pub fn star_partition(g: &Graph, t: usize, x: usize) -> Result<StarPartition, AlgoError> {
     if t < 2 || x < 1 {
-        return Err(AlgoError::InvalidParameters { reason: "need t ≥ 2, x ≥ 1".into() });
+        return Err(AlgoError::InvalidParameters {
+            reason: "need t ≥ 2, x ≥ 1".into(),
+        });
     }
     let (labels, stats) = star_level(g, t, x)?;
     let mut map = std::collections::HashMap::new();
@@ -291,20 +306,23 @@ fn star_level(g: &Graph, t: usize, x: usize) -> Result<(Vec<u64>, NetworkStats),
     let target = 2 * t as u64 - 1;
     let (phi, phi_stats) =
         edge_coloring_with_target(&conn.graph, target, SubroutineConfig::default())?;
-    let mut stats = NetworkStats { rounds: 1, ..Default::default() }.then(phi_stats);
+    let mut stats = NetworkStats {
+        rounds: 1,
+        ..Default::default()
+    }
+    .then(phi_stats);
     let classes = phi.classes();
-    let results: Vec<Result<Option<EdgeChild>, AlgoError>> =
-        classes
-            .par_iter()
-            .map(|class| {
-                if class.is_empty() {
-                    return Ok(None);
-                }
-                let sub = SpanningEdgeSubgraph::new(g, class);
-                let (labels, s) = star_level(sub.graph(), t, x - 1)?;
-                Ok(Some((sub, labels, s)))
-            })
-            .collect();
+    let results: Vec<Result<Option<EdgeChild>, AlgoError>> = classes
+        .par_iter()
+        .map(|class| {
+            if class.is_empty() {
+                return Ok(None);
+            }
+            let sub = SpanningEdgeSubgraph::new(g, class);
+            let (labels, s) = star_level(sub.graph(), t, x - 1)?;
+            Ok(Some((sub, labels, s)))
+        })
+        .collect();
     let mut out = vec![0u64; g.num_edges()];
     let mut children = Vec::new();
     for r in results {
@@ -319,7 +337,9 @@ fn star_level(g: &Graph, t: usize, x: usize) -> Result<(Vec<u64>, NetworkStats),
             out[parent.index()] = u64::from(phi.color(parent)) * width + l;
         }
     }
-    stats = stats.then(NetworkStats::in_parallel(children.iter().map(|&(_, _, s)| s)));
+    stats = stats.then(NetworkStats::in_parallel(
+        children.iter().map(|&(_, _, s)| s),
+    ));
     Ok((out, stats))
 }
 

@@ -84,11 +84,15 @@ pub fn vertex_coloring_with_target(
             reduction::kw_reduction(&mut net, &mut colors, palette, target)?
         }
     };
-    let coloring = VertexColoring::new(colors, final_palette)
-        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+    let coloring =
+        VertexColoring::new(colors, final_palette).map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
     coloring
         .validate(g)
-        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+        .map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
     Ok((coloring, net.stats()))
 }
 
@@ -122,8 +126,9 @@ pub fn edge_coloring_with_target(
 ) -> Result<(EdgeColoring, NetworkStats), AlgoError> {
     let delta = g.max_degree() as u64;
     if g.num_edges() == 0 {
-        let empty = EdgeColoring::new(vec![], 1)
-            .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+        let empty = EdgeColoring::new(vec![], 1).map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
         return Ok((empty, NetworkStats::default()));
     }
     let needed = 2 * delta - 1;
@@ -139,7 +144,9 @@ pub fn edge_coloring_with_target(
     stats.rounds += 1; // line-graph simulation setup (§4)
     let ec = lg
         .to_edge_coloring(&vc)
-        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+        .map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
     debug_assert!(ec.is_proper(g));
     Ok((ec, stats))
 }
@@ -177,8 +184,10 @@ mod tests {
             assert!(c.is_proper(&g));
             assert!(c.palette() <= target);
         }
-        assert!(vertex_coloring_with_target(&g, Seed::Ids(&ids), 6, SubroutineConfig::default())
-            .is_err());
+        assert!(
+            vertex_coloring_with_target(&g, Seed::Ids(&ids), 6, SubroutineConfig::default())
+                .is_err()
+        );
     }
 
     #[test]
@@ -186,13 +195,12 @@ mod tests {
         let g = generators::gnm(100, 400, 9).unwrap();
         let ids = IdAssignment::shuffled(100, 9);
         let mut net = Network::new(&g);
-        let base = crate::linial::linial_coloring(&mut net, &ids).unwrap().coloring;
-        let (c, stats) = delta_plus_one_coloring(
-            &g,
-            Seed::Coloring(&base),
-            SubroutineConfig::default(),
-        )
-        .unwrap();
+        let base = crate::linial::linial_coloring(&mut net, &ids)
+            .unwrap()
+            .coloring;
+        let (c, stats) =
+            delta_plus_one_coloring(&g, Seed::Coloring(&base), SubroutineConfig::default())
+                .unwrap();
         assert!(c.is_proper(&g));
         // Seeding from an O(Δ²) coloring should skip Linial iterations
         // entirely (palette is already at most the fixed point).
@@ -208,11 +216,13 @@ mod tests {
         let (basic, sb) = delta_plus_one_coloring(
             &g,
             Seed::Ids(&ids),
-            SubroutineConfig { reduction: ReductionStrategy::Basic },
+            SubroutineConfig {
+                reduction: ReductionStrategy::Basic,
+            },
         )
         .unwrap();
-        let (kw, sk) = delta_plus_one_coloring(&g, Seed::Ids(&ids), SubroutineConfig::default())
-            .unwrap();
+        let (kw, sk) =
+            delta_plus_one_coloring(&g, Seed::Ids(&ids), SubroutineConfig::default()).unwrap();
         assert!(basic.is_proper(&g));
         assert!(kw.is_proper(&g));
         assert_eq!(basic.palette(), kw.palette());

@@ -55,7 +55,9 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = AlgoError::InvalidParameters { reason: "t must be >= 2".into() };
+        let e = AlgoError::InvalidParameters {
+            reason: "t must be >= 2".into(),
+        };
         assert!(e.to_string().contains("t must be >= 2"));
         let g: AlgoError = GraphError::SelfLoop { vertex: 1 }.into();
         assert!(std::error::Error::source(&g).is_some());

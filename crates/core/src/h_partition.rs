@@ -91,7 +91,12 @@ pub fn h_partition(g: &Graph, d: usize) -> Result<HPartition, AlgoError> {
         remaining -= peeled.len();
         level += 1;
     }
-    Ok(HPartition { index, num_sets: level, degree_bound: d, stats: net.stats() })
+    Ok(HPartition {
+        index,
+        num_sets: level,
+        degree_bound: d,
+        stats: net.stats(),
+    })
 }
 
 impl HPartition {
@@ -104,7 +109,10 @@ impl HPartition {
     pub fn verify(&self, g: &Graph) -> Result<(), AlgoError> {
         for v in g.vertices() {
             let i = self.index[v.index()];
-            let later = g.neighbors(v).filter(|u| self.index[u.index()] >= i).count();
+            let later = g
+                .neighbors(v)
+                .filter(|u| self.index[u.index()] >= i)
+                .count();
             if later > self.degree_bound {
                 return Err(AlgoError::InvariantViolated {
                     reason: format!(

@@ -49,7 +49,9 @@ fn choose_parameters(m: u64, delta: u64) -> (u64, u32) {
     let mut best: Option<(u64, u32)> = None;
     for deg in 1..=64u32 {
         // q must satisfy q >= Δ·deg + 1 and q >= ceil(m^{1/(deg+1)}).
-        let lower = (delta * deg as u64 + 1).max(integer_root_ceil(m, deg + 1)).max(2);
+        let lower = (delta * deg as u64 + 1)
+            .max(integer_root_ceil(m, deg + 1))
+            .max(2);
         let q = next_prime(lower);
         match best {
             Some((bq, _)) if bq <= q => {}
@@ -126,7 +128,9 @@ pub fn linial_from_coloring(
     let g = net.graph();
     initial
         .validate(g)
-        .map_err(|e| AlgoError::InvalidParameters { reason: e.to_string() })?;
+        .map_err(|e| AlgoError::InvalidParameters {
+            reason: e.to_string(),
+        })?;
     let delta = g.max_degree() as u64;
     let mut colors: Vec<u64> = initial.as_slice().iter().map(|&c| u64::from(c)).collect();
     let mut m = initial.palette().max(1);
@@ -134,13 +138,19 @@ pub fn linial_from_coloring(
 
     if g.num_vertices() == 0 {
         let coloring = VertexColoring::new(vec![], 1).expect("empty coloring is valid");
-        return Ok(LinialResult { coloring, palette_trace: trace });
+        return Ok(LinialResult {
+            coloring,
+            palette_trace: trace,
+        });
     }
     if delta == 0 {
         // No edges: everything can take color 0 without communication.
         let coloring =
             VertexColoring::new(vec![0; g.num_vertices()], 1).expect("constant coloring");
-        return Ok(LinialResult { coloring, palette_trace: trace });
+        return Ok(LinialResult {
+            coloring,
+            palette_trace: trace,
+        });
     }
 
     let target = final_palette_bound(delta as usize);
@@ -161,10 +171,15 @@ pub fn linial_from_coloring(
         .iter()
         .map(|&c| u32::try_from(c).expect("palette fits u32 at the fixed point"))
         .collect();
-    let coloring = VertexColoring::new(colors_u32, m)
-        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+    let coloring =
+        VertexColoring::new(colors_u32, m).map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
     debug_assert!(coloring.is_proper(g));
-    Ok(LinialResult { coloring, palette_trace: trace })
+    Ok(LinialResult {
+        coloring,
+        palette_trace: trace,
+    })
 }
 
 /// Runs Linial's algorithm from the distinct-ID assignment (the standard
@@ -205,8 +220,11 @@ pub fn linial_coloring(
     let colors = colors.map_err(|_| AlgoError::InvalidParameters {
         reason: "identifier exceeds u32 (IDs must be O(log n)-bit)".into(),
     })?;
-    let initial = VertexColoring::new(colors, ids.id_space().max(1))
-        .map_err(|e| AlgoError::InvalidParameters { reason: e.to_string() })?;
+    let initial = VertexColoring::new(colors, ids.id_space().max(1)).map_err(|e| {
+        AlgoError::InvalidParameters {
+            reason: e.to_string(),
+        }
+    })?;
     linial_from_coloring(net, &initial)
 }
 
@@ -308,7 +326,12 @@ mod tests {
 
     #[test]
     fn parameter_chooser_respects_constraints() {
-        for (m, delta) in [(1_000u64, 5u64), (1 << 20, 16), (u32::MAX as u64, 100), (50, 3)] {
+        for (m, delta) in [
+            (1_000u64, 5u64),
+            (1 << 20, 16),
+            (u32::MAX as u64, 100),
+            (50, 3),
+        ] {
             let (q, deg) = super::choose_parameters(m, delta);
             assert!(q > delta * deg as u64);
             assert!(super::super::util::is_prime(q));

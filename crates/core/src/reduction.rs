@@ -64,8 +64,8 @@ pub fn basic_reduction(
         let inbox = net.broadcast(colors);
         for v in 0..colors.len() {
             if u64::from(colors[v]) == top {
-                colors[v] = mex_below(&inbox[v], target)
-                    .expect("Δ neighbors cannot block Δ + 1 colors");
+                colors[v] =
+                    mex_below(&inbox[v], target).expect("Δ neighbors cannot block Δ + 1 colors");
             }
         }
     }
@@ -208,7 +208,10 @@ mod tests {
     fn start(g: &decolor_graph::Graph, seed: u64) -> Vec<Color> {
         let mut net = Network::new(g);
         let ids = IdAssignment::shuffled(g.num_vertices(), seed);
-        crate::linial::linial_coloring(&mut net, &ids).unwrap().coloring.into_inner()
+        crate::linial::linial_coloring(&mut net, &ids)
+            .unwrap()
+            .coloring
+            .into_inner()
     }
 
     #[test]
@@ -265,7 +268,12 @@ mod tests {
         assert!(c.is_proper(&g));
         // O(t log(m/t)): generous constant check.
         let bound = target * ((m / target) as f64).log2().ceil() as u64 * 2 + target;
-        assert!(net.stats().rounds <= bound, "{} > {}", net.stats().rounds, bound);
+        assert!(
+            net.stats().rounds <= bound,
+            "{} > {}",
+            net.stats().rounds,
+            bound
+        );
     }
 
     #[test]

@@ -60,7 +60,11 @@ impl StarPartitionParams {
     /// §4's choice for `x` stages: `t = ⌊Δ^{1/(x+1)}⌋` (clamped ≥ 2).
     pub fn for_levels(g: &Graph, x: usize) -> StarPartitionParams {
         let t = integer_root(g.max_degree() as u64, x as u32 + 1).max(2) as usize;
-        StarPartitionParams { t, x: x.max(1), ..StarPartitionParams::default() }
+        StarPartitionParams {
+            t,
+            x: x.max(1),
+            ..StarPartitionParams::default()
+        }
     }
 }
 
@@ -99,10 +103,14 @@ pub fn star_partition_edge_coloring(
     params: &StarPartitionParams,
 ) -> Result<StarPartitionResult, AlgoError> {
     if params.t < 2 {
-        return Err(AlgoError::InvalidParameters { reason: "t must be ≥ 2".into() });
+        return Err(AlgoError::InvalidParameters {
+            reason: "t must be ≥ 2".into(),
+        });
     }
     if params.x < 1 {
-        return Err(AlgoError::InvalidParameters { reason: "x must be ≥ 1".into() });
+        return Err(AlgoError::InvalidParameters {
+            reason: "x must be ≥ 1".into(),
+        });
     }
     let (colors, palette, mut stats) =
         stage(g, params.t, params.x, params.subroutine, params.adaptive_t)?;
@@ -119,12 +127,20 @@ pub fn star_partition_edge_coloring(
             stats = stats.then(net.stats());
         }
     }
-    let coloring = EdgeColoring::new(colors, palette)
-        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
+    let coloring =
+        EdgeColoring::new(colors, palette).map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
     coloring
         .validate(g)
-        .map_err(|e| AlgoError::InvariantViolated { reason: e.to_string() })?;
-    Ok(StarPartitionResult { coloring, stats, untrimmed_palette })
+        .map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
+    Ok(StarPartitionResult {
+        coloring,
+        stats,
+        untrimmed_palette,
+    })
 }
 
 /// One connector stage (or the direct base case for `x == 0`).
@@ -139,7 +155,11 @@ fn stage(
         return Ok((vec![], 1, NetworkStats::default()));
     }
     let delta = g.max_degree() as u64;
-    let t = if adaptive_t { integer_root(delta, x as u32 + 1).max(2) as usize } else { t };
+    let t = if adaptive_t {
+        integer_root(delta, x as u32 + 1).max(2) as usize
+    } else {
+        t
+    };
     if x == 0 || delta <= t as u64 {
         // Base: color directly with 2Δ − 1 colors.
         let target = (2 * delta - 1).max(1);
@@ -153,32 +173,35 @@ fn stage(
     conn.verify_degree_bound()?;
     let target_conn = (2 * t as u64 - 1).max(1);
     let (phi, phi_stats) = edge_coloring_with_target(&conn.graph, target_conn, cfg)?;
-    let mut stats = NetworkStats { rounds: 1, ..Default::default() }.then(phi_stats);
+    let mut stats = NetworkStats {
+        rounds: 1,
+        ..Default::default()
+    }
+    .then(phi_stats);
 
     // Group original edges by connector color (edge ids align).
     let classes = phi.classes();
     let star_bound = conn.star_bound(g) as u64;
-    let outcomes: Vec<Result<Option<ClassOutcome>, AlgoError>> =
-        classes
-            .par_iter()
-            .map(|class| {
-                if class.is_empty() {
-                    return Ok(None);
-                }
-                let edge_ids: Vec<EdgeId> = class.iter().map(|&v| EdgeId::new(v.index())).collect();
-                let sub = SpanningEdgeSubgraph::new(g, &edge_ids);
-                if sub.graph().max_degree() as u64 > star_bound {
-                    return Err(AlgoError::InvariantViolated {
-                        reason: format!(
-                            "class star size {} exceeds ⌈Δ/t⌉ = {star_bound}",
-                            sub.graph().max_degree()
-                        ),
-                    });
-                }
-                let (colors, palette, s) = stage(sub.graph(), t, x - 1, cfg, adaptive_t)?;
-                Ok(Some((sub, colors, palette, s)))
-            })
-            .collect();
+    let outcomes: Vec<Result<Option<ClassOutcome>, AlgoError>> = classes
+        .par_iter()
+        .map(|class| {
+            if class.is_empty() {
+                return Ok(None);
+            }
+            let edge_ids: Vec<EdgeId> = class.iter().map(|&v| EdgeId::new(v.index())).collect();
+            let sub = SpanningEdgeSubgraph::new(g, &edge_ids);
+            if sub.graph().max_degree() as u64 > star_bound {
+                return Err(AlgoError::InvariantViolated {
+                    reason: format!(
+                        "class star size {} exceeds ⌈Δ/t⌉ = {star_bound}",
+                        sub.graph().max_degree()
+                    ),
+                });
+            }
+            let (colors, palette, s) = stage(sub.graph(), t, x - 1, cfg, adaptive_t)?;
+            Ok(Some((sub, colors, palette, s)))
+        })
+        .collect();
 
     let mut children = Vec::new();
     for o in outcomes {
@@ -193,12 +216,15 @@ fn stage(
             let parent = sub.to_parent_edge(EdgeId::new(local));
             let phi_color = phi.color(parent); // connector edge id == parent edge id
             let combined = u64::from(phi_color) * inner_palette + u64::from(c);
-            out[parent.index()] = u32::try_from(combined).map_err(|_| {
-                AlgoError::InvariantViolated { reason: "combined color exceeds u32".into() }
-            })?;
+            out[parent.index()] =
+                u32::try_from(combined).map_err(|_| AlgoError::InvariantViolated {
+                    reason: "combined color exceeds u32".into(),
+                })?;
         }
     }
-    stats = stats.then(NetworkStats::in_parallel(children.iter().map(|&(_, _, _, s)| s)));
+    stats = stats.then(NetworkStats::in_parallel(
+        children.iter().map(|&(_, _, _, s)| s),
+    ));
     Ok((out, target_conn * inner_palette, stats))
 }
 
@@ -243,8 +269,8 @@ mod tests {
     #[test]
     fn trim_reduces_palette() {
         let g = generators::random_regular(128, 27, 2).unwrap();
-        let with_trim = star_partition_edge_coloring(&g, &StarPartitionParams::for_levels(&g, 1))
-            .unwrap();
+        let with_trim =
+            star_partition_edge_coloring(&g, &StarPartitionParams::for_levels(&g, 1)).unwrap();
         let mut no_trim_params = StarPartitionParams::for_levels(&g, 1);
         no_trim_params.trim = false;
         let without = star_partition_edge_coloring(&g, &no_trim_params).unwrap();
@@ -271,7 +297,11 @@ mod tests {
     #[test]
     fn handles_edgeless_graph() {
         let g = decolor_graph::GraphBuilder::new(5).build();
-        let params = StarPartitionParams { t: 2, x: 1, ..StarPartitionParams::default() };
+        let params = StarPartitionParams {
+            t: 2,
+            x: 1,
+            ..StarPartitionParams::default()
+        };
         let res = star_partition_edge_coloring(&g, &params).unwrap();
         assert!(res.coloring.is_empty());
         assert_eq!(res.stats.rounds, 0);
@@ -280,9 +310,19 @@ mod tests {
     #[test]
     fn rejects_bad_params() {
         let g = generators::path(4).unwrap();
-        let bad_t = StarPartitionParams { t: 1, x: 1, trim: false, ..StarPartitionParams::default() };
+        let bad_t = StarPartitionParams {
+            t: 1,
+            x: 1,
+            trim: false,
+            ..StarPartitionParams::default()
+        };
         assert!(star_partition_edge_coloring(&g, &bad_t).is_err());
-        let bad_x = StarPartitionParams { t: 2, x: 0, trim: false, ..StarPartitionParams::default() };
+        let bad_x = StarPartitionParams {
+            t: 2,
+            x: 0,
+            trim: false,
+            ..StarPartitionParams::default()
+        };
         assert!(star_partition_edge_coloring(&g, &bad_x).is_err());
     }
 
@@ -315,7 +355,10 @@ mod tests {
     fn adaptive_t_stays_proper_on_irregular_graphs() {
         let g = generators::barabasi_albert(300, 4, 3).unwrap();
         let fixed = StarPartitionParams::for_levels(&g, 2);
-        let adaptive = StarPartitionParams { adaptive_t: true, ..fixed };
+        let adaptive = StarPartitionParams {
+            adaptive_t: true,
+            ..fixed
+        };
         let rf = star_partition_edge_coloring(&g, &fixed).unwrap();
         let ra = star_partition_edge_coloring(&g, &adaptive).unwrap();
         assert!(rf.coloring.is_proper(&g));

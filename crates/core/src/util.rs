@@ -142,8 +142,14 @@ mod tests {
         for x in 0u64..200 {
             for k in 1u32..6 {
                 let r = integer_root(x, k);
-                assert!(r.pow(k) <= x || x == 0, "floor root too big: {x}^(1/{k}) = {r}");
-                assert!((r + 1).pow(k) > x, "floor root too small: {x}^(1/{k}) = {r}");
+                assert!(
+                    r.pow(k) <= x || x == 0,
+                    "floor root too big: {x}^(1/{k}) = {r}"
+                );
+                assert!(
+                    (r + 1).pow(k) > x,
+                    "floor root too small: {x}^(1/{k}) = {r}"
+                );
                 let rc = integer_root_ceil(x, k);
                 assert!(rc.pow(k) >= x);
                 assert!(rc == 0 || (rc - 1).pow(k) < x);

@@ -169,8 +169,8 @@ mod tests {
     #[test]
     fn star_partition_certificates() {
         let g = generators::random_regular(64, 16, 1).unwrap();
-        let res = star_partition_edge_coloring(&g, &StarPartitionParams::for_levels(&g, 1))
-            .unwrap();
+        let res =
+            star_partition_edge_coloring(&g, &StarPartitionParams::for_levels(&g, 1)).unwrap();
         let checks = check_star_partition(&g, &res.coloring, 1);
         ensure_all(&checks).unwrap();
         let report = render_report(&checks);
@@ -185,8 +185,7 @@ mod tests {
         let params = CdParams::for_levels(9, 2);
         let ids = IdAssignment::sequential(lg.graph.num_vertices());
         let res = cd_coloring(&lg.graph, &lg.cover, &params, &ids).unwrap();
-        let checks =
-            check_cd_coloring(&lg.graph, &lg.cover, &res.coloring, params.t as u64, 2);
+        let checks = check_cd_coloring(&lg.graph, &lg.cover, &res.coloring, params.t as u64, 2);
         ensure_all(&checks).unwrap();
     }
 
@@ -200,8 +199,7 @@ mod tests {
     #[test]
     fn theorem54_certificates() {
         let g = generators::forest_union(150, 2, 8, 4).unwrap();
-        let res = crate::arboricity::theorem54(&g, 2, 2.5, 2, SubroutineConfig::default())
-            .unwrap();
+        let res = crate::arboricity::theorem54(&g, 2, 2.5, 2, SubroutineConfig::default()).unwrap();
         ensure_all(&check_theorem54(&g, &res.coloring, 2, 2.5, 2)).unwrap();
     }
 

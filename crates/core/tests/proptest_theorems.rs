@@ -3,9 +3,7 @@
 
 use decolor_core::arboricity::{theorem52, theorem54};
 use decolor_core::decomposition::{clique_decomposition, star_partition};
-use decolor_core::delta_plus_one::{
-    delta_plus_one_coloring, Seed, SubroutineConfig,
-};
+use decolor_core::delta_plus_one::{delta_plus_one_coloring, Seed, SubroutineConfig};
 use decolor_core::linial::{final_palette_bound, linial_coloring};
 use decolor_core::reduction::{basic_reduction, kw_reduction};
 use decolor_graph::generators;

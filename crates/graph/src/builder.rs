@@ -35,12 +35,20 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a simple graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new(), seen: Some(HashSet::new()) }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            seen: Some(HashSet::new()),
+        }
     }
 
     /// Creates a builder that permits parallel edges (but not self-loops).
     pub fn new_multi(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new(), seen: None }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            seen: None,
+        }
     }
 
     /// Pre-allocates space for `m` edges.
@@ -72,10 +80,16 @@ impl GraphBuilder {
     ///   builder was created with [`GraphBuilder::new`].
     pub fn add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
         if u >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                n: self.n,
+            });
         }
         if v >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                n: self.n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });
@@ -111,7 +125,9 @@ impl GraphBuilder {
     /// Always `false` for multi builders.
     pub fn contains_edge(&self, u: usize, v: usize) -> bool {
         let (lo, hi) = if u < v { (u, v) } else { (v, u) };
-        self.seen.as_ref().is_some_and(|s| s.contains(&(lo as u32, hi as u32)))
+        self.seen
+            .as_ref()
+            .is_some_and(|s| s.contains(&(lo as u32, hi as u32)))
     }
 
     /// Finalizes the builder into an immutable [`Graph`].
@@ -146,7 +162,10 @@ mod tests {
     #[test]
     fn rejects_out_of_range() {
         let mut b = GraphBuilder::new(2);
-        assert_eq!(b.add_edge(0, 2), Err(GraphError::VertexOutOfRange { vertex: 2, n: 2 }));
+        assert_eq!(
+            b.add_edge(0, 2),
+            Err(GraphError::VertexOutOfRange { vertex: 2, n: 2 })
+        );
     }
 
     #[test]

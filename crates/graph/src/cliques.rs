@@ -92,7 +92,10 @@ impl CliqueCover {
                 membership[v.index()].push(qi);
             }
         }
-        Ok(CliqueCover { cliques, membership })
+        Ok(CliqueCover {
+            cliques,
+            membership,
+        })
     }
 
     /// Checks that every clique is complete in `g` and every edge of `g`
@@ -181,7 +184,10 @@ impl CliqueCover {
     ///
     /// Panics if `q` is out of range or empty (excluded by construction).
     pub fn master(&self, q: CliqueId) -> VertexId {
-        *self.cliques[q].iter().max().expect("cliques are nonempty by construction")
+        *self.cliques[q]
+            .iter()
+            .max()
+            .expect("cliques are nonempty by construction")
     }
 
     /// Restricts the cover to an induced subgraph: each clique is
@@ -210,8 +216,7 @@ impl CliqueCover {
     /// plus one singleton per isolated vertex. Diversity = Δ in the worst
     /// case — only useful as a fallback or in tests.
     pub fn per_edge(g: &Graph) -> CliqueCover {
-        let mut cliques: Vec<Vec<VertexId>> =
-            g.edge_list().map(|(_, [u, v])| vec![u, v]).collect();
+        let mut cliques: Vec<Vec<VertexId>> = g.edge_list().map(|(_, [u, v])| vec![u, v]).collect();
         for v in g.vertices() {
             if g.degree(v) == 0 {
                 cliques.push(vec![v]);
@@ -273,8 +278,7 @@ pub fn maximal_cliques(g: &Graph) -> Vec<Vec<VertexId>> {
             .copied()
             .max_by_key(|&u| p.iter().filter(|&&w| is_adj(u, w)).count())
             .expect("P ∪ X nonempty here");
-        let candidates: Vec<VertexId> =
-            p.iter().copied().filter(|&v| !is_adj(pivot, v)).collect();
+        let candidates: Vec<VertexId> = p.iter().copied().filter(|&v| !is_adj(pivot, v)).collect();
         for v in candidates {
             r.push(v);
             let np: Vec<VertexId> = p.iter().copied().filter(|&w| is_adj(v, w)).collect();

@@ -70,7 +70,10 @@ impl VertexColoring {
 
     /// The trivial coloring by identity (`color(v) = v`), palette `n`.
     pub fn identity(n: usize) -> Self {
-        VertexColoring { colors: (0..n as u32).collect(), palette: n as u64 }
+        VertexColoring {
+            colors: (0..n as u32).collect(),
+            palette: n as u64,
+        }
     }
 
     /// Color of vertex `v`.
@@ -175,7 +178,11 @@ impl VertexColoring {
     /// Panics if the colorings have different lengths or the combined
     /// palette overflows `u64`.
     pub fn product(&self, outer: &VertexColoring) -> VertexColoring {
-        assert_eq!(self.len(), outer.len(), "colorings must cover the same vertex set");
+        assert_eq!(
+            self.len(),
+            outer.len(),
+            "colorings must cover the same vertex set"
+        );
         let palette = outer
             .palette
             .checked_mul(self.palette)
@@ -208,7 +215,10 @@ impl VertexColoring {
                 })
             })
             .collect();
-        VertexColoring { colors, palette: u64::from(next.max(1)) }
+        VertexColoring {
+            colors,
+            palette: u64::from(next.max(1)),
+        }
     }
 
     /// Groups vertices by color: `classes()[c]` lists the vertices colored
@@ -338,7 +348,11 @@ impl EdgeColoring {
     ///
     /// Panics if lengths differ or the combined palette overflows.
     pub fn product(&self, outer: &EdgeColoring) -> EdgeColoring {
-        assert_eq!(self.len(), outer.len(), "colorings must cover the same edge set");
+        assert_eq!(
+            self.len(),
+            outer.len(),
+            "colorings must cover the same edge set"
+        );
         let palette = outer
             .palette
             .checked_mul(self.palette)
@@ -370,7 +384,10 @@ impl EdgeColoring {
                 })
             })
             .collect();
-        EdgeColoring { colors, palette: u64::from(next.max(1)) }
+        EdgeColoring {
+            colors,
+            palette: u64::from(next.max(1)),
+        }
     }
 
     /// Groups edges by color: `classes()[c]` lists the edges colored `c`.

@@ -102,7 +102,13 @@ pub fn render(g: &Graph, opts: &DotOptions) -> String {
         if attrs.is_empty() {
             let _ = writeln!(out, "  v{} -- v{};", u.index(), v.index());
         } else {
-            let _ = writeln!(out, "  v{} -- v{} [{}];", u.index(), v.index(), attrs.join(", "));
+            let _ = writeln!(
+                out,
+                "  v{} -- v{} [{}];",
+                u.index(),
+                v.index(),
+                attrs.join(", ")
+            );
         }
     }
     out.push_str("}\n");

@@ -54,11 +54,17 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex index {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex index {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
             GraphError::ParallelEdge { u, v } => {
-                write!(f, "parallel edge between {u} and {v} (builder forbids parallel edges)")
+                write!(
+                    f,
+                    "parallel edge between {u} and {v} (builder forbids parallel edges)"
+                )
             }
             GraphError::InvalidParameters { reason } => write!(f, "invalid parameters: {reason}"),
             GraphError::GenerationFailed { reason } => write!(f, "generation failed: {reason}"),
@@ -76,7 +82,10 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let e = GraphError::VertexOutOfRange { vertex: 9, n: 3 };
-        assert_eq!(e.to_string(), "vertex index 9 out of range for graph with 3 vertices");
+        assert_eq!(
+            e.to_string(),
+            "vertex index 9 out of range for graph with 3 vertices"
+        );
         let e = GraphError::SelfLoop { vertex: 2 };
         assert!(e.to_string().contains("self-loop"));
     }

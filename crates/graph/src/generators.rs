@@ -27,7 +27,9 @@ fn rng(seed: u64) -> SmallRng {
 /// [`GraphError::InvalidParameters`] if `n == 0`.
 pub fn path(n: usize) -> Result<Graph, GraphError> {
     if n == 0 {
-        return Err(GraphError::InvalidParameters { reason: "path needs n >= 1".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "path needs n >= 1".into(),
+        });
     }
     let mut b = GraphBuilder::new(n).with_edge_capacity(n.saturating_sub(1));
     for v in 1..n {
@@ -43,7 +45,9 @@ pub fn path(n: usize) -> Result<Graph, GraphError> {
 /// [`GraphError::InvalidParameters`] if `n < 3`.
 pub fn cycle(n: usize) -> Result<Graph, GraphError> {
     if n < 3 {
-        return Err(GraphError::InvalidParameters { reason: "cycle needs n >= 3".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "cycle needs n >= 3".into(),
+        });
     }
     let mut b = GraphBuilder::new(n).with_edge_capacity(n);
     for v in 1..n {
@@ -60,7 +64,9 @@ pub fn cycle(n: usize) -> Result<Graph, GraphError> {
 /// [`GraphError::InvalidParameters`] if `n == 0`.
 pub fn star(n: usize) -> Result<Graph, GraphError> {
     if n == 0 {
-        return Err(GraphError::InvalidParameters { reason: "star needs n >= 1".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "star needs n >= 1".into(),
+        });
     }
     let mut b = GraphBuilder::new(n).with_edge_capacity(n - 1);
     for v in 1..n {
@@ -76,7 +82,9 @@ pub fn star(n: usize) -> Result<Graph, GraphError> {
 /// [`GraphError::InvalidParameters`] if `n == 0`.
 pub fn complete(n: usize) -> Result<Graph, GraphError> {
     if n == 0 {
-        return Err(GraphError::InvalidParameters { reason: "complete needs n >= 1".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "complete needs n >= 1".into(),
+        });
     }
     let mut b = GraphBuilder::new(n).with_edge_capacity(n * (n - 1) / 2);
     for u in 0..n {
@@ -114,7 +122,9 @@ pub fn complete_bipartite(p: usize, q: usize) -> Result<Graph, GraphError> {
 /// [`GraphError::InvalidParameters`] if either dimension is 0.
 pub fn grid(rows: usize, cols: usize) -> Result<Graph, GraphError> {
     if rows == 0 || cols == 0 {
-        return Err(GraphError::InvalidParameters { reason: "grid needs positive dims".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "grid needs positive dims".into(),
+        });
     }
     let mut b = GraphBuilder::new(rows * cols);
     for r in 0..rows {
@@ -138,7 +148,9 @@ pub fn grid(rows: usize, cols: usize) -> Result<Graph, GraphError> {
 /// [`GraphError::InvalidParameters`] if either dimension is < 3.
 pub fn torus(rows: usize, cols: usize) -> Result<Graph, GraphError> {
     if rows < 3 || cols < 3 {
-        return Err(GraphError::InvalidParameters { reason: "torus needs dims >= 3".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "torus needs dims >= 3".into(),
+        });
     }
     let mut b = GraphBuilder::new(rows * cols);
     for r in 0..rows {
@@ -182,7 +194,9 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
 /// [`GraphError::InvalidParameters`] if `p ∉ [0, 1]`.
 pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
     if !(0.0..=1.0).contains(&p) {
-        return Err(GraphError::InvalidParameters { reason: format!("p = {p} not in [0,1]") });
+        return Err(GraphError::InvalidParameters {
+            reason: format!("p = {p} not in [0,1]"),
+        });
     }
     let mut r = rng(seed);
     let mut b = GraphBuilder::new(n);
@@ -253,7 +267,9 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError
 /// [`GraphError::InvalidParameters`] if `n == 0`.
 pub fn random_tree(n: usize, seed: u64) -> Result<Graph, GraphError> {
     if n == 0 {
-        return Err(GraphError::InvalidParameters { reason: "tree needs n >= 1".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "tree needs n >= 1".into(),
+        });
     }
     if n == 1 {
         return Ok(GraphBuilder::new(1).build());
@@ -304,7 +320,9 @@ pub fn random_tree_bounded_degree(
     seed: u64,
 ) -> Result<Graph, GraphError> {
     if n == 0 {
-        return Err(GraphError::InvalidParameters { reason: "tree needs n >= 1".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "tree needs n >= 1".into(),
+        });
     }
     if n > 2 && max_degree < 2 {
         return Err(GraphError::InvalidParameters {
@@ -444,15 +462,13 @@ pub fn random_uniform_hypergraph(
                 ),
             });
         }
-        let available: Vec<usize> =
-            (0..n).filter(|&v| degree[v] < max_vertex_degree).collect();
+        let available: Vec<usize> = (0..n).filter(|&v| degree[v] < max_vertex_degree).collect();
         if available.len() < c {
             return Err(GraphError::GenerationFailed {
                 reason: "fewer available vertices than hyperedge size".into(),
             });
         }
-        let mut pick: Vec<usize> =
-            available.choose_multiple(&mut r, c).copied().collect();
+        let mut pick: Vec<usize> = available.choose_multiple(&mut r, c).copied().collect();
         pick.sort_unstable();
         let key: Vec<u32> = pick.iter().map(|&v| v as u32).collect();
         if seen.insert(key) {
@@ -580,7 +596,9 @@ pub fn random_bipartite(p: usize, q: usize, prob: f64, seed: u64) -> Result<Grap
 /// [`GraphError::InvalidParameters`] if `spine == 0`.
 pub fn caterpillar(spine: usize, legs: usize) -> Result<Graph, GraphError> {
     if spine == 0 {
-        return Err(GraphError::InvalidParameters { reason: "caterpillar needs a spine".into() });
+        return Err(GraphError::InvalidParameters {
+            reason: "caterpillar needs a spine".into(),
+        });
     }
     let n = spine * (legs + 1);
     let mut b = GraphBuilder::new(n).with_edge_capacity(n - 1);

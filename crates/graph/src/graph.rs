@@ -61,7 +61,12 @@ impl Graph {
             adj[cursor[v.index()]] = (*u, e);
             cursor[v.index()] += 1;
         }
-        Graph { n, offsets, adj, endpoints: edges }
+        Graph {
+            n,
+            offsets,
+            adj,
+            endpoints: edges,
+        }
     }
 
     /// Returns the number of vertices `n`.
@@ -88,7 +93,10 @@ impl Graph {
 
     /// Returns the maximum degree Δ of the graph (0 for edgeless graphs).
     pub fn max_degree(&self) -> usize {
-        (0..self.n).map(|v| self.degree(VertexId::new(v))).max().unwrap_or(0)
+        (0..self.n)
+            .map(|v| self.degree(VertexId::new(v)))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Returns the incidence list of `v` as `(neighbor, edge)` pairs.
@@ -153,14 +161,21 @@ impl Graph {
 
     /// Iterates over `(edge, [u, v])` for all edges.
     pub fn edge_list(&self) -> impl Iterator<Item = (EdgeId, [VertexId; 2])> + '_ {
-        self.endpoints.iter().enumerate().map(|(i, ep)| (EdgeId::new(i), *ep))
+        self.endpoints
+            .iter()
+            .enumerate()
+            .map(|(i, ep)| (EdgeId::new(i), *ep))
     }
 
     /// Returns `true` if `u` and `v` are adjacent.
     ///
     /// Runs in O(min(deg(u), deg(v))).
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(a).any(|w| w == b)
     }
 
@@ -173,7 +188,9 @@ impl Graph {
     /// Number of edges in the line graph of this graph, i.e.
     /// `Σ_v C(deg(v), 2)` (assuming no parallel edges).
     pub fn line_graph_edge_count(&self) -> usize {
-        self.vertices().map(|v| self.degree(v) * self.degree(v).saturating_sub(1) / 2).sum()
+        self.vertices()
+            .map(|v| self.degree(v) * self.degree(v).saturating_sub(1) / 2)
+            .sum()
     }
 }
 

@@ -65,7 +65,11 @@ impl Hypergraph {
                 membership[v].push(i);
             }
         }
-        Ok(Hypergraph { n, edges, membership })
+        Ok(Hypergraph {
+            n,
+            edges,
+            membership,
+        })
     }
 
     /// Number of vertices.

@@ -15,7 +15,9 @@ use std::fmt;
 /// assert_eq!(v.index(), 3);
 /// assert_eq!(format!("{v}"), "v3");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct VertexId(u32);
 
 /// Identifier of an edge inside a particular [`Graph`](crate::Graph).
@@ -28,7 +30,9 @@ pub struct VertexId(u32);
 /// assert_eq!(e.index(), 7);
 /// assert_eq!(format!("{e}"), "e7");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct EdgeId(u32);
 
 impl VertexId {

@@ -27,7 +27,10 @@ impl GraphData {
     pub fn from_graph(g: &Graph) -> GraphData {
         GraphData {
             n: g.num_vertices(),
-            edges: g.edge_list().map(|(_, [u, v])| (u.index(), v.index())).collect(),
+            edges: g
+                .edge_list()
+                .map(|(_, [u, v])| (u.index(), v.index()))
+                .collect(),
         }
     }
 
@@ -58,7 +61,6 @@ impl TryFrom<GraphData> for Graph {
         d.to_graph()
     }
 }
-
 
 /// Serializes a graph in DIMACS-like text: a `p edge n m` header followed
 /// by one `e u v` line per edge (1-based vertex indices, the common
@@ -112,24 +114,24 @@ pub fn from_dimacs(text: &str) -> Result<Graph, GraphError> {
                         reason: format!("line {}: expected `p edge`, got `p {kind}`", lineno + 1),
                     });
                 }
-                let n: usize = tok
-                    .next()
-                    .and_then(|t| t.parse().ok())
-                    .ok_or_else(|| GraphError::InvalidParameters {
+                let n: usize = tok.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                    GraphError::InvalidParameters {
                         reason: format!("line {}: bad vertex count", lineno + 1),
-                    })?;
-                declared_m = tok
-                    .next()
-                    .and_then(|t| t.parse().ok())
-                    .ok_or_else(|| GraphError::InvalidParameters {
+                    }
+                })?;
+                declared_m = tok.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                    GraphError::InvalidParameters {
                         reason: format!("line {}: bad edge count", lineno + 1),
-                    })?;
+                    }
+                })?;
                 builder = Some(GraphBuilder::new(n).with_edge_capacity(declared_m));
             }
             Some("e") => {
-                let b = builder.as_mut().ok_or_else(|| GraphError::InvalidParameters {
-                    reason: format!("line {}: edge before problem line", lineno + 1),
-                })?;
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| GraphError::InvalidParameters {
+                        reason: format!("line {}: edge before problem line", lineno + 1),
+                    })?;
                 let u: usize = tok
                     .next()
                     .and_then(|t| t.parse().ok())
@@ -159,7 +161,10 @@ pub fn from_dimacs(text: &str) -> Result<Graph, GraphError> {
     })?;
     if b.num_edges() != declared_m {
         return Err(GraphError::InvalidParameters {
-            reason: format!("header declares {declared_m} edges, found {}", b.num_edges()),
+            reason: format!(
+                "header declares {declared_m} edges, found {}",
+                b.num_edges()
+            ),
         });
     }
     Ok(b.build())
@@ -180,9 +185,15 @@ mod tests {
 
     #[test]
     fn rejects_malformed_data() {
-        let bad = GraphData { n: 2, edges: vec![(0, 2)] };
+        let bad = GraphData {
+            n: 2,
+            edges: vec![(0, 2)],
+        };
         assert!(bad.to_graph().is_err());
-        let dup = GraphData { n: 3, edges: vec![(0, 1), (1, 0)] };
+        let dup = GraphData {
+            n: 3,
+            edges: vec![(0, 1), (1, 0)],
+        };
         assert!(dup.to_graph().is_err());
     }
 

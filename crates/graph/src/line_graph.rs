@@ -45,10 +45,13 @@ impl LineGraph {
     /// Panics if `g` has parallel edges (line graphs of multigraphs need
     /// multi-cliques; none of the workloads produce them).
     pub fn new(g: &Graph) -> Self {
-        assert!(!g.has_parallel_edges(), "line graph requires a simple source graph");
+        assert!(
+            !g.has_parallel_edges(),
+            "line graph requires a simple source graph"
+        );
         let m = g.num_edges();
-        let mut b = crate::builder::GraphBuilder::new(m)
-            .with_edge_capacity(g.line_graph_edge_count());
+        let mut b =
+            crate::builder::GraphBuilder::new(m).with_edge_capacity(g.line_graph_edge_count());
         for v in g.vertices() {
             let inc: Vec<EdgeId> = g.incident_edges(v).collect();
             for (i, &e1) in inc.iter().enumerate() {
@@ -64,7 +67,11 @@ impl LineGraph {
         let cliques: Vec<Vec<VertexId>> = g
             .vertices()
             .filter(|&v| g.degree(v) > 0)
-            .map(|v| g.incident_edges(v).map(|e| VertexId::new(e.index())).collect())
+            .map(|v| {
+                g.incident_edges(v)
+                    .map(|e| VertexId::new(e.index()))
+                    .collect()
+            })
             .collect();
         let cover =
             CliqueCover::new_unchecked(m, cliques).expect("canonical line cover is well-formed");

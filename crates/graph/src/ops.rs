@@ -14,13 +14,17 @@ use crate::GraphBuilder;
 /// Disjoint union: vertices of `b` are shifted by `a.num_vertices()`.
 pub fn disjoint_union(a: &Graph, b: &Graph) -> Graph {
     let na = a.num_vertices();
-    let mut builder = GraphBuilder::new(na + b.num_vertices())
-        .with_edge_capacity(a.num_edges() + b.num_edges());
+    let mut builder =
+        GraphBuilder::new(na + b.num_vertices()).with_edge_capacity(a.num_edges() + b.num_edges());
     for (_, [u, v]) in a.edge_list() {
-        builder.add_edge(u.index(), v.index()).expect("edges of a are valid");
+        builder
+            .add_edge(u.index(), v.index())
+            .expect("edges of a are valid");
     }
     for (_, [u, v]) in b.edge_list() {
-        builder.add_edge(na + u.index(), na + v.index()).expect("edges of b are valid");
+        builder
+            .add_edge(na + u.index(), na + v.index())
+            .expect("edges of b are valid");
     }
     builder.build()
 }
@@ -39,8 +43,8 @@ pub fn cartesian_product(a: &Graph, b: &Graph) -> Result<Graph, GraphError> {
             reason: "cartesian product needs nonempty factors".into(),
         });
     }
-    let mut builder = GraphBuilder::new(na * nb)
-        .with_edge_capacity(na * b.num_edges() + nb * a.num_edges());
+    let mut builder =
+        GraphBuilder::new(na * nb).with_edge_capacity(na * b.num_edges() + nb * a.num_edges());
     for u in 0..na {
         for (_, [w1, w2]) in b.edge_list() {
             builder.add_edge(u * nb + w1.index(), u * nb + w2.index())?;

@@ -54,7 +54,9 @@ impl Orientation {
     /// Orients every edge toward its higher-indexed endpoint. Always
     /// acyclic; out-degree can be as large as Δ.
     pub fn toward_higher_id(g: &Graph) -> Self {
-        Orientation { head: g.edge_list().map(|(_, [u, v])| u.max(v)).collect() }
+        Orientation {
+            head: g.edge_list().map(|(_, [u, v])| u.max(v)).collect(),
+        }
     }
 
     /// Orients every edge according to a vertex order: each edge points to
@@ -108,22 +110,29 @@ impl Orientation {
 
     /// Out-degree of `v` under this orientation.
     pub fn out_degree(&self, g: &Graph, v: VertexId) -> usize {
-        g.incident_edges(v).filter(|&e| self.points_out_of(g, e, v)).count()
+        g.incident_edges(v)
+            .filter(|&e| self.points_out_of(g, e, v))
+            .count()
     }
 
     /// Maximum out-degree over all vertices.
     pub fn max_out_degree(&self, g: &Graph) -> usize {
-        g.vertices().map(|v| self.out_degree(g, v)).max().unwrap_or(0)
+        g.vertices()
+            .map(|v| self.out_degree(g, v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Outgoing edges of `v` (in port order).
     pub fn out_edges<'a>(&'a self, g: &'a Graph, v: VertexId) -> impl Iterator<Item = EdgeId> + 'a {
-        g.incident_edges(v).filter(move |&e| self.points_out_of(g, e, v))
+        g.incident_edges(v)
+            .filter(move |&e| self.points_out_of(g, e, v))
     }
 
     /// Incoming edges of `v` (in port order).
     pub fn in_edges<'a>(&'a self, g: &'a Graph, v: VertexId) -> impl Iterator<Item = EdgeId> + 'a {
-        g.incident_edges(v).filter(move |&e| !self.points_out_of(g, e, v))
+        g.incident_edges(v)
+            .filter(move |&e| !self.points_out_of(g, e, v))
     }
 
     /// `true` iff the oriented graph has no directed cycle (Kahn's
@@ -134,8 +143,7 @@ impl Orientation {
         for e in g.edges() {
             indeg[self.head(e).index()] += 1;
         }
-        let mut queue: Vec<VertexId> =
-            g.vertices().filter(|&v| indeg[v.index()] == 0).collect();
+        let mut queue: Vec<VertexId> = g.vertices().filter(|&v| indeg[v.index()] == 0).collect();
         let mut removed = 0usize;
         while let Some(v) = queue.pop() {
             removed += 1;

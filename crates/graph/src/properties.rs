@@ -28,7 +28,11 @@ pub struct DegreeStats {
 pub fn degree_stats(g: &Graph) -> DegreeStats {
     let n = g.num_vertices();
     if n == 0 {
-        return DegreeStats { min: 0, max: 0, mean: 0.0 };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+        };
     }
     let mut min = usize::MAX;
     let mut max = 0usize;
@@ -37,7 +41,11 @@ pub fn degree_stats(g: &Graph) -> DegreeStats {
         min = min.min(d);
         max = max.max(d);
     }
-    DegreeStats { min, max, mean: 2.0 * g.num_edges() as f64 / n as f64 }
+    DegreeStats {
+        min,
+        max,
+        mean: 2.0 * g.num_edges() as f64 / n as f64,
+    }
 }
 
 /// A degeneracy ordering: vertices listed so that each has at most
@@ -104,7 +112,11 @@ pub fn degeneracy_ordering(g: &Graph) -> DegeneracyOrdering {
             }
         }
     }
-    DegeneracyOrdering { degeneracy, order, rank }
+    DegeneracyOrdering {
+        degeneracy,
+        order,
+        rank,
+    }
 }
 
 /// Nash–Williams global-density lower bound on arboricity:
@@ -137,7 +149,11 @@ pub fn forest_decomposition(g: &Graph) -> Vec<Vec<crate::ids::EdgeId>> {
     for (e, [u, v]) in g.edge_list() {
         // The endpoint peeled first "owns" the edge (it has ≤ degeneracy
         // such edges).
-        let owner = if ord.rank[u.index()] < ord.rank[v.index()] { u } else { v };
+        let owner = if ord.rank[u.index()] < ord.rank[v.index()] {
+            u
+        } else {
+            v
+        };
         let slot = slot_cursor[owner.index()];
         slot_cursor[owner.index()] += 1;
         forests[slot].push(e);
@@ -293,7 +309,10 @@ mod tests {
                 .neighbors(v)
                 .filter(|u| d.rank[u.index()] > d.rank[v.index()])
                 .count();
-            assert!(later <= d.degeneracy, "vertex {v} has {later} later neighbors");
+            assert!(
+                later <= d.degeneracy,
+                "vertex {v} has {later} later neighbors"
+            );
         }
     }
 
@@ -337,7 +356,14 @@ mod tests {
     #[test]
     fn empty_graph_properties() {
         let g = crate::GraphBuilder::new(0).build();
-        assert_eq!(degree_stats(&g), DegreeStats { min: 0, max: 0, mean: 0.0 });
+        assert_eq!(
+            degree_stats(&g),
+            DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0
+            }
+        );
         assert_eq!(arboricity_lower_bound(&g), 0);
         assert!(is_connected(&g));
         assert!(is_forest(&g));
@@ -360,7 +386,10 @@ mod tests {
         assert_eq!(diameter(&generators::cycle(8).unwrap()), Some(4));
         assert_eq!(diameter(&generators::complete(5).unwrap()), Some(1));
         assert_eq!(diameter(&generators::star(6).unwrap()), Some(2));
-        assert_eq!(diameter(&builder_from_edges(4, &[(0, 1), (2, 3)]).unwrap()), None);
+        assert_eq!(
+            diameter(&builder_from_edges(4, &[(0, 1), (2, 3)]).unwrap()),
+            None
+        );
         assert_eq!(diameter(&crate::GraphBuilder::new(0).build()), Some(0));
     }
 

@@ -57,7 +57,12 @@ impl InducedSubgraph {
             }
         }
         let graph = Graph::from_parts(to_parent_vertex.len(), edges);
-        InducedSubgraph { graph, to_parent_vertex, from_parent_vertex, to_parent_edge }
+        InducedSubgraph {
+            graph,
+            to_parent_vertex,
+            from_parent_vertex,
+            to_parent_edge,
+        }
     }
 
     /// The materialized subgraph.
@@ -165,7 +170,10 @@ impl SpanningEdgeSubgraph {
         let endpoint_list: Vec<[VertexId; 2]> =
             edges.iter().map(|&e| parent.endpoints(e)).collect();
         let graph = Graph::from_parts(parent.num_vertices(), endpoint_list);
-        SpanningEdgeSubgraph { graph, to_parent_edge: edges.to_vec() }
+        SpanningEdgeSubgraph {
+            graph,
+            to_parent_edge: edges.to_vec(),
+        }
     }
 
     /// The materialized subgraph (same vertex ids as the parent).
@@ -239,7 +247,10 @@ mod tests {
         let g = p4();
         let s = InducedSubgraph::new(&g, &[VertexId::new(1), VertexId::new(1)]);
         assert_eq!(s.graph().num_vertices(), 1);
-        assert_eq!(s.from_parent_vertex(VertexId::new(1)), Some(VertexId::new(0)));
+        assert_eq!(
+            s.from_parent_vertex(VertexId::new(1)),
+            Some(VertexId::new(0))
+        );
         assert_eq!(s.from_parent_vertex(VertexId::new(0)), None);
     }
 

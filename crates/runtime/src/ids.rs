@@ -27,7 +27,9 @@ pub struct IdAssignment {
 impl IdAssignment {
     /// Identifiers equal to vertex indices (`id(v) = v`).
     pub fn sequential(n: usize) -> Self {
-        IdAssignment { ids: (0..n as u64).collect() }
+        IdAssignment {
+            ids: (0..n as u64).collect(),
+        }
     }
 
     /// A seeded uniformly random permutation of `0..n` — the standard
@@ -43,7 +45,13 @@ impl IdAssignment {
     /// exercise algorithms that must not assume dense IDs.
     pub fn sparse(n: usize, stride: u64, seed: u64) -> Self {
         let base = Self::shuffled(n, seed);
-        IdAssignment { ids: base.ids.iter().map(|&i| i * stride.max(1) + (i % 7)).collect() }
+        IdAssignment {
+            ids: base
+                .ids
+                .iter()
+                .map(|&i| i * stride.max(1) + (i % 7))
+                .collect(),
+        }
     }
 
     /// Wraps explicit identifiers.
@@ -98,7 +106,12 @@ impl IdAssignment {
     /// Restricts the assignment to a vertex subset given in local order —
     /// subgraphs inherit parent identifiers (still distinct).
     pub fn restrict(&self, parent_vertices: &[decolor_graph::VertexId]) -> IdAssignment {
-        IdAssignment { ids: parent_vertices.iter().map(|&v| self.ids[v.index()]).collect() }
+        IdAssignment {
+            ids: parent_vertices
+                .iter()
+                .map(|&v| self.ids[v.index()])
+                .collect(),
+        }
     }
 }
 

@@ -105,15 +105,38 @@ mod tests {
 
     #[test]
     fn stats_sequential_composition() {
-        let a = NetworkStats { rounds: 3, messages: 10, payload_bytes: 40 };
-        let b = NetworkStats { rounds: 2, messages: 5, payload_bytes: 20 };
-        assert_eq!(a.then(b), NetworkStats { rounds: 5, messages: 15, payload_bytes: 60 });
+        let a = NetworkStats {
+            rounds: 3,
+            messages: 10,
+            payload_bytes: 40,
+        };
+        let b = NetworkStats {
+            rounds: 2,
+            messages: 5,
+            payload_bytes: 20,
+        };
+        assert_eq!(
+            a.then(b),
+            NetworkStats {
+                rounds: 5,
+                messages: 15,
+                payload_bytes: 60
+            }
+        );
     }
 
     #[test]
     fn stats_parallel_composition_takes_max_rounds() {
-        let a = NetworkStats { rounds: 3, messages: 10, payload_bytes: 40 };
-        let b = NetworkStats { rounds: 7, messages: 5, payload_bytes: 20 };
+        let a = NetworkStats {
+            rounds: 3,
+            messages: 10,
+            payload_bytes: 40,
+        };
+        let b = NetworkStats {
+            rounds: 7,
+            messages: 5,
+            payload_bytes: 20,
+        };
         let p = NetworkStats::in_parallel([a, b]);
         assert_eq!(p.rounds, 7);
         assert_eq!(p.messages, 15);
@@ -123,7 +146,10 @@ mod tests {
     fn rounds_algebra() {
         assert_eq!(Rounds(2) + Rounds(3), Rounds(5));
         assert_eq!(Rounds::par(std::iter::empty()), Rounds::ZERO);
-        assert_eq!([Rounds(1), Rounds(4)].into_iter().sum::<Rounds>(), Rounds(5));
+        assert_eq!(
+            [Rounds(1), Rounds(4)].into_iter().sum::<Rounds>(),
+            Rounds(5)
+        );
         let mut r = Rounds(1);
         r += Rounds(2);
         assert_eq!(r, Rounds(3));
@@ -132,7 +158,12 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(Rounds(4).to_string(), "4 rounds");
-        let s = NetworkStats { rounds: 1, messages: 2, payload_bytes: 3 }.to_string();
+        let s = NetworkStats {
+            rounds: 1,
+            messages: 2,
+            payload_bytes: 3,
+        }
+        .to_string();
         assert!(s.contains("1 rounds"));
     }
 }

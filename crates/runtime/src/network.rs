@@ -33,7 +33,11 @@ impl<'g> Network<'g> {
                 }
             }
         }
-        Network { graph, ports, stats: NetworkStats::default() }
+        Network {
+            graph,
+            ports,
+            stats: NetworkStats::default(),
+        }
     }
 
     /// The underlying graph.
@@ -119,7 +123,11 @@ impl<'g> Network<'g> {
         let outbox: Vec<Vec<(usize, M)>> = self
             .graph
             .vertices()
-            .map(|v| (0..self.graph.degree(v)).map(|p| (p, values[v.index()].clone())).collect())
+            .map(|v| {
+                (0..self.graph.degree(v))
+                    .map(|p| (p, values[v.index()].clone()))
+                    .collect()
+            })
             .collect();
         let inbox = self.exchange(&outbox);
         inbox
@@ -279,12 +287,24 @@ mod tests {
         let g = p3();
         let mut net = Network::new(&g);
         net.absorb_parallel([
-            NetworkStats { rounds: 5, messages: 1, payload_bytes: 4 },
-            NetworkStats { rounds: 2, messages: 1, payload_bytes: 4 },
+            NetworkStats {
+                rounds: 5,
+                messages: 1,
+                payload_bytes: 4,
+            },
+            NetworkStats {
+                rounds: 2,
+                messages: 1,
+                payload_bytes: 4,
+            },
         ]);
         assert_eq!(net.stats().rounds, 5);
         assert_eq!(net.stats().messages, 2);
-        net.absorb_sequential(NetworkStats { rounds: 1, messages: 0, payload_bytes: 0 });
+        net.absorb_sequential(NetworkStats {
+            rounds: 1,
+            messages: 0,
+            payload_bytes: 0,
+        });
         assert_eq!(net.stats().rounds, 6);
     }
 

@@ -107,7 +107,10 @@ pub enum ProgramError {
 impl std::fmt::Display for ProgramError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ProgramError::RoundLimitExceeded { max_rounds, still_running } => write!(
+            ProgramError::RoundLimitExceeded {
+                max_rounds,
+                still_running,
+            } => write!(
                 f,
                 "{still_running} nodes still running after {max_rounds} rounds"
             ),
@@ -151,8 +154,13 @@ where
         }
         let mut outbox: Vec<Vec<(usize, P::Message)>> = vec![Vec::new(); n];
         for v in g.vertices() {
-            let Some(program) = programs[v.index()].as_mut() else { continue };
-            let ctx = NodeContext { vertex: v, degree: g.degree(v) };
+            let Some(program) = programs[v.index()].as_mut() else {
+                continue;
+            };
+            let ctx = NodeContext {
+                vertex: v,
+                degree: g.degree(v),
+            };
             let inbox = std::mem::take(&mut inboxes[v.index()]);
             match program.round(&ctx, &inbox) {
                 Outcome::Continue(sends) => {
@@ -188,7 +196,10 @@ where
         .into_iter()
         .map(|o| o.expect("all nodes halted"))
         .collect();
-    Ok(ProgramRun { outputs, stats: net.stats() })
+    Ok(ProgramRun {
+        outputs,
+        stats: net.stats(),
+    })
 }
 
 #[cfg(test)]
@@ -270,7 +281,13 @@ mod tests {
         }
         let g = generators::path(3).unwrap();
         let err = run_program(&g, |_| Forever, 5).unwrap_err();
-        assert!(matches!(err, ProgramError::RoundLimitExceeded { still_running: 3, .. }));
+        assert!(matches!(
+            err,
+            ProgramError::RoundLimitExceeded {
+                still_running: 3,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -283,11 +300,7 @@ mod tests {
         impl NodeProgram for HaltFirst {
             type Message = u32;
             type Output = usize;
-            fn round(
-                &mut self,
-                _ctx: &NodeContext,
-                inbox: &[(usize, u32)],
-            ) -> Outcome<u32, usize> {
+            fn round(&mut self, _ctx: &NodeContext, inbox: &[(usize, u32)]) -> Outcome<u32, usize> {
                 if self.me == 0 {
                     return Outcome::Halt(0);
                 }

@@ -100,7 +100,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     for v in g.vertices() {
         if !in_set[v.index()] {
-            assert!(g.neighbors(v).any(|u| in_set[u.index()]), "not maximal at {v}");
+            assert!(
+                g.neighbors(v).any(|u| in_set[u.index()]),
+                "not maximal at {v}"
+            );
         }
     }
     println!(

@@ -36,14 +36,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Distributed schedule: jobs are the A side (they label their tasks);
     // machines greedily pick rounds. Palette deg_A + deg_B − 1 ≤ 2Δ − 1.
-    let deg_a = (0..jobs).map(|j| g.degree(decolor::graph::VertexId::new(j))).max().unwrap_or(0);
+    let deg_a = (0..jobs)
+        .map(|j| g.degree(decolor::graph::VertexId::new(j)))
+        .max()
+        .unwrap_or(0);
     let deg_b = (0..machines)
         .map(|m| g.degree(decolor::graph::VertexId::new(jobs + m)))
         .max()
         .unwrap_or(0);
     let in_a: Vec<bool> = (0..jobs + machines).map(|v| v < jobs).collect();
-    let (schedule, stats) =
-        one_sided_edge_coloring(&g, &in_a, (deg_a + deg_b - 1) as u64)?;
+    let (schedule, stats) = one_sided_edge_coloring(&g, &in_a, (deg_a + deg_b - 1) as u64)?;
     println!(
         "distributed schedule: makespan {} rounds (deg_A + deg_B − 1 = {}), {} LOCAL rounds",
         schedule.distinct_colors(),
@@ -69,7 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("J{}→M{}", u.index(), v.index() - jobs)
             })
             .collect();
-        println!("  round {round}: {} tasks ({}…)", tasks.len(), pretty.join(", "));
+        println!(
+            "  round {round}: {} tasks ({}…)",
+            tasks.len(),
+            pretty.join(", ")
+        );
     }
     Ok(())
 }

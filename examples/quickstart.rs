@@ -12,7 +12,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A random 16-regular communication network on 512 nodes.
     let g = generators::random_regular(512, 16, 42)?;
     let delta = g.max_degree();
-    println!("graph: n = {}, m = {}, Δ = {delta}", g.num_vertices(), g.num_edges());
+    println!(
+        "graph: n = {}, m = {}, Δ = {delta}",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     // The paper's Theorem 4.1 with x = 1: a 4Δ-edge-coloring.
     let result = star_partition_edge_coloring(&g, &StarPartitionParams::for_levels(&g, 1))?;
@@ -36,8 +40,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Baselines: centralized optimum and the greedy floor.
     let vizing = misra_gries_edge_coloring(&g);
-    println!("misra–gries (centralized): {} colors (Δ + 1 = {})", vizing.palette(), delta + 1);
+    println!(
+        "misra–gries (centralized): {} colors (Δ + 1 = {})",
+        vizing.palette(),
+        delta + 1
+    );
     let greedy = greedy_edge_coloring(&g);
-    println!("greedy (centralized):      {} colors (2Δ − 1 = {})", greedy.palette(), 2 * delta - 1);
+    println!(
+        "greedy (centralized):      {} colors (2Δ − 1 = {})",
+        greedy.palette(),
+        2 * delta - 1
+    );
     Ok(())
 }

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Build-surface check: everything that must *compile and launch* beyond
+# `cargo build && cargo test` — the facade examples, the criterion bench
+# suites, and the CLI binary end-to-end. Run from the repo root; CI runs
+# this verbatim.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> examples compile (facade crate)"
+cargo build --examples
+
+expected_examples=(custom_local_algorithm frequency_assignment hypergraph_diversity
+    open_shop_scheduling quickstart sensor_scheduling)
+for ex in "${expected_examples[@]}"; do
+    [[ -f "examples/$ex.rs" ]] || { echo "missing example source: $ex"; exit 1; }
+    [[ -x "target/debug/examples/$ex" ]] || { echo "example did not build: $ex"; exit 1; }
+done
+echo "    all ${#expected_examples[@]} examples built"
+
+echo "==> bench suites compile (criterion, harness = false)"
+cargo bench --no-run --workspace
+expected_benches=(table1_edge_coloring table2_diversity_coloring section5_arboricity
+    connectors subroutines ablations)
+for b in "${expected_benches[@]}"; do
+    [[ -f "crates/bench/benches/$b.rs" ]] || { echo "missing bench source: $b"; exit 1; }
+done
+echo "    all ${#expected_benches[@]} bench suites compiled"
+
+echo "==> CLI end-to-end"
+# Also covered by `cargo test --workspace`; kept so this script alone
+# certifies the whole build surface (it costs <1 s once compiled).
+cargo test -q -p decolor-cli
+cargo run -q -p decolor-cli -- --help >/dev/null
+cargo run -q -p decolor-cli -- --version
+
+echo "build surface OK"

@@ -1,15 +1,15 @@
 //! Cross-crate integration tests: the full pipelines a downstream user
 //! would run, from generator to validated coloring.
 
+use decolor::baselines::distributed::two_delta_minus_one_edge_coloring;
 use decolor::baselines::greedy::{greedy_degeneracy_coloring, greedy_edge_coloring};
 use decolor::baselines::misra_gries::misra_gries_edge_coloring;
-use decolor::baselines::distributed::two_delta_minus_one_edge_coloring;
 use decolor::core::arboricity::{corollary55, theorem52, theorem53, theorem54};
 use decolor::core::cd_coloring::{cd_coloring, cd_edge_coloring, CdParams};
 use decolor::core::delta_plus_one::SubroutineConfig;
 use decolor::core::star_partition::{star_partition_edge_coloring, StarPartitionParams};
-use decolor::graph::line_graph::LineGraph;
 use decolor::graph::generators;
+use decolor::graph::line_graph::LineGraph;
 use decolor::runtime::IdAssignment;
 
 #[test]
@@ -112,8 +112,13 @@ fn vertex_coloring_of_line_graph_is_edge_coloring() {
     let g = generators::gnm(60, 200, 6).unwrap();
     let lg = LineGraph::new(&g);
     let ids = IdAssignment::sequential(lg.graph.num_vertices());
-    let res = cd_coloring(&lg.graph, &lg.cover, &CdParams::for_levels(g.max_degree(), 1), &ids)
-        .unwrap();
+    let res = cd_coloring(
+        &lg.graph,
+        &lg.cover,
+        &CdParams::for_levels(g.max_degree(), 1),
+        &ids,
+    )
+    .unwrap();
     let ec = lg.to_edge_coloring(&res.coloring).unwrap();
     assert!(ec.is_proper(&g));
 }

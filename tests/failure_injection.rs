@@ -24,7 +24,11 @@ fn cd_coloring_detects_inconsistent_cover() {
     let bad = CliqueCover::new_unchecked(8, singletons).unwrap();
     assert!(bad.validate(&g).is_err(), "cover really is inconsistent");
     let ids = IdAssignment::sequential(8);
-    let params = CdParams { t: 2, x: 1, ..CdParams::default() };
+    let params = CdParams {
+        t: 2,
+        x: 1,
+        ..CdParams::default()
+    };
     let err = cd_coloring(&g, &bad, &params, &ids).unwrap_err();
     match err {
         AlgoError::InvariantViolated { reason } => {
@@ -59,7 +63,10 @@ fn arboricity_underestimate_stalls_cleanly() {
     // cannot peel the dense core.
     let g = generators::gnm(60, 60 * 8, 1).unwrap();
     let res = theorem52(&g, 1, 2.0, SubroutineConfig::default());
-    assert!(res.is_err(), "must not silently succeed with a wrong arboricity");
+    assert!(
+        res.is_err(),
+        "must not silently succeed with a wrong arboricity"
+    );
 }
 
 #[test]

@@ -7,8 +7,8 @@ use decolor::core::cd_coloring::{cd_coloring, CdParams};
 use decolor::core::delta_plus_one::SubroutineConfig;
 use decolor::core::linial::{final_palette_bound, linial_coloring};
 use decolor::core::star_partition::{star_partition_edge_coloring, StarPartitionParams};
-use decolor::graph::line_graph::LineGraph;
 use decolor::graph::generators;
+use decolor::graph::line_graph::LineGraph;
 use decolor::runtime::{IdAssignment, Network};
 
 #[test]
@@ -24,8 +24,10 @@ fn linial_log_star_rounds_scale() {
         assert!(res.coloring.palette() <= final_palette_bound(4));
         rounds.push(net.stats().rounds);
     }
-    assert!(rounds.iter().max().unwrap() - rounds.iter().min().unwrap() <= 2,
-        "rounds should be ~flat in n: {rounds:?}");
+    assert!(
+        rounds.iter().max().unwrap() - rounds.iter().min().unwrap() <= 2,
+        "rounds should be ~flat in n: {rounds:?}"
+    );
 }
 
 #[test]

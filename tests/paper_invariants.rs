@@ -6,8 +6,8 @@ use decolor::core::connectors::clique::clique_connector;
 use decolor::core::connectors::edge::edge_connector;
 use decolor::core::h_partition::h_partition_for_arboricity;
 use decolor::core::star_partition::{star_partition_edge_coloring, StarPartitionParams};
-use decolor::graph::line_graph::LineGraph;
 use decolor::graph::generators;
+use decolor::graph::line_graph::LineGraph;
 use decolor::runtime::IdAssignment;
 use proptest::prelude::*;
 

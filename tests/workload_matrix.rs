@@ -17,11 +17,20 @@ fn zoo() -> Vec<(&'static str, Graph)> {
     vec![
         ("torus", generators::torus(8, 9).unwrap()),
         ("hypercube", generators::hypercube(6).unwrap()),
-        ("barabasi_albert", generators::barabasi_albert(150, 3, 1).unwrap()),
+        (
+            "barabasi_albert",
+            generators::barabasi_albert(150, 3, 1).unwrap(),
+        ),
         ("caterpillar", generators::caterpillar(20, 5).unwrap()),
         ("unit_disk", generators::unit_disk(150, 0.12, 2).unwrap()),
-        ("complete_bipartite", generators::complete_bipartite(9, 11).unwrap()),
-        ("random_bipartite", generators::random_bipartite(30, 40, 0.15, 3).unwrap()),
+        (
+            "complete_bipartite",
+            generators::complete_bipartite(9, 11).unwrap(),
+        ),
+        (
+            "random_bipartite",
+            generators::random_bipartite(30, 40, 0.15, 3).unwrap(),
+        ),
         ("grid", generators::grid(10, 11).unwrap()),
         ("gnp", generators::gnp(80, 0.08, 4).unwrap()),
         ("rooks", ops::rooks_graph(6, 7).unwrap().0),
@@ -62,7 +71,10 @@ fn cd_coloring_across_the_zoo() {
             continue;
         }
         let lg = LineGraph::new(&g);
-        assert!(lg.cover.diversity() <= 2, "{name}: line diversity must be ≤ 2");
+        assert!(
+            lg.cover.diversity() <= 2,
+            "{name}: line diversity must be ≤ 2"
+        );
         let params = CdParams::for_levels(lg.cover.max_clique_size().max(2), 1);
         let ids = IdAssignment::shuffled(lg.graph.num_vertices(), 7);
         let res = cd_coloring(&lg.graph, &lg.cover, &params, &ids)
@@ -115,8 +127,7 @@ fn hypercube_symmetry_is_fully_broken() {
     // Vertex-transitive graphs are the adversarial case for deterministic
     // symmetry breaking: only IDs distinguish vertices.
     let g = generators::hypercube(7).unwrap();
-    let res =
-        star_partition_edge_coloring(&g, &StarPartitionParams::for_levels(&g, 1)).unwrap();
+    let res = star_partition_edge_coloring(&g, &StarPartitionParams::for_levels(&g, 1)).unwrap();
     assert!(res.coloring.is_proper(&g));
     assert!(res.coloring.palette() <= 4 * 7);
 }

@@ -1,0 +1,199 @@
+//! Offline shim for the subset of `criterion` used by this workspace
+//! (see `vendor/README.md`).
+//!
+//! Implements the API shape the bench suites are written against —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`criterion_group!`] / [`criterion_main!`], [`black_box`] — as a small
+//! wall-clock harness: each benchmark runs `sample_size` timed samples
+//! after one warm-up and prints min/mean times. No statistics, plots, or
+//! baselines; swapping in the real criterion later is a manifest change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Returns `x` opaque to the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle, one per process.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// Identifier of one benchmark within a group: a name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`, as in the real criterion.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark; `f` receives a [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        // One warm-up plus `sample_size` timed samples.
+        for _ in 0..=self.sample_size {
+            f(&mut b);
+        }
+        self.report(&id.into(), &b.samples);
+        self
+    }
+
+    /// Runs one parameterized benchmark; `f` receives the input too.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        for _ in 0..=self.sample_size {
+            f(&mut b, input);
+        }
+        self.report(&id.into(), &b.samples);
+        self
+    }
+
+    /// Finishes the group (printing is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, samples: &[Duration]) {
+        // Drop the warm-up sample recorded first.
+        let timed = samples.get(1..).unwrap_or(&[]);
+        if timed.is_empty() {
+            println!("{}/{}: no samples", self.name, id.id);
+            return;
+        }
+        let min = timed.iter().min().unwrap();
+        let total: Duration = timed.iter().sum();
+        let mean = total / timed.len() as u32;
+        println!(
+            "{}/{}: min {:?}, mean {:?} over {} samples",
+            self.name,
+            id.id,
+            min,
+            mean,
+            timed.len()
+        );
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one sample of `routine` (result is passed to [`black_box`]).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3);
+            g.bench_function("count", |b| b.iter(|| runs += 1));
+            g.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        assert_eq!(runs, 4); // warm-up + 3 samples
+    }
+}

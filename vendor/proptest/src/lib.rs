@@ -1,0 +1,172 @@
+//! Offline shim for the subset of `proptest` used by this workspace (see
+//! `vendor/README.md`).
+//!
+//! Supports the [`proptest!`] macro form used in the test suites:
+//!
+//! ```text
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(24))]
+//!     #[test]
+//!     fn name(a in 0usize..60, seed in 0u64..1000) { ... }
+//! }
+//! ```
+//!
+//! Each test runs `cases` times with inputs drawn from the range
+//! [`Strategy`]s by a deterministic per-case splitmix64 generator, so runs
+//! are reproducible. No shrinking: on failure the assert message reports
+//! the case number, and re-running reproduces it exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-case generator (splitmix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the generator for case number `case` of a test.
+    pub fn for_case(case: u32) -> Self {
+        // Distinct, fixed stream per case; goldens the whole suite.
+        TestRng {
+            state: 0xDEC0_1043 ^ (u64::from(case) << 32 | u64::from(case)),
+        }
+    }
+
+    /// Returns the next raw value of the stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A source of random values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi - lo) as u64 + 1;
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_range!(usize, u64, u32, u16, u8);
+
+/// Everything a `use proptest::prelude::*;` test file needs.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Property-test entry point; see the crate docs for the supported form.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::TestRng::for_case(__case);
+                    $( let $arg = $crate::Strategy::sample(&($strategy), &mut __rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Drawn values respect their ranges and are deterministic.
+        #[test]
+        fn ranges_respected(n in 2usize..60, seed in 0u64..1000) {
+            prop_assert!((2..60).contains(&n));
+            prop_assert!(seed < 1000);
+        }
+    }
+
+    #[test]
+    fn per_case_streams_are_deterministic() {
+        let a = TestRng::for_case(3).next_u64();
+        let b = TestRng::for_case(3).next_u64();
+        let c = TestRng::for_case(4).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,56 @@
+//! Offline shim for the subset of `rayon` used by this workspace (see
+//! `vendor/README.md`).
+//!
+//! `par_iter()` returns a plain sequential [`std::slice::Iter`], so every
+//! adapter (`map`, `filter`, `collect`, …) is the std `Iterator` API and
+//! results are bit-identical to a sequential run. Swapping in the real
+//! rayon later only changes execution, not semantics — the call sites are
+//! written against the rayon names. ROADMAP "Open items" tracks restoring
+//! true parallelism here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The subset of the rayon prelude used in this workspace.
+pub mod prelude {
+    /// `.par_iter()` over `&self`, as in rayon's trait of the same name.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator produced (sequential in this shim).
+        type Iter: Iterator<Item = Self::Item>;
+        /// The reference item type.
+        type Item: 'data;
+
+        /// Returns a "parallel" (here: sequential) iterator over `&self`.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1u32, 2, 3];
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` against the vendored `serde` shim's
+//! `Value`-based data model (see `vendor/README.md`).
+//!
+//! Supported shapes — the ones used in this workspace:
+//!
+//! * structs with named fields → JSON objects, field order preserved;
+//! * newtype structs (one unnamed field) → serialized transparently.
+//!
+//! Written against `proc_macro` directly (no `syn`/`quote`, which are
+//! unavailable offline); unsupported shapes (enums, generics, multi-field
+//! tuple structs) panic with a clear message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a deriving struct.
+enum Shape {
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+    /// A newtype struct (exactly one unnamed field).
+    Newtype,
+}
+
+/// Parses `input` (the item a derive is attached to) into a struct name
+/// and field shape. Panics on unsupported shapes.
+fn parse_struct(input: TokenStream) -> (String, Shape) {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    let name = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match iter.next() {
+                Some(TokenTree::Ident(n)) => break n.to_string(),
+                other => panic!("serde_derive shim: expected struct name, got {other:?}"),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                panic!("serde_derive shim: enums are not supported")
+            }
+            Some(tt) => panic!("serde_derive shim: unexpected token {tt}"),
+            None => panic!("serde_derive shim: ran out of tokens before `struct`"),
+        }
+    };
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            (name, Shape::Named(named_fields(g.stream())))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let n = tuple_field_count(g.stream());
+            assert!(
+                n == 1,
+                "serde_derive shim: tuple structs with {n} fields are not supported (only newtypes)"
+            );
+            (name, Shape::Newtype)
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive shim: generic structs are not supported")
+        }
+        other => panic!("serde_derive shim: unexpected struct body {other:?}"),
+    }
+}
+
+/// Extracts field names from the token stream of a brace-delimited field
+/// list. Commas inside generic arguments (`BTreeMap<K, V>`) are skipped by
+/// tracking `<`/`>` depth; parenthesized/bracketed types are opaque groups.
+fn named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut expecting_name = true;
+    let mut last_ident: Option<String> = None;
+    let mut iter = stream.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' && expecting_name => {
+                iter.next(); // field attribute / doc comment
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ':' && angle_depth == 0 && expecting_name => {
+                // `::` only occurs inside types, i.e. after the name `:`.
+                fields.push(last_ident.take().expect("field name before `:`"));
+                expecting_name = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                expecting_name = true;
+                last_ident = None;
+            }
+            TokenTree::Ident(id) if expecting_name => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Counts top-level fields of a paren-delimited (tuple struct) field list.
+fn tuple_field_count(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => commas += 1,
+            _ => any = true,
+        }
+    }
+    if !any {
+        0
+    } else {
+        commas + 1
+    }
+}
+
+/// `#[derive(Serialize)]`: emits an `impl ::serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_struct(input);
+    let body = match shape {
+        Shape::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __fields = ::std::vec::Vec::new(); {pushes} \
+                 ::serde::Value::Object(__fields)"
+            )
+        }
+        Shape::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+/// `#[derive(Deserialize)]`: emits an `impl ::serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_struct(input);
+    let body = match shape {
+        Shape::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__v.get_field({f:?})?)?,"))
+                .collect();
+            format!("::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Shape::Newtype => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+             fn from_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .expect("serde_derive shim: generated Deserialize impl must parse")
+}

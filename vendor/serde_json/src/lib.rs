@@ -1,0 +1,402 @@
+//! Offline shim for the subset of `serde_json` used by this workspace
+//! (see `vendor/README.md`): [`to_string`], [`to_string_pretty`],
+//! [`from_str`], and the [`json!`] macro, all built on the vendored
+//! `serde` shim's [`Value`] tree.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde::{Error, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Converts `value` to a [`Value`] tree (used by [`json!`]).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes `value` as a compact JSON string.
+///
+/// # Errors
+///
+/// Infallible for tree-shaped data; the `Result` mirrors the real
+/// `serde_json` signature so call sites are source-compatible.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Infallible for tree-shaped data; see [`to_string`].
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Deserializes a `T` from JSON text.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    T::from_value(&v)
+}
+
+/// Builds a [`Value`] from a JSON-like literal. Supports the subset used
+/// in this workspace: object literals with string-literal keys, array
+/// literals, `null`, and arbitrary `Serialize` expressions as values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(x) => out.push_str(&x.to_string()),
+        Value::U64(x) => out.push_str(&x.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                out.push_str(&format!("{x:?}"))
+            } else {
+                out.push_str("null")
+            }
+        }
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => write_seq(out, indent, depth, items.is_empty(), "[", "]", |o| {
+            for (i, item) in items.iter().enumerate() {
+                seq_sep(o, indent, depth + 1, i == 0);
+                write_value(item, o, indent, depth + 1);
+            }
+        }),
+        Value::Object(fields) => write_seq(out, indent, depth, fields.is_empty(), "{", "}", |o| {
+            for (i, (k, val)) in fields.iter().enumerate() {
+                seq_sep(o, indent, depth + 1, i == 0);
+                write_escaped(k, o);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(val, o, indent, depth + 1);
+            }
+        }),
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    empty: bool,
+    open: &str,
+    close: &str,
+    body: impl FnOnce(&mut String),
+) {
+    out.push_str(open);
+    if !empty {
+        body(out);
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * depth));
+        }
+    }
+    out.push_str(close);
+}
+
+fn seq_sep(out: &mut String, indent: Option<usize>, depth: usize, first: bool) {
+    if !first {
+        out.push(',');
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(Error::new(format!(
+                "unexpected character `{}` at byte {}",
+                c as char, self.pos
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| Error::new("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for this
+                            // workspace's data; reject rather than corrupt.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| Error::new("invalid \\u code point"))?;
+                            s.push(c);
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().unwrap();
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|e| Error::new(format!("bad number `{text}`: {e}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|e| Error::new(format!("bad number `{text}`: {e}")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|e| Error::new(format!("bad number `{text}`: {e}")))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.parse_value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_compact_and_pretty() {
+        let v = json!({ "n": 3usize, "edges": [json!([0usize, 1usize]), json!([1usize, 2usize])] });
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, r#"{"n":3,"edges":[[0,1],[1,2]]}"#);
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"n\": 3"));
+        assert_eq!(from_str::<Value>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn typed_from_str() {
+        let pairs: Vec<(usize, usize)> = from_str("[[0,1],[2,3]]").unwrap();
+        assert_eq!(pairs, vec![(0, 1), (2, 3)]);
+        assert!(from_str::<Vec<usize>>("[1,2,").is_err());
+        assert!(from_str::<Vec<usize>>("[1] junk").is_err());
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = to_string(&"a\"b\\c\nd").unwrap();
+        assert_eq!(s, r#""a\"b\\c\nd""#);
+        assert_eq!(from_str::<String>(&s).unwrap(), "a\"b\\c\nd");
+    }
+}
