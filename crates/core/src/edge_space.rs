@@ -1,0 +1,410 @@
+//! Direct **edge-space** (2Δ − 1)-edge-coloring — the Panconesi–Rizzi
+//! \[33\] baseline family without materializing the line graph.
+//!
+//! [`edge_coloring_with_target`](crate::delta_plus_one::edge_coloring_with_target)
+//! realizes an edge coloring by *building* L(G) and running the vertex
+//! pipeline on it: O(Σ_v deg(v)²) memory for the line-graph structure
+//! before a single round executes, which caps the harness at Δ ≤ 32.
+//! [`edge_coloring_direct`] runs the **same algorithm** (Linial's
+//! iteration followed by the configured color reduction) with each edge
+//! acting as an agent that exchanges colors over its ≤ 2Δ − 2 incident
+//! edges, reading neighbor colors straight off `G`'s incidence structure:
+//!
+//! * no L(G) is ever built — memory stays O(n + m);
+//! * per round, only the *deciding* color class gathers its
+//!   neighborhoods (a color-bucket index finds the class without an O(m)
+//!   scan), while non-deciding agents skip inbox work entirely;
+//! * the round/message ledger still charges every round at its full
+//!   LOCAL cost — one incident-color-list broadcast on `G` per round —
+//!   so measured *rounds* are identical to the line-graph pipeline
+//!   (including the one setup round of §4) and only the message
+//!   accounting reflects the on-`G` realization.
+//!
+//! The produced coloring is **bit-identical** to the line-graph path on
+//! simple graphs (same Linial trajectory, same reduction decisions); the
+//! equivalence is asserted by tests below and in
+//! `decolor-baselines`.
+
+use decolor_graph::coloring::EdgeColoring;
+use decolor_graph::{EdgeId, Graph};
+use decolor_runtime::NetworkStats;
+
+use crate::delta_plus_one::{ReductionStrategy, SubroutineConfig};
+use crate::error::AlgoError;
+use crate::linial::{choose_parameters, eval_poly, final_palette_bound};
+
+/// Calls `f` with the current color of every L(G)-neighbor of `e` (edges
+/// sharing an endpoint with `e`, with multigraph multiplicity).
+#[inline]
+fn for_each_incident_color(g: &Graph, colors: &[u64], e: EdgeId, mut f: impl FnMut(u64)) {
+    let [u, v] = g.endpoints(e);
+    for &(_, other) in g.incidence(u) {
+        if other != e {
+            f(colors[other.index()]);
+        }
+    }
+    for &(_, other) in g.incidence(v) {
+        if other != e {
+            f(colors[other.index()]);
+        }
+    }
+}
+
+/// Color-class buckets over the edge set, kept exact by moving each edge
+/// on recolor. `take(c)` drains a class in O(|class|).
+struct ClassIndex {
+    buckets: Vec<Vec<u32>>,
+}
+
+impl ClassIndex {
+    fn build(colors: &[u64], palette: u64) -> Self {
+        let mut buckets = vec![Vec::new(); palette as usize];
+        for (e, &c) in colors.iter().enumerate() {
+            buckets[c as usize].push(e as u32);
+        }
+        ClassIndex { buckets }
+    }
+
+    #[inline]
+    fn take(&mut self, color: u64) -> Vec<u32> {
+        std::mem::take(&mut self.buckets[color as usize])
+    }
+
+    #[inline]
+    fn put(&mut self, color: u64, e: u32) {
+        self.buckets[color as usize].push(e);
+    }
+}
+
+/// Smallest color `< limit` not marked in `taken` by the closure-driven
+/// marking pass; `taken` is reset (only the marked prefix) before use.
+struct MexScratch {
+    taken: Vec<bool>,
+}
+
+impl MexScratch {
+    fn new() -> Self {
+        MexScratch { taken: Vec::new() }
+    }
+
+    /// Marks every `c < limit` yielded by `mark`, then returns the mex.
+    fn mex_below(&mut self, limit: u64, mark: impl FnOnce(&mut dyn FnMut(u64))) -> Option<u64> {
+        let limit = limit as usize;
+        if self.taken.len() < limit {
+            self.taken.resize(limit, false);
+        }
+        self.taken[..limit].fill(false);
+        let taken = &mut self.taken;
+        mark(&mut |c| {
+            if (c as usize) < limit {
+                taken[c as usize] = true;
+            }
+        });
+        self.taken[..limit]
+            .iter()
+            .position(|&t| !t)
+            .map(|p| p as u64)
+    }
+}
+
+/// Computes a proper edge coloring of `g` with `target ≥ 2Δ − 1` colors
+/// directly in edge space, plus the measured LOCAL statistics.
+///
+/// Algorithmically identical to
+/// [`edge_coloring_with_target`](crate::delta_plus_one::edge_coloring_with_target)
+/// (Linial from the edge-index identifiers, then the configured
+/// reduction), but simulated on `G` itself: rounds match the line-graph
+/// pipeline exactly, the (2Δ − 1) palette is exact, and no line graph is
+/// materialized — so Δ = 128 and beyond stay harness-scale.
+///
+/// # Errors
+///
+/// [`AlgoError::InvalidParameters`] if `target < 2Δ − 1`.
+pub fn edge_coloring_direct(
+    g: &Graph,
+    target: u64,
+    cfg: SubroutineConfig,
+) -> Result<(EdgeColoring, NetworkStats), AlgoError> {
+    let m = g.num_edges();
+    let delta = g.max_degree() as u64;
+    if m == 0 {
+        let empty = EdgeColoring::new(vec![], 1).map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
+        return Ok((empty, NetworkStats::default()));
+    }
+    let needed = 2 * delta - 1;
+    if target < needed {
+        return Err(AlgoError::InvalidParameters {
+            reason: format!("target {target} below 2Δ − 1 = {needed}"),
+        });
+    }
+    // Maximum degree of the (never materialized) line graph.
+    let delta_l: u64 = g
+        .edge_list()
+        .map(|(_, [u, v])| (g.degree(u) + g.degree(v) - 2) as u64)
+        .max()
+        .unwrap_or(0);
+
+    // One communication round of the edge-space realization: every vertex
+    // broadcasts its incident-color list on all ports.
+    let round_cost = NetworkStats {
+        rounds: 1,
+        messages: 2 * m as u64,
+        payload_bytes: g
+            .vertices()
+            .map(|v| (g.degree(v) * g.degree(v)) as u64)
+            .sum::<u64>()
+            * std::mem::size_of::<u64>() as u64,
+    };
+    // The §4 setup round (vertices agree to simulate their edge agents),
+    // mirroring the line-graph pipeline's charge.
+    let mut stats = NetworkStats {
+        rounds: 1,
+        ..Default::default()
+    };
+
+    let mut colors: Vec<u64> = (0..m as u64).collect();
+    let mut palette = m as u64;
+
+    if delta_l > 0 {
+        // Phase 1: Linial's iteration from the edge-index identifiers down
+        // to the O(Δ_L²) fixed point. Every agent recolors each round, so
+        // the whole edge set gathers; a snapshot keeps rounds synchronous.
+        let fixed = final_palette_bound(delta_l as usize);
+        let mut prev = colors.clone();
+        while palette > fixed {
+            let (q, _) = choose_parameters(palette, delta_l);
+            if q * q >= palette {
+                break; // fixed point reached early
+            }
+            prev.copy_from_slice(&colors);
+            for e in g.edges() {
+                let my = prev[e.index()];
+                let mut alpha = None;
+                'points: for a in 0..q {
+                    let mine = eval_poly(my, q, a);
+                    let mut collided = false;
+                    for_each_incident_color(g, &prev, e, |their| {
+                        if !collided && their != my && eval_poly(their, q, a) == mine {
+                            collided = true;
+                        }
+                    });
+                    if collided {
+                        continue 'points;
+                    }
+                    alpha = Some(a);
+                    break;
+                }
+                let a = alpha.expect("a valid evaluation point exists by the pigeonhole argument");
+                colors[e.index()] = a * q + eval_poly(my, q, a);
+            }
+            palette = q * q;
+            stats = stats.then(round_cost);
+        }
+    } else {
+        // Isolated edges only: every agent takes color 0 silently.
+        colors.fill(0);
+        palette = 1;
+    }
+
+    // Phase 2: color reduction to `target`, per the configured strategy.
+    // Only the deciding class gathers each round; every round is still
+    // charged at full broadcast cost.
+    let mut scratch = MexScratch::new();
+    let final_palette = match cfg.reduction {
+        ReductionStrategy::Basic => basic_phase(
+            g,
+            &mut colors,
+            palette,
+            target,
+            &mut scratch,
+            &mut stats,
+            round_cost,
+        ),
+        ReductionStrategy::KuhnWattenhofer => kw_phase(
+            g,
+            &mut colors,
+            palette,
+            target,
+            &mut scratch,
+            &mut stats,
+            round_cost,
+        ),
+    };
+
+    let colors_u32: Vec<u32> = colors
+        .iter()
+        .map(|&c| u32::try_from(c).expect("palette fits u32 after reduction"))
+        .collect();
+    let ec =
+        EdgeColoring::new(colors_u32, final_palette).map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
+    debug_assert!(ec.is_proper(g));
+    Ok((ec, stats))
+}
+
+/// Basic reduction in edge space: one top color class per round, each
+/// class a matching in L(G)-adjacency terms, so its agents decide
+/// simultaneously and in place.
+fn basic_phase(
+    g: &Graph,
+    colors: &mut [u64],
+    palette: u64,
+    target: u64,
+    scratch: &mut MexScratch,
+    stats: &mut NetworkStats,
+    round_cost: NetworkStats,
+) -> u64 {
+    if palette <= target {
+        return palette.max(1);
+    }
+    let mut classes = ClassIndex::build(colors, palette);
+    for top in (target..palette).rev() {
+        for e in classes.take(top) {
+            let eid = EdgeId::new(e as usize);
+            let free = scratch
+                .mex_below(target, |mark| for_each_incident_color(g, colors, eid, mark))
+                .expect("2Δ − 2 incident edges cannot block 2Δ − 1 colors");
+            colors[e as usize] = free;
+            classes.put(free, e);
+        }
+        *stats = stats.then(round_cost);
+    }
+    target
+}
+
+/// Kuhn–Wattenhofer reduction in edge space: blockwise halving phases
+/// (vertex-disjoint palette blocks run in the same rounds), then the
+/// basic tail — the exact decision sequence of
+/// [`reduction::kw_reduction`](crate::reduction::kw_reduction) on L(G).
+fn kw_phase(
+    g: &Graph,
+    colors: &mut [u64],
+    palette: u64,
+    target: u64,
+    scratch: &mut MexScratch,
+    stats: &mut NetworkStats,
+    round_cost: NetworkStats,
+) -> u64 {
+    let t = target;
+    let mut m = palette.max(1);
+    while m > 2 * t {
+        let blocks = m.div_ceil(2 * t);
+        let mut classes = ClassIndex::build(colors, blocks * 2 * t);
+        for step in 0..t {
+            let top_local = 2 * t - 1 - step;
+            for b in 0..blocks {
+                for e in classes.take(b * 2 * t + top_local) {
+                    let eid = EdgeId::new(e as usize);
+                    // Only same-block neighbors constrain the local mex.
+                    let free = scratch
+                        .mex_below(t, |mark| {
+                            for_each_incident_color(g, colors, eid, |c| {
+                                if c / (2 * t) == b {
+                                    mark(c % (2 * t));
+                                }
+                            })
+                        })
+                        .expect("Δ_L same-block neighbors cannot block t ≥ Δ_L + 1 colors");
+                    let recolored = b * 2 * t + free;
+                    colors[e as usize] = recolored;
+                    classes.put(recolored, e);
+                }
+            }
+            *stats = stats.then(round_cost);
+        }
+        // All local colors are now < t; renumber blocks densely (local).
+        for c in colors.iter_mut() {
+            let b = *c / (2 * t);
+            let local = *c % (2 * t);
+            debug_assert!(local < t, "halving phase left a local color ≥ t");
+            *c = b * t + local;
+        }
+        m = blocks * t;
+    }
+    if m <= t {
+        return m.max(1);
+    }
+    basic_phase(g, colors, m, t, scratch, stats, round_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta_plus_one::edge_coloring_with_target;
+    use decolor_graph::generators;
+
+    #[test]
+    fn matches_line_graph_pipeline_bit_for_bit() {
+        for (g, label) in [
+            (generators::gnm(80, 320, 5).unwrap(), "gnm(80,320)"),
+            (generators::random_regular(60, 10, 2).unwrap(), "10-regular"),
+            (generators::path(12).unwrap(), "path"),
+            (generators::complete(9).unwrap(), "K9"),
+        ] {
+            let delta = g.max_degree() as u64;
+            for target in [2 * delta - 1, 2 * delta + 6] {
+                let (direct, ds) =
+                    edge_coloring_direct(&g, target, SubroutineConfig::default()).unwrap();
+                let (via_lg, ls) =
+                    edge_coloring_with_target(&g, target, SubroutineConfig::default()).unwrap();
+                assert_eq!(
+                    direct.as_slice(),
+                    via_lg.as_slice(),
+                    "colorings diverge on {label} at target {target}"
+                );
+                assert_eq!(direct.palette(), via_lg.palette());
+                assert_eq!(
+                    ds.rounds, ls.rounds,
+                    "round counts diverge on {label} at target {target}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn basic_strategy_also_matches() {
+        let g = generators::gnm(50, 160, 7).unwrap();
+        let delta = g.max_degree() as u64;
+        let cfg = SubroutineConfig {
+            reduction: ReductionStrategy::Basic,
+        };
+        let (direct, ds) = edge_coloring_direct(&g, 2 * delta - 1, cfg).unwrap();
+        let (via_lg, ls) = edge_coloring_with_target(&g, 2 * delta - 1, cfg).unwrap();
+        assert_eq!(direct.as_slice(), via_lg.as_slice());
+        assert_eq!(ds.rounds, ls.rounds);
+    }
+
+    #[test]
+    fn proper_and_exact_palette_at_larger_delta() {
+        // Δ = 40 here would already need a 39-regular line graph of
+        // ~12k vertices; direct edge space stays O(n + m).
+        let g = generators::random_regular(128, 40, 11).unwrap();
+        let (ec, stats) = edge_coloring_direct(&g, 79, SubroutineConfig::default()).unwrap();
+        assert!(ec.is_proper(&g));
+        assert_eq!(ec.palette(), 79);
+        assert!(stats.rounds > 0);
+        assert_eq!(stats.messages % (2 * g.num_edges() as u64), 0);
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        let g = decolor_graph::GraphBuilder::new(3).build();
+        let (ec, stats) = edge_coloring_direct(&g, 1, SubroutineConfig::default()).unwrap();
+        assert!(ec.is_empty());
+        assert_eq!(stats.rounds, 0);
+
+        let g = generators::path(2).unwrap();
+        let (ec, _) = edge_coloring_direct(&g, 1, SubroutineConfig::default()).unwrap();
+        assert!(ec.is_proper(&g));
+        assert_eq!(ec.palette(), 1);
+    }
+
+    #[test]
+    fn rejects_tight_target() {
+        let g = generators::complete(5).unwrap();
+        assert!(edge_coloring_direct(&g, 6, SubroutineConfig::default()).is_err());
+    }
+}

@@ -5,6 +5,9 @@
 //!
 //! * [`linial`] / [`reduction`] / [`delta_plus_one`] — the coloring
 //!   subroutine stack standing in for the paper's black box \[17\].
+//! * [`edge_space`] — the same edge-coloring pipeline run directly on
+//!   edge agents (no line-graph materialization), used by the (2Δ − 1)
+//!   baseline at large Δ.
 //! * [`connectors`] — the three connector constructions: clique connectors
 //!   (§2), edge connectors (§4) and orientation connectors (§5).
 //! * [`cd_coloring`] — Algorithm 1 (CD-Coloring) via clique
@@ -31,6 +34,7 @@ pub mod connectors;
 pub mod crossing_merge;
 pub mod decomposition;
 pub mod delta_plus_one;
+pub mod edge_space;
 mod error;
 pub mod h_partition;
 pub mod linial;

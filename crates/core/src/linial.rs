@@ -14,7 +14,8 @@
 //! optimization, an inherited proper coloring of a parent graph.
 
 use decolor_graph::coloring::VertexColoring;
-use decolor_runtime::{IdAssignment, Network};
+use decolor_graph::VertexId;
+use decolor_runtime::{IdAssignment, Network, RoundBuffer};
 
 use crate::error::AlgoError;
 use crate::util::{integer_root_ceil, next_prime};
@@ -44,7 +45,7 @@ pub fn final_palette_bound(delta: usize) -> u64 {
 
 /// Picks `(q, deg)` minimizing the next palette `q²` subject to
 /// `q > Δ·deg`, `q prime`, `q^(deg+1) ≥ m`.
-fn choose_parameters(m: u64, delta: u64) -> (u64, u32) {
+pub(crate) fn choose_parameters(m: u64, delta: u64) -> (u64, u32) {
     debug_assert!(m >= 2);
     let mut best: Option<(u64, u32)> = None;
     for deg in 1..=64u32 {
@@ -67,7 +68,7 @@ fn choose_parameters(m: u64, delta: u64) -> (u64, u32) {
 
 /// Evaluates the polynomial with base-`q` digit coefficients of `c` at
 /// point `a`, over GF(q).
-fn eval_poly(mut c: u64, q: u64, a: u64) -> u64 {
+pub(crate) fn eval_poly(mut c: u64, q: u64, a: u64) -> u64 {
     // Horner on digits: c = Σ digit_i q^i, p(a) = Σ digit_i a^i.
     let mut coeffs = Vec::with_capacity(8);
     while c > 0 {
@@ -82,12 +83,20 @@ fn eval_poly(mut c: u64, q: u64, a: u64) -> u64 {
 }
 
 /// One Linial recoloring round over the network: all vertices broadcast
-/// their colors, then recolor from palette `m` to palette `q²`.
+/// their colors (into the reusable `buf`), then recolor from palette `m`
+/// to palette `q²`.
 ///
 /// Precondition (checked in debug): `colors` is proper with values `< m`.
-fn linial_round(net: &mut Network<'_>, colors: &mut [u64], m: u64, delta: u64) -> u64 {
+fn linial_round(
+    net: &mut Network<'_>,
+    buf: &mut RoundBuffer<u64>,
+    colors: &mut [u64],
+    m: u64,
+    delta: u64,
+) -> u64 {
     let (q, _deg) = choose_parameters(m, delta);
-    let inbox = net.broadcast(colors);
+    net.broadcast_into(colors, buf);
+    #[allow(clippy::needless_range_loop)] // v also names the buffer row
     for v in 0..colors.len() {
         let my = colors[v];
         // Choose the smallest α where p_v differs from every neighbor's
@@ -96,7 +105,7 @@ fn linial_round(net: &mut Network<'_>, colors: &mut [u64], m: u64, delta: u64) -
         let mut alpha = None;
         'points: for a in 0..q {
             let mine = eval_poly(my, q, a);
-            for &their in &inbox[v] {
+            for &their in buf.row(VertexId::new(v)) {
                 if their != my && eval_poly(their, q, a) == mine {
                     continue 'points;
                 }
@@ -154,6 +163,7 @@ pub fn linial_from_coloring(
     }
 
     let target = final_palette_bound(delta as usize);
+    let mut buf = net.make_buffer();
     while m > target {
         let next = {
             let (q, _) = choose_parameters(m, delta);
@@ -162,7 +172,7 @@ pub fn linial_from_coloring(
         if next >= m {
             break; // fixed point reached early
         }
-        let reached = linial_round(net, &mut colors, m, delta);
+        let reached = linial_round(net, &mut buf, &mut colors, m, delta);
         m = reached;
         trace.push(m);
     }

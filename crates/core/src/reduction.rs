@@ -13,16 +13,17 @@
 //!   each top edge-color class is a matching, so it recolors in one round.
 
 use decolor_graph::coloring::Color;
-use decolor_runtime::Network;
+use decolor_graph::VertexId;
+use decolor_runtime::{Network, RoundBuffer};
 
 use crate::error::AlgoError;
 
 /// Smallest color `< limit` absent from `used` (the "mex below limit").
 ///
 /// Returns `None` if all of `0..limit` are used.
-fn mex_below(used: &[Color], limit: u64) -> Option<Color> {
+pub(crate) fn mex_below(used: impl Iterator<Item = Color>, limit: u64) -> Option<Color> {
     let mut taken = vec![false; limit as usize];
-    for &c in used {
+    for c in used {
         if u64::from(c) < limit {
             taken[c as usize] = true;
         }
@@ -60,16 +61,30 @@ pub fn basic_reduction(
     if palette <= target {
         return Ok(palette.max(1));
     }
+    let mut buf = net.make_buffer();
+    basic_reduction_rounds(net, &mut buf, colors, palette, target);
+    Ok(target)
+}
+
+/// The communication rounds of [`basic_reduction`], reusing `buf` (one
+/// flat inbox for the whole cascade). Preconditions already checked.
+fn basic_reduction_rounds(
+    net: &mut Network<'_>,
+    buf: &mut RoundBuffer<Color>,
+    colors: &mut [Color],
+    palette: u64,
+    target: u64,
+) {
     for top in (target..palette).rev() {
-        let inbox = net.broadcast(colors);
+        net.broadcast_into(colors, buf);
+        #[allow(clippy::needless_range_loop)] // v also names the buffer row
         for v in 0..colors.len() {
             if u64::from(colors[v]) == top {
-                colors[v] =
-                    mex_below(&inbox[v], target).expect("Δ neighbors cannot block Δ + 1 colors");
+                colors[v] = mex_below(buf.row(VertexId::new(v)).copied(), target)
+                    .expect("Δ neighbors cannot block Δ + 1 colors");
             }
         }
     }
-    Ok(target)
 }
 
 /// Kuhn–Wattenhofer reduction: proper `palette`-coloring → proper
@@ -97,24 +112,26 @@ pub fn kw_reduction(
     }
     let t = target;
     let mut m = palette.max(1);
+    let mut buf = net.make_buffer();
     // Halving phases: blocks of size 2t reduce to t colors each, all
     // blocks in parallel (they occupy disjoint vertex sets).
     while m > 2 * t {
         let block_of = |c: Color| u64::from(c) / (2 * t);
         for step in 0..t {
             let top_local = 2 * t - 1 - step;
-            let inbox = net.broadcast(colors);
+            net.broadcast_into(colors, &mut buf);
+            #[allow(clippy::needless_range_loop)] // v also names the buffer row
             for v in 0..colors.len() {
                 let local = u64::from(colors[v]) % (2 * t);
                 if local == top_local {
                     let b = block_of(colors[v]);
                     // Only same-block neighbors constrain the local mex.
-                    let local_used: Vec<Color> = inbox[v]
-                        .iter()
-                        .filter(|&&c| block_of(c) == b)
-                        .map(|&c| (u64::from(c) % (2 * t)) as Color)
-                        .collect();
-                    let free = mex_below(&local_used, t)
+                    let local_used = buf
+                        .row(VertexId::new(v))
+                        .copied()
+                        .filter(|&c| block_of(c) == b)
+                        .map(|c| (u64::from(c) % (2 * t)) as Color);
+                    let free = mex_below(local_used, t)
                         .expect("Δ same-block neighbors cannot block t ≥ Δ + 1 colors");
                     // Stay in the original block encoding during the
                     // phase so neighbors keep classifying us correctly.
@@ -132,7 +149,11 @@ pub fn kw_reduction(
         }
         m = blocks * t;
     }
-    basic_reduction(net, colors, m, t)
+    if m <= t {
+        return Ok(m.max(1));
+    }
+    basic_reduction_rounds(net, &mut buf, colors, m, t);
+    Ok(t)
 }
 
 /// Reduces a proper **edge** coloring to palette `target` one top class
@@ -166,15 +187,20 @@ pub fn edge_palette_trim(
     if palette <= target {
         return Ok(palette.max(1));
     }
+    // Incident-color lists are built once (position `p` in `v`'s list is
+    // the color of the edge on port `p`) and patched incrementally after
+    // each round's recoloring, instead of being rebuilt at O(Σ deg) per
+    // round. Each round every vertex broadcasts its list (LOCAL messages
+    // are unbounded) into the reusable flat buffer.
+    let mut incident_colors: Vec<Vec<Color>> = g
+        .vertices()
+        .map(|v| g.incident_edges(v).map(|e| colors[e.index()]).collect())
+        .collect();
+    let mut buf = net.make_buffer();
+    let mut updates: Vec<(decolor_graph::EdgeId, Color)> = Vec::new();
     for top in (target..palette).rev() {
-        // Each vertex broadcasts the colors of all its incident edges
-        // (LOCAL messages are unbounded).
-        let incident_colors: Vec<Vec<Color>> = g
-            .vertices()
-            .map(|v| g.incident_edges(v).map(|e| colors[e.index()]).collect())
-            .collect();
-        let inbox = net.broadcast(&incident_colors);
-        let mut updates: Vec<(usize, Color)> = Vec::new();
+        net.broadcast_into(&incident_colors, &mut buf);
+        updates.clear();
         for (e, [u, _v]) in g.edge_list() {
             if u64::from(colors[e.index()]) != top {
                 continue;
@@ -184,14 +210,19 @@ pub fn edge_palette_trim(
             // Top-class edges form a matching, so decisions are
             // independent.
             let pu = net.port_of(u, e);
-            let mut used: Vec<Color> = incident_colors[u.index()].clone();
-            used.extend_from_slice(&inbox[u.index()][pu]);
+            let used = incident_colors[u.index()]
+                .iter()
+                .chain(buf.msg(u, pu).iter())
+                .copied();
             let free =
-                mex_below(&used, target).expect("2Δ − 2 incident edges cannot block 2Δ − 1 colors");
-            updates.push((e.index(), free));
+                mex_below(used, target).expect("2Δ − 2 incident edges cannot block 2Δ − 1 colors");
+            updates.push((e, free));
         }
-        for (i, c) in updates {
-            colors[i] = c;
+        for &(e, c) in &updates {
+            colors[e.index()] = c;
+            let [u, v] = g.endpoints(e);
+            incident_colors[u.index()][net.port_of(u, e)] = c;
+            incident_colors[v.index()][net.port_of(v, e)] = c;
         }
     }
     Ok(target)
@@ -321,9 +352,9 @@ mod tests {
 
     #[test]
     fn mex_below_basics() {
-        assert_eq!(mex_below(&[0, 1, 3], 5), Some(2));
-        assert_eq!(mex_below(&[1, 2], 5), Some(0));
-        assert_eq!(mex_below(&[0, 1, 2], 3), None);
-        assert_eq!(mex_below(&[], 1), Some(0));
+        assert_eq!(mex_below([0, 1, 3].into_iter(), 5), Some(2));
+        assert_eq!(mex_below([1, 2].into_iter(), 5), Some(0));
+        assert_eq!(mex_below([0, 1, 2].into_iter(), 3), None);
+        assert_eq!(mex_below(std::iter::empty(), 1), Some(0));
     }
 }

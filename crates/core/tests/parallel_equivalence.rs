@@ -1,0 +1,56 @@
+//! The vendored rayon worker pool must be a pure scheduling change: every
+//! `par_iter()` fan-out in this crate (star partition, Theorem 5.2/5.4
+//! class recursion, CD-coloring, decomposition) has to produce
+//! bit-identical colorings and LOCAL statistics whether it runs on one
+//! thread or many.
+
+use decolor_core::arboricity::{theorem52, theorem54};
+use decolor_core::delta_plus_one::SubroutineConfig;
+use decolor_core::star_partition::{star_partition_edge_coloring, StarPartitionParams};
+use decolor_graph::generators;
+
+#[test]
+fn star_partition_is_thread_count_invariant() {
+    let g = generators::random_regular(192, 12, 4).unwrap();
+    for x in [1usize, 2, 3] {
+        let params = StarPartitionParams::for_levels(&g, x);
+        let serial =
+            rayon::with_num_threads(1, || star_partition_edge_coloring(&g, &params).unwrap());
+        for threads in [2, 4] {
+            let parallel = rayon::with_num_threads(threads, || {
+                star_partition_edge_coloring(&g, &params).unwrap()
+            });
+            assert_eq!(
+                serial.coloring.as_slice(),
+                parallel.coloring.as_slice(),
+                "colorings diverge at x = {x}, {threads} threads"
+            );
+            assert_eq!(
+                serial.stats, parallel.stats,
+                "stats diverge at x = {x}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn arboricity_theorems_are_thread_count_invariant() {
+    let g = generators::forest_union(256, 2, 6, 5).unwrap();
+    let serial = rayon::with_num_threads(1, || {
+        theorem52(&g, 2, 2.5, SubroutineConfig::default()).unwrap()
+    });
+    let parallel = rayon::with_num_threads(4, || {
+        theorem52(&g, 2, 2.5, SubroutineConfig::default()).unwrap()
+    });
+    assert_eq!(serial.coloring.as_slice(), parallel.coloring.as_slice());
+    assert_eq!(serial.stats, parallel.stats);
+
+    let serial = rayon::with_num_threads(1, || {
+        theorem54(&g, 2, 2.5, 2, SubroutineConfig::default()).unwrap()
+    });
+    let parallel = rayon::with_num_threads(4, || {
+        theorem54(&g, 2, 2.5, 2, SubroutineConfig::default()).unwrap()
+    });
+    assert_eq!(serial.coloring.as_slice(), parallel.coloring.as_slice());
+    assert_eq!(serial.stats, parallel.stats);
+}

@@ -10,6 +10,10 @@
 //! [`Graph`](decolor_graph::Graph): in each [`Network::exchange`] call
 //! every vertex places at most one message per incident port, messages
 //! traverse exactly one edge, and the round counter advances by one.
+//! Hot loops use the allocation-free flat-buffer entry points
+//! ([`Network::exchange_into`] / [`Network::broadcast_into`] over a
+//! reusable [`RoundBuffer`]); the `Vec`-returning forms remain as
+//! semantically identical wrappers.
 //! Distributed algorithms in `decolor-core` are written against this
 //! interface, so their reported round counts are *measured*, not modelled
 //! (composite algorithms combine phase counts with [`Rounds`] using the
@@ -38,11 +42,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod buffer;
 mod ids;
 mod metrics;
 mod network;
 pub mod program;
 
+pub use buffer::RoundBuffer;
 pub use ids::IdAssignment;
 pub use metrics::{NetworkStats, Rounds};
 pub use network::Network;

@@ -2,6 +2,7 @@
 
 use decolor_graph::{EdgeId, Graph, VertexId};
 
+use crate::buffer::RoundBuffer;
 use crate::metrics::NetworkStats;
 
 /// A synchronous port-numbered network over a graph.
@@ -52,6 +53,22 @@ impl<'g> Network<'g> {
         self.stats
     }
 
+    /// Zeroes the statistics ledger while keeping the port table.
+    ///
+    /// [`Network::new`] pays an O(n + m) scan to build the port table, so
+    /// measurement loops that previously rebuilt the network per iteration
+    /// should construct it once and call this between iterations.
+    #[inline]
+    pub fn reset_stats(&mut self) {
+        self.stats = NetworkStats::default();
+    }
+
+    /// Builds a [`RoundBuffer`] shaped for this network's graph, for use
+    /// with [`Network::exchange_into`] / [`Network::broadcast_into`].
+    pub fn make_buffer<M>(&self) -> RoundBuffer<M> {
+        RoundBuffer::new(self.graph)
+    }
+
     /// The port of edge `e` at endpoint `v`.
     ///
     /// # Panics
@@ -69,23 +86,36 @@ impl<'g> Network<'g> {
         }
     }
 
-    /// Executes one communication round with explicit per-port outboxes.
+    /// Executes one communication round with explicit per-port outboxes,
+    /// delivering into a reusable [`RoundBuffer`] without allocating.
     ///
-    /// `outbox[v]` lists `(port, message)` pairs sent by `v`; the returned
-    /// inbox mirrors that shape on the receiving side: `inbox[u]` lists
-    /// `(port at u, message)` in deterministic (sender-index) order.
+    /// `outbox[v]` lists `(port, message)` pairs sent by `v`; afterwards
+    /// `buf.inbox(u)` yields `(port at u, message)` in deterministic
+    /// (sender-index) order, exactly like the rows of
+    /// [`Network::exchange`].
     ///
     /// # Panics
     ///
-    /// Panics if `outbox` does not have one entry per vertex or a port is
-    /// out of range.
-    pub fn exchange<M: Clone>(&mut self, outbox: &[Vec<(usize, M)>]) -> Vec<Vec<(usize, M)>> {
+    /// Panics if `outbox` does not have one entry per vertex, a port is
+    /// out of range, the buffer was built for a different graph shape, or
+    /// a vertex would receive more messages than its degree — the
+    /// detectable symptom of a sender violating the LOCAL model's
+    /// one-message-per-port-per-round rule.
+    pub fn exchange_into<M: Clone>(
+        &mut self,
+        outbox: &[Vec<(usize, M)>],
+        buf: &mut RoundBuffer<M>,
+    ) {
         assert_eq!(
             outbox.len(),
             self.graph.num_vertices(),
             "outbox must have one entry per vertex"
         );
-        let mut inbox: Vec<Vec<(usize, M)>> = vec![Vec::new(); outbox.len()];
+        assert!(
+            buf.fits(self.graph),
+            "round buffer was built for a different graph"
+        );
+        buf.begin_round();
         let mut messages = 0u64;
         for (vi, sends) in outbox.iter().enumerate() {
             let v = VertexId::new(vi);
@@ -94,22 +124,81 @@ impl<'g> Network<'g> {
                 let &(u, e) = incidence
                     .get(*port)
                     .unwrap_or_else(|| panic!("port {port} out of range at {v}"));
-                let their_port = self.port_of(u, e);
-                inbox[u.index()].push((their_port, msg.clone()));
+                let their_port = self.port_of(u, e) as u32;
+                buf.push(u, their_port, msg);
                 messages += 1;
             }
         }
         self.stats.rounds += 1;
         self.stats.messages += messages;
         self.stats.payload_bytes += messages * std::mem::size_of::<M>() as u64;
-        inbox
+    }
+
+    /// Executes one communication round with explicit per-port outboxes.
+    ///
+    /// `outbox[v]` lists `(port, message)` pairs sent by `v`; the returned
+    /// inbox mirrors that shape on the receiving side: `inbox[u]` lists
+    /// `(port at u, message)` in deterministic (sender-index) order.
+    ///
+    /// Compatibility wrapper over [`Network::exchange_into`]; loops that
+    /// exchange every round should hold a [`RoundBuffer`] and call the
+    /// `_into` variant directly.
+    ///
+    /// # Panics
+    ///
+    /// As [`Network::exchange_into`].
+    pub fn exchange<M: Clone>(&mut self, outbox: &[Vec<(usize, M)>]) -> Vec<Vec<(usize, M)>> {
+        let mut buf = RoundBuffer::new(self.graph);
+        self.exchange_into(outbox, &mut buf);
+        self.graph.vertices().map(|v| buf.take_inbox(v)).collect()
+    }
+
+    /// One round in which every vertex sends `values[v]` on **all** its
+    /// ports, delivered into a reusable [`RoundBuffer`] without
+    /// allocating: afterwards `buf.row(v)` yields the neighbor values of
+    /// `v` *in port order* (element `p` is the value across port `p`).
+    ///
+    /// The sender order of a broadcast is deterministic — the message
+    /// arriving at port `p` of `v` is always `values[incidence(v)[p].0]` —
+    /// so each payload is written straight into slot `p`; no per-vertex
+    /// sort is involved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not have one entry per vertex or the buffer
+    /// was built for a different graph shape.
+    pub fn broadcast_into<M: Clone>(&mut self, values: &[M], buf: &mut RoundBuffer<M>) {
+        assert_eq!(
+            values.len(),
+            self.graph.num_vertices(),
+            "values must have one entry per vertex"
+        );
+        assert!(
+            buf.fits(self.graph),
+            "round buffer was built for a different graph"
+        );
+        let mut messages = 0u64;
+        for v in self.graph.vertices() {
+            for (p, &(u, _)) in self.graph.incidence(v).iter().enumerate() {
+                buf.place_at_port(v, p, &values[u.index()]);
+            }
+            buf.set_full(v);
+            messages += self.graph.degree(v) as u64;
+        }
+        self.stats.rounds += 1;
+        self.stats.messages += messages;
+        self.stats.payload_bytes += messages * std::mem::size_of::<M>() as u64;
     }
 
     /// One round in which every vertex sends `values[v]` on **all** its
     /// ports. Returns, per vertex, the received neighbor values *in port
     /// order* (`result[v][p]` = value of the neighbor across port `p`).
     ///
-    /// This is the workhorse of color-exchange algorithms.
+    /// This is the workhorse of color-exchange algorithms. Like
+    /// [`Network::broadcast_into`] it exploits the deterministic sender
+    /// order of a broadcast instead of sorting each inbox; hot loops
+    /// should prefer the `_into` variant, which also skips the per-vertex
+    /// `Vec`s.
     ///
     /// # Panics
     ///
@@ -120,80 +209,89 @@ impl<'g> Network<'g> {
             self.graph.num_vertices(),
             "values must have one entry per vertex"
         );
-        let outbox: Vec<Vec<(usize, M)>> = self
+        let mut messages = 0u64;
+        let inbox: Vec<Vec<M>> = self
             .graph
             .vertices()
             .map(|v| {
-                (0..self.graph.degree(v))
-                    .map(|p| (p, values[v.index()].clone()))
+                messages += self.graph.degree(v) as u64;
+                self.graph
+                    .incidence(v)
+                    .iter()
+                    .map(|&(u, _)| values[u.index()].clone())
                     .collect()
             })
             .collect();
-        let inbox = self.exchange(&outbox);
+        self.stats.rounds += 1;
+        self.stats.messages += messages;
+        self.stats.payload_bytes += messages * std::mem::size_of::<M>() as u64;
         inbox
-            .into_iter()
-            .enumerate()
-            .map(|(vi, mut msgs)| {
-                msgs.sort_by_key(|&(p, _)| p);
-                debug_assert_eq!(msgs.len(), self.graph.degree(VertexId::new(vi)));
-                msgs.into_iter().map(|(_, m)| m).collect()
-            })
-            .collect()
     }
 
-    /// One round in which both endpoints of every edge learn a value
-    /// attached to that edge by each side: every vertex sends
-    /// `values[e]`... more precisely, each vertex `v` sends `values[v]`
-    /// only over the given `edges` (a subset), and the inbox maps each
-    /// receiving edge to the sender's value. Returns `per_edge[e] =
-    /// (value from lower endpoint, value from higher endpoint)` for edges
-    /// in the subset, `None` elsewhere.
+    /// One round in which both endpoints of each edge in `edges` (a
+    /// subset; each edge at most once) send their value across that edge,
+    /// delivered into a reusable [`RoundBuffer`]: afterwards
+    /// `buf.per_edge()[e] = Some((value from lower endpoint, value from
+    /// higher endpoint))` for edges in the subset, `None` elsewhere.
     ///
     /// Useful for algorithms that activate a subset of edges per round
-    /// (Lemma 5.1's label classes).
+    /// (Lemma 5.1's label classes). Unlike the [`Network::exchange_on_edges`]
+    /// wrapper, consecutive rounds on the same buffer cost
+    /// O(|previous subset| + |subset|) — the per-edge scratch is cleared
+    /// by activation list, not rebuilt at O(m).
     ///
     /// # Panics
     ///
-    /// Panics if `values` does not have one entry per vertex or an edge id
-    /// is out of range.
+    /// Panics if `values` does not have one entry per vertex, an edge id
+    /// is out of range, or the buffer was built for a different graph
+    /// shape.
+    pub fn exchange_on_edges_into<M: Clone>(
+        &mut self,
+        values: &[M],
+        edges: &[EdgeId],
+        buf: &mut RoundBuffer<M>,
+    ) {
+        assert_eq!(values.len(), self.graph.num_vertices());
+        assert!(
+            buf.fits(self.graph),
+            "round buffer was built for a different graph"
+        );
+        buf.begin_edge_round();
+        for &e in edges {
+            // The message each endpoint receives across `e` is exactly the
+            // other endpoint's value; deliver it directly.
+            let [lo, hi] = self.graph.endpoints(e);
+            buf.set_edge_pair(
+                e.index(),
+                (values[lo.index()].clone(), values[hi.index()].clone()),
+            );
+        }
+        let messages = 2 * edges.len() as u64;
+        self.stats.rounds += 1;
+        self.stats.messages += messages;
+        self.stats.payload_bytes += messages * std::mem::size_of::<M>() as u64;
+    }
+
+    /// One round in which both endpoints of each edge in `edges` learn the
+    /// value attached by the other side. Returns `per_edge[e] = (value
+    /// from lower endpoint, value from higher endpoint)` for edges in the
+    /// subset, `None` elsewhere.
+    ///
+    /// Compatibility wrapper over [`Network::exchange_on_edges_into`];
+    /// subset-activation loops should hold a [`RoundBuffer`] and call the
+    /// `_into` variant to avoid the O(m) output vector per round.
+    ///
+    /// # Panics
+    ///
+    /// As [`Network::exchange_on_edges_into`].
     pub fn exchange_on_edges<M: Clone>(
         &mut self,
         values: &[M],
         edges: &[EdgeId],
     ) -> Vec<Option<(M, M)>> {
-        assert_eq!(values.len(), self.graph.num_vertices());
-        let mut outbox: Vec<Vec<(usize, M)>> = vec![Vec::new(); values.len()];
-        for &e in edges {
-            let [lo, hi] = self.graph.endpoints(e);
-            outbox[lo.index()].push((self.port_of(lo, e), values[lo.index()].clone()));
-            outbox[hi.index()].push((self.port_of(hi, e), values[hi.index()].clone()));
-        }
-        let inbox = self.exchange(&outbox);
-        let mut per_edge: Vec<Option<(M, M)>> = vec![None; self.graph.num_edges()];
-        // Reconstruct per-edge pairs from the inbox: the message arriving
-        // at `hi`'s port for e came from `lo` and vice versa.
-        let mut half: Vec<Option<M>> = vec![None; self.graph.num_edges()];
-        for (vi, msgs) in inbox.into_iter().enumerate() {
-            let v = VertexId::new(vi);
-            for (port, msg) in msgs {
-                let (_, e) = self.graph.incidence(v)[port];
-                let [lo, _hi] = self.graph.endpoints(e);
-                if v == lo {
-                    // This message was sent by hi.
-                    match half[e.index()].take() {
-                        None => half[e.index()] = Some(msg),
-                        Some(from_lo) => per_edge[e.index()] = Some((from_lo, msg)),
-                    }
-                } else {
-                    // Sent by lo.
-                    match half[e.index()].take() {
-                        None => half[e.index()] = Some(msg),
-                        Some(from_hi) => per_edge[e.index()] = Some((msg, from_hi)),
-                    }
-                }
-            }
-        }
-        per_edge
+        let mut buf = RoundBuffer::new(self.graph);
+        self.exchange_on_edges_into(values, edges, &mut buf);
+        buf.take_per_edge()
     }
 
     /// Charges `rounds` of *local restructuring* to the ledger without
@@ -314,5 +412,82 @@ mod tests {
         let g = p3();
         let mut net = Network::new(&g);
         let _ = net.exchange::<u32>(&[vec![]]);
+    }
+
+    #[test]
+    fn broadcast_into_reuses_one_buffer_across_rounds() {
+        let g = p3();
+        let mut net = Network::new(&g);
+        let mut buf = net.make_buffer();
+        for round in 0..3u32 {
+            let vals = vec![10 + round, 20 + round, 30 + round];
+            net.broadcast_into(&vals, &mut buf);
+            let mid: Vec<u32> = buf.row(VertexId::new(1)).copied().collect();
+            assert_eq!(mid, vec![10 + round, 30 + round]);
+            assert_eq!(buf.received(VertexId::new(0)), 1);
+        }
+        assert_eq!(net.stats().rounds, 3);
+        assert_eq!(net.stats().messages, 12);
+    }
+
+    #[test]
+    fn exchange_into_matches_exchange() {
+        let g = decolor_graph::generators::gnm(20, 60, 9).unwrap();
+        let mut net = Network::new(&g);
+        let outbox: Vec<Vec<(usize, u64)>> = g
+            .vertices()
+            .map(|v| {
+                (0..g.degree(v))
+                    .step_by(2)
+                    .map(|p| (p, (v.index() * 100 + p) as u64))
+                    .collect()
+            })
+            .collect();
+        let legacy = net.exchange(&outbox);
+        let legacy_stats = net.stats();
+        net.reset_stats();
+        let mut buf = net.make_buffer();
+        net.exchange_into(&outbox, &mut buf);
+        for v in g.vertices() {
+            let flat: Vec<(usize, u64)> = buf.inbox(v).map(|(p, &m)| (p, m)).collect();
+            assert_eq!(flat, legacy[v.index()]);
+        }
+        assert_eq!(net.stats(), legacy_stats);
+    }
+
+    #[test]
+    fn exchange_on_edges_into_clears_previous_subset() {
+        let g = p3();
+        let mut net = Network::new(&g);
+        let mut buf = net.make_buffer();
+        net.exchange_on_edges_into(&[7u32, 8, 9], &[EdgeId::new(0)], &mut buf);
+        assert_eq!(buf.per_edge()[0], Some((7, 8)));
+        assert_eq!(buf.per_edge()[1], None);
+        net.exchange_on_edges_into(&[7u32, 8, 9], &[EdgeId::new(1)], &mut buf);
+        assert_eq!(buf.per_edge()[0], None, "stale activation must clear");
+        assert_eq!(buf.per_edge()[1], Some((8, 9)));
+        assert_eq!(net.stats().rounds, 2);
+        assert_eq!(net.stats().messages, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "built for a different graph")]
+    fn foreign_buffer_is_rejected() {
+        let g = p3();
+        let other = decolor_graph::builder_from_edges(3, &[(0, 1)]).unwrap();
+        let mut net = Network::new(&g);
+        let mut buf = RoundBuffer::<u32>::new(&other);
+        net.broadcast_into(&[1, 2, 3], &mut buf);
+    }
+
+    #[test]
+    fn reset_stats_keeps_port_table() {
+        let g = p3();
+        let mut net = Network::new(&g);
+        let _ = net.broadcast(&[1u8, 2, 3]);
+        assert_eq!(net.stats().rounds, 1);
+        net.reset_stats();
+        assert_eq!(net.stats(), NetworkStats::default());
+        assert_eq!(net.port_of(VertexId::new(0), EdgeId::new(0)), 0);
     }
 }

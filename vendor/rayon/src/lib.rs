@@ -1,44 +1,170 @@
 //! Offline shim for the subset of `rayon` used by this workspace (see
-//! `vendor/README.md`).
+//! `vendor/README.md`) — now with **real parallelism**.
 //!
-//! `par_iter()` returns a plain sequential [`std::slice::Iter`], so every
-//! adapter (`map`, `filter`, `collect`, …) is the std `Iterator` API and
-//! results are bit-identical to a sequential run. Swapping in the real
-//! rayon later only changes execution, not semantics — the call sites are
-//! written against the rayon names. ROADMAP "Open items" tracks restoring
-//! true parallelism here.
+//! `par_iter()` returns a slice-backed parallel iterator whose
+//! `map(..).collect()` splits the input into contiguous chunks and runs
+//! them on scoped worker threads (`std::thread::scope`), with `Send +
+//! Sync` bounds matching real rayon. Chunk results are concatenated in
+//! input order, so the output is **bit-identical** to a sequential run —
+//! swapping in the real rayon later only changes scheduling, not
+//! semantics.
+//!
+//! Execution mode is controlled by the `DECOLOR_THREADS` environment
+//! variable: unset → one worker per available core; `1` (or `0`, or an
+//! unparsable value) → plain sequential fallback; `N > 1` → `N` workers.
+//! Nested `par_iter` calls issued *from inside a worker* run sequentially
+//! on that worker, so recursive fan-outs (star partition, Theorem 5.4)
+//! keep a bounded thread count instead of multiplying per level.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::cell::Cell;
+
+thread_local! {
+    /// Set on worker threads so nested fan-outs stay sequential.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Per-thread override installed by [`with_num_threads`] (tests).
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads a `collect` issued from this thread would
+/// use: the [`with_num_threads`] override if one is installed, else
+/// `DECOLOR_THREADS`, else the number of available cores. Inside a worker
+/// thread this is 1 (nested fan-outs are sequential).
+pub fn current_num_threads() -> usize {
+    if IN_WORKER.with(Cell::get) {
+        return 1;
+    }
+    let overridden = THREAD_OVERRIDE.with(Cell::get);
+    if overridden > 0 {
+        return overridden;
+    }
+    match std::env::var("DECOLOR_THREADS") {
+        Ok(raw) => raw.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// Runs `f` with the calling thread's pool size forced to `threads`
+/// (shim extension, used by the equivalence tests to exercise the worker
+/// pool regardless of machine size or `DECOLOR_THREADS`).
+pub fn with_num_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let previous = THREAD_OVERRIDE.with(|o| o.replace(threads.max(1)));
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(previous);
+    f()
+}
+
+/// Maps `op` over `items` preserving order: sequentially when the pool
+/// has one thread (or we are already on a worker), otherwise on scoped
+/// worker threads over contiguous chunks.
+fn chunked_map<'data, T, R, F>(items: &'data [T], op: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    let threads = current_num_threads().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(op).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks = items.chunks(chunk_size);
+    let first = chunks.next().expect("items is non-empty");
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .map(|chunk| {
+                scope.spawn(move || {
+                    IN_WORKER.with(|w| w.set(true));
+                    chunk.iter().map(op).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        // The caller works on the first chunk while workers run.
+        out.push(first.iter().map(op).collect());
+        for handle in handles {
+            match handle.join() {
+                Ok(res) => out.push(res),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
 /// The subset of the rayon prelude used in this workspace.
 pub mod prelude {
+    use super::chunked_map;
+
+    /// A parallel iterator over a slice (rayon's `par_iter()` shape).
+    #[derive(Debug)]
+    pub struct ParIter<'data, T> {
+        slice: &'data [T],
+    }
+
+    /// A mapped parallel iterator; terminate with [`ParMap::collect`].
+    pub struct ParMap<'data, T, F> {
+        slice: &'data [T],
+        op: F,
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        /// Applies `op` to every element, in parallel at `collect` time.
+        pub fn map<R, F>(self, op: F) -> ParMap<'data, T, F>
+        where
+            R: Send,
+            F: Fn(&'data T) -> R + Sync,
+        {
+            ParMap {
+                slice: self.slice,
+                op,
+            }
+        }
+    }
+
+    impl<'data, T, F> ParMap<'data, T, F> {
+        /// Runs the map on the worker pool and collects the results in
+        /// input order.
+        pub fn collect<R, C>(self) -> C
+        where
+            T: Sync,
+            R: Send,
+            F: Fn(&'data T) -> R + Sync,
+            C: FromIterator<R>,
+        {
+            chunked_map(self.slice, &self.op).into_iter().collect()
+        }
+    }
+
     /// `.par_iter()` over `&self`, as in rayon's trait of the same name.
     pub trait IntoParallelRefIterator<'data> {
-        /// The iterator produced (sequential in this shim).
-        type Iter: Iterator<Item = Self::Item>;
         /// The reference item type.
         type Item: 'data;
 
-        /// Returns a "parallel" (here: sequential) iterator over `&self`.
-        fn par_iter(&'data self) -> Self::Iter;
+        /// Returns a parallel iterator over `&self`.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
     }
 
     impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
-        type Iter = std::slice::Iter<'data, T>;
-        type Item = &'data T;
+        type Item = T;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { slice: self }
         }
     }
 
     impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
-        type Iter = std::slice::Iter<'data, T>;
-        type Item = &'data T;
+        type Item = T;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { slice: self }
         }
     }
 }
@@ -46,11 +172,76 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::with_num_threads;
 
     #[test]
     fn par_iter_matches_iter() {
         let v = vec![1u32, 2, 3];
         let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn pool_preserves_order_and_values() {
+        let items: Vec<u64> = (0..1000).collect();
+        let sequential: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for threads in [1, 2, 4, 7] {
+            let parallel: Vec<u64> =
+                with_num_threads(threads, || items.par_iter().map(|x| x * x + 1).collect());
+            assert_eq!(parallel, sequential, "mismatch at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn pool_handles_more_threads_than_items() {
+        let items = vec![5u8, 9];
+        let out: Vec<u8> = with_num_threads(16, || items.par_iter().map(|x| x + 1).collect());
+        assert_eq!(out, vec![6, 10]);
+    }
+
+    #[test]
+    fn nested_fanouts_run_on_the_outer_pool() {
+        let outer: Vec<u32> = (0..8).collect();
+        let out: Vec<u32> = with_num_threads(4, || {
+            outer
+                .par_iter()
+                .map(|&x| {
+                    let inner: Vec<u32> = (0..4).collect();
+                    let parts: Vec<u32> = inner.par_iter().map(|&y| x + y).collect();
+                    parts.iter().sum()
+                })
+                .collect()
+        });
+        let expected: Vec<u32> = (0..8).map(|x| 4 * x + 6).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn workers_report_a_sequential_nested_pool() {
+        let items: Vec<u32> = (0..16).collect();
+        let nested_threads: Vec<usize> = with_num_threads(4, || {
+            items
+                .par_iter()
+                .map(|_| super::current_num_threads())
+                .collect()
+        });
+        // The caller's own chunk sees the pool; worker chunks see 1.
+        assert!(nested_threads.contains(&1));
+        assert!(nested_threads.iter().all(|&t| t == 1 || t == 4));
+    }
+
+    #[test]
+    fn collects_into_results() {
+        let items: Vec<i32> = (0..100).collect();
+        let collected: Result<Vec<i32>, String> =
+            with_num_threads(3, || items.par_iter().map(|&x| Ok(x)).collect());
+        assert_eq!(collected.unwrap().len(), 100);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<u32> = Vec::new();
+        let out: Vec<u32> = with_num_threads(4, || items.par_iter().map(|x| x + 1).collect());
+        assert!(out.is_empty());
     }
 }
