@@ -127,7 +127,7 @@ pub fn cole_vishkin_forest_coloring(
     // Phase 1: bit-index reduction to a ≤ 6-color palette.
     let mut palette = ids.id_space().max(2);
     while palette > 6 {
-        let inbox = net.broadcast(&colors);
+        let inbox = net.broadcast(&colors)?;
         let mut next = colors.clone();
         for v in g.vertices() {
             let pc = forest.parent[v.index()].map(|p| {
@@ -151,7 +151,7 @@ pub fn cole_vishkin_forest_coloring(
     for top in (3..6u64).rev() {
         // Shift down: every vertex adopts its parent's color; roots take
         // a color different from their own current one (mod small).
-        let inbox = net.broadcast(&colors);
+        let inbox = net.broadcast(&colors)?;
         let mut shifted = colors.clone();
         for v in g.vertices() {
             shifted[v.index()] = match forest.parent[v.index()] {
@@ -171,7 +171,7 @@ pub fn cole_vishkin_forest_coloring(
         // vertex share its old color, so a vertex sees ≤ 2 distinct
         // neighbor colors (parent's new color + its own old color at the
         // children) — a free color < 3 exists.
-        let inbox = net.broadcast(&colors);
+        let inbox = net.broadcast(&colors)?;
         for v in g.vertices() {
             if colors[v.index()] == top {
                 let used: std::collections::HashSet<u64> =

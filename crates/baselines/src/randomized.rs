@@ -84,7 +84,7 @@ pub fn randomized_edge_coloring(
                     .collect()
             })
             .collect();
-        let _inbox = net.broadcast(&per_vertex);
+        let _inbox = net.broadcast(&per_vertex)?;
         // Accept proposals unique among both endpoints' incident
         // proposals.
         let mut accepted: Vec<(usize, Color)> = Vec::new();

@@ -202,7 +202,9 @@ mod tests {
             "greedy",
             "random:seed=1",
         ] {
-            let (c, _, _) = dispatch(algo, &g).unwrap_or_else(|e| panic!("{algo}: {e}"));
+            let result = dispatch(algo, &g);
+            assert!(result.is_ok(), "{algo}: {}", result.unwrap_err());
+            let (c, _, _) = result.unwrap();
             assert!(c.is_proper(&g), "{algo} produced improper coloring");
         }
         assert!(dispatch("zzz", &g).is_err());

@@ -61,7 +61,11 @@ pub fn build_graph(spec: &str) -> Result<Graph, String> {
             opt_f64(&kv, "r", 0.1)?,
             opt_u64(&kv, "seed", 0)?,
         ),
-        "hypercube" => generators::hypercube(req_usize(&kv, "dim")? as u32),
+        "hypercube" => {
+            let dim = u32::try_from(req_usize(&kv, "dim")?)
+                .map_err(|_| "parameter `dim` is out of range".to_string())?;
+            generators::hypercube(dim)
+        }
         "ba" => generators::barabasi_albert(
             req_usize(&kv, "n")?,
             opt_usize(&kv, "k", 3)?,
@@ -104,8 +108,9 @@ mod tests {
             "cycle:n=7",
             "path:n=8",
         ] {
-            let g = build_graph(spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
-            assert!(g.num_vertices() > 0, "{spec}");
+            let g = build_graph(spec);
+            assert!(g.is_ok(), "{spec}: {}", g.unwrap_err());
+            assert!(g.unwrap().num_vertices() > 0, "{spec}");
         }
     }
 

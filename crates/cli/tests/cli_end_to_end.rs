@@ -58,6 +58,44 @@ fn bad_input_fails_with_message() {
 }
 
 #[test]
+fn invalid_spec_is_a_clean_error_not_a_panic() {
+    for spec in [
+        "martian:n=10",                                        // unknown family
+        "gnm:n=10,m",                                          // malformed key=value
+        "gnm:n=3,m=99",                                        // m > C(n,2)
+        "regular:n=9999999999999999999,d=9999999999999999998", // n·d overflow
+        "hypercube:dim=99999999999",                           // dim out of u32 range
+        "file:/no/such/file.json",                             // unreadable path
+    ] {
+        let (ok, stdout, stderr) = decolor(&["color", "star:x=1", spec]);
+        assert!(!ok, "{spec} unexpectedly succeeded: {stdout}");
+        assert!(
+            stderr.starts_with("error: "),
+            "{spec}: stderr not a clean message: {stderr}"
+        );
+        assert!(
+            !stderr.contains("panicked"),
+            "{spec}: the CLI panicked: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn unknown_algorithm_is_a_clean_error_not_a_panic() {
+    let (ok, _, stderr) = decolor(&["color", "zzz", "grid:rows=3,cols=3"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown algorithm `zzz`"), "{stderr}");
+    assert!(stderr.contains("decolor help"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // Algorithm parameters that fail preconditions also report cleanly.
+    let (ok, _, stderr) = decolor(&["color", "t52:a=2,q=1.0", "grid:rows=3,cols=3"]);
+    assert!(!ok);
+    assert!(stderr.starts_with("error: "), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
 fn every_section5_algorithm_via_cli() {
     for algo in ["t52:a=2", "t54:a=2,x=2", "c55:a=2"] {
         let (ok, stdout, stderr) = decolor(&["color", algo, "forest:n=200,a=2,cap=8,seed=1"]);

@@ -42,13 +42,31 @@ pub fn clique_connector(
     cover: &CliqueCover,
     t: usize,
 ) -> Result<CliqueConnector, AlgoError> {
+    clique_connector_for(g.num_vertices(), cover, t)
+}
+
+/// [`clique_connector`] from the cover alone: the connector's edges are
+/// derived entirely from the clique groups (each clique has diameter 1 in
+/// the source graph), so only the vertex count of the underlying
+/// (sub)graph is needed. This is what lets the Theorem 2.4 recursion run
+/// over borrowed vertex-subset views without materializing induced
+/// subgraphs.
+///
+/// # Errors
+///
+/// As [`clique_connector`].
+pub fn clique_connector_for(
+    num_vertices: usize,
+    cover: &CliqueCover,
+    t: usize,
+) -> Result<CliqueConnector, AlgoError> {
     if t < 2 {
         return Err(AlgoError::InvalidParameters {
             reason: format!("connector parameter t = {t} must be at least 2"),
         });
     }
     let mut groups = Vec::with_capacity(cover.num_cliques());
-    let mut b = GraphBuilder::new(g.num_vertices());
+    let mut b = GraphBuilder::new(num_vertices);
     for q in 0..cover.num_cliques() {
         // Deterministic split in ascending vertex order ("the master is
         // responsible for the computation in its clique").

@@ -9,6 +9,7 @@
 //! the connector is a candidate labeling of `E(G)` directly — this is the
 //! "no line-graph simulation needed" point of §4.
 
+use decolor_graph::subgraph::GraphView;
 use decolor_graph::{EdgeId, Graph, GraphBuilder, VertexId};
 
 use crate::error::AlgoError;
@@ -91,6 +92,98 @@ fn port_of(g: &Graph, v: VertexId, e: EdgeId) -> usize {
         .iter()
         .position(|&(_, f)| f == e)
         .expect("edge is incident on its endpoint")
+}
+
+/// The edge-connector **graph** of a borrowed color-class view (§4),
+/// compact: only vertices incident on an active edge get virtual
+/// vertices. Connector edge `k` is the view's local edge `k`.
+///
+/// Dropping the isolated virtual vertices does not change any edge
+/// coloring of the connector (they have no incident edges, so no
+/// algorithmic decision ever consults them) — the produced class
+/// structure is identical to [`edge_connector`] on the materialized
+/// subgraph, which the equivalence tests pin.
+///
+/// The caller is responsible for the source graph being simple (a view of
+/// a simple parent always is); the **Δ(connector) ≤ t** guarantee of §4
+/// is verified before returning.
+///
+/// # Errors
+///
+/// [`AlgoError::InvalidParameters`] if `t == 0`;
+/// [`AlgoError::InvariantViolated`] if the degree bound fails.
+pub fn edge_connector_graph_on<V: GraphView>(view: &V, t: usize) -> Result<Graph, AlgoError> {
+    if t == 0 {
+        return Err(AlgoError::InvalidParameters {
+            reason: "edge-connector group size t must be positive".into(),
+        });
+    }
+    let k = view.num_edges();
+    let n = view.num_vertices();
+    // Virtual-vertex base index per touched (active-degree > 0) vertex:
+    // ⌈deg/t⌉ groups each. `u32::MAX` marks untouched vertices.
+    let mut virt_base = vec![u32::MAX; n];
+    let mut acc = 0usize;
+    for v in (0..n).map(VertexId::new) {
+        let deg = view.degree(v);
+        if deg > 0 {
+            let base = u32::try_from(acc).map_err(|_| AlgoError::InvalidParameters {
+                reason: format!("connector needs more than u32::MAX virtual vertices (t = {t})"),
+            })?;
+            virt_base[v.index()] = base;
+            acc += deg.div_ceil(t);
+        }
+    }
+    if u32::try_from(acc).is_err() {
+        return Err(AlgoError::InvalidParameters {
+            reason: format!("connector needs {acc} virtual vertices (exceeds u32 ids)"),
+        });
+    }
+    // Virtual endpoint of every active edge on each side: the vertex's
+    // base plus (position within its active incidence) / t — exactly the
+    // port grouping of `edge_connector` on the materialized subgraph.
+    let mut virt_lo = vec![0u32; k];
+    let mut virt_hi = vec![0u32; k];
+    for v in (0..n).map(VertexId::new) {
+        let base = virt_base[v.index()];
+        if base == u32::MAX {
+            continue;
+        }
+        let mut pos = 0usize;
+        view.for_each_incident_edge(v, |le| {
+            let virt = base + (pos / t) as u32;
+            let [lo, _hi] = view.endpoints(le);
+            if v == lo {
+                virt_lo[le.index()] = virt;
+            } else {
+                virt_hi[le.index()] = virt;
+            }
+            pos += 1;
+        });
+    }
+    // Connector edges are unique by construction (distinct source edges
+    // share at most one endpoint, so at most one virtual vertex), so the
+    // multigraph builder can skip the per-edge dedup hashing.
+    let mut b = GraphBuilder::new_multi(acc).with_edge_capacity(k);
+    for le in 0..k {
+        b.add_edge(virt_lo[le] as usize, virt_hi[le] as usize)
+            .map_err(|err| AlgoError::InvariantViolated {
+                reason: err.to_string(),
+            })?;
+    }
+    let graph = b.build();
+    debug_assert!(!graph.has_parallel_edges());
+    for v in graph.vertices() {
+        if graph.degree(v) > t {
+            return Err(AlgoError::InvariantViolated {
+                reason: format!(
+                    "virtual vertex {v} has degree {} > t = {t}",
+                    graph.degree(v)
+                ),
+            });
+        }
+    }
+    Ok(graph)
 }
 
 impl EdgeConnector {
@@ -205,5 +298,43 @@ mod tests {
     fn rejects_zero_t() {
         let g = generators::path(3).unwrap();
         assert!(edge_connector(&g, 0).is_err());
+        let view = decolor_graph::subgraph::EdgeSubgraphView::full(&g);
+        assert!(edge_connector_graph_on(&view, 0).is_err());
+    }
+
+    #[test]
+    fn view_connector_matches_materialized_line_structure() {
+        // The compact view connector renumbers virtual vertices (isolated
+        // ones are dropped), but the *edge-to-edge* structure — which is
+        // all an edge coloring consults — must match the connector of the
+        // materialized subgraph exactly: same edge count, same per-edge
+        // incident-edge lists (as ordered sequences, up to the endpoint
+        // pair being unordered).
+        let g = generators::gnm(60, 220, 4).unwrap();
+        let subset: Vec<EdgeId> = g.edges().filter(|e| e.index() % 3 == 0).collect();
+        let sub = decolor_graph::subgraph::SpanningEdgeSubgraph::new(&g, &subset);
+        let view = decolor_graph::subgraph::EdgeSubgraphView::new(&g, subset).unwrap();
+        for t in [1usize, 2, 3, 5] {
+            let reference = edge_connector(sub.graph(), t).unwrap();
+            let compact = edge_connector_graph_on(&view, t).unwrap();
+            assert_eq!(compact.num_edges(), reference.graph.num_edges(), "t = {t}");
+            assert!(compact.max_degree() <= t);
+            for e in compact.edges() {
+                let sides = |conn: &Graph| {
+                    let [u, v] = conn.endpoints(e);
+                    let mut s = [
+                        conn.incident_edges(u).collect::<Vec<_>>(),
+                        conn.incident_edges(v).collect::<Vec<_>>(),
+                    ];
+                    s.sort();
+                    s
+                };
+                assert_eq!(
+                    sides(&compact),
+                    sides(&reference.graph),
+                    "t = {t}: incident structure of {e} diverges"
+                );
+            }
+        }
     }
 }

@@ -66,18 +66,25 @@ pub fn color_crossing_edges(
         max_label = max_label.max(next_label[a.index()]);
     }
 
+    // Incident-color lists are built once and patched incrementally as
+    // edges get colored; every label round broadcasts them through one
+    // reusable flat buffer (no per-round Vec-of-Vec rebuild). The greedy
+    // mex only consumes the *multiset* of incident colors, so appending
+    // newly assigned colors (instead of keeping port order) leaves every
+    // decision identical.
+    let mut incident: Vec<Vec<Color>> = g
+        .vertices()
+        .map(|v| {
+            g.incident_edges(v)
+                .filter_map(|e| edge_colors[e.index()])
+                .collect()
+        })
+        .collect();
+    let mut buf = net.make_buffer::<Vec<Color>>();
     for round in 1..=max_label {
         // One round: both endpoints of every edge exchange their current
         // incident colors (LOCAL messages are unbounded).
-        let incident: Vec<Vec<Color>> = g
-            .vertices()
-            .map(|v| {
-                g.incident_edges(v)
-                    .filter_map(|e| edge_colors[e.index()])
-                    .collect()
-            })
-            .collect();
-        let inbox = net.broadcast(&incident);
+        net.broadcast_into(&incident, &mut buf)?;
         // B-endpoints assign greedy colors; within one B-vertex, its
         // active edges are handled sequentially (a single processor).
         let mut assigned_this_round: Vec<(usize, Color)> = Vec::new();
@@ -97,8 +104,8 @@ pub fn color_crossing_edges(
                 }
             }
             // Colors around a (received this round over edge e).
-            let pa = net.port_of(b, e);
-            for &c in &inbox[b.index()][pa] {
+            let pa = net.port_of(b, e)?;
+            for &c in buf.msg(b, pa) {
                 if u64::from(c) < palette {
                     used[c as usize] = true;
                 }
@@ -123,6 +130,9 @@ pub fn color_crossing_edges(
         }
         for (i, c) in assigned_this_round {
             edge_colors[i] = Some(c);
+            let [u, v] = g.endpoints(decolor_graph::EdgeId::new(i));
+            incident[u.index()].push(c);
+            incident[v.index()].push(c);
         }
     }
     Ok(())

@@ -14,19 +14,22 @@
 
 use decolor_graph::cliques::CliqueCover;
 use decolor_graph::coloring::VertexColoring;
-use decolor_graph::subgraph::{InducedSubgraph, SpanningEdgeSubgraph};
+use decolor_graph::subgraph::{
+    EdgeSubgraphView, GraphView, InducedSubgraph, SpanningEdgeSubgraph, VertexSubsetView,
+};
 use decolor_graph::{EdgeId, Graph, VertexId};
 use decolor_runtime::{IdAssignment, Network, NetworkStats};
 use rayon::prelude::*;
 
-use crate::connectors::clique::clique_connector;
-use crate::connectors::edge::edge_connector;
-use crate::delta_plus_one::{
-    edge_coloring_with_target, vertex_coloring_with_target, Seed, SubroutineConfig,
-};
+use crate::connectors::clique::clique_connector_for;
+use crate::connectors::edge::{edge_connector, edge_connector_graph_on};
+use crate::delta_plus_one::{vertex_coloring_with_target, Seed, SubroutineConfig};
+use crate::edge_space::edge_coloring_direct;
 use crate::error::AlgoError;
 use crate::linial;
 
+/// Child outcome of one view-based recursion level (labels + stats).
+type LevelOutcome = Result<Option<(Vec<u64>, NetworkStats)>, AlgoError>;
 /// Child outcome of a vertex-partition recursion.
 type VertexChild = (InducedSubgraph, Vec<u64>, NetworkStats);
 /// Child outcome of an edge-partition recursion.
@@ -70,8 +73,8 @@ impl CliqueDecomposition {
             if members.is_empty() {
                 continue;
             }
-            let sub = InducedSubgraph::new(g, &members);
-            let restricted = cover.restrict(&sub);
+            let sub = VertexSubsetView::new(g, members)?;
+            let restricted = cover.restrict_to_subset(&sub);
             if restricted.max_clique_size() > self.clique_bound {
                 return Err(AlgoError::InvariantViolated {
                     reason: format!(
@@ -130,6 +133,51 @@ pub fn clique_decomposition(
     let base = linial::linial_coloring(&mut net, ids)?.coloring;
     let base_stats = net.stats();
 
+    let full = VertexSubsetView::new(g, g.vertices().collect())?;
+    let (labels, stats) = decompose_level_on(g, cover, &base, &full, diversity, t, x)?;
+    // Compact the labels.
+    let mut map = std::collections::HashMap::new();
+    let mut part = vec![0usize; g.num_vertices()];
+    for (v, &l) in labels.iter().enumerate() {
+        let next = map.len();
+        part[v] = *map.entry(l).or_insert(next);
+    }
+    let gamma = (diversity * t) as u64;
+    let clique_bound = s / t.pow(x as u32).max(1) + 2;
+    Ok(CliqueDecomposition {
+        part,
+        num_parts: map.len(),
+        parts_bound: gamma.saturating_pow(x as u32),
+        clique_bound,
+        stats: base_stats.then(stats),
+    })
+}
+
+/// The **materializing reference path** of [`clique_decomposition`]:
+/// identical decisions, but each color class is copied into a fresh
+/// [`InducedSubgraph`] per level. Kept for the view-equivalence tests.
+///
+/// # Errors
+///
+/// As [`clique_decomposition`].
+pub fn clique_decomposition_reference(
+    g: &Graph,
+    cover: &CliqueCover,
+    t: usize,
+    x: usize,
+    ids: &IdAssignment,
+) -> Result<CliqueDecomposition, AlgoError> {
+    if t < 2 || x < 1 {
+        return Err(AlgoError::InvalidParameters {
+            reason: "need t ≥ 2, x ≥ 1".into(),
+        });
+    }
+    let diversity = cover.diversity().max(1);
+    let s = cover.max_clique_size();
+    let mut net = Network::new(g);
+    let base = linial::linial_coloring(&mut net, ids)?.coloring;
+    let base_stats = net.stats();
+
     let (labels, stats) = decompose_level(g, cover, &base, diversity, t, x)?;
     // Compact the labels.
     let mut map = std::collections::HashMap::new();
@@ -149,6 +197,92 @@ pub fn clique_decomposition(
     })
 }
 
+/// One level of Theorem 2.4 over a borrowed [`VertexSubsetView`] of the
+/// *root* graph: the clique connector is built from the restricted cover
+/// alone (its edges are derived from clique groups, never from the
+/// subgraph CSR), so no induced subgraph is materialized anywhere in the
+/// recursion. Decisions are bit-identical to [`decompose_level`].
+fn decompose_level_on(
+    root: &Graph,
+    cover: &CliqueCover,
+    base: &VertexColoring,
+    view: &VertexSubsetView<'_>,
+    diversity: usize,
+    t: usize,
+    x: usize,
+) -> Result<(Vec<u64>, NetworkStats), AlgoError> {
+    let k = view.num_vertices();
+    if x == 0 || !view.has_induced_edge() {
+        return Ok((vec![0; k], NetworkStats::default()));
+    }
+    // Restriction composes: filtering the root cover by the current
+    // subset equals the reference path's level-by-level restriction.
+    let local_cover = cover.restrict_to_subset(view);
+    let conn = clique_connector_for(k, &local_cover, t)?;
+    let gamma = (diversity as u64) * (t as u64 - 1) + 1;
+    let sub_base_colors: Vec<u32> = view
+        .parent_vertices()
+        .iter()
+        .map(|&v| base.color(v))
+        .collect();
+    let sub_base = VertexColoring::new(sub_base_colors, base.palette()).map_err(|e| {
+        AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        }
+    })?;
+    let (phi, phi_stats) = vertex_coloring_with_target(
+        &conn.graph,
+        Seed::Coloring(&sub_base),
+        gamma,
+        SubroutineConfig::default(),
+    )?;
+    let mut stats = NetworkStats {
+        rounds: 1,
+        ..Default::default()
+    }
+    .then(phi_stats);
+    let classes = phi.classes();
+    let outcomes: Vec<LevelOutcome> = classes
+        .par_iter()
+        .map(|class| {
+            if class.is_empty() {
+                return Ok(None);
+            }
+            let parents: Vec<VertexId> =
+                class.iter().map(|&lv| view.to_parent_vertex(lv)).collect();
+            let child = VertexSubsetView::new(root, parents)?;
+            Ok(Some(decompose_level_on(
+                root,
+                cover,
+                base,
+                &child,
+                diversity,
+                t,
+                x - 1,
+            )?))
+        })
+        .collect();
+    let mut results = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        results.push(o?);
+    }
+    let width = (diversity as u64 * t as u64).saturating_pow(x as u32 - 1);
+    let mut out = vec![0u64; k];
+    for (c, (class, result)) in classes.iter().zip(&results).enumerate() {
+        let Some((labels, _)) = result else {
+            continue;
+        };
+        for (child_local, &view_local) in class.iter().enumerate() {
+            out[view_local.index()] = c as u64 * width + labels[child_local];
+        }
+    }
+    stats = stats.then(NetworkStats::in_parallel(
+        results.iter().flatten().map(|&(_, s)| s),
+    ));
+    Ok((out, stats))
+}
+
+/// One level of the **materializing reference path** for Theorem 2.4.
 fn decompose_level(
     g: &Graph,
     cover: &CliqueCover,
@@ -161,7 +295,7 @@ fn decompose_level(
     if g.num_edges() == 0 || x == 0 {
         return Ok((vec![0; n], NetworkStats::default()));
     }
-    let conn = clique_connector(g, cover, t)?;
+    let conn = crate::connectors::clique::clique_connector(g, cover, t)?;
     let gamma = (diversity as u64) * (t as u64 - 1) + 1;
     let (phi, phi_stats) = vertex_coloring_with_target(
         &conn.graph,
@@ -250,12 +384,12 @@ impl StarPartition {
         }
         for c in 0..self.num_classes {
             let edges: Vec<EdgeId> = g.edges().filter(|e| self.class[e.index()] == c).collect();
-            let sub = SpanningEdgeSubgraph::new(g, &edges);
-            if sub.graph().max_degree() > self.star_bound {
+            let sub = EdgeSubgraphView::new(g, edges)?;
+            if sub.max_degree() > self.star_bound {
                 return Err(AlgoError::InvariantViolated {
                     reason: format!(
                         "class {c} has star size {} > bound {}",
-                        sub.graph().max_degree(),
+                        sub.max_degree(),
                         self.star_bound
                     ),
                 });
@@ -277,7 +411,39 @@ pub fn star_partition(g: &Graph, t: usize, x: usize) -> Result<StarPartition, Al
             reason: "need t ≥ 2, x ≥ 1".into(),
         });
     }
+    if g.num_edges() > 0 && g.has_parallel_edges() {
+        return Err(AlgoError::InvalidParameters {
+            reason: "edge connector requires a simple source graph".into(),
+        });
+    }
+    let (labels, stats) = star_level_on(g, g, t, x)?;
+    finish_star_partition(g, t, x, labels, stats)
+}
+
+/// The **materializing reference path** of [`star_partition`]: identical
+/// decisions via per-class [`SpanningEdgeSubgraph`] copies. Kept for the
+/// view-equivalence tests.
+///
+/// # Errors
+///
+/// As [`star_partition`].
+pub fn star_partition_reference(g: &Graph, t: usize, x: usize) -> Result<StarPartition, AlgoError> {
+    if t < 2 || x < 1 {
+        return Err(AlgoError::InvalidParameters {
+            reason: "need t ≥ 2, x ≥ 1".into(),
+        });
+    }
     let (labels, stats) = star_level(g, t, x)?;
+    finish_star_partition(g, t, x, labels, stats)
+}
+
+fn finish_star_partition(
+    g: &Graph,
+    t: usize,
+    x: usize,
+    labels: Vec<u64>,
+    stats: NetworkStats,
+) -> Result<StarPartition, AlgoError> {
     let mut map = std::collections::HashMap::new();
     let mut class = vec![0usize; g.num_edges()];
     for (e, &l) in labels.iter().enumerate() {
@@ -298,14 +464,65 @@ pub fn star_partition(g: &Graph, t: usize, x: usize) -> Result<StarPartition, Al
     })
 }
 
+/// One §4 star-partition level over a borrowed [`GraphView`] — the hot
+/// path; decisions are bit-identical to [`star_level`].
+fn star_level_on<V: GraphView + Sync>(
+    root: &Graph,
+    view: &V,
+    t: usize,
+    x: usize,
+) -> Result<(Vec<u64>, NetworkStats), AlgoError> {
+    if view.num_edges() == 0 || x == 0 {
+        return Ok((vec![0; view.num_edges()], NetworkStats::default()));
+    }
+    let conn = edge_connector_graph_on(view, t)?;
+    let target = 2 * t as u64 - 1;
+    let (phi, phi_stats) = edge_coloring_direct(&conn, target, SubroutineConfig::default())?;
+    let mut stats = NetworkStats {
+        rounds: 1,
+        ..Default::default()
+    }
+    .then(phi_stats);
+    let classes = phi.classes();
+    let outcomes: Vec<LevelOutcome> = classes
+        .par_iter()
+        .map(|class| {
+            if class.is_empty() {
+                return Ok(None);
+            }
+            let child_edges: Vec<EdgeId> = class.iter().map(|&e| view.to_parent_edge(e)).collect();
+            let child = EdgeSubgraphView::new(root, child_edges)?;
+            Ok(Some(star_level_on(root, &child, t, x - 1)?))
+        })
+        .collect();
+    let mut results = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        results.push(o?);
+    }
+    let width = (2 * t as u64 - 1).saturating_pow(x as u32 - 1);
+    let mut out = vec![0u64; view.num_edges()];
+    for (c, (class, result)) in classes.iter().zip(&results).enumerate() {
+        let Some((labels, _)) = result else {
+            continue;
+        };
+        for (child_local, &view_local) in class.iter().enumerate() {
+            out[view_local.index()] = c as u64 * width + labels[child_local];
+        }
+    }
+    stats = stats.then(NetworkStats::in_parallel(
+        results.iter().flatten().map(|&(_, s)| s),
+    ));
+    Ok((out, stats))
+}
+
+/// One §4 star-partition level of the **materializing reference path**.
 fn star_level(g: &Graph, t: usize, x: usize) -> Result<(Vec<u64>, NetworkStats), AlgoError> {
     if g.num_edges() == 0 || x == 0 {
         return Ok((vec![0; g.num_edges()], NetworkStats::default()));
     }
     let conn = edge_connector(g, t)?;
     let target = 2 * t as u64 - 1;
-    let (phi, phi_stats) =
-        edge_coloring_with_target(&conn.graph, target, SubroutineConfig::default())?;
+    let (phi, phi_stats) = edge_coloring_direct(&conn.graph, target, SubroutineConfig::default())?;
     let mut stats = NetworkStats {
         rounds: 1,
         ..Default::default()

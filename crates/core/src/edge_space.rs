@@ -26,7 +26,8 @@
 //! `decolor-baselines`.
 
 use decolor_graph::coloring::EdgeColoring;
-use decolor_graph::{EdgeId, Graph};
+use decolor_graph::subgraph::GraphView;
+use decolor_graph::{EdgeId, Graph, VertexId};
 use decolor_runtime::NetworkStats;
 
 use crate::delta_plus_one::{ReductionStrategy, SubroutineConfig};
@@ -34,20 +35,22 @@ use crate::error::AlgoError;
 use crate::linial::{choose_parameters, eval_poly, final_palette_bound};
 
 /// Calls `f` with the current color of every L(G)-neighbor of `e` (edges
-/// sharing an endpoint with `e`, with multigraph multiplicity).
+/// sharing an endpoint with `e`, with multigraph multiplicity). Edge ids
+/// are the view's local ids, so the same code serves a whole [`Graph`]
+/// and a borrowed color-class view.
 #[inline]
-fn for_each_incident_color(g: &Graph, colors: &[u64], e: EdgeId, mut f: impl FnMut(u64)) {
+fn for_each_incident_color<V: GraphView>(g: &V, colors: &[u64], e: EdgeId, mut f: impl FnMut(u64)) {
     let [u, v] = g.endpoints(e);
-    for &(_, other) in g.incidence(u) {
+    g.for_each_incident_edge(u, |other| {
         if other != e {
             f(colors[other.index()]);
         }
-    }
-    for &(_, other) in g.incidence(v) {
+    });
+    g.for_each_incident_edge(v, |other| {
         if other != e {
             f(colors[other.index()]);
         }
-    }
+    });
 }
 
 /// Color-class buckets over the edge set, kept exact by moving each edge
@@ -125,13 +128,36 @@ pub fn edge_coloring_direct(
     target: u64,
     cfg: SubroutineConfig,
 ) -> Result<(EdgeColoring, NetworkStats), AlgoError> {
+    let (colors, palette, stats) = edge_coloring_direct_on(g, target, cfg)?;
+    let ec = EdgeColoring::new(colors, palette).map_err(|e| AlgoError::InvariantViolated {
+        reason: e.to_string(),
+    })?;
+    debug_assert!(ec.is_proper(g));
+    Ok((ec, stats))
+}
+
+/// [`edge_coloring_direct`] over any [`GraphView`] — in particular a
+/// borrowed color-class view of a parent graph, which is how the
+/// recursive pipelines (star partition, Theorem 5.2's intra stages) color
+/// their classes without materializing them. Returns the local colors,
+/// the realized palette, and the measured statistics; the decisions are
+/// bit-identical to running on the materialized subgraph because every
+/// query the algorithm makes (degrees, incidence order, endpoints, local
+/// ids) agrees between the two representations.
+///
+/// # Errors
+///
+/// [`AlgoError::InvalidParameters`] if `target` is below the view's
+/// 2Δ − 1.
+pub fn edge_coloring_direct_on<V: GraphView>(
+    g: &V,
+    target: u64,
+    cfg: SubroutineConfig,
+) -> Result<(Vec<u32>, u64, NetworkStats), AlgoError> {
     let m = g.num_edges();
     let delta = g.max_degree() as u64;
     if m == 0 {
-        let empty = EdgeColoring::new(vec![], 1).map_err(|e| AlgoError::InvariantViolated {
-            reason: e.to_string(),
-        })?;
-        return Ok((empty, NetworkStats::default()));
+        return Ok((vec![], 1, NetworkStats::default()));
     }
     let needed = 2 * delta - 1;
     if target < needed {
@@ -140,9 +166,11 @@ pub fn edge_coloring_direct(
         });
     }
     // Maximum degree of the (never materialized) line graph.
-    let delta_l: u64 = g
-        .edge_list()
-        .map(|(_, [u, v])| (g.degree(u) + g.degree(v) - 2) as u64)
+    let delta_l: u64 = (0..m)
+        .map(|e| {
+            let [u, v] = g.endpoints(EdgeId::new(e));
+            (g.degree(u) + g.degree(v) - 2) as u64
+        })
         .max()
         .unwrap_or(0);
 
@@ -151,9 +179,11 @@ pub fn edge_coloring_direct(
     let round_cost = NetworkStats {
         rounds: 1,
         messages: 2 * m as u64,
-        payload_bytes: g
-            .vertices()
-            .map(|v| (g.degree(v) * g.degree(v)) as u64)
+        payload_bytes: (0..g.num_vertices())
+            .map(|v| {
+                let d = g.degree(VertexId::new(v));
+                (d * d) as u64
+            })
             .sum::<u64>()
             * std::mem::size_of::<u64>() as u64,
     };
@@ -173,25 +203,33 @@ pub fn edge_coloring_direct(
         // the whole edge set gathers; a snapshot keeps rounds synchronous.
         let fixed = final_palette_bound(delta_l as usize);
         let mut prev = colors.clone();
+        // Incident colors of the deciding edge, gathered once per edge
+        // (not once per evaluation point) into a reused buffer.
+        let mut neighborhood: Vec<u64> = Vec::new();
         while palette > fixed {
             let (q, _) = choose_parameters(palette, delta_l);
             if q * q >= palette {
                 break; // fixed point reached early
             }
             prev.copy_from_slice(&colors);
-            for e in g.edges() {
+            for e in (0..m).map(EdgeId::new) {
                 let my = prev[e.index()];
+                neighborhood.clear();
+                for_each_incident_color(g, &prev, e, |their| {
+                    // Neighbors with *equal* color would break properness
+                    // of the input (debug-checked); they never collide.
+                    debug_assert_ne!(their, my, "input coloring is not proper");
+                    if their != my {
+                        neighborhood.push(their);
+                    }
+                });
                 let mut alpha = None;
                 'points: for a in 0..q {
                     let mine = eval_poly(my, q, a);
-                    let mut collided = false;
-                    for_each_incident_color(g, &prev, e, |their| {
-                        if !collided && their != my && eval_poly(their, q, a) == mine {
-                            collided = true;
+                    for &their in &neighborhood {
+                        if eval_poly(their, q, a) == mine {
+                            continue 'points;
                         }
-                    });
-                    if collided {
-                        continue 'points;
                     }
                     alpha = Some(a);
                     break;
@@ -233,23 +271,18 @@ pub fn edge_coloring_direct(
         ),
     };
 
-    let colors_u32: Vec<u32> = colors
-        .iter()
-        .map(|&c| u32::try_from(c).expect("palette fits u32 after reduction"))
-        .collect();
-    let ec =
-        EdgeColoring::new(colors_u32, final_palette).map_err(|e| AlgoError::InvariantViolated {
-            reason: e.to_string(),
-        })?;
-    debug_assert!(ec.is_proper(g));
-    Ok((ec, stats))
+    let colors_u32: Result<Vec<u32>, _> = colors.iter().map(|&c| u32::try_from(c)).collect();
+    let colors_u32 = colors_u32.map_err(|_| AlgoError::InvariantViolated {
+        reason: "palette exceeds u32 after reduction".into(),
+    })?;
+    Ok((colors_u32, final_palette, stats))
 }
 
 /// Basic reduction in edge space: one top color class per round, each
 /// class a matching in L(G)-adjacency terms, so its agents decide
 /// simultaneously and in place.
-fn basic_phase(
-    g: &Graph,
+fn basic_phase<V: GraphView>(
+    g: &V,
     colors: &mut [u64],
     palette: u64,
     target: u64,
@@ -279,8 +312,8 @@ fn basic_phase(
 /// (vertex-disjoint palette blocks run in the same rounds), then the
 /// basic tail — the exact decision sequence of
 /// [`reduction::kw_reduction`](crate::reduction::kw_reduction) on L(G).
-fn kw_phase(
-    g: &Graph,
+fn kw_phase<V: GraphView>(
+    g: &V,
     colors: &mut [u64],
     palette: u64,
     target: u64,

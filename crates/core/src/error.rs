@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use decolor_graph::GraphError;
+use decolor_runtime::RuntimeError;
 
 /// Errors produced by the coloring algorithms.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,6 +23,8 @@ pub enum AlgoError {
     },
     /// An underlying graph operation failed.
     Graph(GraphError),
+    /// The LOCAL simulator rejected malformed traffic.
+    Runtime(RuntimeError),
 }
 
 impl fmt::Display for AlgoError {
@@ -30,6 +33,7 @@ impl fmt::Display for AlgoError {
             AlgoError::InvalidParameters { reason } => write!(f, "invalid parameters: {reason}"),
             AlgoError::InvariantViolated { reason } => write!(f, "invariant violated: {reason}"),
             AlgoError::Graph(e) => write!(f, "graph error: {e}"),
+            AlgoError::Runtime(e) => write!(f, "runtime error: {e}"),
         }
     }
 }
@@ -38,6 +42,7 @@ impl Error for AlgoError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             AlgoError::Graph(e) => Some(e),
+            AlgoError::Runtime(e) => Some(e),
             _ => None,
         }
     }
@@ -46,6 +51,12 @@ impl Error for AlgoError {
 impl From<GraphError> for AlgoError {
     fn from(e: GraphError) -> Self {
         AlgoError::Graph(e)
+    }
+}
+
+impl From<RuntimeError> for AlgoError {
+    fn from(e: RuntimeError) -> Self {
+        AlgoError::Runtime(e)
     }
 }
 

@@ -33,8 +33,13 @@ pub struct HPartition {
 
 /// Computes an H-partition with degree bound `d` by parallel peeling.
 ///
-/// Each peeling phase costs one communication round (vertices broadcast
-/// whether they are still active).
+/// Each peeling phase costs one communication round, simulated on the
+/// **active vertex set only**
+/// ([`Network::broadcast_on_active_into`]): peeled vertices stay silent,
+/// so a level's messages cost Σ deg(active) instead of 2m, and the one
+/// flat [`decolor_runtime::RoundBuffer`] is reused across every level —
+/// no per-round allocation. A vertex's active degree is simply the number
+/// of messages it received.
 ///
 /// ```rust
 /// use decolor_core::h_partition::h_partition;
@@ -59,28 +64,28 @@ pub struct HPartition {
 pub fn h_partition(g: &Graph, d: usize) -> Result<HPartition, AlgoError> {
     let n = g.num_vertices();
     let mut net = Network::new(g);
+    let mut buf = net.make_buffer::<u8>();
+    let presence = vec![1u8; n];
     let mut index = vec![usize::MAX; n];
     let mut active: Vec<bool> = vec![true; n];
-    let mut remaining = n;
+    let mut active_list: Vec<decolor_graph::VertexId> = g.vertices().collect();
     let mut level = 0usize;
-    while remaining > 0 {
-        // One round: everyone announces whether they are still active.
-        let inbox = net.broadcast(&active.iter().map(|&b| u8::from(b)).collect::<Vec<_>>());
+    while !active_list.is_empty() {
+        // One round: still-active vertices announce themselves; a
+        // vertex's active degree is its message count this round.
+        net.broadcast_on_active_into(&presence, &active_list, &mut buf)?;
         let mut peeled = Vec::new();
-        for v in 0..n {
-            if !active[v] {
-                continue;
-            }
-            let deg_active: usize = inbox[v].iter().map(|&b| b as usize).sum();
-            if deg_active <= d {
-                peeled.push(v);
+        for &v in &active_list {
+            if buf.received(v) <= d {
+                peeled.push(v.index());
             }
         }
         if peeled.is_empty() {
             return Err(AlgoError::InvalidParameters {
                 reason: format!(
-                    "H-partition stuck at level {level} with {remaining} vertices: \
-                     threshold d = {d} is below twice the remaining density"
+                    "H-partition stuck at level {level} with {} vertices: \
+                     threshold d = {d} is below twice the remaining density",
+                    active_list.len()
                 ),
             });
         }
@@ -88,7 +93,7 @@ pub fn h_partition(g: &Graph, d: usize) -> Result<HPartition, AlgoError> {
             index[v] = level;
             active[v] = false;
         }
-        remaining -= peeled.len();
+        active_list.retain(|v| active[v.index()]);
         level += 1;
     }
     Ok(HPartition {

@@ -68,16 +68,19 @@ pub(crate) fn choose_parameters(m: u64, delta: u64) -> (u64, u32) {
 
 /// Evaluates the polynomial with base-`q` digit coefficients of `c` at
 /// point `a`, over GF(q).
+///
+/// Allocation-free (this sits in the innermost loop of both Linial
+/// realizations): digits are consumed least-significant-first with a
+/// running power of `a`, which is the same sum `Σ digit_i a^i mod q` as
+/// Horner's rule. `(c % q) * pw < q²` fits u64 for every `q` the
+/// parameter chooser can produce.
 pub(crate) fn eval_poly(mut c: u64, q: u64, a: u64) -> u64 {
-    // Horner on digits: c = Σ digit_i q^i, p(a) = Σ digit_i a^i.
-    let mut coeffs = Vec::with_capacity(8);
-    while c > 0 {
-        coeffs.push(c % q);
-        c /= q;
-    }
     let mut acc = 0u64;
-    for &d in coeffs.iter().rev() {
-        acc = (acc * a + d) % q;
+    let mut pw = 1 % q;
+    while c > 0 {
+        acc = (acc + (c % q) * pw) % q;
+        pw = (pw * a) % q;
+        c /= q;
     }
     acc
 }
@@ -93,9 +96,9 @@ fn linial_round(
     colors: &mut [u64],
     m: u64,
     delta: u64,
-) -> u64 {
+) -> Result<u64, AlgoError> {
     let (q, _deg) = choose_parameters(m, delta);
-    net.broadcast_into(colors, buf);
+    net.broadcast_into(colors, buf)?;
     #[allow(clippy::needless_range_loop)] // v also names the buffer row
     for v in 0..colors.len() {
         let my = colors[v];
@@ -119,7 +122,7 @@ fn linial_round(
         let a = alpha.expect("a valid evaluation point exists by the pigeonhole argument");
         colors[v] = a * q + eval_poly(my, q, a);
     }
-    q * q
+    Ok(q * q)
 }
 
 /// Runs Linial's iteration from an arbitrary proper coloring down to its
@@ -172,7 +175,7 @@ pub fn linial_from_coloring(
         if next >= m {
             break; // fixed point reached early
         }
-        let reached = linial_round(net, &mut buf, &mut colors, m, delta);
+        let reached = linial_round(net, &mut buf, &mut colors, m, delta)?;
         m = reached;
         trace.push(m);
     }

@@ -62,7 +62,7 @@ pub fn basic_reduction(
         return Ok(palette.max(1));
     }
     let mut buf = net.make_buffer();
-    basic_reduction_rounds(net, &mut buf, colors, palette, target);
+    basic_reduction_rounds(net, &mut buf, colors, palette, target)?;
     Ok(target)
 }
 
@@ -74,9 +74,9 @@ fn basic_reduction_rounds(
     colors: &mut [Color],
     palette: u64,
     target: u64,
-) {
+) -> Result<(), AlgoError> {
     for top in (target..palette).rev() {
-        net.broadcast_into(colors, buf);
+        net.broadcast_into(colors, buf)?;
         #[allow(clippy::needless_range_loop)] // v also names the buffer row
         for v in 0..colors.len() {
             if u64::from(colors[v]) == top {
@@ -85,6 +85,7 @@ fn basic_reduction_rounds(
             }
         }
     }
+    Ok(())
 }
 
 /// Kuhn–Wattenhofer reduction: proper `palette`-coloring → proper
@@ -119,7 +120,7 @@ pub fn kw_reduction(
         let block_of = |c: Color| u64::from(c) / (2 * t);
         for step in 0..t {
             let top_local = 2 * t - 1 - step;
-            net.broadcast_into(colors, &mut buf);
+            net.broadcast_into(colors, &mut buf)?;
             #[allow(clippy::needless_range_loop)] // v also names the buffer row
             for v in 0..colors.len() {
                 let local = u64::from(colors[v]) % (2 * t);
@@ -152,7 +153,7 @@ pub fn kw_reduction(
     if m <= t {
         return Ok(m.max(1));
     }
-    basic_reduction_rounds(net, &mut buf, colors, m, t);
+    basic_reduction_rounds(net, &mut buf, colors, m, t)?;
     Ok(t)
 }
 
@@ -199,7 +200,7 @@ pub fn edge_palette_trim(
     let mut buf = net.make_buffer();
     let mut updates: Vec<(decolor_graph::EdgeId, Color)> = Vec::new();
     for top in (target..palette).rev() {
-        net.broadcast_into(&incident_colors, &mut buf);
+        net.broadcast_into(&incident_colors, &mut buf)?;
         updates.clear();
         for (e, [u, _v]) in g.edge_list() {
             if u64::from(colors[e.index()]) != top {
@@ -209,7 +210,7 @@ pub fn edge_palette_trim(
             // colors locally and the other endpoint's from the inbox.
             // Top-class edges form a matching, so decisions are
             // independent.
-            let pu = net.port_of(u, e);
+            let pu = net.port_of(u, e)?;
             let used = incident_colors[u.index()]
                 .iter()
                 .chain(buf.msg(u, pu).iter())
@@ -221,8 +222,10 @@ pub fn edge_palette_trim(
         for &(e, c) in &updates {
             colors[e.index()] = c;
             let [u, v] = g.endpoints(e);
-            incident_colors[u.index()][net.port_of(u, e)] = c;
-            incident_colors[v.index()][net.port_of(v, e)] = c;
+            let pu = net.port_of(u, e)?;
+            let pv = net.port_of(v, e)?;
+            incident_colors[u.index()][pu] = c;
+            incident_colors[v.index()][pv] = c;
         }
     }
     Ok(target)

@@ -11,20 +11,23 @@
 //! final one-class-per-round trim (§4's "within an additional round").
 
 use decolor_graph::coloring::{Color, EdgeColoring};
-use decolor_graph::subgraph::SpanningEdgeSubgraph;
+use decolor_graph::subgraph::{EdgeSubgraphView, GraphView, SpanningEdgeSubgraph};
 use decolor_graph::{EdgeId, Graph};
 use decolor_runtime::{Network, NetworkStats};
 use rayon::prelude::*;
 
-use crate::connectors::edge::edge_connector;
-use crate::delta_plus_one::{edge_coloring_with_target, SubroutineConfig};
+use crate::connectors::edge::{edge_connector, edge_connector_graph_on};
+use crate::delta_plus_one::SubroutineConfig;
+use crate::edge_space::{edge_coloring_direct, edge_coloring_direct_on};
 use crate::error::AlgoError;
 use crate::reduction::edge_palette_trim;
 use crate::util::integer_root;
 
-/// Child outcome of a parallel class recursion (subgraph, colors,
-/// palette, stats).
+/// Child outcome of a parallel class recursion in the materializing
+/// reference path (subgraph, colors, palette, stats).
 type ClassOutcome = (SpanningEdgeSubgraph, Vec<Color>, u64, NetworkStats);
+/// Child outcome of a view-based class recursion (colors, palette, stats).
+type ViewOutcome = Result<Option<(Vec<Color>, u64, NetworkStats)>, AlgoError>;
 
 /// Parameters for the star-partition edge coloring.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -102,6 +105,45 @@ pub fn star_partition_edge_coloring(
     g: &Graph,
     params: &StarPartitionParams,
 ) -> Result<StarPartitionResult, AlgoError> {
+    check_params(g, params)?;
+    let staged = stage_on(
+        g,
+        g,
+        params.t,
+        params.x,
+        params.subroutine,
+        params.adaptive_t,
+    )?;
+    finish(g, params, staged)
+}
+
+/// The **materializing reference path**: identical decisions to
+/// [`star_partition_edge_coloring`], but every recursion level copies each
+/// color class into a fresh [`SpanningEdgeSubgraph`] (the pre-view
+/// implementation). Kept so the equivalence tests can pin the borrowed
+/// [`EdgeSubgraphView`] pipeline bit-for-bit — colorings, palettes, and
+/// [`NetworkStats`] must match exactly.
+///
+/// Note on the ledger: both paths color classes with the edge-space
+/// realization ([`edge_coloring_direct`]), whose colorings **and round
+/// counts** are pinned bit-identical to the line-graph pipeline by the
+/// `edge_space` and `decolor-baselines` equivalence tests, but whose
+/// `messages`/`payload_bytes` reflect the on-`G` realization — so those
+/// two columns are not comparable with pre-PR-3 recorded runs.
+///
+/// # Errors
+///
+/// As [`star_partition_edge_coloring`].
+pub fn star_partition_edge_coloring_reference(
+    g: &Graph,
+    params: &StarPartitionParams,
+) -> Result<StarPartitionResult, AlgoError> {
+    check_params(g, params)?;
+    let staged = stage(g, params.t, params.x, params.subroutine, params.adaptive_t)?;
+    finish(g, params, staged)
+}
+
+fn check_params(g: &Graph, params: &StarPartitionParams) -> Result<(), AlgoError> {
     if params.t < 2 {
         return Err(AlgoError::InvalidParameters {
             reason: "t must be ≥ 2".into(),
@@ -112,8 +154,21 @@ pub fn star_partition_edge_coloring(
             reason: "x must be ≥ 1".into(),
         });
     }
-    let (colors, palette, mut stats) =
-        stage(g, params.t, params.x, params.subroutine, params.adaptive_t)?;
+    if g.num_edges() > 0 && g.has_parallel_edges() {
+        return Err(AlgoError::InvalidParameters {
+            reason: "edge connector requires a simple source graph".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Shared tail of both paths: the §4 palette trim and validation.
+fn finish(
+    g: &Graph,
+    params: &StarPartitionParams,
+    staged: (Vec<Color>, u64, NetworkStats),
+) -> Result<StarPartitionResult, AlgoError> {
+    let (colors, palette, mut stats) = staged;
     let untrimmed_palette = palette;
     let mut colors = colors;
     let mut palette = palette;
@@ -143,7 +198,103 @@ pub fn star_partition_edge_coloring(
     })
 }
 
-/// One connector stage (or the direct base case for `x == 0`).
+/// One connector stage over a borrowed [`GraphView`] (or the direct base
+/// case for `x == 0`): the hot path. Color classes recurse as
+/// [`EdgeSubgraphView`]s of the *root* graph — activation bitsets over the
+/// root CSR — so no per-class graph, port table, or line graph is ever
+/// materialized; the only allocations are O(m/64 + n) words of view
+/// index per class. Decisions are bit-identical to [`stage`].
+fn stage_on<V: GraphView + Sync>(
+    root: &Graph,
+    view: &V,
+    t: usize,
+    x: usize,
+    cfg: SubroutineConfig,
+    adaptive_t: bool,
+) -> Result<(Vec<Color>, u64, NetworkStats), AlgoError> {
+    if view.num_edges() == 0 {
+        return Ok((vec![], 1, NetworkStats::default()));
+    }
+    let delta = view.max_degree() as u64;
+    let t = if adaptive_t {
+        integer_root(delta, x as u32 + 1).max(2) as usize
+    } else {
+        t
+    };
+    if x == 0 || delta <= t as u64 {
+        // Base: color directly with 2Δ − 1 colors in edge space, straight
+        // off the view.
+        let target = (2 * delta - 1).max(1);
+        return edge_coloring_direct_on(view, target, cfg);
+    }
+
+    // Build the connector (O(1) local rounds) over the view and
+    // edge-color it with 2t − 1 colors; Δ(connector) ≤ t is verified
+    // inside the builder.
+    let conn = edge_connector_graph_on(view, t)?;
+    let target_conn = (2 * t as u64 - 1).max(1);
+    let (phi, phi_stats) = edge_coloring_direct(&conn, target_conn, cfg)?;
+    let mut stats = NetworkStats {
+        rounds: 1,
+        ..Default::default()
+    }
+    .then(phi_stats);
+
+    // Group the view's edges by connector color (edge ids align) and
+    // recurse on each class as a fresh view of the root graph.
+    let classes = phi.classes();
+    let star_bound = view.max_degree().div_ceil(t) as u64;
+    let outcomes: Vec<ViewOutcome> = classes
+        .par_iter()
+        .map(|class| {
+            if class.is_empty() {
+                return Ok(None);
+            }
+            let child_edges: Vec<EdgeId> = class.iter().map(|&e| view.to_parent_edge(e)).collect();
+            let child = EdgeSubgraphView::new(root, child_edges)?;
+            if child.max_degree() as u64 > star_bound {
+                return Err(AlgoError::InvariantViolated {
+                    reason: format!(
+                        "class star size {} exceeds ⌈Δ/t⌉ = {star_bound}",
+                        child.max_degree()
+                    ),
+                });
+            }
+            Ok(Some(stage_on(root, &child, t, x - 1, cfg, adaptive_t)?))
+        })
+        .collect();
+
+    let mut results = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        results.push(o?);
+    }
+    let inner_palette = results
+        .iter()
+        .flatten()
+        .map(|&(_, p, _)| p)
+        .max()
+        .unwrap_or(1);
+    let mut out = vec![0 as Color; view.num_edges()];
+    for (c, (class, result)) in classes.iter().zip(&results).enumerate() {
+        let Some((colors, _, _)) = result else {
+            continue;
+        };
+        for (child_local, &view_local) in class.iter().enumerate() {
+            let combined = c as u64 * inner_palette + u64::from(colors[child_local]);
+            out[view_local.index()] =
+                u32::try_from(combined).map_err(|_| AlgoError::InvariantViolated {
+                    reason: "combined color exceeds u32".into(),
+                })?;
+        }
+    }
+    stats = stats.then(NetworkStats::in_parallel(
+        results.iter().flatten().map(|&(_, _, s)| s),
+    ));
+    Ok((out, target_conn * inner_palette, stats))
+}
+
+/// One connector stage of the **materializing reference path** (or the
+/// direct base case for `x == 0`).
 fn stage(
     g: &Graph,
     t: usize,
@@ -161,9 +312,9 @@ fn stage(
         t
     };
     if x == 0 || delta <= t as u64 {
-        // Base: color directly with 2Δ − 1 colors.
+        // Base: color directly with 2Δ − 1 colors in edge space.
         let target = (2 * delta - 1).max(1);
-        let (c, s) = edge_coloring_with_target(g, target, cfg)?;
+        let (c, s) = edge_coloring_direct(g, target, cfg)?;
         return Ok((c.as_slice().to_vec(), c.palette(), s));
     }
 
@@ -172,7 +323,7 @@ fn stage(
     let conn = edge_connector(g, t)?;
     conn.verify_degree_bound()?;
     let target_conn = (2 * t as u64 - 1).max(1);
-    let (phi, phi_stats) = edge_coloring_with_target(&conn.graph, target_conn, cfg)?;
+    let (phi, phi_stats) = edge_coloring_direct(&conn.graph, target_conn, cfg)?;
     let mut stats = NetworkStats {
         rounds: 1,
         ..Default::default()

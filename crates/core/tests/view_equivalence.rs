@@ -1,0 +1,159 @@
+//! The borrowed-view recursion must be a pure *representation* change:
+//! every pipeline that was migrated from per-class materialized subgraphs
+//! onto [`decolor_graph::subgraph::EdgeSubgraphView`] /
+//! [`decolor_graph::subgraph::VertexSubsetView`] has to produce
+//! bit-identical colorings, palettes, class labels, and [`NetworkStats`]
+//! to the kept materializing reference path — at every worker-pool size.
+
+use decolor_core::decomposition::{
+    clique_decomposition, clique_decomposition_reference, star_partition, star_partition_reference,
+};
+use decolor_core::star_partition::{
+    star_partition_edge_coloring, star_partition_edge_coloring_reference, StarPartitionParams,
+};
+use decolor_graph::line_graph::LineGraph;
+use decolor_graph::{generators, Graph};
+use decolor_runtime::{IdAssignment, NetworkStats};
+use proptest::prelude::*;
+
+/// The worker-pool sizes every equivalence is checked under.
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+fn workloads(seed: u64) -> Vec<(Graph, &'static str)> {
+    vec![
+        (generators::gnm(90, 270, seed).unwrap(), "gnm(90,270)"),
+        (
+            generators::random_regular(96, 12, seed).unwrap(),
+            "12-regular",
+        ),
+        (
+            generators::barabasi_albert(80, 3, seed).unwrap(),
+            "barabasi-albert",
+        ),
+    ]
+}
+
+#[track_caller]
+fn assert_stats_eq(a: NetworkStats, b: NetworkStats, what: &str) {
+    assert_eq!(a, b, "{what}: NetworkStats diverge");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Star-partition edge coloring: view path ≡ materializing reference
+    /// (colorings, palettes, stats) for x ∈ {1, 2, 3} at 1 and 4 threads.
+    #[test]
+    fn star_partition_coloring_matches_reference(seed in 0u64..200) {
+        for (g, label) in workloads(seed) {
+            for x in 1..=3usize {
+                let params = StarPartitionParams::for_levels(&g, x);
+                let reference = rayon::with_num_threads(1, || {
+                    star_partition_edge_coloring_reference(&g, &params).unwrap()
+                });
+                for threads in THREAD_COUNTS {
+                    let view = rayon::with_num_threads(threads, || {
+                        star_partition_edge_coloring(&g, &params).unwrap()
+                    });
+                    prop_assert_eq!(
+                        view.coloring.as_slice(),
+                        reference.coloring.as_slice(),
+                        "{} x={} threads={}: colorings diverge",
+                        label, x, threads
+                    );
+                    prop_assert_eq!(view.coloring.palette(), reference.coloring.palette());
+                    prop_assert_eq!(view.untrimmed_palette, reference.untrimmed_palette);
+                    assert_stats_eq(view.stats, reference.stats, label);
+                }
+            }
+        }
+    }
+
+    /// §4 star partition (labels only): view ≡ reference.
+    #[test]
+    fn star_partition_labels_match_reference(seed in 0u64..200) {
+        for (g, label) in workloads(seed) {
+            for (t, x) in [(4usize, 1usize), (2, 2), (2, 3)] {
+                let reference =
+                    rayon::with_num_threads(1, || star_partition_reference(&g, t, x).unwrap());
+                for threads in THREAD_COUNTS {
+                    let view =
+                        rayon::with_num_threads(threads, || star_partition(&g, t, x).unwrap());
+                    prop_assert_eq!(
+                        &view.class, &reference.class,
+                        "{} t={} x={} threads={}: classes diverge",
+                        label, t, x, threads
+                    );
+                    prop_assert_eq!(view.num_classes, reference.num_classes);
+                    prop_assert_eq!(view.star_bound, reference.star_bound);
+                    assert_stats_eq(view.stats, reference.stats, label);
+                    view.verify(&g).unwrap();
+                }
+            }
+        }
+    }
+
+    /// Theorem 2.4 clique decomposition on line graphs: view ≡ reference.
+    #[test]
+    fn clique_decomposition_matches_reference(seed in 0u64..200) {
+        let g = generators::random_regular(64, 8, seed).unwrap();
+        let lg = LineGraph::new(&g);
+        let ids = IdAssignment::shuffled(lg.graph.num_vertices(), seed);
+        for (t, x) in [(3usize, 1usize), (2, 2)] {
+            let reference = rayon::with_num_threads(1, || {
+                clique_decomposition_reference(&lg.graph, &lg.cover, t, x, &ids).unwrap()
+            });
+            for threads in THREAD_COUNTS {
+                let view = rayon::with_num_threads(threads, || {
+                    clique_decomposition(&lg.graph, &lg.cover, t, x, &ids).unwrap()
+                });
+                prop_assert_eq!(
+                    &view.part, &reference.part,
+                    "t={} x={} threads={}: parts diverge", t, x, threads
+                );
+                prop_assert_eq!(view.num_parts, reference.num_parts);
+                prop_assert_eq!(view.clique_bound, reference.clique_bound);
+                assert_stats_eq(view.stats, reference.stats, "clique decomposition");
+                view.verify(&lg.graph, &lg.cover).unwrap();
+            }
+        }
+    }
+}
+
+/// Odd shapes (paths, stars, grids, edgeless) through both paths.
+#[test]
+fn degenerate_shapes_match_reference() {
+    for g in [
+        generators::path(17).unwrap(),
+        generators::star(30).unwrap(),
+        generators::grid(6, 7).unwrap(),
+        decolor_graph::GraphBuilder::new(5).build(),
+    ] {
+        let params = StarPartitionParams::for_levels(&g, 1);
+        let view = star_partition_edge_coloring(&g, &params).unwrap();
+        let reference = star_partition_edge_coloring_reference(&g, &params).unwrap();
+        assert_eq!(view.coloring.as_slice(), reference.coloring.as_slice());
+        assert_eq!(view.stats, reference.stats);
+        if g.num_edges() > 0 {
+            let sp = star_partition(&g, 2, 2).unwrap();
+            let sp_ref = star_partition_reference(&g, 2, 2).unwrap();
+            assert_eq!(sp.class, sp_ref.class);
+            assert_eq!(sp.stats, sp_ref.stats);
+        }
+    }
+}
+
+/// The adaptive-t ablation recomputes t per level from the *view's*
+/// maximum degree — pin it against the reference too.
+#[test]
+fn adaptive_t_matches_reference() {
+    let g = generators::barabasi_albert(150, 4, 9).unwrap();
+    let params = StarPartitionParams {
+        adaptive_t: true,
+        ..StarPartitionParams::for_levels(&g, 2)
+    };
+    let view = star_partition_edge_coloring(&g, &params).unwrap();
+    let reference = star_partition_edge_coloring_reference(&g, &params).unwrap();
+    assert_eq!(view.coloring.as_slice(), reference.coloring.as_slice());
+    assert_eq!(view.stats, reference.stats);
+}

@@ -212,6 +212,22 @@ impl CliqueCover {
             .expect("restriction of a well-formed cover is well-formed")
     }
 
+    /// [`CliqueCover::restrict`] for a borrowed
+    /// [`VertexSubsetView`](crate::subgraph::VertexSubsetView): identical
+    /// output without materializing the induced subgraph (the view's local
+    /// ids equal the subgraph's for ascending subsets).
+    pub fn restrict_to_subset(&self, view: &crate::subgraph::VertexSubsetView<'_>) -> CliqueCover {
+        let mut cliques = Vec::new();
+        for clique in &self.cliques {
+            let local: Vec<VertexId> = clique.iter().filter_map(|&v| view.local_of(v)).collect();
+            if !local.is_empty() {
+                cliques.push(local);
+            }
+        }
+        CliqueCover::new_unchecked(view.num_vertices(), cliques)
+            .expect("restriction of a well-formed cover is well-formed")
+    }
+
     /// The trivial cover of an edgeless-or-not graph by one clique per edge
     /// plus one singleton per isolated vertex. Diversity = Δ in the worst
     /// case — only useful as a fallback or in tests.

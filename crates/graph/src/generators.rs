@@ -10,6 +10,7 @@
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 use crate::builder::GraphBuilder;
 use crate::error::GraphError;
@@ -18,6 +19,75 @@ use crate::hypergraph::Hypergraph;
 
 fn rng(seed: u64) -> SmallRng {
     SmallRng::seed_from_u64(seed)
+}
+
+/// SplitMix64 finalizer — a cheap, statistically solid 64-bit mixer used
+/// as the round function of the stub permutation and for shard seeds.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A keyed pseudorandom permutation of `0..domain` evaluable point-wise —
+/// a 4-round balanced Feistel network over the next even bit-width, with
+/// cycle-walking to stay inside the domain. Each position can be permuted
+/// independently (O(1), no shared state), which is what lets the stub
+/// shuffle of [`random_regular`] run in parallel shards.
+#[derive(Clone, Copy, Debug)]
+struct FeistelPerm {
+    domain: u64,
+    half_bits: u32,
+    half_mask: u64,
+    keys: [u64; 4],
+}
+
+impl FeistelPerm {
+    fn new(domain: u64, seed: u64) -> Self {
+        debug_assert!(domain >= 2);
+        let bits = (64 - (domain - 1).leading_zeros()).max(2);
+        let half_bits = bits.div_ceil(2);
+        FeistelPerm {
+            domain,
+            half_bits,
+            half_mask: (1u64 << half_bits) - 1,
+            keys: [
+                mix64(seed ^ 0xa076_1d64_78bd_642f),
+                mix64(seed ^ 0xe703_7ed1_a0b4_28db),
+                mix64(seed ^ 0x8ebc_6af0_9c88_c6e3),
+                mix64(seed ^ 0x5899_65cc_7537_4cc3),
+            ],
+        }
+    }
+
+    #[inline]
+    fn encrypt_once(&self, x: u64) -> u64 {
+        let mut l = x >> self.half_bits;
+        let mut r = x & self.half_mask;
+        for &k in &self.keys {
+            // One-multiply round mixer (full mix64 is overkill for a
+            // workload shuffle and triples the multiply count in what is
+            // the innermost loop of generation).
+            let mut z = (r ^ k).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            z ^= z >> 31;
+            let next = l ^ (z & self.half_mask);
+            l = r;
+            r = next;
+        }
+        (l << self.half_bits) | r
+    }
+
+    /// The image of `x` under the permutation (cycle-walked into range).
+    #[inline]
+    fn permute(&self, x: u64) -> u64 {
+        let mut y = self.encrypt_once(x);
+        while y >= self.domain {
+            y = self.encrypt_once(y);
+        }
+        y
+    }
 }
 
 /// Path graph P_n (n ≥ 1).
@@ -189,6 +259,12 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
 
 /// Erdős–Rényi G(n, p): each pair independently with probability `p`.
 ///
+/// Sampled by **geometric skipping** over the linearized upper triangle:
+/// instead of `C(n, 2)` Bernoulli draws, the gap to the next present edge
+/// is drawn from the geometric distribution, so generation costs
+/// O(n + expected edges) — sparse G(n, p) at n = 10⁶ is instant where the
+/// pair loop needed ~5·10¹¹ draws.
+///
 /// # Errors
 ///
 /// [`GraphError::InvalidParameters`] if `p ∉ [0, 1]`.
@@ -198,52 +274,140 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
             reason: format!("p = {p} not in [0,1]"),
         });
     }
-    let mut r = rng(seed);
     let mut b = GraphBuilder::new(n);
-    for u in 0..n {
-        for v in (u + 1)..n {
-            if r.gen_bool(p) {
+    let total_pairs = (n as u128) * (n as u128 - n.min(1) as u128) / 2;
+    if p <= 0.0 || total_pairs == 0 {
+        return Ok(b.build());
+    }
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
                 b.add_edge(u, v)?;
             }
         }
+        return Ok(b.build());
+    }
+    let mut r = rng(seed);
+    let log_q = (1.0 - p).ln();
+    // `row_base(u)` = linear index of pair (u, u + 1); invert by solving
+    // the triangular-number equation in floats, then correcting locally.
+    let row_base = |u: u128| u * (2 * n as u128 - u - 1) / 2;
+    let mut idx: u128 = 0;
+    let mut first = true;
+    loop {
+        // Gap ~ Geometric(p): floor(ln(U) / ln(1 − p)) extra skips.
+        let u01: f64 = r.gen::<f64>();
+        let gap = (u01.max(f64::MIN_POSITIVE).ln() / log_q).floor();
+        if !gap.is_finite() || gap >= total_pairs as f64 {
+            break;
+        }
+        idx += if first { gap as u128 } else { gap as u128 + 1 };
+        first = false;
+        if idx >= total_pairs {
+            break;
+        }
+        let mut u = {
+            // Float guess for the row containing `idx`, then correct.
+            let nn = n as f64;
+            let x = idx as f64;
+            let guess = nn - 0.5 - ((nn - 0.5) * (nn - 0.5) - 2.0 * x).max(0.0).sqrt();
+            (guess.floor().max(0.0) as u128).min(n as u128 - 1)
+        };
+        while u > 0 && row_base(u) > idx {
+            u -= 1;
+        }
+        while row_base(u + 1) <= idx {
+            u += 1;
+        }
+        let v = u + 1 + (idx - row_base(u));
+        b.add_edge(u as usize, v as usize)?;
     }
     Ok(b.build())
 }
 
-/// Random `d`-regular graph via the pairing (configuration) model with
-/// rejection of self-loops/parallels, retried up to 200 times.
+/// Pairs per shard of the parallel stub pairing (fixed — shard layout
+/// must not depend on the worker-pool size, or results would vary with
+/// `DECOLOR_THREADS`).
+const PAIRING_SHARD: u64 = 1 << 15;
+
+/// Random `d`-regular graph via the pairing (configuration) model.
+///
+/// The stub shuffle is a keyed [`FeistelPerm`] evaluated point-wise, so
+/// the bulk pairing runs as **parallel seeded shards** (fixed shard
+/// layout ⇒ output independent of the worker-pool size): shard `s` pairs
+/// permuted stubs `2i` and `2i + 1` for its pair range. A sequential
+/// repair pass then resolves the few self-loops/parallel collisions with
+/// the classic Steger–Wormald retry loop over the leftover stubs,
+/// restarting with a fresh permutation key only if the tail gets stuck.
 ///
 /// # Errors
 ///
-/// * [`GraphError::InvalidParameters`] if `n·d` is odd or `d ≥ n`.
+/// * [`GraphError::InvalidParameters`] if `n·d` overflows, is odd, or
+///   `d ≥ n`.
 /// * [`GraphError::GenerationFailed`] if the retry budget is exhausted
 ///   (practically only for d close to n).
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError> {
-    if n == 0 || d >= n || !(n * d).is_multiple_of(2) {
+    let stubs_total = n
+        .checked_mul(d)
+        .ok_or_else(|| GraphError::InvalidParameters {
+            reason: format!("stub count n·d overflows for n = {n}, d = {d}"),
+        })?;
+    if n == 0 || d >= n || !stubs_total.is_multiple_of(2) {
         return Err(GraphError::InvalidParameters {
             reason: format!("no simple {d}-regular graph on {n} vertices (need nd even, d < n)"),
         });
     }
-    let mut r = rng(seed);
-    'attempt: for _ in 0..200 {
-        // Steger–Wormald style: repeatedly pair two random remaining stubs
-        // whose pairing is legal; restart only if stuck at the tail.
-        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
-        let mut b = GraphBuilder::new(n).with_edge_capacity(n * d / 2);
-        while stubs.len() > 1 {
+    if d == 0 {
+        return Ok(GraphBuilder::new(n).build());
+    }
+    let pairs_total = (stubs_total / 2) as u64;
+    let shards: Vec<u64> = (0..pairs_total.div_ceil(PAIRING_SHARD)).collect();
+    'attempt: for salt in 0..200u64 {
+        let perm = FeistelPerm::new(stubs_total as u64, mix64(seed).wrapping_add(salt));
+        // Phase 1 (parallel): propose one edge per stub pair.
+        let proposed: Vec<Vec<(u32, u32)>> = shards
+            .par_iter()
+            .map(|&s| {
+                let lo = s * PAIRING_SHARD;
+                let hi = (lo + PAIRING_SHARD).min(pairs_total);
+                (lo..hi)
+                    .map(|i| {
+                        let u = perm.permute(2 * i) / d as u64;
+                        let v = perm.permute(2 * i + 1) / d as u64;
+                        (u as u32, v as u32)
+                    })
+                    .collect()
+            })
+            .collect();
+        // Phase 2 (sequential): keep legal pairs, pool the stubs of
+        // rejected ones for repair.
+        let mut b = GraphBuilder::new(n).with_edge_capacity(stubs_total / 2);
+        let mut leftover: Vec<usize> = Vec::new();
+        for (u, v) in proposed.into_iter().flatten() {
+            let (u, v) = (u as usize, v as usize);
+            if u != v && !b.contains_edge(u, v) {
+                b.add_edge(u, v)?;
+            } else {
+                leftover.push(u);
+                leftover.push(v);
+            }
+        }
+        // Repair: classic legal-pair retries over the leftover stubs.
+        let mut r = rng(mix64(seed ^ 0xda94_2042_e4dd_58b5).wrapping_add(salt));
+        while leftover.len() > 1 {
             let mut placed = false;
             for _ in 0..100 {
-                let i = r.gen_range(0..stubs.len());
-                let mut j = r.gen_range(0..stubs.len() - 1);
+                let i = r.gen_range(0..leftover.len());
+                let mut j = r.gen_range(0..leftover.len() - 1);
                 if j >= i {
                     j += 1;
                 }
-                let (u, v) = (stubs[i], stubs[j]);
+                let (u, v) = (leftover[i], leftover[j]);
                 if u != v && !b.contains_edge(u, v) {
                     b.add_edge(u, v)?;
                     let (hi, lo) = (i.max(j), i.min(j));
-                    stubs.swap_remove(hi);
-                    stubs.swap_remove(lo);
+                    leftover.swap_remove(hi);
+                    leftover.swap_remove(lo);
                     placed = true;
                     break;
                 }
@@ -650,6 +814,82 @@ mod tests {
         }
         assert!(random_regular(5, 3, 0).is_err()); // nd odd
         assert!(random_regular(4, 4, 0).is_err()); // d >= n
+    }
+
+    #[test]
+    fn regular_rejects_overflowing_stub_count() {
+        // n·d overflows usize: must be a clean parameter error, not a
+        // release-mode wraparound.
+        let huge = usize::MAX / 2;
+        assert!(matches!(
+            random_regular(huge, huge - 1, 0),
+            Err(GraphError::InvalidParameters { .. })
+        ));
+    }
+
+    #[test]
+    fn regular_is_thread_count_invariant() {
+        // The sharded pairing must give one graph per seed regardless of
+        // the worker-pool size.
+        let reference = rayon::with_num_threads(1, || random_regular(500, 8, 11).unwrap());
+        for threads in [2, 4, 7] {
+            let parallel = rayon::with_num_threads(threads, || random_regular(500, 8, 11).unwrap());
+            assert_eq!(reference, parallel, "divergence at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn regular_spans_multiple_shards() {
+        // n·d/2 > PAIRING_SHARD exercises the multi-shard path.
+        let n = 1 << 13;
+        let d = 10;
+        assert!((n * d / 2) as u64 > super::PAIRING_SHARD);
+        let g = random_regular(n, d, 5).unwrap();
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), d);
+        }
+        assert!(!g.has_parallel_edges());
+    }
+
+    #[test]
+    fn regular_handles_dense_degrees() {
+        // d close to n stresses the repair pass and the salt retries.
+        let g = random_regular(12, 9, 2).unwrap();
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 9);
+        }
+        assert_eq!(random_regular(6, 0, 0).unwrap().num_edges(), 0);
+    }
+
+    #[test]
+    fn feistel_is_a_permutation() {
+        for domain in [2u64, 7, 64, 1000, 12345] {
+            let perm = super::FeistelPerm::new(domain, 99);
+            let mut seen = vec![false; domain as usize];
+            for x in 0..domain {
+                let y = perm.permute(x);
+                assert!(y < domain);
+                assert!(!seen[y as usize], "collision at {x} -> {y}");
+                seen[y as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn gnp_skip_sampling_hits_expected_density() {
+        let n = 400;
+        let p = 0.02;
+        let g = gnp(n, p, 9).unwrap();
+        let expected = (n * (n - 1) / 2) as f64 * p;
+        // Loose 4σ-style band around the mean.
+        let slack = 4.0 * expected.sqrt();
+        assert!(
+            (g.num_edges() as f64 - expected).abs() < slack,
+            "m = {} vs expected {expected:.0} ± {slack:.0}",
+            g.num_edges()
+        );
+        assert!(!g.has_parallel_edges());
+        assert_eq!(gnp(n, p, 9).unwrap(), g, "same seed, same graph");
     }
 
     #[test]

@@ -10,8 +10,11 @@
 //! * [`Graph`] — an immutable CSR (compressed sparse row) undirected
 //!   graph with stable vertex and edge identifiers ([`VertexId`],
 //!   [`EdgeId`]), built through [`GraphBuilder`].
-//! * Subgraph views with back-mappings to the parent graph
-//!   ([`subgraph::InducedSubgraph`], [`subgraph::SpanningEdgeSubgraph`]).
+//! * Subgraph representations with back-mappings to the parent graph:
+//!   materializing ([`subgraph::InducedSubgraph`],
+//!   [`subgraph::SpanningEdgeSubgraph`]) and borrowed activation-mask
+//!   views served off the parent CSR ([`subgraph::GraphView`],
+//!   [`subgraph::EdgeSubgraphView`], [`subgraph::VertexSubsetView`]).
 //! * Coloring types with validation ([`coloring::VertexColoring`],
 //!   [`coloring::EdgeColoring`]).
 //! * Clique covers and the paper's *diversity* measure

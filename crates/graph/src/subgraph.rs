@@ -3,8 +3,24 @@
 //! The paper's algorithms constantly recurse into (a) subgraphs induced by
 //! a color class of a vertex coloring (Algorithm 1 line 4) and (b) spanning
 //! subgraphs consisting of one color class of an edge coloring (Sections
-//! 4–5). Both views materialize a fresh [`Graph`] plus mappings so results
-//! can be lifted back to the parent.
+//! 4–5). Two representations are provided:
+//!
+//! * **Materializing** — [`InducedSubgraph`] / [`SpanningEdgeSubgraph`]
+//!   copy the subgraph into a fresh [`Graph`] plus mappings. Simple, but a
+//!   recursion that re-materializes every color class at every level pays
+//!   O(n + m) per class — the scaling ceiling of the composite pipelines.
+//! * **Borrowed** — [`EdgeSubgraphView`] / [`VertexSubsetView`] answer
+//!   degree/incidence/endpoint queries straight off the *parent* CSR
+//!   through an activation bitset with O(1) rank (local-id) lookups,
+//!   allocating O(m/64 + n) words instead of copying the graph. The
+//!   [`GraphView`] trait lets algorithms run unchanged on either a whole
+//!   [`Graph`] or a view.
+//!
+//! Local identifiers agree between the two representations whenever the
+//! activation list is ascending (which color classes are): local edge `i`
+//! of a view is edge `i` of the materialized subgraph, so algorithms
+//! produce bit-identical results on both — the equivalence tests in
+//! `decolor-core` pin exactly this.
 
 use crate::error::GraphError;
 use crate::graph::Graph;
@@ -223,6 +239,381 @@ impl SpanningEdgeSubgraph {
     }
 }
 
+/// A bitset over `0..domain` with per-word prefix popcounts, giving O(1)
+/// membership and O(1) rank (= local id) queries for a sorted index set.
+#[derive(Clone, Debug)]
+struct RankedBits {
+    words: Vec<u64>,
+    /// `rank[w]` = number of set bits in words `0..w`.
+    rank: Vec<u32>,
+}
+
+impl RankedBits {
+    /// Builds from ascending, in-range indices.
+    fn from_sorted(indices: impl Iterator<Item = usize>, domain: usize) -> RankedBits {
+        let n_words = domain.div_ceil(64);
+        let mut words = vec![0u64; n_words];
+        for i in indices {
+            words[i / 64] |= 1u64 << (i % 64);
+        }
+        let mut rank = Vec::with_capacity(n_words);
+        let mut acc = 0u32;
+        for &w in &words {
+            rank.push(acc);
+            acc += w.count_ones();
+        }
+        RankedBits { words, rank }
+    }
+
+    #[inline]
+    fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits strictly below `i` — the local id of member `i`.
+    #[inline]
+    fn rank(&self, i: usize) -> usize {
+        let below = self.words[i / 64] & ((1u64 << (i % 64)) - 1);
+        self.rank[i / 64] as usize + below.count_ones() as usize
+    }
+}
+
+/// Read-only graph interface served either by a whole [`Graph`] or by a
+/// borrowed subgraph view, so recursive algorithms can run on color
+/// classes without materializing them.
+///
+/// Edge identifiers handed to and returned by these methods are **local**
+/// (dense `0..num_edges()`, matching the materialized subgraph's ids);
+/// vertex identifiers are whatever the implementor's vertex space is (the
+/// parent's for spanning edge views).
+pub trait GraphView {
+    /// Number of vertices in the view's vertex space.
+    fn num_vertices(&self) -> usize;
+    /// Number of (active) edges; local edge ids are `0..num_edges()`.
+    fn num_edges(&self) -> usize;
+    /// Endpoints of local edge `e`, ascending.
+    fn endpoints(&self, e: EdgeId) -> [VertexId; 2];
+    /// Degree of `v` counting only active edges.
+    fn degree(&self, v: VertexId) -> usize;
+    /// Maximum active degree (0 for edgeless views).
+    fn max_degree(&self) -> usize;
+    /// Maps a local edge to the underlying parent-graph edge (identity
+    /// for [`Graph`]).
+    fn to_parent_edge(&self, local: EdgeId) -> EdgeId;
+    /// Calls `f` with the local id of every active edge incident on `v`,
+    /// in incidence (= port) order.
+    fn for_each_incident_edge(&self, v: VertexId, f: impl FnMut(EdgeId));
+}
+
+impl GraphView for Graph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        Graph::num_vertices(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        Graph::num_edges(self)
+    }
+
+    #[inline]
+    fn endpoints(&self, e: EdgeId) -> [VertexId; 2] {
+        Graph::endpoints(self, e)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        Graph::degree(self, v)
+    }
+
+    #[inline]
+    fn max_degree(&self) -> usize {
+        Graph::max_degree(self)
+    }
+
+    #[inline]
+    fn to_parent_edge(&self, local: EdgeId) -> EdgeId {
+        local
+    }
+
+    #[inline]
+    fn for_each_incident_edge(&self, v: VertexId, mut f: impl FnMut(EdgeId)) {
+        for &(_, e) in self.incidence(v) {
+            f(e);
+        }
+    }
+}
+
+/// Borrowed spanning subgraph: the parent's vertex set with an **active
+/// edge subset**, served off the parent CSR without copying it.
+///
+/// The allocation-light counterpart of [`SpanningEdgeSubgraph`]: instead
+/// of a fresh `Graph` it keeps the sorted active-edge list, an activation
+/// bitset with rank (O(1) parent→local id), and the active degree table.
+/// Local edge `i` is `edges[i]`, exactly the materialized subgraph's
+/// numbering, so results are interchangeable between the representations.
+///
+/// ```rust
+/// use decolor_graph::subgraph::{EdgeSubgraphView, GraphView};
+/// use decolor_graph::{builder_from_edges, EdgeId, VertexId};
+/// let g = builder_from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+/// let v = EdgeSubgraphView::new(&g, vec![EdgeId::new(0), EdgeId::new(2)]).unwrap();
+/// assert_eq!(v.num_edges(), 2);
+/// assert_eq!(v.degree(VertexId::new(1)), 1); // only (0,1) is active at 1
+/// assert_eq!(v.to_parent_edge(EdgeId::new(1)), EdgeId::new(2));
+/// assert_eq!(v.local_of(EdgeId::new(2)), Some(EdgeId::new(1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct EdgeSubgraphView<'g> {
+    parent: &'g Graph,
+    /// Active edges, ascending parent ids; position = local id.
+    edges: Vec<EdgeId>,
+    bits: RankedBits,
+    /// Active degree per parent vertex.
+    degree: Vec<u32>,
+    max_degree: usize,
+}
+
+impl<'g> EdgeSubgraphView<'g> {
+    /// Builds the view for `edges` (must be ascending, distinct, and in
+    /// range for `parent`).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::ValidationFailed`] if the list is out of range or not
+    /// strictly ascending.
+    pub fn new(parent: &'g Graph, edges: Vec<EdgeId>) -> Result<Self, GraphError> {
+        for pair in edges.windows(2) {
+            if pair[1] <= pair[0] {
+                return Err(GraphError::ValidationFailed {
+                    reason: format!(
+                        "edge view requires strictly ascending ids, got {} after {}",
+                        pair[1], pair[0]
+                    ),
+                });
+            }
+        }
+        if let Some(&last) = edges.last() {
+            if last.index() >= parent.num_edges() {
+                return Err(GraphError::ValidationFailed {
+                    reason: format!(
+                        "edge {last} out of range for parent with {} edges",
+                        parent.num_edges()
+                    ),
+                });
+            }
+        }
+        let bits = RankedBits::from_sorted(edges.iter().map(|e| e.index()), parent.num_edges());
+        let mut degree = vec![0u32; parent.num_vertices()];
+        for &e in &edges {
+            let [u, v] = parent.endpoints(e);
+            degree[u.index()] += 1;
+            degree[v.index()] += 1;
+        }
+        let max_degree = degree.iter().copied().max().unwrap_or(0) as usize;
+        Ok(EdgeSubgraphView {
+            parent,
+            edges,
+            bits,
+            degree,
+            max_degree,
+        })
+    }
+
+    /// The view covering every edge of `parent` (the recursion's root).
+    pub fn full(parent: &'g Graph) -> Self {
+        EdgeSubgraphView::new(parent, parent.edges().collect())
+            .expect("the full edge list is ascending and in range")
+    }
+
+    /// The parent graph this view borrows.
+    #[inline]
+    pub fn parent(&self) -> &'g Graph {
+        self.parent
+    }
+
+    /// The active edges, ascending (position = local id).
+    #[inline]
+    pub fn parent_edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Whether parent edge `e` is active.
+    #[inline]
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.bits.contains(e.index())
+    }
+
+    /// Local id of parent edge `e`, if active (O(1)).
+    #[inline]
+    pub fn local_of(&self, e: EdgeId) -> Option<EdgeId> {
+        self.contains(e)
+            .then(|| EdgeId::new(self.bits.rank(e.index())))
+    }
+}
+
+impl GraphView for EdgeSubgraphView<'_> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.parent.num_vertices()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    #[inline]
+    fn endpoints(&self, e: EdgeId) -> [VertexId; 2] {
+        self.parent.endpoints(self.edges[e.index()])
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        self.degree[v.index()] as usize
+    }
+
+    #[inline]
+    fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    #[inline]
+    fn to_parent_edge(&self, local: EdgeId) -> EdgeId {
+        self.edges[local.index()]
+    }
+
+    #[inline]
+    fn for_each_incident_edge(&self, v: VertexId, mut f: impl FnMut(EdgeId)) {
+        if self.degree[v.index()] == 0 {
+            return;
+        }
+        for &(_, e) in self.parent.incidence(v) {
+            if self.contains(e) {
+                f(EdgeId::new(self.bits.rank(e.index())));
+            }
+        }
+    }
+}
+
+/// Borrowed vertex subset with local renumbering — the allocation-light
+/// counterpart of [`InducedSubgraph`] for recursions that only need the
+/// subset structure (membership, local ids, induced edge count), not a
+/// materialized induced graph.
+///
+/// Local vertex `i` is `vertices[i]`; the input must be ascending, which
+/// makes local ids equal to ranks and matches [`InducedSubgraph`]'s
+/// first-occurrence numbering for sorted inputs (color classes are
+/// sorted).
+#[derive(Clone, Debug)]
+pub struct VertexSubsetView<'g> {
+    parent: &'g Graph,
+    vertices: Vec<VertexId>,
+    bits: RankedBits,
+}
+
+impl<'g> VertexSubsetView<'g> {
+    /// Builds the view for `vertices` (ascending, distinct, in range).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::ValidationFailed`] if the list is out of range or not
+    /// strictly ascending.
+    pub fn new(parent: &'g Graph, vertices: Vec<VertexId>) -> Result<Self, GraphError> {
+        for pair in vertices.windows(2) {
+            if pair[1] <= pair[0] {
+                return Err(GraphError::ValidationFailed {
+                    reason: format!(
+                        "vertex view requires strictly ascending ids, got {} after {}",
+                        pair[1], pair[0]
+                    ),
+                });
+            }
+        }
+        if let Some(&last) = vertices.last() {
+            if last.index() >= parent.num_vertices() {
+                return Err(GraphError::ValidationFailed {
+                    reason: format!(
+                        "vertex {last} out of range for parent with {} vertices",
+                        parent.num_vertices()
+                    ),
+                });
+            }
+        }
+        let bits =
+            RankedBits::from_sorted(vertices.iter().map(|v| v.index()), parent.num_vertices());
+        Ok(VertexSubsetView {
+            parent,
+            vertices,
+            bits,
+        })
+    }
+
+    /// The parent graph this view borrows.
+    #[inline]
+    pub fn parent(&self) -> &'g Graph {
+        self.parent
+    }
+
+    /// Number of vertices in the subset.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// The subset, ascending (position = local id).
+    #[inline]
+    pub fn parent_vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Whether parent vertex `v` is in the subset.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.bits.contains(v.index())
+    }
+
+    /// Local id of parent vertex `v`, if present (O(1)).
+    #[inline]
+    pub fn local_of(&self, v: VertexId) -> Option<VertexId> {
+        self.contains(v)
+            .then(|| VertexId::new(self.bits.rank(v.index())))
+    }
+
+    /// Parent vertex of local id `local`.
+    #[inline]
+    pub fn to_parent_vertex(&self, local: VertexId) -> VertexId {
+        self.vertices[local.index()]
+    }
+
+    /// Whether any parent edge has both endpoints in the subset —
+    /// [`VertexSubsetView::induced_edge_count`]` > 0`, but returning at
+    /// the first hit (recursion-termination checks only need emptiness).
+    pub fn has_induced_edge(&self) -> bool {
+        self.vertices.iter().any(|&v| {
+            self.parent
+                .incidence(v)
+                .iter()
+                .any(|&(u, _)| u > v && self.contains(u))
+        })
+    }
+
+    /// Number of parent edges with both endpoints in the subset — the
+    /// induced subgraph's edge count, without building it.
+    pub fn induced_edge_count(&self) -> usize {
+        self.vertices
+            .iter()
+            .map(|&v| {
+                self.parent
+                    .incidence(v)
+                    .iter()
+                    .filter(|&&(u, _)| u > v && self.contains(u))
+                    .count()
+            })
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +679,106 @@ mod tests {
         let mut out = vec![0u32; 3];
         s.scatter_edge_values(&[5, 6], &mut out).unwrap();
         assert_eq!(out, vec![6, 0, 5]);
+    }
+
+    #[test]
+    fn edge_view_matches_materialized_subgraph() {
+        let g = crate::generators::gnm(40, 120, 3).unwrap();
+        // Every third edge, ascending — the shape of a color class.
+        let subset: Vec<EdgeId> = g.edges().filter(|e| e.index() % 3 == 0).collect();
+        let sub = SpanningEdgeSubgraph::new(&g, &subset);
+        let view = EdgeSubgraphView::new(&g, subset.clone()).unwrap();
+
+        assert_eq!(view.num_edges(), sub.graph().num_edges());
+        assert_eq!(GraphView::num_vertices(&view), sub.graph().num_vertices());
+        assert_eq!(GraphView::max_degree(&view), sub.graph().max_degree());
+        for v in g.vertices() {
+            assert_eq!(GraphView::degree(&view, v), sub.graph().degree(v));
+            let mut view_inc = Vec::new();
+            view.for_each_incident_edge(v, |e| view_inc.push(e));
+            let sub_inc: Vec<EdgeId> = sub.graph().incident_edges(v).collect();
+            assert_eq!(view_inc, sub_inc, "incidence of {v} differs");
+        }
+        for local in 0..view.num_edges() {
+            let e = EdgeId::new(local);
+            assert_eq!(view.to_parent_edge(e), sub.to_parent_edge(e));
+            assert_eq!(GraphView::endpoints(&view, e), sub.graph().endpoints(e));
+            assert_eq!(view.local_of(view.to_parent_edge(e)), Some(e));
+        }
+        // Inactive parent edges have no local id.
+        for e in g.edges().filter(|e| e.index() % 3 != 0) {
+            assert_eq!(view.local_of(e), None);
+        }
+    }
+
+    #[test]
+    fn edge_view_rejects_malformed_lists() {
+        let g = p4();
+        assert!(EdgeSubgraphView::new(&g, vec![EdgeId::new(1), EdgeId::new(0)]).is_err());
+        assert!(EdgeSubgraphView::new(&g, vec![EdgeId::new(0), EdgeId::new(0)]).is_err());
+        assert!(EdgeSubgraphView::new(&g, vec![EdgeId::new(9)]).is_err());
+        assert!(EdgeSubgraphView::new(&g, vec![]).is_ok());
+    }
+
+    #[test]
+    fn full_edge_view_is_the_graph() {
+        let g = crate::generators::gnm(25, 70, 5).unwrap();
+        let view = EdgeSubgraphView::full(&g);
+        assert_eq!(view.num_edges(), g.num_edges());
+        assert_eq!(GraphView::max_degree(&view), g.max_degree());
+        for v in g.vertices() {
+            let mut inc = Vec::new();
+            view.for_each_incident_edge(v, |e| inc.push(e));
+            assert_eq!(inc, g.incident_edges(v).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn graph_implements_graph_view_identically() {
+        let g = crate::generators::gnm(20, 50, 8).unwrap();
+        assert_eq!(GraphView::num_edges(&g), g.num_edges());
+        assert_eq!(GraphView::max_degree(&g), g.max_degree());
+        for (e, ep) in g.edge_list() {
+            assert_eq!(GraphView::endpoints(&g, e), ep);
+            assert_eq!(GraphView::to_parent_edge(&g, e), e);
+        }
+    }
+
+    #[test]
+    fn vertex_view_matches_induced_subgraph() {
+        let g = crate::generators::gnm(30, 90, 2).unwrap();
+        let subset: Vec<VertexId> = g.vertices().filter(|v| v.index() % 2 == 0).collect();
+        let sub = InducedSubgraph::new(&g, &subset);
+        let view = VertexSubsetView::new(&g, subset).unwrap();
+        assert_eq!(view.num_vertices(), sub.graph().num_vertices());
+        assert_eq!(view.induced_edge_count(), sub.graph().num_edges());
+        assert_eq!(view.has_induced_edge(), sub.graph().num_edges() > 0);
+        let sparse = VertexSubsetView::new(&g, vec![VertexId::new(0)]).unwrap();
+        assert!(!sparse.has_induced_edge());
+        for v in g.vertices() {
+            assert_eq!(view.local_of(v), sub.from_parent_vertex(v));
+        }
+        for local in 0..view.num_vertices() {
+            let l = VertexId::new(local);
+            assert_eq!(view.to_parent_vertex(l), sub.to_parent_vertex(l));
+        }
+    }
+
+    #[test]
+    fn vertex_view_rejects_malformed_lists() {
+        let g = p4();
+        assert!(VertexSubsetView::new(&g, vec![VertexId::new(2), VertexId::new(1)]).is_err());
+        assert!(VertexSubsetView::new(&g, vec![VertexId::new(7)]).is_err());
+    }
+
+    #[test]
+    fn ranked_bits_cross_word_boundaries() {
+        let g = crate::generators::path(200).unwrap();
+        let subset: Vec<EdgeId> = g.edges().filter(|e| e.index() % 7 == 0).collect();
+        let view = EdgeSubgraphView::new(&g, subset.clone()).unwrap();
+        for (i, &e) in subset.iter().enumerate() {
+            assert_eq!(view.local_of(e), Some(EdgeId::new(i)));
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@
 
 use decolor_graph::{Graph, VertexId};
 
+use crate::error::RuntimeError;
+
 /// A reusable, flat per-round inbox for one graph and one message type.
 ///
 /// Layout: vertex `v` owns the arena region `offsets[v]..offsets[v + 1]`
@@ -29,7 +31,7 @@ use decolor_graph::{Graph, VertexId};
 /// let mut buf = RoundBuffer::new(&g);
 /// for round in 0..4u32 {
 ///     let values = vec![round, round + 1, round + 2];
-///     net.broadcast_into(&values, &mut buf);
+///     net.broadcast_into(&values, &mut buf).unwrap();
 ///     let mid: Vec<u32> = buf.row(decolor_graph::VertexId::new(1)).copied().collect();
 ///     assert_eq!(mid, vec![round, round + 2]); // port order, no allocation
 /// }
@@ -195,24 +197,25 @@ impl<M> RoundBuffer<M> {
     /// Appends a message for vertex `u` with receiving-port tag `port`,
     /// reusing the slot's previous allocation when possible.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `u` already received `deg(u)` messages this round (a
-    /// sender placed two messages on one port, violating the LOCAL model).
+    /// [`RuntimeError::InboxOverflow`] if `u` already received `deg(u)`
+    /// messages this round (a sender placed two messages on one port,
+    /// violating the LOCAL model).
     #[inline]
-    pub(crate) fn push(&mut self, u: VertexId, port: u32, message: &M)
+    pub(crate) fn push(&mut self, u: VertexId, port: u32, message: &M) -> Result<(), RuntimeError>
     where
         M: Clone,
     {
         let k = self.len[u.index()];
         let base = self.offsets[u.index()];
-        assert!(
-            base + k < self.offsets[u.index() + 1],
-            "{u} received more messages than its degree (duplicate port send?)"
-        );
+        if base + k >= self.offsets[u.index() + 1] {
+            return Err(RuntimeError::InboxOverflow { vertex: u });
+        }
         self.ports[base + k] = port;
         clone_into_slot(&mut self.slots[base + k], message);
         self.len[u.index()] = k + 1;
+        Ok(())
     }
 
     /// Writes the broadcast value arriving at `v`'s port `p` directly into
@@ -288,7 +291,7 @@ mod tests {
         let g = builder_from_edges(2, &[(0, 1)]).unwrap();
         let mut buf = RoundBuffer::new(&g);
         buf.begin_round();
-        buf.push(VertexId::new(1), 0, &42u64);
+        buf.push(VertexId::new(1), 0, &42u64).unwrap();
         assert_eq!(buf.received(VertexId::new(1)), 1);
         assert_eq!(buf.inbox(VertexId::new(1)).collect::<Vec<_>>(), [(0, &42)]);
         assert_eq!(buf.take_inbox(VertexId::new(1)), vec![(0, 42)]);
@@ -299,13 +302,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "more messages than its degree")]
     fn overflow_is_rejected() {
         let g = builder_from_edges(2, &[(0, 1)]).unwrap();
         let mut buf = RoundBuffer::new(&g);
         buf.begin_round();
-        buf.push(VertexId::new(1), 0, &1u8);
-        buf.push(VertexId::new(1), 0, &2u8);
+        buf.push(VertexId::new(1), 0, &1u8).unwrap();
+        assert_eq!(
+            buf.push(VertexId::new(1), 0, &2u8),
+            Err(RuntimeError::InboxOverflow {
+                vertex: VertexId::new(1)
+            })
+        );
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Typed errors for the LOCAL simulator.
+//!
+//! Malformed traffic (a port index beyond a vertex's degree, a vertex
+//! named as an endpoint of an edge it does not touch, an over-full inbox)
+//! used to abort the process; the exchange/broadcast entry points now
+//! return these instead, so library callers and the CLI can surface a
+//! clean diagnostic and keep running.
+
+use std::error::Error;
+use std::fmt;
+
+use decolor_graph::{EdgeId, VertexId};
+
+/// Errors produced by [`Network`](crate::Network) round execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// A vertex was named as an endpoint of an edge it does not touch.
+    NotAnEndpoint {
+        /// The vertex in question.
+        vertex: VertexId,
+        /// The edge it is not incident on.
+        edge: EdgeId,
+    },
+    /// A sender addressed a port index at or beyond its degree.
+    PortOutOfRange {
+        /// The sending vertex.
+        vertex: VertexId,
+        /// The out-of-range port.
+        port: usize,
+        /// The vertex's degree (valid ports are `0..degree`).
+        degree: usize,
+    },
+    /// An outbox/values slice did not have one entry per vertex.
+    ShapeMismatch {
+        /// What the slice describes (e.g. "outbox", "values").
+        what: &'static str,
+        /// Entries required (= number of vertices).
+        expected: usize,
+        /// Entries provided.
+        got: usize,
+    },
+    /// A [`RoundBuffer`](crate::RoundBuffer) built for a different graph
+    /// shape was passed to a delivery entry point.
+    ForeignBuffer,
+    /// An edge id was out of range for the network's graph.
+    EdgeOutOfRange {
+        /// The offending edge index.
+        edge: usize,
+        /// Number of edges in the graph.
+        num_edges: usize,
+    },
+    /// A vertex id was out of range for the network's graph.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: usize,
+        /// Number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// A vertex would receive more messages than its degree — the
+    /// detectable symptom of a sender placing two messages on one port,
+    /// violating the LOCAL model's one-message-per-port-per-round rule.
+    InboxOverflow {
+        /// The over-full receiving vertex.
+        vertex: VertexId,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NotAnEndpoint { vertex, edge } => {
+                write!(f, "{vertex} is not an endpoint of {edge}")
+            }
+            RuntimeError::PortOutOfRange {
+                vertex,
+                port,
+                degree,
+            } => write!(f, "port {port} out of range at {vertex} (degree {degree})"),
+            RuntimeError::ShapeMismatch {
+                what,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{what} must have one entry per vertex (expected {expected}, got {got})"
+            ),
+            RuntimeError::ForeignBuffer => {
+                write!(f, "round buffer was built for a different graph")
+            }
+            RuntimeError::EdgeOutOfRange { edge, num_edges } => {
+                write!(f, "edge {edge} out of range (graph has {num_edges} edges)")
+            }
+            RuntimeError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range (graph has {num_vertices} vertices)"
+            ),
+            RuntimeError::InboxOverflow { vertex } => write!(
+                f,
+                "{vertex} received more messages than its degree (duplicate port send?)"
+            ),
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_violation() {
+        let e = RuntimeError::PortOutOfRange {
+            vertex: VertexId::new(3),
+            port: 9,
+            degree: 2,
+        };
+        assert!(e.to_string().contains("port 9"));
+        let e = RuntimeError::NotAnEndpoint {
+            vertex: VertexId::new(1),
+            edge: EdgeId::new(0),
+        };
+        assert!(e.to_string().contains("not an endpoint"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RuntimeError>();
+    }
+}

@@ -32,23 +32,29 @@
 //! // Every vertex broadcasts its index; afterwards each vertex knows its
 //! // neighbors' indices, at the cost of one round.
 //! let values: Vec<u32> = (0..3).collect();
-//! let inbox = net.broadcast(&values);
+//! let inbox = net.broadcast(&values).unwrap();
 //! assert_eq!(inbox[1], vec![0, 2]); // in port order
 //! assert_eq!(net.stats().rounds, 1);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Malformed traffic — out-of-range ports, over-full inboxes, foreign
+//! buffers — is reported as a typed [`RuntimeError`] rather than a panic,
+//! so embedding applications can surface diagnostics and keep running.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod buffer;
+mod error;
 mod ids;
 mod metrics;
 mod network;
 pub mod program;
 
 pub use buffer::RoundBuffer;
+pub use error::RuntimeError;
 pub use ids::IdAssignment;
 pub use metrics::{NetworkStats, Rounds};
 pub use network::Network;

@@ -3,6 +3,7 @@
 use decolor_graph::{EdgeId, Graph, VertexId};
 
 use crate::buffer::RoundBuffer;
+use crate::error::RuntimeError;
 use crate::metrics::NetworkStats;
 
 /// A synchronous port-numbered network over a graph.
@@ -11,6 +12,10 @@ use crate::metrics::NetworkStats;
 /// message sent by `v` on port `p` traverses that edge and is delivered to
 /// the opposite endpoint, tagged with *its* port for the same edge. One
 /// call to [`Network::exchange`] (or any helper built on it) is one round.
+///
+/// Malformed traffic (out-of-range ports, over-full inboxes, foreign
+/// buffers) is reported as a [`RuntimeError`] instead of aborting the
+/// process.
 #[derive(Debug)]
 pub struct Network<'g> {
     graph: &'g Graph,
@@ -71,18 +76,39 @@ impl<'g> Network<'g> {
 
     /// The port of edge `e` at endpoint `v`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `v` is not an endpoint of `e`.
+    /// [`RuntimeError::EdgeOutOfRange`] if `e` is not an edge of the
+    /// graph; [`RuntimeError::NotAnEndpoint`] if `v` is not an endpoint
+    /// of `e`.
     #[inline]
-    pub fn port_of(&self, v: VertexId, e: EdgeId) -> usize {
+    pub fn port_of(&self, v: VertexId, e: EdgeId) -> Result<usize, RuntimeError> {
+        if e.index() >= self.graph.num_edges() {
+            return Err(RuntimeError::EdgeOutOfRange {
+                edge: e.index(),
+                num_edges: self.graph.num_edges(),
+            });
+        }
         let [lo, hi] = self.graph.endpoints(e);
         if v == lo {
-            self.ports[e.index()].0 as usize
+            Ok(self.ports[e.index()].0 as usize)
         } else if v == hi {
-            self.ports[e.index()].1 as usize
+            Ok(self.ports[e.index()].1 as usize)
         } else {
-            panic!("{v} is not an endpoint of {e}");
+            Err(RuntimeError::NotAnEndpoint { vertex: v, edge: e })
+        }
+    }
+
+    /// [`Network::port_of`] for an `(endpoint, edge)` pair already known
+    /// to be incident (internal delivery path; inputs come from the
+    /// graph's own incidence lists, so no validation is needed).
+    #[inline]
+    fn port_of_incident(&self, v: VertexId, e: EdgeId) -> usize {
+        let [lo, _hi] = self.graph.endpoints(e);
+        if v == lo {
+            self.ports[e.index()].0 as usize
+        } else {
+            self.ports[e.index()].1 as usize
         }
     }
 
@@ -94,44 +120,61 @@ impl<'g> Network<'g> {
     /// (sender-index) order, exactly like the rows of
     /// [`Network::exchange`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `outbox` does not have one entry per vertex, a port is
-    /// out of range, the buffer was built for a different graph shape, or
-    /// a vertex would receive more messages than its degree — the
-    /// detectable symptom of a sender violating the LOCAL model's
-    /// one-message-per-port-per-round rule.
+    /// [`RuntimeError::ShapeMismatch`] if `outbox` does not have one entry
+    /// per vertex, [`RuntimeError::PortOutOfRange`] for a bad port,
+    /// [`RuntimeError::ForeignBuffer`] if the buffer was built for a
+    /// different graph shape, and [`RuntimeError::InboxOverflow`] if a
+    /// vertex would receive more messages than its degree. The round is
+    /// not charged to the ledger on error, and the buffer is left
+    /// *empty* — never holding a half-delivered round.
     pub fn exchange_into<M: Clone>(
         &mut self,
         outbox: &[Vec<(usize, M)>],
         buf: &mut RoundBuffer<M>,
-    ) {
-        assert_eq!(
-            outbox.len(),
-            self.graph.num_vertices(),
-            "outbox must have one entry per vertex"
-        );
-        assert!(
-            buf.fits(self.graph),
-            "round buffer was built for a different graph"
-        );
-        buf.begin_round();
-        let mut messages = 0u64;
-        for (vi, sends) in outbox.iter().enumerate() {
-            let v = VertexId::new(vi);
-            let incidence = self.graph.incidence(v);
-            for (port, msg) in sends {
-                let &(u, e) = incidence
-                    .get(*port)
-                    .unwrap_or_else(|| panic!("port {port} out of range at {v}"));
-                let their_port = self.port_of(u, e) as u32;
-                buf.push(u, their_port, msg);
-                messages += 1;
-            }
+    ) -> Result<(), RuntimeError> {
+        if outbox.len() != self.graph.num_vertices() {
+            return Err(RuntimeError::ShapeMismatch {
+                what: "outbox",
+                expected: self.graph.num_vertices(),
+                got: outbox.len(),
+            });
         }
+        if !buf.fits(self.graph) {
+            return Err(RuntimeError::ForeignBuffer);
+        }
+        buf.begin_round();
+        let deliver = |buf: &mut RoundBuffer<M>| -> Result<u64, RuntimeError> {
+            let mut messages = 0u64;
+            for (vi, sends) in outbox.iter().enumerate() {
+                let v = VertexId::new(vi);
+                let incidence = self.graph.incidence(v);
+                for (port, msg) in sends {
+                    let &(u, e) = incidence.get(*port).ok_or(RuntimeError::PortOutOfRange {
+                        vertex: v,
+                        port: *port,
+                        degree: incidence.len(),
+                    })?;
+                    let their_port = self.port_of_incident(u, e) as u32;
+                    buf.push(u, their_port, msg)?;
+                    messages += 1;
+                }
+            }
+            Ok(messages)
+        };
+        let messages = match deliver(buf) {
+            Ok(m) => m,
+            Err(e) => {
+                // Do not leave a partially delivered round readable.
+                buf.begin_round();
+                return Err(e);
+            }
+        };
         self.stats.rounds += 1;
         self.stats.messages += messages;
         self.stats.payload_bytes += messages * std::mem::size_of::<M>() as u64;
+        Ok(())
     }
 
     /// Executes one communication round with explicit per-port outboxes.
@@ -144,13 +187,16 @@ impl<'g> Network<'g> {
     /// exchange every round should hold a [`RoundBuffer`] and call the
     /// `_into` variant directly.
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// As [`Network::exchange_into`].
-    pub fn exchange<M: Clone>(&mut self, outbox: &[Vec<(usize, M)>]) -> Vec<Vec<(usize, M)>> {
+    pub fn exchange<M: Clone>(
+        &mut self,
+        outbox: &[Vec<(usize, M)>],
+    ) -> Result<Vec<Vec<(usize, M)>>, RuntimeError> {
         let mut buf = RoundBuffer::new(self.graph);
-        self.exchange_into(outbox, &mut buf);
-        self.graph.vertices().map(|v| buf.take_inbox(v)).collect()
+        self.exchange_into(outbox, &mut buf)?;
+        Ok(self.graph.vertices().map(|v| buf.take_inbox(v)).collect())
     }
 
     /// One round in which every vertex sends `values[v]` on **all** its
@@ -163,20 +209,26 @@ impl<'g> Network<'g> {
     /// so each payload is written straight into slot `p`; no per-vertex
     /// sort is involved.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `values` does not have one entry per vertex or the buffer
-    /// was built for a different graph shape.
-    pub fn broadcast_into<M: Clone>(&mut self, values: &[M], buf: &mut RoundBuffer<M>) {
-        assert_eq!(
-            values.len(),
-            self.graph.num_vertices(),
-            "values must have one entry per vertex"
-        );
-        assert!(
-            buf.fits(self.graph),
-            "round buffer was built for a different graph"
-        );
+    /// [`RuntimeError::ShapeMismatch`] if `values` does not have one entry
+    /// per vertex; [`RuntimeError::ForeignBuffer`] if the buffer was built
+    /// for a different graph shape.
+    pub fn broadcast_into<M: Clone>(
+        &mut self,
+        values: &[M],
+        buf: &mut RoundBuffer<M>,
+    ) -> Result<(), RuntimeError> {
+        if values.len() != self.graph.num_vertices() {
+            return Err(RuntimeError::ShapeMismatch {
+                what: "values",
+                expected: self.graph.num_vertices(),
+                got: values.len(),
+            });
+        }
+        if !buf.fits(self.graph) {
+            return Err(RuntimeError::ForeignBuffer);
+        }
         let mut messages = 0u64;
         for v in self.graph.vertices() {
             for (p, &(u, _)) in self.graph.incidence(v).iter().enumerate() {
@@ -188,6 +240,7 @@ impl<'g> Network<'g> {
         self.stats.rounds += 1;
         self.stats.messages += messages;
         self.stats.payload_bytes += messages * std::mem::size_of::<M>() as u64;
+        Ok(())
     }
 
     /// One round in which every vertex sends `values[v]` on **all** its
@@ -200,15 +253,18 @@ impl<'g> Network<'g> {
     /// should prefer the `_into` variant, which also skips the per-vertex
     /// `Vec`s.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `values` does not have one entry per vertex.
-    pub fn broadcast<M: Clone>(&mut self, values: &[M]) -> Vec<Vec<M>> {
-        assert_eq!(
-            values.len(),
-            self.graph.num_vertices(),
-            "values must have one entry per vertex"
-        );
+    /// [`RuntimeError::ShapeMismatch`] if `values` does not have one entry
+    /// per vertex.
+    pub fn broadcast<M: Clone>(&mut self, values: &[M]) -> Result<Vec<Vec<M>>, RuntimeError> {
+        if values.len() != self.graph.num_vertices() {
+            return Err(RuntimeError::ShapeMismatch {
+                what: "values",
+                expected: self.graph.num_vertices(),
+                got: values.len(),
+            });
+        }
         let mut messages = 0u64;
         let inbox: Vec<Vec<M>> = self
             .graph
@@ -225,7 +281,71 @@ impl<'g> Network<'g> {
         self.stats.rounds += 1;
         self.stats.messages += messages;
         self.stats.payload_bytes += messages * std::mem::size_of::<M>() as u64;
-        inbox
+        Ok(inbox)
+    }
+
+    /// One round restricted to an **active vertex set**: only the vertices
+    /// in `active` send (their `values` entry, on all their ports);
+    /// everyone listens. Afterwards `buf.inbox(u)` lists `(port at u,
+    /// value)` pairs from active neighbors in sender-index order, and
+    /// `buf.received(u)` counts `u`'s active neighbors.
+    ///
+    /// This is the LOCAL-faithful way to simulate a round on a subgraph
+    /// activated inside a larger network (H-partition peeling, per-class
+    /// phases of the recursive decompositions): inactive vertices stay
+    /// silent, so the message ledger charges `Σ deg(active)` instead of
+    /// `2m`, while the round still costs 1.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ShapeMismatch`] if `values` does not have one entry
+    /// per vertex, [`RuntimeError::VertexOutOfRange`] for a bad active
+    /// entry, [`RuntimeError::ForeignBuffer`] for a buffer of the wrong
+    /// shape, and [`RuntimeError::InboxOverflow`] if a vertex appears
+    /// twice in `active` often enough to over-fill a neighbor's inbox.
+    /// The round is not charged on error and the buffer is left empty.
+    pub fn broadcast_on_active_into<M: Clone>(
+        &mut self,
+        values: &[M],
+        active: &[VertexId],
+        buf: &mut RoundBuffer<M>,
+    ) -> Result<(), RuntimeError> {
+        if values.len() != self.graph.num_vertices() {
+            return Err(RuntimeError::ShapeMismatch {
+                what: "values",
+                expected: self.graph.num_vertices(),
+                got: values.len(),
+            });
+        }
+        if !buf.fits(self.graph) {
+            return Err(RuntimeError::ForeignBuffer);
+        }
+        // Validate the whole activation list before touching the buffer.
+        for &v in active {
+            if v.index() >= self.graph.num_vertices() {
+                return Err(RuntimeError::VertexOutOfRange {
+                    vertex: v.index(),
+                    num_vertices: self.graph.num_vertices(),
+                });
+            }
+        }
+        buf.begin_round();
+        let mut messages = 0u64;
+        for &v in active {
+            for &(u, e) in self.graph.incidence(v) {
+                let their_port = self.port_of_incident(u, e) as u32;
+                if let Err(e) = buf.push(u, their_port, &values[v.index()]) {
+                    // Do not leave a partially delivered round readable.
+                    buf.begin_round();
+                    return Err(e);
+                }
+                messages += 1;
+            }
+        }
+        self.stats.rounds += 1;
+        self.stats.messages += messages;
+        self.stats.payload_bytes += messages * std::mem::size_of::<M>() as u64;
+        Ok(())
     }
 
     /// One round in which both endpoints of each edge in `edges` (a
@@ -240,22 +360,37 @@ impl<'g> Network<'g> {
     /// O(|previous subset| + |subset|) — the per-edge scratch is cleared
     /// by activation list, not rebuilt at O(m).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `values` does not have one entry per vertex, an edge id
-    /// is out of range, or the buffer was built for a different graph
-    /// shape.
+    /// [`RuntimeError::ShapeMismatch`] if `values` does not have one entry
+    /// per vertex, [`RuntimeError::EdgeOutOfRange`] for a bad edge id, and
+    /// [`RuntimeError::ForeignBuffer`] for a buffer of the wrong shape.
     pub fn exchange_on_edges_into<M: Clone>(
         &mut self,
         values: &[M],
         edges: &[EdgeId],
         buf: &mut RoundBuffer<M>,
-    ) {
-        assert_eq!(values.len(), self.graph.num_vertices());
-        assert!(
-            buf.fits(self.graph),
-            "round buffer was built for a different graph"
-        );
+    ) -> Result<(), RuntimeError> {
+        if values.len() != self.graph.num_vertices() {
+            return Err(RuntimeError::ShapeMismatch {
+                what: "values",
+                expected: self.graph.num_vertices(),
+                got: values.len(),
+            });
+        }
+        if !buf.fits(self.graph) {
+            return Err(RuntimeError::ForeignBuffer);
+        }
+        // Validate the whole subset before touching the buffer, so an
+        // error never leaves a half-delivered round readable.
+        for &e in edges {
+            if e.index() >= self.graph.num_edges() {
+                return Err(RuntimeError::EdgeOutOfRange {
+                    edge: e.index(),
+                    num_edges: self.graph.num_edges(),
+                });
+            }
+        }
         buf.begin_edge_round();
         for &e in edges {
             // The message each endpoint receives across `e` is exactly the
@@ -270,6 +405,7 @@ impl<'g> Network<'g> {
         self.stats.rounds += 1;
         self.stats.messages += messages;
         self.stats.payload_bytes += messages * std::mem::size_of::<M>() as u64;
+        Ok(())
     }
 
     /// One round in which both endpoints of each edge in `edges` learn the
@@ -281,17 +417,17 @@ impl<'g> Network<'g> {
     /// subset-activation loops should hold a [`RoundBuffer`] and call the
     /// `_into` variant to avoid the O(m) output vector per round.
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// As [`Network::exchange_on_edges_into`].
     pub fn exchange_on_edges<M: Clone>(
         &mut self,
         values: &[M],
         edges: &[EdgeId],
-    ) -> Vec<Option<(M, M)>> {
+    ) -> Result<Vec<Option<(M, M)>>, RuntimeError> {
         let mut buf = RoundBuffer::new(self.graph);
-        self.exchange_on_edges_into(values, edges, &mut buf);
-        buf.take_per_edge()
+        self.exchange_on_edges_into(values, edges, &mut buf)?;
+        Ok(buf.take_per_edge())
     }
 
     /// Charges `rounds` of *local restructuring* to the ledger without
@@ -328,11 +464,31 @@ mod tests {
         let g = decolor_graph::generators::gnm(30, 90, 4).unwrap();
         let net = Network::new(&g);
         for (e, [u, v]) in g.edge_list() {
-            let pu = net.port_of(u, e);
-            let pv = net.port_of(v, e);
+            let pu = net.port_of(u, e).unwrap();
+            let pv = net.port_of(v, e).unwrap();
             assert_eq!(g.incidence(u)[pu], (v, e));
             assert_eq!(g.incidence(v)[pv], (u, e));
         }
+    }
+
+    #[test]
+    fn port_of_rejects_malformed_queries() {
+        let g = p3();
+        let net = Network::new(&g);
+        assert_eq!(
+            net.port_of(VertexId::new(2), EdgeId::new(0)),
+            Err(RuntimeError::NotAnEndpoint {
+                vertex: VertexId::new(2),
+                edge: EdgeId::new(0)
+            })
+        );
+        assert_eq!(
+            net.port_of(VertexId::new(0), EdgeId::new(9)),
+            Err(RuntimeError::EdgeOutOfRange {
+                edge: 9,
+                num_edges: 2
+            })
+        );
     }
 
     #[test]
@@ -340,7 +496,7 @@ mod tests {
         let g = p3();
         let mut net = Network::new(&g);
         let vals = vec![10u32, 20, 30];
-        let inbox = net.broadcast(&vals);
+        let inbox = net.broadcast(&vals).unwrap();
         assert_eq!(inbox[0], vec![20]);
         assert_eq!(inbox[1], vec![10, 30]);
         assert_eq!(inbox[2], vec![20]);
@@ -354,10 +510,44 @@ mod tests {
         let mut net = Network::new(&g);
         // Vertex 1 sends distinct messages to each neighbor.
         let outbox: Vec<Vec<(usize, u64)>> = vec![vec![], vec![(0, 100), (1, 200)], vec![]];
-        let inbox = net.exchange(&outbox);
+        let inbox = net.exchange(&outbox).unwrap();
         assert_eq!(inbox[0], vec![(0, 100)]);
         assert_eq!(inbox[2], vec![(0, 200)]);
         assert_eq!(net.stats().messages, 2);
+    }
+
+    #[test]
+    fn exchange_reports_port_out_of_range() {
+        let g = p3();
+        let mut net = Network::new(&g);
+        let outbox: Vec<Vec<(usize, u64)>> = vec![vec![(5, 1)], vec![], vec![]];
+        assert_eq!(
+            net.exchange(&outbox),
+            Err(RuntimeError::PortOutOfRange {
+                vertex: VertexId::new(0),
+                port: 5,
+                degree: 1
+            })
+        );
+        // Failed rounds are not charged.
+        assert_eq!(net.stats(), NetworkStats::default());
+    }
+
+    #[test]
+    fn failed_round_leaves_the_buffer_empty() {
+        let g = p3();
+        let mut net = Network::new(&g);
+        let mut buf = net.make_buffer();
+        // A good round first, so stale data exists to destroy.
+        net.broadcast_into(&[7u32, 8, 9], &mut buf).unwrap();
+        assert_eq!(buf.received(VertexId::new(1)), 2);
+        // Vertex 1 sends a valid message, then vertex 2 a bad port: the
+        // partial delivery must not be readable afterwards.
+        let outbox: Vec<Vec<(usize, u32)>> = vec![vec![], vec![(0, 1)], vec![(9, 2)]];
+        assert!(net.exchange_into(&outbox, &mut buf).is_err());
+        for v in g.vertices() {
+            assert_eq!(buf.received(v), 0, "{v} read a half-delivered round");
+        }
     }
 
     #[test]
@@ -365,10 +555,23 @@ mod tests {
         let g = p3();
         let mut net = Network::new(&g);
         let vals = vec![7u32, 8, 9];
-        let per_edge = net.exchange_on_edges(&vals, &[EdgeId::new(1)]);
+        let per_edge = net.exchange_on_edges(&vals, &[EdgeId::new(1)]).unwrap();
         assert_eq!(per_edge[0], None);
         assert_eq!(per_edge[1], Some((8, 9))); // lower endpoint 1, higher 2
         assert_eq!(net.stats().rounds, 1);
+    }
+
+    #[test]
+    fn exchange_on_edges_rejects_bad_edge() {
+        let g = p3();
+        let mut net = Network::new(&g);
+        assert_eq!(
+            net.exchange_on_edges(&[1u8, 2, 3], &[EdgeId::new(7)]),
+            Err(RuntimeError::EdgeOutOfRange {
+                edge: 7,
+                num_edges: 2
+            })
+        );
     }
 
     #[test]
@@ -407,11 +610,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one entry per vertex")]
     fn exchange_shape_is_validated() {
         let g = p3();
         let mut net = Network::new(&g);
-        let _ = net.exchange::<u32>(&[vec![]]);
+        assert_eq!(
+            net.exchange::<u32>(&[vec![]]),
+            Err(RuntimeError::ShapeMismatch {
+                what: "outbox",
+                expected: 3,
+                got: 1
+            })
+        );
     }
 
     #[test]
@@ -421,7 +630,7 @@ mod tests {
         let mut buf = net.make_buffer();
         for round in 0..3u32 {
             let vals = vec![10 + round, 20 + round, 30 + round];
-            net.broadcast_into(&vals, &mut buf);
+            net.broadcast_into(&vals, &mut buf).unwrap();
             let mid: Vec<u32> = buf.row(VertexId::new(1)).copied().collect();
             assert_eq!(mid, vec![10 + round, 30 + round]);
             assert_eq!(buf.received(VertexId::new(0)), 1);
@@ -443,11 +652,11 @@ mod tests {
                     .collect()
             })
             .collect();
-        let legacy = net.exchange(&outbox);
+        let legacy = net.exchange(&outbox).unwrap();
         let legacy_stats = net.stats();
         net.reset_stats();
         let mut buf = net.make_buffer();
-        net.exchange_into(&outbox, &mut buf);
+        net.exchange_into(&outbox, &mut buf).unwrap();
         for v in g.vertices() {
             let flat: Vec<(usize, u64)> = buf.inbox(v).map(|(p, &m)| (p, m)).collect();
             assert_eq!(flat, legacy[v.index()]);
@@ -460,10 +669,12 @@ mod tests {
         let g = p3();
         let mut net = Network::new(&g);
         let mut buf = net.make_buffer();
-        net.exchange_on_edges_into(&[7u32, 8, 9], &[EdgeId::new(0)], &mut buf);
+        net.exchange_on_edges_into(&[7u32, 8, 9], &[EdgeId::new(0)], &mut buf)
+            .unwrap();
         assert_eq!(buf.per_edge()[0], Some((7, 8)));
         assert_eq!(buf.per_edge()[1], None);
-        net.exchange_on_edges_into(&[7u32, 8, 9], &[EdgeId::new(1)], &mut buf);
+        net.exchange_on_edges_into(&[7u32, 8, 9], &[EdgeId::new(1)], &mut buf)
+            .unwrap();
         assert_eq!(buf.per_edge()[0], None, "stale activation must clear");
         assert_eq!(buf.per_edge()[1], Some((8, 9)));
         assert_eq!(net.stats().rounds, 2);
@@ -471,23 +682,70 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "built for a different graph")]
     fn foreign_buffer_is_rejected() {
         let g = p3();
         let other = decolor_graph::builder_from_edges(3, &[(0, 1)]).unwrap();
         let mut net = Network::new(&g);
         let mut buf = RoundBuffer::<u32>::new(&other);
-        net.broadcast_into(&[1, 2, 3], &mut buf);
+        assert_eq!(
+            net.broadcast_into(&[1, 2, 3], &mut buf),
+            Err(RuntimeError::ForeignBuffer)
+        );
+    }
+
+    #[test]
+    fn broadcast_on_active_restricts_senders() {
+        let g = p3();
+        let mut net = Network::new(&g);
+        let mut buf = net.make_buffer();
+        // Only vertex 0 is active: vertex 1 hears one message, vertex 2
+        // none, and vertex 0 itself hears nothing (its neighbor is
+        // silent).
+        net.broadcast_on_active_into(&[5u32, 6, 7], &[VertexId::new(0)], &mut buf)
+            .unwrap();
+        assert_eq!(buf.received(VertexId::new(0)), 0);
+        assert_eq!(buf.received(VertexId::new(1)), 1);
+        assert_eq!(buf.received(VertexId::new(2)), 0);
+        assert_eq!(
+            buf.inbox(VertexId::new(1))
+                .map(|(p, &m)| (p, m))
+                .collect::<Vec<_>>(),
+            vec![(0, 5)]
+        );
+        assert_eq!(net.stats().rounds, 1);
+        assert_eq!(net.stats().messages, 1);
+
+        // All vertices active == a plain broadcast inbox (port-order may
+        // differ from sender order, but the multiset per vertex matches).
+        let all: Vec<VertexId> = g.vertices().collect();
+        net.broadcast_on_active_into(&[5u32, 6, 7], &all, &mut buf)
+            .unwrap();
+        assert_eq!(buf.received(VertexId::new(1)), 2);
+        assert_eq!(net.stats().messages, 1 + 4);
+    }
+
+    #[test]
+    fn broadcast_on_active_validates_vertices() {
+        let g = p3();
+        let mut net = Network::new(&g);
+        let mut buf = net.make_buffer();
+        assert_eq!(
+            net.broadcast_on_active_into(&[1u8, 2, 3], &[VertexId::new(9)], &mut buf),
+            Err(RuntimeError::VertexOutOfRange {
+                vertex: 9,
+                num_vertices: 3
+            })
+        );
     }
 
     #[test]
     fn reset_stats_keeps_port_table() {
         let g = p3();
         let mut net = Network::new(&g);
-        let _ = net.broadcast(&[1u8, 2, 3]);
+        let _ = net.broadcast(&[1u8, 2, 3]).unwrap();
         assert_eq!(net.stats().rounds, 1);
         net.reset_stats();
         assert_eq!(net.stats(), NetworkStats::default());
-        assert_eq!(net.port_of(VertexId::new(0), EdgeId::new(0)), 0);
+        assert_eq!(net.port_of(VertexId::new(0), EdgeId::new(0)).unwrap(), 0);
     }
 }

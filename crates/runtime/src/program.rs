@@ -102,6 +102,8 @@ pub enum ProgramError {
         /// Vertices still running.
         still_running: usize,
     },
+    /// A node emitted malformed traffic (e.g. a port beyond its degree).
+    Runtime(crate::RuntimeError),
 }
 
 impl std::fmt::Display for ProgramError {
@@ -114,11 +116,25 @@ impl std::fmt::Display for ProgramError {
                 f,
                 "{still_running} nodes still running after {max_rounds} rounds"
             ),
+            ProgramError::Runtime(e) => write!(f, "malformed node traffic: {e}"),
         }
     }
 }
 
-impl std::error::Error for ProgramError {}
+impl std::error::Error for ProgramError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProgramError::Runtime(e) => Some(e),
+            ProgramError::RoundLimitExceeded { .. } => None,
+        }
+    }
+}
+
+impl From<crate::RuntimeError> for ProgramError {
+    fn from(e: crate::RuntimeError) -> Self {
+        ProgramError::Runtime(e)
+    }
+}
 
 /// Runs one [`NodeProgram`] instance per vertex of `g` in synchronized
 /// rounds until all halt (or `max_rounds` is exceeded).
@@ -128,7 +144,9 @@ impl std::error::Error for ProgramError {}
 ///
 /// # Errors
 ///
-/// [`ProgramError::RoundLimitExceeded`] if some node never halts.
+/// [`ProgramError::RoundLimitExceeded`] if some node never halts;
+/// [`ProgramError::Runtime`] if a node emits malformed traffic (e.g.
+/// sends on a port index beyond its degree).
 pub fn run_program<P, F>(
     g: &Graph,
     mut init: F,
@@ -184,7 +202,7 @@ where
         if running == 0 {
             break;
         }
-        let delivered = net.exchange(&outbox);
+        let delivered = net.exchange(&outbox)?;
         for (v, msgs) in delivered.into_iter().enumerate() {
             let mut msgs = msgs;
             msgs.sort_by_key(|&(p, _)| p);
@@ -288,6 +306,21 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn malformed_traffic_is_a_typed_error() {
+        struct BadPort;
+        impl NodeProgram for BadPort {
+            type Message = u8;
+            type Output = ();
+            fn round(&mut self, _: &NodeContext, _: &[(usize, u8)]) -> Outcome<u8, ()> {
+                Outcome::Continue(vec![(99, 0)])
+            }
+        }
+        let g = generators::path(3).unwrap();
+        let err = run_program(&g, |_| BadPort, 5).unwrap_err();
+        assert!(matches!(err, ProgramError::Runtime(_)), "got {err:?}");
     }
 
     #[test]

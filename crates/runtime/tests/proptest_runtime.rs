@@ -18,7 +18,7 @@ fn reference_exchange<M: Clone>(
         let v = VertexId::new(vi);
         for &(port, ref msg) in sends {
             let (u, e) = g.incidence(v)[port];
-            inbox[u.index()].push((net.port_of(u, e), msg.clone()));
+            inbox[u.index()].push((net.port_of(u, e).unwrap(), msg.clone()));
             messages += 1;
         }
     }
@@ -52,8 +52,8 @@ proptest! {
         let g = generators::gnm(30, m.min(30 * 29 / 2), seed).unwrap();
         let net = Network::new(&g);
         for (e, [u, v]) in g.edge_list() {
-            let pu = net.port_of(u, e);
-            let pv = net.port_of(v, e);
+            let pu = net.port_of(u, e).unwrap();
+            let pv = net.port_of(v, e).unwrap();
             prop_assert_eq!(g.incidence(u)[pu], (v, e));
             prop_assert_eq!(g.incidence(v)[pv], (u, e));
         }
@@ -65,7 +65,7 @@ proptest! {
         let g = generators::gnm(25, 70, seed).unwrap();
         let mut net = Network::new(&g);
         let values: Vec<u64> = (0..25).map(|v| v * 31 + 7).collect();
-        let inbox = net.broadcast(&values);
+        let inbox = net.broadcast(&values).unwrap();
         for v in g.vertices() {
             let expected: Vec<u64> = g.neighbors(v).map(|u| values[u.index()]).collect();
             prop_assert_eq!(&inbox[v.index()], &expected);
@@ -84,7 +84,7 @@ proptest! {
             .map(|v| (0..g.degree(v)).step_by(2).map(|p| (p, v.index() as u32)).collect())
             .collect();
         let sent: usize = outbox.iter().map(Vec::len).sum();
-        let inbox = net.exchange(&outbox);
+        let inbox = net.exchange(&outbox).unwrap();
         let received: usize = inbox.iter().map(Vec::len).sum();
         prop_assert_eq!(sent, received);
     }
@@ -103,7 +103,7 @@ proptest! {
             let outbox = some_outbox(&g, seed + round);
             let (expected, expected_stats) = reference_exchange(&g, &net, &outbox);
             net.reset_stats();
-            net.exchange_into(&outbox, &mut buf);
+            net.exchange_into(&outbox, &mut buf).unwrap();
             for v in g.vertices() {
                 let flat: Vec<(usize, u64)> = buf.inbox(v).map(|(p, &msg)| (p, msg)).collect();
                 prop_assert_eq!(flat, expected[v.index()].clone(), "inbox of {} differs", v);
@@ -133,7 +133,7 @@ proptest! {
 
         let mut net = Network::new(&g);
         let mut buf = net.make_buffer();
-        net.broadcast_into(&values, &mut buf);
+        net.broadcast_into(&values, &mut buf).unwrap();
         for v in g.vertices() {
             let flat: Vec<u64> = buf.row(v).copied().collect();
             let reference: Vec<u64> = expected[v.index()].iter().map(|&(_, msg)| msg).collect();
@@ -142,7 +142,7 @@ proptest! {
         prop_assert_eq!(net.stats(), expected_stats);
 
         let mut net2 = Network::new(&g);
-        let legacy = net2.broadcast(&values);
+        let legacy = net2.broadcast(&values).unwrap();
         for v in g.vertices() {
             let flat: Vec<u64> = buf.row(v).copied().collect();
             prop_assert_eq!(flat, legacy[v.index()].clone());
@@ -165,7 +165,7 @@ proptest! {
                 .filter(|e| (e.index() as u64 + seed + round).is_multiple_of(3))
                 .collect();
             net.reset_stats();
-            net.exchange_on_edges_into(&values, &subset, &mut buf);
+            net.exchange_on_edges_into(&values, &subset, &mut buf).unwrap();
             let mut in_subset = vec![false; g.num_edges()];
             for e in &subset {
                 in_subset[e.index()] = true;

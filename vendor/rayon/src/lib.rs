@@ -10,8 +10,11 @@
 //! semantics.
 //!
 //! Execution mode is controlled by the `DECOLOR_THREADS` environment
-//! variable: unset → one worker per available core; `1` (or `0`, or an
-//! unparsable value) → plain sequential fallback; `N > 1` → `N` workers.
+//! variable: unset → one worker per available core; `1` (or `0`) → plain
+//! sequential fallback; `N > 1` → `N` workers. An **unparsable** value
+//! falls back to the available-core count — the same default as unset —
+//! with a one-time warning on stderr (it used to silently degrade to a
+//! single thread, turning a typo into a 1-thread run).
 //! Nested `par_iter` calls issued *from inside a worker* run sequentially
 //! on that worker, so recursive fan-outs (star partition, Theorem 5.4)
 //! keep a bounded thread count instead of multiplying per level.
@@ -20,6 +23,7 @@
 #![warn(missing_docs)]
 
 use std::cell::Cell;
+use std::sync::Once;
 
 thread_local! {
     /// Set on worker threads so nested fan-outs stay sequential.
@@ -28,10 +32,49 @@ thread_local! {
     static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
 }
 
+/// Warns exactly once per process about an unparsable `DECOLOR_THREADS`.
+static BAD_THREAD_SPEC_WARNING: Once = Once::new();
+
+/// The pool size requested by a `DECOLOR_THREADS` value, or `None` when
+/// the value does not parse as an integer (`"0"` parses, and means
+/// sequential like `"1"`).
+fn parse_thread_spec(raw: &str) -> Option<usize> {
+    raw.trim().parse::<usize>().ok().map(|n| n.max(1))
+}
+
+/// One worker per available core — the default for unset (and, with a
+/// warning, unparsable) `DECOLOR_THREADS`.
+fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Resolves a raw `DECOLOR_THREADS` reading (or `None` when unset) to a
+/// pool size: parsable values win, everything else — including typos,
+/// which warn once per process — defaults to the available-core count.
+/// Separated from the environment so the fallback is testable without
+/// mutating process-global state.
+fn resolve_thread_spec(raw: Option<&str>) -> usize {
+    match raw {
+        Some(raw) => parse_thread_spec(raw).unwrap_or_else(|| {
+            BAD_THREAD_SPEC_WARNING.call_once(|| {
+                eprintln!(
+                    "warning: DECOLOR_THREADS={raw:?} is not an integer; \
+                     falling back to all {} available cores",
+                    available_cores()
+                );
+            });
+            available_cores()
+        }),
+        None => available_cores(),
+    }
+}
+
 /// The number of worker threads a `collect` issued from this thread would
 /// use: the [`with_num_threads`] override if one is installed, else
-/// `DECOLOR_THREADS`, else the number of available cores. Inside a worker
-/// thread this is 1 (nested fan-outs are sequential).
+/// `DECOLOR_THREADS`, else the number of available cores. An unparsable
+/// `DECOLOR_THREADS` also resolves to the available-core count, with a
+/// one-time stderr warning. Inside a worker thread this is 1 (nested
+/// fan-outs are sequential).
 pub fn current_num_threads() -> usize {
     if IN_WORKER.with(Cell::get) {
         return 1;
@@ -40,10 +83,7 @@ pub fn current_num_threads() -> usize {
     if overridden > 0 {
         return overridden;
     }
-    match std::env::var("DECOLOR_THREADS") {
-        Ok(raw) => raw.trim().parse::<usize>().unwrap_or(1).max(1),
-        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    }
+    resolve_thread_spec(std::env::var("DECOLOR_THREADS").ok().as_deref())
 }
 
 /// Runs `f` with the calling thread's pool size forced to `threads`
@@ -236,6 +276,36 @@ mod tests {
         let collected: Result<Vec<i32>, String> =
             with_num_threads(3, || items.par_iter().map(|&x| Ok(x)).collect());
         assert_eq!(collected.unwrap().len(), 100);
+    }
+
+    #[test]
+    fn thread_spec_parsing() {
+        assert_eq!(super::parse_thread_spec("4"), Some(4));
+        assert_eq!(super::parse_thread_spec(" 8 "), Some(8));
+        // 0 and 1 both mean sequential.
+        assert_eq!(super::parse_thread_spec("0"), Some(1));
+        assert_eq!(super::parse_thread_spec("1"), Some(1));
+        // Typos no longer silently degrade to one thread: they report
+        // unparsable, and the caller falls back to all cores.
+        assert_eq!(super::parse_thread_spec("four"), None);
+        assert_eq!(super::parse_thread_spec("4x"), None);
+        assert_eq!(super::parse_thread_spec(""), None);
+        assert_eq!(super::parse_thread_spec("-2"), None);
+    }
+
+    #[test]
+    fn unparsable_spec_falls_back_to_all_cores() {
+        // An unparsable value must resolve to the available-core count
+        // (the unset default), not 1. Exercised through the injectable
+        // resolver rather than by mutating the process environment
+        // (set_var during a multi-threaded test run races getenv).
+        assert_eq!(
+            super::resolve_thread_spec(Some("not-a-number")),
+            super::available_cores()
+        );
+        assert_eq!(super::resolve_thread_spec(None), super::available_cores());
+        assert_eq!(super::resolve_thread_spec(Some("3")), 3);
+        assert_eq!(super::resolve_thread_spec(Some("0")), 1);
     }
 
     #[test]
