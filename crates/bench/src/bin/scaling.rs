@@ -1,93 +1,216 @@
 //! Scaling study: how measured rounds grow with `n` at fixed Δ — the
-//! log* n (Linial), O(log n) (Theorem 5.2 via the H-partition) and
-//! n-independent (star partition beyond its log* entry cost) signatures
-//! the paper's running times predict.
+//! log* n (Linial), O(log n) (Theorem 5.2 via the H-partition),
+//! n-independent (star partition beyond its log* entry cost), and
+//! CD-Coloring (Algorithm 1 on the line graph, §2–§3) signatures the
+//! paper's running times predict.
 //!
-//! All three rows now ride the allocation-light paths to n = 10⁶: Linial
-//! on the flat-buffer exchange, the composite rows (star partition /
-//! Theorem 5.2) on the borrowed subgraph views — their recursions no
-//! longer materialize a graph, port table, or line graph per color class.
+//! All four rows ride the allocation-light paths to n = 10⁶: Linial on
+//! the flat-buffer exchange; star partition / Theorem 5.2 / CD-Coloring
+//! on the borrowed subgraph views through the topology-generic LOCAL
+//! simulator — their recursions materialize no per-class graph, port
+//! table, or network.
+//!
+//! Flags:
+//! * `--quick` — CI sizes only (256, 1024).
+//! * `--only <linial|star|t52|cd>` — run a single row (gives clean
+//!   per-row peak-RSS numbers; `VmHWM` is a process-lifetime high-water
+//!   mark, so in a full run the column is cumulative across rows).
+//! * `--reference` — run the composite rows through the kept
+//!   materializing `*_reference` paths (the before side of BENCH
+//!   comparisons).
 //!
 //! `cargo run --release -p decolor-bench --bin scaling [-- --quick]`
 
-use decolor_bench::{append_record, arboricity_workload, markdown_table, regular_workload, Record};
-use decolor_core::arboricity::theorem52;
+use decolor_bench::{
+    append_record, arboricity_workload, markdown_table, peak_rss_mb, regular_workload, Record,
+};
+use decolor_core::arboricity::{theorem52, theorem52_reference};
+use decolor_core::cd_coloring::{cd_coloring, cd_coloring_reference, CdParams};
 use decolor_core::delta_plus_one::SubroutineConfig;
 use decolor_core::linial::linial_coloring;
-use decolor_core::star_partition::{star_partition_edge_coloring, StarPartitionParams};
+use decolor_core::star_partition::{
+    star_partition_edge_coloring, star_partition_edge_coloring_reference, StarPartitionParams,
+};
+use decolor_graph::line_graph::LineGraph;
 use decolor_runtime::{IdAssignment, Network};
 use std::time::Instant;
 
+fn rss_cell() -> String {
+    peak_rss_mb().map_or_else(|| "-".into(), |mb| format!("{mb}"))
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let reference = args.iter().any(|a| a == "--reference");
+    let only: Option<&str> = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str);
+    let runs = |row: &str| only.is_none_or(|o| o == row);
     let sizes: &[usize] = if quick {
         &[256, 1024]
     } else {
         &[256, 1024, 4096, 16384, 65536, 262_144, 1_048_576]
     };
+    let path = if reference {
+        "materializing *_reference paths"
+    } else {
+        "borrowed-view paths"
+    };
+    // Rows measured under --reference are tagged in the provenance
+    // records so EXPERIMENTS.md can tell the two paths apart.
+    let tag = if reference { " [reference]" } else { "" };
 
-    println!("# Scaling study — rounds vs n at fixed Δ\n");
+    println!("# Scaling study — rounds vs n at fixed Δ ({path})\n");
     let mut rows = Vec::new();
     for &n in sizes {
-        // Linial on 8-regular graphs: rounds should be ~flat (log* n).
-        let g = regular_workload(n, 8, 1);
-        // Sparse ID space so the log* cascade is exercised (dense IDs can
-        // start below the O(Δ²) fixed point); the stride shrinks at large
-        // n to keep identifiers inside the model's O(log n)-bit budget.
-        let stride = (u64::from(u32::MAX) / n as u64).min(1 << 16);
-        let ids = IdAssignment::sparse(n, stride, 2);
-        let mut net = Network::new(&g);
-        let started = Instant::now();
-        let lin = linial_coloring(&mut net, &ids).expect("linial succeeds");
-        let linial_secs = started.elapsed().as_secs_f64();
-        let linial_rounds = net.stats().rounds;
-        assert!(lin.coloring.is_proper(&g));
-
-        // Star partition x = 1 on the same graph: log*-dominated entry.
-        let started = Instant::now();
-        let star = star_partition_edge_coloring(&g, &StarPartitionParams::for_levels(&g, 1))
-            .expect("star partition succeeds");
-        let star_secs = started.elapsed().as_secs_f64();
-        assert!(star.coloring.is_proper(&g));
-
-        // Theorem 5.2 on arboricity-2 workloads: ℓ = O(log n) stages.
-        let ga = arboricity_workload(n, 2, 8, 3);
-        let started = Instant::now();
-        let t52 =
-            theorem52(&ga, 2, 2.5, SubroutineConfig::default()).expect("theorem 5.2 succeeds");
-        let t52_secs = started.elapsed().as_secs_f64();
-        assert!(t52.coloring.is_proper(&ga));
-
-        rows.push(vec![
-            format!("{n}"),
-            format!("{linial_rounds}"),
-            format!("{}", star.stats.rounds),
-            format!("{}", t52.stats.rounds),
-            format!("{linial_secs:.3}"),
-            format!("{star_secs:.3}"),
-            format!("{t52_secs:.3}"),
-        ]);
-        let records = [
-            ("scaling_linial", linial_rounds, net.stats().messages),
-            ("scaling_star", star.stats.rounds, star.stats.messages),
-            ("scaling_t52", t52.stats.rounds, t52.stats.messages),
-        ];
-        for (tag, rounds, msgs) in records {
+        let mut linial: Option<(u64, f64)> = None;
+        if runs("linial") {
+            // Linial on 8-regular graphs: rounds should be ~flat (log* n).
+            let g = regular_workload(n, 8, 1);
+            // Sparse ID space so the log* cascade is exercised (dense IDs
+            // can start below the O(Δ²) fixed point); the stride shrinks
+            // at large n to keep identifiers inside the model's
+            // O(log n)-bit budget.
+            let stride = (u64::from(u32::MAX) / n as u64).min(1 << 16);
+            let ids = IdAssignment::sparse(n, stride, 2);
+            let mut net = Network::new(&g);
+            let started = Instant::now();
+            let lin = linial_coloring(&mut net, &ids).expect("linial succeeds");
+            let linial_secs = started.elapsed().as_secs_f64();
+            let linial_rounds = net.stats().rounds;
+            let linial_messages = net.stats().messages;
+            linial = Some((linial_rounds, linial_secs));
+            assert!(lin.coloring.is_proper(&g));
             append_record(&Record {
-                experiment: tag.into(),
-                workload: format!("n={n}"),
+                experiment: "scaling_linial".into(),
+                workload: format!("n={n}{tag}"),
                 n,
                 m: g.num_edges(),
                 delta: g.max_degree(),
                 x: 1,
-                palette: 0,
-                colors_used: 0,
-                bound: 0,
-                rounds,
-                messages: msgs,
+                palette: lin.coloring.palette(),
+                colors_used: lin.coloring.distinct_colors(),
+                bound: decolor_core::linial::final_palette_bound(g.max_degree()),
+                rounds: linial_rounds,
+                messages: linial_messages,
                 time_shape: 0.0,
             });
         }
+
+        // Star partition x = 1 on the same workload: log*-dominated entry.
+        let mut star_row: Option<(u64, f64)> = None;
+        if runs("star") {
+            let g = regular_workload(n, 8, 1);
+            let params = StarPartitionParams::for_levels(&g, 1);
+            let started = Instant::now();
+            let star = if reference {
+                star_partition_edge_coloring_reference(&g, &params)
+            } else {
+                star_partition_edge_coloring(&g, &params)
+            }
+            .expect("star partition succeeds");
+            star_row = Some((star.stats.rounds, started.elapsed().as_secs_f64()));
+            assert!(star.coloring.is_proper(&g));
+            append_record(&Record {
+                experiment: "scaling_star".into(),
+                workload: format!("n={n}{tag}"),
+                n,
+                m: g.num_edges(),
+                delta: g.max_degree(),
+                x: 1,
+                palette: star.coloring.palette(),
+                colors_used: star.coloring.distinct_colors(),
+                bound: 4 * g.max_degree() as u64,
+                rounds: star.stats.rounds,
+                messages: star.stats.messages,
+                time_shape: 0.0,
+            });
+        }
+
+        // Theorem 5.2 on arboricity-2 workloads: ℓ = O(log n) stages.
+        let mut t52_row: Option<(u64, f64)> = None;
+        if runs("t52") {
+            let ga = arboricity_workload(n, 2, 8, 3);
+            let started = Instant::now();
+            let t52 = if reference {
+                theorem52_reference(&ga, 2, 2.5, SubroutineConfig::default())
+            } else {
+                theorem52(&ga, 2, 2.5, SubroutineConfig::default())
+            }
+            .expect("theorem 5.2 succeeds");
+            t52_row = Some((t52.stats.rounds, started.elapsed().as_secs_f64()));
+            assert!(t52.coloring.is_proper(&ga));
+            let d = (2.5f64 * 2.0).ceil() as u64;
+            append_record(&Record {
+                experiment: "scaling_t52".into(),
+                workload: format!("n={n}{tag}"),
+                n,
+                m: ga.num_edges(),
+                delta: ga.max_degree(),
+                x: 1,
+                palette: t52.coloring.palette(),
+                colors_used: t52.coloring.distinct_colors(),
+                bound: (4 * d + 1).max(ga.max_degree() as u64 + d),
+                rounds: t52.stats.rounds,
+                messages: t52.stats.messages,
+                time_shape: 0.0,
+            });
+        }
+
+        // CD-Coloring (Algorithm 1) on the line graph of an 8-regular
+        // graph with n/4 base vertices: the colored graph has exactly n
+        // vertices, diversity 2, clique size Δ = 8.
+        let mut cd_row: Option<(u64, f64)> = None;
+        if runs("cd") {
+            let base = regular_workload((n / 4).max(8), 8, 1);
+            let lg = LineGraph::new(&base);
+            let params = CdParams::for_levels(lg.cover.max_clique_size(), 1);
+            let ids = IdAssignment::sequential(lg.graph.num_vertices());
+            let started = Instant::now();
+            let cd = if reference {
+                cd_coloring_reference(&lg.graph, &lg.cover, &params, &ids)
+            } else {
+                cd_coloring(&lg.graph, &lg.cover, &params, &ids)
+            }
+            .expect("cd coloring succeeds");
+            cd_row = Some((cd.stats.rounds, started.elapsed().as_secs_f64()));
+            assert!(cd.coloring.is_proper(&lg.graph));
+            append_record(&Record {
+                experiment: "scaling_cd".into(),
+                workload: format!("n={n} (line graph, D=2, S=8){tag}"),
+                n: lg.graph.num_vertices(),
+                m: lg.graph.num_edges(),
+                delta: lg.graph.max_degree(),
+                x: 1,
+                palette: cd.coloring.palette(),
+                colors_used: cd.coloring.distinct_colors(),
+                bound: cd.palette_bound,
+                rounds: cd.stats.rounds,
+                messages: cd.stats.messages,
+                time_shape: 0.0,
+            });
+        }
+
+        // Rows not selected by --only render as "-", never as a fake 0.
+        let rounds_cell =
+            |r: &Option<(u64, f64)>| r.map_or_else(|| "-".into(), |(k, _)| format!("{k}"));
+        let wall_cell =
+            |r: &Option<(u64, f64)>| r.map_or_else(|| "-".into(), |(_, s)| format!("{s:.3}"));
+        rows.push(vec![
+            format!("{n}"),
+            rounds_cell(&linial),
+            rounds_cell(&star_row),
+            rounds_cell(&t52_row),
+            rounds_cell(&cd_row),
+            wall_cell(&linial),
+            wall_cell(&star_row),
+            wall_cell(&t52_row),
+            wall_cell(&cd_row),
+            rss_cell(),
+        ]);
     }
     println!(
         "{}",
@@ -97,18 +220,23 @@ fn main() {
                 "Linial rounds (log* n)",
                 "star partition x=1",
                 "Theorem 5.2 (O(log n))",
+                "CD-Coloring x=1",
                 "Linial wall (s)",
                 "star wall (s)",
-                "t52 wall (s)"
+                "t52 wall (s)",
+                "cd wall (s)",
+                "peak RSS (MB)"
             ],
             &rows
         )
     );
     println!(
-        "Expected shapes: Linial ~flat; star partition ~flat after the \
-         log* entry; Theorem 5.2 grows ~logarithmically (ℓ peeling stages \
-         × d label rounds). The composite rows run at every n — the \
-         borrowed-view recursion removed their per-class materialization \
-         ceiling."
+        "Expected shapes: Linial ~flat; star partition and CD-Coloring \
+         ~flat after the log* entry; Theorem 5.2 grows ~logarithmically \
+         (ℓ peeling stages × d label rounds). Every composite row runs at \
+         every n on the borrowed-view recursion (no per-class graph, port \
+         table, or network). The peak-RSS column is the process \
+         high-water mark so far — use `--only <row>` for clean per-row \
+         numbers."
     );
 }

@@ -66,6 +66,17 @@ pub fn append_record(record: &Record) {
     }
 }
 
+/// Peak resident-set size of this process so far, in MB (Linux `VmHWM`),
+/// or `None` off Linux. Note this is a process-lifetime high-water mark:
+/// within a multi-row run it is cumulative, so per-row peaks should be
+/// probed in separate processes (the `scaling` bin's `--only` flag).
+pub fn peak_rss_mb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024)
+}
+
 /// Renders a Markdown table.
 pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();

@@ -14,25 +14,41 @@
 //! * [`corollary55`] — the paper's parameter selection: whenever
 //!   `a < Δ^{1/(4 log log Δ)}`-ish, a Δ(1 + o(1))-edge-coloring in
 //!   O(log n) rounds.
+//!
+//! All class recursions run on borrowed [`EdgeSubgraphView`]s of the root
+//! CSR through the topology-generic LOCAL simulator — Theorem 5.2 itself
+//! is view-generic ([`h_partition`], the intra star partition, and the
+//! Lemma 5.1 merges all simulate rounds on the view), so no per-class
+//! spanning subgraph, port table, or network is materialized. The
+//! pre-view implementations are kept as [`theorem52_reference`],
+//! [`theorem53_reference`], and [`theorem54_reference`]; the equivalence
+//! tests pin colorings, palettes, and [`NetworkStats`] bit-identical
+//! between the paths.
 
 use decolor_graph::coloring::{Color, EdgeColoring};
 use decolor_graph::orientation::Orientation;
-use decolor_graph::subgraph::SpanningEdgeSubgraph;
+use decolor_graph::subgraph::{EdgeSubgraphView, GraphView, SpanningEdgeSubgraph};
 use decolor_graph::{EdgeId, Graph, VertexId};
 use decolor_runtime::{Network, NetworkStats};
 use rayon::prelude::*;
 
-use crate::connectors::orientation::{orientation_connector, VirtualKind};
+use crate::connectors::orientation::{
+    bipartite_orientation_connector_on, orientation_connector, VirtualKind,
+};
 use crate::crossing_merge::{color_crossing_edges, one_sided_edge_coloring};
 use crate::delta_plus_one::SubroutineConfig;
 use crate::error::AlgoError;
 use crate::h_partition::h_partition;
-use crate::star_partition::{star_partition_edge_coloring, StarPartitionParams};
+use crate::star_partition::{
+    star_partition_edge_coloring, star_partition_edge_coloring_on, StarPartitionParams,
+};
 use crate::util::integer_root_ceil;
 
-/// Child outcome of a parallel class recursion (subgraph, colors,
-/// palette, stats).
+/// Child outcome of a parallel class recursion in the materializing
+/// reference path (subgraph, colors, palette, stats).
 type ClassOutcome = (SpanningEdgeSubgraph, Vec<Color>, u64, NetworkStats);
+/// Child outcome of a view-based class recursion (colors, palette, stats).
+type ViewOutcome = Result<Option<(Vec<Color>, u64, NetworkStats)>, AlgoError>;
 
 /// Result of the Section 5 edge colorings.
 #[derive(Clone, Debug)]
@@ -104,7 +120,30 @@ pub fn theorem52_with_intra_levels(
     intra_levels: usize,
     cfg: SubroutineConfig,
 ) -> Result<ArboricityColoring, AlgoError> {
-    if g.num_edges() == 0 {
+    theorem52_on(g, g, a, q, intra_levels, cfg)
+}
+
+/// The view-generic realization of Theorem 5.2: runs on any
+/// [`GraphView`] of `root` (the whole graph at the entry points, a
+/// borrowed color-class [`EdgeSubgraphView`] inside the Theorem 5.3/5.4
+/// recursions). Colors are in the view's local edge ids. Every round —
+/// the H-partition peeling, the intra star partition, the Lemma 5.1
+/// merges — is simulated on the view itself through the topology-generic
+/// [`Network`], so decisions **and** [`NetworkStats`] are bit-identical
+/// to the materializing path.
+///
+/// # Errors
+///
+/// As [`theorem52_with_intra_levels`].
+pub fn theorem52_on<V: GraphView + Sync>(
+    root: &Graph,
+    view: &V,
+    a: usize,
+    q: f64,
+    intra_levels: usize,
+    cfg: SubroutineConfig,
+) -> Result<ArboricityColoring, AlgoError> {
+    if view.num_edges() == 0 {
         return empty_coloring();
     }
     if q < 2.0 {
@@ -118,12 +157,114 @@ pub fn theorem52_with_intra_levels(
         });
     }
     let d = ((q * a.max(1) as f64).ceil() as usize).max(1);
+    let delta = view.max_degree() as u64;
+    let hp = h_partition(view, d)?;
+    let mut stats = hp.stats;
+
+    // Intra-set edges: the union of the vertex-disjoint G(H_i) has degree
+    // ≤ d; one star-partition stage colors it with ≤ 4d + 1 colors. The
+    // class rides a borrowed view of the root — never a spanning copy.
+    let same: Vec<EdgeId> = (0..view.num_edges())
+        .map(EdgeId::new)
+        .filter(|&e| {
+            let [u, v] = view.endpoints(e);
+            hp.index[u.index()] == hp.index[v.index()]
+        })
+        .collect();
+    let mut edge_colors: Vec<Option<Color>> = vec![None; view.num_edges()];
+    let mut intra_palette = 1u64;
+    if !same.is_empty() {
+        let intra_parent: Vec<EdgeId> = same.iter().map(|&e| view.to_parent_edge(e)).collect();
+        let intra = EdgeSubgraphView::new(root, intra_parent).map_err(AlgoError::bad_view)?;
+        debug_assert!(GraphView::max_degree(&intra) <= d);
+        let star = star_partition_edge_coloring_on(
+            root,
+            &intra,
+            &StarPartitionParams {
+                subroutine: cfg,
+                ..StarPartitionParams::for_max_degree(
+                    GraphView::max_degree(&intra) as u64,
+                    intra_levels,
+                )
+            },
+        )?;
+        intra_palette = star.coloring.palette();
+        for (local, &e) in same.iter().enumerate() {
+            edge_colors[e.index()] = Some(star.coloring.color(EdgeId::new(local)));
+        }
+        stats = stats.then(star.stats);
+    }
+
+    // Crossing stages, H_ℓ first ("we go over the sets from H_ℓ back to
+    // H_1"): stage i colors the edges between H_i and the later sets.
+    let palette = intra_palette.max(delta + d as u64);
+    let mut net = Network::new(view);
+    if hp.num_sets >= 2 {
+        for i in (0..hp.num_sets - 1).rev() {
+            let in_a: Vec<bool> = hp.index.iter().map(|&h| h == i).collect();
+            let crossing: Vec<EdgeId> = (0..view.num_edges())
+                .map(EdgeId::new)
+                .filter(|&e| {
+                    let [u, v] = view.endpoints(e);
+                    let (hu, hv) = (hp.index[u.index()], hp.index[v.index()]);
+                    hu.min(hv) == i && hu != hv
+                })
+                .collect();
+            if crossing.is_empty() {
+                continue;
+            }
+            color_crossing_edges(&mut net, &in_a, &mut edge_colors, &crossing, palette)?;
+        }
+    }
+    stats = stats.then(net.stats());
+
+    let colors: Vec<Color> = edge_colors
+        .into_iter()
+        .map(|c| {
+            c.ok_or_else(|| AlgoError::InvariantViolated {
+                reason: "edge left uncolored".into(),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let coloring =
+        EdgeColoring::new(colors, palette).map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
+    coloring
+        .validate(view)
+        .map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
+    Ok(ArboricityColoring { coloring, stats })
+}
+
+/// The **materializing reference path** of [`theorem52`]: the intra-H-set
+/// edges are copied into a [`SpanningEdgeSubgraph`] before the star
+/// partition (the pre-view implementation). Kept for the equivalence
+/// tests.
+///
+/// # Errors
+///
+/// As [`theorem52`].
+pub fn theorem52_reference(
+    g: &Graph,
+    a: usize,
+    q: f64,
+    cfg: SubroutineConfig,
+) -> Result<ArboricityColoring, AlgoError> {
+    if g.num_edges() == 0 {
+        return empty_coloring();
+    }
+    if q < 2.0 {
+        return Err(AlgoError::InvalidParameters {
+            reason: format!("q = {q} must be ≥ 2 (+ε)"),
+        });
+    }
+    let d = ((q * a.max(1) as f64).ceil() as usize).max(1);
     let delta = g.max_degree() as u64;
     let hp = h_partition(g, d)?;
     let mut stats = hp.stats;
 
-    // Intra-set edges: the union of the vertex-disjoint G(H_i) has degree
-    // ≤ d; one star-partition stage colors it with ≤ 4d + 1 colors.
     let same: Vec<EdgeId> = g
         .edge_list()
         .filter(|&(_, [u, v])| hp.index[u.index()] == hp.index[v.index()])
@@ -138,7 +279,7 @@ pub fn theorem52_with_intra_levels(
             sub.graph(),
             &StarPartitionParams {
                 subroutine: cfg,
-                ..StarPartitionParams::for_levels(sub.graph(), intra_levels)
+                ..StarPartitionParams::for_levels(sub.graph(), 1)
             },
         )?;
         intra_palette = star.coloring.palette();
@@ -148,8 +289,6 @@ pub fn theorem52_with_intra_levels(
         stats = stats.then(star.stats);
     }
 
-    // Crossing stages, H_ℓ first ("we go over the sets from H_ℓ back to
-    // H_1"): stage i colors the edges between H_i and the later sets.
     let palette = intra_palette.max(delta + d as u64);
     let mut net = Network::new(g);
     if hp.num_sets >= 2 {
@@ -193,7 +332,8 @@ pub fn theorem52_with_intra_levels(
 
 /// **Theorem 5.3**: for `a = o(Δ)`, a (Δ + O(√(Δa)) + O(a))-edge-coloring
 /// — i.e. Δ + o(Δ) — in O(√a log n)-shape rounds, via the shared
-/// orientation connector with √-sized groups.
+/// orientation connector with √-sized groups. Color classes recurse on
+/// borrowed [`EdgeSubgraphView`]s through the view-generic Theorem 5.2.
 ///
 /// # Errors
 ///
@@ -204,8 +344,46 @@ pub fn theorem53(
     q: f64,
     cfg: SubroutineConfig,
 ) -> Result<ArboricityColoring, AlgoError> {
+    let (orient, phi, stats) = match theorem53_head(g, a, q, cfg)? {
+        Some(head) => head,
+        None => return empty_coloring(),
+    };
+    combine_classes_on(g, &orient, &phi.coloring, q, cfg, stats)
+}
+
+/// The **materializing reference path** of [`theorem53`]: every color
+/// class is copied into a [`SpanningEdgeSubgraph`] (plus a restricted
+/// [`Orientation`]) before the per-class Theorem 5.2. Kept for the
+/// equivalence tests.
+///
+/// # Errors
+///
+/// As [`theorem53`].
+pub fn theorem53_reference(
+    g: &Graph,
+    a: usize,
+    q: f64,
+    cfg: SubroutineConfig,
+) -> Result<ArboricityColoring, AlgoError> {
+    let (orient, phi, stats) = match theorem53_head(g, a, q, cfg)? {
+        Some(head) => head,
+        None => return empty_coloring(),
+    };
+    combine_classes_reference(g, &orient, &phi.coloring, q, cfg, stats)
+}
+
+/// Shared head of both Theorem 5.3 paths: H-partition, shared orientation
+/// connector, Theorem 5.2 on the connector. Returns `None` for edgeless
+/// inputs.
+type Theorem53Head = Option<(Orientation, ArboricityColoring, NetworkStats)>;
+fn theorem53_head(
+    g: &Graph,
+    a: usize,
+    q: f64,
+    cfg: SubroutineConfig,
+) -> Result<Theorem53Head, AlgoError> {
     if g.num_edges() == 0 {
-        return empty_coloring();
+        return Ok(None);
     }
     let d = ((q * a.max(1) as f64).ceil() as usize).max(1);
     let delta = g.max_degree() as u64;
@@ -219,14 +397,93 @@ pub fn theorem53(
     stats.rounds += 1; // local construction
     let a_conn = conn.orientation.max_out_degree(&conn.graph).max(1);
     let phi = theorem52(&conn.graph, a_conn, q, cfg)?;
-    stats = stats.then(phi.stats);
-
-    combine_classes_with_theorem52(g, &orient, &phi.coloring, q, cfg, stats)
+    let phi_stats = phi.stats;
+    Ok(Some((orient, phi, stats.then(phi_stats))))
 }
 
-/// Groups the edges of `g` by `phi` (whose edge ids align with `g`),
-/// colors every class with Theorem 5.2 in parallel, and combines.
-fn combine_classes_with_theorem52(
+/// Maximum out-degree over the class under `orient` — what the reference
+/// path reads off `Orientation::max_out_degree` of the restricted
+/// orientation, computed here without materializing either.
+fn class_max_out_degree(g: &Graph, orient: &Orientation, class: &[EdgeId]) -> usize {
+    let mut out_deg = vec![0u32; g.num_vertices()];
+    for &e in class {
+        let head = orient.head(e);
+        let tail = g.other_endpoint(e, head);
+        out_deg[tail.index()] += 1;
+    }
+    out_deg.iter().copied().max().unwrap_or(0) as usize
+}
+
+/// Groups the edges of `g` by `phi` (whose edge ids align with `g`) and
+/// colors every class with the view-generic Theorem 5.2 in parallel, each
+/// class a borrowed [`EdgeSubgraphView`] of `g`.
+fn combine_classes_on(
+    g: &Graph,
+    orient: &Orientation,
+    phi: &EdgeColoring,
+    q: f64,
+    cfg: SubroutineConfig,
+    mut stats: NetworkStats,
+) -> Result<ArboricityColoring, AlgoError> {
+    let classes = phi.classes();
+    let outcomes: Vec<ViewOutcome> = classes
+        .par_iter()
+        .map(|class| {
+            if class.is_empty() {
+                return Ok(None);
+            }
+            let view = EdgeSubgraphView::new(g, class.clone()).map_err(AlgoError::bad_view)?;
+            let a_sub = class_max_out_degree(g, orient, class).max(1);
+            let psi = theorem52_on(g, &view, a_sub, q, 1, cfg)?;
+            Ok(Some((
+                psi.coloring.as_slice().to_vec(),
+                psi.coloring.palette(),
+                psi.stats,
+            )))
+        })
+        .collect();
+    let mut results = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        results.push(o?);
+    }
+    let inner = results
+        .iter()
+        .flatten()
+        .map(|(_, p, _)| *p)
+        .max()
+        .unwrap_or(1);
+    let mut out = vec![0 as Color; g.num_edges()];
+    for (class, result) in classes.iter().zip(&results) {
+        let Some((colors, _, _)) = result else {
+            continue;
+        };
+        for (local, &parent) in class.iter().enumerate() {
+            let combined = u64::from(phi.color(parent)) * inner + u64::from(colors[local]);
+            out[parent.index()] =
+                u32::try_from(combined).map_err(|_| AlgoError::InvariantViolated {
+                    reason: "combined color exceeds u32".into(),
+                })?;
+        }
+    }
+    stats = stats.then(NetworkStats::in_parallel(
+        results.iter().flatten().map(|(_, _, s)| *s),
+    ));
+    let coloring = EdgeColoring::new(out, phi.palette() * inner).map_err(|e| {
+        AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        }
+    })?;
+    coloring
+        .validate(g)
+        .map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
+    Ok(ArboricityColoring { coloring, stats })
+}
+
+/// The materializing counterpart of [`combine_classes_on`], kept for the
+/// reference paths.
+fn combine_classes_reference(
     g: &Graph,
     orient: &Orientation,
     phi: &EdgeColoring,
@@ -250,7 +507,7 @@ fn combine_classes_with_theorem52(
                     }
                 })?;
                 let a_sub = sub_orient.max_out_degree(sub.graph()).max(1);
-                let psi = theorem52(sub.graph(), a_sub, q, cfg)?;
+                let psi = theorem52_reference(sub.graph(), a_sub, q, cfg)?;
                 Ok(Some((sub, psi)))
             })
             .collect();
@@ -297,8 +554,11 @@ fn combine_classes_with_theorem52(
 /// O(â^{1/x}(x + log n / log q))-shape rounds, `â = ⌈q·a⌉`.
 ///
 /// `x − 1` bipartite orientation-connector levels shrink degree and
-/// out-degree geometrically; the final classes are colored with Theorem
-/// 5.2 in parallel.
+/// out-degree geometrically; the final classes are colored with the
+/// view-generic Theorem 5.2 in parallel. Every class recursion is a
+/// borrowed [`EdgeSubgraphView`] of the root, with the class's heads
+/// carried alongside — no spanning subgraph or restricted
+/// [`Orientation`] object is materialized.
 ///
 /// # Errors
 ///
@@ -332,6 +592,65 @@ pub fn theorem54(
     }
     // Group sizes fixed from the *original* Δ and â (the paper's
     // ⌈Δ^{1/x} + 1⌉ / ⌈â^{1/x} + 1⌉).
+    let ctx = T54Ctx {
+        s_in: (integer_root_ceil(delta, x as u32) as usize + 1).max(2),
+        s_out: (integer_root_ceil(d as u64, x as u32) as usize + 1).max(2),
+        q,
+        cfg,
+    };
+    let heads: Vec<VertexId> = (0..g.num_edges())
+        .map(|e| orient.head(EdgeId::new(e)))
+        .collect();
+    let (colors, palette, level_stats) = t54_level_on(g, g, &heads, &ctx, x)?;
+    let coloring =
+        EdgeColoring::new(colors, palette).map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
+    coloring
+        .validate(g)
+        .map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
+    Ok(ArboricityColoring {
+        coloring,
+        stats: stats.then(level_stats),
+    })
+}
+
+/// The **materializing reference path** of [`theorem54`]: every connector
+/// level copies each color class into a [`SpanningEdgeSubgraph`] with a
+/// restricted [`Orientation`]. Kept for the equivalence tests.
+///
+/// # Errors
+///
+/// As [`theorem54`].
+pub fn theorem54_reference(
+    g: &Graph,
+    a: usize,
+    q: f64,
+    x: usize,
+    cfg: SubroutineConfig,
+) -> Result<ArboricityColoring, AlgoError> {
+    if x == 0 {
+        return Err(AlgoError::InvalidParameters {
+            reason: "x must be ≥ 1".into(),
+        });
+    }
+    if g.num_edges() == 0 {
+        return empty_coloring();
+    }
+    let d = ((q * a.max(1) as f64).ceil() as usize).max(1);
+    let delta = g.max_degree() as u64;
+    let hp = h_partition(g, d)?;
+    let orient = hp.orientation(g);
+    let stats = hp.stats;
+    if x == 1 {
+        let t52 = theorem52_reference(g, a, q, cfg)?;
+        return Ok(ArboricityColoring {
+            coloring: t52.coloring,
+            stats: stats.then(t52.stats),
+        });
+    }
     let s_in = (integer_root_ceil(delta, x as u32) as usize + 1).max(2);
     let s_out = (integer_root_ceil(d as u64, x as u32) as usize + 1).max(2);
     let (colors, palette, level_stats) = t54_level(g, &orient, s_in, s_out, x, q, cfg)?;
@@ -350,6 +669,104 @@ pub fn theorem54(
     })
 }
 
+/// Level-invariant parameters of the Theorem 5.4 recursion.
+#[derive(Clone, Copy)]
+struct T54Ctx {
+    s_in: usize,
+    s_out: usize,
+    q: f64,
+    cfg: SubroutineConfig,
+}
+
+/// One Theorem 5.4 level over a borrowed view of the root: the bipartite
+/// connector is built straight off the view (`heads[e]` = head of local
+/// edge `e`), its classes recurse as child views with their head slices.
+fn t54_level_on<V: GraphView + Sync>(
+    root: &Graph,
+    view: &V,
+    heads: &[VertexId],
+    ctx: &T54Ctx,
+    levels: usize,
+) -> Result<(Vec<Color>, u64, NetworkStats), AlgoError> {
+    if view.num_edges() == 0 {
+        return Ok((vec![], 1, NetworkStats::default()));
+    }
+    if levels == 1 {
+        // The reference reads this off the restricted orientation; here
+        // it is the max per-tail count of the view's own head slice.
+        let mut out_deg = vec![0u32; view.num_vertices()];
+        for e in (0..view.num_edges()).map(EdgeId::new) {
+            let head = heads[e.index()];
+            let [u, v] = view.endpoints(e);
+            let tail = if head == u { v } else { u };
+            out_deg[tail.index()] += 1;
+        }
+        let a_cur = (out_deg.iter().copied().max().unwrap_or(0) as usize).max(1);
+        let t52 = theorem52_on(root, view, a_cur, ctx.q, 1, ctx.cfg)?;
+        return Ok((
+            t52.coloring.as_slice().to_vec(),
+            t52.coloring.palette(),
+            t52.stats,
+        ));
+    }
+    let (conn, in_a) = bipartite_orientation_connector_on(view, heads, ctx.s_in, ctx.s_out)?;
+    let palette_conn = (ctx.s_in + ctx.s_out - 1) as u64;
+    let (phi, phi_stats) = one_sided_edge_coloring(&conn, &in_a, palette_conn)?;
+    let mut stats = NetworkStats {
+        rounds: 1,
+        ..Default::default()
+    }
+    .then(phi_stats);
+
+    let classes = phi.classes();
+    let outcomes: Vec<ViewOutcome> = classes
+        .par_iter()
+        .map(|class| {
+            if class.is_empty() {
+                return Ok(None);
+            }
+            let parent_ids: Vec<EdgeId> = class.iter().map(|&e| view.to_parent_edge(e)).collect();
+            let child = EdgeSubgraphView::new(root, parent_ids).map_err(AlgoError::bad_view)?;
+            let child_heads: Vec<VertexId> = class.iter().map(|&e| heads[e.index()]).collect();
+            Ok(Some(t54_level_on(
+                root,
+                &child,
+                &child_heads,
+                ctx,
+                levels - 1,
+            )?))
+        })
+        .collect();
+    let mut results = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        results.push(o?);
+    }
+    let inner = results
+        .iter()
+        .flatten()
+        .map(|(_, p, _)| *p)
+        .max()
+        .unwrap_or(1);
+    let mut out = vec![0 as Color; view.num_edges()];
+    for (class, result) in classes.iter().zip(&results) {
+        let Some((colors, _, _)) = result else {
+            continue;
+        };
+        for (local, &view_edge) in class.iter().enumerate() {
+            let combined = u64::from(phi.color(view_edge)) * inner + u64::from(colors[local]);
+            out[view_edge.index()] =
+                u32::try_from(combined).map_err(|_| AlgoError::InvariantViolated {
+                    reason: "combined color exceeds u32".into(),
+                })?;
+        }
+    }
+    stats = stats.then(NetworkStats::in_parallel(
+        results.iter().flatten().map(|(_, _, s)| *s),
+    ));
+    Ok((out, palette_conn * inner, stats))
+}
+
+/// One Theorem 5.4 level of the **materializing reference path**.
 fn t54_level(
     g: &Graph,
     orient: &Orientation,
@@ -364,7 +781,7 @@ fn t54_level(
     }
     if levels == 1 {
         let a_cur = orient.max_out_degree(g).max(1);
-        let t52 = theorem52(g, a_cur, q, cfg)?;
+        let t52 = theorem52_reference(g, a_cur, q, cfg)?;
         return Ok((
             t52.coloring.as_slice().to_vec(),
             t52.coloring.palette(),
@@ -591,6 +1008,8 @@ mod tests {
         let g = workload(50, 2, 4, 8);
         assert!(theorem52(&g, 2, 1.0, SubroutineConfig::default()).is_err());
         assert!(theorem54(&g, 2, 2.5, 0, SubroutineConfig::default()).is_err());
+        assert!(theorem52_reference(&g, 2, 1.0, SubroutineConfig::default()).is_err());
+        assert!(theorem54_reference(&g, 2, 2.5, 0, SubroutineConfig::default()).is_err());
     }
 
     #[test]
@@ -601,6 +1020,10 @@ mod tests {
             .coloring
             .is_empty());
         assert!(theorem53(&g, 1, 2.5, SubroutineConfig::default())
+            .unwrap()
+            .coloring
+            .is_empty());
+        assert!(theorem53_reference(&g, 1, 2.5, SubroutineConfig::default())
             .unwrap()
             .coloring
             .is_empty());

@@ -17,12 +17,12 @@
 use decolor_graph::cliques::CliqueCover;
 use decolor_graph::coloring::{Color, VertexColoring};
 use decolor_graph::line_graph::LineGraph;
-use decolor_graph::subgraph::InducedSubgraph;
-use decolor_graph::Graph;
+use decolor_graph::subgraph::{GraphView, InducedSubgraph, InducedSubgraphView, VertexSubsetView};
+use decolor_graph::{Graph, VertexId};
 use decolor_runtime::{IdAssignment, Network, NetworkStats};
 use rayon::prelude::*;
 
-use crate::connectors::clique::clique_connector;
+use crate::connectors::clique::{clique_connector, clique_connector_on};
 use crate::delta_plus_one::{vertex_coloring_with_target, Seed, SubroutineConfig};
 use crate::error::AlgoError;
 use crate::linial;
@@ -125,6 +125,47 @@ pub fn cd_coloring(
     params: &CdParams,
     ids: &IdAssignment,
 ) -> Result<CdColoring, AlgoError> {
+    check_cd_params(g, params, ids)?;
+    let diversity = cover.diversity().max(1);
+
+    // §3: one Linial pass on the input graph; recursion inherits colors.
+    let mut net = Network::new(g);
+    let base = linial::linial_coloring(&mut net, ids)?.coloring;
+    let base_stats = net.stats();
+
+    let full = VertexSubsetView::new(g, g.vertices().collect()).map_err(AlgoError::bad_view)?;
+    let (colors, palette, stats) = level_on(g, cover, &base, &full, diversity, params, params.x)?;
+    finish_cd(g, params, colors, palette, base_stats.then(stats))
+}
+
+/// The **materializing reference path**: identical decisions to
+/// [`cd_coloring`], but every recursion level copies each color class
+/// into a fresh [`InducedSubgraph`] plus a [`Network`] over it (the
+/// pre-view implementation). Kept so the equivalence tests can pin the
+/// borrowed-view pipeline bit-for-bit — colorings, palette bounds, and
+/// [`NetworkStats`] must match exactly.
+///
+/// # Errors
+///
+/// As [`cd_coloring`].
+pub fn cd_coloring_reference(
+    g: &Graph,
+    cover: &CliqueCover,
+    params: &CdParams,
+    ids: &IdAssignment,
+) -> Result<CdColoring, AlgoError> {
+    check_cd_params(g, params, ids)?;
+    let diversity = cover.diversity().max(1);
+
+    let mut net = Network::new(g);
+    let base = linial::linial_coloring(&mut net, ids)?.coloring;
+    let base_stats = net.stats();
+
+    let (colors, palette, stats) = level(g, cover, &base, diversity, params, params.x)?;
+    finish_cd(g, params, colors, palette, base_stats.then(stats))
+}
+
+fn check_cd_params(g: &Graph, params: &CdParams, ids: &IdAssignment) -> Result<(), AlgoError> {
     if params.t < 2 {
         return Err(AlgoError::InvalidParameters {
             reason: "t must be ≥ 2".into(),
@@ -140,20 +181,21 @@ pub fn cd_coloring(
             reason: format!("{} ids for {} vertices", ids.len(), g.num_vertices()),
         });
     }
-    let diversity = cover.diversity().max(1);
+    Ok(())
+}
 
-    // §3: one Linial pass on the input graph; recursion inherits colors.
-    let mut net = Network::new(g);
-    let base = linial::linial_coloring(&mut net, ids)?.coloring;
-    let base_stats = net.stats();
-
-    let (colors, palette, stats) = level(g, cover, &base, diversity, params, params.x)?;
+/// Shared tail of both paths: the §3 / Appendix B trim and validation.
+fn finish_cd(
+    g: &Graph,
+    params: &CdParams,
+    colors: Vec<Color>,
+    palette: u64,
+    mut stats: NetworkStats,
+) -> Result<CdColoring, AlgoError> {
     let mut coloring =
         VertexColoring::new(colors, palette).map_err(|e| AlgoError::InvariantViolated {
             reason: e.to_string(),
         })?;
-    let mut stats = base_stats.then(stats);
-
     // §3 / Appendix B: the final basic color reduction ("we can apply the
     // basic reduction for 2 rounds, and obtain D²S-coloring").
     if let Some(requested) = params.trim_to {
@@ -188,7 +230,163 @@ pub fn cd_coloring(
     })
 }
 
-/// One recursion level of Algorithm 1.
+/// One recursion level of Algorithm 1 over a borrowed
+/// [`VertexSubsetView`] of the *root* graph — the hot path. The clique
+/// connector of the class is built from the restricted cover alone
+/// (restriction composes), the recursion descends through subset views,
+/// and the **leaves run the vertex pipeline directly on an
+/// [`InducedSubgraphView`]** through the topology-generic [`Network`]:
+/// no per-class graph, port table, or network is ever materialized.
+/// Decisions and [`NetworkStats`] are bit-identical to [`level`].
+#[allow(clippy::too_many_arguments)]
+fn level_on(
+    root: &Graph,
+    cover: &CliqueCover,
+    base: &VertexColoring,
+    view: &VertexSubsetView<'_>,
+    diversity: usize,
+    params: &CdParams,
+    x: usize,
+) -> Result<(Vec<Color>, u64, NetworkStats), AlgoError> {
+    let cfg = params.subroutine;
+    let k = view.num_vertices();
+    if !view.has_induced_edge() {
+        return Ok((vec![0; k], 1, NetworkStats::default()));
+    }
+    // Restriction composes, so filtering the root cover by the current
+    // subset equals the reference path's level-by-level restriction.
+    let local_cover = cover.restrict_to_subset(view);
+    // Appendix B's A_{i+1}: re-optimize t from the current clique size.
+    let t = if params.per_level_t {
+        integer_root(local_cover.max_clique_size() as u64, x as u32 + 1).max(2) as usize
+    } else {
+        params.t
+    };
+
+    // Line 1: the connector (O(1) rounds, charged below), straight off
+    // the subset view — no induced subgraph anywhere.
+    let conn = clique_connector_on(view, &local_cover, t)?;
+    let gamma = (diversity as u64) * (t as u64 - 1) + 1;
+    if (conn.graph.max_degree() as u64) >= gamma {
+        return Err(AlgoError::InvariantViolated {
+            reason: format!(
+                "Lemma 2.1 violated: connector degree {} ≥ γ = {gamma} (cover inconsistent?)",
+                conn.graph.max_degree()
+            ),
+        });
+    }
+
+    // Line 3: ϕ := color G′ with γ colors, seeded by the inherited coloring
+    // restricted to the class.
+    let sub_base_colors: Vec<Color> = view
+        .parent_vertices()
+        .iter()
+        .map(|&v| base.color(v))
+        .collect();
+    let sub_base = VertexColoring::new(sub_base_colors, base.palette()).map_err(|e| {
+        AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        }
+    })?;
+    let (phi, phi_stats) =
+        vertex_coloring_with_target(&conn.graph, Seed::Coloring(&sub_base), gamma, cfg)?;
+    let mut stats = NetworkStats {
+        rounds: 1,
+        ..Default::default()
+    }
+    .then(phi_stats);
+
+    // Lines 4–13: recurse (or finish) on the color classes in parallel,
+    // each class a fresh subset view of the root.
+    let s_cur = local_cover.max_clique_size();
+    let k_bound = s_cur.div_ceil(t);
+    let classes = phi.classes();
+    let outcomes: Vec<ViewOutcome> = classes
+        .par_iter()
+        .map(|class| {
+            if class.is_empty() {
+                return Ok(None);
+            }
+            let parents: Vec<VertexId> =
+                class.iter().map(|&lv| view.to_parent_vertex(lv)).collect();
+            if x > 1 {
+                let child = VertexSubsetView::new(root, parents).map_err(AlgoError::bad_view)?;
+                Ok(Some(level_on(
+                    root,
+                    cover,
+                    base,
+                    &child,
+                    diversity,
+                    params,
+                    x - 1,
+                )?))
+            } else {
+                // Line 12: direct coloring with D(⌈S/t⌉ − 1) + 1 colors,
+                // on the induced view of the class.
+                let child = InducedSubgraphView::new(root, parents).map_err(AlgoError::bad_view)?;
+                let target = (diversity as u64) * (k_bound as u64 - 1) + 1;
+                if (child.max_degree() as u64) >= target.max(1) {
+                    return Err(AlgoError::InvariantViolated {
+                        reason: format!(
+                            "Lemma 2.2 violated: class degree {} ≥ D(k−1)+1 = {target}",
+                            child.max_degree()
+                        ),
+                    });
+                }
+                let child_base_colors: Vec<Color> = child
+                    .parent_vertices()
+                    .iter()
+                    .map(|&v| base.color(v))
+                    .collect();
+                let child_base =
+                    VertexColoring::new(child_base_colors, base.palette()).map_err(|e| {
+                        AlgoError::InvariantViolated {
+                            reason: e.to_string(),
+                        }
+                    })?;
+                let (c, s) =
+                    vertex_coloring_with_target(&child, Seed::Coloring(&child_base), target, cfg)?;
+                Ok(Some((c.as_slice().to_vec(), c.palette(), s)))
+            }
+        })
+        .collect();
+
+    let mut results = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        results.push(o?);
+    }
+
+    // Line 15: combine ⟨ϕ, ψ⟩ canonically.
+    let inner_palette = results
+        .iter()
+        .flatten()
+        .map(|(_, p, _)| *p)
+        .max()
+        .unwrap_or(1);
+    let mut out = vec![0 as Color; k];
+    for (c, (class, result)) in classes.iter().zip(&results).enumerate() {
+        let Some((colors, _, _)) = result else {
+            continue;
+        };
+        for (child_local, &view_local) in class.iter().enumerate() {
+            let combined = c as u64 * inner_palette + u64::from(colors[child_local]);
+            out[view_local.index()] =
+                u32::try_from(combined).map_err(|_| AlgoError::InvariantViolated {
+                    reason: "combined color exceeds u32".into(),
+                })?;
+        }
+    }
+    stats = stats.then(NetworkStats::in_parallel(
+        results.iter().flatten().map(|(_, _, s)| *s),
+    ));
+    Ok((out, gamma * inner_palette, stats))
+}
+
+/// Child outcome of a view-based class recursion (colors, palette, stats).
+type ViewOutcome = Result<Option<(Vec<Color>, u64, NetworkStats)>, AlgoError>;
+
+/// One recursion level of Algorithm 1 — the **materializing reference
+/// path** (each class copied into a fresh [`InducedSubgraph`]).
 fn level(
     g: &Graph,
     cover: &CliqueCover,

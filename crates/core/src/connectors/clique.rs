@@ -11,6 +11,7 @@
 //! [`CliqueConnector::verify_degree_bound`] and the test suite.
 
 use decolor_graph::cliques::CliqueCover;
+use decolor_graph::subgraph::VertexSubsetView;
 use decolor_graph::{Graph, GraphBuilder, VertexId};
 
 use crate::error::AlgoError;
@@ -90,6 +91,27 @@ pub fn clique_connector_for(
         groups,
         t,
     })
+}
+
+/// [`clique_connector`] over a borrowed
+/// [`VertexSubsetView`] — the view-generic topology entry the CD-Coloring
+/// recursion uses, so the connector of a color class is built straight
+/// from the class's subset view and its restricted cover without ever
+/// materializing the induced subgraph. `local_cover` must be the root
+/// cover restricted to the view
+/// ([`CliqueCover::restrict_to_subset`]); restriction composes, so the
+/// result is identical to the materializing path's
+/// `cover.restrict(&sub)` + [`clique_connector`].
+///
+/// # Errors
+///
+/// As [`clique_connector`].
+pub fn clique_connector_on(
+    view: &VertexSubsetView<'_>,
+    local_cover: &CliqueCover,
+    t: usize,
+) -> Result<CliqueConnector, AlgoError> {
+    clique_connector_for(view.num_vertices(), local_cover, t)
 }
 
 impl CliqueConnector {

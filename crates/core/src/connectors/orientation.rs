@@ -17,7 +17,8 @@
 //! certifying arboricity ≤ s_out.
 
 use decolor_graph::orientation::Orientation;
-use decolor_graph::{Graph, GraphBuilder, VertexId};
+use decolor_graph::subgraph::GraphView;
+use decolor_graph::{EdgeId, Graph, GraphBuilder, VertexId};
 
 use crate::error::AlgoError;
 
@@ -155,6 +156,113 @@ pub fn orientation_connector(
         s_out,
         bipartite,
     })
+}
+
+/// The **bipartite** orientation-connector *graph* of a borrowed
+/// [`GraphView`], compact: only in/out groups that actually host an edge
+/// get virtual vertices — the Theorem 5.4 recursion's per-level connector
+/// without materializing the class subgraph. `heads[e]` is the head of
+/// the view's local edge `e` (in the view's vertex space); connector edge
+/// `k` **is** local edge `k`.
+///
+/// Returns the connector graph plus the `A`-side indicator consumed by
+/// [`one_sided_edge_coloring`](crate::crossing_merge::one_sided_edge_coloring)
+/// (`true` = out-virtual, matching the reference path's
+/// `VirtualKind::Out`). Dropping the reference path's isolated virtual
+/// vertices changes no coloring decision and no ledger entry (they have
+/// degree 0), which the equivalence tests pin.
+///
+/// # Errors
+///
+/// [`AlgoError::InvalidParameters`] if a group size is 0 or `heads` has
+/// the wrong length; [`AlgoError::InvariantViolated`] if the §5 degree
+/// bounds fail.
+pub fn bipartite_orientation_connector_on<V: GraphView>(
+    view: &V,
+    heads: &[VertexId],
+    s_in: usize,
+    s_out: usize,
+) -> Result<(Graph, Vec<bool>), AlgoError> {
+    if s_in == 0 || s_out == 0 {
+        return Err(AlgoError::InvalidParameters {
+            reason: "orientation-connector group sizes must be positive".into(),
+        });
+    }
+    let k = view.num_edges();
+    if heads.len() != k {
+        return Err(AlgoError::InvalidParameters {
+            reason: format!("{} heads for {} active edges", heads.len(), k),
+        });
+    }
+    let n = view.num_vertices();
+    // Slot of each active edge among its head's in-edges / its tail's
+    // out-edges, in incidence (= port) order — exactly the reference
+    // construction's enumeration.
+    let mut in_slot = vec![0u32; k];
+    let mut out_slot = vec![0u32; k];
+    let mut in_count = vec![0u32; n];
+    let mut out_count = vec![0u32; n];
+    for vi in 0..n {
+        let v = VertexId::new(vi);
+        if view.degree(v) == 0 {
+            continue;
+        }
+        view.for_each_incident_edge(v, |e| {
+            if heads[e.index()] == v {
+                in_slot[e.index()] = in_count[vi];
+                in_count[vi] += 1;
+            } else {
+                out_slot[e.index()] = out_count[vi];
+                out_count[vi] += 1;
+            }
+        });
+    }
+    // Compact virtual-vertex bases (in-groups first per vertex, like the
+    // reference; `u32::MAX` marks absent sides).
+    let mut in_base = vec![u32::MAX; n];
+    let mut out_base = vec![u32::MAX; n];
+    let mut in_a = Vec::new();
+    let mut acc = 0usize;
+    for vi in 0..n {
+        let ki = (in_count[vi] as usize).div_ceil(s_in);
+        if ki > 0 {
+            in_base[vi] = u32::try_from(acc).map_err(|_| AlgoError::InvalidParameters {
+                reason: "connector needs more than u32::MAX virtual vertices".into(),
+            })?;
+            acc += ki;
+            in_a.extend(std::iter::repeat_n(false, ki));
+        }
+        let ko = (out_count[vi] as usize).div_ceil(s_out);
+        if ko > 0 {
+            out_base[vi] = u32::try_from(acc).map_err(|_| AlgoError::InvalidParameters {
+                reason: "connector needs more than u32::MAX virtual vertices".into(),
+            })?;
+            acc += ko;
+            in_a.extend(std::iter::repeat_n(true, ko));
+        }
+    }
+    let mut b = GraphBuilder::new_multi(acc).with_edge_capacity(k);
+    for le in (0..k).map(EdgeId::new) {
+        let head = heads[le.index()];
+        let [a, c] = view.endpoints(le);
+        let tail = if head == a { c } else { a };
+        let cv_head = in_base[head.index()] + in_slot[le.index()] / s_in as u32;
+        let cv_tail = out_base[tail.index()] + out_slot[le.index()] / s_out as u32;
+        b.add_edge(cv_tail as usize, cv_head as usize)
+            .map_err(|err| AlgoError::InvariantViolated {
+                reason: err.to_string(),
+            })?;
+    }
+    let graph = b.build_parallel();
+    for v in graph.vertices() {
+        let bound = if in_a[v.index()] { s_out } else { s_in };
+        if graph.degree(v) > bound {
+            return Err(AlgoError::InvariantViolated {
+                reason: format!("virtual {v} has degree {} > {bound}", graph.degree(v)),
+            });
+        }
+    }
+    Ok((graph, in_a))
 }
 
 impl OrientationConnector {

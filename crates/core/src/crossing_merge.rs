@@ -15,6 +15,7 @@
 //! rounds — the primitive Theorem 5.4 invokes at every level.
 
 use decolor_graph::coloring::{Color, EdgeColoring};
+use decolor_graph::subgraph::GraphView;
 use decolor_graph::{EdgeId, Graph};
 use decolor_runtime::{Network, NetworkStats};
 
@@ -33,8 +34,8 @@ use crate::error::AlgoError;
 ///   edge does not have exactly one `A`-endpoint.
 /// * [`AlgoError::InvariantViolated`] if `palette` has no free color for
 ///   some edge (i.e. `palette < Δ + d − 1` was passed).
-pub fn color_crossing_edges(
-    net: &mut Network<'_>,
+pub fn color_crossing_edges<V: GraphView>(
+    net: &mut Network<'_, V>,
     in_a: &[bool],
     edge_colors: &mut [Option<Color>],
     crossing: &[EdgeId],
@@ -72,12 +73,15 @@ pub fn color_crossing_edges(
     // mex only consumes the *multiset* of incident colors, so appending
     // newly assigned colors (instead of keeping port order) leaves every
     // decision identical.
-    let mut incident: Vec<Vec<Color>> = g
-        .vertices()
+    let mut incident: Vec<Vec<Color>> = (0..g.num_vertices())
         .map(|v| {
-            g.incident_edges(v)
-                .filter_map(|e| edge_colors[e.index()])
-                .collect()
+            let mut row = Vec::new();
+            g.for_each_incident_edge(decolor_graph::VertexId::new(v), |e| {
+                if let Some(c) = edge_colors[e.index()] {
+                    row.push(c);
+                }
+            });
+            row
         })
         .collect();
     let mut buf = net.make_buffer::<Vec<Color>>();
@@ -130,7 +134,7 @@ pub fn color_crossing_edges(
         }
         for (i, c) in assigned_this_round {
             edge_colors[i] = Some(c);
-            let [u, v] = g.endpoints(decolor_graph::EdgeId::new(i));
+            let [u, v] = g.endpoints(EdgeId::new(i));
             incident[u.index()].push(c);
             incident[v.index()].push(c);
         }

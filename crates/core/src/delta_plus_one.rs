@@ -15,6 +15,7 @@
 
 use decolor_graph::coloring::{EdgeColoring, VertexColoring};
 use decolor_graph::line_graph::LineGraph;
+use decolor_graph::subgraph::GraphView;
 use decolor_graph::Graph;
 use decolor_runtime::{IdAssignment, Network, NetworkStats};
 
@@ -54,12 +55,20 @@ pub enum Seed<'a> {
 /// colors, for any `target ≥ Δ(g) + 1`. Returns the coloring and the
 /// *measured* LOCAL statistics.
 ///
+/// `g` is any [`GraphView`] topology — a whole [`Graph`] or a borrowed
+/// subgraph view such as
+/// [`InducedSubgraphView`](decolor_graph::subgraph::InducedSubgraphView),
+/// which is how CD-Coloring's leaves color a class of the recursion
+/// without materializing its induced subgraph, port table, or network.
+/// The whole pipeline (Linial + reduction) is broadcast-only, so the
+/// lazily-built port table of [`Network`] is never allocated.
+///
 /// # Errors
 ///
 /// [`AlgoError::InvalidParameters`] if `target < Δ + 1`, the seed has the
 /// wrong shape, or the seed coloring is improper.
-pub fn vertex_coloring_with_target(
-    g: &Graph,
+pub fn vertex_coloring_with_target<V: GraphView>(
+    g: &V,
     seed: Seed<'_>,
     target: u64,
     cfg: SubroutineConfig,
@@ -101,8 +110,8 @@ pub fn vertex_coloring_with_target(
 /// # Errors
 ///
 /// Propagates [`vertex_coloring_with_target`] errors.
-pub fn delta_plus_one_coloring(
-    g: &Graph,
+pub fn delta_plus_one_coloring<V: GraphView>(
+    g: &V,
     seed: Seed<'_>,
     cfg: SubroutineConfig,
 ) -> Result<(VertexColoring, NetworkStats), AlgoError> {

@@ -27,6 +27,17 @@ pub enum AlgoError {
     Runtime(RuntimeError),
 }
 
+impl AlgoError {
+    /// Wraps a view/subgraph construction failure as an invariant
+    /// violation (the recursive pipelines only build views from ids they
+    /// derived themselves, so a failure indicates an internal bug).
+    pub(crate) fn bad_view(e: GraphError) -> AlgoError {
+        AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        }
+    }
+}
+
 impl fmt::Display for AlgoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

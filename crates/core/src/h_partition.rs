@@ -13,6 +13,7 @@
 //! arboricity certificate consumed by the orientation connectors.
 
 use decolor_graph::orientation::Orientation;
+use decolor_graph::subgraph::GraphView;
 use decolor_graph::Graph;
 use decolor_runtime::{Network, NetworkStats};
 
@@ -61,14 +62,15 @@ pub struct HPartition {
 /// [`AlgoError::InvalidParameters`] if `d` is too small to peel — i.e.
 /// some remaining subgraph has minimum degree > d, which happens exactly
 /// when `d < 2·density`; pass `d ≥ ⌈(2 + ε)·a⌉`.
-pub fn h_partition(g: &Graph, d: usize) -> Result<HPartition, AlgoError> {
+pub fn h_partition<V: GraphView>(g: &V, d: usize) -> Result<HPartition, AlgoError> {
     let n = g.num_vertices();
     let mut net = Network::new(g);
     let mut buf = net.make_buffer::<u8>();
     let presence = vec![1u8; n];
     let mut index = vec![usize::MAX; n];
     let mut active: Vec<bool> = vec![true; n];
-    let mut active_list: Vec<decolor_graph::VertexId> = g.vertices().collect();
+    let mut active_list: Vec<decolor_graph::VertexId> =
+        (0..n).map(decolor_graph::VertexId::new).collect();
     let mut level = 0usize;
     while !active_list.is_empty() {
         // One round: still-active vertices announce themselves; a
@@ -153,7 +155,11 @@ impl HPartition {
 ///
 /// [`AlgoError::InvalidParameters`] if `q < 2` (peeling can stall) or
 /// `a == 0` on a non-edgeless graph.
-pub fn h_partition_for_arboricity(g: &Graph, a: usize, q: f64) -> Result<HPartition, AlgoError> {
+pub fn h_partition_for_arboricity<V: GraphView>(
+    g: &V,
+    a: usize,
+    q: f64,
+) -> Result<HPartition, AlgoError> {
     if q < 2.0 {
         return Err(AlgoError::InvalidParameters {
             reason: format!("q = {q} must be ≥ 2 (+ε) for the peeling to make progress"),

@@ -14,6 +14,7 @@
 //! optimization, an inherited proper coloring of a parent graph.
 
 use decolor_graph::coloring::VertexColoring;
+use decolor_graph::subgraph::GraphView;
 use decolor_graph::VertexId;
 use decolor_runtime::{IdAssignment, Network, RoundBuffer};
 
@@ -90,8 +91,8 @@ pub(crate) fn eval_poly(mut c: u64, q: u64, a: u64) -> u64 {
 /// to palette `q²`.
 ///
 /// Precondition (checked in debug): `colors` is proper with values `< m`.
-fn linial_round(
-    net: &mut Network<'_>,
+fn linial_round<V: GraphView>(
+    net: &mut Network<'_, V>,
     buf: &mut RoundBuffer<u64>,
     colors: &mut [u64],
     m: u64,
@@ -133,8 +134,8 @@ fn linial_round(
 ///
 /// [`AlgoError::InvalidParameters`] if `initial` has the wrong length or
 /// is not a proper coloring of the network's graph.
-pub fn linial_from_coloring(
-    net: &mut Network<'_>,
+pub fn linial_from_coloring<V: GraphView>(
+    net: &mut Network<'_, V>,
     initial: &VertexColoring,
 ) -> Result<LinialResult, AlgoError> {
     let g = net.graph();
@@ -219,8 +220,8 @@ pub fn linial_from_coloring(
 ///
 /// [`AlgoError::InvalidParameters`] if `ids` does not cover the graph or
 /// an identifier exceeds `u32` (identifiers are O(log n)-bit).
-pub fn linial_coloring(
-    net: &mut Network<'_>,
+pub fn linial_coloring<V: GraphView>(
+    net: &mut Network<'_, V>,
     ids: &IdAssignment,
 ) -> Result<LinialResult, AlgoError> {
     let g = net.graph();

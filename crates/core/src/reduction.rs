@@ -13,7 +13,8 @@
 //!   each top edge-color class is a matching, so it recolors in one round.
 
 use decolor_graph::coloring::Color;
-use decolor_graph::VertexId;
+use decolor_graph::subgraph::GraphView;
+use decolor_graph::{EdgeId, VertexId};
 use decolor_runtime::{Network, RoundBuffer};
 
 use crate::error::AlgoError;
@@ -41,8 +42,8 @@ pub(crate) fn mex_below(used: impl Iterator<Item = Color>, limit: u64) -> Option
 ///
 /// [`AlgoError::InvalidParameters`] if `target < Δ + 1` or the coloring
 /// length mismatches the network's graph.
-pub fn basic_reduction(
-    net: &mut Network<'_>,
+pub fn basic_reduction<V: GraphView>(
+    net: &mut Network<'_, V>,
     colors: &mut [Color],
     palette: u64,
     target: u64,
@@ -68,8 +69,8 @@ pub fn basic_reduction(
 
 /// The communication rounds of [`basic_reduction`], reusing `buf` (one
 /// flat inbox for the whole cascade). Preconditions already checked.
-fn basic_reduction_rounds(
-    net: &mut Network<'_>,
+fn basic_reduction_rounds<V: GraphView>(
+    net: &mut Network<'_, V>,
     buf: &mut RoundBuffer<Color>,
     colors: &mut [Color],
     palette: u64,
@@ -94,8 +95,8 @@ fn basic_reduction_rounds(
 /// # Errors
 ///
 /// Same preconditions as [`basic_reduction`].
-pub fn kw_reduction(
-    net: &mut Network<'_>,
+pub fn kw_reduction<V: GraphView>(
+    net: &mut Network<'_, V>,
     colors: &mut [Color],
     palette: u64,
     target: u64,
@@ -166,8 +167,8 @@ pub fn kw_reduction(
 ///
 /// [`AlgoError::InvalidParameters`] if `target < 2Δ − 1` (an edge can have
 /// up to 2Δ − 2 incident edges) or lengths mismatch.
-pub fn edge_palette_trim(
-    net: &mut Network<'_>,
+pub fn edge_palette_trim<V: GraphView>(
+    net: &mut Network<'_, V>,
     colors: &mut [Color],
     palette: u64,
     target: u64,
@@ -193,19 +194,23 @@ pub fn edge_palette_trim(
     // each round's recoloring, instead of being rebuilt at O(Σ deg) per
     // round. Each round every vertex broadcasts its list (LOCAL messages
     // are unbounded) into the reusable flat buffer.
-    let mut incident_colors: Vec<Vec<Color>> = g
-        .vertices()
-        .map(|v| g.incident_edges(v).map(|e| colors[e.index()]).collect())
+    let mut incident_colors: Vec<Vec<Color>> = (0..g.num_vertices())
+        .map(|v| {
+            let mut row = Vec::with_capacity(g.degree(VertexId::new(v)));
+            g.for_each_incident_edge(VertexId::new(v), |e| row.push(colors[e.index()]));
+            row
+        })
         .collect();
     let mut buf = net.make_buffer();
-    let mut updates: Vec<(decolor_graph::EdgeId, Color)> = Vec::new();
+    let mut updates: Vec<(EdgeId, Color)> = Vec::new();
     for top in (target..palette).rev() {
         net.broadcast_into(&incident_colors, &mut buf)?;
         updates.clear();
-        for (e, [u, _v]) in g.edge_list() {
+        for e in (0..g.num_edges()).map(EdgeId::new) {
             if u64::from(colors[e.index()]) != top {
                 continue;
             }
+            let [u, _v] = g.endpoints(e);
             // The lower endpoint u decides: it knows its own incident
             // colors locally and the other endpoint's from the inbox.
             // Top-class edges form a matching, so decisions are

@@ -62,7 +62,14 @@ impl Default for StarPartitionParams {
 impl StarPartitionParams {
     /// §4's choice for `x` stages: `t = ⌊Δ^{1/(x+1)}⌋` (clamped ≥ 2).
     pub fn for_levels(g: &Graph, x: usize) -> StarPartitionParams {
-        let t = integer_root(g.max_degree() as u64, x as u32 + 1).max(2) as usize;
+        StarPartitionParams::for_max_degree(g.max_degree() as u64, x)
+    }
+
+    /// [`StarPartitionParams::for_levels`] from an explicit maximum
+    /// degree — what the view-generic callers use (a borrowed view knows
+    /// its Δ without a graph).
+    pub fn for_max_degree(delta: u64, x: usize) -> StarPartitionParams {
+        let t = integer_root(delta, x as u32 + 1).max(2) as usize;
         StarPartitionParams {
             t,
             x: x.max(1),
@@ -162,9 +169,47 @@ fn check_params(g: &Graph, params: &StarPartitionParams) -> Result<(), AlgoError
     Ok(())
 }
 
-/// Shared tail of both paths: the §4 palette trim and validation.
-fn finish(
-    g: &Graph,
+/// [`star_partition_edge_coloring`] over a borrowed
+/// [`EdgeSubgraphView`] of `root` — the entry point the view-generic
+/// Theorem 5.2 uses for its intra-H-set edges, so no spanning subgraph is
+/// ever materialized. Colors are in the view's local edge ids. The final
+/// trim runs on a [`Network`] over the view itself (the LOCAL simulator
+/// is topology-generic), so decisions **and** [`NetworkStats`] are
+/// bit-identical to running [`star_partition_edge_coloring`] on the
+/// materialized subgraph.
+///
+/// The parallel-edge precondition is inherited from the parent graph (a
+/// view of a simple graph is simple), so it is not re-checked here.
+///
+/// # Errors
+///
+/// As [`star_partition_edge_coloring`].
+pub fn star_partition_edge_coloring_on(
+    root: &Graph,
+    view: &EdgeSubgraphView<'_>,
+    params: &StarPartitionParams,
+) -> Result<StarPartitionResult, AlgoError> {
+    if params.t < 2 || params.x < 1 {
+        return Err(AlgoError::InvalidParameters {
+            reason: "need t ≥ 2, x ≥ 1".into(),
+        });
+    }
+    let staged = stage_on(
+        root,
+        view,
+        params.t,
+        params.x,
+        params.subroutine,
+        params.adaptive_t,
+    )?;
+    finish(view, params, staged)
+}
+
+/// Shared tail of both paths: the §4 palette trim and validation. Generic
+/// over the topology, so the view pipeline trims through a [`Network`]
+/// over the borrowed view.
+fn finish<V: GraphView>(
+    g: &V,
     params: &StarPartitionParams,
     staged: (Vec<Color>, u64, NetworkStats),
 ) -> Result<StarPartitionResult, AlgoError> {

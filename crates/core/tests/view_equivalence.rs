@@ -5,9 +5,14 @@
 //! bit-identical colorings, palettes, class labels, and [`NetworkStats`]
 //! to the kept materializing reference path — at every worker-pool size.
 
+use decolor_core::arboricity::{
+    theorem52, theorem52_reference, theorem53, theorem53_reference, theorem54, theorem54_reference,
+};
+use decolor_core::cd_coloring::{cd_coloring, cd_coloring_reference, CdParams};
 use decolor_core::decomposition::{
     clique_decomposition, clique_decomposition_reference, star_partition, star_partition_reference,
 };
+use decolor_core::delta_plus_one::SubroutineConfig;
 use decolor_core::star_partition::{
     star_partition_edge_coloring, star_partition_edge_coloring_reference, StarPartitionParams,
 };
@@ -89,6 +94,109 @@ proptest! {
                     assert_stats_eq(view.stats, reference.stats, label);
                     view.verify(&g).unwrap();
                 }
+            }
+        }
+    }
+
+    /// Algorithm 1 (CD-Coloring) on line graphs: the view recursion —
+    /// subset views down the levels, induced views + the topology-generic
+    /// Network at the leaves — ≡ the materializing reference, for
+    /// x ∈ {1, 2}, both t schedules, at 1 and 4 threads.
+    #[test]
+    fn cd_coloring_matches_reference(seed in 0u64..200) {
+        let g = generators::random_regular(72, 9, seed).unwrap();
+        let lg = LineGraph::new(&g);
+        let ids = IdAssignment::shuffled(lg.graph.num_vertices(), seed);
+        for x in 1..=2usize {
+            for per_level_t in [false, true] {
+                let params = CdParams {
+                    per_level_t,
+                    ..CdParams::for_levels(lg.cover.max_clique_size(), x)
+                };
+                let reference = rayon::with_num_threads(1, || {
+                    cd_coloring_reference(&lg.graph, &lg.cover, &params, &ids).unwrap()
+                });
+                for threads in THREAD_COUNTS {
+                    let view = rayon::with_num_threads(threads, || {
+                        cd_coloring(&lg.graph, &lg.cover, &params, &ids).unwrap()
+                    });
+                    prop_assert_eq!(
+                        view.coloring.as_slice(),
+                        reference.coloring.as_slice(),
+                        "x={} per_level_t={} threads={}: colorings diverge",
+                        x, per_level_t, threads
+                    );
+                    prop_assert_eq!(view.coloring.palette(), reference.coloring.palette());
+                    prop_assert_eq!(view.palette_bound, reference.palette_bound);
+                    assert_stats_eq(view.stats, reference.stats, "cd_coloring");
+                }
+            }
+        }
+    }
+
+    /// CD-Coloring with the §3 trim and a Bron–Kerbosch cover on a
+    /// general graph: view ≡ reference.
+    #[test]
+    fn cd_coloring_trim_and_bk_cover_match_reference(seed in 0u64..200) {
+        let g = generators::gnm(48, 160, seed).unwrap();
+        let cover = decolor_graph::cliques::cover_from_all_maximal_cliques(&g).unwrap();
+        let ids = IdAssignment::sequential(g.num_vertices());
+        let params = CdParams {
+            trim_to: Some(g.max_degree() as u64 + 3),
+            ..CdParams::for_levels(cover.max_clique_size().max(4), 1)
+        };
+        let reference = rayon::with_num_threads(1, || {
+            cd_coloring_reference(&g, &cover, &params, &ids).unwrap()
+        });
+        for threads in THREAD_COUNTS {
+            let view = rayon::with_num_threads(threads, || {
+                cd_coloring(&g, &cover, &params, &ids).unwrap()
+            });
+            prop_assert_eq!(view.coloring.as_slice(), reference.coloring.as_slice());
+            prop_assert_eq!(view.coloring.palette(), reference.coloring.palette());
+            assert_stats_eq(view.stats, reference.stats, "cd trim");
+        }
+    }
+
+    /// Theorems 5.2/5.3/5.4: class recursions on borrowed edge views (the
+    /// whole view-generic Theorem 5.2 stack: H-partition, intra star
+    /// partition, Lemma 5.1 merges on views) ≡ the materializing
+    /// reference paths.
+    #[test]
+    fn section5_theorems_match_reference(seed in 0u64..200) {
+        let g = generators::forest_union(220, 2, 12, seed).unwrap();
+        let cfg = SubroutineConfig::default();
+
+        let t52_ref = rayon::with_num_threads(1, || theorem52_reference(&g, 2, 2.5, cfg).unwrap());
+        let t53_ref = rayon::with_num_threads(1, || theorem53_reference(&g, 2, 2.5, cfg).unwrap());
+        let t54_refs: Vec<_> = (1..=3usize)
+            .map(|x| rayon::with_num_threads(1, || theorem54_reference(&g, 2, 2.5, x, cfg).unwrap()))
+            .collect();
+        for threads in THREAD_COUNTS {
+            let (t52_v, t53_v, t54_vs) = rayon::with_num_threads(threads, || {
+                (
+                    theorem52(&g, 2, 2.5, cfg).unwrap(),
+                    theorem53(&g, 2, 2.5, cfg).unwrap(),
+                    (1..=3usize)
+                        .map(|x| theorem54(&g, 2, 2.5, x, cfg).unwrap())
+                        .collect::<Vec<_>>(),
+                )
+            });
+            prop_assert_eq!(t52_v.coloring.as_slice(), t52_ref.coloring.as_slice());
+            prop_assert_eq!(t52_v.coloring.palette(), t52_ref.coloring.palette());
+            assert_stats_eq(t52_v.stats, t52_ref.stats, "theorem52");
+            prop_assert_eq!(t53_v.coloring.as_slice(), t53_ref.coloring.as_slice());
+            prop_assert_eq!(t53_v.coloring.palette(), t53_ref.coloring.palette());
+            assert_stats_eq(t53_v.stats, t53_ref.stats, "theorem53");
+            for (x, (v, r)) in t54_vs.iter().zip(&t54_refs).enumerate() {
+                prop_assert_eq!(
+                    v.coloring.as_slice(),
+                    r.coloring.as_slice(),
+                    "theorem54 x={} threads={}: colorings diverge",
+                    x + 1, threads
+                );
+                prop_assert_eq!(v.coloring.palette(), r.coloring.palette());
+                assert_stats_eq(v.stats, r.stats, "theorem54");
             }
         }
     }

@@ -134,6 +134,16 @@ impl GraphBuilder {
     pub fn build(self) -> Graph {
         Graph::from_parts(self.n, self.edges)
     }
+
+    /// [`GraphBuilder::build`] with the CSR constructed on the worker
+    /// pool (per-shard degree counts, a prefix sum, and a parallel
+    /// scatter) — bit-identical to [`GraphBuilder::build`] at any
+    /// `DECOLOR_THREADS`, falling back to the sequential build for small
+    /// edge lists or a 1-thread pool. Used by the connector constructions
+    /// whose virtual-vertex graphs reach ~10⁷ incidence slots.
+    pub fn build_parallel(self) -> Graph {
+        Graph::from_parts_parallel(self.n, self.edges)
+    }
 }
 
 /// Convenience constructor: builds a simple graph from an edge list.

@@ -6,8 +6,8 @@
 //! can be compared against the paper's bounds.
 
 use crate::error::GraphError;
-use crate::graph::Graph;
 use crate::ids::{EdgeId, VertexId};
+use crate::subgraph::GraphView;
 
 /// A color. Colors are dense small integers; `u32` is ample for every bound
 /// in the paper (the largest palettes are O(Δ²)).
@@ -127,15 +127,33 @@ impl VertexColoring {
     }
 
     /// `true` iff adjacent vertices always receive distinct colors.
-    pub fn is_proper(&self, g: &Graph) -> bool {
+    ///
+    /// Accepts any [`GraphView`] — a whole [`Graph`](crate::Graph) or a
+    /// borrowed subgraph view — so the view-generic pipelines can validate
+    /// without materializing.
+    pub fn is_proper<G: GraphView>(&self, g: &G) -> bool {
         self.first_violation(g).is_none()
     }
 
     /// Returns an edge whose endpoints share a color, if any.
-    pub fn first_violation(&self, g: &Graph) -> Option<EdgeId> {
-        g.edge_list()
-            .find(|&(_, [u, v])| self.colors[u.index()] == self.colors[v.index()])
-            .map(|(e, _)| e)
+    ///
+    /// Scans incidence lists rather than the edge list: on borrowed
+    /// views the per-port neighbor is a slice read, while per-edge
+    /// endpoints cost rank queries — and for a whole graph the two scans
+    /// are equivalent.
+    pub fn first_violation<G: GraphView>(&self, g: &G) -> Option<EdgeId> {
+        let mut hit = None;
+        for v in (0..g.num_vertices()).map(VertexId::new) {
+            g.for_each_port(v, |u, e| {
+                if hit.is_none() && u > v && self.colors[u.index()] == self.colors[v.index()] {
+                    hit = Some(e);
+                }
+            });
+            if hit.is_some() {
+                break;
+            }
+        }
+        hit
     }
 
     /// Validates properness, returning a descriptive error on failure.
@@ -143,7 +161,7 @@ impl VertexColoring {
     /// # Errors
     ///
     /// [`GraphError::ValidationFailed`] naming the violating edge.
-    pub fn validate(&self, g: &Graph) -> Result<(), GraphError> {
+    pub fn validate<G: GraphView>(&self, g: &G) -> Result<(), GraphError> {
         if self.colors.len() != g.num_vertices() {
             return Err(GraphError::ValidationFailed {
                 reason: format!(
@@ -295,22 +313,32 @@ impl EdgeColoring {
     }
 
     /// `true` iff edges sharing an endpoint always receive distinct colors.
-    pub fn is_proper(&self, g: &Graph) -> bool {
+    ///
+    /// Accepts any [`GraphView`], like [`VertexColoring::is_proper`].
+    pub fn is_proper<G: GraphView>(&self, g: &G) -> bool {
         self.first_violation(g).is_none()
     }
 
     /// Returns a pair of conflicting incident edges, if any.
-    pub fn first_violation(&self, g: &Graph) -> Option<(EdgeId, EdgeId)> {
+    pub fn first_violation<G: GraphView>(&self, g: &G) -> Option<(EdgeId, EdgeId)> {
         // Scan each vertex's incidence list for repeated colors.
         let mut seen: std::collections::HashMap<Color, EdgeId> = std::collections::HashMap::new();
-        for v in g.vertices() {
+        let mut hit = None;
+        for v in (0..g.num_vertices()).map(VertexId::new) {
             seen.clear();
-            for &(_, e) in g.incidence(v) {
+            g.for_each_incident_edge(v, |e| {
+                if hit.is_some() {
+                    return;
+                }
                 let c = self.colors[e.index()];
                 if let Some(&prev) = seen.get(&c) {
-                    return Some((prev, e));
+                    hit = Some((prev, e));
+                } else {
+                    seen.insert(c, e);
                 }
-                seen.insert(c, e);
+            });
+            if hit.is_some() {
+                return hit;
             }
         }
         None
@@ -321,7 +349,7 @@ impl EdgeColoring {
     /// # Errors
     ///
     /// [`GraphError::ValidationFailed`] naming the violating edge pair.
-    pub fn validate(&self, g: &Graph) -> Result<(), GraphError> {
+    pub fn validate<G: GraphView>(&self, g: &G) -> Result<(), GraphError> {
         if self.colors.len() != g.num_edges() {
             return Err(GraphError::ValidationFailed {
                 reason: format!(
@@ -405,6 +433,7 @@ impl EdgeColoring {
 mod tests {
     use super::*;
     use crate::builder_from_edges;
+    use crate::graph::Graph;
 
     fn triangle() -> Graph {
         builder_from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap()

@@ -1,6 +1,16 @@
 //! The immutable CSR graph type.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+
 use crate::ids::{EdgeId, VertexId};
+
+/// Below this edge count the sharded CSR build falls back to the
+/// sequential one — the scatter is cache-resident and thread setup would
+/// dominate.
+const PARALLEL_CSR_THRESHOLD: usize = 1 << 15;
 
 /// An immutable undirected graph in CSR (compressed sparse row) form.
 ///
@@ -61,6 +71,108 @@ impl Graph {
             adj[cursor[v.index()]] = (*u, e);
             cursor[v.index()] += 1;
         }
+        Graph {
+            n,
+            offsets,
+            adj,
+            endpoints: edges,
+        }
+    }
+
+    /// [`Graph::from_parts`] with the CSR built on the worker pool:
+    /// per-shard degree counts over contiguous edge ranges, one prefix
+    /// sum, and a parallel scatter into packed `(neighbor, edge)` slots.
+    ///
+    /// Every adjacency slot has exactly one writer (shard `c` owns the
+    /// run `[starts_c[v], starts_{c+1}[v])` of each vertex's incidence
+    /// region, and within a shard edges are scanned in id order), so the
+    /// result is **bit-identical** to the sequential build at any worker
+    /// count — the thread-count-invariance test pins this. Falls back to
+    /// [`Graph::from_parts`] for small inputs, a 1-thread pool, or
+    /// adjacency sizes beyond `u32` cursors.
+    pub(crate) fn from_parts_parallel(n: usize, edges: Vec<[VertexId; 2]>) -> Self {
+        let m = edges.len();
+        // Shard count is capped so the transient per-shard cursor tables
+        // (shards × n u32 words) stay far below the CSR being built.
+        let shards = rayon::current_num_threads().min(8);
+        if shards <= 1 || m < PARALLEL_CSR_THRESHOLD || 2 * m > u32::MAX as usize {
+            return Graph::from_parts(n, edges);
+        }
+        let chunk = m.div_ceil(shards);
+        let ranges: Vec<std::ops::Range<usize>> = (0..shards)
+            .map(|s| (s * chunk)..((s + 1) * chunk).min(m))
+            .filter(|r| !r.is_empty())
+            .collect();
+
+        // Pass 1: per-shard degree counts.
+        let counts: Vec<Vec<u32>> = ranges
+            .par_iter()
+            .map(|r| {
+                let mut c = vec![0u32; n];
+                for [u, v] in &edges[r.clone()] {
+                    c[u.index()] += 1;
+                    c[v.index()] += 1;
+                }
+                c
+            })
+            .collect();
+
+        // Prefix sums: global CSR offsets, then each shard's starting
+        // cursor per vertex (reusing the count allocations).
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for v in 0..n {
+            acc += counts.iter().map(|c| c[v] as usize).sum::<usize>();
+            offsets.push(acc);
+        }
+        let mut run: Vec<u32> = offsets[..n].iter().map(|&o| o as u32).collect();
+        let jobs: Vec<(std::ops::Range<usize>, Mutex<Vec<u32>>)> = ranges
+            .into_iter()
+            .zip(counts)
+            .map(|(r, c)| {
+                let start = run.clone();
+                for v in 0..n {
+                    run[v] += c[v];
+                }
+                (r, Mutex::new(start))
+            })
+            .collect();
+
+        // Pass 2: parallel scatter. Slots are atomics only because they
+        // are shared across the scoped workers; each is stored exactly
+        // once, so `Relaxed` plus the scope join is enough.
+        let slots: Vec<AtomicU64> = std::iter::repeat_with(|| AtomicU64::new(0))
+            .take(acc)
+            .collect();
+        let pack = |neighbor: VertexId, e: usize| ((neighbor.index() as u64) << 32) | e as u64;
+        let _: Vec<()> = jobs
+            .par_iter()
+            .map(|(r, cursor)| {
+                let mut cursor = cursor.lock().expect("each shard locks only its own cursor");
+                for (k, [u, v]) in edges[r.clone()].iter().enumerate() {
+                    let e = r.start + k;
+                    let pu = cursor[u.index()];
+                    cursor[u.index()] += 1;
+                    slots[pu as usize].store(pack(*v, e), Ordering::Relaxed);
+                    let pv = cursor[v.index()];
+                    cursor[v.index()] += 1;
+                    slots[pv as usize].store(pack(*u, e), Ordering::Relaxed);
+                }
+            })
+            .collect();
+        drop(jobs);
+
+        let adj: Vec<(VertexId, EdgeId)> = slots
+            .iter()
+            .map(|s| {
+                let w = s.load(Ordering::Relaxed);
+                (
+                    VertexId::new((w >> 32) as usize),
+                    EdgeId::new((w & u64::from(u32::MAX)) as usize),
+                )
+            })
+            .collect();
         Graph {
             n,
             offsets,
@@ -266,6 +378,22 @@ mod tests {
         }
         let g = b.build();
         assert_eq!(g.line_graph_edge_count(), 6);
+    }
+
+    #[test]
+    fn parallel_csr_build_is_thread_count_invariant() {
+        // Big enough to clear PARALLEL_CSR_THRESHOLD so the sharded path
+        // actually runs.
+        let g = crate::generators::gnm(3000, 40_000, 7).unwrap();
+        let edges: Vec<[VertexId; 2]> = g.edge_list().map(|(_, ep)| ep).collect();
+        let sequential = Graph::from_parts(3000, edges.clone());
+        assert_eq!(sequential, g);
+        for threads in [1usize, 2, 4, 7] {
+            let parallel = rayon::with_num_threads(threads, || {
+                Graph::from_parts_parallel(3000, edges.clone())
+            });
+            assert_eq!(parallel, sequential, "CSR diverges at {threads} threads");
+        }
     }
 
     #[test]

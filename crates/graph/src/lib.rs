@@ -13,8 +13,10 @@
 //! * Subgraph representations with back-mappings to the parent graph:
 //!   materializing ([`subgraph::InducedSubgraph`],
 //!   [`subgraph::SpanningEdgeSubgraph`]) and borrowed activation-mask
-//!   views served off the parent CSR ([`subgraph::GraphView`],
-//!   [`subgraph::EdgeSubgraphView`], [`subgraph::VertexSubsetView`]).
+//!   views served off the parent CSR ([`subgraph::GraphView`] — the
+//!   topology trait the LOCAL simulator is generic over —
+//!   [`subgraph::EdgeSubgraphView`], [`subgraph::VertexSubsetView`],
+//!   [`subgraph::InducedSubgraphView`]).
 //! * Coloring types with validation ([`coloring::VertexColoring`],
 //!   [`coloring::EdgeColoring`]).
 //! * Clique covers and the paper's *diversity* measure

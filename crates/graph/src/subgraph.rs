@@ -303,6 +303,39 @@ pub trait GraphView {
     /// Calls `f` with the local id of every active edge incident on `v`,
     /// in incidence (= port) order.
     fn for_each_incident_edge(&self, v: VertexId, f: impl FnMut(EdgeId));
+
+    /// Calls `f(neighbor, local edge)` for every active edge incident on
+    /// `v`, in incidence (= port) order: the delivery primitive of the
+    /// LOCAL simulator (`decolor_runtime::Network` is generic over this
+    /// trait, re-exported there as `Topology`). Port `p` of `v` is the
+    /// `p`-th pair yielded.
+    ///
+    /// The default derives the neighbor from [`GraphView::endpoints`];
+    /// implementors backed by an adjacency structure override it to read
+    /// the neighbor directly.
+    fn for_each_port(&self, v: VertexId, mut f: impl FnMut(VertexId, EdgeId)) {
+        self.for_each_incident_edge(v, |e| {
+            let [a, b] = self.endpoints(e);
+            f(if a == v { b } else { a }, e);
+        });
+    }
+
+    /// The `(neighbor, local edge)` pair across port `p` of `v`, or
+    /// `None` if `p ≥ degree(v)`.
+    ///
+    /// The default scans the incidence in O(deg); [`Graph`] overrides it
+    /// with the O(1) CSR lookup.
+    fn port(&self, v: VertexId, p: usize) -> Option<(VertexId, EdgeId)> {
+        let mut found = None;
+        let mut i = 0usize;
+        self.for_each_port(v, |u, e| {
+            if i == p {
+                found = Some((u, e));
+            }
+            i += 1;
+        });
+        found
+    }
 }
 
 impl GraphView for Graph {
@@ -341,6 +374,18 @@ impl GraphView for Graph {
         for &(_, e) in self.incidence(v) {
             f(e);
         }
+    }
+
+    #[inline]
+    fn for_each_port(&self, v: VertexId, mut f: impl FnMut(VertexId, EdgeId)) {
+        for &(u, e) in self.incidence(v) {
+            f(u, e);
+        }
+    }
+
+    #[inline]
+    fn port(&self, v: VertexId, p: usize) -> Option<(VertexId, EdgeId)> {
+        self.incidence(v).get(p).copied()
     }
 }
 
@@ -494,6 +539,36 @@ impl GraphView for EdgeSubgraphView<'_> {
             }
         }
     }
+
+    #[inline]
+    fn for_each_port(&self, v: VertexId, mut f: impl FnMut(VertexId, EdgeId)) {
+        if self.degree[v.index()] == 0 {
+            return;
+        }
+        for &(u, e) in self.parent.incidence(v) {
+            if self.contains(e) {
+                f(u, EdgeId::new(self.bits.rank(e.index())));
+            }
+        }
+    }
+
+    fn port(&self, v: VertexId, p: usize) -> Option<(VertexId, EdgeId)> {
+        // Early-exit scan (one rank for the hit only) instead of the
+        // trait default's full filtered pass with a rank per active edge.
+        if p >= self.degree[v.index()] as usize {
+            return None;
+        }
+        let mut active = 0usize;
+        for &(u, e) in self.parent.incidence(v) {
+            if self.contains(e) {
+                if active == p {
+                    return Some((u, EdgeId::new(self.bits.rank(e.index()))));
+                }
+                active += 1;
+            }
+        }
+        None
+    }
 }
 
 /// Borrowed vertex subset with local renumbering — the allocation-light
@@ -611,6 +686,194 @@ impl<'g> VertexSubsetView<'g> {
                     .count()
             })
             .sum()
+    }
+}
+
+/// Borrowed **induced subgraph** in local vertex space — the
+/// allocation-light counterpart of [`InducedSubgraph`] that also serves
+/// the full [`GraphView`] interface, so the LOCAL simulator can run rounds
+/// on a color class of a *vertex* coloring straight off the parent CSR.
+///
+/// Local vertex `i` is `vertices[i]` (ascending input required, matching
+/// [`InducedSubgraph`]'s numbering for sorted subsets); local edge `j` is
+/// the `j`-th parent edge — in ascending parent id — with both endpoints
+/// in the subset. Degrees, incidence order, and endpoints all agree with
+/// the materialized induced subgraph, so algorithms generic over
+/// [`GraphView`] produce bit-identical results on either representation.
+///
+/// Unlike the filter-on-the-fly [`EdgeSubgraphView`], this view carries a
+/// **compact local incidence** (one `(neighbor, edge)` slot per induced
+/// half-edge), because its consumers — the vertex-coloring pipeline's
+/// Linial + reduction rounds — iterate every vertex's incidence dozens of
+/// times; paying the parent-incidence filtering per round would cost more
+/// than the whole recursion saves. Construction is one
+/// O(Σ_{v ∈ subset} deg_parent(v)) scan; no `Graph` (endpoint table +
+/// builder validation pass), port table, or network state is built.
+#[derive(Clone, Debug)]
+pub struct InducedSubgraphView<'g> {
+    subset: VertexSubsetView<'g>,
+    /// Induced parent edges, ascending; position = local edge id.
+    edges: Vec<EdgeId>,
+    /// Compact local incidence, CSR-indexed by `offsets`: entry
+    /// `(local neighbor, local edge)` in incidence (= port) order.
+    adj: Vec<(VertexId, EdgeId)>,
+    /// Offsets into `adj`; length `subset.num_vertices() + 1`.
+    offsets: Vec<u32>,
+    max_degree: usize,
+}
+
+impl<'g> InducedSubgraphView<'g> {
+    /// Builds the induced view for `vertices` (ascending, distinct, in
+    /// range for `parent`).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::ValidationFailed`] as [`VertexSubsetView::new`].
+    pub fn new(parent: &'g Graph, vertices: Vec<VertexId>) -> Result<Self, GraphError> {
+        Ok(Self::from_subset(VertexSubsetView::new(parent, vertices)?))
+    }
+
+    /// Builds the induced view over an existing subset view.
+    pub fn from_subset(subset: VertexSubsetView<'g>) -> Self {
+        let parent = subset.parent();
+        let k = subset.num_vertices();
+        let mut degree = vec![0u32; k];
+        let mut edges = Vec::new();
+        for (local, &v) in subset.parent_vertices().iter().enumerate() {
+            for &(u, e) in parent.incidence(v) {
+                if subset.contains(u) {
+                    degree[local] += 1;
+                    if u > v {
+                        // Each induced edge is collected once, from its
+                        // lower endpoint.
+                        edges.push(e);
+                    }
+                }
+            }
+        }
+        edges.sort_unstable();
+        let edge_bits =
+            RankedBits::from_sorted(edges.iter().map(|e| e.index()), parent.num_edges());
+        let max_degree = degree.iter().copied().max().unwrap_or(0) as usize;
+        let mut offsets = Vec::with_capacity(k + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        // Second pass: the compact local incidence, in the parent's
+        // incidence order (= ascending local edge id per vertex).
+        let mut adj = vec![(VertexId::new(0), EdgeId::new(0)); acc as usize];
+        let mut cursor = 0usize;
+        for &v in subset.parent_vertices() {
+            for &(u, e) in parent.incidence(v) {
+                if edge_bits.contains(e.index()) {
+                    adj[cursor] = (
+                        subset
+                            .local_of(u)
+                            .expect("induced edge endpoints are in the subset"),
+                        EdgeId::new(edge_bits.rank(e.index())),
+                    );
+                    cursor += 1;
+                }
+            }
+        }
+        debug_assert_eq!(cursor, acc as usize);
+        InducedSubgraphView {
+            subset,
+            edges,
+            adj,
+            offsets,
+            max_degree,
+        }
+    }
+
+    /// The vertex subset this induced view is built over.
+    #[inline]
+    pub fn subset(&self) -> &VertexSubsetView<'g> {
+        &self.subset
+    }
+
+    /// The subset, ascending (position = local vertex id).
+    #[inline]
+    pub fn parent_vertices(&self) -> &[VertexId] {
+        self.subset.parent_vertices()
+    }
+
+    /// Parent vertex of local id `local`.
+    #[inline]
+    pub fn to_parent_vertex(&self, local: VertexId) -> VertexId {
+        self.subset.to_parent_vertex(local)
+    }
+
+    /// Local id of parent vertex `v`, if present (O(1)).
+    #[inline]
+    pub fn local_of(&self, v: VertexId) -> Option<VertexId> {
+        self.subset.local_of(v)
+    }
+
+    /// The compact local incidence of `v` as `(neighbor, edge)` pairs in
+    /// port order — same layout as [`Graph::incidence`].
+    #[inline]
+    pub fn incidence(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
+        &self.adj[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
+    }
+}
+
+impl GraphView for InducedSubgraphView<'_> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.subset.num_vertices()
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    #[inline]
+    fn endpoints(&self, e: EdgeId) -> [VertexId; 2] {
+        let [u, v] = self.subset.parent().endpoints(self.edges[e.index()]);
+        // Rank is monotone, so the local pair stays ascending.
+        [
+            self.subset.local_of(u).expect("endpoint is in the subset"),
+            self.subset.local_of(v).expect("endpoint is in the subset"),
+        ]
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    #[inline]
+    fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    #[inline]
+    fn to_parent_edge(&self, local: EdgeId) -> EdgeId {
+        self.edges[local.index()]
+    }
+
+    #[inline]
+    fn for_each_incident_edge(&self, v: VertexId, mut f: impl FnMut(EdgeId)) {
+        for &(_, e) in self.incidence(v) {
+            f(e);
+        }
+    }
+
+    #[inline]
+    fn for_each_port(&self, v: VertexId, mut f: impl FnMut(VertexId, EdgeId)) {
+        for &(u, e) in self.incidence(v) {
+            f(u, e);
+        }
+    }
+
+    #[inline]
+    fn port(&self, v: VertexId, p: usize) -> Option<(VertexId, EdgeId)> {
+        self.incidence(v).get(p).copied()
     }
 }
 
@@ -778,6 +1041,65 @@ mod tests {
         let view = EdgeSubgraphView::new(&g, subset.clone()).unwrap();
         for (i, &e) in subset.iter().enumerate() {
             assert_eq!(view.local_of(e), Some(EdgeId::new(i)));
+        }
+    }
+
+    #[test]
+    fn induced_view_matches_materialized_subgraph() {
+        let g = crate::generators::gnm(40, 140, 6).unwrap();
+        let subset: Vec<VertexId> = g.vertices().filter(|v| v.index() % 3 != 1).collect();
+        let sub = InducedSubgraph::new(&g, &subset);
+        let view = InducedSubgraphView::new(&g, subset).unwrap();
+        let mat = sub.graph();
+
+        assert_eq!(GraphView::num_vertices(&view), mat.num_vertices());
+        assert_eq!(GraphView::num_edges(&view), mat.num_edges());
+        assert_eq!(GraphView::max_degree(&view), mat.max_degree());
+        for v in mat.vertices() {
+            assert_eq!(GraphView::degree(&view, v), mat.degree(v));
+            let mut ports = Vec::new();
+            view.for_each_port(v, |u, e| ports.push((u, e)));
+            assert_eq!(ports, mat.incidence(v).to_vec(), "incidence of {v}");
+            for (p, &pair) in mat.incidence(v).iter().enumerate() {
+                assert_eq!(GraphView::port(&view, v, p), Some(pair));
+            }
+            assert_eq!(GraphView::port(&view, v, mat.degree(v)), None);
+        }
+        for e in mat.edges() {
+            assert_eq!(GraphView::endpoints(&view, e), mat.endpoints(e));
+            assert_eq!(view.to_parent_edge(e), sub.to_parent_edge(e));
+        }
+        for v in g.vertices() {
+            assert_eq!(view.local_of(v), sub.from_parent_vertex(v));
+        }
+    }
+
+    #[test]
+    fn induced_view_empty_and_isolated() {
+        let g = p4();
+        let view = InducedSubgraphView::new(&g, vec![VertexId::new(0), VertexId::new(2)]).unwrap();
+        assert_eq!(GraphView::num_edges(&view), 0);
+        assert_eq!(GraphView::max_degree(&view), 0);
+        let mut seen = 0;
+        view.for_each_port(VertexId::new(0), |_, _| seen += 1);
+        assert_eq!(seen, 0);
+    }
+
+    #[test]
+    fn for_each_port_default_matches_override() {
+        let g = crate::generators::gnm(30, 90, 11).unwrap();
+        let subset: Vec<EdgeId> = g.edges().filter(|e| e.index() % 2 == 0).collect();
+        let view = EdgeSubgraphView::new(&g, subset).unwrap();
+        for v in g.vertices() {
+            let mut via_override = Vec::new();
+            view.for_each_port(v, |u, e| via_override.push((u, e)));
+            // The trait default derives neighbors from endpoints.
+            let mut via_default = Vec::new();
+            view.for_each_incident_edge(v, |e| {
+                let [a, b] = GraphView::endpoints(&view, e);
+                via_default.push((if a == v { b } else { a }, e));
+            });
+            assert_eq!(via_override, via_default, "port order of {v}");
         }
     }
 

@@ -10,7 +10,8 @@
 //! per-round cost is the messages themselves — no `Vec` is allocated after
 //! construction.
 
-use decolor_graph::{Graph, VertexId};
+use decolor_graph::subgraph::GraphView;
+use decolor_graph::VertexId;
 
 use crate::error::RuntimeError;
 
@@ -45,8 +46,11 @@ pub struct RoundBuffer<M> {
     len: Vec<usize>,
     /// Receiving-port tags, parallel to `slots`.
     ports: Vec<u32>,
-    /// Message payloads (`None` only before a slot's first use).
-    slots: Vec<Option<M>>,
+    /// Message payloads. Slots start as `M::default()` and are
+    /// overwritten before being readable (`len` gates reads), so no
+    /// `Option` discriminant is paid — for `M = u64` this halves the
+    /// arena.
+    slots: Vec<M>,
     /// Edge-space output of `exchange_on_edges_into`, sized lazily to `m`.
     per_edge: Vec<Option<(M, M)>>,
     /// Edges filled in `per_edge` by the previous call, so a subset-
@@ -56,19 +60,21 @@ pub struct RoundBuffer<M> {
     num_edges: usize,
 }
 
-impl<M> RoundBuffer<M> {
-    /// Builds an empty buffer shaped for `g` (O(n + m), done once).
-    pub fn new(g: &Graph) -> Self {
+impl<M: Clone + Default> RoundBuffer<M> {
+    /// Builds an empty buffer shaped for the topology `g` — a [`Graph`]
+    /// (`decolor_graph::Graph`) or any borrowed subgraph view (O(n + m),
+    /// done once). Slots are default-initialized (never readable before
+    /// a round writes them).
+    pub fn new<V: GraphView>(g: &V) -> Self {
         let n = g.num_vertices();
         let mut offsets = Vec::with_capacity(n + 1);
         let mut acc = 0usize;
         offsets.push(0);
-        for v in g.vertices() {
-            acc += g.degree(v);
+        for v in 0..n {
+            acc += g.degree(VertexId::new(v));
             offsets.push(acc);
         }
-        let mut slots = Vec::with_capacity(acc);
-        slots.resize_with(acc, || None);
+        let slots = vec![M::default(); acc];
         RoundBuffer {
             offsets,
             len: vec![0; n],
@@ -79,25 +85,29 @@ impl<M> RoundBuffer<M> {
             num_edges: g.num_edges(),
         }
     }
+}
 
+impl<M> RoundBuffer<M> {
     /// Number of vertices this buffer is shaped for.
     #[inline]
     pub fn num_vertices(&self) -> usize {
         self.len.len()
     }
 
-    /// Whether this buffer was built for a graph shaped like `g`.
+    /// Whether this buffer was built for a topology shaped like `g`.
     ///
     /// Release builds compare the cheap invariants (vertex and edge
     /// counts); debug builds additionally verify the full per-vertex
-    /// degree layout, catching distinct graphs that share those totals.
-    pub(crate) fn fits(&self, g: &Graph) -> bool {
+    /// degree layout, catching distinct topologies that share those
+    /// totals.
+    pub(crate) fn fits<V: GraphView>(&self, g: &V) -> bool {
         debug_assert!(
             self.len.len() != g.num_vertices()
                 || self.num_edges != g.num_edges()
-                || g.vertices()
-                    .all(|v| self.offsets[v.index() + 1] - self.offsets[v.index()] == g.degree(v)),
-            "round buffer degree layout does not match the graph"
+                || (0..g.num_vertices()).all(|v| {
+                    self.offsets[v + 1] - self.offsets[v] == g.degree(VertexId::new(v))
+                }),
+            "round buffer degree layout does not match the topology"
         );
         self.len.len() == g.num_vertices() && self.num_edges == g.num_edges()
     }
@@ -115,9 +125,7 @@ impl<M> RoundBuffer<M> {
     #[inline]
     pub fn row(&self, v: VertexId) -> impl Iterator<Item = &M> + '_ {
         let base = self.offsets[v.index()];
-        self.slots[base..base + self.len[v.index()]]
-            .iter()
-            .map(|s| s.as_ref().expect("filled slot"))
+        self.slots[base..base + self.len[v.index()]].iter()
     }
 
     /// The `(receiving port, message)` pairs delivered to `v` this round,
@@ -130,7 +138,7 @@ impl<M> RoundBuffer<M> {
         self.ports[base..end]
             .iter()
             .zip(&self.slots[base..end])
-            .map(|(&p, s)| (p as usize, s.as_ref().expect("filled slot")))
+            .map(|(&p, s)| (p as usize, s))
     }
 
     /// The `i`-th message delivered to `v` this round.
@@ -141,9 +149,7 @@ impl<M> RoundBuffer<M> {
     #[inline]
     pub fn msg(&self, v: VertexId, i: usize) -> &M {
         assert!(i < self.len[v.index()], "message {i} not delivered to {v}");
-        self.slots[self.offsets[v.index()] + i]
-            .as_ref()
-            .expect("filled slot")
+        &self.slots[self.offsets[v.index()] + i]
     }
 
     /// The per-edge value pairs produced by the most recent
@@ -213,7 +219,9 @@ impl<M> RoundBuffer<M> {
             return Err(RuntimeError::InboxOverflow { vertex: u });
         }
         self.ports[base + k] = port;
-        clone_into_slot(&mut self.slots[base + k], message);
+        // `clone_from` reuses the previous payload's allocation (for
+        // `M = Vec<_>` the capacity survives across rounds).
+        self.slots[base + k].clone_from(message);
         self.len[u.index()] = k + 1;
         Ok(())
     }
@@ -228,7 +236,7 @@ impl<M> RoundBuffer<M> {
     {
         let base = self.offsets[v.index()];
         self.ports[base + p] = p as u32;
-        clone_into_slot(&mut self.slots[base + p], message);
+        self.slots[base + p].clone_from(message);
     }
 
     /// Marks `v` as having received exactly its full degree of messages
@@ -239,15 +247,19 @@ impl<M> RoundBuffer<M> {
     }
 
     /// Moves this round's inbox of `v` out of the arena (used by the
-    /// compatibility wrappers to avoid a second clone).
-    pub(crate) fn take_inbox(&mut self, v: VertexId) -> Vec<(usize, M)> {
+    /// compatibility wrappers to avoid a second clone), leaving default
+    /// payloads behind.
+    pub(crate) fn take_inbox(&mut self, v: VertexId) -> Vec<(usize, M)>
+    where
+        M: Default,
+    {
         let base = self.offsets[v.index()];
         let k = self.len[v.index()];
         (0..k)
             .map(|i| {
                 (
                     self.ports[base + i] as usize,
-                    self.slots[base + i].take().expect("filled slot"),
+                    std::mem::take(&mut self.slots[base + i]),
                 )
             })
             .collect()
@@ -258,17 +270,6 @@ impl<M> RoundBuffer<M> {
     pub(crate) fn take_per_edge(&mut self) -> Vec<Option<(M, M)>> {
         self.touched_edges.clear();
         std::mem::take(&mut self.per_edge)
-    }
-}
-
-/// `slot = Some(message.clone())`, but reusing the previous payload's
-/// allocation via `clone_from` when the slot was already filled (for
-/// `M = Vec<_>` this keeps the capacity across rounds).
-#[inline]
-fn clone_into_slot<M: Clone>(slot: &mut Option<M>, message: &M) {
-    match slot {
-        Some(existing) => existing.clone_from(message),
-        None => *slot = Some(message.clone()),
     }
 }
 

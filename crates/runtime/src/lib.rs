@@ -6,8 +6,12 @@
 //! over edges in discrete synchronized rounds; the running time is the
 //! number of rounds.
 //!
-//! The central type is [`Network`], a port-numbered wrapper over a
-//! [`Graph`](decolor_graph::Graph): in each [`Network::exchange`] call
+//! The central type is [`Network`], a port-numbered wrapper over any
+//! **topology** — an implementor of the [`Topology`] trait (`GraphView`),
+//! i.e. a whole [`Graph`](decolor_graph::Graph) or a borrowed subgraph
+//! view served off a parent CSR, which is how the recursive pipelines
+//! simulate rounds on a color class without materializing it. In each
+//! [`Network::exchange`] call
 //! every vertex places at most one message per incident port, messages
 //! traverse exactly one edge, and the round counter advances by one.
 //! Hot loops use the allocation-free flat-buffer entry points
@@ -58,3 +62,11 @@ pub use error::RuntimeError;
 pub use ids::IdAssignment;
 pub use metrics::{NetworkStats, Rounds};
 pub use network::Network;
+
+/// The topology trait [`Network`] is generic over: `decolor_graph`'s
+/// [`GraphView`](decolor_graph::subgraph::GraphView), satisfied by a
+/// whole [`decolor_graph::Graph`] and by the borrowed subgraph views
+/// (`EdgeSubgraphView`, `InducedSubgraphView`). Re-exported under the
+/// runtime's name for it so callers can write `Network<'_, impl
+/// Topology>` without reaching into the graph crate's module tree.
+pub use decolor_graph::subgraph::GraphView as Topology;

@@ -1,54 +1,61 @@
 //! The port-numbered synchronous network.
 
+use std::cell::OnceCell;
+
+use decolor_graph::subgraph::GraphView;
 use decolor_graph::{EdgeId, Graph, VertexId};
 
 use crate::buffer::RoundBuffer;
 use crate::error::RuntimeError;
 use crate::metrics::NetworkStats;
 
-/// A synchronous port-numbered network over a graph.
+/// A synchronous port-numbered network over a **topology** — any
+/// implementor of [`GraphView`] (re-exported from this crate as
+/// [`Topology`](crate::Topology)): a whole [`Graph`], a borrowed
+/// edge-subset view (`EdgeSubgraphView`), or a borrowed induced-subgraph
+/// view (`InducedSubgraphView`). Recursive pipelines can therefore
+/// simulate rounds directly on an activation-bitset view of a parent CSR
+/// — no per-class graph or network state is materialized.
 ///
-/// Port `p` of vertex `v` is position `p` in `graph.incidence(v)`; a
+/// Port `p` of vertex `v` is the `p`-th pair yielded by the topology's
+/// incidence (for [`Graph`], position `p` in `graph.incidence(v)`); a
 /// message sent by `v` on port `p` traverses that edge and is delivered to
 /// the opposite endpoint, tagged with *its* port for the same edge. One
 /// call to [`Network::exchange`] (or any helper built on it) is one round.
+///
+/// The per-edge port table is built **lazily**, on the first primitive
+/// that needs receiving-port tags ([`Network::exchange_into`],
+/// [`Network::broadcast_on_active_into`], [`Network::port_of`]); the
+/// broadcast-only pipelines (Linial, the color reductions — i.e. the
+/// whole vertex-coloring subroutine) never allocate one.
 ///
 /// Malformed traffic (out-of-range ports, over-full inboxes, foreign
 /// buffers) is reported as a [`RuntimeError`] instead of aborting the
 /// process.
 #[derive(Debug)]
-pub struct Network<'g> {
-    graph: &'g Graph,
-    /// For every edge, the port index it occupies at each endpoint:
-    /// `ports[e] = (port at lower endpoint, port at higher endpoint)`.
-    ports: Vec<(u32, u32)>,
+pub struct Network<'g, V: GraphView = Graph> {
+    graph: &'g V,
+    /// For every (local) edge, the port index it occupies at each
+    /// endpoint: `ports[e] = (port at lower endpoint, port at higher
+    /// endpoint)`. Built on first use.
+    ports: OnceCell<Vec<(u32, u32)>>,
     stats: NetworkStats,
 }
 
-impl<'g> Network<'g> {
-    /// Wraps `graph` in a network with zeroed statistics.
-    pub fn new(graph: &'g Graph) -> Self {
-        let mut ports = vec![(0u32, 0u32); graph.num_edges()];
-        for v in graph.vertices() {
-            for (p, &(_, e)) in graph.incidence(v).iter().enumerate() {
-                let [lo, _hi] = graph.endpoints(e);
-                if v == lo {
-                    ports[e.index()].0 = p as u32;
-                } else {
-                    ports[e.index()].1 = p as u32;
-                }
-            }
-        }
+impl<'g, V: GraphView> Network<'g, V> {
+    /// Wraps a topology in a network with zeroed statistics. O(1): the
+    /// port table is deferred to the first port-dependent primitive.
+    pub fn new(graph: &'g V) -> Self {
         Network {
             graph,
-            ports,
+            ports: OnceCell::new(),
             stats: NetworkStats::default(),
         }
     }
 
-    /// The underlying graph.
+    /// The underlying topology (the graph itself for `Network<Graph>`).
     #[inline]
-    pub fn graph(&self) -> &'g Graph {
+    pub fn graph(&self) -> &'g V {
         self.graph
     }
 
@@ -58,29 +65,48 @@ impl<'g> Network<'g> {
         self.stats
     }
 
-    /// Zeroes the statistics ledger while keeping the port table.
-    ///
-    /// [`Network::new`] pays an O(n + m) scan to build the port table, so
-    /// measurement loops that previously rebuilt the network per iteration
-    /// should construct it once and call this between iterations.
+    /// Zeroes the statistics ledger while keeping the port table (if one
+    /// was built), so measurement loops can construct the network once
+    /// and call this between iterations.
     #[inline]
     pub fn reset_stats(&mut self) {
         self.stats = NetworkStats::default();
     }
 
-    /// Builds a [`RoundBuffer`] shaped for this network's graph, for use
-    /// with [`Network::exchange_into`] / [`Network::broadcast_into`].
-    pub fn make_buffer<M>(&self) -> RoundBuffer<M> {
+    /// Builds a [`RoundBuffer`] shaped for this network's topology, for
+    /// use with [`Network::exchange_into`] / [`Network::broadcast_into`].
+    pub fn make_buffer<M: Clone + Default>(&self) -> RoundBuffer<M> {
         RoundBuffer::new(self.graph)
     }
 
-    /// The port of edge `e` at endpoint `v`.
+    /// The port table, built on first use (one O(n + m) incidence scan).
+    fn ports(&self) -> &[(u32, u32)] {
+        self.ports.get_or_init(|| {
+            let mut ports = vec![(0u32, 0u32); self.graph.num_edges()];
+            for vi in 0..self.graph.num_vertices() {
+                let v = VertexId::new(vi);
+                let mut p = 0u32;
+                self.graph.for_each_port(v, |_, e| {
+                    let [lo, _hi] = self.graph.endpoints(e);
+                    if v == lo {
+                        ports[e.index()].0 = p;
+                    } else {
+                        ports[e.index()].1 = p;
+                    }
+                    p += 1;
+                });
+            }
+            ports
+        })
+    }
+
+    /// The port of (local) edge `e` at endpoint `v`.
     ///
     /// # Errors
     ///
     /// [`RuntimeError::EdgeOutOfRange`] if `e` is not an edge of the
-    /// graph; [`RuntimeError::NotAnEndpoint`] if `v` is not an endpoint
-    /// of `e`.
+    /// topology; [`RuntimeError::NotAnEndpoint`] if `v` is not an
+    /// endpoint of `e`.
     #[inline]
     pub fn port_of(&self, v: VertexId, e: EdgeId) -> Result<usize, RuntimeError> {
         if e.index() >= self.graph.num_edges() {
@@ -91,9 +117,9 @@ impl<'g> Network<'g> {
         }
         let [lo, hi] = self.graph.endpoints(e);
         if v == lo {
-            Ok(self.ports[e.index()].0 as usize)
+            Ok(self.ports()[e.index()].0 as usize)
         } else if v == hi {
-            Ok(self.ports[e.index()].1 as usize)
+            Ok(self.ports()[e.index()].1 as usize)
         } else {
             Err(RuntimeError::NotAnEndpoint { vertex: v, edge: e })
         }
@@ -101,14 +127,14 @@ impl<'g> Network<'g> {
 
     /// [`Network::port_of`] for an `(endpoint, edge)` pair already known
     /// to be incident (internal delivery path; inputs come from the
-    /// graph's own incidence lists, so no validation is needed).
+    /// topology's own incidence lists, so no validation is needed).
     #[inline]
     fn port_of_incident(&self, v: VertexId, e: EdgeId) -> usize {
         let [lo, _hi] = self.graph.endpoints(e);
         if v == lo {
-            self.ports[e.index()].0 as usize
+            self.ports()[e.index()].0 as usize
         } else {
-            self.ports[e.index()].1 as usize
+            self.ports()[e.index()].1 as usize
         }
     }
 
@@ -149,13 +175,15 @@ impl<'g> Network<'g> {
             let mut messages = 0u64;
             for (vi, sends) in outbox.iter().enumerate() {
                 let v = VertexId::new(vi);
-                let incidence = self.graph.incidence(v);
                 for (port, msg) in sends {
-                    let &(u, e) = incidence.get(*port).ok_or(RuntimeError::PortOutOfRange {
-                        vertex: v,
-                        port: *port,
-                        degree: incidence.len(),
-                    })?;
+                    let (u, e) =
+                        self.graph
+                            .port(v, *port)
+                            .ok_or_else(|| RuntimeError::PortOutOfRange {
+                                vertex: v,
+                                port: *port,
+                                degree: self.graph.degree(v),
+                            })?;
                     let their_port = self.port_of_incident(u, e) as u32;
                     buf.push(u, their_port, msg)?;
                     messages += 1;
@@ -190,13 +218,15 @@ impl<'g> Network<'g> {
     /// # Errors
     ///
     /// As [`Network::exchange_into`].
-    pub fn exchange<M: Clone>(
+    pub fn exchange<M: Clone + Default>(
         &mut self,
         outbox: &[Vec<(usize, M)>],
     ) -> Result<Vec<Vec<(usize, M)>>, RuntimeError> {
         let mut buf = RoundBuffer::new(self.graph);
         self.exchange_into(outbox, &mut buf)?;
-        Ok(self.graph.vertices().map(|v| buf.take_inbox(v)).collect())
+        Ok((0..self.graph.num_vertices())
+            .map(|v| buf.take_inbox(VertexId::new(v)))
+            .collect())
     }
 
     /// One round in which every vertex sends `values[v]` on **all** its
@@ -230,10 +260,13 @@ impl<'g> Network<'g> {
             return Err(RuntimeError::ForeignBuffer);
         }
         let mut messages = 0u64;
-        for v in self.graph.vertices() {
-            for (p, &(u, _)) in self.graph.incidence(v).iter().enumerate() {
+        for vi in 0..self.graph.num_vertices() {
+            let v = VertexId::new(vi);
+            let mut p = 0usize;
+            self.graph.for_each_port(v, |u, _| {
                 buf.place_at_port(v, p, &values[u.index()]);
-            }
+                p += 1;
+            });
             buf.set_full(v);
             messages += self.graph.degree(v) as u64;
         }
@@ -266,16 +299,14 @@ impl<'g> Network<'g> {
             });
         }
         let mut messages = 0u64;
-        let inbox: Vec<Vec<M>> = self
-            .graph
-            .vertices()
-            .map(|v| {
+        let inbox: Vec<Vec<M>> = (0..self.graph.num_vertices())
+            .map(|vi| {
+                let v = VertexId::new(vi);
                 messages += self.graph.degree(v) as u64;
+                let mut row = Vec::with_capacity(self.graph.degree(v));
                 self.graph
-                    .incidence(v)
-                    .iter()
-                    .map(|&(u, _)| values[u.index()].clone())
-                    .collect()
+                    .for_each_port(v, |u, _| row.push(values[u.index()].clone()));
+                row
             })
             .collect();
         self.stats.rounds += 1;
@@ -332,14 +363,21 @@ impl<'g> Network<'g> {
         buf.begin_round();
         let mut messages = 0u64;
         for &v in active {
-            for &(u, e) in self.graph.incidence(v) {
-                let their_port = self.port_of_incident(u, e) as u32;
-                if let Err(e) = buf.push(u, their_port, &values[v.index()]) {
-                    // Do not leave a partially delivered round readable.
-                    buf.begin_round();
-                    return Err(e);
+            let mut failed = None;
+            self.graph.for_each_port(v, |u, e| {
+                if failed.is_some() {
+                    return;
                 }
-                messages += 1;
+                let their_port = self.port_of_incident(u, e) as u32;
+                match buf.push(u, their_port, &values[v.index()]) {
+                    Ok(()) => messages += 1,
+                    Err(err) => failed = Some(err),
+                }
+            });
+            if let Some(err) = failed {
+                // Do not leave a partially delivered round readable.
+                buf.begin_round();
+                return Err(err);
             }
         }
         self.stats.rounds += 1;
@@ -420,7 +458,7 @@ impl<'g> Network<'g> {
     /// # Errors
     ///
     /// As [`Network::exchange_on_edges_into`].
-    pub fn exchange_on_edges<M: Clone>(
+    pub fn exchange_on_edges<M: Clone + Default>(
         &mut self,
         values: &[M],
         edges: &[EdgeId],

@@ -68,8 +68,9 @@ pub enum Outcome<M, O> {
 
 /// A deterministic LOCAL-model node state machine.
 pub trait NodeProgram {
-    /// Message type exchanged over edges.
-    type Message: Clone;
+    /// Message type exchanged over edges (`Default` seeds the reusable
+    /// inbox arena's slots; it is never observed).
+    type Message: Clone + Default;
     /// Final per-node output.
     type Output;
 

@@ -12,9 +12,12 @@ use decolor::runtime::program::{run_program, NodeContext, NodeProgram, Outcome};
 use decolor::runtime::IdAssignment;
 
 /// Messages a node broadcasts once it decides.
-#[derive(Clone)]
+#[derive(Clone, Default)]
 enum Announce {
-    /// "I joined the MIS" — neighbors must stay out.
+    /// "I joined the MIS" — neighbors must stay out. (The `Default`
+    /// derive seeds the runtime's reusable inbox slots; a default
+    /// message is never actually delivered.)
+    #[default]
     Joined,
     /// "I stepped aside (id attached)" — lower-ID neighbors stop waiting.
     Stepped(u64),
