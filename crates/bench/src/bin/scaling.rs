@@ -4,11 +4,23 @@
 //! CD-Coloring (Algorithm 1 on the line graph, §2–§3) signatures the
 //! paper's running times predict.
 //!
-//! All four rows ride the allocation-light paths to n = 10⁶: Linial on
-//! the flat-buffer exchange; star partition / Theorem 5.2 / CD-Coloring
-//! on the borrowed subgraph views through the topology-generic LOCAL
-//! simulator — their recursions materialize no per-class graph, port
-//! table, or network.
+//! Two storage backends:
+//!
+//! * `--backend ram` (default) — the in-memory CSR paths exactly as
+//!   before: Linial on the flat-buffer exchange, composites on the
+//!   borrowed subgraph views.
+//! * `--backend mmap` — the **out-of-core** paths: workloads are
+//!   streamed by the `*_stream` generators into a sharded mmap CSR
+//!   (`decolor_graph::storage::ShardedCsr`; the forest/line-graph
+//!   workloads are generated in RAM and spilled), Linial runs the
+//!   chunked gather pass (no O(m) round buffer), and the composite rows
+//!   run the unmodified view-generic pipelines over the mmap root. Rows
+//!   are bit-identical to the ram backend (pinned by the
+//!   backend-equivalence tests), so only the wall/RSS columns differ.
+//!
+//! The mmap backend raises the row ceilings: Linial runs to
+//! `--max-n` ≤ 10⁸ and Theorem 5.2 to 10⁷ (star/cd stay at 10⁶ — their
+//! line-graph/connector stages are the next ceiling, see ROADMAP).
 //!
 //! Flags:
 //! * `--quick` — CI sizes only (256, 1024).
@@ -16,8 +28,10 @@
 //!   per-row peak-RSS numbers; `VmHWM` is a process-lifetime high-water
 //!   mark, so in a full run the column is cumulative across rows).
 //! * `--reference` — run the composite rows through the kept
-//!   materializing `*_reference` paths (the before side of BENCH
-//!   comparisons).
+//!   materializing `*_reference` paths (ram backend only).
+//! * `--backend <ram|mmap>` — storage backend (see above).
+//! * `--max-n <N>` — extend the size ladder up to `N` (default 1048576;
+//!   ladder stops at 10⁸).
 //!
 //! `cargo run --release -p decolor-bench --bin scaling [-- --quick]`
 
@@ -27,103 +41,229 @@ use decolor_bench::{
 use decolor_core::arboricity::{theorem52, theorem52_reference};
 use decolor_core::cd_coloring::{cd_coloring, cd_coloring_reference, CdParams};
 use decolor_core::delta_plus_one::SubroutineConfig;
-use decolor_core::linial::linial_coloring;
+use decolor_core::linial::{linial_coloring, linial_coloring_chunked};
 use decolor_core::star_partition::{
     star_partition_edge_coloring, star_partition_edge_coloring_reference, StarPartitionParams,
 };
 use decolor_graph::line_graph::LineGraph;
+use decolor_graph::storage::{ShardedCsr, ShardedCsrBuilder};
+use decolor_graph::subgraph::GraphView;
+use decolor_graph::{generators, Graph};
 use decolor_runtime::{IdAssignment, Network};
 use std::time::Instant;
 
+/// The full size ladder; `--max-n` selects a prefix. The two rungs past
+/// 10⁶ are sized for the mmap backend (an explicit
+/// `--backend ram --max-n 10000000` still runs them fully in RAM — at
+/// n = 10⁸ that needs tens of GB, so opting in is on the caller).
+const SIZES: &[usize] = &[
+    256,
+    1024,
+    4096,
+    16384,
+    65536,
+    262_144,
+    1_048_576,
+    10_000_000,
+    100_000_000,
+];
+/// Ceiling for the Theorem 5.2 composite row (mmap backend).
+const T52_CAP: usize = 10_000_000;
+/// Ceiling for the star-partition and CD-Coloring rows (their connector
+/// and line-graph stages are the next out-of-core frontier).
+const STAR_CD_CAP: usize = 1_048_576;
+
 fn rss_cell() -> String {
     peak_rss_mb().map_or_else(|| "-".into(), |mb| format!("{mb}"))
+}
+
+/// Scratch directory for one mmap workload; removed after the row.
+struct MmapDir(std::path::PathBuf);
+
+impl MmapDir {
+    fn new(tag: &str, n: usize) -> MmapDir {
+        let dir = std::path::Path::new("target")
+            .join("scaling-mmap")
+            .join(format!("{tag}-{n}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        MmapDir(dir)
+    }
+}
+
+impl Drop for MmapDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Streams the standard 8-regular workload into a sharded CSR.
+fn regular_workload_mmap(dir: &std::path::Path, n: usize, d: usize, seed: u64) -> ShardedCsr {
+    let mut b = ShardedCsrBuilder::create(dir, n).expect("scratch storage dir is writable");
+    generators::random_regular_stream(n, d, seed, &mut b).expect("workload parameters are valid");
+    b.finish().expect("sharded CSR build succeeds")
+}
+
+/// Spills an in-RAM workload graph (forest union, line graph) to disk and
+/// drops the in-RAM copy.
+fn spill(dir: &std::path::Path, g: Graph) -> ShardedCsr {
+    ShardedCsr::from_graph(dir, &g).expect("sharded CSR spill succeeds")
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let reference = args.iter().any(|a| a == "--reference");
-    let only: Option<&str> = args
-        .iter()
-        .position(|a| a == "--only")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str);
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let only: Option<&str> = flag_value("--only");
+    let backend = flag_value("--backend").unwrap_or("ram");
+    let mmap = match backend {
+        "ram" => false,
+        "mmap" => true,
+        other => {
+            eprintln!("unknown --backend `{other}` (expected ram or mmap)");
+            std::process::exit(1);
+        }
+    };
+    if mmap && reference {
+        eprintln!("--reference runs the materializing paths, which are ram-only");
+        std::process::exit(1);
+    }
+    let max_n: usize = flag_value("--max-n")
+        .map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--max-n expects an integer, got `{v}`");
+                std::process::exit(1);
+            })
+        })
+        .unwrap_or(1_048_576);
     let runs = |row: &str| only.is_none_or(|o| o == row);
-    let sizes: &[usize] = if quick {
-        &[256, 1024]
+    let sizes: Vec<usize> = if quick {
+        vec![256, 1024]
     } else {
-        &[256, 1024, 4096, 16384, 65536, 262_144, 1_048_576]
+        SIZES.iter().copied().filter(|&n| n <= max_n).collect()
     };
     let path = if reference {
         "materializing *_reference paths"
+    } else if mmap {
+        "out-of-core mmap backend (sharded CSR + chunked Linial)"
     } else {
         "borrowed-view paths"
     };
-    // Rows measured under --reference are tagged in the provenance
-    // records so EXPERIMENTS.md can tell the two paths apart.
-    let tag = if reference { " [reference]" } else { "" };
+    // Rows measured under --reference / --backend mmap are tagged in the
+    // provenance records so EXPERIMENTS.md can tell the paths apart.
+    let tag = if reference {
+        " [reference]"
+    } else if mmap {
+        " [mmap]"
+    } else {
+        ""
+    };
 
     println!("# Scaling study — rounds vs n at fixed Δ ({path})\n");
     let mut rows = Vec::new();
-    for &n in sizes {
+    for &n in &sizes {
         let mut linial: Option<(u64, f64)> = None;
         if runs("linial") {
             // Linial on 8-regular graphs: rounds should be ~flat (log* n).
-            let g = regular_workload(n, 8, 1);
             // Sparse ID space so the log* cascade is exercised (dense IDs
             // can start below the O(Δ²) fixed point); the stride shrinks
             // at large n to keep identifiers inside the model's
             // O(log n)-bit budget.
             let stride = (u64::from(u32::MAX) / n as u64).min(1 << 16);
             let ids = IdAssignment::sparse(n, stride, 2);
-            let mut net = Network::new(&g);
-            let started = Instant::now();
-            let lin = linial_coloring(&mut net, &ids).expect("linial succeeds");
-            let linial_secs = started.elapsed().as_secs_f64();
-            let linial_rounds = net.stats().rounds;
-            let linial_messages = net.stats().messages;
-            linial = Some((linial_rounds, linial_secs));
-            assert!(lin.coloring.is_proper(&g));
+            let (m, delta, lin, stats, secs) = if mmap {
+                let dir = MmapDir::new("linial", n);
+                let g = regular_workload_mmap(&dir.0, n, 8, 1);
+                let started = Instant::now();
+                let (lin, stats) = linial_coloring_chunked(&g, &ids).expect("linial succeeds");
+                let secs = started.elapsed().as_secs_f64();
+                // Properness of the full coloring is re-checked on the
+                // mmap CSR itself (one streaming endpoint pass).
+                assert!(lin.coloring.is_proper(&g));
+                (g.num_edges(), GraphView::max_degree(&g), lin, stats, secs)
+            } else {
+                let g = regular_workload(n, 8, 1);
+                let mut net = Network::new(&g);
+                let started = Instant::now();
+                let lin = linial_coloring(&mut net, &ids).expect("linial succeeds");
+                let secs = started.elapsed().as_secs_f64();
+                assert!(lin.coloring.is_proper(&g));
+                (g.num_edges(), g.max_degree(), lin, net.stats(), secs)
+            };
+            linial = Some((stats.rounds, secs));
             append_record(&Record {
                 experiment: "scaling_linial".into(),
                 workload: format!("n={n}{tag}"),
                 n,
-                m: g.num_edges(),
-                delta: g.max_degree(),
+                m,
+                delta,
                 x: 1,
                 palette: lin.coloring.palette(),
                 colors_used: lin.coloring.distinct_colors(),
-                bound: decolor_core::linial::final_palette_bound(g.max_degree()),
-                rounds: linial_rounds,
-                messages: linial_messages,
+                bound: decolor_core::linial::final_palette_bound(delta),
+                rounds: stats.rounds,
+                messages: stats.messages,
                 time_shape: 0.0,
             });
         }
 
         // Star partition x = 1 on the same workload: log*-dominated entry.
         let mut star_row: Option<(u64, f64)> = None;
-        if runs("star") {
-            let g = regular_workload(n, 8, 1);
-            let params = StarPartitionParams::for_levels(&g, 1);
-            let started = Instant::now();
-            let star = if reference {
-                star_partition_edge_coloring_reference(&g, &params)
+        if runs("star") && n <= STAR_CD_CAP {
+            let run_star = |g: &dyn Fn() -> decolor_core::star_partition::StarPartitionResult,
+                            m: usize,
+                            delta: usize| {
+                let started = Instant::now();
+                let star = g();
+                (star, m, delta, started.elapsed())
+            };
+            let (star, m, delta, elapsed) = if mmap {
+                let dir = MmapDir::new("star", n);
+                let g = regular_workload_mmap(&dir.0, n, 8, 1);
+                let params = StarPartitionParams::for_levels(&g, 1);
+                let (m, delta) = (g.num_edges(), GraphView::max_degree(&g));
+                let out = run_star(
+                    &|| star_partition_edge_coloring(&g, &params).expect("star succeeds"),
+                    m,
+                    delta,
+                );
+                assert!(out.0.coloring.is_proper(&g));
+                out
             } else {
-                star_partition_edge_coloring(&g, &params)
-            }
-            .expect("star partition succeeds");
-            star_row = Some((star.stats.rounds, started.elapsed().as_secs_f64()));
-            assert!(star.coloring.is_proper(&g));
+                let g = regular_workload(n, 8, 1);
+                let params = StarPartitionParams::for_levels(&g, 1);
+                let (m, delta) = (g.num_edges(), g.max_degree());
+                let out = run_star(
+                    &|| {
+                        if reference {
+                            star_partition_edge_coloring_reference(&g, &params)
+                        } else {
+                            star_partition_edge_coloring(&g, &params)
+                        }
+                        .expect("star partition succeeds")
+                    },
+                    m,
+                    delta,
+                );
+                assert!(out.0.coloring.is_proper(&g));
+                out
+            };
+            star_row = Some((star.stats.rounds, elapsed.as_secs_f64()));
             append_record(&Record {
                 experiment: "scaling_star".into(),
                 workload: format!("n={n}{tag}"),
                 n,
-                m: g.num_edges(),
-                delta: g.max_degree(),
+                m,
+                delta,
                 x: 1,
                 palette: star.coloring.palette(),
                 colors_used: star.coloring.distinct_colors(),
-                bound: 4 * g.max_degree() as u64,
+                bound: 4 * delta as u64,
                 rounds: star.stats.rounds,
                 messages: star.stats.messages,
                 time_shape: 0.0,
@@ -132,28 +272,40 @@ fn main() {
 
         // Theorem 5.2 on arboricity-2 workloads: ℓ = O(log n) stages.
         let mut t52_row: Option<(u64, f64)> = None;
-        if runs("t52") {
+        if runs("t52") && n <= T52_CAP {
             let ga = arboricity_workload(n, 2, 8, 3);
-            let started = Instant::now();
-            let t52 = if reference {
-                theorem52_reference(&ga, 2, 2.5, SubroutineConfig::default())
+            let (m, delta) = (ga.num_edges(), ga.max_degree());
+            let (t52, secs) = if mmap {
+                let dir = MmapDir::new("t52", n);
+                let g = spill(&dir.0, ga);
+                let started = Instant::now();
+                let t52 = theorem52(&g, 2, 2.5, SubroutineConfig::default()).expect("t52 succeeds");
+                let secs = started.elapsed().as_secs_f64();
+                assert!(t52.coloring.is_proper(&g));
+                (t52, secs)
             } else {
-                theorem52(&ga, 2, 2.5, SubroutineConfig::default())
-            }
-            .expect("theorem 5.2 succeeds");
-            t52_row = Some((t52.stats.rounds, started.elapsed().as_secs_f64()));
-            assert!(t52.coloring.is_proper(&ga));
+                let started = Instant::now();
+                let t52 = if reference {
+                    theorem52_reference(&ga, 2, 2.5, SubroutineConfig::default())
+                } else {
+                    theorem52(&ga, 2, 2.5, SubroutineConfig::default())
+                }
+                .expect("theorem 5.2 succeeds");
+                assert!(t52.coloring.is_proper(&ga));
+                (t52, started.elapsed().as_secs_f64())
+            };
+            t52_row = Some((t52.stats.rounds, secs));
             let d = (2.5f64 * 2.0).ceil() as u64;
             append_record(&Record {
                 experiment: "scaling_t52".into(),
                 workload: format!("n={n}{tag}"),
                 n,
-                m: ga.num_edges(),
-                delta: ga.max_degree(),
+                m,
+                delta,
                 x: 1,
                 palette: t52.coloring.palette(),
                 colors_used: t52.coloring.distinct_colors(),
-                bound: (4 * d + 1).max(ga.max_degree() as u64 + d),
+                bound: (4 * d + 1).max(delta as u64 + d),
                 rounds: t52.stats.rounds,
                 messages: t52.stats.messages,
                 time_shape: 0.0,
@@ -164,26 +316,43 @@ fn main() {
         // graph with n/4 base vertices: the colored graph has exactly n
         // vertices, diversity 2, clique size Δ = 8.
         let mut cd_row: Option<(u64, f64)> = None;
-        if runs("cd") {
+        if runs("cd") && n <= STAR_CD_CAP {
             let base = regular_workload((n / 4).max(8), 8, 1);
             let lg = LineGraph::new(&base);
             let params = CdParams::for_levels(lg.cover.max_clique_size(), 1);
             let ids = IdAssignment::sequential(lg.graph.num_vertices());
-            let started = Instant::now();
-            let cd = if reference {
-                cd_coloring_reference(&lg.graph, &lg.cover, &params, &ids)
+            let (lg_n, lg_m, lg_delta) = (
+                lg.graph.num_vertices(),
+                lg.graph.num_edges(),
+                lg.graph.max_degree(),
+            );
+            let (cd, secs) = if mmap {
+                let dir = MmapDir::new("cd", n);
+                let cover = lg.cover;
+                let g = spill(&dir.0, lg.graph);
+                let started = Instant::now();
+                let cd = cd_coloring(&g, &cover, &params, &ids).expect("cd coloring succeeds");
+                let secs = started.elapsed().as_secs_f64();
+                assert!(cd.coloring.is_proper(&g));
+                (cd, secs)
             } else {
-                cd_coloring(&lg.graph, &lg.cover, &params, &ids)
-            }
-            .expect("cd coloring succeeds");
-            cd_row = Some((cd.stats.rounds, started.elapsed().as_secs_f64()));
-            assert!(cd.coloring.is_proper(&lg.graph));
+                let started = Instant::now();
+                let cd = if reference {
+                    cd_coloring_reference(&lg.graph, &lg.cover, &params, &ids)
+                } else {
+                    cd_coloring(&lg.graph, &lg.cover, &params, &ids)
+                }
+                .expect("cd coloring succeeds");
+                assert!(cd.coloring.is_proper(&lg.graph));
+                (cd, started.elapsed().as_secs_f64())
+            };
+            cd_row = Some((cd.stats.rounds, secs));
             append_record(&Record {
                 experiment: "scaling_cd".into(),
                 workload: format!("n={n} (line graph, D=2, S=8){tag}"),
-                n: lg.graph.num_vertices(),
-                m: lg.graph.num_edges(),
-                delta: lg.graph.max_degree(),
+                n: lg_n,
+                m: lg_m,
+                delta: lg_delta,
                 x: 1,
                 palette: cd.coloring.palette(),
                 colors_used: cd.coloring.distinct_colors(),
@@ -194,7 +363,8 @@ fn main() {
             });
         }
 
-        // Rows not selected by --only render as "-", never as a fake 0.
+        // Rows not selected by --only (or beyond their ceiling) render as
+        // "-", never as a fake 0.
         let rounds_cell =
             |r: &Option<(u64, f64)>| r.map_or_else(|| "-".into(), |(k, _)| format!("{k}"));
         let wall_cell =
@@ -233,10 +403,10 @@ fn main() {
     println!(
         "Expected shapes: Linial ~flat; star partition and CD-Coloring \
          ~flat after the log* entry; Theorem 5.2 grows ~logarithmically \
-         (ℓ peeling stages × d label rounds). Every composite row runs at \
-         every n on the borrowed-view recursion (no per-class graph, port \
-         table, or network). The peak-RSS column is the process \
-         high-water mark so far — use `--only <row>` for clean per-row \
-         numbers."
+         (ℓ peeling stages × d label rounds). Rows are bit-identical \
+         across backends; the mmap backend serves the CSR from sharded \
+         files (page-cache resident) and runs Linial as the chunked \
+         gather pass. The peak-RSS column is the process high-water mark \
+         so far — use `--only <row>` for clean per-row numbers."
     );
 }

@@ -32,7 +32,15 @@ pub fn run(parsed: &mut Parsed) -> Result<String, String> {
         .ok_or("color needs a graph spec")?
         .to_string();
     let g = build_graph(&spec)?;
-    let (coloring, stats, label) = dispatch(&algo, &g)?;
+    let (coloring, stats, label) = match parsed.option("backend").unwrap_or("ram") {
+        "ram" => dispatch(&algo, &g)?,
+        "mmap" => dispatch_mmap(&algo, &g)?,
+        other => {
+            return Err(format!(
+                "unknown --backend `{other}` (expected ram or mmap)"
+            ))
+        }
+    };
     if !coloring.is_proper(&g) {
         return Err("internal error: produced an improper coloring".into());
     }
@@ -93,6 +101,58 @@ fn certificate_report(algo: &str, g: &Graph, coloring: &EdgeColoring) -> Result<
     }
     verify::ensure_all(&checks).map_err(|e| e.to_string())?;
     Ok(verify::render_report(&checks))
+}
+
+/// Runs the algorithm on the **out-of-core backend**: the graph is
+/// spilled to a sharded mmap CSR under a scratch directory and the
+/// view-generic pipeline runs on it unmodified (bit-identical results to
+/// the ram backend — pinned by the core backend-equivalence tests).
+/// Algorithms whose entry points are still `Graph`-bound report a clear
+/// error instead of silently falling back.
+fn dispatch_mmap(
+    algo: &str,
+    g: &Graph,
+) -> Result<(EdgeColoring, Option<NetworkStats>, String), String> {
+    let (name, params) = algo.split_once(':').unwrap_or((algo, ""));
+    let kv = parse_kv(params)?;
+    let cfg = SubroutineConfig::default();
+    let err = |e: decolor_core::AlgoError| e.to_string();
+    let dir = std::env::temp_dir().join(format!("decolor-cli-mmap-{}", std::process::id()));
+    struct Cleanup(std::path::PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+    let _cleanup = Cleanup(dir.clone());
+    let sc = decolor_graph::storage::ShardedCsr::from_graph(&dir, g)
+        .map_err(|e| format!("cannot spill graph to mmap storage: {e}"))?;
+    match name {
+        "star" => {
+            let x = opt_usize(&kv, "x", 1)?;
+            let res = star_partition_edge_coloring(&sc, &StarPartitionParams::for_levels(&sc, x))
+                .map_err(err)?;
+            Ok((
+                res.coloring,
+                Some(res.stats),
+                format!("star partition (x = {x}) [mmap backend]"),
+            ))
+        }
+        "t52" => {
+            let a = opt_usize(&kv, "a", 2)?;
+            let q = opt_f64(&kv, "q", 2.5)?;
+            let res = theorem52(&sc, a, q, cfg).map_err(err)?;
+            Ok((
+                res.coloring,
+                Some(res.stats),
+                format!("Theorem 5.2 (a = {a}) [mmap backend]"),
+            ))
+        }
+        "cd" | "t53" | "t54" | "c55" | "baseline" | "misra" | "random" | "greedy" => Err(format!(
+            "algorithm `{name}` does not support --backend mmap yet (supported: star, t52)"
+        )),
+        other => Err(format!("unknown algorithm `{other}`")),
+    }
 }
 
 fn dispatch(algo: &str, g: &Graph) -> Result<(EdgeColoring, Option<NetworkStats>, String), String> {
@@ -185,6 +245,21 @@ fn dispatch(algo: &str, g: &Graph) -> Result<(EdgeColoring, Option<NetworkStats>
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mmap_dispatch_matches_ram() {
+        let g = decolor_graph::generators::forest_union(60, 2, 6, 1).unwrap();
+        for algo in ["star:x=1", "t52:a=2"] {
+            let (ram, ram_stats, _) = dispatch(algo, &g).unwrap();
+            let (mmap, mmap_stats, label) = dispatch_mmap(algo, &g).unwrap();
+            assert_eq!(mmap.as_slice(), ram.as_slice(), "{algo} diverges");
+            assert_eq!(mmap_stats, ram_stats, "{algo} ledger diverges");
+            assert!(label.contains("mmap backend"));
+        }
+        let err = dispatch_mmap("misra", &g).unwrap_err();
+        assert!(err.contains("does not support --backend mmap"), "{err}");
+        assert!(dispatch_mmap("zzz", &g).unwrap_err().contains("unknown"));
+    }
 
     #[test]
     fn dispatch_every_algorithm() {

@@ -56,7 +56,7 @@ decolor — deterministic distributed coloring (Barenboim–Elkin–Maimon, PODC
 USAGE:
   decolor generate <spec> [--json FILE] [--dot FILE]
   decolor analyze  <spec>
-  decolor color <algorithm> <spec> [--json FILE] [--dot FILE] [--seed N]
+  decolor color <algorithm> <spec> [--backend ram|mmap] [--json FILE] [--dot FILE] [--seed N]
   decolor help
 
 SPECS:
@@ -85,6 +85,9 @@ ALGORITHMS (edge coloring unless noted):
   random:seed=1   randomized 2Delta-1, Luby-style (contrast class)
 
 FLAGS:
+  --backend B     storage backend for `color`: ram (default) or mmap
+                  (spill to a sharded on-disk CSR and run out-of-core;
+                  star and t52 — results are bit-identical to ram)
   --json FILE     write the graph (+coloring) as JSON
   --dimacs FILE   write the graph in DIMACS format
   --dot FILE      write Graphviz DOT (colored if coloring present)

@@ -47,6 +47,33 @@ fn generate_analyze_color_pipeline() {
 }
 
 #[test]
+fn mmap_backend_colors_out_of_core() {
+    let (ok, stdout, stderr) = decolor(&[
+        "color",
+        "t52:a=2",
+        "forest:n=300,a=2,cap=8,seed=1",
+        "--backend",
+        "mmap",
+    ]);
+    assert!(ok, "mmap color failed: {stderr}");
+    assert!(stdout.contains("mmap backend"), "{stdout}");
+    assert!(stdout.contains("palette"));
+
+    // Unsupported algorithm on the mmap backend: clean error, exit 1.
+    let (ok, _, stderr) = decolor(&["color", "misra", "grid:rows=5,cols=5", "--backend", "mmap"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("does not support --backend mmap"),
+        "{stderr}"
+    );
+
+    // Unknown backend: clean error.
+    let (ok, _, stderr) = decolor(&["color", "star:x=1", "grid:rows=5,cols=5", "--backend", "zz"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown --backend"), "{stderr}");
+}
+
+#[test]
 fn bad_input_fails_with_message() {
     let (ok, _, stderr) = decolor(&["color", "star:x=1", "gnm:n=10"]);
     assert!(!ok);

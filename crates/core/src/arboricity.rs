@@ -95,8 +95,8 @@ fn empty_coloring() -> Result<ArboricityColoring, AlgoError> {
 ///
 /// [`AlgoError::InvalidParameters`] if `q < 2` or `a` underestimates the
 /// arboricity badly enough to stall the peeling.
-pub fn theorem52(
-    g: &Graph,
+pub fn theorem52<G: GraphView + Sync>(
+    g: &G,
     a: usize,
     q: f64,
     cfg: SubroutineConfig,
@@ -113,8 +113,8 @@ pub fn theorem52(
 /// # Errors
 ///
 /// Same as [`theorem52`], plus `intra_levels == 0`.
-pub fn theorem52_with_intra_levels(
-    g: &Graph,
+pub fn theorem52_with_intra_levels<G: GraphView + Sync>(
+    g: &G,
     a: usize,
     q: f64,
     intra_levels: usize,
@@ -135,8 +135,8 @@ pub fn theorem52_with_intra_levels(
 /// # Errors
 ///
 /// As [`theorem52_with_intra_levels`].
-pub fn theorem52_on<V: GraphView + Sync>(
-    root: &Graph,
+pub fn theorem52_on<R: GraphView + Sync, V: GraphView + Sync>(
+    root: &R,
     view: &V,
     a: usize,
     q: f64,

@@ -119,8 +119,8 @@ pub struct CdColoring {
 /// [`AlgoError::InvalidParameters`] for `t < 2`, `x < 1`, or mismatched
 /// shapes; [`AlgoError::InvariantViolated`] if a paper lemma fails at
 /// runtime (indicates an inconsistent cover).
-pub fn cd_coloring(
-    g: &Graph,
+pub fn cd_coloring<G: GraphView + Sync>(
+    g: &G,
     cover: &CliqueCover,
     params: &CdParams,
     ids: &IdAssignment,
@@ -133,7 +133,8 @@ pub fn cd_coloring(
     let base = linial::linial_coloring(&mut net, ids)?.coloring;
     let base_stats = net.stats();
 
-    let full = VertexSubsetView::new(g, g.vertices().collect()).map_err(AlgoError::bad_view)?;
+    let all: Vec<VertexId> = (0..g.num_vertices()).map(VertexId::new).collect();
+    let full = VertexSubsetView::new(g, all).map_err(AlgoError::bad_view)?;
     let (colors, palette, stats) = level_on(g, cover, &base, &full, diversity, params, params.x)?;
     finish_cd(g, params, colors, palette, base_stats.then(stats))
 }
@@ -165,7 +166,11 @@ pub fn cd_coloring_reference(
     finish_cd(g, params, colors, palette, base_stats.then(stats))
 }
 
-fn check_cd_params(g: &Graph, params: &CdParams, ids: &IdAssignment) -> Result<(), AlgoError> {
+fn check_cd_params<G: GraphView>(
+    g: &G,
+    params: &CdParams,
+    ids: &IdAssignment,
+) -> Result<(), AlgoError> {
     if params.t < 2 {
         return Err(AlgoError::InvalidParameters {
             reason: "t must be ≥ 2".into(),
@@ -185,8 +190,8 @@ fn check_cd_params(g: &Graph, params: &CdParams, ids: &IdAssignment) -> Result<(
 }
 
 /// Shared tail of both paths: the §3 / Appendix B trim and validation.
-fn finish_cd(
-    g: &Graph,
+fn finish_cd<G: GraphView>(
+    g: &G,
     params: &CdParams,
     colors: Vec<Color>,
     palette: u64,
@@ -239,11 +244,11 @@ fn finish_cd(
 /// no per-class graph, port table, or network is ever materialized.
 /// Decisions and [`NetworkStats`] are bit-identical to [`level`].
 #[allow(clippy::too_many_arguments)]
-fn level_on(
-    root: &Graph,
+fn level_on<G: GraphView + Sync>(
+    root: &G,
     cover: &CliqueCover,
     base: &VertexColoring,
-    view: &VertexSubsetView<'_>,
+    view: &VertexSubsetView<'_, G>,
     diversity: usize,
     params: &CdParams,
     x: usize,

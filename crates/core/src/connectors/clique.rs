@@ -106,8 +106,8 @@ pub fn clique_connector_for(
 /// # Errors
 ///
 /// As [`clique_connector`].
-pub fn clique_connector_on(
-    view: &VertexSubsetView<'_>,
+pub fn clique_connector_on<P: decolor_graph::subgraph::GraphView>(
+    view: &VertexSubsetView<'_, P>,
     local_cover: &CliqueCover,
     t: usize,
 ) -> Result<CliqueConnector, AlgoError> {

@@ -18,6 +18,7 @@ use decolor_graph::coloring::{Color, EdgeColoring};
 use decolor_graph::subgraph::GraphView;
 use decolor_graph::{EdgeId, Graph};
 use decolor_runtime::{Network, NetworkStats};
+use rayon::prelude::*;
 
 use crate::error::AlgoError;
 
@@ -34,7 +35,7 @@ use crate::error::AlgoError;
 ///   edge does not have exactly one `A`-endpoint.
 /// * [`AlgoError::InvariantViolated`] if `palette` has no free color for
 ///   some edge (i.e. `palette < Δ + d − 1` was passed).
-pub fn color_crossing_edges<V: GraphView>(
+pub fn color_crossing_edges<V: GraphView + Sync>(
     net: &mut Network<'_, V>,
     in_a: &[bool],
     edge_colors: &mut [Option<Color>],
@@ -89,54 +90,80 @@ pub fn color_crossing_edges<V: GraphView>(
         // One round: both endpoints of every edge exchange their current
         // incident colors (LOCAL messages are unbounded).
         net.broadcast_into(&incident, &mut buf)?;
-        // B-endpoints assign greedy colors; within one B-vertex, its
-        // active edges are handled sequentially (a single processor).
-        let mut assigned_this_round: Vec<(usize, Color)> = Vec::new();
-        let mut per_b: std::collections::HashMap<usize, Vec<Color>> =
-            std::collections::HashMap::new();
+        // Group this round's active edges by their B endpoint, keeping
+        // `crossing` order within each group. Active edges of one round
+        // are vertex-disjoint except at shared B endpoints (labels are
+        // distinct at each A-vertex, and A/B sides never mix), so the
+        // groups are **independent**: the per-B-vertex greedy fans out on
+        // the worker pool — the LOCAL model's "every B-vertex decides
+        // simultaneously" — with decisions identical to the sequential
+        // sweep at any pool size. The receiving port of each active edge
+        // is resolved before the fan-out (the lazy port table is not
+        // shareable across workers).
+        let mut group_of: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        let mut groups: Vec<Vec<(usize, usize)>> = Vec::new();
         for &e in crossing {
             if label[e.index()] != round || edge_colors[e.index()].is_some() {
                 continue;
             }
             let [u, v] = g.endpoints(e);
-            let (a, b) = if in_a[u.index()] { (u, v) } else { (v, u) };
-            let mut used = vec![false; palette as usize];
-            // Colors around b (local knowledge).
-            for &c in &incident[b.index()] {
-                if u64::from(c) < palette {
-                    used[c as usize] = true;
-                }
-            }
-            // Colors around a (received this round over edge e).
-            let pa = net.port_of(b, e)?;
-            for &c in buf.msg(b, pa) {
-                if u64::from(c) < palette {
-                    used[c as usize] = true;
-                }
-            }
-            // Colors b already gave its other active edges this round.
-            for &c in per_b.get(&b.index()).map(Vec::as_slice).unwrap_or(&[]) {
-                if u64::from(c) < palette {
-                    used[c as usize] = true;
-                }
-            }
-            let free =
-                used.iter()
-                    .position(|&t| !t)
-                    .ok_or_else(|| AlgoError::InvariantViolated {
-                        reason: format!(
-                            "palette {palette} exhausted at edge {e} (needs Δ + d − 1)"
-                        ),
-                    })? as Color;
-            let _ = a;
-            per_b.entry(b.index()).or_default().push(free);
-            assigned_this_round.push((e.index(), free));
+            let b = if in_a[u.index()] { v } else { u };
+            let pb = net.port_of(b, e)?;
+            let gi = *group_of.entry(b.index() as u32).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[gi].push((e.index(), pb));
         }
-        for (i, c) in assigned_this_round {
-            edge_colors[i] = Some(c);
-            let [u, v] = g.endpoints(EdgeId::new(i));
-            incident[u.index()].push(c);
-            incident[v.index()].push(c);
+        let outcomes: Vec<Result<Vec<(usize, Color)>, AlgoError>> = groups
+            .par_iter()
+            .map(|edges| {
+                // Within one B-vertex, its active edges are handled
+                // sequentially (a single processor).
+                let mut assigned: Vec<(usize, Color)> = Vec::with_capacity(edges.len());
+                for &(ei, pb) in edges {
+                    let e = EdgeId::new(ei);
+                    let [u, v] = g.endpoints(e);
+                    let b = if in_a[u.index()] { v } else { u };
+                    let mut used = vec![false; palette as usize];
+                    // Colors around b (local knowledge).
+                    for &c in &incident[b.index()] {
+                        if u64::from(c) < palette {
+                            used[c as usize] = true;
+                        }
+                    }
+                    // Colors around a (received this round over edge e).
+                    for &c in buf.msg(b, pb) {
+                        if u64::from(c) < palette {
+                            used[c as usize] = true;
+                        }
+                    }
+                    // Colors b already gave its other active edges this
+                    // round.
+                    for &(_, c) in &assigned {
+                        if u64::from(c) < palette {
+                            used[c as usize] = true;
+                        }
+                    }
+                    let free = used.iter().position(|&t| !t).ok_or_else(|| {
+                        AlgoError::InvariantViolated {
+                            reason: format!(
+                                "palette {palette} exhausted at edge {e} (needs Δ + d − 1)"
+                            ),
+                        }
+                    })? as Color;
+                    assigned.push((ei, free));
+                }
+                Ok(assigned)
+            })
+            .collect();
+        for outcome in outcomes {
+            for (i, c) in outcome? {
+                edge_colors[i] = Some(c);
+                let [u, v] = g.endpoints(EdgeId::new(i));
+                incident[u.index()].push(c);
+                incident[v.index()].push(c);
+            }
         }
     }
     Ok(())
@@ -258,6 +285,30 @@ mod tests {
         let (ec, stats) = one_sided_edge_coloring(&g, &in_a, 9).unwrap();
         assert!(ec.is_proper(&g));
         assert_eq!(stats.rounds, 1);
+    }
+
+    #[test]
+    fn parallel_per_b_greedy_is_thread_count_invariant() {
+        // The per-B-vertex fan-out must give one coloring per input
+        // regardless of the worker-pool size (and the ledger must not
+        // notice the parallelization either).
+        let (p, q) = (15usize, 23usize);
+        let g = generators::complete_bipartite(p, q).unwrap();
+        let in_a: Vec<bool> = (0..p + q).map(|v| v < p).collect();
+        let palette = (p + q - 1) as u64;
+        let (reference, ref_stats) =
+            rayon::with_num_threads(1, || one_sided_edge_coloring(&g, &in_a, palette).unwrap());
+        for threads in [2usize, 4, 7] {
+            let (ec, stats) = rayon::with_num_threads(threads, || {
+                one_sided_edge_coloring(&g, &in_a, palette).unwrap()
+            });
+            assert_eq!(
+                ec.as_slice(),
+                reference.as_slice(),
+                "coloring diverges at {threads} threads"
+            );
+            assert_eq!(stats, ref_stats, "ledger diverges at {threads} threads");
+        }
     }
 
     #[test]

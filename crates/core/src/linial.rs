@@ -16,7 +16,8 @@
 use decolor_graph::coloring::VertexColoring;
 use decolor_graph::subgraph::GraphView;
 use decolor_graph::VertexId;
-use decolor_runtime::{IdAssignment, Network, RoundBuffer};
+use decolor_runtime::{IdAssignment, Network, NetworkStats, RoundBuffer};
+use rayon::prelude::*;
 
 use crate::error::AlgoError;
 use crate::util::{integer_root_ceil, next_prime};
@@ -242,6 +243,169 @@ pub fn linial_coloring<V: GraphView>(
     linial_from_coloring(net, &initial)
 }
 
+/// Vertices recolored per work item of the chunked pass — small enough
+/// that a chunk's output is cache-resident, large enough that the pool
+/// fan-out amortizes.
+const LINIAL_CHUNK: usize = 1 << 16;
+
+/// The **streaming/chunked realization** of [`linial_coloring`]: no
+/// [`Network`], no O(m)-slot [`RoundBuffer`] — each round gathers
+/// neighbor colors straight off the topology's CSR (in-memory `Graph` or
+/// out-of-core `ShardedCsr`) into per-chunk scratch, double-buffering the
+/// color array, with the chunks fanned out on the worker pool. Peak
+/// algorithm state is 2n u64 words instead of n + 2m, which is what opens
+/// the `scaling` Linial row to n ≈ 10⁸.
+///
+/// A vertex's recoloring decision depends only on the previous round's
+/// colors, so the output is **bit-identical** at any `DECOLOR_THREADS`
+/// and bit-identical to the [`Network`]-simulated path — colorings,
+/// palette traces, round counts, and the returned [`NetworkStats`]
+/// (synthesized from the same per-round ledger a broadcast charges:
+/// Σ deg(v) messages of 8 payload bytes each) — pinned by the
+/// backend-equivalence tests.
+///
+/// # Errors
+///
+/// As [`linial_coloring`].
+pub fn linial_coloring_chunked<V: GraphView + Sync>(
+    g: &V,
+    ids: &IdAssignment,
+) -> Result<(LinialResult, NetworkStats), AlgoError> {
+    if ids.len() != g.num_vertices() {
+        return Err(AlgoError::InvalidParameters {
+            reason: format!("{} ids for {} vertices", ids.len(), g.num_vertices()),
+        });
+    }
+    let colors: Result<Vec<u32>, _> = ids.as_slice().iter().map(|&i| u32::try_from(i)).collect();
+    let colors = colors.map_err(|_| AlgoError::InvalidParameters {
+        reason: "identifier exceeds u32 (IDs must be O(log n)-bit)".into(),
+    })?;
+    let initial = VertexColoring::new(colors, ids.id_space().max(1)).map_err(|e| {
+        AlgoError::InvalidParameters {
+            reason: e.to_string(),
+        }
+    })?;
+    linial_from_coloring_chunked(g, &initial)
+}
+
+/// [`linial_from_coloring`] in the chunked realization (see
+/// [`linial_coloring_chunked`]).
+///
+/// # Errors
+///
+/// As [`linial_from_coloring`].
+pub fn linial_from_coloring_chunked<V: GraphView + Sync>(
+    g: &V,
+    initial: &VertexColoring,
+) -> Result<(LinialResult, NetworkStats), AlgoError> {
+    initial
+        .validate(g)
+        .map_err(|e| AlgoError::InvalidParameters {
+            reason: e.to_string(),
+        })?;
+    let n = g.num_vertices();
+    let delta = g.max_degree() as u64;
+    let mut colors: Vec<u64> = initial.as_slice().iter().map(|&c| u64::from(c)).collect();
+    let mut m = initial.palette().max(1);
+    let mut trace = vec![m];
+    let mut stats = NetworkStats::default();
+
+    if n == 0 {
+        let coloring = VertexColoring::new(vec![], 1).expect("empty coloring is valid");
+        return Ok((
+            LinialResult {
+                coloring,
+                palette_trace: trace,
+            },
+            stats,
+        ));
+    }
+    if delta == 0 {
+        let coloring = VertexColoring::new(vec![0; n], 1).expect("constant coloring");
+        return Ok((
+            LinialResult {
+                coloring,
+                palette_trace: trace,
+            },
+            stats,
+        ));
+    }
+
+    let target = final_palette_bound(delta as usize);
+    // One broadcast's ledger: every vertex sends its color on all ports.
+    let round_messages = 2 * g.num_edges() as u64;
+    let round_payload = round_messages * std::mem::size_of::<u64>() as u64;
+    let chunks: Vec<std::ops::Range<usize>> = (0..n.div_ceil(LINIAL_CHUNK))
+        .map(|c| (c * LINIAL_CHUNK)..((c + 1) * LINIAL_CHUNK).min(n))
+        .collect();
+    while m > target {
+        let (q, _deg) = choose_parameters(m, delta);
+        if q * q >= m {
+            break; // fixed point reached early
+        }
+        // One "round": recolor every chunk off the previous colors.
+        let outs: Vec<Vec<u64>> = chunks
+            .par_iter()
+            .map(|range| {
+                let mut out = Vec::with_capacity(range.len());
+                let mut neigh: Vec<u64> = Vec::new();
+                for vi in range.clone() {
+                    let my = colors[vi];
+                    neigh.clear();
+                    g.for_each_port(VertexId::new(vi), |u, _| neigh.push(colors[u.index()]));
+                    // Smallest α where p_v differs from every neighbor's
+                    // polynomial — the same decision `linial_round` makes
+                    // off the broadcast buffer.
+                    let mut alpha = None;
+                    'points: for a in 0..q {
+                        let mine = eval_poly(my, q, a);
+                        for &their in &neigh {
+                            if their != my && eval_poly(their, q, a) == mine {
+                                continue 'points;
+                            }
+                            debug_assert_ne!(their, my, "input coloring is not proper");
+                        }
+                        alpha = Some(a);
+                        break;
+                    }
+                    let a =
+                        alpha.expect("a valid evaluation point exists by the pigeonhole argument");
+                    out.push(a * q + eval_poly(my, q, a));
+                }
+                out
+            })
+            .collect();
+        // The chunk outputs *are* the round's second buffer: every
+        // vertex's decision read only the pre-round `colors`, so writing
+        // them back in place keeps peak state at 2n words (colors +
+        // outs), never 3n.
+        for (range, out) in chunks.iter().zip(outs) {
+            colors[range.clone()].copy_from_slice(&out);
+        }
+        stats.rounds += 1;
+        stats.messages += round_messages;
+        stats.payload_bytes += round_payload;
+        m = q * q;
+        trace.push(m);
+    }
+
+    let colors_u32: Vec<u32> = colors
+        .iter()
+        .map(|&c| u32::try_from(c).expect("palette fits u32 at the fixed point"))
+        .collect();
+    let coloring =
+        VertexColoring::new(colors_u32, m).map_err(|e| AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        })?;
+    Ok((
+        LinialResult {
+            coloring,
+            palette_trace: trace,
+        },
+        stats,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +500,55 @@ mod tests {
         // K_30 already has only 30 colors from IDs; fixed point for Δ=29
         // is larger than 30, so the algorithm must not blow the palette up.
         assert!(res.coloring.palette() <= final_palette_bound(29).max(30));
+    }
+
+    #[test]
+    fn chunked_realization_matches_network_path() {
+        for (n, m, seed) in [(60, 180, 1u64), (300, 900, 2), (1000, 2500, 3)] {
+            let g = generators::gnm(n, m, seed).unwrap();
+            let ids = IdAssignment::shuffled(n, seed ^ 7);
+            let mut net = Network::new(&g);
+            let reference = linial_coloring(&mut net, &ids).unwrap();
+            let (chunked, stats) = linial_coloring_chunked(&g, &ids).unwrap();
+            assert_eq!(
+                chunked.coloring.as_slice(),
+                reference.coloring.as_slice(),
+                "colorings diverge at n = {n}"
+            );
+            assert_eq!(chunked.coloring.palette(), reference.coloring.palette());
+            assert_eq!(chunked.palette_trace, reference.palette_trace);
+            assert_eq!(stats, net.stats(), "synthesized ledger diverges");
+        }
+    }
+
+    #[test]
+    fn chunked_is_thread_count_invariant() {
+        let g = generators::random_regular(800, 6, 4).unwrap();
+        let ids = IdAssignment::shuffled(800, 9);
+        let reference = rayon::with_num_threads(1, || linial_coloring_chunked(&g, &ids).unwrap());
+        for threads in [2usize, 4] {
+            let parallel =
+                rayon::with_num_threads(threads, || linial_coloring_chunked(&g, &ids).unwrap());
+            assert_eq!(
+                parallel.0.coloring.as_slice(),
+                reference.0.coloring.as_slice(),
+                "divergence at {threads} threads"
+            );
+            assert_eq!(parallel.1, reference.1);
+        }
+    }
+
+    #[test]
+    fn chunked_handles_degenerate_graphs() {
+        let g = decolor_graph::GraphBuilder::new(4).build();
+        let ids = IdAssignment::sequential(4);
+        let (res, stats) = linial_coloring_chunked(&g, &ids).unwrap();
+        assert_eq!(res.coloring.palette(), 1);
+        assert_eq!(stats, decolor_runtime::NetworkStats::default());
+
+        let empty = decolor_graph::GraphBuilder::new(0).build();
+        let (res, _) = linial_coloring_chunked(&empty, &IdAssignment::sequential(0)).unwrap();
+        assert!(res.coloring.is_empty());
     }
 
     #[test]

@@ -61,7 +61,7 @@ impl Default for StarPartitionParams {
 
 impl StarPartitionParams {
     /// §4's choice for `x` stages: `t = ⌊Δ^{1/(x+1)}⌋` (clamped ≥ 2).
-    pub fn for_levels(g: &Graph, x: usize) -> StarPartitionParams {
+    pub fn for_levels<G: GraphView>(g: &G, x: usize) -> StarPartitionParams {
         StarPartitionParams::for_max_degree(g.max_degree() as u64, x)
     }
 
@@ -108,8 +108,8 @@ pub struct StarPartitionResult {
 ///
 /// [`AlgoError::InvalidParameters`] for `t < 2` or `x < 1`;
 /// [`AlgoError::InvariantViolated`] if a §4 bound fails at runtime.
-pub fn star_partition_edge_coloring(
-    g: &Graph,
+pub fn star_partition_edge_coloring<G: GraphView + Sync>(
+    g: &G,
     params: &StarPartitionParams,
 ) -> Result<StarPartitionResult, AlgoError> {
     check_params(g, params)?;
@@ -150,7 +150,7 @@ pub fn star_partition_edge_coloring_reference(
     finish(g, params, staged)
 }
 
-fn check_params(g: &Graph, params: &StarPartitionParams) -> Result<(), AlgoError> {
+fn check_params<G: GraphView>(g: &G, params: &StarPartitionParams) -> Result<(), AlgoError> {
     if params.t < 2 {
         return Err(AlgoError::InvalidParameters {
             reason: "t must be ≥ 2".into(),
@@ -184,9 +184,9 @@ fn check_params(g: &Graph, params: &StarPartitionParams) -> Result<(), AlgoError
 /// # Errors
 ///
 /// As [`star_partition_edge_coloring`].
-pub fn star_partition_edge_coloring_on(
-    root: &Graph,
-    view: &EdgeSubgraphView<'_>,
+pub fn star_partition_edge_coloring_on<R: GraphView + Sync>(
+    root: &R,
+    view: &EdgeSubgraphView<'_, R>,
     params: &StarPartitionParams,
 ) -> Result<StarPartitionResult, AlgoError> {
     if params.t < 2 || params.x < 1 {
@@ -249,8 +249,8 @@ fn finish<V: GraphView>(
 /// root CSR — so no per-class graph, port table, or line graph is ever
 /// materialized; the only allocations are O(m/64 + n) words of view
 /// index per class. Decisions are bit-identical to [`stage`].
-fn stage_on<V: GraphView + Sync>(
-    root: &Graph,
+fn stage_on<R: GraphView + Sync, V: GraphView + Sync>(
+    root: &R,
     view: &V,
     t: usize,
     x: usize,

@@ -1,0 +1,134 @@
+//! Backend equivalence: every pipeline must be **bit-identical** between
+//! the in-memory `Graph` and the out-of-core mmap `ShardedCsr` backend —
+//! colorings, palettes, rounds, and full `NetworkStats` — at
+//! `DECOLOR_THREADS ∈ {1, 4}` (the `with_num_threads` hook stands in for
+//! the environment knob). The Linial rows additionally pin the chunked
+//! streaming realization against the `Network`-simulated one.
+
+use decolor_core::arboricity::theorem52;
+use decolor_core::cd_coloring::{cd_coloring, CdParams};
+use decolor_core::delta_plus_one::SubroutineConfig;
+use decolor_core::linial::{linial_coloring, linial_coloring_chunked};
+use decolor_core::star_partition::{star_partition_edge_coloring, StarPartitionParams};
+use decolor_graph::line_graph::LineGraph;
+use decolor_graph::storage::ShardedCsr;
+use decolor_graph::{generators, Graph};
+use decolor_runtime::{IdAssignment, Network};
+
+fn spill(tag: &str, g: &Graph) -> (ShardedCsr, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("decolor-backend-{}-{tag}", std::process::id()));
+    (ShardedCsr::from_graph(&dir, g).unwrap(), dir)
+}
+
+#[test]
+fn linial_mmap_and_chunked_match_ram_network() {
+    let g = generators::random_regular(600, 8, 1).unwrap();
+    let ids = IdAssignment::sparse(600, 1 << 10, 2);
+    let (sc, dir) = spill("linial", &g);
+    for threads in [1usize, 4] {
+        rayon::with_num_threads(threads, || {
+            let mut net = Network::new(&g);
+            let reference = linial_coloring(&mut net, &ids).unwrap();
+            let ref_stats = net.stats();
+
+            // The Network simulator over the mmap backend.
+            let mut net_sc = Network::new(&sc);
+            let on_mmap = linial_coloring(&mut net_sc, &ids).unwrap();
+            assert_eq!(
+                on_mmap.coloring.as_slice(),
+                reference.coloring.as_slice(),
+                "Network-on-mmap coloring diverges at {threads} threads"
+            );
+            assert_eq!(on_mmap.palette_trace, reference.palette_trace);
+            assert_eq!(net_sc.stats(), ref_stats);
+
+            // The chunked streaming realization over both backends.
+            for (name, chunked) in [
+                ("ram", linial_coloring_chunked(&g, &ids).unwrap()),
+                ("mmap", linial_coloring_chunked(&sc, &ids).unwrap()),
+            ] {
+                let (res, stats) = chunked;
+                assert_eq!(
+                    res.coloring.as_slice(),
+                    reference.coloring.as_slice(),
+                    "chunked-{name} coloring diverges at {threads} threads"
+                );
+                assert_eq!(res.coloring.palette(), reference.coloring.palette());
+                assert_eq!(res.palette_trace, reference.palette_trace);
+                assert_eq!(stats, ref_stats, "chunked-{name} ledger diverges");
+            }
+        });
+    }
+    drop(sc);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn theorem52_mmap_matches_ram() {
+    let g = generators::forest_union(500, 2, 10, 3).unwrap();
+    let (sc, dir) = spill("t52", &g);
+    for threads in [1usize, 4] {
+        rayon::with_num_threads(threads, || {
+            let ram = theorem52(&g, 2, 2.5, SubroutineConfig::default()).unwrap();
+            let mmap = theorem52(&sc, 2, 2.5, SubroutineConfig::default()).unwrap();
+            assert_eq!(
+                mmap.coloring.as_slice(),
+                ram.coloring.as_slice(),
+                "t52 coloring diverges at {threads} threads"
+            );
+            assert_eq!(mmap.coloring.palette(), ram.coloring.palette());
+            assert_eq!(mmap.stats, ram.stats, "t52 ledger diverges");
+            assert!(ram.coloring.is_proper(&g));
+        });
+    }
+    drop(sc);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn star_partition_mmap_matches_ram() {
+    let g = generators::random_regular(256, 16, 5).unwrap();
+    let (sc, dir) = spill("star", &g);
+    let params = StarPartitionParams::for_levels(&g, 1);
+    for threads in [1usize, 4] {
+        rayon::with_num_threads(threads, || {
+            let ram = star_partition_edge_coloring(&g, &params).unwrap();
+            let mmap = star_partition_edge_coloring(&sc, &params).unwrap();
+            assert_eq!(
+                mmap.coloring.as_slice(),
+                ram.coloring.as_slice(),
+                "star coloring diverges at {threads} threads"
+            );
+            assert_eq!(mmap.coloring.palette(), ram.coloring.palette());
+            assert_eq!(mmap.untrimmed_palette, ram.untrimmed_palette);
+            assert_eq!(mmap.stats, ram.stats, "star ledger diverges");
+        });
+    }
+    drop(sc);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn cd_coloring_mmap_matches_ram() {
+    let base = generators::random_regular(64, 8, 1).unwrap();
+    let lg = LineGraph::new(&base);
+    let params = CdParams::for_levels(lg.cover.max_clique_size(), 1);
+    let ids = IdAssignment::sequential(lg.graph.num_vertices());
+    let (sc, dir) = spill("cd", &lg.graph);
+    for threads in [1usize, 4] {
+        rayon::with_num_threads(threads, || {
+            let ram = cd_coloring(&lg.graph, &lg.cover, &params, &ids).unwrap();
+            let mmap = cd_coloring(&sc, &lg.cover, &params, &ids).unwrap();
+            assert_eq!(
+                mmap.coloring.as_slice(),
+                ram.coloring.as_slice(),
+                "cd coloring diverges at {threads} threads"
+            );
+            assert_eq!(mmap.coloring.palette(), ram.coloring.palette());
+            assert_eq!(mmap.palette_bound, ram.palette_bound);
+            assert_eq!(mmap.stats, ram.stats, "cd ledger diverges");
+        });
+    }
+    drop(sc);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

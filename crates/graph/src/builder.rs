@@ -146,6 +146,52 @@ impl GraphBuilder {
     }
 }
 
+/// Destination for a streamed edge sequence — implemented by
+/// [`GraphBuilder`] (in-memory) and
+/// [`ShardedCsrBuilder`](crate::storage::ShardedCsrBuilder) (on-disk), so
+/// the streaming generators (`generators::*_stream`) can target either
+/// backend with one code path and the two builds stay byte-identical.
+pub trait EdgeSink {
+    /// Streams one undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific validation or I/O errors.
+    fn add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError>;
+
+    /// Discards everything streamed so far (generators whose repair pass
+    /// can abandon an attempt call this before retrying).
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific I/O errors.
+    fn reset(&mut self) -> Result<(), GraphError>;
+}
+
+impl EdgeSink for GraphBuilder {
+    fn add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        GraphBuilder::add_edge(self, u, v)
+    }
+
+    fn reset(&mut self) -> Result<(), GraphError> {
+        self.edges.clear();
+        if let Some(seen) = &mut self.seen {
+            seen.clear();
+        }
+        Ok(())
+    }
+}
+
+impl EdgeSink for crate::storage::ShardedCsrBuilder {
+    fn add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        self.push_edge(u, v)
+    }
+
+    fn reset(&mut self) -> Result<(), GraphError> {
+        crate::storage::ShardedCsrBuilder::reset(self)
+    }
+}
+
 /// Convenience constructor: builds a simple graph from an edge list.
 ///
 /// # Errors

@@ -216,7 +216,10 @@ impl CliqueCover {
     /// [`VertexSubsetView`](crate::subgraph::VertexSubsetView): identical
     /// output without materializing the induced subgraph (the view's local
     /// ids equal the subgraph's for ascending subsets).
-    pub fn restrict_to_subset(&self, view: &crate::subgraph::VertexSubsetView<'_>) -> CliqueCover {
+    pub fn restrict_to_subset<P: crate::subgraph::GraphView>(
+        &self,
+        view: &crate::subgraph::VertexSubsetView<'_, P>,
+    ) -> CliqueCover {
         let mut cliques = Vec::new();
         for clique in &self.cliques {
             let local: Vec<VertexId> = clique.iter().filter_map(|&v| view.local_of(v)).collect();

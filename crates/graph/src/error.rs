@@ -48,6 +48,12 @@ pub enum GraphError {
         /// Human-readable description of the violated invariant.
         reason: String,
     },
+    /// An I/O operation of the out-of-core storage backend failed
+    /// (creating, mapping, or reading a CSR shard file).
+    Io {
+        /// Human-readable description including the failing path.
+        reason: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -69,6 +75,7 @@ impl fmt::Display for GraphError {
             GraphError::InvalidParameters { reason } => write!(f, "invalid parameters: {reason}"),
             GraphError::GenerationFailed { reason } => write!(f, "generation failed: {reason}"),
             GraphError::ValidationFailed { reason } => write!(f, "validation failed: {reason}"),
+            GraphError::Io { reason } => write!(f, "storage I/O failed: {reason}"),
         }
     }
 }

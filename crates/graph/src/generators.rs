@@ -12,10 +12,32 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
-use crate::builder::GraphBuilder;
+use crate::builder::{EdgeSink, GraphBuilder};
 use crate::error::GraphError;
 use crate::graph::Graph;
 use crate::hypergraph::Hypergraph;
+use crate::ids::VertexId;
+
+/// Internal sink that stages the emitted edge list for an in-memory
+/// build, so the one-shot generators are literally their `*_stream`
+/// variants draining into `Graph::from_parts` — which is what makes the
+/// streamed and one-shot builds byte-identical by construction.
+struct CollectSink {
+    edges: Vec<[VertexId; 2]>,
+}
+
+impl EdgeSink for CollectSink {
+    fn add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push([VertexId::new(lo), VertexId::new(hi)]);
+        Ok(())
+    }
+
+    fn reset(&mut self) -> Result<(), GraphError> {
+        self.edges.clear();
+        Ok(())
+    }
+}
 
 fn rng(seed: u64) -> SmallRng {
     SmallRng::seed_from_u64(seed)
@@ -196,19 +218,36 @@ pub fn grid(rows: usize, cols: usize) -> Result<Graph, GraphError> {
             reason: "grid needs positive dims".into(),
         });
     }
-    let mut b = GraphBuilder::new(rows * cols);
+    let mut sink = CollectSink { edges: Vec::new() };
+    grid_stream(rows, cols, &mut sink)?;
+    Ok(Graph::from_parts_parallel(rows * cols, sink.edges))
+}
+
+/// [`grid`] emitting edges into any [`EdgeSink`] — the identical edge
+/// sequence, never materialized (the bounded-arboricity workload for
+/// out-of-core composite runs).
+///
+/// # Errors
+///
+/// As [`grid`], plus sink errors.
+pub fn grid_stream(rows: usize, cols: usize, sink: &mut impl EdgeSink) -> Result<(), GraphError> {
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::InvalidParameters {
+            reason: "grid needs positive dims".into(),
+        });
+    }
     for r in 0..rows {
         for c in 0..cols {
             let v = r * cols + c;
             if c + 1 < cols {
-                b.add_edge(v, v + 1)?;
+                sink.add_edge(v, v + 1)?;
             }
             if r + 1 < rows {
-                b.add_edge(v, v + cols)?;
+                sink.add_edge(v, v + cols)?;
             }
         }
     }
-    Ok(b.build())
+    Ok(())
 }
 
 /// `rows × cols` torus (grid with wraparound); 4-regular for dims ≥ 3.
@@ -269,23 +308,37 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
 ///
 /// [`GraphError::InvalidParameters`] if `p ∉ [0, 1]`.
 pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
+    let mut sink = CollectSink { edges: Vec::new() };
+    gnp_stream(n, p, seed, &mut sink)?;
+    Ok(Graph::from_parts_parallel(n, sink.edges))
+}
+
+/// [`gnp`] emitting edges into any [`EdgeSink`] instead of materializing
+/// them — the identical skip-sampling stream, so the streamed build is
+/// byte-identical to the one-shot one (pinned by the parity tests). With
+/// a [`ShardedCsrBuilder`](crate::storage::ShardedCsrBuilder) sink the
+/// peak RAM of generation is O(1).
+///
+/// # Errors
+///
+/// As [`gnp`], plus sink errors.
+pub fn gnp_stream(n: usize, p: f64, seed: u64, sink: &mut impl EdgeSink) -> Result<(), GraphError> {
     if !(0.0..=1.0).contains(&p) {
         return Err(GraphError::InvalidParameters {
             reason: format!("p = {p} not in [0,1]"),
         });
     }
-    let mut b = GraphBuilder::new(n);
     let total_pairs = (n as u128) * (n as u128 - n.min(1) as u128) / 2;
     if p <= 0.0 || total_pairs == 0 {
-        return Ok(b.build());
+        return Ok(());
     }
     if p >= 1.0 {
         for u in 0..n {
             for v in (u + 1)..n {
-                b.add_edge(u, v)?;
+                sink.add_edge(u, v)?;
             }
         }
-        return Ok(b.build());
+        return Ok(());
     }
     let mut r = rng(seed);
     let log_q = (1.0 - p).ln();
@@ -320,9 +373,9 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
             u += 1;
         }
         let v = u + 1 + (idx - row_base(u));
-        b.add_edge(u as usize, v as usize)?;
+        sink.add_edge(u as usize, v as usize)?;
     }
-    Ok(b.build())
+    Ok(())
 }
 
 /// Pairs per shard of the parallel stub pairing (fixed — shard layout
@@ -347,6 +400,36 @@ const PAIRING_SHARD: u64 = 1 << 15;
 /// * [`GraphError::GenerationFailed`] if the retry budget is exhausted
 ///   (practically only for d close to n).
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError> {
+    let mut sink = CollectSink { edges: Vec::new() };
+    random_regular_stream(n, d, seed, &mut sink)?;
+    Ok(Graph::from_parts_parallel(n, sink.edges))
+}
+
+/// Shards processed per staging batch of the streamed pairing: each batch
+/// is proposed on the worker pool, then drained into the sink in shard
+/// order, bounding the staged memory to `64 · PAIRING_SHARD` pairs while
+/// keeping the emitted edge sequence identical at any pool size.
+const PAIRING_BATCH: u64 = 64;
+
+/// [`random_regular`] emitting edges into any [`EdgeSink`]: the pairing
+/// proposes stub pairs **shard by shard on the worker pool** and drains
+/// each batch straight into the sink, so with a
+/// [`ShardedCsrBuilder`](crate::storage::ShardedCsrBuilder) sink the full
+/// edge list is never materialized — the only O(m) state is the dedup set
+/// the pairing model itself requires. The emitted sequence is
+/// byte-identical to [`random_regular`]'s build at any `DECOLOR_THREADS`
+/// (pinned by the parity tests). The rare salt retry (repair tail stuck)
+/// calls [`EdgeSink::reset`] and restarts the stream.
+///
+/// # Errors
+///
+/// As [`random_regular`], plus sink errors.
+pub fn random_regular_stream(
+    n: usize,
+    d: usize,
+    seed: u64,
+    sink: &mut impl EdgeSink,
+) -> Result<(), GraphError> {
     let stubs_total = n
         .checked_mul(d)
         .ok_or_else(|| GraphError::InvalidParameters {
@@ -358,39 +441,55 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError
         });
     }
     if d == 0 {
-        return Ok(GraphBuilder::new(n).build());
+        return Ok(());
     }
     let pairs_total = (stubs_total / 2) as u64;
-    let shards: Vec<u64> = (0..pairs_total.div_ceil(PAIRING_SHARD)).collect();
+    let num_shards = pairs_total.div_ceil(PAIRING_SHARD);
+    let norm = |u: usize, v: usize| {
+        if u < v {
+            (u as u32, v as u32)
+        } else {
+            (v as u32, u as u32)
+        }
+    };
     'attempt: for salt in 0..200u64 {
+        sink.reset()?;
+        let mut seen: std::collections::HashSet<(u32, u32)> =
+            std::collections::HashSet::with_capacity(stubs_total / 2);
         let perm = FeistelPerm::new(stubs_total as u64, mix64(seed).wrapping_add(salt));
-        // Phase 1 (parallel): propose one edge per stub pair.
-        let proposed: Vec<Vec<(u32, u32)>> = shards
-            .par_iter()
-            .map(|&s| {
-                let lo = s * PAIRING_SHARD;
-                let hi = (lo + PAIRING_SHARD).min(pairs_total);
-                (lo..hi)
-                    .map(|i| {
-                        let u = perm.permute(2 * i) / d as u64;
-                        let v = perm.permute(2 * i + 1) / d as u64;
-                        (u as u32, v as u32)
-                    })
-                    .collect()
-            })
-            .collect();
-        // Phase 2 (sequential): keep legal pairs, pool the stubs of
-        // rejected ones for repair.
-        let mut b = GraphBuilder::new(n).with_edge_capacity(stubs_total / 2);
         let mut leftover: Vec<usize> = Vec::new();
-        for (u, v) in proposed.into_iter().flatten() {
-            let (u, v) = (u as usize, v as usize);
-            if u != v && !b.contains_edge(u, v) {
-                b.add_edge(u, v)?;
-            } else {
-                leftover.push(u);
-                leftover.push(v);
+        // Phase 1: propose one edge per stub pair, one batch of shards at
+        // a time — the batch fans out on the pool, the drain is
+        // sequential in shard order (so the stream is pool-size
+        // independent), and legal pairs go straight to the sink.
+        let mut batch_start = 0u64;
+        while batch_start < num_shards {
+            let batch: Vec<u64> =
+                (batch_start..(batch_start + PAIRING_BATCH).min(num_shards)).collect();
+            let proposed: Vec<Vec<(u32, u32)>> = batch
+                .par_iter()
+                .map(|&s| {
+                    let lo = s * PAIRING_SHARD;
+                    let hi = (lo + PAIRING_SHARD).min(pairs_total);
+                    (lo..hi)
+                        .map(|i| {
+                            let u = perm.permute(2 * i) / d as u64;
+                            let v = perm.permute(2 * i + 1) / d as u64;
+                            (u as u32, v as u32)
+                        })
+                        .collect()
+                })
+                .collect();
+            for (u, v) in proposed.into_iter().flatten() {
+                let (u, v) = (u as usize, v as usize);
+                if u != v && seen.insert(norm(u, v)) {
+                    sink.add_edge(u, v)?;
+                } else {
+                    leftover.push(u);
+                    leftover.push(v);
+                }
             }
+            batch_start += PAIRING_BATCH;
         }
         // Repair: classic legal-pair retries over the leftover stubs.
         let mut r = rng(mix64(seed ^ 0xda94_2042_e4dd_58b5).wrapping_add(salt));
@@ -403,8 +502,8 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError
                     j += 1;
                 }
                 let (u, v) = (leftover[i], leftover[j]);
-                if u != v && !b.contains_edge(u, v) {
-                    b.add_edge(u, v)?;
+                if u != v && seen.insert(norm(u, v)) {
+                    sink.add_edge(u, v)?;
                     let (hi, lo) = (i.max(j), i.min(j));
                     leftover.swap_remove(hi);
                     leftover.swap_remove(lo);
@@ -416,7 +515,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError
                 continue 'attempt;
             }
         }
-        return Ok(b.build());
+        return Ok(());
     }
     Err(GraphError::GenerationFailed {
         reason: format!("stub pairing failed for n = {n}, d = {d} after 200 attempts"),
@@ -655,22 +754,41 @@ pub fn random_uniform_hypergraph(
 ///
 /// [`GraphError::InvalidParameters`] if `dim == 0` or `dim > 20`.
 pub fn hypercube(dim: u32) -> Result<Graph, GraphError> {
+    let n = 1usize
+        .checked_shl(dim)
+        .filter(|_| (1..=20).contains(&dim))
+        .ok_or_else(|| GraphError::InvalidParameters {
+            reason: format!("hypercube dimension {dim} out of range 1..=20"),
+        })?;
+    let mut sink = CollectSink {
+        edges: Vec::with_capacity(n * dim as usize / 2),
+    };
+    hypercube_stream(dim, &mut sink)?;
+    Ok(Graph::from_parts_parallel(n, sink.edges))
+}
+
+/// [`hypercube`] emitting edges into any [`EdgeSink`] — the identical
+/// edge sequence, never materialized.
+///
+/// # Errors
+///
+/// As [`hypercube`], plus sink errors.
+pub fn hypercube_stream(dim: u32, sink: &mut impl EdgeSink) -> Result<(), GraphError> {
     if dim == 0 || dim > 20 {
         return Err(GraphError::InvalidParameters {
             reason: format!("hypercube dimension {dim} out of range 1..=20"),
         });
     }
     let n = 1usize << dim;
-    let mut b = GraphBuilder::new(n).with_edge_capacity(n * dim as usize / 2);
     for v in 0..n {
         for bit in 0..dim {
             let u = v ^ (1 << bit);
             if u > v {
-                b.add_edge(v, u)?;
+                sink.add_edge(v, u)?;
             }
         }
     }
-    Ok(b.build())
+    Ok(())
 }
 
 /// Barabási–Albert preferential attachment: each new vertex attaches to

@@ -25,7 +25,11 @@
 //!   clique identification ([`line_graph`], [`hypergraph`]).
 //! * Acyclic orientations and arboricity certificates ([`orientation`],
 //!   [`properties`]).
-//! * Deterministic workload generators ([`generators`]).
+//! * Deterministic workload generators ([`generators`]), with streaming
+//!   `*_stream` variants that emit edges into any [`EdgeSink`].
+//! * Out-of-core storage: [`storage::ShardedCsr`], a sharded mmap-backed
+//!   CSR serving the same [`subgraph::GraphView`] interface bit-for-bit,
+//!   built by the streaming [`storage::ShardedCsrBuilder`].
 //!
 //! # Example
 //!
@@ -66,9 +70,10 @@ pub mod line_graph;
 pub mod ops;
 pub mod orientation;
 pub mod properties;
+pub mod storage;
 pub mod subgraph;
 
-pub use builder::{builder_from_edges, GraphBuilder};
+pub use builder::{builder_from_edges, EdgeSink, GraphBuilder};
 pub use error::GraphError;
 pub use graph::Graph;
 pub use ids::{EdgeId, VertexId};

@@ -1,0 +1,727 @@
+//! Out-of-core graph storage: a **sharded, mmap-backed CSR**.
+//!
+//! [`ShardedCsr`] serves the exact CSR arrays a [`Graph`] holds in RAM —
+//! per-vertex `(neighbor, edge)` incidence runs, per-edge endpoint pairs,
+//! and the offset table — from files under a directory, mapped with
+//! `memmap2` and paged in on demand. It implements
+//! [`GraphView`](crate::subgraph::GraphView), the topology trait the
+//! LOCAL simulator and every recursive pipeline are generic over, so
+//! `Network`, the vertex pipeline, CD-Coloring, and the Section 4/5
+//! edge-coloring theorems run **unmodified** on graphs that do not fit
+//! comfortably in RAM.
+//!
+//! The adjacency and endpoint arrays are split into fixed-size **shards**
+//! (2^`shard_bits` 8-byte entries per file) so no single mapping needs a
+//! contiguous multi-gigabyte address range and partial workloads only
+//! touch the shards they read. Layout under the directory:
+//!
+//! | File | Contents |
+//! |------|----------|
+//! | `meta.bin` | magic + version + `n`, `m`, Δ, `shard_bits` (u64 LE) |
+//! | `offsets.bin` | `n + 1` × u64 LE CSR offsets |
+//! | `adj.<k>` | incidence slots `[k·2^b, (k+1)·2^b)`: neighbor u32 LE + edge u32 LE |
+//! | `ep.<k>` | endpoint pairs by edge id: lo u32 LE + hi u32 LE |
+//!
+//! [`ShardedCsrBuilder`] builds the files **streaming**: edges arrive one
+//! at a time (from the streaming generators or any other source), are
+//! spooled to the endpoint shards while degrees are counted, and a second
+//! pass scatters the adjacency exactly like `Graph::from_parts` — same
+//! edge order, same per-vertex incidence order — so a [`ShardedCsr`] is
+//! **bit-identical** to the in-memory CSR of the same edge stream, which
+//! the storage-equivalence tests pin. Peak RAM of the build is O(n) words
+//! (degree counts + scatter cursors), never O(n + m).
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use memmap2::{Mmap, MmapMut};
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use crate::ids::{EdgeId, VertexId};
+use crate::subgraph::GraphView;
+
+/// File-format magic + version ("DCLR" + "CSR" + version 1).
+const MAGIC: u64 = 0x4443_4c52_4353_5201;
+
+/// Default shard size: 2^24 entries = 128 MiB per shard file.
+pub const DEFAULT_SHARD_BITS: u32 = 24;
+
+/// Bytes per stored entry (both adjacency slots and endpoint pairs pack
+/// two u32 words).
+const ENTRY: usize = 8;
+
+fn io_err(what: &str, path: &Path, e: std::io::Error) -> GraphError {
+    GraphError::Io {
+        reason: format!("{what} {}: {e}", path.display()),
+    }
+}
+
+/// Reads the u64 at entry index `i` of a mapped file.
+#[inline]
+fn read_u64(map: &Mmap, i: usize) -> u64 {
+    let b = &map[i * 8..i * 8 + 8];
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Splits a packed entry into its two u32 words.
+#[inline]
+fn unpack(chunk: &[u8]) -> (u32, u32) {
+    (
+        u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]),
+        u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]),
+    )
+}
+
+/// A read-only sharded mmap-backed CSR graph (see the module docs).
+///
+/// ```rust
+/// use decolor_graph::storage::ShardedCsr;
+/// use decolor_graph::subgraph::GraphView;
+/// let g = decolor_graph::generators::gnm(100, 400, 7).unwrap();
+/// let dir = std::env::temp_dir().join(format!("decolor-csr-doc-{}", std::process::id()));
+/// let sc = ShardedCsr::from_graph(&dir, &g).unwrap();
+/// assert_eq!(sc.num_edges(), 400);
+/// assert_eq!(GraphView::max_degree(&sc), g.max_degree());
+/// # drop(sc);
+/// # std::fs::remove_dir_all(&dir).unwrap();
+/// ```
+#[derive(Debug)]
+pub struct ShardedCsr {
+    dir: PathBuf,
+    n: usize,
+    m: usize,
+    max_degree: usize,
+    shard_bits: u32,
+    offsets: Mmap,
+    adj: Vec<Mmap>,
+    endpoints: Vec<Mmap>,
+}
+
+impl ShardedCsr {
+    /// Opens an existing on-disk CSR directory.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Io`] for missing/unmappable files,
+    /// [`GraphError::ValidationFailed`] for a bad magic or inconsistent
+    /// file sizes.
+    pub fn open(dir: impl AsRef<Path>) -> Result<ShardedCsr, GraphError> {
+        let dir = dir.as_ref().to_path_buf();
+        let meta_path = dir.join("meta.bin");
+        let mut meta = Vec::new();
+        File::open(&meta_path)
+            .and_then(|mut f| f.read_to_end(&mut meta))
+            .map_err(|e| io_err("cannot open", &meta_path, e))?;
+        if meta.len() != 5 * 8 {
+            return Err(GraphError::ValidationFailed {
+                reason: format!("meta.bin has {} bytes, expected 40", meta.len()),
+            });
+        }
+        let word = |i: usize| {
+            u64::from_le_bytes([
+                meta[i * 8],
+                meta[i * 8 + 1],
+                meta[i * 8 + 2],
+                meta[i * 8 + 3],
+                meta[i * 8 + 4],
+                meta[i * 8 + 5],
+                meta[i * 8 + 6],
+                meta[i * 8 + 7],
+            ])
+        };
+        if word(0) != MAGIC {
+            return Err(GraphError::ValidationFailed {
+                reason: format!("bad storage magic {:#018x}", word(0)),
+            });
+        }
+        let (n, m) = (word(1) as usize, word(2) as usize);
+        let max_degree = word(3) as usize;
+        let shard_bits = word(4) as u32;
+        let map_file = |path: &Path| -> Result<Mmap, GraphError> {
+            let f = File::open(path).map_err(|e| io_err("cannot open", path, e))?;
+            Mmap::map(&f).map_err(|e| io_err("cannot map", path, e))
+        };
+        let offsets = map_file(&dir.join("offsets.bin"))?;
+        if offsets.len() != (n + 1) * 8 {
+            return Err(GraphError::ValidationFailed {
+                reason: format!(
+                    "offsets.bin has {} bytes, expected {}",
+                    offsets.len(),
+                    (n + 1) * 8
+                ),
+            });
+        }
+        let shard_count = |entries: usize| entries.div_ceil(1usize << shard_bits).max(1);
+        // Every shard's byte length is implied by the entry count: a
+        // short (truncated/corrupt) shard would otherwise panic on the
+        // first out-of-range read instead of failing cleanly here.
+        let map_shard = |prefix: &str, k: usize, shards: usize, entries: usize| {
+            let path = dir.join(format!("{prefix}.{k}"));
+            let map = map_file(&path)?;
+            let expect = if k + 1 < shards {
+                1usize << shard_bits
+            } else {
+                entries - k * (1usize << shard_bits)
+            };
+            if map.len() != expect * ENTRY {
+                return Err(GraphError::ValidationFailed {
+                    reason: format!(
+                        "{} has {} bytes, expected {}",
+                        path.display(),
+                        map.len(),
+                        expect * ENTRY
+                    ),
+                });
+            }
+            Ok(map)
+        };
+        let mut adj = Vec::new();
+        for k in 0..shard_count(2 * m) {
+            adj.push(map_shard("adj", k, shard_count(2 * m), 2 * m)?);
+        }
+        let mut endpoints = Vec::new();
+        for k in 0..shard_count(m) {
+            endpoints.push(map_shard("ep", k, shard_count(m), m)?);
+        }
+        let sc = ShardedCsr {
+            dir,
+            n,
+            m,
+            max_degree,
+            shard_bits,
+            offsets,
+            adj,
+            endpoints,
+        };
+        if sc.n > 0 && sc.offset(sc.n) != 2 * sc.m as u64 {
+            return Err(GraphError::ValidationFailed {
+                reason: format!(
+                    "offset table ends at {} but 2m = {}",
+                    sc.offset(sc.n),
+                    2 * sc.m
+                ),
+            });
+        }
+        Ok(sc)
+    }
+
+    /// Spills an in-memory [`Graph`] to `dir` and opens it — the parity
+    /// bridge used by tests, benches, and the CLI's `--backend mmap`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedCsrBuilder`].
+    pub fn from_graph(dir: impl AsRef<Path>, g: &Graph) -> Result<ShardedCsr, GraphError> {
+        let mut b = ShardedCsrBuilder::create(dir, g.num_vertices())?;
+        for (_, [u, v]) in g.edge_list() {
+            b.push_edge(u.index(), v.index())?;
+        }
+        b.finish()
+    }
+
+    /// The directory holding the shard files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// CSR offset of vertex `v` (entry `v` of the offset table).
+    #[inline]
+    fn offset(&self, v: usize) -> u64 {
+        read_u64(&self.offsets, v)
+    }
+
+    /// The packed entry at global index `i` of the sharded array `maps`.
+    #[inline]
+    fn entry(&self, maps: &[Mmap], i: u64) -> (u32, u32) {
+        let shard = (i >> self.shard_bits) as usize;
+        let within = (i & ((1u64 << self.shard_bits) - 1)) as usize;
+        unpack(&maps[shard][within * ENTRY..within * ENTRY + ENTRY])
+    }
+}
+
+impl GraphView for ShardedCsr {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    #[inline]
+    fn endpoints(&self, e: EdgeId) -> [VertexId; 2] {
+        let (lo, hi) = self.entry(&self.endpoints, e.index() as u64);
+        [VertexId::new(lo as usize), VertexId::new(hi as usize)]
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        (self.offset(v.index() + 1) - self.offset(v.index())) as usize
+    }
+
+    #[inline]
+    fn max_degree(&self) -> usize {
+        self.max_degree
+    }
+
+    #[inline]
+    fn to_parent_edge(&self, local: EdgeId) -> EdgeId {
+        local
+    }
+
+    #[inline]
+    fn for_each_incident_edge(&self, v: VertexId, mut f: impl FnMut(EdgeId)) {
+        self.for_each_port(v, |_, e| f(e));
+    }
+
+    fn for_each_port(&self, v: VertexId, mut f: impl FnMut(VertexId, EdgeId)) {
+        let mut cur = self.offset(v.index());
+        let end = self.offset(v.index() + 1);
+        // Walk the incidence run shard segment by shard segment; a
+        // vertex's run may straddle a shard boundary.
+        while cur < end {
+            let shard = (cur >> self.shard_bits) as usize;
+            let base = (shard as u64) << self.shard_bits;
+            let seg_end = end.min(base + (1u64 << self.shard_bits));
+            let lo = (cur - base) as usize * ENTRY;
+            let hi = (seg_end - base) as usize * ENTRY;
+            for chunk in self.adj[shard][lo..hi].chunks_exact(ENTRY) {
+                let (u, e) = unpack(chunk);
+                f(VertexId::new(u as usize), EdgeId::new(e as usize));
+            }
+            cur = seg_end;
+        }
+    }
+
+    fn port(&self, v: VertexId, p: usize) -> Option<(VertexId, EdgeId)> {
+        let start = self.offset(v.index());
+        let end = self.offset(v.index() + 1);
+        let slot = start + p as u64;
+        if slot >= end {
+            return None;
+        }
+        let (u, e) = self.entry(&self.adj, slot);
+        Some((VertexId::new(u as usize), EdgeId::new(e as usize)))
+    }
+}
+
+/// Streaming builder for a [`ShardedCsr`] (see the module docs).
+///
+/// Edges are validated like [`GraphBuilder`](crate::GraphBuilder) —
+/// in-range, no self-loops — but **not** deduplicated: the streaming
+/// sources (generators, an in-memory `Graph`) already guarantee
+/// simplicity, and a dedup set would reintroduce the O(m) RAM this
+/// backend exists to avoid. Parallel edges are representable, exactly as
+/// in [`Graph`].
+#[derive(Debug)]
+pub struct ShardedCsrBuilder {
+    dir: PathBuf,
+    n: usize,
+    shard_bits: u32,
+    m: usize,
+    degree: Vec<u32>,
+    /// Open writer for the current endpoint shard.
+    ep_writer: Option<BufWriter<File>>,
+    /// Index of the endpoint shard `ep_writer` appends to.
+    ep_shard: usize,
+}
+
+impl ShardedCsrBuilder {
+    /// Creates (or truncates) the storage directory for a graph on `n`
+    /// vertices with the default shard size.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Io`] if the directory cannot be created.
+    pub fn create(dir: impl AsRef<Path>, n: usize) -> Result<ShardedCsrBuilder, GraphError> {
+        Self::with_shard_bits(dir, n, DEFAULT_SHARD_BITS)
+    }
+
+    /// [`ShardedCsrBuilder::create`] with an explicit shard size of
+    /// 2^`shard_bits` entries (clamped to ≥ 2^4; tests use tiny shards to
+    /// exercise boundary straddling).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Io`] if the directory cannot be created.
+    pub fn with_shard_bits(
+        dir: impl AsRef<Path>,
+        n: usize,
+        shard_bits: u32,
+    ) -> Result<ShardedCsrBuilder, GraphError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| io_err("cannot create", &dir, e))?;
+        // meta.bin is written *last* by finish() and marks a complete
+        // store; a stale one from a previous build in the same directory
+        // must not survive into a half-finished rebuild.
+        let stale_meta = dir.join("meta.bin");
+        if stale_meta.exists() {
+            std::fs::remove_file(&stale_meta)
+                .map_err(|e| io_err("cannot remove", &stale_meta, e))?;
+        }
+        let mut b = ShardedCsrBuilder {
+            dir,
+            n,
+            shard_bits: shard_bits.max(4),
+            m: 0,
+            degree: vec![0u32; n],
+            ep_writer: None,
+            ep_shard: 0,
+        };
+        b.open_ep_shard(0)?;
+        Ok(b)
+    }
+
+    /// Number of vertices this builder was created with.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges streamed so far.
+    pub fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    fn shard_entries(&self) -> usize {
+        1usize << self.shard_bits
+    }
+
+    fn open_ep_shard(&mut self, k: usize) -> Result<(), GraphError> {
+        if let Some(w) = self.ep_writer.take() {
+            w.into_inner()
+                .map_err(|e| io_err("cannot flush", &self.dir, e.into_error()))?;
+        }
+        let path = self.dir.join(format!("ep.{k}"));
+        let f = File::create(&path).map_err(|e| io_err("cannot create", &path, e))?;
+        self.ep_writer = Some(BufWriter::with_capacity(1 << 20, f));
+        self.ep_shard = k;
+        Ok(())
+    }
+
+    /// Streams one undirected edge `{u, v}` into the store.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::VertexOutOfRange`] / [`GraphError::SelfLoop`] as the
+    /// in-memory builder; [`GraphError::InvalidParameters`] past `u32`
+    /// edge ids; [`GraphError::Io`] on write failure.
+    pub fn push_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        if u >= self.n {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                n: self.n,
+            });
+        }
+        if v >= self.n {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                n: self.n,
+            });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        if self.m >= u32::MAX as usize {
+            return Err(GraphError::InvalidParameters {
+                reason: "edge count exceeds u32 identifiers".into(),
+            });
+        }
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        let shard = self.m / self.shard_entries();
+        if shard != self.ep_shard {
+            self.open_ep_shard(shard)?;
+        }
+        let w = self.ep_writer.as_mut().expect("a shard writer is open");
+        w.write_all(&(lo as u32).to_le_bytes())
+            .and_then(|()| w.write_all(&(hi as u32).to_le_bytes()))
+            .map_err(|e| io_err("cannot write endpoint shard under", &self.dir, e))?;
+        self.degree[lo] += 1;
+        self.degree[hi] += 1;
+        self.m += 1;
+        Ok(())
+    }
+
+    /// Discards everything streamed so far, restarting the build (used by
+    /// generators whose repair pass can abandon an attempt).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Io`] on file truncation failure.
+    pub fn reset(&mut self) -> Result<(), GraphError> {
+        // Later finish() only reads/writes files named in the metadata, so
+        // truncating shard 0 and restarting the counters suffices; stale
+        // higher shards are overwritten or ignored.
+        self.m = 0;
+        self.degree.iter_mut().for_each(|d| *d = 0);
+        self.open_ep_shard(0)
+    }
+
+    /// Finalizes the store: writes the offset table, scatters the
+    /// adjacency shards (pass 2 over the spooled endpoints, identical
+    /// order to `Graph::from_parts`), writes the metadata, and opens the
+    /// result read-only.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Io`] on any file operation failure.
+    pub fn finish(mut self) -> Result<ShardedCsr, GraphError> {
+        if let Some(w) = self.ep_writer.take() {
+            w.into_inner()
+                .map_err(|e| io_err("cannot flush", &self.dir, e.into_error()))?;
+        }
+        let entries = self.shard_entries();
+
+        // Offset table + scatter cursors from the degree counts.
+        let offsets_path = self.dir.join("offsets.bin");
+        let mut cursor: Vec<u64> = Vec::with_capacity(self.n);
+        let mut max_degree = 0usize;
+        {
+            let f = File::create(&offsets_path)
+                .map_err(|e| io_err("cannot create", &offsets_path, e))?;
+            let mut w = BufWriter::with_capacity(1 << 20, f);
+            let mut acc = 0u64;
+            w.write_all(&acc.to_le_bytes())
+                .map_err(|e| io_err("cannot write", &offsets_path, e))?;
+            for &d in &self.degree {
+                cursor.push(acc);
+                acc += u64::from(d);
+                max_degree = max_degree.max(d as usize);
+                w.write_all(&acc.to_le_bytes())
+                    .map_err(|e| io_err("cannot write", &offsets_path, e))?;
+            }
+            w.into_inner()
+                .map_err(|e| io_err("cannot flush", &offsets_path, e.into_error()))?;
+        }
+
+        // Create and map the adjacency shards read-write.
+        let adj_slots = 2 * self.m;
+        let adj_shards = adj_slots.div_ceil(entries).max(1);
+        let mut adj_maps: Vec<MmapMut> = Vec::with_capacity(adj_shards);
+        for k in 0..adj_shards {
+            let len = if k + 1 < adj_shards {
+                entries
+            } else {
+                adj_slots - k * entries
+            };
+            let path = self.dir.join(format!("adj.{k}"));
+            let f = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&path)
+                .map_err(|e| io_err("cannot create", &path, e))?;
+            f.set_len((len * ENTRY) as u64)
+                .map_err(|e| io_err("cannot size", &path, e))?;
+            adj_maps.push(MmapMut::map_mut(&f).map_err(|e| io_err("cannot map", &path, e))?);
+        }
+        let mask = (1u64 << self.shard_bits) - 1;
+        let mut store = |slot: u64, neighbor: u32, e: u32| {
+            let shard = (slot >> self.shard_bits) as usize;
+            let within = (slot & mask) as usize * ENTRY;
+            let buf = &mut adj_maps[shard][within..within + ENTRY];
+            buf[0..4].copy_from_slice(&neighbor.to_le_bytes());
+            buf[4..8].copy_from_slice(&e.to_le_bytes());
+        };
+
+        // Pass 2: stream the spooled endpoints back in edge order and
+        // scatter both incidence slots — exactly `Graph::from_parts`.
+        let ep_shards = self.m.div_ceil(entries).max(1);
+        let mut e = 0u32;
+        for k in 0..ep_shards {
+            let path = self.dir.join(format!("ep.{k}"));
+            let f = File::open(&path).map_err(|e| io_err("cannot open", &path, e))?;
+            let map = Mmap::map(&f).map_err(|e| io_err("cannot map", &path, e))?;
+            let expect = if k + 1 < ep_shards {
+                entries
+            } else {
+                self.m - k * entries
+            };
+            if map.len() != expect * ENTRY {
+                return Err(GraphError::ValidationFailed {
+                    reason: format!(
+                        "endpoint shard {k} has {} bytes, expected {}",
+                        map.len(),
+                        expect * ENTRY
+                    ),
+                });
+            }
+            for chunk in map.chunks_exact(ENTRY) {
+                let (lo, hi) = unpack(chunk);
+                store(cursor[lo as usize], hi, e);
+                cursor[lo as usize] += 1;
+                store(cursor[hi as usize], lo, e);
+                cursor[hi as usize] += 1;
+                e += 1;
+            }
+        }
+        for map in &adj_maps {
+            map.flush()
+                .map_err(|e| io_err("cannot flush", &self.dir, e))?;
+        }
+        drop(adj_maps);
+
+        // Drop stale endpoint shards from an earlier, longer attempt (the
+        // builder may have been `reset()`), then write the metadata last —
+        // its presence marks a complete store.
+        for k in ep_shards.. {
+            let stale = self.dir.join(format!("ep.{k}"));
+            if !stale.exists() {
+                break;
+            }
+            std::fs::remove_file(&stale).map_err(|e| io_err("cannot remove", &stale, e))?;
+        }
+        let meta_path = self.dir.join("meta.bin");
+        let mut meta = Vec::with_capacity(40);
+        for word in [
+            MAGIC,
+            self.n as u64,
+            self.m as u64,
+            max_degree as u64,
+            u64::from(self.shard_bits),
+        ] {
+            meta.extend_from_slice(&word.to_le_bytes());
+        }
+        std::fs::write(&meta_path, meta).map_err(|e| io_err("cannot write", &meta_path, e))?;
+        ShardedCsr::open(&self.dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn scratch(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("decolor-storage-{}-{name}", std::process::id()))
+    }
+
+    fn assert_matches_graph(sc: &ShardedCsr, g: &Graph) {
+        assert_eq!(sc.num_vertices(), g.num_vertices());
+        assert_eq!(sc.num_edges(), g.num_edges());
+        assert_eq!(GraphView::max_degree(sc), g.max_degree());
+        for v in g.vertices() {
+            assert_eq!(GraphView::degree(sc, v), g.degree(v));
+            let mut ports = Vec::new();
+            sc.for_each_port(v, |u, e| ports.push((u, e)));
+            assert_eq!(ports, g.incidence(v).to_vec(), "incidence of {v}");
+            for (p, &pair) in g.incidence(v).iter().enumerate() {
+                assert_eq!(GraphView::port(sc, v, p), Some(pair));
+            }
+            assert_eq!(GraphView::port(sc, v, g.degree(v)), None);
+        }
+        for (e, ep) in g.edge_list() {
+            assert_eq!(GraphView::endpoints(sc, e), ep);
+        }
+    }
+
+    #[test]
+    fn spilled_graph_serves_identical_csr() {
+        let dir = scratch("spill");
+        let g = generators::gnm(200, 900, 3).unwrap();
+        let sc = ShardedCsr::from_graph(&dir, &g).unwrap();
+        assert_matches_graph(&sc, &g);
+        drop(sc);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tiny_shards_straddle_boundaries() {
+        let dir = scratch("tiny");
+        // shard_bits = 4 → 16 entries per shard; a Δ=40 star's incidence
+        // run spans several shards.
+        let g = generators::star(41).unwrap();
+        let mut b = ShardedCsrBuilder::with_shard_bits(&dir, 41, 4).unwrap();
+        for (_, [u, v]) in g.edge_list() {
+            b.push_edge(u.index(), v.index()).unwrap();
+        }
+        let sc = b.finish().unwrap();
+        assert!(sc.adj.len() > 1, "test must span multiple shards");
+        assert_matches_graph(&sc, &g);
+        drop(sc);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_round_trips() {
+        let dir = scratch("open");
+        let g = generators::grid(9, 13).unwrap();
+        let built = ShardedCsr::from_graph(&dir, &g).unwrap();
+        drop(built);
+        let sc = ShardedCsr::open(&dir).unwrap();
+        assert_matches_graph(&sc, &g);
+        drop(sc);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn builder_validates_like_the_in_memory_one() {
+        let dir = scratch("validate");
+        let mut b = ShardedCsrBuilder::create(&dir, 3).unwrap();
+        assert!(matches!(
+            b.push_edge(0, 5),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.push_edge(1, 1),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        b.push_edge(2, 0).unwrap();
+        let sc = b.finish().unwrap();
+        // Endpoints normalize ascending like GraphBuilder.
+        assert_eq!(
+            GraphView::endpoints(&sc, EdgeId::new(0)),
+            [VertexId::new(0), VertexId::new(2)]
+        );
+        drop(sc);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reset_discards_streamed_edges() {
+        let dir = scratch("reset");
+        let mut b = ShardedCsrBuilder::with_shard_bits(&dir, 10, 4).unwrap();
+        for v in 1..10 {
+            b.push_edge(0, v).unwrap();
+        }
+        b.reset().unwrap();
+        b.push_edge(3, 4).unwrap();
+        let sc = b.finish().unwrap();
+        assert_eq!(sc.num_edges(), 1);
+        assert_eq!(GraphView::degree(&sc, VertexId::new(0)), 0);
+        assert_eq!(GraphView::degree(&sc, VertexId::new(3)), 1);
+        drop(sc);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let dir = scratch("edgeless");
+        let g = crate::GraphBuilder::new(5).build();
+        let sc = ShardedCsr::from_graph(&dir, &g).unwrap();
+        assert_eq!(sc.num_edges(), 0);
+        assert_eq!(GraphView::max_degree(&sc), 0);
+        let mut seen = 0;
+        sc.for_each_port(VertexId::new(0), |_, _| seen += 1);
+        assert_eq!(seen, 0);
+        drop(sc);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_corrupt_stores() {
+        let dir = scratch("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("meta.bin"), [0u8; 40]).unwrap();
+        assert!(matches!(
+            ShardedCsr::open(&dir),
+            Err(GraphError::ValidationFailed { .. })
+        ));
+        assert!(ShardedCsr::open(scratch("does-not-exist")).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

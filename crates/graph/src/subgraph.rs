@@ -336,6 +336,15 @@ pub trait GraphView {
         });
         found
     }
+
+    /// Whether the topology contains a parallel edge (same endpoint pair
+    /// twice). The default scans the endpoint list with a hash set;
+    /// [`Graph`] overrides it with its own implementation. Used by entry
+    /// points whose constructions require a simple input.
+    fn has_parallel_edges(&self) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.num_edges());
+        (0..self.num_edges()).any(|e| !seen.insert(self.endpoints(EdgeId::new(e))))
+    }
 }
 
 impl GraphView for Graph {
@@ -387,6 +396,11 @@ impl GraphView for Graph {
     fn port(&self, v: VertexId, p: usize) -> Option<(VertexId, EdgeId)> {
         self.incidence(v).get(p).copied()
     }
+
+    #[inline]
+    fn has_parallel_edges(&self) -> bool {
+        Graph::has_parallel_edges(self)
+    }
 }
 
 /// Borrowed spanning subgraph: the parent's vertex set with an **active
@@ -397,6 +411,10 @@ impl GraphView for Graph {
 /// bitset with rank (O(1) parent→local id), and the active degree table.
 /// Local edge `i` is `edges[i]`, exactly the materialized subgraph's
 /// numbering, so results are interchangeable between the representations.
+///
+/// Generic over the **parent topology** `P` (default [`Graph`]): the
+/// recursive pipelines also borrow views of an out-of-core
+/// [`ShardedCsr`](crate::storage::ShardedCsr), or of another view.
 ///
 /// ```rust
 /// use decolor_graph::subgraph::{EdgeSubgraphView, GraphView};
@@ -409,8 +427,8 @@ impl GraphView for Graph {
 /// assert_eq!(v.local_of(EdgeId::new(2)), Some(EdgeId::new(1)));
 /// ```
 #[derive(Clone, Debug)]
-pub struct EdgeSubgraphView<'g> {
-    parent: &'g Graph,
+pub struct EdgeSubgraphView<'g, P: GraphView = Graph> {
+    parent: &'g P,
     /// Active edges, ascending parent ids; position = local id.
     edges: Vec<EdgeId>,
     bits: RankedBits,
@@ -419,7 +437,7 @@ pub struct EdgeSubgraphView<'g> {
     max_degree: usize,
 }
 
-impl<'g> EdgeSubgraphView<'g> {
+impl<'g, P: GraphView> EdgeSubgraphView<'g, P> {
     /// Builds the view for `edges` (must be ascending, distinct, and in
     /// range for `parent`).
     ///
@@ -427,7 +445,7 @@ impl<'g> EdgeSubgraphView<'g> {
     ///
     /// [`GraphError::ValidationFailed`] if the list is out of range or not
     /// strictly ascending.
-    pub fn new(parent: &'g Graph, edges: Vec<EdgeId>) -> Result<Self, GraphError> {
+    pub fn new(parent: &'g P, edges: Vec<EdgeId>) -> Result<Self, GraphError> {
         for pair in edges.windows(2) {
             if pair[1] <= pair[0] {
                 return Err(GraphError::ValidationFailed {
@@ -466,14 +484,14 @@ impl<'g> EdgeSubgraphView<'g> {
     }
 
     /// The view covering every edge of `parent` (the recursion's root).
-    pub fn full(parent: &'g Graph) -> Self {
-        EdgeSubgraphView::new(parent, parent.edges().collect())
+    pub fn full(parent: &'g P) -> Self {
+        EdgeSubgraphView::new(parent, (0..parent.num_edges()).map(EdgeId::new).collect())
             .expect("the full edge list is ascending and in range")
     }
 
-    /// The parent graph this view borrows.
+    /// The parent topology this view borrows.
     #[inline]
-    pub fn parent(&self) -> &'g Graph {
+    pub fn parent(&self) -> &'g P {
         self.parent
     }
 
@@ -497,7 +515,7 @@ impl<'g> EdgeSubgraphView<'g> {
     }
 }
 
-impl GraphView for EdgeSubgraphView<'_> {
+impl<P: GraphView> GraphView for EdgeSubgraphView<'_, P> {
     #[inline]
     fn num_vertices(&self) -> usize {
         self.parent.num_vertices()
@@ -533,11 +551,11 @@ impl GraphView for EdgeSubgraphView<'_> {
         if self.degree[v.index()] == 0 {
             return;
         }
-        for &(_, e) in self.parent.incidence(v) {
+        self.parent.for_each_port(v, |_, e| {
             if self.contains(e) {
                 f(EdgeId::new(self.bits.rank(e.index())));
             }
-        }
+        });
     }
 
     #[inline]
@@ -545,21 +563,24 @@ impl GraphView for EdgeSubgraphView<'_> {
         if self.degree[v.index()] == 0 {
             return;
         }
-        for &(u, e) in self.parent.incidence(v) {
+        self.parent.for_each_port(v, |u, e| {
             if self.contains(e) {
                 f(u, EdgeId::new(self.bits.rank(e.index())));
             }
-        }
+        });
     }
 
     fn port(&self, v: VertexId, p: usize) -> Option<(VertexId, EdgeId)> {
-        // Early-exit scan (one rank for the hit only) instead of the
-        // trait default's full filtered pass with a rank per active edge.
+        // Early-exit scan over the parent's indexed ports (O(1) each on
+        // `Graph`/`ShardedCsr` parents): one rank for the hit only, and
+        // the walk stops at the requested port instead of draining the
+        // whole incidence run through a closure.
         if p >= self.degree[v.index()] as usize {
             return None;
         }
         let mut active = 0usize;
-        for &(u, e) in self.parent.incidence(v) {
+        for i in 0.. {
+            let (u, e) = self.parent.port(v, i)?;
             if self.contains(e) {
                 if active == p {
                     return Some((u, EdgeId::new(self.bits.rank(e.index()))));
@@ -567,7 +588,7 @@ impl GraphView for EdgeSubgraphView<'_> {
                 active += 1;
             }
         }
-        None
+        unreachable!("p < active degree guarantees a hit")
     }
 }
 
@@ -581,20 +602,20 @@ impl GraphView for EdgeSubgraphView<'_> {
 /// first-occurrence numbering for sorted inputs (color classes are
 /// sorted).
 #[derive(Clone, Debug)]
-pub struct VertexSubsetView<'g> {
-    parent: &'g Graph,
+pub struct VertexSubsetView<'g, P: GraphView = Graph> {
+    parent: &'g P,
     vertices: Vec<VertexId>,
     bits: RankedBits,
 }
 
-impl<'g> VertexSubsetView<'g> {
+impl<'g, P: GraphView> VertexSubsetView<'g, P> {
     /// Builds the view for `vertices` (ascending, distinct, in range).
     ///
     /// # Errors
     ///
     /// [`GraphError::ValidationFailed`] if the list is out of range or not
     /// strictly ascending.
-    pub fn new(parent: &'g Graph, vertices: Vec<VertexId>) -> Result<Self, GraphError> {
+    pub fn new(parent: &'g P, vertices: Vec<VertexId>) -> Result<Self, GraphError> {
         for pair in vertices.windows(2) {
             if pair[1] <= pair[0] {
                 return Err(GraphError::ValidationFailed {
@@ -624,9 +645,9 @@ impl<'g> VertexSubsetView<'g> {
         })
     }
 
-    /// The parent graph this view borrows.
+    /// The parent topology this view borrows.
     #[inline]
-    pub fn parent(&self) -> &'g Graph {
+    pub fn parent(&self) -> &'g P {
         self.parent
     }
 
@@ -666,10 +687,11 @@ impl<'g> VertexSubsetView<'g> {
     /// the first hit (recursion-termination checks only need emptiness).
     pub fn has_induced_edge(&self) -> bool {
         self.vertices.iter().any(|&v| {
-            self.parent
-                .incidence(v)
-                .iter()
-                .any(|&(u, _)| u > v && self.contains(u))
+            let mut hit = false;
+            self.parent.for_each_port(v, |u, _| {
+                hit = hit || (u > v && self.contains(u));
+            });
+            hit
         })
     }
 
@@ -679,11 +701,13 @@ impl<'g> VertexSubsetView<'g> {
         self.vertices
             .iter()
             .map(|&v| {
-                self.parent
-                    .incidence(v)
-                    .iter()
-                    .filter(|&&(u, _)| u > v && self.contains(u))
-                    .count()
+                let mut count = 0usize;
+                self.parent.for_each_port(v, |u, _| {
+                    if u > v && self.contains(u) {
+                        count += 1;
+                    }
+                });
+                count
             })
             .sum()
     }
@@ -710,8 +734,8 @@ impl<'g> VertexSubsetView<'g> {
 /// O(Σ_{v ∈ subset} deg_parent(v)) scan; no `Graph` (endpoint table +
 /// builder validation pass), port table, or network state is built.
 #[derive(Clone, Debug)]
-pub struct InducedSubgraphView<'g> {
-    subset: VertexSubsetView<'g>,
+pub struct InducedSubgraphView<'g, P: GraphView = Graph> {
+    subset: VertexSubsetView<'g, P>,
     /// Induced parent edges, ascending; position = local edge id.
     edges: Vec<EdgeId>,
     /// Compact local incidence, CSR-indexed by `offsets`: entry
@@ -722,25 +746,25 @@ pub struct InducedSubgraphView<'g> {
     max_degree: usize,
 }
 
-impl<'g> InducedSubgraphView<'g> {
+impl<'g, P: GraphView> InducedSubgraphView<'g, P> {
     /// Builds the induced view for `vertices` (ascending, distinct, in
     /// range for `parent`).
     ///
     /// # Errors
     ///
     /// [`GraphError::ValidationFailed`] as [`VertexSubsetView::new`].
-    pub fn new(parent: &'g Graph, vertices: Vec<VertexId>) -> Result<Self, GraphError> {
+    pub fn new(parent: &'g P, vertices: Vec<VertexId>) -> Result<Self, GraphError> {
         Ok(Self::from_subset(VertexSubsetView::new(parent, vertices)?))
     }
 
     /// Builds the induced view over an existing subset view.
-    pub fn from_subset(subset: VertexSubsetView<'g>) -> Self {
+    pub fn from_subset(subset: VertexSubsetView<'g, P>) -> Self {
         let parent = subset.parent();
         let k = subset.num_vertices();
         let mut degree = vec![0u32; k];
         let mut edges = Vec::new();
         for (local, &v) in subset.parent_vertices().iter().enumerate() {
-            for &(u, e) in parent.incidence(v) {
+            parent.for_each_port(v, |u, e| {
                 if subset.contains(u) {
                     degree[local] += 1;
                     if u > v {
@@ -749,7 +773,7 @@ impl<'g> InducedSubgraphView<'g> {
                         edges.push(e);
                     }
                 }
-            }
+            });
         }
         edges.sort_unstable();
         let edge_bits =
@@ -767,7 +791,7 @@ impl<'g> InducedSubgraphView<'g> {
         let mut adj = vec![(VertexId::new(0), EdgeId::new(0)); acc as usize];
         let mut cursor = 0usize;
         for &v in subset.parent_vertices() {
-            for &(u, e) in parent.incidence(v) {
+            parent.for_each_port(v, |u, e| {
                 if edge_bits.contains(e.index()) {
                     adj[cursor] = (
                         subset
@@ -777,7 +801,7 @@ impl<'g> InducedSubgraphView<'g> {
                     );
                     cursor += 1;
                 }
-            }
+            });
         }
         debug_assert_eq!(cursor, acc as usize);
         InducedSubgraphView {
@@ -791,7 +815,7 @@ impl<'g> InducedSubgraphView<'g> {
 
     /// The vertex subset this induced view is built over.
     #[inline]
-    pub fn subset(&self) -> &VertexSubsetView<'g> {
+    pub fn subset(&self) -> &VertexSubsetView<'g, P> {
         &self.subset
     }
 
@@ -821,7 +845,7 @@ impl<'g> InducedSubgraphView<'g> {
     }
 }
 
-impl GraphView for InducedSubgraphView<'_> {
+impl<P: GraphView> GraphView for InducedSubgraphView<'_, P> {
     #[inline]
     fn num_vertices(&self) -> usize {
         self.subset.num_vertices()

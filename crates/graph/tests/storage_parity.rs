@@ -1,0 +1,146 @@
+//! Streaming/out-of-core parity: the shard-streamed builds must be
+//! **byte-identical** — CSR incidence arrays, endpoint table, and degree
+//! sequence — to the one-shot in-memory builds, at any worker-pool size.
+
+use decolor_graph::storage::{ShardedCsr, ShardedCsrBuilder};
+use decolor_graph::subgraph::GraphView;
+use decolor_graph::{generators, EdgeId, Graph, VertexId};
+use proptest::prelude::*;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("decolor-parity-{}-{tag}", std::process::id()))
+}
+
+/// Asserts the sharded store serves exactly `g`'s CSR: offsets (via
+/// degrees), adjacency slots (incidence order included), and endpoints.
+fn assert_csr_identical(sc: &ShardedCsr, g: &Graph) {
+    assert_eq!(sc.num_vertices(), g.num_vertices());
+    assert_eq!(sc.num_edges(), g.num_edges());
+    assert_eq!(GraphView::max_degree(sc), g.max_degree());
+    for v in g.vertices() {
+        assert_eq!(GraphView::degree(sc, v), g.degree(v), "degree of {v}");
+        let mut ports = Vec::new();
+        sc.for_each_port(v, |u, e| ports.push((u, e)));
+        assert_eq!(ports, g.incidence(v).to_vec(), "incidence run of {v}");
+    }
+    for (e, ep) in g.edge_list() {
+        assert_eq!(GraphView::endpoints(sc, e), ep, "endpoints of {e}");
+    }
+}
+
+/// Streams `stream(sink)` into an on-disk builder with small shards (so
+/// runs straddle shard files) and checks the result against `reference`.
+fn check_stream(
+    tag: &str,
+    n: usize,
+    reference: &Graph,
+    stream: impl Fn(&mut ShardedCsrBuilder) -> Result<(), decolor_graph::GraphError>,
+) {
+    let dir = scratch(tag);
+    let mut b = ShardedCsrBuilder::with_shard_bits(&dir, n, 8).unwrap();
+    stream(&mut b).unwrap();
+    let sc = b.finish().unwrap();
+    assert_csr_identical(&sc, reference);
+    drop(sc);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Shard-streamed random_regular ≡ one-shot, at 1 and 4 workers.
+    #[test]
+    fn random_regular_stream_parity(seed in 0u64..200, d in 2usize..7) {
+        let n = 120 + (seed as usize % 3); // even nd guaranteed below
+        let n = if (n * d) % 2 == 1 { n + 1 } else { n };
+        for threads in [1usize, 4] {
+            rayon::with_num_threads(threads, || {
+                let g = generators::random_regular(n, d, seed).unwrap();
+                check_stream(
+                    &format!("regular-{seed}-{d}-{threads}"),
+                    n,
+                    &g,
+                    |sink| generators::random_regular_stream(n, d, seed, sink),
+                );
+            });
+        }
+    }
+
+    /// Shard-streamed gnp ≡ one-shot.
+    #[test]
+    fn gnp_stream_parity(seed in 0u64..200) {
+        let n = 150usize;
+        let p = 0.05;
+        for threads in [1usize, 4] {
+            rayon::with_num_threads(threads, || {
+                let g = generators::gnp(n, p, seed).unwrap();
+                check_stream(&format!("gnp-{seed}-{threads}"), n, &g, |sink| {
+                    generators::gnp_stream(n, p, seed, sink)
+                });
+            });
+        }
+    }
+}
+
+#[test]
+fn hypercube_and_grid_stream_parity() {
+    for threads in [1usize, 4] {
+        rayon::with_num_threads(threads, || {
+            let g = generators::hypercube(7).unwrap();
+            check_stream(&format!("cube-{threads}"), 128, &g, |sink| {
+                generators::hypercube_stream(7, sink)
+            });
+            let g = generators::grid(17, 23).unwrap();
+            check_stream(&format!("grid-{threads}"), 17 * 23, &g, |sink| {
+                generators::grid_stream(17, 23, sink)
+            });
+        });
+    }
+}
+
+#[test]
+fn spilled_graph_round_trips_through_open() {
+    let g = generators::forest_union(300, 2, 8, 11).unwrap();
+    let dir = scratch("spill-open");
+    let sc = ShardedCsr::from_graph(&dir, &g).unwrap();
+    assert_csr_identical(&sc, &g);
+    drop(sc);
+    let reopened = ShardedCsr::open(&dir).unwrap();
+    assert_csr_identical(&reopened, &g);
+    drop(reopened);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn views_borrow_a_sharded_parent() {
+    // The genericized views must answer identically over a ShardedCsr
+    // parent and over the in-memory parent.
+    use decolor_graph::subgraph::{EdgeSubgraphView, InducedSubgraphView};
+    let g = generators::gnm(80, 300, 5).unwrap();
+    let dir = scratch("views");
+    let sc = ShardedCsr::from_graph(&dir, &g).unwrap();
+
+    let subset: Vec<EdgeId> = g.edges().filter(|e| e.index() % 3 == 0).collect();
+    let ram = EdgeSubgraphView::new(&g, subset.clone()).unwrap();
+    let mmap = EdgeSubgraphView::new(&sc, subset).unwrap();
+    assert_eq!(ram.num_edges(), mmap.num_edges());
+    assert_eq!(GraphView::max_degree(&ram), GraphView::max_degree(&mmap));
+    for v in g.vertices() {
+        let mut a = Vec::new();
+        ram.for_each_port(v, |u, e| a.push((u, e)));
+        let mut b = Vec::new();
+        mmap.for_each_port(v, |u, e| b.push((u, e)));
+        assert_eq!(a, b, "edge-view ports of {v}");
+    }
+
+    let vertices: Vec<VertexId> = g.vertices().filter(|v| v.index() % 2 == 0).collect();
+    let ram = InducedSubgraphView::new(&g, vertices.clone()).unwrap();
+    let mmap = InducedSubgraphView::new(&sc, vertices).unwrap();
+    assert_eq!(GraphView::num_edges(&ram), GraphView::num_edges(&mmap));
+    for lv in 0..GraphView::num_vertices(&ram) {
+        let v = VertexId::new(lv);
+        assert_eq!(ram.incidence(v), mmap.incidence(v), "induced ports of {v}");
+    }
+    drop(mmap);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full equivalence matrix: the workspace test suite under
+# DECOLOR_THREADS ∈ {1, 4}, plus the scaling perf-smoke across
+# backend ∈ {ram, mmap} at both pool sizes — so every push exercises the
+# thread-count-invariance AND storage-backend-equivalence proptests on
+# the complete matrix (the in-process tests pin mmap ≡ ram bit-for-bit;
+# the smoke legs additionally drive the real bench binaries end-to-end).
+#
+# Usage: scripts/test-matrix.sh [--quick]
+#   --quick  skip the full test suite legs, run only the bench smokes
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+for threads in 1 4; do
+    if [[ "$QUICK" == 0 ]]; then
+        echo "=== cargo test (DECOLOR_THREADS=$threads) ==="
+        DECOLOR_THREADS=$threads cargo test -q --workspace
+    fi
+    for backend in ram mmap; do
+        echo "=== scaling --quick --backend $backend (DECOLOR_THREADS=$threads) ==="
+        DECOLOR_THREADS=$threads cargo run --release -q -p decolor-bench --bin scaling -- \
+            --quick --backend "$backend"
+    done
+done
+echo "test matrix green: threads {1,4} x backend {ram,mmap}"

@@ -1,0 +1,310 @@
+//! Offline shim for the subset of `memmap2` used by this workspace (see
+//! `vendor/README.md`): shared file mappings on Linux, read-only
+//! ([`Mmap`]) and writable ([`MmapMut`]), dereferencing to byte slices.
+//!
+//! The shim calls `mmap(2)`/`munmap(2)`/`msync(2)` directly through their
+//! C prototypes (the process already links libc), so it needs no external
+//! crate. One deliberate API divergence from the real `memmap2`:
+//! [`Mmap::map`] and [`MmapMut::map_mut`] are **safe functions** here —
+//! the real crate marks them `unsafe` because another process can mutate
+//! the file underneath the mapping; this workspace only maps files it
+//! owns under `target/`-style private directories, where that hazard is a
+//! documented usage rule rather than a per-call-site obligation. When the
+//! real crate is swapped in, call sites gain an `unsafe {}` block and
+//! nothing else.
+//!
+//! Zero-length files map to an empty slice without touching `mmap` (the
+//! syscall rejects `len == 0`).
+
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io;
+use std::os::fd::AsRawFd;
+use std::os::raw::{c_int, c_void};
+use std::ptr::NonNull;
+
+const PROT_READ: c_int = 1;
+const PROT_WRITE: c_int = 2;
+const MAP_SHARED: c_int = 1;
+const MS_SYNC: c_int = 4;
+
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        len: usize,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    fn msync(addr: *mut c_void, len: usize, flags: c_int) -> c_int;
+}
+
+/// A shared mapping of a whole file: pointer + length + whether `munmap`
+/// is owed on drop (zero-length mappings never called `mmap`).
+#[derive(Debug)]
+struct RawMmap {
+    ptr: NonNull<u8>,
+    len: usize,
+}
+
+// The mapping is a plain byte region owned by this handle; file-backed
+// pages are as sharable as a `Vec<u8>` as long as nobody truncates the
+// file, which is the usage rule documented on the mapping constructors.
+unsafe impl Send for RawMmap {}
+unsafe impl Sync for RawMmap {}
+
+impl RawMmap {
+    fn map(file: &File, prot: c_int) -> io::Result<RawMmap> {
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file exceeds usize"))?;
+        if len == 0 {
+            return Ok(RawMmap {
+                ptr: NonNull::dangling(),
+                len: 0,
+            });
+        }
+        // SAFETY: fd is valid for the duration of the call; a MAP_SHARED
+        // mapping of a regular file at offset 0 with in-range length is
+        // exactly the documented use of mmap(2).
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                prot,
+                MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(RawMmap {
+            ptr: NonNull::new(ptr.cast::<u8>())
+                .ok_or_else(|| io::Error::other("mmap returned NULL"))?,
+            len,
+        })
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: the region [ptr, ptr + len) stays mapped until drop.
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [u8] {
+        if self.len == 0 {
+            return &mut [];
+        }
+        // SAFETY: as `as_slice`, plus `&mut self` gives unique access.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        if self.len == 0 {
+            return Ok(());
+        }
+        // SAFETY: the region is a live mapping created by this handle.
+        let rc = unsafe { msync(self.ptr.as_ptr().cast::<c_void>(), self.len, MS_SYNC) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+}
+
+impl Drop for RawMmap {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: the region was mapped by this handle and is
+            // unmapped exactly once.
+            unsafe {
+                let _ = munmap(self.ptr.as_ptr().cast::<c_void>(), self.len);
+            }
+        }
+    }
+}
+
+/// An immutable (read-only) shared mapping of a file.
+///
+/// ```rust
+/// # fn main() -> std::io::Result<()> {
+/// let dir = std::env::temp_dir().join(format!("memmap2-shim-doc-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir)?;
+/// let path = dir.join("data.bin");
+/// std::fs::write(&path, [1u8, 2, 3])?;
+/// let map = memmap2::Mmap::map(&std::fs::File::open(&path)?)?;
+/// assert_eq!(&map[..], &[1, 2, 3]);
+/// # std::fs::remove_dir_all(&dir)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Mmap {
+    raw: RawMmap,
+}
+
+impl Mmap {
+    /// Maps the whole of `file` read-only.
+    ///
+    /// The caller must keep the file unmodified (and in particular
+    /// untruncated) by other writers for the mapping's lifetime — the
+    /// usage rule that makes this safe to expose as a safe function in
+    /// this offline shim (the real `memmap2` marks it `unsafe`).
+    ///
+    /// # Errors
+    ///
+    /// The underlying `mmap(2)` / metadata errors.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        Ok(Mmap {
+            raw: RawMmap::map(file, PROT_READ)?,
+        })
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.raw.len
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.raw.len == 0
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.raw.as_slice()
+    }
+}
+
+/// A writable shared mapping of a file: stores hit the page cache and
+/// reach the file via writeback (or [`MmapMut::flush`]).
+#[derive(Debug)]
+pub struct MmapMut {
+    raw: RawMmap,
+}
+
+impl MmapMut {
+    /// Maps the whole of `file` read-write (the file must be opened for
+    /// writing and already sized — use `File::set_len` first).
+    ///
+    /// Same single-writer usage rule as [`Mmap::map`].
+    ///
+    /// # Errors
+    ///
+    /// The underlying `mmap(2)` / metadata errors.
+    pub fn map_mut(file: &File) -> io::Result<MmapMut> {
+        Ok(MmapMut {
+            raw: RawMmap::map(file, PROT_READ | PROT_WRITE)?,
+        })
+    }
+
+    /// Synchronously writes dirty pages back to the file (`msync(2)`).
+    ///
+    /// # Errors
+    ///
+    /// The underlying `msync(2)` error.
+    pub fn flush(&self) -> io::Result<()> {
+        self.raw.sync()
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.raw.len
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.raw.len == 0
+    }
+}
+
+impl std::ops::Deref for MmapMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.raw.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for MmapMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        self.raw.as_mut_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("memmap2-shim-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn read_only_mapping_sees_file_contents() {
+        let dir = scratch("ro");
+        let path = dir.join("a.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(map.len(), payload.len());
+        assert_eq!(&map[..], &payload[..]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writable_mapping_round_trips_through_the_file() {
+        let dir = scratch("rw");
+        let path = dir.join("b.bin");
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        file.set_len(64).unwrap();
+        let mut map = MmapMut::map_mut(&file).unwrap();
+        map[..4].copy_from_slice(&[9, 8, 7, 6]);
+        map[60..].copy_from_slice(&[1, 2, 3, 4]);
+        map.flush().unwrap();
+        drop(map);
+        let back = std::fs::read(&path).unwrap();
+        assert_eq!(&back[..4], &[9, 8, 7, 6]);
+        assert_eq!(&back[60..], &[1, 2, 3, 4]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let dir = scratch("empty");
+        let path = dir.join("c.bin");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&[])
+            .unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&map[..], &[] as &[u8]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mappings_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Mmap>();
+        assert_send_sync::<MmapMut>();
+    }
+}
