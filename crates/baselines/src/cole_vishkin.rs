@@ -136,6 +136,7 @@ pub fn cole_vishkin_forest_coloring(
                     .incidence(v)
                     .iter()
                     .position(|&(u, _)| u == p)
+                    // lint: allow(panic, "parent is a neighbor")
                     .expect("parent is a neighbor");
                 inbox[v.index()][port]
             });
@@ -160,6 +161,7 @@ pub fn cole_vishkin_forest_coloring(
                         .incidence(v)
                         .iter()
                         .position(|&(u, _)| u == p)
+                        // lint: allow(panic, "parent is a neighbor")
                         .expect("parent is a neighbor");
                     inbox[v.index()][port]
                 }
@@ -174,10 +176,11 @@ pub fn cole_vishkin_forest_coloring(
         let inbox = net.broadcast(&colors)?;
         for v in g.vertices() {
             if colors[v.index()] == top {
-                let used: std::collections::HashSet<u64> =
+                let used: std::collections::BTreeSet<u64> =
                     inbox[v.index()].iter().copied().collect();
                 colors[v.index()] = (0..3)
                     .find(|c| !used.contains(c))
+                    // lint: allow(panic, "≤ 2 blocked colors")
                     .expect("≤ 2 blocked colors");
             }
         }

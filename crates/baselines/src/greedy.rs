@@ -39,14 +39,17 @@ pub fn greedy_vertex_coloring(g: &Graph, order: &[VertexId]) -> VertexColoring {
         let free = used
             .iter()
             .position(|&t| !t)
+            // lint: allow(panic, "Δ neighbors cannot block Δ + 1 colors")
             .expect("Δ neighbors cannot block Δ + 1 colors");
         assert!(colors[v.index()].is_none(), "order repeats vertex {v}");
         colors[v.index()] = Some(free as Color);
     }
     let colors: Vec<Color> = colors
         .into_iter()
+        // lint: allow(panic, "all vertices ordered")
         .map(|c| c.expect("all vertices ordered"))
         .collect();
+    // lint: allow(panic, "greedy colors fit the palette")
     VertexColoring::new(colors, palette).expect("greedy colors fit the palette")
 }
 
@@ -87,13 +90,16 @@ pub fn greedy_edge_coloring(g: &Graph) -> EdgeColoring {
         let free = used
             .iter()
             .position(|&t| !t)
+            // lint: allow(panic, "2Δ − 2 incident edges cannot block 2Δ − 1")
             .expect("2Δ − 2 incident edges cannot block 2Δ − 1");
         colors[e.index()] = Some(free as Color);
     }
     let colors: Vec<Color> = colors
         .into_iter()
+        // lint: allow(panic, "all edges visited")
         .map(|c| c.expect("all edges visited"))
         .collect();
+    // lint: allow(panic, "greedy colors fit the palette")
     EdgeColoring::new(colors, palette).expect("greedy colors fit the palette")
 }
 

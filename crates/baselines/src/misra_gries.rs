@@ -47,6 +47,7 @@ impl<'g> State<'g> {
     fn free_color(&self, v: VertexId) -> Color {
         (0..self.palette as u32)
             .find(|&c| self.is_free(v, c))
+            // lint: allow(panic, "degree ≤ Δ leaves a free color in a Δ + 1 palette")
             .expect("degree ≤ Δ leaves a free color in a Δ + 1 palette")
     }
 
@@ -68,8 +69,9 @@ impl<'g> State<'g> {
     /// neighbors f₀ = v, f₁, … where color(u, f_{i+1}) is free at f_i.
     fn maximal_fan(&self, u: VertexId, v: VertexId) -> Vec<VertexId> {
         let mut fan = vec![v];
-        let mut in_fan: std::collections::HashSet<VertexId> = [v].into_iter().collect();
+        let mut in_fan: std::collections::BTreeSet<VertexId> = [v].into_iter().collect();
         loop {
+            // lint: allow(panic, "fan nonempty")
             let last = *fan.last().expect("fan nonempty");
             let mut extended = false;
             for (w, e) in self.g.incidence(u).iter().copied() {
@@ -105,13 +107,19 @@ impl<'g> State<'g> {
                 break;
             }
             path.push(e);
-            cur = self.g.other_endpoint(e, cur);
+            // lint: allow(panic, "edge_with scans cur's incidence list, so e is incident on cur")
+            cur = self
+                .g
+                .other_endpoint(e, cur)
+                // lint: allow(panic, "edge_with returns an edge incident on cur")
+                .expect("edge_with returns an edge incident on cur");
             prev_edge = Some(e);
             want = if want == d { c } else { d };
         }
         // Uncolor the whole path, then recolor flipped.
         let old: Vec<Color> = path
             .iter()
+            // lint: allow(panic, "path edges are colored")
             .map(|&e| self.color[e.index()].expect("path edges are colored"))
             .collect();
         for &e in &path {
@@ -128,6 +136,7 @@ impl<'g> State<'g> {
         for i in 0..j {
             let e_i = self.edge_between(u, fan[i]);
             let e_next = self.edge_between(u, fan[i + 1]);
+            // lint: allow(panic, "fan edges beyond 0 are colored")
             let next_color = self.color[e_next.index()].expect("fan edges beyond 0 are colored");
             self.set(e_next, None);
             self.set(e_i, Some(next_color));
@@ -140,6 +149,7 @@ impl<'g> State<'g> {
             .iter()
             .find(|&&(x, _)| x == w)
             .map(|&(_, e)| e)
+            // lint: allow(panic, "fan vertices are neighbors of u")
             .expect("fan vertices are neighbors of u")
     }
 }
@@ -166,6 +176,7 @@ pub fn misra_gries_edge_coloring(g: &Graph) -> EdgeColoring {
     );
     let delta = g.max_degree();
     if g.num_edges() == 0 {
+        // lint: allow(panic, "empty coloring is valid")
         return EdgeColoring::new(vec![], 1).expect("empty coloring is valid");
     }
     let palette = delta + 1;
@@ -175,6 +186,7 @@ pub fn misra_gries_edge_coloring(g: &Graph) -> EdgeColoring {
         debug_assert!(st.color[e0.index()].is_none());
         let fan = st.maximal_fan(u, v);
         let c = st.free_color(u);
+        // lint: allow(panic, "fan nonempty")
         let last = *fan.last().expect("fan nonempty");
         let d = st.free_color(last);
         if c != d {
@@ -201,6 +213,7 @@ pub fn misra_gries_edge_coloring(g: &Graph) -> EdgeColoring {
                 break;
             }
         }
+        // lint: allow(panic, "Vizing fan argument guarantees a rotatable prefix")
         let j = w.expect("Vizing fan argument guarantees a rotatable prefix");
         st.rotate_fan(u, &fan, j);
         debug_assert!(st.is_free(u, d), "d must be free at u after the inversion");
@@ -211,8 +224,10 @@ pub fn misra_gries_edge_coloring(g: &Graph) -> EdgeColoring {
     let colors: Vec<Color> = st
         .color
         .into_iter()
+        // lint: allow(panic, "all edges colored")
         .map(|c| c.expect("all edges colored"))
         .collect();
+    // lint: allow(panic, "colors fit palette")
     let ec = EdgeColoring::new(colors, palette as u64).expect("colors fit palette");
     debug_assert!(ec.is_proper(g));
     ec

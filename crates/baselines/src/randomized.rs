@@ -108,6 +108,7 @@ pub fn randomized_edge_coloring(
 
     let out: Vec<Color> = colors
         .into_iter()
+        // lint: allow(panic, "loop exits only when all edges are colored")
         .map(|c| c.expect("loop exits only when all edges are colored"))
         .collect();
     let ec = EdgeColoring::new(out, palette).map_err(|e| AlgoError::InvariantViolated {

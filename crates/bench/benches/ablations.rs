@@ -20,26 +20,26 @@ fn bench_ablations(c: &mut Criterion) {
     let ids = IdAssignment::sequential(lg.graph.num_vertices());
     let fixed = CdParams::for_levels(lg.cover.max_clique_size(), 2);
     group.bench_function("cd_fixed_t", |b| {
-        b.iter(|| cd_coloring(&lg.graph, &lg.cover, &fixed, &ids).unwrap())
+        b.iter(|| cd_coloring(&lg.graph, &lg.cover, &fixed, &ids).unwrap());
     });
     let per_level = CdParams {
         per_level_t: true,
         ..fixed
     };
     group.bench_function("cd_per_level_t", |b| {
-        b.iter(|| cd_coloring(&lg.graph, &lg.cover, &per_level, &ids).unwrap())
+        b.iter(|| cd_coloring(&lg.graph, &lg.cover, &per_level, &ids).unwrap());
     });
 
     let sp_fixed = StarPartitionParams::for_levels(&g, 2);
     group.bench_function("star_fixed_t", |b| {
-        b.iter(|| star_partition_edge_coloring(&g, &sp_fixed).unwrap())
+        b.iter(|| star_partition_edge_coloring(&g, &sp_fixed).unwrap());
     });
     let sp_adaptive = StarPartitionParams {
         adaptive_t: true,
         ..sp_fixed
     };
     group.bench_function("star_adaptive_t", |b| {
-        b.iter(|| star_partition_edge_coloring(&g, &sp_adaptive).unwrap())
+        b.iter(|| star_partition_edge_coloring(&g, &sp_adaptive).unwrap());
     });
 
     let ga = arboricity_workload(300, 3, 10, 7);
@@ -48,7 +48,7 @@ fn bench_ablations(c: &mut Criterion) {
             b.iter(|| {
                 theorem52_with_intra_levels(&ga, 3, 2.5, intra, SubroutineConfig::default())
                     .unwrap()
-            })
+            });
         });
     }
     group.finish();

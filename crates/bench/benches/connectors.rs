@@ -14,20 +14,20 @@ fn bench_connectors(c: &mut Criterion) {
     let lg = LineGraph::new(&g);
     for t in [2usize, 4, 8] {
         group.bench_with_input(BenchmarkId::new("clique_connector", t), &t, |b, &t| {
-            b.iter(|| clique_connector(&lg.graph, &lg.cover, t).unwrap())
+            b.iter(|| clique_connector(&lg.graph, &lg.cover, t).unwrap());
         });
         group.bench_with_input(BenchmarkId::new("edge_connector", t), &t, |b, &t| {
-            b.iter(|| edge_connector(&g, t).unwrap())
+            b.iter(|| edge_connector(&g, t).unwrap());
         });
     }
     let fg = generators::forest_union(400, 3, 8, 2).unwrap();
     let hp = decolor_core::h_partition::h_partition_for_arboricity(&fg, 3, 2.5).unwrap();
     let o = hp.orientation(&fg);
     group.bench_function("orientation_connector_shared", |b| {
-        b.iter(|| orientation_connector(&fg, &o, 5, 3, false).unwrap())
+        b.iter(|| orientation_connector(&fg, &o, 5, 3, false).unwrap());
     });
     group.bench_function("orientation_connector_bipartite", |b| {
-        b.iter(|| orientation_connector(&fg, &o, 5, 3, true).unwrap())
+        b.iter(|| orientation_connector(&fg, &o, 5, 3, true).unwrap());
     });
     group.finish();
 }

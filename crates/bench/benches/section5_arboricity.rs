@@ -12,14 +12,14 @@ fn bench_section5(c: &mut Criterion) {
     let cfg = SubroutineConfig::default();
     let g = arboricity_workload(400, 2, 16, 9);
     group.bench_function("theorem52", |b| {
-        b.iter(|| theorem52(&g, 2, 2.5, cfg).unwrap())
+        b.iter(|| theorem52(&g, 2, 2.5, cfg).unwrap());
     });
     group.bench_function("theorem53", |b| {
-        b.iter(|| theorem53(&g, 2, 2.5, cfg).unwrap())
+        b.iter(|| theorem53(&g, 2, 2.5, cfg).unwrap());
     });
     for x in [2usize, 3] {
         group.bench_with_input(BenchmarkId::new("theorem54", x), &x, |b, &x| {
-            b.iter(|| theorem54(&g, 2, 2.5, x, cfg).unwrap())
+            b.iter(|| theorem54(&g, 2, 2.5, x, cfg).unwrap());
         });
     }
     group.finish();

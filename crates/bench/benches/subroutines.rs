@@ -21,12 +21,12 @@ fn bench_subroutines(c: &mut Criterion) {
         b.iter(|| {
             net.reset_stats();
             linial_coloring(&mut net, &ids).unwrap()
-        })
+        });
     });
     group.bench_function("delta_plus_one_kw", |b| {
         b.iter(|| {
             delta_plus_one_coloring(&g, Seed::Ids(&ids), SubroutineConfig::default()).unwrap()
-        })
+        });
     });
     group.bench_function("delta_plus_one_basic", |b| {
         b.iter(|| {
@@ -38,16 +38,16 @@ fn bench_subroutines(c: &mut Criterion) {
                 },
             )
             .unwrap()
-        })
+        });
     });
     group.bench_function("baseline_misra_gries", |b| {
-        b.iter(|| decolor_baselines::misra_gries::misra_gries_edge_coloring(&g))
+        b.iter(|| decolor_baselines::misra_gries::misra_gries_edge_coloring(&g));
     });
     group.bench_function("baseline_greedy_edge", |b| {
-        b.iter(|| decolor_baselines::greedy::greedy_edge_coloring(&g))
+        b.iter(|| decolor_baselines::greedy::greedy_edge_coloring(&g));
     });
     group.bench_function("baseline_randomized_edge", |b| {
-        b.iter(|| decolor_baselines::randomized::randomized_edge_coloring(&g, 15, 3).unwrap())
+        b.iter(|| decolor_baselines::randomized::randomized_edge_coloring(&g, 15, 3).unwrap());
     });
     group.finish();
 }

@@ -13,17 +13,17 @@ fn bench_table1(c: &mut Criterion) {
     for x in [1usize, 2, 3] {
         let params = StarPartitionParams::for_levels(&g, x);
         group.bench_with_input(BenchmarkId::new("star_partition", x), &x, |b, _| {
-            b.iter(|| star_partition_edge_coloring(&g, &params).unwrap())
+            b.iter(|| star_partition_edge_coloring(&g, &params).unwrap());
         });
     }
     group.bench_function("baseline_2delta_minus_1", |b| {
-        b.iter(|| two_delta_minus_one_edge_coloring(&g).unwrap())
+        b.iter(|| two_delta_minus_one_edge_coloring(&g).unwrap());
     });
     // Δ = 128 was out of reach for the line-graph realization; the direct
     // edge-space baseline handles it routinely.
     let g128 = regular_workload(256, 128, 9);
     group.bench_function("baseline_2delta_minus_1_d128", |b| {
-        b.iter(|| two_delta_minus_one_edge_coloring(&g128).unwrap())
+        b.iter(|| two_delta_minus_one_edge_coloring(&g128).unwrap());
     });
     group.finish();
 }

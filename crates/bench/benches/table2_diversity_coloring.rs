@@ -15,7 +15,7 @@ fn bench_table2(c: &mut Criterion) {
     for x in [1usize, 2, 3] {
         let params = CdParams::for_levels(lg.cover.max_clique_size(), x);
         group.bench_with_input(BenchmarkId::new("cd_line_graph_D2", x), &x, |b, _| {
-            b.iter(|| cd_coloring(&lg.graph, &lg.cover, &params, &ids).unwrap())
+            b.iter(|| cd_coloring(&lg.graph, &lg.cover, &params, &ids).unwrap());
         });
     }
     let h = generators::random_uniform_hypergraph(150, 120, 3, 8, 5).unwrap();
@@ -23,7 +23,7 @@ fn bench_table2(c: &mut Criterion) {
     let hids = IdAssignment::shuffled(hlg.graph.num_vertices(), 2);
     let params = CdParams::for_levels(hlg.cover.max_clique_size().max(2), 2);
     group.bench_function("cd_hypergraph_D3_x2", |b| {
-        b.iter(|| cd_coloring(&hlg.graph, &hlg.cover, &params, &hids).unwrap())
+        b.iter(|| cd_coloring(&hlg.graph, &hlg.cover, &params, &hids).unwrap());
     });
     group.finish();
 }

@@ -133,14 +133,12 @@ fn main() {
         eprintln!("--reference runs the materializing paths, which are ram-only");
         std::process::exit(1);
     }
-    let max_n: usize = flag_value("--max-n")
-        .map(|v| {
-            v.parse().unwrap_or_else(|_| {
-                eprintln!("--max-n expects an integer, got `{v}`");
-                std::process::exit(1);
-            })
+    let max_n: usize = flag_value("--max-n").map_or(1_048_576, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--max-n expects an integer, got `{v}`");
+            std::process::exit(1);
         })
-        .unwrap_or(1_048_576);
+    });
     let runs = |row: &str| only.is_none_or(|o| o == row);
     let sizes: Vec<usize> = if quick {
         vec![256, 1024]

@@ -344,9 +344,8 @@ pub fn theorem53(
     q: f64,
     cfg: SubroutineConfig,
 ) -> Result<ArboricityColoring, AlgoError> {
-    let (orient, phi, stats) = match theorem53_head(g, a, q, cfg)? {
-        Some(head) => head,
-        None => return empty_coloring(),
+    let Some((orient, phi, stats)) = theorem53_head(g, a, q, cfg)? else {
+        return empty_coloring();
     };
     combine_classes_on(g, &orient, &phi.coloring, q, cfg, stats)
 }
@@ -365,9 +364,8 @@ pub fn theorem53_reference(
     q: f64,
     cfg: SubroutineConfig,
 ) -> Result<ArboricityColoring, AlgoError> {
-    let (orient, phi, stats) = match theorem53_head(g, a, q, cfg)? {
-        Some(head) => head,
-        None => return empty_coloring(),
+    let Some((orient, phi, stats)) = theorem53_head(g, a, q, cfg)? else {
+        return empty_coloring();
     };
     combine_classes_reference(g, &orient, &phi.coloring, q, cfg, stats)
 }
@@ -408,7 +406,11 @@ fn class_max_out_degree(g: &Graph, orient: &Orientation, class: &[EdgeId]) -> us
     let mut out_deg = vec![0u32; g.num_vertices()];
     for &e in class {
         let head = orient.head(e);
-        let tail = g.other_endpoint(e, head);
+        // lint: allow(panic, "orientation heads are validated endpoints of their edges")
+        let tail = g
+            .other_endpoint(e, head)
+            // lint: allow(panic, "orientation heads are endpoints by construction")
+            .expect("orientation heads are endpoints by construction");
         out_deg[tail.index()] += 1;
     }
     out_deg.iter().copied().max().unwrap_or(0) as usize

@@ -91,6 +91,7 @@ fn port_of(g: &Graph, v: VertexId, e: EdgeId) -> usize {
     g.incidence(v)
         .iter()
         .position(|&(_, f)| f == e)
+        // lint: allow(panic, "edge is incident on its endpoint")
         .expect("edge is incident on its endpoint")
 }
 

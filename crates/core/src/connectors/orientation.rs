@@ -133,7 +133,11 @@ pub fn orientation_connector(
     let mut heads = Vec::with_capacity(g.num_edges());
     for (e, _) in g.edge_list() {
         let head = orientation.head(e);
-        let tail = g.other_endpoint(e, head);
+        let tail = g
+            .other_endpoint(e, head)
+            .map_err(|err| AlgoError::InvariantViolated {
+                reason: err.to_string(),
+            })?;
         let cv_head = in_virtuals[head.index()][in_slot[e.index()] / s_in];
         let cv_tail = out_virtuals[tail.index()][out_slot[e.index()] / s_out];
         b.add_edge(cv_tail.index(), cv_head.index())

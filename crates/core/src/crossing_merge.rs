@@ -100,6 +100,7 @@ pub fn color_crossing_edges<V: GraphView + Sync>(
         // sweep at any pool size. The receiving port of each active edge
         // is resolved before the fan-out (the lazy port table is not
         // shareable across workers).
+        // lint: allow(determinism, "entry()-only first-occurrence numbering over the deterministic crossing scan; the map is never iterated, group order comes from the push order")
         let mut group_of: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
         let mut groups: Vec<Vec<(usize, usize)>> = Vec::new();
         for &e in crossing {

@@ -136,7 +136,7 @@ pub fn clique_decomposition(
     let full = VertexSubsetView::new(g, g.vertices().collect())?;
     let (labels, stats) = decompose_level_on(g, cover, &base, &full, diversity, t, x)?;
     // Compact the labels.
-    let mut map = std::collections::HashMap::new();
+    let mut map = std::collections::BTreeMap::new();
     let mut part = vec![0usize; g.num_vertices()];
     for (v, &l) in labels.iter().enumerate() {
         let next = map.len();
@@ -180,7 +180,7 @@ pub fn clique_decomposition_reference(
 
     let (labels, stats) = decompose_level(g, cover, &base, diversity, t, x)?;
     // Compact the labels.
-    let mut map = std::collections::HashMap::new();
+    let mut map = std::collections::BTreeMap::new();
     let mut part = vec![0usize; g.num_vertices()];
     for (v, &l) in labels.iter().enumerate() {
         let next = map.len();
@@ -444,7 +444,7 @@ fn finish_star_partition(
     labels: Vec<u64>,
     stats: NetworkStats,
 ) -> Result<StarPartition, AlgoError> {
-    let mut map = std::collections::HashMap::new();
+    let mut map = std::collections::BTreeMap::new();
     let mut class = vec![0usize; g.num_edges()];
     for (e, &l) in labels.iter().enumerate() {
         let next = map.len();

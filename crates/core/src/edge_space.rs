@@ -234,6 +234,7 @@ pub fn edge_coloring_direct_on<V: GraphView>(
                     alpha = Some(a);
                     break;
                 }
+                // lint: allow(panic, "a valid evaluation point exists by the pigeonhole argument")
                 let a = alpha.expect("a valid evaluation point exists by the pigeonhole argument");
                 colors[e.index()] = a * q + eval_poly(my, q, a);
             }
@@ -299,6 +300,7 @@ fn basic_phase<V: GraphView>(
             let eid = EdgeId::new(e as usize);
             let free = scratch
                 .mex_below(target, |mark| for_each_incident_color(g, colors, eid, mark))
+                // lint: allow(panic, "2Δ − 2 incident edges cannot block 2Δ − 1 colors")
                 .expect("2Δ − 2 incident edges cannot block 2Δ − 1 colors");
             colors[e as usize] = free;
             classes.put(free, e);
@@ -338,8 +340,9 @@ fn kw_phase<V: GraphView>(
                                 if c / (2 * t) == b {
                                     mark(c % (2 * t));
                                 }
-                            })
+                            });
                         })
+                        // lint: allow(panic, "Δ_L same-block neighbors cannot block t ≥ Δ_L + 1 colors")
                         .expect("Δ_L same-block neighbors cannot block t ≥ Δ_L + 1 colors");
                     let recolored = b * 2 * t + free;
                     colors[e as usize] = recolored;

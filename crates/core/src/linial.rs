@@ -65,6 +65,7 @@ pub(crate) fn choose_parameters(m: u64, delta: u64) -> (u64, u32) {
             break;
         }
     }
+    // lint: allow(panic, "deg = 1 always yields a candidate")
     best.expect("deg = 1 always yields a candidate")
 }
 
@@ -121,6 +122,7 @@ fn linial_round<V: GraphView>(
             alpha = Some(a);
             break;
         }
+        // lint: allow(panic, "a valid evaluation point exists by the pigeonhole argument")
         let a = alpha.expect("a valid evaluation point exists by the pigeonhole argument");
         colors[v] = a * q + eval_poly(my, q, a);
     }
@@ -151,6 +153,7 @@ pub fn linial_from_coloring<V: GraphView>(
     let mut trace = vec![m];
 
     if g.num_vertices() == 0 {
+        // lint: allow(panic, "empty coloring is valid")
         let coloring = VertexColoring::new(vec![], 1).expect("empty coloring is valid");
         return Ok(LinialResult {
             coloring,
@@ -160,6 +163,7 @@ pub fn linial_from_coloring<V: GraphView>(
     if delta == 0 {
         // No edges: everything can take color 0 without communication.
         let coloring =
+            // lint: allow(panic, "constant coloring")
             VertexColoring::new(vec![0; g.num_vertices()], 1).expect("constant coloring");
         return Ok(LinialResult {
             coloring,
@@ -184,6 +188,7 @@ pub fn linial_from_coloring<V: GraphView>(
 
     let colors_u32: Vec<u32> = colors
         .iter()
+        // lint: allow(panic, "palette fits u32 at the fixed point")
         .map(|&c| u32::try_from(c).expect("palette fits u32 at the fixed point"))
         .collect();
     let coloring =
@@ -311,6 +316,7 @@ pub fn linial_from_coloring_chunked<V: GraphView + Sync>(
     let mut stats = NetworkStats::default();
 
     if n == 0 {
+        // lint: allow(panic, "empty coloring is valid")
         let coloring = VertexColoring::new(vec![], 1).expect("empty coloring is valid");
         return Ok((
             LinialResult {
@@ -321,6 +327,7 @@ pub fn linial_from_coloring_chunked<V: GraphView + Sync>(
         ));
     }
     if delta == 0 {
+        // lint: allow(panic, "constant coloring")
         let coloring = VertexColoring::new(vec![0; n], 1).expect("constant coloring");
         return Ok((
             LinialResult {
@@ -369,6 +376,7 @@ pub fn linial_from_coloring_chunked<V: GraphView + Sync>(
                         break;
                     }
                     let a =
+                        // lint: allow(panic, "a valid evaluation point exists by the pigeonhole argument")
                         alpha.expect("a valid evaluation point exists by the pigeonhole argument");
                     out.push(a * q + eval_poly(my, q, a));
                 }
@@ -391,6 +399,7 @@ pub fn linial_from_coloring_chunked<V: GraphView + Sync>(
 
     let colors_u32: Vec<u32> = colors
         .iter()
+        // lint: allow(panic, "palette fits u32 at the fixed point")
         .map(|&c| u32::try_from(c).expect("palette fits u32 at the fixed point"))
         .collect();
     let coloring =

@@ -82,6 +82,7 @@ fn basic_reduction_rounds<V: GraphView>(
         for v in 0..colors.len() {
             if u64::from(colors[v]) == top {
                 colors[v] = mex_below(buf.row(VertexId::new(v)).copied(), target)
+                    // lint: allow(panic, "Δ neighbors cannot block Δ + 1 colors")
                     .expect("Δ neighbors cannot block Δ + 1 colors");
             }
         }
@@ -134,6 +135,7 @@ pub fn kw_reduction<V: GraphView>(
                         .filter(|&c| block_of(c) == b)
                         .map(|c| (u64::from(c) % (2 * t)) as Color);
                     let free = mex_below(local_used, t)
+                        // lint: allow(panic, "Δ same-block neighbors cannot block t ≥ Δ + 1 colors")
                         .expect("Δ same-block neighbors cannot block t ≥ Δ + 1 colors");
                     // Stay in the original block encoding during the
                     // phase so neighbors keep classifying us correctly.
@@ -221,6 +223,7 @@ pub fn edge_palette_trim<V: GraphView>(
                 .chain(buf.msg(u, pu).iter())
                 .copied();
             let free =
+                // lint: allow(panic, "2Δ − 2 incident edges cannot block 2Δ − 1 colors")
                 mex_below(used, target).expect("2Δ − 2 incident edges cannot block 2Δ − 1 colors");
             updates.push((e, free));
         }

@@ -1,6 +1,11 @@
 //! Incremental construction of [`Graph`]s.
 
-use std::collections::HashSet;
+// A `BTreeSet` (not `HashSet`): the builder participates in
+// result-affecting construction paths, and the workspace determinism
+// rule bans default-hasher containers there (`decolor-lint`,
+// det-hasher). Membership is all we need, and the ordered set keeps
+// every conceivable iteration deterministic.
+use std::collections::BTreeSet;
 
 use crate::error::GraphError;
 use crate::graph::Graph;
@@ -29,7 +34,7 @@ use crate::ids::VertexId;
 pub struct GraphBuilder {
     n: usize,
     edges: Vec<[VertexId; 2]>,
-    seen: Option<HashSet<(u32, u32)>>,
+    seen: Option<BTreeSet<(u32, u32)>>,
 }
 
 impl GraphBuilder {
@@ -38,7 +43,7 @@ impl GraphBuilder {
         GraphBuilder {
             n,
             edges: Vec::new(),
-            seen: Some(HashSet::new()),
+            seen: Some(BTreeSet::new()),
         }
     }
 
@@ -51,12 +56,10 @@ impl GraphBuilder {
         }
     }
 
-    /// Pre-allocates space for `m` edges.
+    /// Pre-allocates space for `m` edges (the dedup set is a B-tree and
+    /// needs no reservation).
     pub fn with_edge_capacity(mut self, m: usize) -> Self {
         self.edges.reserve(m);
-        if let Some(seen) = &mut self.seen {
-            seen.reserve(m);
-        }
         self
     }
 

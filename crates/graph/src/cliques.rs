@@ -187,6 +187,7 @@ impl CliqueCover {
         *self.cliques[q]
             .iter()
             .max()
+            // lint: allow(panic, "cliques are nonempty by construction")
             .expect("cliques are nonempty by construction")
     }
 
@@ -209,6 +210,7 @@ impl CliqueCover {
             }
         }
         CliqueCover::new_unchecked(sub.graph().num_vertices(), cliques)
+            // lint: allow(panic, "restriction of a well-formed cover is well-formed")
             .expect("restriction of a well-formed cover is well-formed")
     }
 
@@ -228,6 +230,7 @@ impl CliqueCover {
             }
         }
         CliqueCover::new_unchecked(view.num_vertices(), cliques)
+            // lint: allow(panic, "restriction of a well-formed cover is well-formed")
             .expect("restriction of a well-formed cover is well-formed")
     }
 
@@ -242,6 +245,7 @@ impl CliqueCover {
             }
         }
         CliqueCover::new_unchecked(g.num_vertices(), cliques)
+            // lint: allow(panic, "per-edge cover is well-formed")
             .expect("per-edge cover is well-formed")
     }
 }
@@ -296,6 +300,7 @@ pub fn maximal_cliques(g: &Graph) -> Vec<Vec<VertexId>> {
             .chain(x.iter())
             .copied()
             .max_by_key(|&u| p.iter().filter(|&&w| is_adj(u, w)).count())
+            // lint: allow(panic, "P ∪ X nonempty here")
             .expect("P ∪ X nonempty here");
         let candidates: Vec<VertexId> = p.iter().copied().filter(|&v| !is_adj(pivot, v)).collect();
         for v in candidates {

@@ -117,7 +117,7 @@ impl VertexColoring {
 
     /// Number of distinct colors actually used.
     pub fn distinct_colors(&self) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         self.colors.iter().filter(|&&c| seen.insert(c)).count()
     }
 
@@ -204,6 +204,7 @@ impl VertexColoring {
         let palette = outer
             .palette
             .checked_mul(self.palette)
+            // lint: allow(panic, "combined palette overflows u64")
             .expect("combined palette overflows u64");
         let colors = self
             .colors
@@ -211,6 +212,7 @@ impl VertexColoring {
             .zip(&outer.colors)
             .map(|(&inner, &out)| {
                 let combined = u64::from(out) * self.palette + u64::from(inner);
+                // lint: allow(panic, "combined color overflows u32")
                 u32::try_from(combined).expect("combined color overflows u32")
             })
             .collect();
@@ -220,7 +222,7 @@ impl VertexColoring {
     /// Renumbers colors to `0..k` (k = distinct colors), preserving
     /// properness, and shrinks the palette to `k`.
     pub fn compacted(&self) -> VertexColoring {
-        let mut map = std::collections::HashMap::new();
+        let mut map = std::collections::BTreeMap::new();
         let mut next: Color = 0;
         let colors = self
             .colors
@@ -303,7 +305,7 @@ impl EdgeColoring {
 
     /// Number of distinct colors actually used.
     pub fn distinct_colors(&self) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         self.colors.iter().filter(|&&c| seen.insert(c)).count()
     }
 
@@ -322,7 +324,7 @@ impl EdgeColoring {
     /// Returns a pair of conflicting incident edges, if any.
     pub fn first_violation<G: GraphView>(&self, g: &G) -> Option<(EdgeId, EdgeId)> {
         // Scan each vertex's incidence list for repeated colors.
-        let mut seen: std::collections::HashMap<Color, EdgeId> = std::collections::HashMap::new();
+        let mut seen: std::collections::BTreeMap<Color, EdgeId> = std::collections::BTreeMap::new();
         let mut hit = None;
         for v in (0..g.num_vertices()).map(VertexId::new) {
             seen.clear();
@@ -384,6 +386,7 @@ impl EdgeColoring {
         let palette = outer
             .palette
             .checked_mul(self.palette)
+            // lint: allow(panic, "combined palette overflows u64")
             .expect("combined palette overflows u64");
         let colors = self
             .colors
@@ -391,6 +394,7 @@ impl EdgeColoring {
             .zip(&outer.colors)
             .map(|(&inner, &out)| {
                 let combined = u64::from(out) * self.palette + u64::from(inner);
+                // lint: allow(panic, "combined color overflows u32")
                 u32::try_from(combined).expect("combined color overflows u32")
             })
             .collect();
@@ -399,7 +403,7 @@ impl EdgeColoring {
 
     /// Renumbers colors to `0..k`, preserving properness.
     pub fn compacted(&self) -> EdgeColoring {
-        let mut map = std::collections::HashMap::new();
+        let mut map = std::collections::BTreeMap::new();
         let mut next: Color = 0;
         let colors = self
             .colors

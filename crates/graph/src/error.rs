@@ -43,6 +43,14 @@ pub enum GraphError {
         /// Human-readable description of the failure.
         reason: String,
     },
+    /// A vertex was passed as an endpoint of an edge it does not belong
+    /// to (e.g. [`Graph::other_endpoint`](crate::Graph::other_endpoint)).
+    NotAnEndpoint {
+        /// The vertex that is not an endpoint.
+        vertex: usize,
+        /// The edge in question.
+        edge: usize,
+    },
     /// A validation failed (improper coloring, broken clique cover, ...).
     ValidationFailed {
         /// Human-readable description of the violated invariant.
@@ -71,6 +79,9 @@ impl fmt::Display for GraphError {
                     f,
                     "parallel edge between {u} and {v} (builder forbids parallel edges)"
                 )
+            }
+            GraphError::NotAnEndpoint { vertex, edge } => {
+                write!(f, "vertex {vertex} is not an endpoint of edge {edge}")
             }
             GraphError::InvalidParameters { reason } => write!(f, "invalid parameters: {reason}"),
             GraphError::GenerationFailed { reason } => write!(f, "generation failed: {reason}"),

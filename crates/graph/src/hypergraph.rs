@@ -35,7 +35,7 @@ impl Hypergraph {
     /// repeated vertices inside a hyperedge, hyperedges of size < 2, or
     /// duplicate hyperedges.
     pub fn new(n: usize, mut edges: Vec<Vec<usize>>) -> Result<Self, GraphError> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for (i, e) in edges.iter_mut().enumerate() {
             if e.len() < 2 {
                 return Err(GraphError::InvalidParameters {
@@ -130,6 +130,7 @@ impl Hypergraph {
                     // Two hyperedges may share several vertices; dedup.
                     let _ = b
                         .add_edge_dedup(e1, e2)
+                        // lint: allow(panic, "indices are in range by construction")
                         .expect("indices are in range by construction");
                 }
             }
@@ -142,6 +143,7 @@ impl Hypergraph {
             .map(|mem| mem.iter().map(|&e| VertexId::new(e)).collect())
             .collect();
         let cover = CliqueCover::new_unchecked(m, cliques)
+            // lint: allow(panic, "canonical hypergraph cover is well-formed")
             .expect("canonical hypergraph cover is well-formed");
         HypergraphLineGraph { graph, cover }
     }

@@ -43,6 +43,7 @@ impl VertexId {
     /// Panics if `index` does not fit in `u32`.
     #[inline]
     pub fn new(index: usize) -> Self {
+        // lint: allow(panic, "vertex index exceeds u32::MAX")
         VertexId(u32::try_from(index).expect("vertex index exceeds u32::MAX"))
     }
 
@@ -61,6 +62,7 @@ impl EdgeId {
     /// Panics if `index` does not fit in `u32`.
     #[inline]
     pub fn new(index: usize) -> Self {
+        // lint: allow(panic, "edge index exceeds u32::MAX")
         EdgeId(u32::try_from(index).expect("edge index exceeds u32::MAX"))
     }
 

@@ -59,6 +59,7 @@ impl LineGraph {
                     // Distinct simple-graph edges share at most one vertex,
                     // so each line edge is added exactly once.
                     b.add_edge(e1.index(), e2.index())
+                        // lint: allow(panic, "line edges are unique for simple graphs")
                         .expect("line edges are unique for simple graphs");
                 }
             }
@@ -74,6 +75,7 @@ impl LineGraph {
             })
             .collect();
         let cover =
+            // lint: allow(panic, "canonical line cover is well-formed")
             CliqueCover::new_unchecked(m, cliques).expect("canonical line cover is well-formed");
         LineGraph { graph, cover }
     }

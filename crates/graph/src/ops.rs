@@ -19,11 +19,13 @@ pub fn disjoint_union(a: &Graph, b: &Graph) -> Graph {
     for (_, [u, v]) in a.edge_list() {
         builder
             .add_edge(u.index(), v.index())
+            // lint: allow(panic, "edges of a are valid")
             .expect("edges of a are valid");
     }
     for (_, [u, v]) in b.edge_list() {
         builder
             .add_edge(na + u.index(), na + v.index())
+            // lint: allow(panic, "edges of b are valid")
             .expect("edges of b are valid");
     }
     builder.build()
@@ -66,6 +68,7 @@ pub fn complement(g: &Graph) -> Graph {
     for u in 0..n {
         for v in (u + 1)..n {
             if !g.has_edge(VertexId::new(u), VertexId::new(v)) {
+                // lint: allow(panic, "complement edges are valid")
                 builder.add_edge(u, v).expect("complement edges are valid");
             }
         }

@@ -96,6 +96,8 @@ impl Orientation {
     #[inline]
     pub fn tail(&self, g: &Graph, e: EdgeId) -> VertexId {
         g.other_endpoint(e, self.head(e))
+            // lint: allow(panic, "every Orientation constructor validates or derives heads from endpoints, so head(e) is an endpoint of e")
+            .expect("orientation heads are endpoints by construction")
     }
 
     /// `true` if `e` points out of `v` (i.e. `v` is the tail).

@@ -89,6 +89,7 @@ pub fn degeneracy_ordering(g: &Graph) -> DegeneracyOrdering {
             while cur <= maxd && buckets[cur].is_empty() {
                 cur += 1;
             }
+            // lint: allow(panic, "bucket nonempty")
             let cand = buckets[cur].pop().expect("bucket nonempty");
             // Stale entries (vertex already removed, or re-queued at a
             // lower degree) are simply skipped; `cur` is rewound whenever a

@@ -435,7 +435,12 @@ impl ShardedCsrBuilder {
         if shard != self.ep_shard {
             self.open_ep_shard(shard)?;
         }
-        let w = self.ep_writer.as_mut().expect("a shard writer is open");
+        let w = self.ep_writer.as_mut().ok_or_else(|| GraphError::Io {
+            reason: format!(
+                "no endpoint shard writer open under {} (builder already finished?)",
+                self.dir.display()
+            ),
+        })?;
         w.write_all(&(lo as u32).to_le_bytes())
             .and_then(|()| w.write_all(&(hi as u32).to_le_bytes()))
             .map_err(|e| io_err("cannot write endpoint shard under", &self.dir, e))?;

@@ -342,6 +342,7 @@ pub trait GraphView {
     /// [`Graph`] overrides it with its own implementation. Used by entry
     /// points whose constructions require a simple input.
     fn has_parallel_edges(&self) -> bool {
+        // lint: allow(determinism, "membership-only duplicate probe over the O(m) endpoint scan; never iterated, so hash order cannot reach the result")
         let mut seen = std::collections::HashSet::with_capacity(self.num_edges());
         (0..self.num_edges()).any(|e| !seen.insert(self.endpoints(EdgeId::new(e))))
     }
@@ -486,6 +487,7 @@ impl<'g, P: GraphView> EdgeSubgraphView<'g, P> {
     /// The view covering every edge of `parent` (the recursion's root).
     pub fn full(parent: &'g P) -> Self {
         EdgeSubgraphView::new(parent, (0..parent.num_edges()).map(EdgeId::new).collect())
+            // lint: allow(panic, "the full edge list is ascending and in range")
             .expect("the full edge list is ascending and in range")
     }
 
@@ -588,6 +590,7 @@ impl<P: GraphView> GraphView for EdgeSubgraphView<'_, P> {
                 active += 1;
             }
         }
+        // lint: allow(panic, "p < active degree guarantees a hit: the caller bounds p by the view's active degree of v, and the loop visits exactly that many active ports")
         unreachable!("p < active degree guarantees a hit")
     }
 }
@@ -796,6 +799,7 @@ impl<'g, P: GraphView> InducedSubgraphView<'g, P> {
                     adj[cursor] = (
                         subset
                             .local_of(u)
+                            // lint: allow(panic, "induced edge endpoints are in the subset")
                             .expect("induced edge endpoints are in the subset"),
                         EdgeId::new(edge_bits.rank(e.index())),
                     );
@@ -861,7 +865,9 @@ impl<P: GraphView> GraphView for InducedSubgraphView<'_, P> {
         let [u, v] = self.subset.parent().endpoints(self.edges[e.index()]);
         // Rank is monotone, so the local pair stays ascending.
         [
+            // lint: allow(panic, "endpoint is in the subset")
             self.subset.local_of(u).expect("endpoint is in the subset"),
+            // lint: allow(panic, "endpoint is in the subset")
             self.subset.local_of(v).expect("endpoint is in the subset"),
         ]
     }

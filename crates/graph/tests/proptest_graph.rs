@@ -19,7 +19,7 @@ proptest! {
         prop_assert_eq!(degree_sum, 2 * g.num_edges());
         for v in g.vertices() {
             for &(u, e) in g.incidence(v) {
-                prop_assert_eq!(g.other_endpoint(e, v), u);
+                prop_assert_eq!(g.other_endpoint(e, v).unwrap(), u);
                 prop_assert!(g.incidence(u).iter().any(|&(w, f)| w == v && f == e));
             }
         }

@@ -1,0 +1,124 @@
+//! Maps workspace-relative paths to the rule set that applies to them.
+//!
+//! The scope table encodes the repo's invariants (see README "Static
+//! guarantees"):
+//!
+//! | scope | panic | unsafe | thread | env | time | hasher |
+//! |---|---|---|---|---|---|---|
+//! | library crates (`graph`, `runtime`, `core`, `baselines`) + facade | ✓ | ✓ | ✓ | ✓ | ✓ | ✓ |
+//! | `crates/lint` (dogfood) | ✓ | ✓ | ✓ | ✓ | ✓ | ✓ |
+//! | `crates/bench`, `crates/cli` (timing/presentation layers) | – | ✓ | ✓ | ✓ | – | – |
+//! | `vendor/rayon` (the pool: owns threads + `DECOLOR_THREADS`) | – | ✓ | – | – | ✓ | ✓ |
+//! | `vendor/criterion` (the timing harness) | – | ✓ | ✓ | ✓ | – | ✓ |
+//! | other `vendor/*` | – | ✓ | ✓ | ✓ | ✓ | ✓ |
+
+use crate::rules::RuleSet;
+
+/// The crates that must keep their `#![forbid(unsafe_code)]` attribute
+/// (workspace-relative `lib.rs` paths).
+pub const FORBID_UNSAFE_LIBS: [&str; 5] = [
+    "crates/graph/src/lib.rs",
+    "crates/runtime/src/lib.rs",
+    "crates/core/src/lib.rs",
+    "crates/baselines/src/lib.rs",
+    "crates/bench/src/lib.rs",
+];
+
+const LIBRARY_SCOPES: [&str; 6] = [
+    "src/",
+    "crates/graph/src/",
+    "crates/runtime/src/",
+    "crates/core/src/",
+    "crates/baselines/src/",
+    "crates/lint/src/",
+];
+
+const TIMING_SCOPES: [&str; 2] = ["crates/bench/src/", "crates/cli/src/"];
+
+/// The rule set for a workspace-relative path (forward slashes), or
+/// `None` when the file is out of scope (tests, examples, fixtures).
+pub fn rules_for(rel_path: &str) -> Option<RuleSet> {
+    if LIBRARY_SCOPES.iter().any(|p| rel_path.starts_with(p)) {
+        return Some(RuleSet {
+            panic: true,
+            safety: true,
+            thread: true,
+            env: true,
+            time: true,
+            hasher: true,
+        });
+    }
+    if TIMING_SCOPES.iter().any(|p| rel_path.starts_with(p)) {
+        return Some(RuleSet {
+            panic: false,
+            safety: true,
+            thread: true,
+            env: true,
+            time: false,
+            hasher: false,
+        });
+    }
+    if rel_path.starts_with("vendor/rayon/src/") {
+        // The pool legitimately owns scoped worker threads and the
+        // `DECOLOR_THREADS` environment read.
+        return Some(RuleSet {
+            panic: false,
+            safety: true,
+            thread: false,
+            env: false,
+            time: true,
+            hasher: true,
+        });
+    }
+    if rel_path.starts_with("vendor/criterion/src/") {
+        // The bench harness legitimately measures wall-clock time.
+        return Some(RuleSet {
+            panic: false,
+            safety: true,
+            thread: true,
+            env: true,
+            time: false,
+            hasher: true,
+        });
+    }
+    if rel_path.starts_with("vendor/") && rel_path.contains("/src/") {
+        return Some(RuleSet {
+            panic: false,
+            safety: true,
+            thread: true,
+            env: true,
+            time: true,
+            hasher: true,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_crates_get_the_full_set() {
+        let r = rules_for("crates/core/src/linial.rs").unwrap();
+        assert!(r.panic && r.hasher && r.time && r.thread && r.env);
+    }
+
+    #[test]
+    fn bench_and_cli_may_time_and_panic() {
+        let r = rules_for("crates/bench/src/bin/scaling.rs").unwrap();
+        assert!(!r.panic && !r.time && r.thread);
+    }
+
+    #[test]
+    fn rayon_owns_threads_and_env() {
+        let r = rules_for("vendor/rayon/src/lib.rs").unwrap();
+        assert!(!r.thread && !r.env && r.safety);
+    }
+
+    #[test]
+    fn tests_and_fixtures_are_out_of_scope() {
+        assert!(rules_for("crates/core/tests/view_equivalence.rs").is_none());
+        assert!(rules_for("examples/quickstart.rs").is_none());
+    }
+}

@@ -1,0 +1,431 @@
+//! A minimal, dependency-free Rust lexer for the invariant linter.
+//!
+//! The rule engine must never fire on text that is not load-bearing
+//! code: string literals (`"unwrap()"` in a diagnostic message), doc
+//! examples (which live inside `///` comments), `#[cfg(test)]` modules
+//! and items, and ordinary comments. This lexer classifies every
+//! character of a source file and produces
+//!
+//! * [`Lexed::code`] — the source split into lines with everything that
+//!   is not compiled, non-test code blanked to spaces (columns are
+//!   preserved, so reported positions match the original file), and
+//! * [`Lexed::comments`] — the comment text attached to each line, kept
+//!   separately so the engine can read `// SAFETY:` justifications and
+//!   `// lint: allow(...)` annotations.
+//!
+//! It understands line and (nested) block comments, string literals with
+//! escapes, raw strings (`r"…"`, `r#"…"#`, …), byte and C strings
+//! (`b"…"`, `c"…"`, `br#"…"#`), raw identifiers (`r#fn`), char and byte
+//! literals including escapes (`'\''`, `'\u{1F980}'`, `b'x'`), and
+//! lifetimes (`'a` is code, not an unterminated char literal).
+
+/// A source file with every non-code character blanked out.
+#[derive(Debug)]
+pub struct Lexed {
+    /// One entry per source line: the line's code with comments, literal
+    /// contents, and `#[cfg(test)]` items replaced by spaces.
+    pub code: Vec<String>,
+    /// One entry per source line: the concatenated comment text starting
+    /// on that line (empty when the line has no comment).
+    pub comments: Vec<String>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Blanks `chars[from..to]` to spaces, preserving newlines.
+fn blank(chars: &mut [char], from: usize, to: usize) {
+    for c in chars.iter_mut().take(to).skip(from) {
+        if *c != '\n' {
+            *c = ' ';
+        }
+    }
+}
+
+/// Consumes a `"…"` string literal starting at the opening quote,
+/// returning the index one past the closing quote (or the end of input
+/// for an unterminated literal).
+fn scan_string(chars: &[char], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    chars.len()
+}
+
+/// Consumes a raw string starting at the first `#` or `"` after the
+/// prefix identifier (`r`, `br`, `cr`). Returns `None` when the hashes
+/// are not followed by a quote — that is a raw identifier like `r#fn`,
+/// which is ordinary code.
+fn scan_raw_string(chars: &[char], start: usize) -> Option<usize> {
+    let mut hashes = 0usize;
+    let mut i = start;
+    while i < chars.len() && chars[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= chars.len() || chars[i] != '"' {
+        return None;
+    }
+    i += 1;
+    while i < chars.len() {
+        if chars[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && j < chars.len() && chars[j] == '#' {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return Some(j);
+            }
+        }
+        i += 1;
+    }
+    Some(chars.len())
+}
+
+/// Consumes a `'…'` char/byte literal or recognizes a lifetime at the
+/// opening quote. Returns `(end, is_literal)`: for a lifetime, `end` is
+/// just past the quote and the text stays code.
+fn scan_quote(chars: &[char], start: usize) -> (usize, bool) {
+    let n = chars.len();
+    if start + 1 >= n {
+        return (start + 1, false);
+    }
+    let next = chars[start + 1];
+    if next == '\\' {
+        // Escaped char literal: '\n', '\'', '\\', '\u{…}'.
+        let mut i = start + 2;
+        if i < n && chars[i] == 'u' && i + 1 < n && chars[i + 1] == '{' {
+            i += 2;
+            while i < n && chars[i] != '}' {
+                i += 1;
+            }
+        }
+        i += 1; // the escaped character (or the closing '}')
+        while i < n && chars[i] != '\'' {
+            i += 1;
+        }
+        return (usize::min(i + 1, n), true);
+    }
+    if is_ident_start(next) {
+        // 'a' is a char literal only when a quote follows immediately;
+        // otherwise this is a lifetime (or a loop label).
+        if start + 2 < n && chars[start + 2] == '\'' {
+            return (start + 3, true);
+        }
+        return (start + 1, false);
+    }
+    if start + 2 < n && chars[start + 2] == '\'' {
+        return (start + 3, true); // e.g. '(' or '0'
+    }
+    (start + 1, false)
+}
+
+/// Pass 1: blanks comments and literal contents in `chars`, appending
+/// comment text (per starting line) into `comments`.
+fn strip_comments_and_literals(chars: &mut [char], line_of: &[usize], comments: &mut [String]) {
+    let n = chars.len();
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            comments[line_of[start]].push_str(&text);
+            blank(chars, start, i);
+        } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            let mut frag = start;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        let text: String = chars[frag..i].iter().collect();
+                        comments[line_of[frag]].push_str(&text);
+                        frag = i + 1;
+                    }
+                    i += 1;
+                }
+            }
+            if frag < i {
+                let end = usize::min(i, n);
+                let text: String = chars[frag..end].iter().collect();
+                comments[line_of[frag]].push_str(&text);
+            }
+            blank(chars, start, i);
+        } else if c == '"' {
+            let end = scan_string(chars, i);
+            blank(chars, i, end);
+            i = end;
+        } else if c == '\'' {
+            let (end, is_literal) = scan_quote(chars, i);
+            if is_literal {
+                blank(chars, i, end);
+            }
+            i = end;
+        } else if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            let ident: String = chars[start..i].iter().collect();
+            if i < n {
+                match ident.as_str() {
+                    "r" | "br" | "cr" if chars[i] == '"' || chars[i] == '#' => {
+                        if let Some(end) = scan_raw_string(chars, i) {
+                            blank(chars, start, end);
+                            i = end;
+                        }
+                    }
+                    "b" | "c" if chars[i] == '"' => {
+                        let end = scan_string(chars, i);
+                        blank(chars, start, end);
+                        i = end;
+                    }
+                    "b" if chars[i] == '\'' => {
+                        let (end, is_literal) = scan_quote(chars, i);
+                        if is_literal {
+                            blank(chars, start, end);
+                        }
+                        i = end;
+                    }
+                    _ => {}
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Returns `true` when attribute content (the text inside `#[…]`) is a
+/// `cfg(...)` whose predicate mentions `test` as a full word — i.e. the
+/// annotated item only compiles into test builds.
+fn is_cfg_test(inner: &str) -> bool {
+    let trimmed = inner.trim_start();
+    let Some(rest) = trimmed.strip_prefix("cfg") else {
+        return false;
+    };
+    if !rest.trim_start().starts_with('(') {
+        return false;
+    }
+    let bytes: Vec<char> = rest.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == 't' && bytes[i..].starts_with(&['t', 'e', 's', 't']) {
+            let before_ok = i == 0 || !is_ident_continue(bytes[i - 1]);
+            let after = bytes.get(i + 4).copied();
+            let after_ok = after.is_none_or(|c| !is_ident_continue(c));
+            if before_ok && after_ok {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Skips whitespace (spaces/newlines) from `i`, returning the first
+/// non-whitespace index (or `len`).
+fn skip_ws(chars: &[char], mut i: usize) -> usize {
+    while i < chars.len() && chars[i].is_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Parses an attribute starting at `#` (with optional `!`), returning
+/// `(inner_text, end_index)` one past the closing `]`, or `None` when
+/// the `#` does not open an attribute.
+fn parse_attribute(chars: &[char], start: usize) -> Option<(String, usize)> {
+    let mut i = start + 1;
+    if i < chars.len() && chars[i] == '!' {
+        i += 1;
+    }
+    i = skip_ws(chars, i);
+    if i >= chars.len() || chars[i] != '[' {
+        return None;
+    }
+    let open = i;
+    let mut depth = 0usize;
+    while i < chars.len() {
+        match chars[i] {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    let inner: String = chars[open + 1..i].iter().collect();
+                    return Some((inner, i + 1));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Pass 2: blanks every item annotated `#[cfg(test)]` (or any `cfg`
+/// predicate mentioning `test`), including the attribute itself, any
+/// stacked attributes, and the item's balanced `{…}` body (or through
+/// the `;` of a declaration like `mod tests;`).
+fn strip_cfg_test_items(chars: &mut [char]) {
+    let n = chars.len();
+    let mut i = 0;
+    while i < n {
+        if chars[i] != '#' {
+            i += 1;
+            continue;
+        }
+        let Some((inner, attr_end)) = parse_attribute(chars, i) else {
+            i += 1;
+            continue;
+        };
+        if !is_cfg_test(&inner) {
+            i = attr_end;
+            continue;
+        }
+        // Skip stacked attributes after the cfg(test) one.
+        let mut j = skip_ws(chars, attr_end);
+        while j < n && chars[j] == '#' {
+            let Some((_, next_end)) = parse_attribute(chars, j) else {
+                break;
+            };
+            j = skip_ws(chars, next_end);
+        }
+        // Consume the annotated item: through a balanced `{…}` body, or
+        // to the first `;` outside brackets.
+        let mut depth = 0isize;
+        let mut end = n;
+        while j < n {
+            match chars[j] {
+                '(' | '[' => depth += 1,
+                ')' | ']' => depth -= 1,
+                ';' if depth == 0 => {
+                    end = j + 1;
+                    break;
+                }
+                '{' => {
+                    let mut braces = 1isize;
+                    j += 1;
+                    while j < n && braces > 0 {
+                        match chars[j] {
+                            '{' => braces += 1,
+                            '}' => braces -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    end = j;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        blank(chars, i, end);
+        i = end;
+    }
+}
+
+/// Lexes `source` into code and comment lines. See the module docs for
+/// what counts as code.
+pub fn lex(source: &str) -> Lexed {
+    let mut chars: Vec<char> = source.chars().collect();
+    let mut line_of = Vec::with_capacity(chars.len());
+    let mut line = 0usize;
+    for &c in &chars {
+        line_of.push(line);
+        if c == '\n' {
+            line += 1;
+        }
+    }
+    let num_lines = line + 1;
+    let mut comments = vec![String::new(); num_lines];
+
+    strip_comments_and_literals(&mut chars, &line_of, &mut comments);
+    strip_cfg_test_items(&mut chars);
+
+    let mut code = vec![String::new(); num_lines];
+    let mut current = 0usize;
+    for &c in &chars {
+        if c == '\n' {
+            current += 1;
+        } else {
+            code[current].push(c);
+        }
+    }
+    Lexed { code, comments }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lexed = lex("let x = \"call .unwrap() here\";\n");
+        assert!(!lexed.code[0].contains("unwrap"));
+        assert!(lexed.code[0].contains("let x ="));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_identifiers() {
+        let lexed = lex("let s = r#\"panic!(\"no\")\"#;\nlet r#fn = 1;\n");
+        assert!(!lexed.code[0].contains("panic"));
+        assert!(lexed.code[1].contains("r#fn"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\n");
+        assert!(lexed.code[0].contains("'a"));
+        assert!(!lexed.code[1].contains('x'));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let lexed = lex("/// ```\n/// x.unwrap();\n/// ```\nfn f() {}\n");
+        assert!(lexed.code[0].trim().is_empty());
+        assert!(lexed.code[1].trim().is_empty());
+        assert!(lexed.comments[1].contains("unwrap"));
+        assert!(lexed.code[3].contains("fn f"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_blanked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let lexed = lex(src);
+        assert!(lexed.code[0].contains("live"));
+        assert!(lexed.code[3].trim().is_empty());
+        assert!(lexed.code[5].contains("after"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* a /* b */ c.unwrap() */ fn f() {}\n");
+        assert!(!lexed.code[0].contains("unwrap"));
+        assert!(lexed.code[0].contains("fn f"));
+    }
+}

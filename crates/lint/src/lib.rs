@@ -1,0 +1,156 @@
+//! # decolor-lint
+//!
+//! Workspace invariant linter for the `decolor` workspace: a static CI
+//! gate for the properties the equivalence test suites enforce only
+//! dynamically — panic-free library error paths, `unsafe`/`SAFETY`
+//! hygiene in vendored shims, and determinism (no ambient threads,
+//! environment, clocks, or randomized-iteration-order containers in
+//! result-affecting code).
+//!
+//! The linter is two small layers:
+//!
+//! * [`lexer`] — a comment-, string-, raw-string-, char-literal-, and
+//!   `#[cfg(test)]`-aware scrubber that reduces a source file to its
+//!   load-bearing code (plus the comment text, for `// SAFETY:` and
+//!   `// lint: allow(...)` justifications), and
+//! * [`rules`] — the per-line checks, scoped per crate by [`config`].
+//!
+//! Run it with `cargo run -p decolor-lint` from the workspace root; it
+//! prints `file:line: [rule] message` diagnostics and exits non-zero on
+//! any violation. The `workspace_is_clean` integration test runs the
+//! same walk in-process, so a violation also fails `cargo test`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rules::{Rule, Violation};
+
+/// Lints one source string under the rule set for `rel_path`.
+///
+/// Returns an empty list for out-of-scope paths.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
+    let Some(rules) = config::rules_for(rel_path) else {
+        return Vec::new();
+    };
+    let lexed = lexer::lex(source);
+    rules::lint_lexed(&lexed, &rules)
+}
+
+/// Recursively collects `.rs` files under `dir` (sorted for stable
+/// output).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace-relative source roots the linter walks.
+fn source_roots(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut roots = vec![root.join("src")];
+    for parent in ["crates", "vendor"] {
+        let dir = root.join(parent);
+        let entries =
+            fs::read_dir(&dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let mut members: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                members.push(src);
+            }
+        }
+        members.sort();
+        roots.extend(members);
+    }
+    Ok(roots)
+}
+
+/// A violation bound to the file it occurred in.
+#[derive(Clone, Debug)]
+pub struct FileViolation {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// The violation itself.
+    pub violation: Violation,
+    /// The offending source line, trimmed, for diagnostics.
+    pub excerpt: String,
+}
+
+/// Lints the whole workspace rooted at `root`: every `.rs` file under
+/// `src/`, `crates/*/src/`, and `vendor/*/src/`, plus the
+/// `#![forbid(unsafe_code)]` presence check on the library crates.
+///
+/// # Errors
+///
+/// An error string when the root does not look like the workspace or a
+/// file cannot be read.
+pub fn lint_workspace(root: &Path) -> Result<Vec<FileViolation>, String> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(format!(
+            "{} does not contain a Cargo.toml (pass the workspace root)",
+            root.display()
+        ));
+    }
+    let mut files = Vec::new();
+    for dir in source_roots(root)? {
+        collect_rs(&dir, &mut files)?;
+    }
+    let mut out = Vec::new();
+    for path in &files {
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => path.to_string_lossy().into_owned(),
+        };
+        let source =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let lines: Vec<&str> = source.lines().collect();
+        for violation in lint_source(&rel, &source) {
+            let excerpt = lines
+                .get(violation.line.saturating_sub(1))
+                .map_or(String::new(), |l| l.trim().to_string());
+            out.push(FileViolation {
+                path: rel.clone(),
+                violation,
+                excerpt,
+            });
+        }
+    }
+    // Crate-level attribute checks.
+    for lib in config::FORBID_UNSAFE_LIBS {
+        let path = root.join(lib);
+        let source = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let lexed = lexer::lex(&source);
+        if !rules::has_forbid_unsafe(&lexed) {
+            out.push(FileViolation {
+                path: lib.to_string(),
+                violation: Violation {
+                    line: 1,
+                    rule: Rule::UnsafeSafety,
+                    message: "crate must keep its `#![forbid(unsafe_code)]` attribute".into(),
+                },
+                excerpt: String::new(),
+            });
+        }
+    }
+    Ok(out)
+}

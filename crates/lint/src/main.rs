@@ -1,0 +1,69 @@
+//! `decolor-lint` — the workspace invariant linter as a CI gate.
+//!
+//! Usage: `decolor-lint [--root <dir>] [--quiet]`
+//!
+//! Walks `src/`, `crates/*/src/`, and `vendor/*/src/` under the root
+//! (default: the current directory), prints `file:line: [rule] message`
+//! diagnostics, and exits 1 on any violation (2 on usage or I/O
+//! errors). See the README's "Static guarantees" section for the rules.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn run() -> Result<bool, String> {
+    let mut root = PathBuf::from(".");
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    return Err("--root needs a directory argument".into());
+                };
+                root = PathBuf::from(dir);
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: decolor-lint [--root <dir>] [--quiet]");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+
+    let violations = decolor_lint::lint_workspace(&root)?;
+    if violations.is_empty() {
+        if !quiet {
+            println!("decolor-lint: workspace invariants hold");
+        }
+        return Ok(true);
+    }
+    for fv in &violations {
+        eprintln!(
+            "{}:{}: [{}] {}",
+            fv.path,
+            fv.violation.line,
+            fv.violation.rule.name(),
+            fv.violation.message
+        );
+        if !fv.excerpt.is_empty() {
+            eprintln!("    {}", fv.excerpt);
+        }
+    }
+    eprintln!(
+        "decolor-lint: {} violation(s) — see README \"Static guarantees\"",
+        violations.len()
+    );
+    Ok(false)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("decolor-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

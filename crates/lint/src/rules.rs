@@ -1,0 +1,399 @@
+//! The rule engine: scans [`Lexed`](crate::lexer::Lexed) code lines for
+//! invariant violations, honoring `// lint: allow(<family>, "<reason>")`
+//! annotations.
+//!
+//! Three rule families are enforced (see the README's "Static
+//! guarantees" section):
+//!
+//! * **panic** — no `.unwrap()` / `.expect(…)` / `panic!` / `todo!` /
+//!   `unimplemented!` / `unreachable!` in non-test library code.
+//! * **unsafe** — every line containing the `unsafe` keyword must carry
+//!   a `// SAFETY:` comment on the same line or within the preceding
+//!   lines.
+//! * **determinism** — no `std::thread::spawn`/`thread::scope` outside
+//!   the vendored pool, no `env::var`, no `Instant::now`/`SystemTime`
+//!   outside timing crates, and no default-hasher `HashMap`/`HashSet`
+//!   in result-affecting crates (per-process randomized iteration order
+//!   can silently break the bit-identical equivalence suites).
+//!
+//! An annotation applies to the next line that carries code (or to its
+//! own line, for trailing comments), and must name the rule family and
+//! give a non-empty reason.
+
+use crate::lexer::Lexed;
+
+/// How many lines above an `unsafe` keyword a `// SAFETY:` comment is
+/// searched for (attributes or the end of a long argument list may sit
+/// between the comment and the keyword).
+const SAFETY_WINDOW: usize = 8;
+
+/// One enforced rule. `family` groups rules for `allow` annotations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// Panic-family call or macro in library code.
+    Panic,
+    /// `unsafe` without a `// SAFETY:` justification.
+    UnsafeSafety,
+    /// `thread::spawn` / `thread::scope` outside the vendored pool.
+    DetThread,
+    /// `env::var` outside the vendored pool's `DECOLOR_THREADS` read.
+    DetEnv,
+    /// `Instant::now` / `SystemTime` outside timing crates.
+    DetTime,
+    /// Default-hasher `HashMap` / `HashSet` in result-affecting code.
+    DetHasher,
+    /// A malformed `// lint: allow(...)` annotation (missing reason).
+    AllowSyntax,
+}
+
+impl Rule {
+    /// The rule's diagnostic name, printed in brackets.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::UnsafeSafety => "unsafe-safety",
+            Rule::DetThread => "det-thread",
+            Rule::DetEnv => "det-env",
+            Rule::DetTime => "det-time",
+            Rule::DetHasher => "det-hasher",
+            Rule::AllowSyntax => "allow-syntax",
+        }
+    }
+
+    /// The annotation family that silences this rule.
+    pub fn family(self) -> &'static str {
+        match self {
+            Rule::Panic => "panic",
+            Rule::UnsafeSafety => "unsafe",
+            Rule::DetThread | Rule::DetEnv | Rule::DetTime | Rule::DetHasher => "determinism",
+            Rule::AllowSyntax => "allow-syntax",
+        }
+    }
+}
+
+/// Which rules apply to a file (decided per crate by
+/// [`crate::config`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RuleSet {
+    /// Enforce the panic-freedom rule.
+    pub panic: bool,
+    /// Enforce `// SAFETY:` on `unsafe`.
+    pub safety: bool,
+    /// Forbid `thread::spawn` / `thread::scope`.
+    pub thread: bool,
+    /// Forbid `env::var`.
+    pub env: bool,
+    /// Forbid `Instant::now` / `SystemTime`.
+    pub time: bool,
+    /// Forbid default-hasher `HashMap` / `HashSet`.
+    pub hasher: bool,
+}
+
+/// A single diagnostic: 1-based line, the violated rule, and a message.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// 1-based source line.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Positions in `line` where `name` appears as a full identifier.
+fn ident_positions(line: &str, name: &str) -> Vec<usize> {
+    let chars: Vec<char> = line.chars().collect();
+    let needle: Vec<char> = name.chars().collect();
+    let mut out = Vec::new();
+    if needle.is_empty() || chars.len() < needle.len() {
+        return out;
+    }
+    for i in 0..=chars.len() - needle.len() {
+        if chars[i..i + needle.len()] != needle[..] {
+            continue;
+        }
+        let before_ok = i == 0 || !is_ident_char(chars[i - 1]);
+        let after = chars.get(i + needle.len()).copied();
+        let after_ok = !after.is_some_and(is_ident_char);
+        if before_ok && after_ok {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// `true` if the identifier at `pos` (of length `len`) is a method call:
+/// preceded (modulo spaces) by `.` and followed (modulo spaces) by `(`.
+fn is_method_call(line: &str, pos: usize, len: usize) -> bool {
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = pos;
+    let mut dotted = false;
+    while i > 0 {
+        i -= 1;
+        if chars[i] == ' ' {
+            continue;
+        }
+        dotted = chars[i] == '.';
+        break;
+    }
+    if !dotted {
+        return false;
+    }
+    let mut j = pos + len;
+    while j < chars.len() && chars[j] == ' ' {
+        j += 1;
+    }
+    j < chars.len() && chars[j] == '('
+}
+
+/// `true` if the identifier at `pos` (of length `len`) is a macro
+/// invocation: followed (modulo spaces) by `!`.
+fn is_macro_call(line: &str, pos: usize, len: usize) -> bool {
+    let chars: Vec<char> = line.chars().collect();
+    let mut j = pos + len;
+    while j < chars.len() && chars[j] == ' ' {
+        j += 1;
+    }
+    j < chars.len() && chars[j] == '!'
+}
+
+/// Parsed `// lint: allow(<family>, "<reason>")` annotation.
+struct AllowDirective {
+    family: String,
+    has_reason: bool,
+}
+
+/// Extracts `lint: allow(...)` directives from one line's comment text.
+fn parse_allows(comment: &str) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find("lint:") {
+        rest = &rest[at + "lint:".len()..];
+        let trimmed = rest.trim_start();
+        let Some(args) = trimmed.strip_prefix("allow(") else {
+            continue;
+        };
+        let family: String = args
+            .chars()
+            .take_while(|c| is_ident_char(*c))
+            .collect::<String>();
+        rest = args;
+        if family.is_empty() {
+            // Prose mentioning `lint: allow(...)` or `allow(<family>`,
+            // not a directive.
+            continue;
+        }
+        let after = &args[family.len()..];
+        let after = after.trim_start();
+        let has_reason = after
+            .strip_prefix(',')
+            .map(str::trim_start)
+            .and_then(|s| s.strip_prefix('"'))
+            .is_some_and(|s| s.chars().take_while(|&c| c != '"').count() >= 3);
+        out.push(AllowDirective { family, has_reason });
+    }
+    out
+}
+
+/// The lines allowed per family: `allows[line]` holds the families whose
+/// rules are silenced on that (0-based) line.
+fn collect_allows(lexed: &Lexed, violations: &mut Vec<Violation>) -> Vec<Vec<String>> {
+    let n = lexed.code.len();
+    let mut allows: Vec<Vec<String>> = vec![Vec::new(); n];
+    for (idx, comment) in lexed.comments.iter().enumerate() {
+        if comment.is_empty() {
+            continue;
+        }
+        for directive in parse_allows(comment) {
+            let known = matches!(
+                directive.family.as_str(),
+                "panic" | "unsafe" | "determinism"
+            );
+            if !known {
+                violations.push(Violation {
+                    line: idx + 1,
+                    rule: Rule::AllowSyntax,
+                    message: format!(
+                        "unknown `lint: allow` family `{}` (expected `panic`, `unsafe`, \
+                         or `determinism`)",
+                        directive.family
+                    ),
+                });
+                continue;
+            }
+            if !directive.has_reason {
+                violations.push(Violation {
+                    line: idx + 1,
+                    rule: Rule::AllowSyntax,
+                    message: format!(
+                        "`lint: allow({}, ...)` needs a non-empty quoted reason",
+                        directive.family
+                    ),
+                });
+                continue;
+            }
+            // A trailing annotation covers its own line; a standalone
+            // comment line covers the next line that carries code.
+            let mut target = idx;
+            if lexed.code[idx].trim().is_empty() {
+                let mut j = idx + 1;
+                while j < n && lexed.code[j].trim().is_empty() {
+                    j += 1;
+                }
+                if j == n {
+                    continue;
+                }
+                target = j;
+            }
+            allows[target].push(directive.family);
+        }
+    }
+    allows
+}
+
+fn allowed(allows: &[Vec<String>], line: usize, family: &str) -> bool {
+    allows[line].iter().any(|f| f == family)
+}
+
+/// Runs `rules` over a lexed file, returning all violations in line
+/// order.
+pub fn lint_lexed(lexed: &Lexed, rules: &RuleSet) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let allows = collect_allows(lexed, &mut violations);
+
+    for (idx, line) in lexed.code.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if rules.panic && !allowed(&allows, idx, "panic") {
+            for method in ["unwrap", "expect"] {
+                for pos in ident_positions(line, method) {
+                    if is_method_call(line, pos, method.len()) {
+                        violations.push(Violation {
+                            line: idx + 1,
+                            rule: Rule::Panic,
+                            message: format!(
+                                "`.{method}()` in library code; return a typed error or \
+                                 annotate with `// lint: allow(panic, \"<invariant>\")`"
+                            ),
+                        });
+                    }
+                }
+            }
+            for mac in ["panic", "todo", "unimplemented", "unreachable"] {
+                for pos in ident_positions(line, mac) {
+                    if is_macro_call(line, pos, mac.len()) {
+                        violations.push(Violation {
+                            line: idx + 1,
+                            rule: Rule::Panic,
+                            message: format!(
+                                "`{mac}!` in library code; return a typed error or \
+                                 annotate with `// lint: allow(panic, \"<invariant>\")`"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        if rules.safety
+            && !allowed(&allows, idx, "unsafe")
+            && !ident_positions(line, "unsafe").is_empty()
+        {
+            let lo = idx.saturating_sub(SAFETY_WINDOW);
+            let justified = (lo..=idx).any(|j| lexed.comments[j].contains("SAFETY:"));
+            if !justified {
+                violations.push(Violation {
+                    line: idx + 1,
+                    rule: Rule::UnsafeSafety,
+                    message: "`unsafe` without a `// SAFETY:` comment on or above the line".into(),
+                });
+            }
+        }
+        if !allowed(&allows, idx, "determinism") {
+            if rules.thread {
+                for pat in ["thread::spawn", "thread::scope"] {
+                    if line.contains(pat) {
+                        violations.push(Violation {
+                            line: idx + 1,
+                            rule: Rule::DetThread,
+                            message: format!(
+                                "`{pat}` outside the vendored worker pool breaks the \
+                                 `DECOLOR_THREADS` invariance contract"
+                            ),
+                        });
+                    }
+                }
+            }
+            if rules.env && line.contains("env::var") {
+                violations.push(Violation {
+                    line: idx + 1,
+                    rule: Rule::DetEnv,
+                    message: "`env::var` outside vendor/rayon's `DECOLOR_THREADS` read \
+                              makes results depend on ambient environment"
+                        .into(),
+                });
+            }
+            if rules.time {
+                if line.contains("Instant::now") {
+                    violations.push(Violation {
+                        line: idx + 1,
+                        rule: Rule::DetTime,
+                        message: "`Instant::now` outside bench/cli code".into(),
+                    });
+                }
+                if !ident_positions(line, "SystemTime").is_empty() {
+                    violations.push(Violation {
+                        line: idx + 1,
+                        rule: Rule::DetTime,
+                        message: "`SystemTime` outside bench/cli code".into(),
+                    });
+                }
+            }
+            if rules.hasher {
+                for ty in ["HashMap", "HashSet"] {
+                    if !ident_positions(line, ty).is_empty() {
+                        violations.push(Violation {
+                            line: idx + 1,
+                            rule: Rule::DetHasher,
+                            message: format!(
+                                "default-hasher `{ty}` in result-affecting code; use \
+                                 `BTreeMap`/`BTreeSet` or a fixed-seed hasher, or \
+                                 annotate a membership-only use"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    violations.sort_by_key(|v| v.line);
+    violations
+}
+
+/// `true` when the scrubbed code contains a crate-level
+/// `#![forbid(...)]` attribute listing `unsafe_code` (whitespace-
+/// insensitive, tolerant of other lints in the same list).
+pub fn has_forbid_unsafe(lexed: &Lexed) -> bool {
+    let despaced: String = lexed
+        .code
+        .iter()
+        .flat_map(|l| l.chars())
+        .filter(|c| !c.is_whitespace())
+        .collect();
+    let mut rest = despaced.as_str();
+    while let Some(at) = rest.find("#![forbid(") {
+        let list = &rest[at + "#![forbid(".len()..];
+        let Some(end) = list.find(')') else {
+            return false;
+        };
+        if list[..end].split(',').any(|lint| lint == "unsafe_code") {
+            return true;
+        }
+        rest = &list[end..];
+    }
+    false
+}

@@ -1,0 +1,18 @@
+// Counter-example fixture: malformed `lint: allow` annotations. Each one
+// is itself a diagnostic, and — being invalid — suppresses nothing, so
+// the panic sites underneath are also flagged.
+
+pub fn unknown_family(x: Option<u32>) -> u32 {
+    // lint: allow(frobnicate, "no such rule family")
+    x.unwrap()
+}
+
+pub fn missing_reason(x: Option<u32>) -> u32 {
+    // lint: allow(panic)
+    x.expect("the annotation above has no justification string")
+}
+
+pub fn empty_reason(x: Option<u32>) -> u32 {
+    // lint: allow(panic, "")
+    x.expect("the annotation above has an empty justification")
+}

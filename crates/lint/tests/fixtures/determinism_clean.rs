@@ -1,0 +1,29 @@
+//! Negative fixture for the determinism rules: ordered collections, an
+//! annotated membership-only probe, and clock/thread mentions that are
+//! only prose. The linter must stay silent on this file under the
+//! full library rule set.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Counting with an ordered map: iteration order is the key order, so the
+/// result cannot depend on a hasher seed. (Prose mentions of HashMap,
+/// Instant::now or thread::spawn in comments are inert.)
+pub fn count(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn dedup_sorted(xs: &[u32]) -> Vec<u32> {
+    let s: BTreeSet<u32> = xs.iter().copied().collect();
+    s.into_iter().collect()
+}
+
+pub fn has_duplicates(xs: &[u32]) -> bool {
+    // lint: allow(determinism, "membership-only probe; the set is never iterated, so hash order cannot reach the result")
+    let mut seen = std::collections::HashSet::with_capacity(xs.len());
+    xs.iter().any(|&x| !seen.insert(x))
+}

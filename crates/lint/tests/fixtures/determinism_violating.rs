@@ -1,0 +1,31 @@
+// Counter-example fixture: one site per determinism rule, in
+// result-affecting library code.
+
+pub fn spawns() {
+    std::thread::spawn(|| {}).join().ok();
+}
+
+pub fn scopes() {
+    std::thread::scope(|_| {});
+}
+
+pub fn reads_env() -> Option<String> {
+    std::env::var("DECOLOR_SECRET_KNOB").ok()
+}
+
+pub fn wall_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn system_clock() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}
+
+pub fn default_hash_map() -> std::collections::HashMap<u32, u32> {
+    std::collections::HashMap::new()
+}
+
+pub fn default_hash_set() -> std::collections::HashSet<u32> {
+    std::collections::HashSet::new()
+}

@@ -1,0 +1,43 @@
+//! Negative fixture for the panic rule: every `unwrap`/`panic!` below is
+//! either inert text (string literal, doc comment, doc example), test-only
+//! code (`#[cfg(test)]`), or carries a justified annotation. The linter
+//! must stay silent on this file.
+
+/// Calling `.unwrap()` on `None` panics:
+///
+/// ```rust
+/// let x: Option<u32> = None;
+/// x.unwrap(); // doc examples are comments to the lexer
+/// ```
+pub fn describe() -> &'static str {
+    "call unwrap() and panic!(\"msg\") carefully"
+}
+
+pub fn raw_literal() -> &'static str {
+    r#"x.expect("msg") inside a raw string is data, not code"#
+}
+
+pub const HELP: &str = "usage:
+  never call unwrap() on user input
+";
+
+pub fn annotated(x: Option<u32>) -> u32 {
+    // lint: allow(panic, "caller guarantees Some by construction")
+    x.expect("invariant: always Some here")
+}
+
+pub fn lifetime_not_char<'a>(s: &'a str) -> &'a str {
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        if v.is_none() {
+            panic!("test panics are out of scope");
+        }
+    }
+}

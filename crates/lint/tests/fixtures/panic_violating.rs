@@ -1,0 +1,27 @@
+// Counter-example fixture: every panic-family construct in plain library
+// code, none annotated. The integration test asserts one diagnostic per
+// site.
+
+pub fn via_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn via_expect(x: Option<u32>) -> u32 {
+    x.expect("boom")
+}
+
+pub fn via_panic_macro() {
+    panic!("no");
+}
+
+pub fn via_todo() {
+    todo!()
+}
+
+pub fn via_unimplemented() {
+    unimplemented!()
+}
+
+pub fn via_unreachable() -> u32 {
+    unreachable!("never happens")
+}

@@ -1,0 +1,14 @@
+// Negative fixture: every `unsafe` carries a `// SAFETY:` justification,
+// either on the preceding line or a few lines up (attributes between the
+// comment and the keyword are tolerated by the lookback window).
+
+pub fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+// SAFETY: `Token` is a plain integer; sending it between threads is sound.
+#[allow(dead_code)]
+unsafe impl Send for Token {}
+
+pub struct Token(u64);

@@ -1,0 +1,6 @@
+// Counter-example fixture: `unsafe` with no safety justification comment
+// within the lookback window.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

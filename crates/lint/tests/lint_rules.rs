@@ -1,0 +1,218 @@
+//! Fixture-driven conformance tests for the workspace linter.
+//!
+//! Each rule family gets a violating fixture (every diagnostic it must
+//! raise) and a clean fixture (every escape hatch and lexing trap it must
+//! stay silent on). The final test dogfoods the linter on this workspace
+//! itself, which is the property CI actually gates on.
+
+use decolor_lint::lint_source;
+use decolor_lint::rules::Violation;
+
+/// Reads a fixture from `tests/fixtures/`.
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(err) => panic!("fixture {} unreadable: {err}", path.display()),
+    }
+}
+
+/// Lints a fixture as if it lived at `rel_path` inside the workspace.
+fn lint_as(rel_path: &str, name: &str) -> Vec<Violation> {
+    lint_source(rel_path, &fixture(name))
+}
+
+fn count(violations: &[Violation], rule: &str) -> usize {
+    violations.iter().filter(|v| v.rule.name() == rule).count()
+}
+
+fn lines(violations: &[Violation], rule: &str) -> Vec<usize> {
+    violations
+        .iter()
+        .filter(|v| v.rule.name() == rule)
+        .map(|v| v.line)
+        .collect()
+}
+
+// ---------------------------------------------------------------- panic --
+
+#[test]
+fn panic_fixture_flags_every_site() {
+    let v = lint_as("crates/core/src/fixture.rs", "panic_violating.rs");
+    assert_eq!(
+        count(&v, "panic"),
+        6,
+        "unwrap, expect, panic!, todo!, unimplemented!, unreachable!: {v:?}"
+    );
+    assert_eq!(v.len(), 6, "no other rule should fire: {v:?}");
+}
+
+#[test]
+fn panic_clean_fixture_is_silent() {
+    // Exercises the lexer: unwrap in a plain string, in a raw string, in a
+    // multi-line string, in a doc example, a `#[cfg(test)]` module, a
+    // lifetime that must not be read as a char literal, and a justified
+    // annotation.
+    let v = lint_as("crates/core/src/fixture.rs", "panic_clean.rs");
+    assert!(v.is_empty(), "expected silence, got: {v:?}");
+}
+
+#[test]
+fn panic_rule_is_off_for_bench_and_cli() {
+    for scope in ["crates/bench/src/fixture.rs", "crates/cli/src/fixture.rs"] {
+        let v = lint_as(scope, "panic_violating.rs");
+        assert_eq!(count(&v, "panic"), 0, "{scope} should tolerate panics");
+    }
+}
+
+// --------------------------------------------------------- unsafe-safety --
+
+#[test]
+fn unsafe_without_safety_comment_is_flagged() {
+    let v = lint_as("vendor/memmap2/src/fixture.rs", "unsafe_violating.rs");
+    assert_eq!(count(&v, "unsafe-safety"), 1, "got: {v:?}");
+}
+
+#[test]
+fn unsafe_with_safety_comment_is_clean() {
+    // Second site has an attribute between the comment and the keyword —
+    // the lookback window must tolerate that.
+    let v = lint_as("vendor/memmap2/src/fixture.rs", "unsafe_clean.rs");
+    assert_eq!(count(&v, "unsafe-safety"), 0, "got: {v:?}");
+}
+
+// ----------------------------------------------------------- determinism --
+
+#[test]
+fn determinism_fixture_flags_every_site() {
+    let v = lint_as("crates/graph/src/fixture.rs", "determinism_violating.rs");
+    assert_eq!(count(&v, "det-thread"), 2, "spawn + scope: {v:?}");
+    assert_eq!(count(&v, "det-env"), 1, "env::var: {v:?}");
+    assert_eq!(count(&v, "det-time"), 2, "Instant::now + SystemTime: {v:?}");
+    assert_eq!(
+        count(&v, "det-hasher"),
+        4,
+        "HashMap/HashSet in signature and body: {v:?}"
+    );
+}
+
+#[test]
+fn determinism_clean_fixture_is_silent() {
+    let v = lint_as("crates/graph/src/fixture.rs", "determinism_clean.rs");
+    assert!(v.is_empty(), "expected silence, got: {v:?}");
+}
+
+#[test]
+fn hasher_and_time_rules_are_scoped() {
+    // bench/cli may take timestamps and use default hashers (reporting
+    // only); vendor/rayon owns the thread pool and the DECOLOR_THREADS
+    // read; vendor/criterion is the timing harness.
+    let bench = lint_as("crates/bench/src/fixture.rs", "determinism_violating.rs");
+    assert_eq!(count(&bench, "det-time"), 0);
+    assert_eq!(count(&bench, "det-hasher"), 0);
+    assert_eq!(
+        count(&bench, "det-thread"),
+        2,
+        "benches still may not spawn"
+    );
+
+    let rayon = lint_as("vendor/rayon/src/fixture.rs", "determinism_violating.rs");
+    assert_eq!(count(&rayon, "det-thread"), 0);
+    assert_eq!(count(&rayon, "det-env"), 0);
+    assert_eq!(
+        count(&rayon, "det-time"),
+        2,
+        "the pool has no business timing"
+    );
+
+    let criterion = lint_as(
+        "vendor/criterion/src/fixture.rs",
+        "determinism_violating.rs",
+    );
+    assert_eq!(count(&criterion, "det-time"), 0);
+    assert_eq!(count(&criterion, "det-thread"), 2);
+}
+
+#[test]
+fn out_of_scope_paths_are_not_linted() {
+    for path in [
+        "crates/lint/tests/fixtures/fixture.rs",
+        "crates/graph/tests/fixture.rs",
+        "scripts/fixture.rs",
+    ] {
+        let v = lint_source(path, &fixture("panic_violating.rs"));
+        assert!(v.is_empty(), "{path} should be out of scope: {v:?}");
+    }
+}
+
+// ---------------------------------------------------------- allow-syntax --
+
+#[test]
+fn malformed_allows_are_flagged_and_suppress_nothing() {
+    let v = lint_as("crates/core/src/fixture.rs", "allow_syntax_violating.rs");
+    assert_eq!(
+        count(&v, "allow-syntax"),
+        3,
+        "unknown family, missing reason, empty reason: {v:?}"
+    );
+    assert_eq!(
+        count(&v, "panic"),
+        3,
+        "invalid annotations must not suppress the sites under them: {v:?}"
+    );
+}
+
+// ---------------------------------------------------------- forbid attr --
+
+#[test]
+fn forbid_unsafe_attribute_detection() {
+    use decolor_lint::lexer::lex;
+    use decolor_lint::rules::has_forbid_unsafe;
+    assert!(has_forbid_unsafe(&lex(
+        "#![forbid(unsafe_code)]\npub fn f() {}\n"
+    )));
+    assert!(has_forbid_unsafe(&lex(
+        "//! Doc header.\n#![forbid(rust_2018_idioms, unsafe_code)]\n"
+    )));
+    assert!(!has_forbid_unsafe(&lex("pub fn f() {}\n")));
+    assert!(
+        !has_forbid_unsafe(&lex("// #![forbid(unsafe_code)]\npub fn f() {}\n")),
+        "a commented-out attribute must not count"
+    );
+}
+
+// -------------------------------------------------------------- dogfood --
+
+#[test]
+fn workspace_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|err| panic!("workspace root unresolvable: {err}"));
+    let violations = decolor_lint::lint_workspace(&root)
+        .unwrap_or_else(|err| panic!("lint_workspace failed: {err}"));
+    assert!(
+        violations.is_empty(),
+        "the workspace must satisfy its own invariants:\n{}",
+        violations
+            .iter()
+            .map(|fv| format!(
+                "{}:{}: [{}]",
+                fv.path,
+                fv.violation.line,
+                fv.violation.rule.name()
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn violation_lines_are_one_based_and_stable() {
+    // Pin the exact diagnostic lines of the panic fixture so excerpt
+    // printing in main.rs can rely on them.
+    let v = lint_as("crates/core/src/fixture.rs", "panic_violating.rs");
+    assert_eq!(lines(&v, "panic"), vec![6, 10, 14, 18, 22, 26]);
+}

@@ -213,6 +213,7 @@ where
 
     let outputs = outputs
         .into_iter()
+        // lint: allow(panic, "all nodes halted")
         .map(|o| o.expect("all nodes halted"))
         .collect();
     Ok(ProgramRun {

@@ -6,6 +6,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> workspace invariants (decolor-lint)"
+cargo run -q -p decolor-lint
+
 echo "==> examples compile (facade crate)"
 cargo build --examples
 

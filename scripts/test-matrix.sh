@@ -14,6 +14,9 @@ cd "$(dirname "$0")/.."
 QUICK=0
 [[ "${1:-}" == "--quick" ]] && QUICK=1
 
+echo "=== decolor-lint (workspace invariants) ==="
+cargo run -q -p decolor-lint
+
 for threads in 1 4; do
     if [[ "$QUICK" == 0 ]]; then
         echo "=== cargo test (DECOLOR_THREADS=$threads) ==="

@@ -190,7 +190,7 @@ mod tests {
             g.sample_size(3);
             g.bench_function("count", |b| b.iter(|| runs += 1));
             g.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &x| {
-                b.iter(|| black_box(x * 2))
+                b.iter(|| black_box(x * 2));
             });
             g.finish();
         }

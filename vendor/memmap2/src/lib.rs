@@ -50,10 +50,15 @@ struct RawMmap {
     len: usize,
 }
 
-// The mapping is a plain byte region owned by this handle; file-backed
-// pages are as sharable as a `Vec<u8>` as long as nobody truncates the
-// file, which is the usage rule documented on the mapping constructors.
+// SAFETY: the mapping is a plain byte region owned by this handle;
+// file-backed pages are as sharable across threads as a `Vec<u8>`'s
+// heap allocation as long as nobody truncates the file, which is the
+// usage rule documented on the mapping constructors. `ptr` is never
+// aliased mutably except through `&mut self` (`as_mut_slice`).
 unsafe impl Send for RawMmap {}
+// SAFETY: as for `Send` — `&RawMmap` only exposes read access to the
+// mapped bytes (`as_slice`, `sync`), which is race-free under the
+// single-writer usage rule.
 unsafe impl Sync for RawMmap {}
 
 impl RawMmap {

@@ -45,7 +45,7 @@ fn parse_thread_spec(raw: &str) -> Option<usize> {
 /// One worker per available core — the default for unset (and, with a
 /// warning, unparsable) `DECOLOR_THREADS`.
 fn available_cores() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 /// Resolves a raw `DECOLOR_THREADS` reading (or `None` when unset) to a

@@ -82,9 +82,9 @@ fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize)
         Value::U64(x) => out.push_str(&x.to_string()),
         Value::F64(x) => {
             if x.is_finite() {
-                out.push_str(&format!("{x:?}"))
+                out.push_str(&format!("{x:?}"));
             } else {
-                out.push_str("null")
+                out.push_str("null");
             }
         }
         Value::String(s) => write_escaped(s, out),
