@@ -32,6 +32,11 @@
 //! * `--backend <ram|mmap>` — storage backend (see above).
 //! * `--max-n <N>` — extend the size ladder up to `N` (default 1048576;
 //!   ladder stops at 10⁸).
+//! * `--checkpoint` — (mmap backend) run the crash-safe paths: the
+//!   workload build journals its durable prefix every 2²⁰ edges and the
+//!   chunked Linial pass persists a round checkpoint, so a killed
+//!   n = 10⁸ run resumes instead of restarting (results byte-identical
+//!   — pinned by the crash-recovery suite).
 //!
 //! `cargo run --release -p decolor-bench --bin scaling [-- --quick]`
 
@@ -41,7 +46,9 @@ use decolor_bench::{
 use decolor_core::arboricity::{theorem52, theorem52_reference};
 use decolor_core::cd_coloring::{cd_coloring, cd_coloring_reference, CdParams};
 use decolor_core::delta_plus_one::SubroutineConfig;
-use decolor_core::linial::{linial_coloring, linial_coloring_chunked};
+use decolor_core::linial::{
+    linial_coloring, linial_coloring_chunked, linial_coloring_chunked_checkpointed,
+};
 use decolor_core::star_partition::{
     star_partition_edge_coloring, star_partition_edge_coloring_reference, StarPartitionParams,
 };
@@ -96,9 +103,22 @@ impl Drop for MmapDir {
     }
 }
 
-/// Streams the standard 8-regular workload into a sharded CSR.
-fn regular_workload_mmap(dir: &std::path::Path, n: usize, d: usize, seed: u64) -> ShardedCsr {
-    let mut b = ShardedCsrBuilder::create(dir, n).expect("scratch storage dir is writable");
+/// Streams the standard 8-regular workload into a sharded CSR. With
+/// `journal_every > 0` the build checkpoints its durable prefix (the
+/// `--checkpoint` path), so an interrupted build can resume.
+fn regular_workload_mmap(
+    dir: &std::path::Path,
+    n: usize,
+    d: usize,
+    seed: u64,
+    journal_every: usize,
+) -> ShardedCsr {
+    let opts = decolor_graph::storage::BuildOptions {
+        journal_every,
+        ..Default::default()
+    };
+    let mut b =
+        ShardedCsrBuilder::with_options(dir, n, opts).expect("scratch storage dir is writable");
     generators::random_regular_stream(n, d, seed, &mut b).expect("workload parameters are valid");
     b.finish().expect("sharded CSR build succeeds")
 }
@@ -111,6 +131,7 @@ fn spill(dir: &std::path::Path, g: Graph) -> ShardedCsr {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let (nproc, threads) = decolor_bench::pool_provenance();
     let quick = args.iter().any(|a| a == "--quick");
     let reference = args.iter().any(|a| a == "--reference");
     let flag_value = |name: &str| {
@@ -133,6 +154,13 @@ fn main() {
         eprintln!("--reference runs the materializing paths, which are ram-only");
         std::process::exit(1);
     }
+    let checkpoint = args.iter().any(|a| a == "--checkpoint");
+    if checkpoint && !mmap {
+        eprintln!("--checkpoint applies to the out-of-core paths; add --backend mmap");
+        std::process::exit(1);
+    }
+    // Journal cadence for --checkpoint builds: every 2^20 edges.
+    let journal_every = if checkpoint { 1 << 20 } else { 0 };
     let max_n: usize = flag_value("--max-n").map_or(1_048_576, |v| {
         v.parse().unwrap_or_else(|_| {
             eprintln!("--max-n expects an integer, got `{v}`");
@@ -176,9 +204,17 @@ fn main() {
             let ids = IdAssignment::sparse(n, stride, 2);
             let (m, delta, lin, stats, secs) = if mmap {
                 let dir = MmapDir::new("linial", n);
-                let g = regular_workload_mmap(&dir.0, n, 8, 1);
+                let g = regular_workload_mmap(&dir.0, n, 8, 1, journal_every);
                 let started = Instant::now();
-                let (lin, stats) = linial_coloring_chunked(&g, &ids).expect("linial succeeds");
+                let (lin, stats) = if checkpoint {
+                    let ckpt = dir.0.join("linial.ckpt");
+                    let out = linial_coloring_chunked_checkpointed(&g, &ids, &ckpt, None)
+                        .expect("linial succeeds");
+                    assert!(out.completed, "unbudgeted run always completes");
+                    (out.result, out.stats)
+                } else {
+                    linial_coloring_chunked(&g, &ids).expect("linial succeeds")
+                };
                 let secs = started.elapsed().as_secs_f64();
                 // Properness of the full coloring is re-checked on the
                 // mmap CSR itself (one streaming endpoint pass).
@@ -207,6 +243,8 @@ fn main() {
                 rounds: stats.rounds,
                 messages: stats.messages,
                 time_shape: 0.0,
+                nproc,
+                threads,
             });
         }
 
@@ -222,7 +260,7 @@ fn main() {
             };
             let (star, m, delta, elapsed) = if mmap {
                 let dir = MmapDir::new("star", n);
-                let g = regular_workload_mmap(&dir.0, n, 8, 1);
+                let g = regular_workload_mmap(&dir.0, n, 8, 1, journal_every);
                 let params = StarPartitionParams::for_levels(&g, 1);
                 let (m, delta) = (g.num_edges(), GraphView::max_degree(&g));
                 let out = run_star(
@@ -265,6 +303,8 @@ fn main() {
                 rounds: star.stats.rounds,
                 messages: star.stats.messages,
                 time_shape: 0.0,
+                nproc,
+                threads,
             });
         }
 
@@ -307,6 +347,8 @@ fn main() {
                 rounds: t52.stats.rounds,
                 messages: t52.stats.messages,
                 time_shape: 0.0,
+                nproc,
+                threads,
             });
         }
 
@@ -358,6 +400,8 @@ fn main() {
                 rounds: cd.stats.rounds,
                 messages: cd.stats.messages,
                 time_shape: 0.0,
+                nproc,
+                threads,
             });
         }
 

@@ -14,6 +14,7 @@ use decolor_core::star_partition::{star_partition_edge_coloring, StarPartitionPa
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let (nproc, threads) = decolor_bench::pool_provenance();
     let configs: &[(usize, usize, usize)] = if quick {
         &[(400, 2, 16), (400, 4, 8)]
     } else {
@@ -53,6 +54,8 @@ fn main() {
                 rounds,
                 messages: msgs,
                 time_shape: shape,
+                nproc,
+                threads,
             });
         };
 

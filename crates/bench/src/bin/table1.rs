@@ -12,6 +12,7 @@ use decolor_core::star_partition::{star_partition_edge_coloring, StarPartitionPa
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let (nproc, threads) = decolor_bench::pool_provenance();
     let configs: &[(usize, usize)] = if quick {
         &[(256, 16), (256, 32)]
     } else {
@@ -91,6 +92,8 @@ fn main() {
                 rounds: res.stats.rounds,
                 messages: res.stats.messages,
                 time_shape: t_ours,
+                nproc,
+                threads,
             });
         }
         println!("## n = {n}, Δ = {d}\n");

@@ -51,6 +51,7 @@ fn workloads(quick: bool) -> Vec<Workload> {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let (nproc, threads) = decolor_bench::pool_provenance();
     let deep = std::env::args().any(|a| a == "--deep");
     println!("# Table 2 — vertex coloring of graphs with bounded diversity\n");
     for w in workloads(quick) {
@@ -96,6 +97,8 @@ fn main() {
                 rounds: res.stats.rounds,
                 messages: res.stats.messages,
                 time_shape: t_ours,
+                nproc,
+                threads,
             });
         }
         println!("## {}  (D = {d}, S = {s}, Δ = {delta})\n", w.name);

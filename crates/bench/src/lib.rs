@@ -48,6 +48,21 @@ pub struct Record {
     pub messages: u64,
     /// The paper's Õ(·) time-shape score for this row.
     pub time_shape: f64,
+    /// Hardware parallelism of the machine that ran the row.
+    pub nproc: usize,
+    /// Worker-pool width the row ran at (the `DECOLOR_THREADS` knob).
+    pub threads: usize,
+}
+
+/// Execution-environment provenance for a record: the machine's hardware
+/// parallelism and the worker-pool width this process computes at
+/// (reflecting the `DECOLOR_THREADS` knob without re-reading the
+/// environment). Results are thread-count-invariant — pinned by the
+/// determinism suites — so these fields date a measurement's wall-clock
+/// context, not its outputs.
+pub fn pool_provenance() -> (usize, usize) {
+    let nproc = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    (nproc, rayon::current_num_threads())
 }
 
 /// Appends `record` to `target/experiments.jsonl` (best-effort: failures
@@ -135,10 +150,22 @@ mod tests {
             rounds: 8,
             messages: 9,
             time_shape: 0.5,
+            nproc: 8,
+            threads: 4,
         };
         let line = serde_json::to_string(&r).unwrap();
         assert!(line.contains("\"experiment\":\"unit\""));
+        assert!(line.contains("\"nproc\":8"));
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn provenance_reports_live_pool() {
+        let (nproc, threads) = pool_provenance();
+        assert!(nproc >= 1);
+        assert!(threads >= 1);
+        let t1 = rayon::with_num_threads(1, pool_provenance);
+        assert_eq!(t1.1, 1);
     }
 
     #[test]

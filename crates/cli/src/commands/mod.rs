@@ -3,6 +3,7 @@
 pub mod analyze;
 pub mod color;
 pub mod generate;
+pub mod store;
 
 use decolor_graph::coloring::EdgeColoring;
 use decolor_graph::dot::{render, DotOptions};

@@ -4,6 +4,7 @@
 //! decolor generate <spec> [--json out.json] [--dot out.dot]
 //! decolor analyze  <spec>
 //! decolor color    <algorithm> <spec> [--json out.json] [--dot out.dot]
+//! decolor store    build <spec> <dir> | verify <dir>
 //! ```
 //!
 //! Graph specs: `gnm:n=1000,m=4000,seed=1`, `regular:n=512,d=16,seed=2`,
@@ -44,6 +45,7 @@ pub(crate) fn run(argv: &[String]) -> Result<String, String> {
         "generate" => commands::generate::run(&mut parsed),
         "analyze" => commands::analyze::run(&mut parsed),
         "color" => commands::color::run(&mut parsed),
+        "store" => commands::store::run(&mut parsed),
         "help" | "--help" | "-h" | "" => Ok(HELP.to_string()),
         "--version" | "-V" => Ok(format!("decolor {}\n", env!("CARGO_PKG_VERSION"))),
         other => Err(format!("unknown command `{other}`")),
@@ -57,6 +59,8 @@ USAGE:
   decolor generate <spec> [--json FILE] [--dot FILE]
   decolor analyze  <spec>
   decolor color <algorithm> <spec> [--backend ram|mmap] [--json FILE] [--dot FILE] [--seed N]
+  decolor store build <spec> <dir> [--shard-bits B] [--journal-every N] [--resume] [--verify]
+  decolor store verify <dir>
   decolor help
 
 SPECS:
@@ -92,4 +96,13 @@ FLAGS:
   --dimacs FILE   write the graph in DIMACS format
   --dot FILE      write Graphviz DOT (colored if coloring present)
   --verify        print certificate checks against the paper's bounds
+                  (for `store`: recompute every manifest checksum)
+
+STORE:
+  `store build` streams a spec into an on-disk sharded CSR (the mmap
+  backend's format). With --journal-every N the build checkpoints its
+  durable prefix every N edges; --resume continues an interrupted
+  journaled build from its last checkpoint, byte-identical to an
+  uninterrupted run. `store verify` validates the manifest, every file
+  length, and every CRC32.
 ";

@@ -123,6 +123,84 @@ fn unknown_algorithm_is_a_clean_error_not_a_panic() {
 }
 
 #[test]
+fn store_build_verify_and_corruption_reporting() {
+    let dir = std::env::temp_dir().join(format!("decolor-e2e-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_string_lossy().into_owned();
+
+    let (ok, stdout, stderr) = decolor(&[
+        "store",
+        "build",
+        "grid:rows=12,cols=12",
+        &dir_s,
+        "--shard-bits",
+        "6",
+        "--journal-every",
+        "50",
+        "--verify",
+    ]);
+    assert!(ok, "store build failed: {stderr}");
+    assert!(stdout.contains("n = 144"), "{stdout}");
+    assert!(stdout.contains("checksums verified"), "{stdout}");
+    assert!(
+        !dir.join("journal.bin").exists(),
+        "journal must be pruned from a complete store"
+    );
+
+    let (ok, stdout, stderr) = decolor(&["store", "verify", &dir_s]);
+    assert!(ok, "store verify failed: {stderr}");
+    assert!(stdout.contains("OK"), "{stdout}");
+
+    // Flip one byte in a data shard: verify must exit 1 with a typed
+    // corruption message, never print a wrong store summary as success.
+    let shard = dir.join("ep.0");
+    let mut bytes = std::fs::read(&shard).unwrap();
+    bytes[5] ^= 0x10;
+    std::fs::write(&shard, &bytes).unwrap();
+    let (ok, _, stderr) = decolor(&["store", "verify", &dir_s]);
+    assert!(!ok);
+    assert!(stderr.contains("corrupt storage artifact"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+
+    // Truncate the shard instead: open() itself must refuse.
+    std::fs::write(&shard, &bytes[..bytes.len() - 8]).unwrap();
+    let (ok, _, stderr) = decolor(&["store", "verify", &dir_s]);
+    assert!(!ok);
+    assert!(stderr.contains("corrupt storage artifact"), "{stderr}");
+
+    let (ok, _, stderr) = decolor(&["store", "frobnicate", &dir_s]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown store action"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn malformed_graph_json_is_a_clean_error() {
+    let dir = std::env::temp_dir().join(format!("decolor-e2e-badjson-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, payload) in [
+        ("syntax.json", "{\"n\": 5, \"edges\": [[0,"),
+        ("missing.json", "{\"edges\": []}"),
+        ("range.json", "{\"n\": 3, \"edges\": [[0, 7]]}"),
+        ("loop.json", "{\"n\": 3, \"edges\": [[1, 1]]}"),
+        ("huge.json", "{\"n\": 18446744073709551615, \"edges\": []}"),
+    ] {
+        let path = dir.join(name);
+        std::fs::write(&path, payload).unwrap();
+        let spec = format!("file:{}", path.to_string_lossy());
+        let (ok, stdout, stderr) = decolor(&["color", "star:x=1", &spec]);
+        assert!(!ok, "{name} unexpectedly succeeded: {stdout}");
+        assert!(
+            stderr.starts_with("error: "),
+            "{name}: stderr not a clean message: {stderr}"
+        );
+        assert!(!stderr.contains("panicked"), "{name}: panic: {stderr}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn every_section5_algorithm_via_cli() {
     for algo in ["t52:a=2", "t54:a=2,x=2", "c55:a=2"] {
         let (ok, stdout, stderr) = decolor(&["color", algo, "forest:n=200,a=2,cap=8,seed=1"]);

@@ -19,6 +19,8 @@
 //!   Corollary 5.5.
 //! * [`decomposition`] — Theorem 2.4 clique-decompositions and §4
 //!   (p, q)-star-partitions as standalone verified objects.
+//! * [`checkpoint`] — durable round checkpoints letting killed chunked
+//!   (out-of-core) runs resume mid-algorithm, byte-identically.
 //! * [`analysis`] — the paper's analytic color/round formulas (Tables
 //!   1–2), printed next to measured values by the bench harness.
 //! * [`verify`] — certificate checks turning the paper's bounds into
@@ -30,6 +32,7 @@
 pub mod analysis;
 pub mod arboricity;
 pub mod cd_coloring;
+pub mod checkpoint;
 pub mod connectors;
 pub mod crossing_merge;
 pub mod decomposition;

@@ -303,6 +303,73 @@ pub fn linial_from_coloring_chunked<V: GraphView + Sync>(
     g: &V,
     initial: &VertexColoring,
 ) -> Result<(LinialResult, NetworkStats), AlgoError> {
+    let out = chunked_core(g, initial, None, None)?;
+    Ok((out.result, out.stats))
+}
+
+/// Outcome of a (possibly checkpointed, possibly round-limited) chunked
+/// Linial run.
+#[derive(Clone, Debug)]
+pub struct ChunkedOutcome {
+    /// The coloring + palette trace (partial if `!completed`: the state
+    /// after the last completed round, still a proper coloring).
+    pub result: LinialResult,
+    /// The synthesized communication ledger so far.
+    pub stats: NetworkStats,
+    /// Whether the iteration reached its fixed point (`false` only when a
+    /// round budget stopped it early; the checkpoint holds the rest).
+    pub completed: bool,
+    /// The round count restored from a checkpoint, if this run resumed.
+    pub resumed_at_round: Option<u64>,
+}
+
+/// [`linial_coloring_chunked`] with **durable round checkpoints**: after
+/// every completed round the full inter-round state is written atomically
+/// to `ckpt` (see [`crate::checkpoint`]), and a later call with the same
+/// inputs resumes from it — producing a coloring, trace, and ledger
+/// byte-identical to an uninterrupted run. On completion the checkpoint
+/// file is removed. `round_budget` bounds the rounds executed by *this*
+/// call (`None` = run to the fixed point); the crash-recovery suite and
+/// the CLI use it to model a kill between rounds.
+///
+/// # Errors
+///
+/// As [`linial_coloring_chunked`], plus
+/// [`GraphError::Corrupt`](decolor_graph::GraphError::Corrupt) (via
+/// [`AlgoError::Graph`]) for a torn checkpoint or one fingerprinted for
+/// different inputs.
+pub fn linial_coloring_chunked_checkpointed<V: GraphView + Sync>(
+    g: &V,
+    ids: &IdAssignment,
+    ckpt: &std::path::Path,
+    round_budget: Option<u64>,
+) -> Result<ChunkedOutcome, AlgoError> {
+    if ids.len() != g.num_vertices() {
+        return Err(AlgoError::InvalidParameters {
+            reason: format!("{} ids for {} vertices", ids.len(), g.num_vertices()),
+        });
+    }
+    let colors: Result<Vec<u32>, _> = ids.as_slice().iter().map(|&i| u32::try_from(i)).collect();
+    let colors = colors.map_err(|_| AlgoError::InvalidParameters {
+        reason: "identifier exceeds u32 (IDs must be O(log n)-bit)".into(),
+    })?;
+    let initial = VertexColoring::new(colors, ids.id_space().max(1)).map_err(|e| {
+        AlgoError::InvalidParameters {
+            reason: e.to_string(),
+        }
+    })?;
+    chunked_core(g, &initial, Some(ckpt), round_budget)
+}
+
+/// The shared chunked-Linial engine behind both public entry points.
+fn chunked_core<V: GraphView + Sync>(
+    g: &V,
+    initial: &VertexColoring,
+    ckpt: Option<&std::path::Path>,
+    round_budget: Option<u64>,
+) -> Result<ChunkedOutcome, AlgoError> {
+    use crate::checkpoint::{input_fingerprint, RoundCheckpoint};
+
     initial
         .validate(g)
         .map_err(|e| AlgoError::InvalidParameters {
@@ -314,28 +381,63 @@ pub fn linial_from_coloring_chunked<V: GraphView + Sync>(
     let mut m = initial.palette().max(1);
     let mut trace = vec![m];
     let mut stats = NetworkStats::default();
+    let mut resumed_at_round = None;
+
+    // Bind any checkpoint to this exact run before trusting its state: a
+    // checkpoint for a different graph or id assignment must surface as
+    // Corrupt, never resume into a silently wrong coloring.
+    let fingerprint = ckpt.map(|path| {
+        (
+            path,
+            input_fingerprint(n, g.num_edges(), delta as usize, m, initial.as_slice()),
+        )
+    });
+    if let Some((path, fp)) = fingerprint {
+        if let Some(saved) = RoundCheckpoint::load(path)? {
+            if saved.fingerprint != fp || saved.n != n as u64 || saved.delta != delta {
+                return Err(AlgoError::Graph(decolor_graph::GraphError::Corrupt {
+                    path: path.display().to_string(),
+                    reason: format!(
+                        "checkpoint fingerprint {:#010x} does not match this run's inputs {fp:#010x}",
+                        saved.fingerprint
+                    ),
+                }));
+            }
+            colors = saved.colors;
+            m = saved.m;
+            trace = saved.trace;
+            stats.rounds = saved.rounds;
+            stats.messages = saved.messages;
+            stats.payload_bytes = saved.payload_bytes;
+            resumed_at_round = Some(saved.rounds);
+        }
+    }
 
     if n == 0 {
         // lint: allow(panic, "empty coloring is valid")
         let coloring = VertexColoring::new(vec![], 1).expect("empty coloring is valid");
-        return Ok((
-            LinialResult {
+        return Ok(ChunkedOutcome {
+            result: LinialResult {
                 coloring,
                 palette_trace: trace,
             },
             stats,
-        ));
+            completed: true,
+            resumed_at_round,
+        });
     }
     if delta == 0 {
         // lint: allow(panic, "constant coloring")
         let coloring = VertexColoring::new(vec![0; n], 1).expect("constant coloring");
-        return Ok((
-            LinialResult {
+        return Ok(ChunkedOutcome {
+            result: LinialResult {
                 coloring,
                 palette_trace: trace,
             },
             stats,
-        ));
+            completed: true,
+            resumed_at_round,
+        });
     }
 
     let target = final_palette_bound(delta as usize);
@@ -345,10 +447,18 @@ pub fn linial_from_coloring_chunked<V: GraphView + Sync>(
     let chunks: Vec<std::ops::Range<usize>> = (0..n.div_ceil(LINIAL_CHUNK))
         .map(|c| (c * LINIAL_CHUNK)..((c + 1) * LINIAL_CHUNK).min(n))
         .collect();
+    let mut rounds_this_call = 0u64;
+    let mut completed = true;
     while m > target {
         let (q, _deg) = choose_parameters(m, delta);
         if q * q >= m {
             break; // fixed point reached early
+        }
+        if round_budget.is_some_and(|b| rounds_this_call >= b) {
+            // Round budget exhausted: stop between rounds, exactly where
+            // a kill would land. The last checkpoint carries the state.
+            completed = false;
+            break;
         }
         // One "round": recolor every chunk off the previous colors.
         let outs: Vec<Vec<u64>> = chunks
@@ -393,10 +503,43 @@ pub fn linial_from_coloring_chunked<V: GraphView + Sync>(
         stats.rounds += 1;
         stats.messages += round_messages;
         stats.payload_bytes += round_payload;
+        rounds_this_call += 1;
         m = q * q;
         trace.push(m);
+        if let Some((path, fp)) = fingerprint {
+            // The color array is *moved* into the checkpoint for the save
+            // (no n-word copy) and moved back out afterwards.
+            let ck = RoundCheckpoint {
+                n: n as u64,
+                delta,
+                fingerprint: fp,
+                m,
+                rounds: stats.rounds,
+                messages: stats.messages,
+                payload_bytes: stats.payload_bytes,
+                trace: trace.clone(),
+                colors: std::mem::take(&mut colors),
+            };
+            let saved = ck.save(path);
+            colors = ck.colors;
+            saved.map_err(AlgoError::Graph)?;
+        }
     }
 
+    if completed {
+        if let Some((path, _)) = fingerprint {
+            // The run is done; the checkpoint is obsolete.
+            match std::fs::remove_file(path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => {
+                    return Err(AlgoError::Graph(decolor_graph::GraphError::Io {
+                        reason: format!("cannot remove {}: {e}", path.display()),
+                    }))
+                }
+            }
+        }
+    }
     let colors_u32: Vec<u32> = colors
         .iter()
         // lint: allow(panic, "palette fits u32 at the fixed point")
@@ -406,13 +549,15 @@ pub fn linial_from_coloring_chunked<V: GraphView + Sync>(
         VertexColoring::new(colors_u32, m).map_err(|e| AlgoError::InvariantViolated {
             reason: e.to_string(),
         })?;
-    Ok((
-        LinialResult {
+    Ok(ChunkedOutcome {
+        result: LinialResult {
             coloring,
             palette_trace: trace,
         },
         stats,
-    ))
+        completed,
+        resumed_at_round,
+    })
 }
 
 #[cfg(test)]
@@ -558,6 +703,65 @@ mod tests {
         let empty = decolor_graph::GraphBuilder::new(0).build();
         let (res, _) = linial_coloring_chunked(&empty, &IdAssignment::sequential(0)).unwrap();
         assert!(res.coloring.is_empty());
+    }
+
+    #[test]
+    fn checkpointed_resume_is_byte_identical() {
+        // Sparse regular graph: palette 3000 is far above the Δ = 4
+        // fixed point, so the iteration takes several real rounds.
+        let g = generators::random_regular(3000, 4, 6).unwrap();
+        let ids = IdAssignment::shuffled(3000, 3);
+        let (reference, ref_stats) = linial_coloring_chunked(&g, &ids).unwrap();
+        let dir = std::env::temp_dir().join(format!("decolor-linial-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("rounds.ckpt");
+        // One round per call, "killed" between rounds every time.
+        let mut resumed_any = false;
+        let mut last = None;
+        for _ in 0..32 {
+            let out = linial_coloring_chunked_checkpointed(&g, &ids, &ckpt, Some(1)).unwrap();
+            resumed_any |= out.resumed_at_round.is_some();
+            let done = out.completed;
+            last = Some(out);
+            if done {
+                break;
+            }
+        }
+        let out = last.unwrap();
+        assert!(out.completed, "never reached the fixed point");
+        assert!(resumed_any, "test never exercised a resume");
+        assert!(!ckpt.exists(), "checkpoint must be removed on completion");
+        assert_eq!(
+            out.result.coloring.as_slice(),
+            reference.coloring.as_slice()
+        );
+        assert_eq!(out.result.coloring.palette(), reference.coloring.palette());
+        assert_eq!(out.result.palette_trace, reference.palette_trace);
+        assert_eq!(out.stats, ref_stats);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_for_different_inputs_is_rejected() {
+        let g = generators::random_regular(2000, 4, 8).unwrap();
+        let ids = IdAssignment::shuffled(2000, 1);
+        let dir = std::env::temp_dir().join(format!("decolor-linial-fpr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("rounds.ckpt");
+        let out = linial_coloring_chunked_checkpointed(&g, &ids, &ckpt, Some(1)).unwrap();
+        assert!(!out.completed);
+        assert!(ckpt.exists());
+        // Same graph, different id assignment: the fingerprint must trip.
+        let other = IdAssignment::shuffled(2000, 2);
+        let err = linial_coloring_chunked_checkpointed(&g, &other, &ckpt, None).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                AlgoError::Graph(decolor_graph::GraphError::Corrupt { .. })
+            ),
+            "expected Corrupt, got {err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -62,6 +62,17 @@ pub enum GraphError {
         /// Human-readable description including the failing path.
         reason: String,
     },
+    /// An on-disk artifact (sharded CSR store, build journal, round
+    /// checkpoint) failed an integrity check: bad magic, format-version
+    /// mismatch, inconsistent lengths, or a checksum mismatch. The store
+    /// is **never** served in this state — corruption surfaces as this
+    /// error instead of a silently wrong topology or coloring.
+    Corrupt {
+        /// The file (or directory) that failed the check.
+        path: String,
+        /// The violated integrity invariant.
+        reason: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -87,6 +98,9 @@ impl fmt::Display for GraphError {
             GraphError::GenerationFailed { reason } => write!(f, "generation failed: {reason}"),
             GraphError::ValidationFailed { reason } => write!(f, "validation failed: {reason}"),
             GraphError::Io { reason } => write!(f, "storage I/O failed: {reason}"),
+            GraphError::Corrupt { path, reason } => {
+                write!(f, "corrupt storage artifact {path}: {reason}")
+            }
         }
     }
 }

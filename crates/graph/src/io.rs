@@ -38,9 +38,24 @@ impl GraphData {
     ///
     /// # Errors
     ///
-    /// Propagates builder errors (out-of-range endpoints, self-loops,
-    /// duplicate edges).
+    /// [`GraphError::InvalidParameters`] when `n` or the edge count
+    /// exceeds the `u32` identifier space (untrusted input could
+    /// otherwise overflow the CSR's 32-bit ids downstream); propagates
+    /// builder errors (out-of-range endpoints, self-loops, duplicate
+    /// edges) otherwise.
     pub fn to_graph(&self) -> Result<Graph, GraphError> {
+        // Vertex and edge ids are u32 throughout the CSR and storage
+        // layers; ingested data must fit before any of it is built.
+        if self.n > u32::MAX as usize + 1 {
+            return Err(GraphError::InvalidParameters {
+                reason: format!("vertex count {} exceeds u32 identifiers", self.n),
+            });
+        }
+        if self.edges.len() > u32::MAX as usize {
+            return Err(GraphError::InvalidParameters {
+                reason: format!("edge count {} exceeds u32 identifiers", self.edges.len()),
+            });
+        }
         let mut b = GraphBuilder::new(self.n).with_edge_capacity(self.edges.len());
         for &(u, v) in &self.edges {
             b.add_edge(u, v)?;
@@ -195,6 +210,27 @@ mod tests {
             edges: vec![(0, 1), (1, 0)],
         };
         assert!(dup.to_graph().is_err());
+    }
+
+    #[test]
+    fn rejects_id_space_overflow() {
+        let huge_n = GraphData {
+            n: u32::MAX as usize + 2,
+            edges: vec![],
+        };
+        assert!(matches!(
+            huge_n.to_graph(),
+            Err(GraphError::InvalidParameters { .. })
+        ));
+        // n = u32::MAX + 1 is the largest representable vertex set.
+        let edge_of_range = GraphData {
+            n: 4,
+            edges: vec![(3, 7)],
+        };
+        assert!(matches!(
+            edge_of_range.to_graph(),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
     }
 
     #[test]

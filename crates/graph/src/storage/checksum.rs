@@ -1,0 +1,106 @@
+//! Dependency-free CRC32 (IEEE 802.3 polynomial, reflected) used by the
+//! storage manifests, build journals, and round checkpoints.
+//!
+//! The implementation is the classic byte-at-a-time table walk with the
+//! table built at compile time — no external crate, no allocation, and
+//! deterministic by construction. It exists for **corruption detection**
+//! (torn writes, truncated shards, bit rot), not authentication.
+
+/// The reflected IEEE 802.3 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC32 state: feed bytes with [`Crc32::update`], read the
+/// digest with [`Crc32::finish`].
+///
+/// ```rust
+/// use decolor_graph::storage::Crc32;
+/// let mut a = Crc32::new();
+/// a.update(b"hello ");
+/// a.update(b"world");
+/// assert_eq!(a.finish(), decolor_graph::storage::crc32(b"hello world"));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Fresh state (empty input digests to 0).
+    pub fn new() -> Crc32 {
+        Crc32(0)
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = !self.0;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.0 = !crc;
+    }
+
+    /// The digest of everything fed so far (the state stays usable).
+    pub fn finish(&self) -> u32 {
+        self.0
+    }
+}
+
+/// One-shot CRC32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard CRC-32/ISO-HDLC check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let mut inc = Crc32::new();
+        for chunk in data.chunks(97) {
+            inc.update(chunk);
+        }
+        assert_eq!(inc.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut data = vec![0x5Au8; 4096];
+        let clean = crc32(&data);
+        data[2048] ^= 0x10;
+        assert_ne!(crc32(&data), clean);
+    }
+}

@@ -6,6 +6,12 @@
 # the complete matrix (the in-process tests pin mmap ≡ ram bit-for-bit;
 # the smoke legs additionally drive the real bench binaries end-to-end).
 #
+# Every pool size also runs the crash-recovery smoke: the release-built
+# crash_recovery suite including its million-vertex `#[ignore]`d test
+# (journaled build killed mid-stream and resumed, chunked Linial killed
+# between rounds and resumed, all byte-identical), plus a scaling run on
+# the --checkpoint (journaled build + round checkpoint) path.
+#
 # Usage: scripts/test-matrix.sh [--quick]
 #   --quick  skip the full test suite legs, run only the bench smokes
 set -euo pipefail
@@ -27,5 +33,9 @@ for threads in 1 4; do
         DECOLOR_THREADS=$threads cargo run --release -q -p decolor-bench --bin scaling -- \
             --quick --backend "$backend"
     done
+    echo "=== crash-recovery smoke (DECOLOR_THREADS=$threads) ==="
+    DECOLOR_THREADS=$threads cargo test -q --release --test crash_recovery -- --include-ignored
+    DECOLOR_THREADS=$threads cargo run --release -q -p decolor-bench --bin scaling -- \
+        --quick --backend mmap --checkpoint
 done
-echo "test matrix green: threads {1,4} x backend {ram,mmap}"
+echo "test matrix green: threads {1,4} x backend {ram,mmap} + crash recovery"

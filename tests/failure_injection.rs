@@ -119,3 +119,74 @@ fn oversized_ids_rejected() {
     let mut net = Network::new(&g);
     assert!(decolor::core::linial::linial_coloring(&mut net, &ids).is_err());
 }
+
+/// Damaged on-disk stores surface as `GraphError::Corrupt` — the mmap
+/// pipeline refuses to open (or verify) them, so a damaged store can
+/// never feed the algorithms a silently wrong topology.
+#[test]
+fn damaged_stores_are_corrupt_never_wrong() {
+    use decolor::graph::storage::{ShardedCsr, ShardedCsrBuilder};
+    use decolor::graph::GraphError;
+
+    let dir = std::env::temp_dir().join(format!("decolor-fi-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let g = generators::grid(9, 8).unwrap();
+    let mut b = ShardedCsrBuilder::with_shard_bits(&dir, g.num_vertices(), 4).unwrap();
+    for e in g.edges() {
+        let [u, v] = g.endpoints(e);
+        b.push_edge(u.index(), v.index()).unwrap();
+    }
+    drop(b.finish().unwrap());
+    let manifest = std::fs::read(dir.join("manifest.bin")).unwrap();
+    let is_corrupt = |r: Result<ShardedCsr, GraphError>, what: &str| match r {
+        Err(GraphError::Corrupt { reason, .. }) => {
+            assert!(!reason.is_empty(), "{what}: empty reason");
+        }
+        Ok(_) => panic!("{what}: damaged store opened"),
+        Err(other) => panic!("{what}: wrong error class: {other}"),
+    };
+
+    // Bad magic in the manifest.
+    let mut bad = manifest.clone();
+    bad[0] ^= 0xFF;
+    std::fs::write(dir.join("manifest.bin"), &bad).unwrap();
+    is_corrupt(ShardedCsr::open(&dir), "bad magic");
+
+    // Unknown format version.
+    let mut bad = manifest.clone();
+    bad[8] = 99;
+    std::fs::write(dir.join("manifest.bin"), &bad).unwrap();
+    is_corrupt(ShardedCsr::open(&dir), "version mismatch");
+
+    // A flipped bit anywhere in the manifest fails its self-checksum.
+    let mut bad = manifest.clone();
+    bad[40] ^= 0x04;
+    std::fs::write(dir.join("manifest.bin"), &bad).unwrap();
+    is_corrupt(ShardedCsr::open(&dir), "manifest bit flip");
+    std::fs::write(dir.join("manifest.bin"), &manifest).unwrap();
+
+    // Truncated endpoint shard: the length check at open() catches it.
+    let ep = std::fs::read(dir.join("ep.0")).unwrap();
+    std::fs::write(dir.join("ep.0"), &ep[..ep.len() - 4]).unwrap();
+    is_corrupt(ShardedCsr::open(&dir), "truncated ep shard");
+
+    // Same-length bit rot: open() succeeds (lengths match) but the
+    // checksum audit must flag the flipped shard by name.
+    let mut rot = ep.clone();
+    rot[7] ^= 0x01;
+    std::fs::write(dir.join("ep.0"), &rot).unwrap();
+    let sc = ShardedCsr::open(&dir).expect("lengths are intact");
+    match sc.verify() {
+        Err(GraphError::Corrupt { path, .. }) => assert!(path.contains("ep.0"), "{path}"),
+        other => panic!("bit rot not flagged: {other:?}"),
+    }
+    drop(sc);
+    std::fs::write(dir.join("ep.0"), &ep).unwrap();
+
+    // Missing manifest with shard files present: an interrupted build,
+    // reported as such (not a bare "file not found").
+    std::fs::remove_file(dir.join("manifest.bin")).unwrap();
+    is_corrupt(ShardedCsr::open(&dir), "missing manifest");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
