@@ -92,7 +92,7 @@ fn cv_step(c: u64, p: Option<u64>) -> u64 {
     let parent = p.unwrap_or(c ^ 1);
     let diff = c ^ parent;
     debug_assert_ne!(diff, 0, "child and parent share a color");
-    let i = diff.trailing_zeros() as u64;
+    let i = u64::from(diff.trailing_zeros());
     2 * i + ((c >> i) & 1)
 }
 
@@ -144,7 +144,7 @@ pub fn cole_vishkin_forest_coloring(
         }
         colors = next;
         // New palette: 2 * bits(palette).
-        let bits = 64 - u64::leading_zeros(palette - 1) as u64;
+        let bits = 64 - u64::from(u64::leading_zeros(palette - 1));
         palette = (2 * bits).max(6);
     }
 

@@ -22,7 +22,7 @@ use decolor_core::delta_plus_one::{edge_coloring_with_target, SubroutineConfig};
 use decolor_core::edge_space::edge_coloring_direct;
 use decolor_core::AlgoError;
 use decolor_graph::coloring::EdgeColoring;
-use decolor_graph::Graph;
+use decolor_graph::{num, Graph};
 use decolor_runtime::NetworkStats;
 
 /// The classical distributed (2Δ − 1)-edge-coloring baseline, simulated
@@ -34,7 +34,7 @@ use decolor_runtime::NetworkStats;
 pub fn two_delta_minus_one_edge_coloring(
     g: &Graph,
 ) -> Result<(EdgeColoring, NetworkStats), AlgoError> {
-    let delta = g.max_degree() as u64;
+    let delta = num::to_u64(g.max_degree());
     let target = if delta == 0 { 1 } else { 2 * delta - 1 };
     edge_coloring_direct(g, target, SubroutineConfig::default())
 }
@@ -48,7 +48,7 @@ pub fn two_delta_minus_one_edge_coloring(
 pub fn two_delta_minus_one_via_line_graph(
     g: &Graph,
 ) -> Result<(EdgeColoring, NetworkStats), AlgoError> {
-    let delta = g.max_degree() as u64;
+    let delta = num::to_u64(g.max_degree());
     let target = if delta == 0 { 1 } else { 2 * delta - 1 };
     edge_coloring_with_target(g, target, SubroutineConfig::default())
 }

@@ -1,7 +1,7 @@
 //! Centralized greedy colorings — the classical color-count floors.
 
 use decolor_graph::coloring::{Color, EdgeColoring, VertexColoring};
-use decolor_graph::{Graph, VertexId};
+use decolor_graph::{num, Graph, VertexId};
 
 /// Greedy vertex coloring in the given order: each vertex takes the
 /// smallest color unused by its already-colored neighbors. Uses at most
@@ -28,12 +28,13 @@ pub fn greedy_vertex_coloring(g: &Graph, order: &[VertexId]) -> VertexColoring {
         "order must cover all vertices"
     );
     let mut colors: Vec<Option<Color>> = vec![None; g.num_vertices()];
-    let palette = g.max_degree() as u64 + 1;
+    let palette = num::to_u64(g.max_degree()) + 1;
     for &v in order {
+        // lint: allow(cast, "palette <= 2 * max_degree + 1, which started as a usize")
         let mut used = vec![false; palette as usize];
         for u in g.neighbors(v) {
             if let Some(c) = colors[u.index()] {
-                used[c as usize] = true;
+                used[num::usize_from(c)] = true;
             }
         }
         let free = used
@@ -75,15 +76,16 @@ pub fn greedy_degeneracy_coloring(g: &Graph) -> VertexColoring {
 /// assert!(c.palette() <= 2 * g.max_degree() as u64 - 1);
 /// ```
 pub fn greedy_edge_coloring(g: &Graph) -> EdgeColoring {
-    let delta = g.max_degree() as u64;
+    let delta = num::to_u64(g.max_degree());
     let palette = if delta == 0 { 1 } else { 2 * delta - 1 };
     let mut colors: Vec<Option<Color>> = vec![None; g.num_edges()];
     for (e, [u, v]) in g.edge_list() {
+        // lint: allow(cast, "palette <= 2 * max_degree + 1, which started as a usize")
         let mut used = vec![false; palette as usize];
         for w in [u, v] {
             for f in g.incident_edges(w) {
                 if let Some(c) = colors[f.index()] {
-                    used[c as usize] = true;
+                    used[num::usize_from(c)] = true;
                 }
             }
         }

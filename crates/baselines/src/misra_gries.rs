@@ -12,7 +12,7 @@
 //! valid, and completes with `d`.
 
 use decolor_graph::coloring::{Color, EdgeColoring};
-use decolor_graph::{EdgeId, Graph, VertexId};
+use decolor_graph::{num, EdgeId, Graph, VertexId};
 
 /// Internal coloring state with O(1) free-color/used-edge lookups.
 struct State<'g> {
@@ -36,7 +36,7 @@ impl<'g> State<'g> {
 
     #[inline]
     fn edge_with(&self, v: VertexId, c: Color) -> Option<EdgeId> {
-        self.used[v.index() * self.palette + c as usize]
+        self.used[v.index() * self.palette + num::usize_from(c)]
     }
 
     #[inline]
@@ -45,6 +45,7 @@ impl<'g> State<'g> {
     }
 
     fn free_color(&self, v: VertexId) -> Color {
+        // lint: allow(cast, "palette = \u{394} + 1 and vertex degrees are u32, so it fits")
         (0..self.palette as u32)
             .find(|&c| self.is_free(v, c))
             // lint: allow(panic, "degree ≤ Δ leaves a free color in a Δ + 1 palette")
@@ -54,14 +55,14 @@ impl<'g> State<'g> {
     fn set(&mut self, e: EdgeId, c: Option<Color>) {
         let [u, v] = self.g.endpoints(e);
         if let Some(old) = self.color[e.index()] {
-            self.used[u.index() * self.palette + old as usize] = None;
-            self.used[v.index() * self.palette + old as usize] = None;
+            self.used[u.index() * self.palette + num::usize_from(old)] = None;
+            self.used[v.index() * self.palette + num::usize_from(old)] = None;
         }
         self.color[e.index()] = c;
         if let Some(new) = c {
             debug_assert!(self.is_free(u, new) && self.is_free(v, new));
-            self.used[u.index() * self.palette + new as usize] = Some(e);
-            self.used[v.index() * self.palette + new as usize] = Some(e);
+            self.used[u.index() * self.palette + num::usize_from(new)] = Some(e);
+            self.used[v.index() * self.palette + num::usize_from(new)] = Some(e);
         }
     }
 
@@ -107,7 +108,6 @@ impl<'g> State<'g> {
                 break;
             }
             path.push(e);
-            // lint: allow(panic, "edge_with scans cur's incidence list, so e is incident on cur")
             cur = self
                 .g
                 .other_endpoint(e, cur)
@@ -228,7 +228,7 @@ pub fn misra_gries_edge_coloring(g: &Graph) -> EdgeColoring {
         .map(|c| c.expect("all edges colored"))
         .collect();
     // lint: allow(panic, "colors fit palette")
-    let ec = EdgeColoring::new(colors, palette as u64).expect("colors fit palette");
+    let ec = EdgeColoring::new(colors, num::to_u64(palette)).expect("colors fit palette");
     debug_assert!(ec.is_proper(g));
     ec
 }

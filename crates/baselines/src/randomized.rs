@@ -12,7 +12,7 @@
 
 use decolor_core::AlgoError;
 use decolor_graph::coloring::{Color, EdgeColoring};
-use decolor_graph::Graph;
+use decolor_graph::{num, Graph};
 use decolor_runtime::{Network, NetworkStats};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -30,7 +30,7 @@ pub fn randomized_edge_coloring(
     palette: u64,
     seed: u64,
 ) -> Result<(EdgeColoring, NetworkStats), AlgoError> {
-    let delta = g.max_degree() as u64;
+    let delta = num::to_u64(g.max_degree());
     let m = g.num_edges();
     if m == 0 {
         let empty = EdgeColoring::new(vec![], 1).map_err(|e| AlgoError::InvariantViolated {
@@ -44,11 +44,14 @@ pub fn randomized_edge_coloring(
             reason: format!("palette {palette} below 2Δ − 1 = {needed}"),
         });
     }
+    let palette_len = num::to_usize(palette)?;
+    let palette32 = num::to_u32(palette_len)?;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut net = Network::new(g);
     let mut colors: Vec<Option<Color>> = vec![None; m];
     let mut uncolored = m;
-    let cap = 64 * (m.max(2) as f64).log2().ceil() as u64 + 64;
+    // lint: allow(cast, "ceil of log2 of an edge count is a small positive integer")
+    let cap = 64 * num::approx_f64(m.max(2)).log2().ceil() as u64 + 64;
 
     while uncolored > 0 {
         if net.stats().rounds > cap {
@@ -63,15 +66,17 @@ pub fn randomized_edge_coloring(
             if colors[e.index()].is_some() {
                 continue;
             }
-            let mut used = vec![false; palette as usize];
+            let mut used = vec![false; palette_len];
             for w in [u, v] {
                 for f in g.incident_edges(w) {
                     if let Some(c) = colors[f.index()] {
-                        used[c as usize] = true;
+                        used[num::usize_from(c)] = true;
                     }
                 }
             }
-            let free: Vec<Color> = (0..palette as u32).filter(|&c| !used[c as usize]).collect();
+            let free: Vec<Color> = (0..palette32)
+                .filter(|&c| !used[num::usize_from(c)])
+                .collect();
             proposal[e.index()] = free.choose(&mut rng).copied();
         }
         // One round: endpoints exchange the proposals of their incident
@@ -80,7 +85,10 @@ pub fn randomized_edge_coloring(
             .vertices()
             .map(|w| {
                 g.incident_edges(w)
-                    .filter_map(|f| proposal[f.index()].map(|c| (f.index() as u32, c)))
+                    .filter_map(|f| {
+                        // lint: allow(cast, "edge ids fit u32 by the builder's id-width invariant")
+                        proposal[f.index()].map(|c| (f.index() as u32, c))
+                    })
                     .collect()
             })
             .collect();

@@ -9,6 +9,15 @@
 //! them up to polylog factors.
 
 use crate::util::{integer_root, integer_root_ceil, log_star};
+use decolor_graph::num;
+
+/// The paper's a-hat = ceil(q * a) parameter for the Section 5 analytic
+/// formulas (graph parameters sit far below 2^53).
+fn qa_ceil_u64(q: f64, a: u64) -> u64 {
+    let v = (q * num::approx_u64(a.max(1))).ceil().max(0.0);
+    // lint: allow(cast, "non-negative ceiling of an analytic estimate over graph parameters below 2^63")
+    v as u64
+}
 
 /// Table 1, "our results" color count: `2^{x+1}·Δ`.
 pub fn table1_ours_colors(delta: u64, x: u32) -> u64 {
@@ -17,17 +26,18 @@ pub fn table1_ours_colors(delta: u64, x: u32) -> u64 {
 
 /// Table 1, "our results" time shape: `x · Δ^{1/(2x+2)} + log* n`.
 pub fn table1_ours_time(delta: u64, x: u32, n: u64) -> f64 {
-    x as f64 * (delta as f64).powf(1.0 / (2.0 * x as f64 + 2.0)) + f64::from(log_star(n))
+    f64::from(x) * num::approx_u64(delta).powf(1.0 / (2.0 * f64::from(x) + 2.0))
+        + f64::from(log_star(n))
 }
 
 /// Table 1, "previous results" (\[7\] + \[17\]) color count: `(2^{x+1} + ε)·Δ`.
 pub fn table1_prev_colors(delta: u64, x: u32, epsilon: f64) -> f64 {
-    ((1u64 << (x + 1)) as f64 + epsilon) * delta as f64
+    (num::approx_u64(1u64 << (x + 1)) + epsilon) * num::approx_u64(delta)
 }
 
 /// Table 1, "previous results" time shape: `x · Δ^{1/(x+2)} + log* n`.
 pub fn table1_prev_time(delta: u64, x: u32, n: u64) -> f64 {
-    x as f64 * (delta as f64).powf(1.0 / (x as f64 + 2.0)) + f64::from(log_star(n))
+    f64::from(x) * num::approx_u64(delta).powf(1.0 / (f64::from(x) + 2.0)) + f64::from(log_star(n))
 }
 
 /// Table 2, "our results" color count: `D^{x+1}·S`.
@@ -38,18 +48,22 @@ pub fn table2_ours_colors(diversity: u64, clique_size: u64, x: u32) -> u64 {
 /// Table 2, "our results" time shape: `x·√D·S^{1/(2x+2)}... ` — precisely
 /// `x · √(D) · S^{1/(2x+2)} + log* n` (the table's Õ(x·√(D)·S^{1/(2x+2)})).
 pub fn table2_ours_time(diversity: u64, clique_size: u64, x: u32, n: u64) -> f64 {
-    x as f64 * (diversity as f64).sqrt() * (clique_size as f64).powf(1.0 / (2.0 * x as f64 + 2.0))
+    f64::from(x)
+        * num::approx_u64(diversity).sqrt()
+        * num::approx_u64(clique_size).powf(1.0 / (2.0 * f64::from(x) + 2.0))
         + f64::from(log_star(n))
 }
 
 /// Table 2, "previous results" color count: `(D^{x+1} + ε)·Δ`.
 pub fn table2_prev_colors(diversity: u64, delta: u64, x: u32, epsilon: f64) -> f64 {
-    (diversity.pow(x + 1) as f64 + epsilon) * delta as f64
+    (num::approx_u64(diversity.pow(x + 1)) + epsilon) * num::approx_u64(delta)
 }
 
 /// Table 2, "previous results" time shape: `x·D^x·Δ^{1/(x+2)} + log* n`.
 pub fn table2_prev_time(diversity: u64, delta: u64, x: u32, n: u64) -> f64 {
-    x as f64 * (diversity.pow(x) as f64) * (delta as f64).powf(1.0 / (x as f64 + 2.0))
+    f64::from(x)
+        * num::approx_u64(diversity.pow(x))
+        * num::approx_u64(delta).powf(1.0 / (f64::from(x) + 2.0))
         + f64::from(log_star(n))
 }
 
@@ -86,7 +100,7 @@ pub fn star_partition_palette_product(delta: u64, t: u64, x: u32) -> u64 {
 
 /// Theorem 5.2 palette: `max(4d + 1, Δ + d)` with `d = ⌈q·a⌉`.
 pub fn theorem52_palette(delta: u64, a: u64, q: f64) -> u64 {
-    let d = (q * a.max(1) as f64).ceil() as u64;
+    let d = qa_ceil_u64(q, a);
     (4 * d + 1).max(delta + d)
 }
 
@@ -94,7 +108,7 @@ pub fn theorem52_palette(delta: u64, a: u64, q: f64) -> u64 {
 /// implementation's constants (the product of two Theorem 5.2 palettes on
 /// √-sized pieces).
 pub fn theorem53_palette(delta: u64, a: u64, q: f64) -> u64 {
-    let d = (q * a.max(1) as f64).ceil() as u64;
+    let d = qa_ceil_u64(q, a);
     let s_in = integer_root_ceil(delta, 2);
     let s_out = integer_root_ceil(d, 2);
     // Connector: degree ≤ s_in + s_out, out-degree ≤ s_out.
@@ -107,24 +121,24 @@ pub fn theorem53_palette(delta: u64, a: u64, q: f64) -> u64 {
 
 /// Theorem 5.4 color bound: `(Δ^{1/x} + â^{1/x} + 3)^x`.
 pub fn theorem54_palette(delta: u64, a: u64, q: f64, x: u32) -> u64 {
-    let ahat = (q * a.max(1) as f64).ceil() as u64;
+    let ahat = qa_ceil_u64(q, a);
     (integer_root_ceil(delta, x) + integer_root_ceil(ahat, x) + 3).saturating_pow(x)
 }
 
 /// Theorem 5.2 round shape: `a · log n`.
 pub fn theorem52_time(a: u64, n: u64) -> f64 {
-    a.max(1) as f64 * (n.max(2) as f64).log2()
+    num::approx_u64(a.max(1)) * num::approx_u64(n.max(2)).log2()
 }
 
 /// Theorem 5.3 round shape: `√a · log n`.
 pub fn theorem53_time(a: u64, n: u64) -> f64 {
-    (a.max(1) as f64).sqrt() * (n.max(2) as f64).log2()
+    num::approx_u64(a.max(1)).sqrt() * num::approx_u64(n.max(2)).log2()
 }
 
 /// Theorem 5.4 round shape: `â^{1/x} · (x + log n / log q)`.
 pub fn theorem54_time(a: u64, q: f64, x: u32, n: u64) -> f64 {
-    let ahat = (q * a.max(1) as f64).ceil();
-    ahat.powf(1.0 / x as f64) * (x as f64 + (n.max(2) as f64).log2() / q.log2())
+    let ahat = (q * num::approx_u64(a.max(1))).ceil();
+    ahat.powf(1.0 / f64::from(x)) * (f64::from(x) + num::approx_u64(n.max(2)).log2() / q.log2())
 }
 
 #[cfg(test)]

@@ -43,10 +43,18 @@ use crate::star_partition::{
     star_partition_edge_coloring, star_partition_edge_coloring_on, StarPartitionParams,
 };
 use crate::util::integer_root_ceil;
+use decolor_graph::num;
 
 /// Child outcome of a parallel class recursion in the materializing
 /// reference path (subgraph, colors, palette, stats).
 type ClassOutcome = (SpanningEdgeSubgraph, Vec<Color>, u64, NetworkStats);
+
+/// The paper's a-hat = ceil(q * a) degree bound for the H-partition, clamped to >= 1.
+fn qa_ceil(q: f64, a: usize) -> usize {
+    let v = (q * num::approx_f64(a.max(1))).ceil();
+    // lint: allow(cast, "q is validated finite and >= 2, so the ceiling is positive; counts near 2^53 are unreachable")
+    (v as usize).max(1)
+}
 /// Child outcome of a view-based class recursion (colors, palette, stats).
 type ViewOutcome = Result<Option<(Vec<Color>, u64, NetworkStats)>, AlgoError>;
 
@@ -156,8 +164,8 @@ pub fn theorem52_on<R: GraphView + Sync, V: GraphView + Sync>(
             reason: "intra_levels must be ≥ 1".into(),
         });
     }
-    let d = ((q * a.max(1) as f64).ceil() as usize).max(1);
-    let delta = view.max_degree() as u64;
+    let d = qa_ceil(q, a);
+    let delta = num::to_u64(view.max_degree());
     let hp = h_partition(view, d)?;
     let mut stats = hp.stats;
 
@@ -183,7 +191,7 @@ pub fn theorem52_on<R: GraphView + Sync, V: GraphView + Sync>(
             &StarPartitionParams {
                 subroutine: cfg,
                 ..StarPartitionParams::for_max_degree(
-                    GraphView::max_degree(&intra) as u64,
+                    num::to_u64(GraphView::max_degree(&intra)),
                     intra_levels,
                 )
             },
@@ -197,7 +205,7 @@ pub fn theorem52_on<R: GraphView + Sync, V: GraphView + Sync>(
 
     // Crossing stages, H_ℓ first ("we go over the sets from H_ℓ back to
     // H_1"): stage i colors the edges between H_i and the later sets.
-    let palette = intra_palette.max(delta + d as u64);
+    let palette = intra_palette.max(delta + num::to_u64(d));
     let mut net = Network::new(view);
     if hp.num_sets >= 2 {
         for i in (0..hp.num_sets - 1).rev() {
@@ -260,8 +268,8 @@ pub fn theorem52_reference(
             reason: format!("q = {q} must be ≥ 2 (+ε)"),
         });
     }
-    let d = ((q * a.max(1) as f64).ceil() as usize).max(1);
-    let delta = g.max_degree() as u64;
+    let d = qa_ceil(q, a);
+    let delta = num::to_u64(g.max_degree());
     let hp = h_partition(g, d)?;
     let mut stats = hp.stats;
 
@@ -289,7 +297,7 @@ pub fn theorem52_reference(
         stats = stats.then(star.stats);
     }
 
-    let palette = intra_palette.max(delta + d as u64);
+    let palette = intra_palette.max(delta + num::to_u64(d));
     let mut net = Network::new(g);
     if hp.num_sets >= 2 {
         for i in (0..hp.num_sets - 1).rev() {
@@ -383,14 +391,14 @@ fn theorem53_head(
     if g.num_edges() == 0 {
         return Ok(None);
     }
-    let d = ((q * a.max(1) as f64).ceil() as usize).max(1);
-    let delta = g.max_degree() as u64;
+    let d = qa_ceil(q, a);
+    let delta = num::to_u64(g.max_degree());
     let hp = h_partition(g, d)?;
     let orient = hp.orientation(g);
     let mut stats = hp.stats;
 
-    let s_in = (integer_root_ceil(delta, 2) as usize).max(1);
-    let s_out = (integer_root_ceil(d as u64, 2) as usize).max(1);
+    let s_in = num::to_usize(integer_root_ceil(delta, 2))?.max(1);
+    let s_out = num::to_usize(integer_root_ceil(num::to_u64(d), 2))?.max(1);
     let conn = orientation_connector(g, &orient, s_in, s_out, false)?;
     stats.rounds += 1; // local construction
     let a_conn = conn.orientation.max_out_degree(&conn.graph).max(1);
@@ -406,14 +414,13 @@ fn class_max_out_degree(g: &Graph, orient: &Orientation, class: &[EdgeId]) -> us
     let mut out_deg = vec![0u32; g.num_vertices()];
     for &e in class {
         let head = orient.head(e);
-        // lint: allow(panic, "orientation heads are validated endpoints of their edges")
         let tail = g
             .other_endpoint(e, head)
             // lint: allow(panic, "orientation heads are endpoints by construction")
             .expect("orientation heads are endpoints by construction");
         out_deg[tail.index()] += 1;
     }
-    out_deg.iter().copied().max().unwrap_or(0) as usize
+    num::usize_from(out_deg.iter().copied().max().unwrap_or(0))
 }
 
 /// Groups the edges of `g` by `phi` (whose edge ids align with `g`) and
@@ -580,8 +587,8 @@ pub fn theorem54(
     if g.num_edges() == 0 {
         return empty_coloring();
     }
-    let d = ((q * a.max(1) as f64).ceil() as usize).max(1);
-    let delta = g.max_degree() as u64;
+    let d = qa_ceil(q, a);
+    let delta = num::to_u64(g.max_degree());
     let hp = h_partition(g, d)?;
     let orient = hp.orientation(g);
     let stats = hp.stats;
@@ -594,9 +601,10 @@ pub fn theorem54(
     }
     // Group sizes fixed from the *original* Δ and â (the paper's
     // ⌈Δ^{1/x} + 1⌉ / ⌈â^{1/x} + 1⌉).
+    let x32 = num::to_u32(x)?;
     let ctx = T54Ctx {
-        s_in: (integer_root_ceil(delta, x as u32) as usize + 1).max(2),
-        s_out: (integer_root_ceil(d as u64, x as u32) as usize + 1).max(2),
+        s_in: (num::to_usize(integer_root_ceil(delta, x32))? + 1).max(2),
+        s_out: (num::to_usize(integer_root_ceil(num::to_u64(d), x32))? + 1).max(2),
         q,
         cfg,
     };
@@ -641,8 +649,8 @@ pub fn theorem54_reference(
     if g.num_edges() == 0 {
         return empty_coloring();
     }
-    let d = ((q * a.max(1) as f64).ceil() as usize).max(1);
-    let delta = g.max_degree() as u64;
+    let d = qa_ceil(q, a);
+    let delta = num::to_u64(g.max_degree());
     let hp = h_partition(g, d)?;
     let orient = hp.orientation(g);
     let stats = hp.stats;
@@ -653,8 +661,9 @@ pub fn theorem54_reference(
             stats: stats.then(t52.stats),
         });
     }
-    let s_in = (integer_root_ceil(delta, x as u32) as usize + 1).max(2);
-    let s_out = (integer_root_ceil(d as u64, x as u32) as usize + 1).max(2);
+    let x32 = num::to_u32(x)?;
+    let s_in = (num::to_usize(integer_root_ceil(delta, x32))? + 1).max(2);
+    let s_out = (num::to_usize(integer_root_ceil(num::to_u64(d), x32))? + 1).max(2);
     let (colors, palette, level_stats) = t54_level(g, &orient, s_in, s_out, x, q, cfg)?;
     let coloring =
         EdgeColoring::new(colors, palette).map_err(|e| AlgoError::InvariantViolated {
@@ -703,7 +712,7 @@ fn t54_level_on<V: GraphView + Sync>(
             let tail = if head == u { v } else { u };
             out_deg[tail.index()] += 1;
         }
-        let a_cur = (out_deg.iter().copied().max().unwrap_or(0) as usize).max(1);
+        let a_cur = num::usize_from(out_deg.iter().copied().max().unwrap_or(0)).max(1);
         let t52 = theorem52_on(root, view, a_cur, ctx.q, 1, ctx.cfg)?;
         return Ok((
             t52.coloring.as_slice().to_vec(),
@@ -712,7 +721,7 @@ fn t54_level_on<V: GraphView + Sync>(
         ));
     }
     let (conn, in_a) = bipartite_orientation_connector_on(view, heads, ctx.s_in, ctx.s_out)?;
-    let palette_conn = (ctx.s_in + ctx.s_out - 1) as u64;
+    let palette_conn = num::to_u64(ctx.s_in + ctx.s_out - 1);
     let (phi, phi_stats) = one_sided_edge_coloring(&conn, &in_a, palette_conn)?;
     let mut stats = NetworkStats {
         rounds: 1,
@@ -796,7 +805,7 @@ fn t54_level(
         .iter()
         .map(|k| matches!(k, VirtualKind::Out(_)))
         .collect();
-    let palette_conn = (s_in + s_out - 1) as u64;
+    let palette_conn = num::to_u64(s_in + s_out - 1);
     let (phi, phi_stats) = one_sided_edge_coloring(&conn.graph, &in_a, palette_conn)?;
     let mut stats = NetworkStats {
         rounds: 1,
@@ -872,8 +881,8 @@ pub fn corollary55(
     a: usize,
     cfg: SubroutineConfig,
 ) -> Result<(ArboricityColoring, Corollary55Params), AlgoError> {
-    let delta = g.max_degree().max(2) as f64;
-    let a_eff = a.max(1) as f64;
+    let delta = num::approx_f64(g.max_degree().max(2));
+    let a_eff = num::approx_f64(a.max(1));
     let log_delta = delta.log2();
     let loglog_delta = log_delta.log2().max(1.0);
     let small_a_threshold = (log_delta / (4.0 * loglog_delta)).exp2();
@@ -883,9 +892,11 @@ pub fn corollary55(
             .max((log_delta / loglog_delta).exp2() / a_eff)
             .min(1e6);
         let ahat = (q * a_eff).max(2.0);
+        // lint: allow(cast, "ahat >= 2 so its log2 is >= 1, and the clamp bounds the result to 1..=6")
         ((ahat.log2().ceil() as usize).clamp(1, 6), q.max(2.5))
     } else {
         let ahat = (2.5 * a_eff).max(2.0);
+        // lint: allow(cast, "positive ratio of logs, clamped to 1..=6 on the next line")
         let x = (ahat.log2() / ahat.log2().log2().max(1.0)).ceil() as usize;
         (x.clamp(1, 6), 2.5)
     };

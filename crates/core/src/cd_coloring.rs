@@ -27,6 +27,7 @@ use crate::delta_plus_one::{vertex_coloring_with_target, Seed, SubroutineConfig}
 use crate::error::AlgoError;
 use crate::linial;
 use crate::util::integer_root;
+use decolor_graph::num;
 
 /// Parameters of CD-Coloring.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,11 +61,20 @@ impl Default for CdParams {
     }
 }
 
+/// §3's optimizing `t = ⌊S^{1/(x+1)}⌋` (clamped to ≥ 2) for clique size
+/// `s` and `x` levels; absurd `x` saturates the exponent, which the
+/// clamp absorbs.
+fn optimal_t_for(s: usize, x: usize) -> usize {
+    let exp = u32::try_from(x).unwrap_or(u32::MAX).saturating_add(1);
+    // lint: allow(cast, "an integer root of S is at most S, which started as a usize")
+    integer_root(num::to_u64(s), exp).max(2) as usize
+}
+
 impl CdParams {
     /// §3's optimizing choice for `x` levels: `t = ⌊S^{1/(x+1)}⌋`
     /// (clamped to ≥ 2), where `S` is the maximal clique size.
     pub fn for_levels(max_clique_size: usize, x: usize) -> CdParams {
-        let t = integer_root(max_clique_size as u64, x as u32 + 1).max(2) as usize;
+        let t = optimal_t_for(max_clique_size, x);
         CdParams {
             t,
             x: x.max(1),
@@ -75,7 +85,8 @@ impl CdParams {
     /// The §3 polylogarithmic-time corollary: `x = log S / (ε log log S)`,
     /// giving 2·S^{1 + 1/(ε log log S)}·-ish colors in polylog rounds.
     pub fn polylog(max_clique_size: usize, epsilon: f64) -> CdParams {
-        let s = (max_clique_size.max(4)) as f64;
+        let s = num::approx_f64(max_clique_size.max(4));
+        // lint: allow(cast, "positive ratio of logs; the max(1) at use keeps the level count sane")
         let x = (s.log2() / (epsilon.max(0.1) * s.log2().log2().max(1.0))).ceil() as usize;
         CdParams::for_levels(max_clique_size, x.max(1))
     }
@@ -204,7 +215,7 @@ fn finish_cd<G: GraphView>(
     // §3 / Appendix B: the final basic color reduction ("we can apply the
     // basic reduction for 2 rounds, and obtain D²S-coloring").
     if let Some(requested) = params.trim_to {
-        let target = requested.max(g.max_degree() as u64 + 1);
+        let target = requested.max(num::to_u64(g.max_degree()) + 1);
         if coloring.palette() > target {
             let mut colors = coloring.as_slice().to_vec();
             let mut net = Network::new(g);
@@ -263,7 +274,7 @@ fn level_on<G: GraphView + Sync>(
     let local_cover = cover.restrict_to_subset(view);
     // Appendix B's A_{i+1}: re-optimize t from the current clique size.
     let t = if params.per_level_t {
-        integer_root(local_cover.max_clique_size() as u64, x as u32 + 1).max(2) as usize
+        optimal_t_for(local_cover.max_clique_size(), x)
     } else {
         params.t
     };
@@ -271,8 +282,8 @@ fn level_on<G: GraphView + Sync>(
     // Line 1: the connector (O(1) rounds, charged below), straight off
     // the subset view — no induced subgraph anywhere.
     let conn = clique_connector_on(view, &local_cover, t)?;
-    let gamma = (diversity as u64) * (t as u64 - 1) + 1;
-    if (conn.graph.max_degree() as u64) >= gamma {
+    let gamma = num::to_u64(diversity) * (num::to_u64(t) - 1) + 1;
+    if num::to_u64(conn.graph.max_degree()) >= gamma {
         return Err(AlgoError::InvariantViolated {
             reason: format!(
                 "Lemma 2.1 violated: connector degree {} ≥ γ = {gamma} (cover inconsistent?)",
@@ -329,8 +340,8 @@ fn level_on<G: GraphView + Sync>(
                 // Line 12: direct coloring with D(⌈S/t⌉ − 1) + 1 colors,
                 // on the induced view of the class.
                 let child = InducedSubgraphView::new(root, parents).map_err(AlgoError::bad_view)?;
-                let target = (diversity as u64) * (k_bound as u64 - 1) + 1;
-                if (child.max_degree() as u64) >= target.max(1) {
+                let target = num::to_u64(diversity) * (num::to_u64(k_bound) - 1) + 1;
+                if num::to_u64(child.max_degree()) >= target.max(1) {
                     return Err(AlgoError::InvariantViolated {
                         reason: format!(
                             "Lemma 2.2 violated: class degree {} ≥ D(k−1)+1 = {target}",
@@ -374,7 +385,7 @@ fn level_on<G: GraphView + Sync>(
             continue;
         };
         for (child_local, &view_local) in class.iter().enumerate() {
-            let combined = c as u64 * inner_palette + u64::from(colors[child_local]);
+            let combined = num::to_u64(c) * inner_palette + u64::from(colors[child_local]);
             out[view_local.index()] =
                 u32::try_from(combined).map_err(|_| AlgoError::InvariantViolated {
                     reason: "combined color exceeds u32".into(),
@@ -407,15 +418,15 @@ fn level(
     }
     // Appendix B's A_{i+1}: re-optimize t from the current clique size.
     let t = if params.per_level_t {
-        integer_root(cover.max_clique_size() as u64, x as u32 + 1).max(2) as usize
+        optimal_t_for(cover.max_clique_size(), x)
     } else {
         params.t
     };
 
     // Line 1: the connector (O(1) rounds, charged below).
     let conn = clique_connector(g, cover, t)?;
-    let gamma = (diversity as u64) * (t as u64 - 1) + 1;
-    if (conn.graph.max_degree() as u64) >= gamma {
+    let gamma = num::to_u64(diversity) * (num::to_u64(t) - 1) + 1;
+    if num::to_u64(conn.graph.max_degree()) >= gamma {
         return Err(AlgoError::InvariantViolated {
             reason: format!(
                 "Lemma 2.1 violated: connector degree {} ≥ γ = {gamma} (cover inconsistent?)",
@@ -459,8 +470,8 @@ fn level(
                 level(sub.graph(), &sub_cover, &sub_base, diversity, params, x - 1)?
             } else {
                 // Line 12: direct coloring with D(⌈S/t⌉ − 1) + 1 colors.
-                let target = (diversity as u64) * (k as u64 - 1) + 1;
-                if (sub.graph().max_degree() as u64) >= target.max(1) {
+                let target = num::to_u64(diversity) * (num::to_u64(k) - 1) + 1;
+                if num::to_u64(sub.graph().max_degree()) >= target.max(1) {
                     return Err(AlgoError::InvariantViolated {
                         reason: format!(
                             "Lemma 2.2 violated: class degree {} ≥ D(k−1)+1 = {target}",
@@ -562,10 +573,10 @@ pub fn direct_bounded_diversity_coloring(
     cover: &CliqueCover,
     ids: &IdAssignment,
 ) -> Result<CdColoring, AlgoError> {
-    let d = cover.diversity().max(1) as u64;
-    let s = cover.max_clique_size().max(1) as u64;
+    let d = num::to_u64(cover.diversity().max(1));
+    let s = num::to_u64(cover.max_clique_size().max(1));
     let target = d * (s - 1) + 1;
-    if (g.max_degree() as u64) >= target.max(1) {
+    if num::to_u64(g.max_degree()) >= target.max(1) {
         return Err(AlgoError::InvariantViolated {
             reason: format!(
                 "cover inconsistent: Δ = {} ≥ D(S−1)+1 = {target}",

@@ -21,7 +21,7 @@ use std::io::Read;
 use std::path::Path;
 
 use decolor_graph::storage::{crc32, write_file_durable_with, Crc32};
-use decolor_graph::GraphError;
+use decolor_graph::{num, GraphError};
 
 /// Checkpoint magic tag ("DCLR CKP").
 const CKPT_TAG: u64 = 0x4443_4c52_434b_5000;
@@ -29,8 +29,14 @@ const CKPT_TAG: u64 = 0x4443_4c52_434b_5000;
 const CKPT_VERSION: u64 = 1;
 /// Fixed header words before the palette trace.
 const HEADER_WORDS: usize = 10;
+/// Byte length of the fixed header.
+// lint: allow(arith, "const context: overflow is a compile-time error")
+const HEADER_BYTES: usize = HEADER_WORDS * 8;
 /// Color words converted per I/O chunk.
 const CHUNK_WORDS: usize = 1 << 17;
+/// Byte length of one I/O chunk.
+// lint: allow(arith, "const context: overflow is a compile-time error")
+const CHUNK_BYTES: usize = CHUNK_WORDS * 8;
 
 /// Inter-round state of a chunked Linial run (see the module docs).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -59,7 +65,7 @@ pub struct RoundCheckpoint {
 /// (`n`, `m`, Δ) plus the full initial coloring.
 pub fn input_fingerprint(n: usize, m: usize, delta: usize, palette: u64, initial: &[u32]) -> u32 {
     let mut crc = Crc32::new();
-    for w in [n as u64, m as u64, delta as u64, palette] {
+    for w in [num::to_u64(n), num::to_u64(m), num::to_u64(delta), palette] {
         crc.update(&w.to_le_bytes());
     }
     for &c in initial {
@@ -76,6 +82,7 @@ fn corrupt(path: &Path, reason: String) -> GraphError {
 }
 
 fn read_word_at(bytes: &[u8], i: usize) -> u64 {
+    // lint: allow(arith, "callers index within buffers whose length they sized or validated")
     let b = &bytes[i * 8..i * 8 + 8];
     u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
 }
@@ -89,6 +96,7 @@ impl RoundCheckpoint {
     ///
     /// [`GraphError::Io`] on any filesystem failure.
     pub fn save(&self, path: &Path) -> Result<(), GraphError> {
+        // lint: allow(arith, "capacity hint; the trace holds one word per round, far below usize::MAX")
         let mut head: Vec<u64> = Vec::with_capacity(HEADER_WORDS + self.trace.len());
         head.extend([
             CKPT_TAG,
@@ -100,10 +108,10 @@ impl RoundCheckpoint {
             self.rounds,
             self.messages,
             self.payload_bytes,
-            self.trace.len() as u64,
+            num::to_u64(self.trace.len()),
         ]);
         head.extend_from_slice(&self.trace);
-        let mut head_bytes = Vec::with_capacity((head.len() + 1) * 8);
+        let mut head_bytes = Vec::with_capacity(num::byte_len(num::add(head.len(), 1)?, 8)?);
         for w in &head {
             head_bytes.extend_from_slice(&w.to_le_bytes());
         }
@@ -114,7 +122,7 @@ impl RoundCheckpoint {
             // Colors stream through a bounded chunk buffer: no n-word
             // byte copy, so checkpointing never doubles peak RAM.
             let mut crc = Crc32::new();
-            let mut buf = Vec::with_capacity(CHUNK_WORDS * 8);
+            let mut buf = Vec::with_capacity(CHUNK_BYTES);
             for chunk in self.colors.chunks(CHUNK_WORDS) {
                 buf.clear();
                 for c in chunk {
@@ -145,7 +153,7 @@ impl RoundCheckpoint {
             }
         };
         let short = |what: &str| corrupt(path, format!("checkpoint truncated in {what}"));
-        let mut fixed = vec![0u8; HEADER_WORDS * 8];
+        let mut fixed = vec![0u8; HEADER_BYTES];
         f.read_exact(&mut fixed).map_err(|_| short("header"))?;
         if read_word_at(&fixed, 0) != CKPT_TAG {
             return Err(corrupt(
@@ -170,28 +178,32 @@ impl RoundCheckpoint {
                 format!("implausible checkpoint header n = {n}, trace_len = {trace_len}"),
             ));
         }
-        let mut rest = vec![0u8; (trace_len as usize + 1) * 8];
+        let trace_words = num::to_usize(trace_len)?;
+        // lint: allow(arith, "trace_len <= 2^16 is validated just above")
+        let mut rest = vec![0u8; (trace_words + 1) * 8];
         f.read_exact(&mut rest)
             .map_err(|_| short("palette trace"))?;
         let mut head_crc = Crc32::new();
         head_crc.update(&fixed);
-        head_crc.update(&rest[..trace_len as usize * 8]);
-        if u64::from(head_crc.finish()) != read_word_at(&rest, trace_len as usize) {
+        // lint: allow(arith, "trace_words <= 2^16, and rest holds trace_words + 1 words")
+        head_crc.update(&rest[..trace_words * 8]);
+        if u64::from(head_crc.finish()) != read_word_at(&rest, trace_words) {
             return Err(corrupt(path, "checkpoint header checksum mismatch".into()));
         }
-        let trace: Vec<u64> = (0..trace_len as usize)
-            .map(|i| read_word_at(&rest, i))
-            .collect();
+        let trace: Vec<u64> = (0..trace_words).map(|i| read_word_at(&rest, i)).collect();
 
-        let mut colors: Vec<u64> = Vec::with_capacity(n as usize);
+        let n_words = num::to_usize(n)?;
+        let mut colors: Vec<u64> = Vec::with_capacity(n_words);
         let mut crc = Crc32::new();
-        let mut buf = vec![0u8; CHUNK_WORDS * 8];
-        let mut left = n as usize;
+        let mut buf = vec![0u8; CHUNK_BYTES];
+        let mut left = n_words;
         while left > 0 {
             let take = CHUNK_WORDS.min(left);
-            f.read_exact(&mut buf[..take * 8])
+            // lint: allow(arith, "take <= CHUNK_WORDS, so take * 8 <= CHUNK_BYTES")
+            let take_bytes = take * 8;
+            f.read_exact(&mut buf[..take_bytes])
                 .map_err(|_| short("colors"))?;
-            crc.update(&buf[..take * 8]);
+            crc.update(&buf[..take_bytes]);
             for i in 0..take {
                 colors.push(read_word_at(&buf, i));
             }
@@ -206,7 +218,8 @@ impl RoundCheckpoint {
         Ok(Some(RoundCheckpoint {
             n,
             delta: read_word_at(&fixed, 3),
-            fingerprint: read_word_at(&fixed, 4) as u32,
+            fingerprint: u32::try_from(read_word_at(&fixed, 4))
+                .map_err(|_| corrupt(path, "checkpoint fingerprint word exceeds u32".into()))?,
             m: read_word_at(&fixed, 5),
             rounds: read_word_at(&fixed, 6),
             messages: read_word_at(&fixed, 7),

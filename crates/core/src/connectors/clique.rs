@@ -79,6 +79,7 @@ pub fn clique_connector_for(
                 for &v in &chunk[i + 1..] {
                     // The same pair may share several groups across
                     // cliques; E′ is a set, so dedup.
+                    // lint: allow(result, "the dedup builder's inserted/duplicate bool is deliberately ignored; errors still propagate via ?")
                     let _ = b.add_edge_dedup(u.index(), v.index())?;
                 }
             }

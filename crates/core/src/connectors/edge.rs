@@ -10,7 +10,7 @@
 //! "no line-graph simulation needed" point of §4.
 
 use decolor_graph::subgraph::GraphView;
-use decolor_graph::{EdgeId, Graph, GraphBuilder, VertexId};
+use decolor_graph::{num, EdgeId, Graph, GraphBuilder, VertexId};
 
 use crate::error::AlgoError;
 
@@ -61,7 +61,7 @@ pub fn edge_connector(g: &Graph, t: usize) -> Result<EdgeConnector, AlgoError> {
         for i in 0..k {
             mine.push(VertexId::new(owner.len()));
             owner.push(v);
-            group_index.push(i as u32);
+            group_index.push(num::to_u32(i)?);
         }
         virtuals_of.push(mine);
     }
@@ -152,6 +152,7 @@ pub fn edge_connector_graph_on<V: GraphView>(view: &V, t: usize) -> Result<Graph
         }
         let mut pos = 0usize;
         view.for_each_incident_edge(v, |le| {
+            // lint: allow(cast, "pos / t is below the vertex's virtual-group count, which fits u32")
             let virt = base + (pos / t) as u32;
             let [lo, _hi] = view.endpoints(le);
             if v == lo {
@@ -167,7 +168,7 @@ pub fn edge_connector_graph_on<V: GraphView>(view: &V, t: usize) -> Result<Graph
     // multigraph builder can skip the per-edge dedup hashing.
     let mut b = GraphBuilder::new_multi(acc).with_edge_capacity(k);
     for le in 0..k {
-        b.add_edge(virt_lo[le] as usize, virt_hi[le] as usize)
+        b.add_edge(num::usize_from(virt_lo[le]), num::usize_from(virt_hi[le]))
             .map_err(|err| AlgoError::InvariantViolated {
                 reason: err.to_string(),
             })?;

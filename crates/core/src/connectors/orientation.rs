@@ -18,7 +18,7 @@
 
 use decolor_graph::orientation::Orientation;
 use decolor_graph::subgraph::GraphView;
-use decolor_graph::{EdgeId, Graph, GraphBuilder, VertexId};
+use decolor_graph::{num, EdgeId, Graph, GraphBuilder, VertexId};
 
 use crate::error::AlgoError;
 
@@ -106,13 +106,13 @@ pub fn orientation_connector(
             for i in 0..k_in {
                 ins.push(VertexId::new(owner.len()));
                 owner.push(v);
-                kind.push(VirtualKind::In(i as u32));
+                kind.push(VirtualKind::In(num::to_u32(i)?));
             }
             let mut outs = Vec::with_capacity(k_out);
             for i in 0..k_out {
                 outs.push(VertexId::new(owner.len()));
                 owner.push(v);
-                kind.push(VirtualKind::Out(i as u32));
+                kind.push(VirtualKind::Out(num::to_u32(i)?));
             }
             in_virtuals.push(ins);
             out_virtuals.push(outs);
@@ -122,7 +122,7 @@ pub fn orientation_connector(
             for i in 0..k {
                 shared.push(VertexId::new(owner.len()));
                 owner.push(v);
-                kind.push(VirtualKind::Shared(i as u32));
+                kind.push(VirtualKind::Shared(num::to_u32(i)?));
             }
             in_virtuals.push(shared.clone());
             out_virtuals.push(shared);
@@ -228,7 +228,7 @@ pub fn bipartite_orientation_connector_on<V: GraphView>(
     let mut in_a = Vec::new();
     let mut acc = 0usize;
     for vi in 0..n {
-        let ki = (in_count[vi] as usize).div_ceil(s_in);
+        let ki = num::usize_from(in_count[vi]).div_ceil(s_in);
         if ki > 0 {
             in_base[vi] = u32::try_from(acc).map_err(|_| AlgoError::InvalidParameters {
                 reason: "connector needs more than u32::MAX virtual vertices".into(),
@@ -236,7 +236,7 @@ pub fn bipartite_orientation_connector_on<V: GraphView>(
             acc += ki;
             in_a.extend(std::iter::repeat_n(false, ki));
         }
-        let ko = (out_count[vi] as usize).div_ceil(s_out);
+        let ko = num::usize_from(out_count[vi]).div_ceil(s_out);
         if ko > 0 {
             out_base[vi] = u32::try_from(acc).map_err(|_| AlgoError::InvalidParameters {
                 reason: "connector needs more than u32::MAX virtual vertices".into(),
@@ -246,13 +246,15 @@ pub fn bipartite_orientation_connector_on<V: GraphView>(
         }
     }
     let mut b = GraphBuilder::new_multi(acc).with_edge_capacity(k);
+    let s_in32 = num::to_u32(s_in)?;
+    let s_out32 = num::to_u32(s_out)?;
     for le in (0..k).map(EdgeId::new) {
         let head = heads[le.index()];
         let [a, c] = view.endpoints(le);
         let tail = if head == a { c } else { a };
-        let cv_head = in_base[head.index()] + in_slot[le.index()] / s_in as u32;
-        let cv_tail = out_base[tail.index()] + out_slot[le.index()] / s_out as u32;
-        b.add_edge(cv_tail as usize, cv_head as usize)
+        let cv_head = in_base[head.index()] + in_slot[le.index()] / s_in32;
+        let cv_tail = out_base[tail.index()] + out_slot[le.index()] / s_out32;
+        b.add_edge(num::usize_from(cv_tail), num::usize_from(cv_head))
             .map_err(|err| AlgoError::InvariantViolated {
                 reason: err.to_string(),
             })?;

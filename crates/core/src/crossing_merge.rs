@@ -16,7 +16,7 @@
 
 use decolor_graph::coloring::{Color, EdgeColoring};
 use decolor_graph::subgraph::GraphView;
-use decolor_graph::{EdgeId, Graph};
+use decolor_graph::{num, EdgeId, Graph};
 use decolor_runtime::{Network, NetworkStats};
 use rayon::prelude::*;
 
@@ -43,6 +43,7 @@ pub fn color_crossing_edges<V: GraphView + Sync>(
     palette: u64,
 ) -> Result<(), AlgoError> {
     let g = net.graph();
+    let palette_len = num::to_usize(palette)?;
     if in_a.len() != g.num_vertices() || edge_colors.len() != g.num_edges() {
         return Err(AlgoError::InvalidParameters {
             reason: "in_a / edge_colors shape mismatch".into(),
@@ -110,6 +111,7 @@ pub fn color_crossing_edges<V: GraphView + Sync>(
             let [u, v] = g.endpoints(e);
             let b = if in_a[u.index()] { v } else { u };
             let pb = net.port_of(b, e)?;
+            // lint: allow(cast, "vertex ids fit u32 by the builder's id-width invariant")
             let gi = *group_of.entry(b.index() as u32).or_insert_with(|| {
                 groups.push(Vec::new());
                 groups.len() - 1
@@ -126,24 +128,24 @@ pub fn color_crossing_edges<V: GraphView + Sync>(
                     let e = EdgeId::new(ei);
                     let [u, v] = g.endpoints(e);
                     let b = if in_a[u.index()] { v } else { u };
-                    let mut used = vec![false; palette as usize];
+                    let mut used = vec![false; palette_len];
                     // Colors around b (local knowledge).
                     for &c in &incident[b.index()] {
                         if u64::from(c) < palette {
-                            used[c as usize] = true;
+                            used[num::usize_from(c)] = true;
                         }
                     }
                     // Colors around a (received this round over edge e).
                     for &c in buf.msg(b, pb) {
                         if u64::from(c) < palette {
-                            used[c as usize] = true;
+                            used[num::usize_from(c)] = true;
                         }
                     }
                     // Colors b already gave its other active edges this
                     // round.
                     for &(_, c) in &assigned {
                         if u64::from(c) < palette {
-                            used[c as usize] = true;
+                            used[num::usize_from(c)] = true;
                         }
                     }
                     let free = used.iter().position(|&t| !t).ok_or_else(|| {

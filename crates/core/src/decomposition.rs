@@ -27,6 +27,7 @@ use crate::delta_plus_one::{vertex_coloring_with_target, Seed, SubroutineConfig}
 use crate::edge_space::edge_coloring_direct;
 use crate::error::AlgoError;
 use crate::linial;
+use decolor_graph::num;
 
 /// Child outcome of one view-based recursion level (labels + stats).
 type LevelOutcome = Result<Option<(Vec<u64>, NetworkStats)>, AlgoError>;
@@ -59,7 +60,7 @@ impl CliqueDecomposition {
     ///
     /// [`AlgoError::InvariantViolated`] naming the violated bound.
     pub fn verify(&self, g: &Graph, cover: &CliqueCover) -> Result<(), AlgoError> {
-        if self.num_parts as u64 > self.parts_bound {
+        if num::to_u64(self.num_parts) > self.parts_bound {
             return Err(AlgoError::InvariantViolated {
                 reason: format!(
                     "{} parts exceed (tD)^x = {}",
@@ -142,12 +143,13 @@ pub fn clique_decomposition(
         let next = map.len();
         part[v] = *map.entry(l).or_insert(next);
     }
-    let gamma = (diversity * t) as u64;
-    let clique_bound = s / t.pow(x as u32).max(1) + 2;
+    let x32 = num::to_u32(x)?;
+    let gamma = num::to_u64(diversity * t);
+    let clique_bound = s / t.pow(x32).max(1) + 2;
     Ok(CliqueDecomposition {
         part,
         num_parts: map.len(),
-        parts_bound: gamma.saturating_pow(x as u32),
+        parts_bound: gamma.saturating_pow(x32),
         clique_bound,
         stats: base_stats.then(stats),
     })
@@ -186,12 +188,13 @@ pub fn clique_decomposition_reference(
         let next = map.len();
         part[v] = *map.entry(l).or_insert(next);
     }
-    let gamma = (diversity * t) as u64;
-    let clique_bound = s / t.pow(x as u32).max(1) + 2;
+    let x32 = num::to_u32(x)?;
+    let gamma = num::to_u64(diversity * t);
+    let clique_bound = s / t.pow(x32).max(1) + 2;
     Ok(CliqueDecomposition {
         part,
         num_parts: map.len(),
-        parts_bound: gamma.saturating_pow(x as u32),
+        parts_bound: gamma.saturating_pow(x32),
         clique_bound,
         stats: base_stats.then(stats),
     })
@@ -219,7 +222,7 @@ fn decompose_level_on(
     // subset equals the reference path's level-by-level restriction.
     let local_cover = cover.restrict_to_subset(view);
     let conn = clique_connector_for(k, &local_cover, t)?;
-    let gamma = (diversity as u64) * (t as u64 - 1) + 1;
+    let gamma = num::to_u64(diversity) * (num::to_u64(t) - 1) + 1;
     let sub_base_colors: Vec<u32> = view
         .parent_vertices()
         .iter()
@@ -266,14 +269,14 @@ fn decompose_level_on(
     for o in outcomes {
         results.push(o?);
     }
-    let width = (diversity as u64 * t as u64).saturating_pow(x as u32 - 1);
+    let width = (num::to_u64(diversity) * num::to_u64(t)).saturating_pow(num::to_u32(x)? - 1);
     let mut out = vec![0u64; k];
     for (c, (class, result)) in classes.iter().zip(&results).enumerate() {
         let Some((labels, _)) = result else {
             continue;
         };
         for (child_local, &view_local) in class.iter().enumerate() {
-            out[view_local.index()] = c as u64 * width + labels[child_local];
+            out[view_local.index()] = num::to_u64(c) * width + labels[child_local];
         }
     }
     stats = stats.then(NetworkStats::in_parallel(
@@ -296,7 +299,7 @@ fn decompose_level(
         return Ok((vec![0; n], NetworkStats::default()));
     }
     let conn = crate::connectors::clique::clique_connector(g, cover, t)?;
-    let gamma = (diversity as u64) * (t as u64 - 1) + 1;
+    let gamma = num::to_u64(diversity) * (num::to_u64(t) - 1) + 1;
     let (phi, phi_stats) = vertex_coloring_with_target(
         &conn.graph,
         Seed::Coloring(base),
@@ -339,7 +342,7 @@ fn decompose_level(
             children.push(c);
         }
     }
-    let width = (diversity as u64 * t as u64).saturating_pow(x as u32 - 1);
+    let width = (num::to_u64(diversity) * num::to_u64(t)).saturating_pow(num::to_u32(x)? - 1);
     for (sub, labels, _) in &children {
         for (local, &parent) in sub.parent_vertices().iter().enumerate() {
             out[parent.index()] = u64::from(phi.color(parent)) * width + labels[local];
@@ -374,7 +377,7 @@ impl StarPartition {
     ///
     /// [`AlgoError::InvariantViolated`] naming the violated bound.
     pub fn verify(&self, g: &Graph) -> Result<(), AlgoError> {
-        if self.num_classes as u64 > self.classes_bound {
+        if num::to_u64(self.num_classes) > self.classes_bound {
             return Err(AlgoError::InvariantViolated {
                 reason: format!(
                     "{} classes exceed (2t−1)^x = {}",
@@ -458,7 +461,7 @@ fn finish_star_partition(
     Ok(StarPartition {
         class,
         num_classes: map.len(),
-        classes_bound: (2 * t as u64 - 1).saturating_pow(x as u32),
+        classes_bound: (2 * num::to_u64(t) - 1).saturating_pow(num::to_u32(x)?),
         star_bound,
         stats,
     })
@@ -476,7 +479,7 @@ fn star_level_on<V: GraphView + Sync>(
         return Ok((vec![0; view.num_edges()], NetworkStats::default()));
     }
     let conn = edge_connector_graph_on(view, t)?;
-    let target = 2 * t as u64 - 1;
+    let target = 2 * num::to_u64(t) - 1;
     let (phi, phi_stats) = edge_coloring_direct(&conn, target, SubroutineConfig::default())?;
     let mut stats = NetworkStats {
         rounds: 1,
@@ -499,14 +502,14 @@ fn star_level_on<V: GraphView + Sync>(
     for o in outcomes {
         results.push(o?);
     }
-    let width = (2 * t as u64 - 1).saturating_pow(x as u32 - 1);
+    let width = (2 * num::to_u64(t) - 1).saturating_pow(num::to_u32(x)? - 1);
     let mut out = vec![0u64; view.num_edges()];
     for (c, (class, result)) in classes.iter().zip(&results).enumerate() {
         let Some((labels, _)) = result else {
             continue;
         };
         for (child_local, &view_local) in class.iter().enumerate() {
-            out[view_local.index()] = c as u64 * width + labels[child_local];
+            out[view_local.index()] = num::to_u64(c) * width + labels[child_local];
         }
     }
     stats = stats.then(NetworkStats::in_parallel(
@@ -521,7 +524,7 @@ fn star_level(g: &Graph, t: usize, x: usize) -> Result<(Vec<u64>, NetworkStats),
         return Ok((vec![0; g.num_edges()], NetworkStats::default()));
     }
     let conn = edge_connector(g, t)?;
-    let target = 2 * t as u64 - 1;
+    let target = 2 * num::to_u64(t) - 1;
     let (phi, phi_stats) = edge_coloring_direct(&conn.graph, target, SubroutineConfig::default())?;
     let mut stats = NetworkStats {
         rounds: 1,
@@ -547,7 +550,7 @@ fn star_level(g: &Graph, t: usize, x: usize) -> Result<(Vec<u64>, NetworkStats),
             children.push(c);
         }
     }
-    let width = (2 * t as u64 - 1).saturating_pow(x as u32 - 1);
+    let width = (2 * num::to_u64(t) - 1).saturating_pow(num::to_u32(x)? - 1);
     for (sub, labels, _) in &children {
         for (local, &l) in labels.iter().enumerate() {
             let parent = sub.to_parent_edge(EdgeId::new(local));

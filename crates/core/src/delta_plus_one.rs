@@ -16,7 +16,7 @@
 use decolor_graph::coloring::{EdgeColoring, VertexColoring};
 use decolor_graph::line_graph::LineGraph;
 use decolor_graph::subgraph::GraphView;
-use decolor_graph::Graph;
+use decolor_graph::{num, Graph};
 use decolor_runtime::{IdAssignment, Network, NetworkStats};
 
 use crate::error::AlgoError;
@@ -73,7 +73,7 @@ pub fn vertex_coloring_with_target<V: GraphView>(
     target: u64,
     cfg: SubroutineConfig,
 ) -> Result<(VertexColoring, NetworkStats), AlgoError> {
-    if target < g.max_degree() as u64 + 1 {
+    if target < num::to_u64(g.max_degree()) + 1 {
         return Err(AlgoError::InvalidParameters {
             reason: format!("target {} below Δ + 1 = {}", target, g.max_degree() + 1),
         });
@@ -115,7 +115,7 @@ pub fn delta_plus_one_coloring<V: GraphView>(
     seed: Seed<'_>,
     cfg: SubroutineConfig,
 ) -> Result<(VertexColoring, NetworkStats), AlgoError> {
-    vertex_coloring_with_target(g, seed, g.max_degree() as u64 + 1, cfg)
+    vertex_coloring_with_target(g, seed, num::to_u64(g.max_degree()) + 1, cfg)
 }
 
 /// Computes a proper **edge** coloring of `g` with `target` colors,
@@ -133,7 +133,7 @@ pub fn edge_coloring_with_target(
     target: u64,
     cfg: SubroutineConfig,
 ) -> Result<(EdgeColoring, NetworkStats), AlgoError> {
-    let delta = g.max_degree() as u64;
+    let delta = num::to_u64(g.max_degree());
     if g.num_edges() == 0 {
         let empty = EdgeColoring::new(vec![], 1).map_err(|e| AlgoError::InvariantViolated {
             reason: e.to_string(),
@@ -147,7 +147,7 @@ pub fn edge_coloring_with_target(
         });
     }
     let lg = LineGraph::new(g);
-    debug_assert!((lg.graph.max_degree() as u64) < needed.max(1));
+    debug_assert!(num::to_u64(lg.graph.max_degree()) < needed.max(1));
     let ids = IdAssignment::sequential(lg.graph.num_vertices());
     let (vc, mut stats) = vertex_coloring_with_target(&lg.graph, Seed::Ids(&ids), target, cfg)?;
     stats.rounds += 1; // line-graph simulation setup (§4)

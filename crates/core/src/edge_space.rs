@@ -33,6 +33,7 @@ use decolor_runtime::NetworkStats;
 use crate::delta_plus_one::{ReductionStrategy, SubroutineConfig};
 use crate::error::AlgoError;
 use crate::linial::{choose_parameters, eval_poly, final_palette_bound};
+use decolor_graph::num;
 
 /// Calls `f` with the current color of every L(G)-neighbor of `e` (edges
 /// sharing an endpoint with `e`, with multigraph multiplicity). Edge ids
@@ -61,8 +62,10 @@ struct ClassIndex {
 
 impl ClassIndex {
     fn build(colors: &[u64], palette: u64) -> Self {
+        // lint: allow(cast, "palette ≤ m, an in-memory edge count that started as a usize")
         let mut buckets = vec![Vec::new(); palette as usize];
         for (e, &c) in colors.iter().enumerate() {
+            // lint: allow(cast, "c < palette ≤ m, and edge indices fit u32 workspace-wide (the CSR stores them as u32)")
             buckets[c as usize].push(e as u32);
         }
         ClassIndex { buckets }
@@ -70,11 +73,13 @@ impl ClassIndex {
 
     #[inline]
     fn take(&mut self, color: u64) -> Vec<u32> {
+        // lint: allow(cast, "color < palette, the bucket count this index was built with")
         std::mem::take(&mut self.buckets[color as usize])
     }
 
     #[inline]
     fn put(&mut self, color: u64, e: u32) {
+        // lint: allow(cast, "color < palette, the bucket count this index was built with")
         self.buckets[color as usize].push(e);
     }
 }
@@ -92,6 +97,7 @@ impl MexScratch {
 
     /// Marks every `c < limit` yielded by `mark`, then returns the mex.
     fn mex_below(&mut self, limit: u64, mark: impl FnOnce(&mut dyn FnMut(u64))) -> Option<u64> {
+        // lint: allow(cast, "limit ≤ the palette size, an in-memory count that started as a usize")
         let limit = limit as usize;
         if self.taken.len() < limit {
             self.taken.resize(limit, false);
@@ -99,14 +105,16 @@ impl MexScratch {
         self.taken[..limit].fill(false);
         let taken = &mut self.taken;
         mark(&mut |c| {
+            // lint: allow(cast, "colors are < palette ≤ m, which is a usize; the < limit guard re-checks after conversion")
             if (c as usize) < limit {
+                // lint: allow(cast, "guarded < limit on the line above")
                 taken[c as usize] = true;
             }
         });
         self.taken[..limit]
             .iter()
             .position(|&t| !t)
-            .map(|p| p as u64)
+            .map(num::to_u64)
     }
 }
 
@@ -155,7 +163,7 @@ pub fn edge_coloring_direct_on<V: GraphView>(
     cfg: SubroutineConfig,
 ) -> Result<(Vec<u32>, u64, NetworkStats), AlgoError> {
     let m = g.num_edges();
-    let delta = g.max_degree() as u64;
+    let delta = num::to_u64(g.max_degree());
     if m == 0 {
         return Ok((vec![], 1, NetworkStats::default()));
     }
@@ -169,7 +177,7 @@ pub fn edge_coloring_direct_on<V: GraphView>(
     let delta_l: u64 = (0..m)
         .map(|e| {
             let [u, v] = g.endpoints(EdgeId::new(e));
-            (g.degree(u) + g.degree(v) - 2) as u64
+            num::to_u64(g.degree(u) + g.degree(v) - 2)
         })
         .max()
         .unwrap_or(0);
@@ -178,14 +186,14 @@ pub fn edge_coloring_direct_on<V: GraphView>(
     // broadcasts its incident-color list on all ports.
     let round_cost = NetworkStats {
         rounds: 1,
-        messages: 2 * m as u64,
+        messages: 2 * num::to_u64(m),
         payload_bytes: (0..g.num_vertices())
             .map(|v| {
                 let d = g.degree(VertexId::new(v));
-                (d * d) as u64
+                num::to_u64(d * d)
             })
             .sum::<u64>()
-            * std::mem::size_of::<u64>() as u64,
+            * num::to_u64(std::mem::size_of::<u64>()),
     };
     // The §4 setup round (vertices agree to simulate their edge agents),
     // mirroring the line-graph pipeline's charge.
@@ -194,14 +202,14 @@ pub fn edge_coloring_direct_on<V: GraphView>(
         ..Default::default()
     };
 
-    let mut colors: Vec<u64> = (0..m as u64).collect();
-    let mut palette = m as u64;
+    let mut colors: Vec<u64> = (0..num::to_u64(m)).collect();
+    let mut palette = num::to_u64(m);
 
     if delta_l > 0 {
         // Phase 1: Linial's iteration from the edge-index identifiers down
         // to the O(Δ_L²) fixed point. Every agent recolors each round, so
         // the whole edge set gathers; a snapshot keeps rounds synchronous.
-        let fixed = final_palette_bound(delta_l as usize);
+        let fixed = final_palette_bound(num::to_usize(delta_l)?);
         let mut prev = colors.clone();
         // Incident colors of the deciding edge, gathered once per edge
         // (not once per evaluation point) into a reused buffer.
@@ -297,12 +305,12 @@ fn basic_phase<V: GraphView>(
     let mut classes = ClassIndex::build(colors, palette);
     for top in (target..palette).rev() {
         for e in classes.take(top) {
-            let eid = EdgeId::new(e as usize);
+            let eid = EdgeId::new(num::usize_from(e));
             let free = scratch
                 .mex_below(target, |mark| for_each_incident_color(g, colors, eid, mark))
                 // lint: allow(panic, "2Δ − 2 incident edges cannot block 2Δ − 1 colors")
                 .expect("2Δ − 2 incident edges cannot block 2Δ − 1 colors");
-            colors[e as usize] = free;
+            colors[num::usize_from(e)] = free;
             classes.put(free, e);
         }
         *stats = stats.then(round_cost);
@@ -332,7 +340,7 @@ fn kw_phase<V: GraphView>(
             let top_local = 2 * t - 1 - step;
             for b in 0..blocks {
                 for e in classes.take(b * 2 * t + top_local) {
-                    let eid = EdgeId::new(e as usize);
+                    let eid = EdgeId::new(num::usize_from(e));
                     // Only same-block neighbors constrain the local mex.
                     let free = scratch
                         .mex_below(t, |mark| {
@@ -345,7 +353,7 @@ fn kw_phase<V: GraphView>(
                         // lint: allow(panic, "Δ_L same-block neighbors cannot block t ≥ Δ_L + 1 colors")
                         .expect("Δ_L same-block neighbors cannot block t ≥ Δ_L + 1 colors");
                     let recolored = b * 2 * t + free;
-                    colors[e as usize] = recolored;
+                    colors[num::usize_from(e)] = recolored;
                     classes.put(recolored, e);
                 }
             }

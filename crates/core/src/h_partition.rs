@@ -14,7 +14,7 @@
 
 use decolor_graph::orientation::Orientation;
 use decolor_graph::subgraph::GraphView;
-use decolor_graph::Graph;
+use decolor_graph::{num, Graph};
 use decolor_runtime::{Network, NetworkStats};
 
 use crate::error::AlgoError;
@@ -136,7 +136,7 @@ impl HPartition {
     /// The acyclic orientation of \[4\]: edges point to the higher H-index,
     /// ties to the higher ID. Out-degree ≤ `d`.
     pub fn orientation(&self, g: &Graph) -> Orientation {
-        let rank: Vec<u64> = self.index.iter().map(|&i| i as u64).collect();
+        let rank: Vec<u64> = self.index.iter().map(|&i| num::to_u64(i)).collect();
         Orientation::from_rank(g, &rank)
     }
 
@@ -170,7 +170,7 @@ pub fn h_partition_for_arboricity<V: GraphView>(
             reason: "arboricity bound 0 for a graph with edges".into(),
         });
     }
-    let d = (q * a as f64).ceil() as usize;
+    let d = num::f64_to_usize((q * num::approx_f64(a)).ceil())?;
     h_partition(g, d.max(1))
 }
 

@@ -21,6 +21,7 @@ use rayon::prelude::*;
 
 use crate::error::AlgoError;
 use crate::util::{integer_root_ceil, next_prime};
+use decolor_graph::num;
 
 /// Outcome of [`linial_coloring`]: the coloring plus per-iteration palette
 /// trace (useful for the log* verification in tests and benches).
@@ -41,7 +42,7 @@ pub struct LinialResult {
 /// degree-1 steps stall once `√m ≈ 2Δ`, so the iteration's true fixed
 /// point is `nextprime(2Δ + 1)²`, the usual "O(Δ²) colors" of \[30\].)
 pub fn final_palette_bound(delta: usize) -> u64 {
-    let q = next_prime(2 * (delta as u64).max(1) + 1);
+    let q = next_prime(2 * num::to_u64(delta).max(1) + 1);
     q * q
 }
 
@@ -52,7 +53,7 @@ pub(crate) fn choose_parameters(m: u64, delta: u64) -> (u64, u32) {
     let mut best: Option<(u64, u32)> = None;
     for deg in 1..=64u32 {
         // q must satisfy q >= Δ·deg + 1 and q >= ceil(m^{1/(deg+1)}).
-        let lower = (delta * deg as u64 + 1)
+        let lower = (delta * u64::from(deg) + 1)
             .max(integer_root_ceil(m, deg + 1))
             .max(2);
         let q = next_prime(lower);
@@ -61,7 +62,7 @@ pub(crate) fn choose_parameters(m: u64, delta: u64) -> (u64, u32) {
             _ => best = Some((q, deg)),
         }
         // Once Δ·deg dominates the root bound, larger deg only hurts.
-        if delta * deg as u64 + 1 >= integer_root_ceil(m, deg + 1) {
+        if delta * u64::from(deg) + 1 >= integer_root_ceil(m, deg + 1) {
             break;
         }
     }
@@ -147,7 +148,7 @@ pub fn linial_from_coloring<V: GraphView>(
         .map_err(|e| AlgoError::InvalidParameters {
             reason: e.to_string(),
         })?;
-    let delta = g.max_degree() as u64;
+    let delta = num::to_u64(g.max_degree());
     let mut colors: Vec<u64> = initial.as_slice().iter().map(|&c| u64::from(c)).collect();
     let mut m = initial.palette().max(1);
     let mut trace = vec![m];
@@ -171,7 +172,7 @@ pub fn linial_from_coloring<V: GraphView>(
         });
     }
 
-    let target = final_palette_bound(delta as usize);
+    let target = final_palette_bound(g.max_degree());
     let mut buf = net.make_buffer();
     while m > target {
         let next = {
@@ -376,7 +377,7 @@ fn chunked_core<V: GraphView + Sync>(
             reason: e.to_string(),
         })?;
     let n = g.num_vertices();
-    let delta = g.max_degree() as u64;
+    let delta = num::to_u64(g.max_degree());
     let mut colors: Vec<u64> = initial.as_slice().iter().map(|&c| u64::from(c)).collect();
     let mut m = initial.palette().max(1);
     let mut trace = vec![m];
@@ -389,12 +390,12 @@ fn chunked_core<V: GraphView + Sync>(
     let fingerprint = ckpt.map(|path| {
         (
             path,
-            input_fingerprint(n, g.num_edges(), delta as usize, m, initial.as_slice()),
+            input_fingerprint(n, g.num_edges(), g.max_degree(), m, initial.as_slice()),
         )
     });
     if let Some((path, fp)) = fingerprint {
         if let Some(saved) = RoundCheckpoint::load(path)? {
-            if saved.fingerprint != fp || saved.n != n as u64 || saved.delta != delta {
+            if saved.fingerprint != fp || saved.n != num::to_u64(n) || saved.delta != delta {
                 return Err(AlgoError::Graph(decolor_graph::GraphError::Corrupt {
                     path: path.display().to_string(),
                     reason: format!(
@@ -440,10 +441,10 @@ fn chunked_core<V: GraphView + Sync>(
         });
     }
 
-    let target = final_palette_bound(delta as usize);
+    let target = final_palette_bound(g.max_degree());
     // One broadcast's ledger: every vertex sends its color on all ports.
-    let round_messages = 2 * g.num_edges() as u64;
-    let round_payload = round_messages * std::mem::size_of::<u64>() as u64;
+    let round_messages = 2 * num::to_u64(g.num_edges());
+    let round_payload = round_messages * num::to_u64(std::mem::size_of::<u64>());
     let chunks: Vec<std::ops::Range<usize>> = (0..n.div_ceil(LINIAL_CHUNK))
         .map(|c| (c * LINIAL_CHUNK)..((c + 1) * LINIAL_CHUNK).min(n))
         .collect();
@@ -510,7 +511,7 @@ fn chunked_core<V: GraphView + Sync>(
             // The color array is *moved* into the checkpoint for the save
             // (no n-word copy) and moved back out afterwards.
             let ck = RoundCheckpoint {
-                n: n as u64,
+                n: num::to_u64(n),
                 delta,
                 fingerprint: fp,
                 m,

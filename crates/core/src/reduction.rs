@@ -14,7 +14,7 @@
 
 use decolor_graph::coloring::Color;
 use decolor_graph::subgraph::GraphView;
-use decolor_graph::{EdgeId, VertexId};
+use decolor_graph::{num, EdgeId, VertexId};
 use decolor_runtime::{Network, RoundBuffer};
 
 use crate::error::AlgoError;
@@ -23,10 +23,11 @@ use crate::error::AlgoError;
 ///
 /// Returns `None` if all of `0..limit` are used.
 pub(crate) fn mex_below(used: impl Iterator<Item = Color>, limit: u64) -> Option<Color> {
+    // lint: allow(cast, "callers pass limit <= palette <= 2 * max_degree, which fits usize")
     let mut taken = vec![false; limit as usize];
     for c in used {
         if u64::from(c) < limit {
-            taken[c as usize] = true;
+            taken[num::usize_from(c)] = true;
         }
     }
     taken.iter().position(|&t| !t).map(|p| p as Color)
@@ -54,7 +55,7 @@ pub fn basic_reduction<V: GraphView>(
             reason: format!("{} colors for {} vertices", colors.len(), g.num_vertices()),
         });
     }
-    if target < g.max_degree() as u64 + 1 {
+    if target < num::to_u64(g.max_degree()) + 1 {
         return Err(AlgoError::InvalidParameters {
             reason: format!("target {} below Δ + 1 = {}", target, g.max_degree() + 1),
         });
@@ -108,7 +109,7 @@ pub fn kw_reduction<V: GraphView>(
             reason: format!("{} colors for {} vertices", colors.len(), g.num_vertices()),
         });
     }
-    if target < g.max_degree() as u64 + 1 {
+    if target < num::to_u64(g.max_degree()) + 1 {
         return Err(AlgoError::InvalidParameters {
             reason: format!("target {} below Δ + 1 = {}", target, g.max_degree() + 1),
         });
@@ -181,7 +182,7 @@ pub fn edge_palette_trim<V: GraphView>(
             reason: format!("{} colors for {} edges", colors.len(), g.num_edges()),
         });
     }
-    let delta = g.max_degree() as u64;
+    let delta = num::to_u64(g.max_degree());
     let needed = if delta == 0 { 1 } else { 2 * delta - 1 };
     if target < needed {
         return Err(AlgoError::InvalidParameters {

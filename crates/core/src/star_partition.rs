@@ -22,6 +22,7 @@ use crate::edge_space::{edge_coloring_direct, edge_coloring_direct_on};
 use crate::error::AlgoError;
 use crate::reduction::edge_palette_trim;
 use crate::util::integer_root;
+use decolor_graph::num;
 
 /// Child outcome of a parallel class recursion in the materializing
 /// reference path (subgraph, colors, palette, stats).
@@ -59,17 +60,25 @@ impl Default for StarPartitionParams {
     }
 }
 
+/// §4's optimizing `t = ⌊Δ^{1/(x+1)}⌋` (clamped ≥ 2); absurd `x`
+/// saturates the exponent, which the clamp absorbs.
+fn optimal_t_for(delta: u64, x: usize) -> usize {
+    let exp = u32::try_from(x).unwrap_or(u32::MAX).saturating_add(1);
+    // lint: allow(cast, "an integer root of Δ is at most Δ ≤ n, which is a usize")
+    integer_root(delta, exp).max(2) as usize
+}
+
 impl StarPartitionParams {
     /// §4's choice for `x` stages: `t = ⌊Δ^{1/(x+1)}⌋` (clamped ≥ 2).
     pub fn for_levels<G: GraphView>(g: &G, x: usize) -> StarPartitionParams {
-        StarPartitionParams::for_max_degree(g.max_degree() as u64, x)
+        StarPartitionParams::for_max_degree(num::to_u64(g.max_degree()), x)
     }
 
     /// [`StarPartitionParams::for_levels`] from an explicit maximum
     /// degree — what the view-generic callers use (a borrowed view knows
     /// its Δ without a graph).
     pub fn for_max_degree(delta: u64, x: usize) -> StarPartitionParams {
-        let t = integer_root(delta, x as u32 + 1).max(2) as usize;
+        let t = optimal_t_for(delta, x);
         StarPartitionParams {
             t,
             x: x.max(1),
@@ -218,8 +227,8 @@ fn finish<V: GraphView>(
     let mut colors = colors;
     let mut palette = palette;
     if params.trim && g.num_edges() > 0 {
-        let delta = g.max_degree() as u64;
-        let target = (1u64 << (params.x as u32 + 1)) * delta.max(1);
+        let delta = num::to_u64(g.max_degree());
+        let target = (1u64 << (num::to_u32(params.x)? + 1)) * delta.max(1);
         let target = target.max(2 * delta.saturating_sub(1).max(1) + 1);
         if palette > target {
             let mut net = Network::new(g);
@@ -260,13 +269,13 @@ fn stage_on<R: GraphView + Sync, V: GraphView + Sync>(
     if view.num_edges() == 0 {
         return Ok((vec![], 1, NetworkStats::default()));
     }
-    let delta = view.max_degree() as u64;
+    let delta = num::to_u64(view.max_degree());
     let t = if adaptive_t {
-        integer_root(delta, x as u32 + 1).max(2) as usize
+        optimal_t_for(delta, x)
     } else {
         t
     };
-    if x == 0 || delta <= t as u64 {
+    if x == 0 || delta <= num::to_u64(t) {
         // Base: color directly with 2Δ − 1 colors in edge space, straight
         // off the view.
         let target = (2 * delta - 1).max(1);
@@ -277,7 +286,7 @@ fn stage_on<R: GraphView + Sync, V: GraphView + Sync>(
     // edge-color it with 2t − 1 colors; Δ(connector) ≤ t is verified
     // inside the builder.
     let conn = edge_connector_graph_on(view, t)?;
-    let target_conn = (2 * t as u64 - 1).max(1);
+    let target_conn = (2 * num::to_u64(t) - 1).max(1);
     let (phi, phi_stats) = edge_coloring_direct(&conn, target_conn, cfg)?;
     let mut stats = NetworkStats {
         rounds: 1,
@@ -288,7 +297,7 @@ fn stage_on<R: GraphView + Sync, V: GraphView + Sync>(
     // Group the view's edges by connector color (edge ids align) and
     // recurse on each class as a fresh view of the root graph.
     let classes = phi.classes();
-    let star_bound = view.max_degree().div_ceil(t) as u64;
+    let star_bound = num::to_u64(view.max_degree().div_ceil(t));
     let outcomes: Vec<ViewOutcome> = classes
         .par_iter()
         .map(|class| {
@@ -297,7 +306,7 @@ fn stage_on<R: GraphView + Sync, V: GraphView + Sync>(
             }
             let child_edges: Vec<EdgeId> = class.iter().map(|&e| view.to_parent_edge(e)).collect();
             let child = EdgeSubgraphView::new(root, child_edges)?;
-            if child.max_degree() as u64 > star_bound {
+            if num::to_u64(child.max_degree()) > star_bound {
                 return Err(AlgoError::InvariantViolated {
                     reason: format!(
                         "class star size {} exceeds ⌈Δ/t⌉ = {star_bound}",
@@ -325,7 +334,7 @@ fn stage_on<R: GraphView + Sync, V: GraphView + Sync>(
             continue;
         };
         for (child_local, &view_local) in class.iter().enumerate() {
-            let combined = c as u64 * inner_palette + u64::from(colors[child_local]);
+            let combined = num::to_u64(c) * inner_palette + u64::from(colors[child_local]);
             out[view_local.index()] =
                 u32::try_from(combined).map_err(|_| AlgoError::InvariantViolated {
                     reason: "combined color exceeds u32".into(),
@@ -350,13 +359,13 @@ fn stage(
     if g.num_edges() == 0 {
         return Ok((vec![], 1, NetworkStats::default()));
     }
-    let delta = g.max_degree() as u64;
+    let delta = num::to_u64(g.max_degree());
     let t = if adaptive_t {
-        integer_root(delta, x as u32 + 1).max(2) as usize
+        optimal_t_for(delta, x)
     } else {
         t
     };
-    if x == 0 || delta <= t as u64 {
+    if x == 0 || delta <= num::to_u64(t) {
         // Base: color directly with 2Δ − 1 colors in edge space.
         let target = (2 * delta - 1).max(1);
         let (c, s) = edge_coloring_direct(g, target, cfg)?;
@@ -367,7 +376,7 @@ fn stage(
     // 2t − 1 colors; its maximum degree is ≤ t by construction.
     let conn = edge_connector(g, t)?;
     conn.verify_degree_bound()?;
-    let target_conn = (2 * t as u64 - 1).max(1);
+    let target_conn = (2 * num::to_u64(t) - 1).max(1);
     let (phi, phi_stats) = edge_coloring_direct(&conn.graph, target_conn, cfg)?;
     let mut stats = NetworkStats {
         rounds: 1,
@@ -377,7 +386,7 @@ fn stage(
 
     // Group original edges by connector color (edge ids align).
     let classes = phi.classes();
-    let star_bound = conn.star_bound(g) as u64;
+    let star_bound = num::to_u64(conn.star_bound(g));
     let outcomes: Vec<Result<Option<ClassOutcome>, AlgoError>> = classes
         .par_iter()
         .map(|class| {
@@ -386,7 +395,7 @@ fn stage(
             }
             let edge_ids: Vec<EdgeId> = class.iter().map(|&v| EdgeId::new(v.index())).collect();
             let sub = SpanningEdgeSubgraph::new(g, &edge_ids);
-            if sub.graph().max_degree() as u64 > star_bound {
+            if num::to_u64(sub.graph().max_degree()) > star_bound {
                 return Err(AlgoError::InvariantViolated {
                     reason: format!(
                         "class star size {} exceeds ⌈Δ/t⌉ = {star_bound}",

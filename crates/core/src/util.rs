@@ -1,5 +1,7 @@
 //! Small number-theoretic and arithmetic helpers used by the algorithms.
 
+use decolor_graph::num;
+
 /// `true` iff `n` is prime (deterministic trial division; all primes used
 /// by the algorithms are O(Δ log m), far below any performance concern).
 pub fn is_prime(n: u64) -> bool {
@@ -41,7 +43,7 @@ pub fn next_prime(n: u64) -> u64 {
 pub fn log_star(mut n: u64) -> u32 {
     let mut k = 0;
     while n > 1 {
-        n = 64 - u64::leading_zeros(n.saturating_sub(1).max(1)) as u64; // ceil(log2 n)
+        n = 64 - u64::from(u64::leading_zeros(n.saturating_sub(1).max(1))); // ceil(log2 n)
         k += 1;
         if k > 8 {
             break; // log* of anything representable is ≤ 5; safety net
@@ -63,7 +65,8 @@ pub fn integer_root(x: u64, k: u32) -> u64 {
     if k == 1 || x <= 1 {
         return x;
     }
-    let mut r = (x as f64).powf(1.0 / k as f64).round() as u64;
+    // lint: allow(cast, "float guess only: the integer fixup loops below correct any rounding error")
+    let mut r = num::approx_u64(x).powf(1.0 / f64::from(k)).round() as u64;
     // Fix rounding: decrease while r^k > x, increase while (r+1)^k <= x.
     while r > 0 && pow_gt(r, k, x) {
         r -= 1;
@@ -78,12 +81,12 @@ pub fn integer_root(x: u64, k: u32) -> u64 {
 fn pow_gt(b: u64, k: u32, x: u64) -> bool {
     let mut acc: u128 = 1;
     for _ in 0..k {
-        acc = acc.saturating_mul(b as u128);
-        if acc > x as u128 {
+        acc = acc.saturating_mul(u128::from(b));
+        if acc > u128::from(x) {
             return true;
         }
     }
-    acc > x as u128
+    acc > u128::from(x)
 }
 
 /// Ceiling of the `k`-th root of `x`.

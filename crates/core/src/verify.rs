@@ -8,7 +8,7 @@
 
 use decolor_graph::cliques::CliqueCover;
 use decolor_graph::coloring::{EdgeColoring, VertexColoring};
-use decolor_graph::Graph;
+use decolor_graph::{num, Graph};
 
 use crate::analysis;
 use crate::error::AlgoError;
@@ -70,7 +70,7 @@ pub fn ensure_all(checks: &[BoundCheck]) -> Result<(), AlgoError> {
 
 /// Properness + Theorem 4.1 bound for a star-partition edge coloring.
 pub fn check_star_partition(g: &Graph, coloring: &EdgeColoring, x: u32) -> Vec<BoundCheck> {
-    let delta = g.max_degree() as u64;
+    let delta = num::to_u64(g.max_degree());
     vec![
         BoundCheck {
             claim: "edge coloring is proper (violations)".into(),
@@ -93,8 +93,8 @@ pub fn check_cd_coloring(
     t: u64,
     x: u32,
 ) -> Vec<BoundCheck> {
-    let d = cover.diversity().max(1) as u64;
-    let s = cover.max_clique_size().max(1) as u64;
+    let d = num::to_u64(cover.diversity().max(1));
+    let s = num::to_u64(cover.max_clique_size().max(1));
     vec![
         BoundCheck {
             claim: "vertex coloring is proper (violations)".into(),
@@ -108,7 +108,7 @@ pub fn check_cd_coloring(
         },
         BoundCheck {
             claim: format!("colors used ≤ D^{}S (Theorem 3.3)", x + 1),
-            measured: coloring.distinct_colors() as u64,
+            measured: num::to_u64(coloring.distinct_colors()),
             bound: analysis::table2_ours_colors(d, s, x),
         },
     ]
@@ -116,7 +116,7 @@ pub fn check_cd_coloring(
 
 /// Properness + Theorem 5.2 bound for an arboricity-based edge coloring.
 pub fn check_theorem52(g: &Graph, coloring: &EdgeColoring, a: u64, q: f64) -> Vec<BoundCheck> {
-    let delta = g.max_degree() as u64;
+    let delta = num::to_u64(g.max_degree());
     vec![
         BoundCheck {
             claim: "edge coloring is proper (violations)".into(),
@@ -140,7 +140,7 @@ pub fn check_theorem54(
     q: f64,
     x: u32,
 ) -> Vec<BoundCheck> {
-    let delta = g.max_degree() as u64;
+    let delta = num::to_u64(g.max_degree());
     vec![
         BoundCheck {
             claim: "edge coloring is proper (violations)".into(),

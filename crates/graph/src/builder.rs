@@ -10,6 +10,7 @@ use std::collections::BTreeSet;
 use crate::error::GraphError;
 use crate::graph::Graph;
 use crate::ids::VertexId;
+use crate::num;
 
 /// Incremental builder for [`Graph`].
 ///
@@ -99,7 +100,7 @@ impl GraphBuilder {
         }
         let (lo, hi) = if u < v { (u, v) } else { (v, u) };
         if let Some(seen) = &mut self.seen {
-            if !seen.insert((lo as u32, hi as u32)) {
+            if !seen.insert((num::to_u32(lo)?, num::to_u32(hi)?)) {
                 return Err(GraphError::ParallelEdge { u, v });
             }
         }
@@ -128,9 +129,11 @@ impl GraphBuilder {
     /// Always `false` for multi builders.
     pub fn contains_edge(&self, u: usize, v: usize) -> bool {
         let (lo, hi) = if u < v { (u, v) } else { (v, u) };
-        self.seen
-            .as_ref()
-            .is_some_and(|s| s.contains(&(lo as u32, hi as u32)))
+        let (Ok(lo), Ok(hi)) = (u32::try_from(lo), u32::try_from(hi)) else {
+            // Ids beyond u32 can never have been inserted.
+            return false;
+        };
+        self.seen.as_ref().is_some_and(|s| s.contains(&(lo, hi)))
     }
 
     /// Finalizes the builder into an immutable [`Graph`].

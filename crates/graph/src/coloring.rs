@@ -7,6 +7,7 @@
 
 use crate::error::GraphError;
 use crate::ids::{EdgeId, VertexId};
+use crate::num;
 use crate::subgraph::GraphView;
 
 /// A color. Colors are dense small integers; `u32` is ample for every bound
@@ -71,8 +72,9 @@ impl VertexColoring {
     /// The trivial coloring by identity (`color(v) = v`), palette `n`.
     pub fn identity(n: usize) -> Self {
         VertexColoring {
+            // lint: allow(cast, "identity colorings are built for vertex counts, which fit u32 ids")
             colors: (0..n as u32).collect(),
-            palette: n as u64,
+            palette: num::to_u64(n),
         }
     }
 
@@ -244,10 +246,10 @@ impl VertexColoring {
     /// Groups vertices by color: `classes()[c]` lists the vertices colored
     /// `c` (after compaction indices are dense).
     pub fn classes(&self) -> Vec<Vec<VertexId>> {
-        let k = self.max_color().map_or(0, |c| c as usize + 1);
+        let k = self.max_color().map_or(0, |c| num::usize_from(c) + 1);
         let mut out = vec![Vec::new(); k];
         for (i, &c) in self.colors.iter().enumerate() {
-            out[c as usize].push(VertexId::new(i));
+            out[num::usize_from(c)].push(VertexId::new(i));
         }
         out
     }
@@ -424,10 +426,10 @@ impl EdgeColoring {
 
     /// Groups edges by color: `classes()[c]` lists the edges colored `c`.
     pub fn classes(&self) -> Vec<Vec<EdgeId>> {
-        let k = self.max_color().map_or(0, |c| c as usize + 1);
+        let k = self.max_color().map_or(0, |c| num::usize_from(c) + 1);
         let mut out = vec![Vec::new(); k];
         for (i, &c) in self.colors.iter().enumerate() {
-            out[c as usize].push(EdgeId::new(i));
+            out[num::usize_from(c)].push(EdgeId::new(i));
         }
         out
     }

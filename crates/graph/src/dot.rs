@@ -4,6 +4,7 @@ use std::fmt::Write as _;
 
 use crate::coloring::{EdgeColoring, VertexColoring};
 use crate::graph::Graph;
+use crate::num;
 
 /// A small qualitative palette; colors beyond it cycle with varying hue.
 const PALETTE: [&str; 12] = [
@@ -12,11 +13,11 @@ const PALETTE: [&str; 12] = [
 ];
 
 fn color_hex(c: u32) -> String {
-    if (c as usize) < PALETTE.len() {
-        PALETTE[c as usize].to_string()
+    if num::usize_from(c) < PALETTE.len() {
+        PALETTE[num::usize_from(c)].to_string()
     } else {
         // Golden-angle hue walk for arbitrarily many colors.
-        let hue = (c as f64 * 137.507_764) % 360.0;
+        let hue = (f64::from(c) * 137.507_764) % 360.0;
         let (r, g, b) = hsl_to_rgb(hue, 0.65, 0.5);
         format!("#{r:02x}{g:02x}{b:02x}")
     }
@@ -26,6 +27,7 @@ fn hsl_to_rgb(h: f64, s: f64, l: f64) -> (u8, u8, u8) {
     let c = (1.0 - (2.0 * l - 1.0).abs()) * s;
     let hp = h / 60.0;
     let x = c * (1.0 - (hp % 2.0 - 1.0).abs());
+    // lint: allow(cast, "hp = h / 60 lies in [0, 6) for h in [0, 360)")
     let (r1, g1, b1) = match hp as u32 {
         0 => (c, x, 0.0),
         1 => (x, c, 0.0),
@@ -35,11 +37,11 @@ fn hsl_to_rgb(h: f64, s: f64, l: f64) -> (u8, u8, u8) {
         _ => (c, 0.0, x),
     };
     let m = l - c / 2.0;
-    (
-        ((r1 + m) * 255.0).round() as u8,
-        ((g1 + m) * 255.0).round() as u8,
-        ((b1 + m) * 255.0).round() as u8,
-    )
+    let to_byte = |v: f64| {
+        // lint: allow(cast, "v + m lies in [0, 1] by construction, so the rounded product fits u8")
+        ((v + m) * 255.0).round() as u8
+    };
+    (to_byte(r1), to_byte(g1), to_byte(b1))
 }
 
 /// Options controlling DOT rendering.
@@ -72,6 +74,7 @@ pub fn render(g: &Graph, opts: &DotOptions) -> String {
     out.push_str("graph G {\n");
     out.push_str("  node [shape=circle, style=filled, fillcolor=white];\n");
     if let Some(title) = &opts.title {
+        // lint: allow(result, "fmt::Write to a String is infallible")
         let _ = writeln!(out, "  label=\"{}\";\n  labelloc=t;", escape(title));
     }
     for v in g.vertices() {
@@ -82,8 +85,10 @@ pub fn render(g: &Graph, opts: &DotOptions) -> String {
             .unwrap_or_else(|| v.to_string());
         let mut attrs = format!("label=\"{}\"", escape(&label));
         if let Some(c) = &opts.vertex_coloring {
+            // lint: allow(result, "fmt::Write to a String is infallible")
             let _ = write!(attrs, ", fillcolor=\"{}\"", color_hex(c.color(v)));
         }
+        // lint: allow(result, "fmt::Write to a String is infallible")
         let _ = writeln!(out, "  v{} [{}];", v.index(), attrs);
     }
     for (e, [u, v]) in g.edge_list() {
@@ -100,8 +105,10 @@ pub fn render(g: &Graph, opts: &DotOptions) -> String {
             }
         }
         if attrs.is_empty() {
+            // lint: allow(result, "fmt::Write to a String is infallible")
             let _ = writeln!(out, "  v{} -- v{};", u.index(), v.index());
         } else {
+            // lint: allow(result, "fmt::Write to a String is infallible")
             let _ = writeln!(
                 out,
                 "  v{} -- v{} [{}];",

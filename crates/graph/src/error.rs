@@ -62,6 +62,16 @@ pub enum GraphError {
         /// Human-readable description including the failing path.
         reason: String,
     },
+    /// A numeric conversion or byte-offset computation overflowed the
+    /// target type (e.g. a `u64` entry count that does not fit `usize`
+    /// on a 32-bit host, or an offset multiply past `u64::MAX`). See
+    /// [`crate::num`] for the checked helpers that produce this.
+    Overflow {
+        /// What was being converted or computed.
+        what: &'static str,
+        /// The offending value, widened so it always fits.
+        value: u128,
+    },
     /// An on-disk artifact (sharded CSR store, build journal, round
     /// checkpoint) failed an integrity check: bad magic, format-version
     /// mismatch, inconsistent lengths, or a checksum mismatch. The store
@@ -98,6 +108,9 @@ impl fmt::Display for GraphError {
             GraphError::GenerationFailed { reason } => write!(f, "generation failed: {reason}"),
             GraphError::ValidationFailed { reason } => write!(f, "validation failed: {reason}"),
             GraphError::Io { reason } => write!(f, "storage I/O failed: {reason}"),
+            GraphError::Overflow { what, value } => {
+                write!(f, "numeric overflow: {what} (value {value})")
+            }
             GraphError::Corrupt { path, reason } => {
                 write!(f, "corrupt storage artifact {path}: {reason}")
             }

@@ -17,6 +17,7 @@ use crate::error::GraphError;
 use crate::graph::Graph;
 use crate::hypergraph::Hypergraph;
 use crate::ids::VertexId;
+use crate::num;
 
 /// Internal sink that stages the emitted edge list for an in-memory
 /// build, so the one-shot generators are literally their `*_stream`
@@ -290,6 +291,7 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
         let u = r.gen_range(0..n);
         let v = r.gen_range(0..n);
         if u != v {
+            // lint: allow(result, "the dedup builder's inserted/duplicate bool is deliberately ignored; errors still propagate via ?")
             let _ = b.add_edge_dedup(u, v)?;
         }
     }
@@ -328,7 +330,8 @@ pub fn gnp_stream(n: usize, p: f64, seed: u64, sink: &mut impl EdgeSink) -> Resu
             reason: format!("p = {p} not in [0,1]"),
         });
     }
-    let total_pairs = (n as u128) * (n as u128 - n.min(1) as u128) / 2;
+    let big = |v: usize| u128::from(num::to_u64(v));
+    let total_pairs = big(n) * (big(n) - big(n.min(1))) / 2;
     if p <= 0.0 || total_pairs == 0 {
         return Ok(());
     }
@@ -344,16 +347,18 @@ pub fn gnp_stream(n: usize, p: f64, seed: u64, sink: &mut impl EdgeSink) -> Resu
     let log_q = (1.0 - p).ln();
     // `row_base(u)` = linear index of pair (u, u + 1); invert by solving
     // the triangular-number equation in floats, then correcting locally.
-    let row_base = |u: u128| u * (2 * n as u128 - u - 1) / 2;
+    let row_base = |u: u128| u * (2 * big(n) - u - 1) / 2;
     let mut idx: u128 = 0;
     let mut first = true;
     loop {
         // Gap ~ Geometric(p): floor(ln(U) / ln(1 − p)) extra skips.
         let u01: f64 = r.gen::<f64>();
         let gap = (u01.max(f64::MIN_POSITIVE).ln() / log_q).floor();
+        // lint: allow(cast, "approximate comparison; mantissa loss only affects the final-gap break, re-checked exactly below")
         if !gap.is_finite() || gap >= total_pairs as f64 {
             break;
         }
+        // lint: allow(cast, "gap is a non-negative finite floor, checked < total_pairs above")
         idx += if first { gap as u128 } else { gap as u128 + 1 };
         first = false;
         if idx >= total_pairs {
@@ -361,10 +366,12 @@ pub fn gnp_stream(n: usize, p: f64, seed: u64, sink: &mut impl EdgeSink) -> Resu
         }
         let mut u = {
             // Float guess for the row containing `idx`, then correct.
-            let nn = n as f64;
+            let nn = num::approx_f64(n);
+            // lint: allow(cast, "float guess only; the exact integer walk below corrects any rounding")
             let x = idx as f64;
             let guess = nn - 0.5 - ((nn - 0.5) * (nn - 0.5) - 2.0 * x).max(0.0).sqrt();
-            (guess.floor().max(0.0) as u128).min(n as u128 - 1)
+            // lint: allow(cast, "non-negative floored guess, clamped below n; exactness is restored by the walk")
+            (guess.floor().max(0.0) as u128).min(big(n) - 1)
         };
         while u > 0 && row_base(u) > idx {
             u -= 1;
@@ -373,6 +380,7 @@ pub fn gnp_stream(n: usize, p: f64, seed: u64, sink: &mut impl EdgeSink) -> Resu
             u += 1;
         }
         let v = u + 1 + (idx - row_base(u));
+        // lint: allow(cast, "u < v < n, and n is a usize")
         sink.add_edge(u as usize, v as usize)?;
     }
     Ok(())
@@ -443,20 +451,20 @@ pub fn random_regular_stream(
     if d == 0 {
         return Ok(());
     }
-    let pairs_total = (stubs_total / 2) as u64;
+    let pairs_total = num::to_u64(stubs_total / 2);
     let num_shards = pairs_total.div_ceil(PAIRING_SHARD);
     let norm = |u: usize, v: usize| {
         if u < v {
-            (u as u32, v as u32)
+            (num::to_u64(u), num::to_u64(v))
         } else {
-            (v as u32, u as u32)
+            (num::to_u64(v), num::to_u64(u))
         }
     };
     'attempt: for salt in 0..200u64 {
         sink.reset()?;
         // lint: allow(determinism, "membership-only dedup probe on the hot pairing loop; never iterated, so hash order cannot reach the emitted edge stream")
-        let mut seen = std::collections::HashSet::<(u32, u32)>::with_capacity(stubs_total / 2);
-        let perm = FeistelPerm::new(stubs_total as u64, mix64(seed).wrapping_add(salt));
+        let mut seen = std::collections::HashSet::<(u64, u64)>::with_capacity(stubs_total / 2);
+        let perm = FeistelPerm::new(num::to_u64(stubs_total), mix64(seed).wrapping_add(salt));
         let mut leftover: Vec<usize> = Vec::new();
         // Phase 1: propose one edge per stub pair, one batch of shards at
         // a time — the batch fans out on the pool, the drain is
@@ -466,22 +474,22 @@ pub fn random_regular_stream(
         while batch_start < num_shards {
             let batch: Vec<u64> =
                 (batch_start..(batch_start + PAIRING_BATCH).min(num_shards)).collect();
-            let proposed: Vec<Vec<(u32, u32)>> = batch
+            let proposed: Vec<Vec<(u64, u64)>> = batch
                 .par_iter()
                 .map(|&s| {
                     let lo = s * PAIRING_SHARD;
                     let hi = (lo + PAIRING_SHARD).min(pairs_total);
                     (lo..hi)
                         .map(|i| {
-                            let u = perm.permute(2 * i) / d as u64;
-                            let v = perm.permute(2 * i + 1) / d as u64;
-                            (u as u32, v as u32)
+                            let u = perm.permute(2 * i) / num::to_u64(d);
+                            let v = perm.permute(2 * i + 1) / num::to_u64(d);
+                            (u, v)
                         })
                         .collect()
                 })
                 .collect();
             for (u, v) in proposed.into_iter().flatten() {
-                let (u, v) = (u as usize, v as usize);
+                let (u, v) = (num::to_usize(u)?, num::to_usize(v)?);
                 if u != v && seen.insert(norm(u, v)) {
                     sink.add_edge(u, v)?;
                 } else {
@@ -642,11 +650,12 @@ pub fn forest_union(n: usize, a: usize, cap: usize, seed: u64) -> Result<Graph, 
     for f in 0..a {
         // Each forest is a bounded-degree random tree over a random
         // permutation of the vertices, so the unions overlap arbitrarily.
-        let mut r = rng(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(f as u64 + 1)));
+        let mut r = rng(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(num::to_u64(f) + 1)));
         let mut perm: Vec<usize> = (0..n).collect();
         perm.shuffle(&mut r);
         let tree = random_tree_bounded_degree(n, cap, r.gen())?;
         for (_, [u, v]) in tree.edge_list() {
+            // lint: allow(result, "the dedup builder's inserted/duplicate bool is deliberately ignored; errors still propagate via ?")
             let _ = b.add_edge_dedup(perm[u.index()], perm[v.index()])?;
         }
     }
@@ -715,7 +724,7 @@ pub fn random_uniform_hypergraph(
     }
     let mut r = rng(seed);
     let mut degree = vec![0usize; n];
-    let mut seen: std::collections::BTreeSet<Vec<u32>> = std::collections::BTreeSet::new();
+    let mut seen: std::collections::BTreeSet<Vec<u64>> = std::collections::BTreeSet::new();
     let mut edges: Vec<Vec<usize>> = Vec::with_capacity(m);
     let mut stall = 0usize;
     while edges.len() < m {
@@ -736,7 +745,7 @@ pub fn random_uniform_hypergraph(
         }
         let mut pick: Vec<usize> = available.choose_multiple(&mut r, c).copied().collect();
         pick.sort_unstable();
-        let key: Vec<u32> = pick.iter().map(|&v| v as u32).collect();
+        let key: Vec<u64> = pick.iter().map(|&v| num::to_u64(v)).collect();
         if seen.insert(key) {
             for &v in &pick {
                 degree[v] += 1;
@@ -764,7 +773,7 @@ pub fn hypercube(dim: u32) -> Result<Graph, GraphError> {
             reason: format!("hypercube dimension {dim} out of range 1..=20"),
         })?;
     let mut sink = CollectSink {
-        edges: Vec::with_capacity(n * dim as usize / 2),
+        edges: Vec::with_capacity(n * num::usize_from(dim) / 2),
     };
     hypercube_stream(dim, &mut sink)?;
     Ok(Graph::from_parts_parallel(n, sink.edges))

@@ -6,6 +6,7 @@ use std::sync::Mutex;
 use rayon::prelude::*;
 
 use crate::ids::{EdgeId, VertexId};
+use crate::num;
 
 /// Below this edge count the sharded CSR build falls back to the
 /// sequential one — the scatter is cache-resident and thread setup would
@@ -95,7 +96,7 @@ impl Graph {
         // Shard count is capped so the transient per-shard cursor tables
         // (shards × n u32 words) stay far below the CSR being built.
         let shards = rayon::current_num_threads().min(8);
-        if shards <= 1 || m < PARALLEL_CSR_THRESHOLD || 2 * m > u32::MAX as usize {
+        if shards <= 1 || m < PARALLEL_CSR_THRESHOLD || 2 * m > num::usize_from(u32::MAX) {
             return Graph::from_parts(n, edges);
         }
         let chunk = m.div_ceil(shards);
@@ -123,9 +124,10 @@ impl Graph {
         let mut acc = 0usize;
         offsets.push(0);
         for v in 0..n {
-            acc += counts.iter().map(|c| c[v] as usize).sum::<usize>();
+            acc += counts.iter().map(|c| num::usize_from(c[v])).sum::<usize>();
             offsets.push(acc);
         }
+        // lint: allow(cast, "guarded above: 2 * m <= u32::MAX and every CSR offset is at most 2m")
         let mut run: Vec<u32> = offsets[..n].iter().map(|&o| o as u32).collect();
         let jobs: Vec<(std::ops::Range<usize>, Mutex<Vec<u32>>)> = ranges
             .into_iter()
@@ -145,23 +147,21 @@ impl Graph {
         let slots: Vec<AtomicU64> = std::iter::repeat_with(|| AtomicU64::new(0))
             .take(acc)
             .collect();
-        let pack = |neighbor: VertexId, e: usize| ((neighbor.index() as u64) << 32) | e as u64;
-        let _: Vec<()> = jobs
-            .par_iter()
-            .map(|(r, cursor)| {
-                // lint: allow(panic, "each shard locks only its own cursor")
-                let mut cursor = cursor.lock().expect("each shard locks only its own cursor");
-                for (k, [u, v]) in edges[r.clone()].iter().enumerate() {
-                    let e = r.start + k;
-                    let pu = cursor[u.index()];
-                    cursor[u.index()] += 1;
-                    slots[pu as usize].store(pack(*v, e), Ordering::Relaxed);
-                    let pv = cursor[v.index()];
-                    cursor[v.index()] += 1;
-                    slots[pv as usize].store(pack(*u, e), Ordering::Relaxed);
-                }
-            })
-            .collect();
+        let pack =
+            |neighbor: VertexId, e: usize| (num::to_u64(neighbor.index()) << 32) | num::to_u64(e);
+        jobs.par_iter().for_each(|(r, cursor)| {
+            // lint: allow(panic, "each shard locks only its own cursor")
+            let mut cursor = cursor.lock().expect("each shard locks only its own cursor");
+            for (k, [u, v]) in edges[r.clone()].iter().enumerate() {
+                let e = r.start + k;
+                let pu = cursor[u.index()];
+                cursor[u.index()] += 1;
+                slots[num::usize_from(pu)].store(pack(*v, e), Ordering::Relaxed);
+                let pv = cursor[v.index()];
+                cursor[v.index()] += 1;
+                slots[num::usize_from(pv)].store(pack(*u, e), Ordering::Relaxed);
+            }
+        });
         drop(jobs);
 
         let adj: Vec<(VertexId, EdgeId)> = slots
@@ -169,7 +169,9 @@ impl Graph {
             .map(|s| {
                 let w = s.load(Ordering::Relaxed);
                 (
+                    // lint: allow(cast, "the high half of the packed word is a u32 vertex id")
                     VertexId::new((w >> 32) as usize),
+                    // lint: allow(cast, "masked to the low 32 bits, which fit usize")
                     EdgeId::new((w & u64::from(u32::MAX)) as usize),
                 )
             })

@@ -128,6 +128,7 @@ impl Hypergraph {
             for (i, &e1) in mem.iter().enumerate() {
                 for &e2 in &mem[i + 1..] {
                     // Two hyperedges may share several vertices; dedup.
+                    // lint: allow(result, "the dedup builder's inserted/duplicate bool is deliberately ignored")
                     let _ = b
                         .add_edge_dedup(e1, e2)
                         // lint: allow(panic, "indices are in range by construction")

@@ -50,7 +50,7 @@ impl VertexId {
     /// Returns the dense index of this vertex.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        crate::num::usize_from(self.0)
     }
 }
 
@@ -69,7 +69,7 @@ impl EdgeId {
     /// Returns the dense index of this edge.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        crate::num::usize_from(self.0)
     }
 }
 

@@ -2,6 +2,7 @@
 
 use crate::error::GraphError;
 use crate::graph::Graph;
+use crate::num;
 use crate::GraphBuilder;
 
 /// A serializable plain-data view of a graph: vertex count plus an edge
@@ -46,12 +47,12 @@ impl GraphData {
     pub fn to_graph(&self) -> Result<Graph, GraphError> {
         // Vertex and edge ids are u32 throughout the CSR and storage
         // layers; ingested data must fit before any of it is built.
-        if self.n > u32::MAX as usize + 1 {
+        if self.n > num::usize_from(u32::MAX) + 1 {
             return Err(GraphError::InvalidParameters {
                 reason: format!("vertex count {} exceeds u32 identifiers", self.n),
             });
         }
-        if self.edges.len() > u32::MAX as usize {
+        if self.edges.len() > num::usize_from(u32::MAX) {
             return Err(GraphError::InvalidParameters {
                 reason: format!("edge count {} exceeds u32 identifiers", self.edges.len()),
             });
@@ -92,8 +93,10 @@ impl TryFrom<GraphData> for Graph {
 pub fn to_dimacs(g: &Graph) -> String {
     use std::fmt::Write as _;
     let mut out = String::with_capacity(16 + 12 * g.num_edges());
+    // lint: allow(result, "fmt::Write to a String is infallible")
     let _ = writeln!(out, "p edge {} {}", g.num_vertices(), g.num_edges());
     for (_, [u, v]) in g.edge_list() {
+        // lint: allow(result, "fmt::Write to a String is infallible")
         let _ = writeln!(out, "e {} {}", u.index() + 1, v.index() + 1);
     }
     out

@@ -67,6 +67,7 @@ pub mod hypergraph;
 mod ids;
 pub mod io;
 pub mod line_graph;
+pub mod num;
 pub mod ops;
 pub mod orientation;
 pub mod properties;

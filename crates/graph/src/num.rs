@@ -1,0 +1,229 @@
+//! Checked numeric conversions and byte-offset arithmetic.
+//!
+//! The out-of-core pipeline mixes three integer domains — `u32` vertex
+//! ids, `usize` in-memory indices, and `u64` on-disk byte offsets — and
+//! at n = 10⁸ the byte arithmetic genuinely exceeds 32 bits, so a raw
+//! `as` cast in the wrong place truncates silently and corrupts a
+//! coloring without tripping the conformance suites. The `CAST01` /
+//! `ARITH01` lint rules forbid raw casts and unchecked offset
+//! arithmetic in library code; this module is the sanctioned way
+//! through: every conversion is either proven lossless by a
+//! compile-time width assertion or returns a typed
+//! [`GraphError::Overflow`].
+//!
+//! The infallible helpers compile to the same single instruction as the
+//! `as` cast they replace, so they are safe to use in hot loops.
+
+use crate::error::GraphError;
+
+// The two width facts the infallible conversions rely on, checked at
+// compile time so a hypothetical 16- or 128-bit port fails to build
+// here instead of truncating at runtime.
+const _: () = assert!(usize::BITS <= 64, "decolor targets at most 64-bit hosts");
+const _: () = assert!(usize::BITS >= 32, "decolor targets at least 32-bit hosts");
+
+/// Widens an in-memory index to an on-disk offset. Lossless on every
+/// supported host.
+#[inline]
+#[must_use]
+pub fn to_u64(v: usize) -> u64 {
+    // lint: allow(cast, "usize -> u64 is lossless: usize::BITS <= 64 is const-asserted above")
+    v as u64
+}
+
+/// Widens a `u32` vertex/edge id to an in-memory index. Lossless on
+/// every supported host.
+#[inline]
+#[must_use]
+pub fn usize_from(v: u32) -> usize {
+    // lint: allow(cast, "u32 -> usize is lossless: usize::BITS >= 32 is const-asserted above")
+    v as usize
+}
+
+/// Narrows an on-disk count/offset to an in-memory index.
+///
+/// # Errors
+///
+/// [`GraphError::Overflow`] when the value exceeds `usize::MAX` (only
+/// possible on 32-bit hosts).
+#[inline]
+pub fn to_usize(v: u64) -> Result<usize, GraphError> {
+    usize::try_from(v).map_err(|_| GraphError::Overflow {
+        what: "u64 value does not fit usize on this host",
+        value: u128::from(v),
+    })
+}
+
+/// Narrows an in-memory index to a `u32` id.
+///
+/// # Errors
+///
+/// [`GraphError::Overflow`] when the value exceeds `u32::MAX`.
+#[inline]
+pub fn to_u32(v: usize) -> Result<u32, GraphError> {
+    u32::try_from(v).map_err(|_| GraphError::Overflow {
+        what: "index does not fit a u32 id",
+        value: u128::from(to_u64(v)),
+    })
+}
+
+/// Multiplies an entry index by a byte stride, refusing to wrap.
+///
+/// # Errors
+///
+/// [`GraphError::Overflow`] when `index * stride` exceeds `u64::MAX`.
+#[inline]
+pub fn byte_offset(index: u64, stride: u64) -> Result<u64, GraphError> {
+    index.checked_mul(stride).ok_or(GraphError::Overflow {
+        what: "byte offset (index * stride) exceeds u64",
+        value: u128::from(index).saturating_mul(u128::from(stride)),
+    })
+}
+
+/// Adds two byte offsets/lengths, refusing to wrap.
+///
+/// # Errors
+///
+/// [`GraphError::Overflow`] when `a + b` exceeds `u64::MAX`.
+#[inline]
+pub fn add_offset(a: u64, b: u64) -> Result<u64, GraphError> {
+    a.checked_add(b).ok_or(GraphError::Overflow {
+        what: "byte offset sum exceeds u64",
+        value: u128::from(a).saturating_add(u128::from(b)),
+    })
+}
+
+/// Multiplies an in-memory element count by a byte stride, refusing to
+/// wrap.
+///
+/// # Errors
+///
+/// [`GraphError::Overflow`] when `count * stride` exceeds `usize::MAX`.
+#[inline]
+pub fn byte_len(count: usize, stride: usize) -> Result<usize, GraphError> {
+    count.checked_mul(stride).ok_or(GraphError::Overflow {
+        what: "byte length (count * stride) exceeds usize",
+        value: u128::from(to_u64(count)).saturating_mul(u128::from(to_u64(stride))),
+    })
+}
+
+/// Checked `usize` multiply for index/count arithmetic (shard slots,
+/// entry counts).
+///
+/// # Errors
+///
+/// [`GraphError::Overflow`] when `a * b` exceeds `usize::MAX`.
+#[inline]
+pub fn mul(a: usize, b: usize) -> Result<usize, GraphError> {
+    a.checked_mul(b).ok_or(GraphError::Overflow {
+        what: "index product exceeds usize",
+        value: u128::from(to_u64(a)).saturating_mul(u128::from(to_u64(b))),
+    })
+}
+
+/// Checked `usize` add for index/count arithmetic.
+///
+/// # Errors
+///
+/// [`GraphError::Overflow`] when `a + b` exceeds `usize::MAX`.
+#[inline]
+pub fn add(a: usize, b: usize) -> Result<usize, GraphError> {
+    a.checked_add(b).ok_or(GraphError::Overflow {
+        what: "index sum exceeds usize",
+        value: u128::from(to_u64(a)).saturating_add(u128::from(to_u64(b))),
+    })
+}
+
+/// Converts a count to `f64` for statistical estimates (densities,
+/// averages, progress ratios). Counts above 2⁵³ lose precision, which
+/// is acceptable for estimates and impossible for this workspace's
+/// n ≤ 2⁴⁸ stores.
+#[inline]
+#[must_use]
+pub fn approx_f64(v: usize) -> f64 {
+    // lint: allow(cast, "statistical estimate: mantissa loss above 2^53 is acceptable by contract")
+    v as f64
+}
+
+/// Converts an on-disk count or analytic parameter to `f64` for
+/// statistical estimates. Values above 2⁵³ lose precision, which is
+/// acceptable for estimates and impossible for this workspace's stores.
+#[inline]
+#[must_use]
+pub fn approx_u64(v: u64) -> f64 {
+    // lint: allow(cast, "statistical estimate: mantissa loss above 2^53 is acceptable by contract")
+    v as f64
+}
+
+/// Truncates a non-negative finite `f64` toward zero into a `usize`
+/// (e.g. a probability scaled to a count). NaN and negative inputs map
+/// to 0.
+///
+/// # Errors
+///
+/// [`GraphError::Overflow`] when the value is `usize::MAX` or larger.
+#[inline]
+pub fn f64_to_usize(v: f64) -> Result<usize, GraphError> {
+    let t = v.max(0.0).trunc();
+    if t >= approx_f64(usize::MAX) {
+        return Err(GraphError::Overflow {
+            what: "f64 value does not fit usize",
+            value: u128::MAX,
+        });
+    }
+    // lint: allow(cast, "trunc'd, non-negative, and range-checked just above")
+    Ok(t as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_widenings_round_trip() {
+        assert_eq!(to_u64(0), 0);
+        assert_eq!(to_u64(123_456), 123_456);
+        assert_eq!(usize_from(u32::MAX), 4_294_967_295);
+        assert_eq!(to_usize(7).unwrap(), 7);
+        assert_eq!(to_u32(65_535).unwrap(), 65_535);
+    }
+
+    #[test]
+    fn narrowing_overflow_is_typed() {
+        let e = to_u32(usize::MAX).unwrap_err();
+        assert!(matches!(e, GraphError::Overflow { .. }));
+        assert!(e.to_string().contains("numeric overflow"));
+    }
+
+    #[test]
+    fn byte_arithmetic_refuses_to_wrap() {
+        assert_eq!(byte_offset(6, 8).unwrap(), 48);
+        assert!(byte_offset(u64::MAX / 2, 8).is_err());
+        assert_eq!(add_offset(40, 8).unwrap(), 48);
+        assert!(add_offset(u64::MAX, 1).is_err());
+        assert_eq!(byte_len(6, 8).unwrap(), 48);
+        assert!(byte_len(usize::MAX / 2, 8).is_err());
+        assert_eq!(mul(3, 4).unwrap(), 12);
+        assert!(mul(usize::MAX, 2).is_err());
+        assert_eq!(add(3, 4).unwrap(), 7);
+        assert!(add(usize::MAX, 1).is_err());
+    }
+
+    #[test]
+    fn overflow_reports_the_true_wide_value() {
+        let e = byte_offset(1 << 62, 8).unwrap_err();
+        let GraphError::Overflow { value, .. } = e else {
+            panic!("expected overflow");
+        };
+        assert_eq!(value, (1u128 << 62) * 8);
+    }
+
+    #[test]
+    fn float_conversions_are_clamped_and_checked() {
+        assert_eq!(approx_f64(10), 10.0);
+        assert_eq!(f64_to_usize(3.9).unwrap(), 3);
+        assert_eq!(f64_to_usize(-1.0).unwrap(), 0);
+        assert_eq!(f64_to_usize(f64::NAN).unwrap(), 0);
+        assert!(f64_to_usize(1e300).is_err());
+    }
+}

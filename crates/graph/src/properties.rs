@@ -12,6 +12,7 @@
 
 use crate::graph::Graph;
 use crate::ids::VertexId;
+use crate::num;
 
 /// Summary degree statistics of a graph.
 #[derive(Clone, Copy, Debug, PartialEq, serde::Serialize)]
@@ -44,7 +45,7 @@ pub fn degree_stats(g: &Graph) -> DegreeStats {
     DegreeStats {
         min,
         max,
-        mean: 2.0 * g.num_edges() as f64 / n as f64,
+        mean: 2.0 * num::approx_f64(g.num_edges()) / num::approx_f64(n),
     }
 }
 

@@ -14,6 +14,7 @@ const TABLE: [u32; 256] = {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
+        // lint: allow(cast, "i < 256, and TryFrom is not usable in a const initializer")
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
@@ -53,6 +54,7 @@ impl Crc32 {
     pub fn update(&mut self, bytes: &[u8]) {
         let mut crc = !self.0;
         for &b in bytes {
+            // lint: allow(cast, "masked to 8 bits, so always < TABLE.len() = 256")
             crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
         }
         self.0 = !crc;

@@ -29,6 +29,7 @@ use memmap2::{Mmap, MmapMut};
 use crate::error::GraphError;
 use crate::graph::Graph;
 use crate::ids::{EdgeId, VertexId};
+use crate::num;
 use crate::subgraph::GraphView;
 
 use super::checksum::{crc32, Crc32};
@@ -50,6 +51,7 @@ const WRITER_BUF: usize = 1 << 20;
 /// Reads the u64 at entry index `i` of a mapped file.
 #[inline]
 fn read_u64(map: &Mmap, i: usize) -> u64 {
+    // lint: allow(arith, "i <= n and offsets.bin holds exactly (n + 1) * 8 bytes, validated at open()")
     let b = &map[i * 8..i * 8 + 8];
     u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
 }
@@ -129,23 +131,24 @@ impl ShardedCsr {
                 manifest.n, manifest.m
             )));
         }
-        let (n, m) = (manifest.n as usize, manifest.m as usize);
-        let shard_bits = manifest.shard_bits as u32;
+        let (n, m) = (num::to_usize(manifest.n)?, num::to_usize(manifest.m)?);
+        let shard_bits = u32::try_from(manifest.shard_bits)
+            .map_err(|_| corrupt(format!("implausible shard_bits {}", manifest.shard_bits)))?;
         let entries = 1usize << shard_bits;
         let shard_count = |e: usize| e.div_ceil(entries).max(1);
-        let shard_len = |k: usize, shards: usize, e: usize| {
+        let shard_len = |k: usize, shards: usize, e: usize| -> Result<u64, GraphError> {
             let cnt = if k + 1 < shards {
                 entries
             } else {
-                e - k * entries
+                e - num::mul(k, entries)?
             };
-            (cnt * ENTRY) as u64
+            Ok(num::to_u64(num::byte_len(cnt, ENTRY)?))
         };
-        if manifest.offsets.len != ((n + 1) * 8) as u64 {
+        let want_offsets = num::to_u64(num::byte_len(num::add(n, 1)?, 8)?);
+        if manifest.offsets.len != want_offsets {
             return Err(corrupt(format!(
-                "manifest records {} offset bytes, expected {}",
-                manifest.offsets.len,
-                (n + 1) * 8
+                "manifest records {} offset bytes, expected {want_offsets}",
+                manifest.offsets.len
             )));
         }
         for (name, recs, e) in [("ep", &manifest.ep, m), ("adj", &manifest.adj, 2 * m)] {
@@ -157,11 +160,11 @@ impl ShardedCsr {
                 )));
             }
             for (k, rec) in recs.iter().enumerate() {
-                if rec.len != shard_len(k, recs.len(), e) {
+                let want = shard_len(k, recs.len(), e)?;
+                if rec.len != want {
                     return Err(corrupt(format!(
-                        "manifest records {} bytes for {name}.{k}, expected {}",
-                        rec.len,
-                        shard_len(k, recs.len(), e)
+                        "manifest records {} bytes for {name}.{k}, expected {want}",
+                        rec.len
                     )));
                 }
             }
@@ -182,22 +185,19 @@ impl ShardedCsr {
         for k in 0..manifest.ep.len() {
             endpoints.push(map_file(&dir.join(format!("ep.{k}")))?);
         }
+        let max_degree = num::to_usize(manifest.max_degree)?;
         let sc = ShardedCsr {
             dir,
             manifest,
             n,
             m,
-            max_degree: 0,
+            max_degree,
             shard_bits,
             offsets,
             adj,
             endpoints,
         };
-        let sc = ShardedCsr {
-            max_degree: sc.manifest.max_degree as usize,
-            ..sc
-        };
-        if sc.n > 0 && sc.offset(sc.n) != 2 * sc.m as u64 {
+        if sc.n > 0 && sc.offset(sc.n) != 2 * num::to_u64(sc.m) {
             return Err(GraphError::Corrupt {
                 path: sc.dir.display().to_string(),
                 reason: format!(
@@ -255,8 +255,11 @@ impl ShardedCsr {
     /// The packed entry at global index `i` of the sharded array `maps`.
     #[inline]
     fn entry(&self, maps: &[Mmap], i: u64) -> (u32, u32) {
+        // lint: allow(cast, "i >> shard_bits is below the shard count open() validated, so it fits usize")
         let shard = (i >> self.shard_bits) as usize;
+        // lint: allow(cast, "masked to < 2^shard_bits entries, which open() validated to fit a mapped shard")
         let within = (i & ((1u64 << self.shard_bits) - 1)) as usize;
+        // lint: allow(arith, "within * ENTRY + ENTRY <= the shard byte length validated at open()")
         unpack(&maps[shard][within * ENTRY..within * ENTRY + ENTRY])
     }
 }
@@ -274,12 +277,16 @@ impl GraphView for ShardedCsr {
 
     #[inline]
     fn endpoints(&self, e: EdgeId) -> [VertexId; 2] {
-        let (lo, hi) = self.entry(&self.endpoints, e.index() as u64);
-        [VertexId::new(lo as usize), VertexId::new(hi as usize)]
+        let (lo, hi) = self.entry(&self.endpoints, num::to_u64(e.index()));
+        [
+            VertexId::new(num::usize_from(lo)),
+            VertexId::new(num::usize_from(hi)),
+        ]
     }
 
     #[inline]
     fn degree(&self, v: VertexId) -> usize {
+        // lint: allow(cast, "a degree is at most 2m, which open() converted to usize successfully")
         (self.offset(v.index() + 1) - self.offset(v.index())) as usize
     }
 
@@ -303,15 +310,25 @@ impl GraphView for ShardedCsr {
         let end = self.offset(v.index() + 1);
         // Walk the incidence run shard segment by shard segment; a
         // vertex's run may straddle a shard boundary.
+        // Segment arithmetic is bounded by the shard geometry open()
+        // validated: cur - base < 2^shard_bits, every shard's byte length
+        // equals its entry count * ENTRY, and offsets end at 2m.
         while cur < end {
+            // lint: allow(cast, "cur >> shard_bits is below the open()-validated shard count")
             let shard = (cur >> self.shard_bits) as usize;
-            let base = (shard as u64) << self.shard_bits;
+            let base = num::to_u64(shard) << self.shard_bits;
+            // lint: allow(arith, "base + 2^shard_bits <= 2m rounded up to a shard, far below u64::MAX")
             let seg_end = end.min(base + (1u64 << self.shard_bits));
+            // lint: allow(cast, "cur - base < 2^shard_bits entries, which fits the mapped shard") lint: allow(arith, "segment byte range is within the open()-validated shard length")
             let lo = (cur - base) as usize * ENTRY;
+            // lint: allow(cast, "seg_end - base <= 2^shard_bits entries, which fits the mapped shard") lint: allow(arith, "segment byte range is within the open()-validated shard length")
             let hi = (seg_end - base) as usize * ENTRY;
             for chunk in self.adj[shard][lo..hi].chunks_exact(ENTRY) {
                 let (u, e) = unpack(chunk);
-                f(VertexId::new(u as usize), EdgeId::new(e as usize));
+                f(
+                    VertexId::new(num::usize_from(u)),
+                    EdgeId::new(num::usize_from(e)),
+                );
             }
             cur = seg_end;
         }
@@ -320,12 +337,15 @@ impl GraphView for ShardedCsr {
     fn port(&self, v: VertexId, p: usize) -> Option<(VertexId, EdgeId)> {
         let start = self.offset(v.index());
         let end = self.offset(v.index() + 1);
-        let slot = start + p as u64;
+        let slot = start + num::to_u64(p);
         if slot >= end {
             return None;
         }
         let (u, e) = self.entry(&self.adj, slot);
-        Some((VertexId::new(u as usize), EdgeId::new(e as usize)))
+        Some((
+            VertexId::new(num::usize_from(u)),
+            EdgeId::new(num::usize_from(e)),
+        ))
     }
 }
 
@@ -409,6 +429,7 @@ impl ShardWriter {
                 FaultDecision::Short(k) => {
                     // Torn write: a prefix reaches the file, then the
                     // failure surfaces.
+                    // lint: allow(result, "fault injection models a torn write; the prefix is best-effort by design")
                     let _ = self.file.write_all(&self.buf[..k]);
                     return Err(injected(&label));
                 }
@@ -523,6 +544,14 @@ impl ShardedCsrBuilder {
         opts: BuildOptions,
     ) -> Result<ShardedCsrBuilder, GraphError> {
         let dir = dir.as_ref().to_path_buf();
+        // The spool packs endpoints as u32 pairs, so every vertex id must
+        // fit u32 — validating here once keeps the per-edge hot path free
+        // of conversion checks.
+        if n > num::usize_from(u32::MAX) {
+            return Err(GraphError::InvalidParameters {
+                reason: format!("vertex count {n} exceeds u32 identifiers"),
+            });
+        }
         let created_dir = !dir.exists();
         std::fs::create_dir_all(&dir).map_err(|e| io_err("cannot create", &dir, e))?;
         // The manifest is written *last* by finish() and marks a complete
@@ -604,10 +633,15 @@ impl ShardedCsrBuilder {
                 ),
             ));
         }
-        let n = j.n as usize;
-        let shard_bits = j.shard_bits as u32;
+        let n = num::to_usize(j.n)?;
+        let shard_bits = u32::try_from(j.shard_bits).map_err(|_| {
+            corrupt(
+                &dir.join(JOURNAL_FILE),
+                format!("journal shard_bits {} does not fit u32", j.shard_bits),
+            )
+        })?;
         let entries = 1usize << shard_bits;
-        let durable = j.durable_edges as usize;
+        let durable = num::to_usize(j.durable_edges)?;
         let boundary = if durable == 0 {
             0
         } else {
@@ -626,8 +660,9 @@ impl ShardedCsrBuilder {
             let need = if k < boundary {
                 entries
             } else {
-                durable - k * entries
+                durable - num::mul(k, entries)?
             };
+            let need_bytes = num::byte_len(need, ENTRY)?;
             let path = dir.join(format!("ep.{k}"));
             let mut f = File::open(&path).map_err(|e| match e.kind() {
                 std::io::ErrorKind::NotFound => {
@@ -635,7 +670,7 @@ impl ShardedCsrBuilder {
                 }
                 _ => io_err("cannot open", &path, e),
             })?;
-            let mut left = need * ENTRY;
+            let mut left = need_bytes;
             while left > 0 {
                 let take = buf.len().min(left);
                 f.read_exact(&mut buf[..take]).map_err(|e| match e.kind() {
@@ -647,14 +682,14 @@ impl ShardedCsrBuilder {
                 })?;
                 for chunk in buf[..take].chunks_exact(ENTRY) {
                     let (lo, hi) = unpack(chunk);
-                    if lo >= hi || hi as usize >= n {
+                    if lo >= hi || num::usize_from(hi) >= n {
                         return Err(corrupt(
                             &path,
                             format!("spooled endpoint pair ({lo}, {hi}) is invalid for n = {n}"),
                         ));
                     }
-                    degree[lo as usize] += 1;
-                    degree[hi as usize] += 1;
+                    degree[num::usize_from(lo)] += 1;
+                    degree[num::usize_from(hi)] += 1;
                     crc.update(lo, hi);
                 }
                 left -= take;
@@ -666,7 +701,7 @@ impl ShardedCsrBuilder {
                     .write(true)
                     .open(&path)
                     .map_err(|e| io_err("cannot open", &path, e))?;
-                f.set_len((need * ENTRY) as u64)
+                f.set_len(num::to_u64(need_bytes))
                     .map_err(|e| io_err("cannot truncate", &path, e))?;
                 f.sync_all().map_err(|e| io_err("cannot fsync", &path, e))?;
             }
@@ -684,6 +719,7 @@ impl ShardedCsrBuilder {
 
         // Drop every artifact past the durable prefix: later spool
         // shards, any half-written pass-2 output, staged tmp files.
+        // lint: allow(arith, "boundary <= durable / entries < 2^32, nowhere near usize::MAX")
         for k in boundary + 1.. {
             let stale = dir.join(format!("ep.{k}"));
             if !stale.exists() {
@@ -727,7 +763,7 @@ impl ShardedCsrBuilder {
             degree,
             ep: Some(ep),
             ep_shard: boundary,
-            journal_every: (j.journal_every as usize).max(1),
+            journal_every: num::to_usize(j.journal_every)?.max(1),
             durable_edges: durable,
             stream_crc: crc,
             skip: durable,
@@ -799,10 +835,10 @@ impl ShardedCsrBuilder {
             w.sync(self.faults.as_ref())?;
         }
         let j = BuildJournal {
-            n: self.n as u64,
+            n: num::to_u64(self.n),
             shard_bits: u64::from(self.shard_bits),
-            journal_every: self.journal_every as u64,
-            durable_edges: self.m as u64,
+            journal_every: num::to_u64(self.journal_every),
+            durable_edges: num::to_u64(self.m),
             prefix_crc: self.stream_crc.finish(),
         };
         j.store(&self.dir, self.faults.as_ref())?;
@@ -839,8 +875,10 @@ impl ShardedCsrBuilder {
             return Err(GraphError::SelfLoop { vertex: u });
         }
         let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        // lint: allow(cast, "lo < hi < n <= u32::MAX, validated at create(), so both ids fit u32")
+        let (lo32, hi32) = (lo as u32, hi as u32);
         if self.skip > 0 {
-            self.replay_crc.update(lo as u32, hi as u32);
+            self.replay_crc.update(lo32, hi32);
             self.skip -= 1;
             if self.skip == 0 && self.replay_crc.finish() != self.expected_prefix_crc {
                 return Err(GraphError::Corrupt {
@@ -855,7 +893,7 @@ impl ShardedCsrBuilder {
             }
             return Ok(());
         }
-        if self.m >= u32::MAX as usize {
+        if self.m >= num::usize_from(u32::MAX) {
             return Err(GraphError::InvalidParameters {
                 reason: "edge count exceeds u32 identifiers".into(),
             });
@@ -871,10 +909,10 @@ impl ShardedCsrBuilder {
             ),
         })?;
         let mut rec = [0u8; ENTRY];
-        rec[0..4].copy_from_slice(&(lo as u32).to_le_bytes());
-        rec[4..8].copy_from_slice(&(hi as u32).to_le_bytes());
+        rec[0..4].copy_from_slice(&lo32.to_le_bytes());
+        rec[4..8].copy_from_slice(&hi32.to_le_bytes());
         w.write(&rec, self.faults.as_ref())?;
-        self.stream_crc.update(lo as u32, hi as u32);
+        self.stream_crc.update(lo32, hi32);
         self.degree[lo] += 1;
         self.degree[hi] += 1;
         self.m += 1;
@@ -953,13 +991,13 @@ impl ShardedCsrBuilder {
             w.write(&acc.to_le_bytes(), faults)?;
             for &d in &self.degree {
                 cursor.push(acc);
-                acc += u64::from(d);
-                max_degree = max_degree.max(d as usize);
+                acc = num::add_offset(acc, u64::from(d))?;
+                max_degree = max_degree.max(num::usize_from(d));
                 w.write(&acc.to_le_bytes(), faults)?;
             }
             w.sync(faults)?;
             FileRecord {
-                len: ((self.n + 1) * 8) as u64,
+                len: num::to_u64(num::byte_len(num::add(self.n, 1)?, 8)?),
                 crc: w.crc.finish(),
             }
         };
@@ -977,7 +1015,7 @@ impl ShardedCsrBuilder {
             let len = if k + 1 < adj_shards {
                 entries
             } else {
-                adj_slots - k * entries
+                adj_slots - num::mul(k, entries)?
             };
             let path = self.dir.join(format!("adj.{k}"));
             barrier(faults, &format!("adj.{k}.create"))?;
@@ -988,7 +1026,7 @@ impl ShardedCsrBuilder {
                 .truncate(true)
                 .open(&path)
                 .map_err(|e| io_err("cannot create", &path, e))?;
-            f.set_len((len * ENTRY) as u64)
+            f.set_len(num::to_u64(num::byte_len(len, ENTRY)?))
                 .map_err(|e| io_err("cannot size", &path, e))?;
             let map = MmapMut::map_mut(&f).map_err(|e| io_err("cannot map", &path, e))?;
             adj_maps.push((f, map));
@@ -996,8 +1034,11 @@ impl ShardedCsrBuilder {
         let mask = (1u64 << self.shard_bits) - 1;
         let shard_bits = self.shard_bits;
         let store = |maps: &mut [(File, MmapMut)], slot: u64, neighbor: u32, e: u32| {
+            // lint: allow(cast, "slot >> shard_bits is below the adjacency shard count sized above")
             let shard = (slot >> shard_bits) as usize;
+            // lint: allow(cast, "masked to < 2^shard_bits entries, which fits the mapped shard") lint: allow(arith, "within * ENTRY is inside the shard file sized above")
             let within = (slot & mask) as usize * ENTRY;
+            // lint: allow(arith, "within + ENTRY <= the shard byte length sized above")
             let buf = &mut maps[shard].1[within..within + ENTRY];
             buf[0..4].copy_from_slice(&neighbor.to_le_bytes());
             buf[4..8].copy_from_slice(&e.to_le_bytes());
@@ -1018,28 +1059,31 @@ impl ShardedCsrBuilder {
             let expect = if k + 1 < ep_shards {
                 entries
             } else {
-                self.m - k * entries
+                self.m - num::mul(k, entries)?
             };
-            if map.len() != expect * ENTRY {
+            let expect_bytes = num::byte_len(expect, ENTRY)?;
+            if map.len() != expect_bytes {
                 return Err(GraphError::Corrupt {
                     path: path.display().to_string(),
                     reason: format!(
-                        "endpoint shard has {} bytes, expected {}",
-                        map.len(),
-                        expect * ENTRY
+                        "endpoint shard has {} bytes, expected {expect_bytes}",
+                        map.len()
                     ),
                 });
             }
             for chunk in map.chunks_exact(ENTRY) {
                 let (lo, hi) = unpack(chunk);
-                store(&mut adj_maps, cursor[lo as usize], hi, e);
-                cursor[lo as usize] += 1;
-                store(&mut adj_maps, cursor[hi as usize], lo, e);
-                cursor[hi as usize] += 1;
+                let (ul, uh) = (num::usize_from(lo), num::usize_from(hi));
+                store(&mut adj_maps, cursor[ul], hi, e);
+                // lint: allow(arith, "each cursor advances once per incidence slot, bounded by 2m")
+                cursor[ul] += 1;
+                store(&mut adj_maps, cursor[uh], lo, e);
+                // lint: allow(arith, "each cursor advances once per incidence slot, bounded by 2m")
+                cursor[uh] += 1;
                 e += 1;
             }
             ep_recs.push(FileRecord {
-                len: (expect * ENTRY) as u64,
+                len: num::to_u64(expect_bytes),
                 crc: crc32(&map),
             });
             barrier(faults, &format!("ep.{k}.sync"))?;
@@ -1048,7 +1092,7 @@ impl ShardedCsrBuilder {
         let mut adj_recs = Vec::with_capacity(adj_shards);
         for (k, (f, map)) in adj_maps.iter().enumerate() {
             adj_recs.push(FileRecord {
-                len: map.len() as u64,
+                len: num::to_u64(map.len()),
                 crc: crc32(map),
             });
             barrier(faults, &format!("adj.{k}.msync"))?;
@@ -1071,9 +1115,9 @@ impl ShardedCsrBuilder {
             std::fs::remove_file(&stale).map_err(|e| io_err("cannot remove", &stale, e))?;
         }
         let manifest = Manifest {
-            n: self.n as u64,
-            m: self.m as u64,
-            max_degree: max_degree as u64,
+            n: num::to_u64(self.n),
+            m: num::to_u64(self.m),
+            max_degree: num::to_u64(max_degree),
             shard_bits: u64::from(self.shard_bits),
             offsets: offsets_rec,
             ep: ep_recs,
@@ -1117,9 +1161,11 @@ impl Drop for ShardedCsrBuilder {
             "journal.bin",
             "journal.bin.tmp",
         ] {
+            // lint: allow(result, "cleanup in a destructor is best-effort; there is no caller to fail")
             let _ = std::fs::remove_file(self.dir.join(name));
         }
         if self.created_dir {
+            // lint: allow(result, "cleanup in a destructor is best-effort; there is no caller to fail")
             let _ = std::fs::remove_dir(&self.dir);
         }
     }

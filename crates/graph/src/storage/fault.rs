@@ -131,7 +131,8 @@ impl FaultPlan {
                     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
                     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                     z ^= z >> 31;
-                    FaultDecision::Short((z % payload_len as u64) as usize)
+                    // lint: allow(cast, "z % payload_len < payload_len, which is itself a usize")
+                    FaultDecision::Short((z % crate::num::to_u64(payload_len)) as usize)
                 }
             }
         }

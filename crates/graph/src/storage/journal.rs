@@ -78,6 +78,7 @@ pub(crate) fn write_durable_faulty(
             .write_all(bytes)
             .map_err(|e| io_err("cannot write", &tmp, e))?,
         Some(short) => {
+            // lint: allow(result, "fault injection deliberately abandons this write mid-stream")
             let _ = f.write_all(&bytes[..short]);
             return Err(injected(&format!("{label}.tmp.write")));
         }
@@ -219,7 +220,8 @@ impl BuildJournal {
             shard_bits: read_word(bytes, 3),
             journal_every: read_word(bytes, 4),
             durable_edges: read_word(bytes, 5),
-            prefix_crc: read_word(bytes, 6) as u32,
+            prefix_crc: u32::try_from(read_word(bytes, 6))
+                .map_err(|_| corrupt("journal prefix CRC word exceeds u32".into()))?,
         })
     }
 

@@ -25,6 +25,7 @@
 use std::path::{Path, PathBuf};
 
 use crate::error::GraphError;
+use crate::num;
 
 use super::checksum::{crc32, Crc32};
 use super::fault::FaultPlan;
@@ -79,8 +80,8 @@ impl Manifest {
             self.m,
             self.max_degree,
             self.shard_bits,
-            self.ep.len() as u64,
-            self.adj.len() as u64,
+            num::to_u64(self.ep.len()),
+            num::to_u64(self.adj.len()),
         ];
         for rec in std::iter::once(&self.offsets)
             .chain(&self.ep)
@@ -112,6 +113,7 @@ impl Manifest {
             )));
         }
         let words = bytes.len() / 8;
+        // lint: allow(arith, "words = bytes.len() / 8, so (words - 1) * 8 < bytes.len()")
         let payload = &bytes[..(words - 1) * 8];
         if u64::from(crc32(payload)) != read_word(bytes, words - 1) {
             return Err(corrupt(
@@ -130,8 +132,8 @@ impl Manifest {
                 read_word(bytes, 1)
             )));
         }
-        let ep_count = read_word(bytes, 6) as usize;
-        let adj_count = read_word(bytes, 7) as usize;
+        let ep_count = num::to_usize(read_word(bytes, 6))?;
+        let adj_count = num::to_usize(read_word(bytes, 7))?;
         let expect_words = 8 + 2 * (1 + ep_count + adj_count) + 1;
         if words != expect_words {
             return Err(corrupt(format!(
@@ -140,6 +142,7 @@ impl Manifest {
         }
         let rec = |i: usize| FileRecord {
             len: read_word(bytes, 8 + 2 * i),
+            // lint: allow(cast, "CRC words are written as u64::from(u32) and the self-CRC above validated the bytes")
             crc: read_word(bytes, 8 + 2 * i + 1) as u32,
         };
         Ok(Manifest {
@@ -194,6 +197,7 @@ impl Manifest {
     /// The data files the manifest covers, in manifest order, with their
     /// recorded lengths and checksums.
     pub(crate) fn files(&self, dir: &Path) -> Vec<(PathBuf, FileRecord)> {
+        // lint: allow(arith, "capacity hint; shard counts are small and bounded by open files on disk")
         let mut out = Vec::with_capacity(1 + self.ep.len() + self.adj.len());
         out.push((dir.join("offsets.bin"), self.offsets));
         for (k, rec) in self.ep.iter().enumerate() {

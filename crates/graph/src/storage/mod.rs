@@ -75,12 +75,14 @@ pub(crate) fn io_err(what: &str, path: &Path, e: std::io::Error) -> GraphError {
 
 /// Reads u64 LE word `i` of a byte buffer (caller guarantees bounds).
 pub(crate) fn read_word(bytes: &[u8], i: usize) -> u64 {
+    // lint: allow(arith, "callers index within a buffer whose length they have already validated")
     let b = &bytes[i * 8..i * 8 + 8];
     u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
 }
 
 /// Serializes u64 words to LE bytes.
 pub(crate) fn word_bytes(words: &[u64]) -> Vec<u8> {
+    // lint: allow(arith, "words is an in-memory &[u64], so 8 * len <= isize::MAX by allocation")
     let mut bytes = Vec::with_capacity(words.len() * 8);
     for w in words {
         bytes.extend_from_slice(&w.to_le_bytes());

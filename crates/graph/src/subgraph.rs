@@ -25,6 +25,7 @@
 use crate::error::GraphError;
 use crate::graph::Graph;
 use crate::ids::{EdgeId, VertexId};
+use crate::num;
 
 /// Subgraph induced by a vertex subset, with vertex/edge back-mappings.
 ///
@@ -274,7 +275,7 @@ impl RankedBits {
     #[inline]
     fn rank(&self, i: usize) -> usize {
         let below = self.words[i / 64] & ((1u64 << (i % 64)) - 1);
-        self.rank[i / 64] as usize + below.count_ones() as usize
+        num::usize_from(self.rank[i / 64]) + num::usize_from(below.count_ones())
     }
 }
 
@@ -474,7 +475,7 @@ impl<'g, P: GraphView> EdgeSubgraphView<'g, P> {
             degree[u.index()] += 1;
             degree[v.index()] += 1;
         }
-        let max_degree = degree.iter().copied().max().unwrap_or(0) as usize;
+        let max_degree = num::usize_from(degree.iter().copied().max().unwrap_or(0));
         Ok(EdgeSubgraphView {
             parent,
             edges,
@@ -535,7 +536,7 @@ impl<P: GraphView> GraphView for EdgeSubgraphView<'_, P> {
 
     #[inline]
     fn degree(&self, v: VertexId) -> usize {
-        self.degree[v.index()] as usize
+        num::usize_from(self.degree[v.index()])
     }
 
     #[inline]
@@ -577,7 +578,7 @@ impl<P: GraphView> GraphView for EdgeSubgraphView<'_, P> {
         // `Graph`/`ShardedCsr` parents): one rank for the hit only, and
         // the walk stops at the requested port instead of draining the
         // whole incidence run through a closure.
-        if p >= self.degree[v.index()] as usize {
+        if p >= num::usize_from(self.degree[v.index()]) {
             return None;
         }
         let mut active = 0usize;
@@ -781,7 +782,7 @@ impl<'g, P: GraphView> InducedSubgraphView<'g, P> {
         edges.sort_unstable();
         let edge_bits =
             RankedBits::from_sorted(edges.iter().map(|e| e.index()), parent.num_edges());
-        let max_degree = degree.iter().copied().max().unwrap_or(0) as usize;
+        let max_degree = num::usize_from(degree.iter().copied().max().unwrap_or(0));
         let mut offsets = Vec::with_capacity(k + 1);
         let mut acc = 0u32;
         offsets.push(0);
@@ -791,7 +792,7 @@ impl<'g, P: GraphView> InducedSubgraphView<'g, P> {
         }
         // Second pass: the compact local incidence, in the parent's
         // incidence order (= ascending local edge id per vertex).
-        let mut adj = vec![(VertexId::new(0), EdgeId::new(0)); acc as usize];
+        let mut adj = vec![(VertexId::new(0), EdgeId::new(0)); num::usize_from(acc)];
         let mut cursor = 0usize;
         for &v in subset.parent_vertices() {
             parent.for_each_port(v, |u, e| {
@@ -807,7 +808,7 @@ impl<'g, P: GraphView> InducedSubgraphView<'g, P> {
                 }
             });
         }
-        debug_assert_eq!(cursor, acc as usize);
+        debug_assert_eq!(cursor, num::usize_from(acc));
         InducedSubgraphView {
             subset,
             edges,
@@ -845,7 +846,8 @@ impl<'g, P: GraphView> InducedSubgraphView<'g, P> {
     /// port order — same layout as [`Graph::incidence`].
     #[inline]
     pub fn incidence(&self, v: VertexId) -> &[(VertexId, EdgeId)] {
-        &self.adj[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
+        &self.adj
+            [num::usize_from(self.offsets[v.index()])..num::usize_from(self.offsets[v.index() + 1])]
     }
 }
 
@@ -874,7 +876,7 @@ impl<P: GraphView> GraphView for InducedSubgraphView<'_, P> {
 
     #[inline]
     fn degree(&self, v: VertexId) -> usize {
-        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+        num::usize_from(self.offsets[v.index() + 1] - self.offsets[v.index()])
     }
 
     #[inline]

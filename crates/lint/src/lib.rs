@@ -7,18 +7,24 @@
 //! environment, clocks, or randomized-iteration-order containers in
 //! result-affecting code).
 //!
-//! The linter is two small layers:
+//! The linter is three small layers:
 //!
 //! * [`lexer`] — a comment-, string-, raw-string-, char-literal-, and
 //!   `#[cfg(test)]`-aware scrubber that reduces a source file to its
 //!   load-bearing code (plus the comment text, for `// SAFETY:` and
-//!   `// lint: allow(...)` justifications), and
-//! * [`rules`] — the per-line checks, scoped per crate by [`config`].
+//!   `// lint: allow(...)` justifications),
+//! * [`tokens`] — a bracket-matched token stream over the scrubbed
+//!   code, so the expression-shaped rules (lossy casts, unchecked
+//!   offset arithmetic, discarded `Result`s) see call chains and cast
+//!   expressions even when they span lines, and
+//! * [`rules`] — the checks themselves, scoped per crate by [`config`].
 //!
 //! Run it with `cargo run -p decolor-lint` from the workspace root; it
-//! prints `file:line: [rule] message` diagnostics and exits non-zero on
-//! any violation. The `workspace_is_clean` integration test runs the
-//! same walk in-process, so a violation also fails `cargo test`.
+//! prints `file:line: [ID name] message` diagnostics and exits non-zero
+//! on any violation (`--format json` for machine-readable output,
+//! `--explain <RULE_ID>` for the rationale). The `workspace_is_clean`
+//! integration test runs the same walk in-process, so a violation also
+//! fails `cargo test`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +32,7 @@
 pub mod config;
 pub mod lexer;
 pub mod rules;
+pub mod tokens;
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -145,7 +152,7 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<FileViolation>, String> {
                 path: lib.to_string(),
                 violation: Violation {
                     line: 1,
-                    rule: Rule::UnsafeSafety,
+                    rule: Rule::ForbidUnsafe,
                     message: "crate must keep its `#![forbid(unsafe_code)]` attribute".into(),
                 },
                 excerpt: String::new(),

@@ -1,18 +1,75 @@
 //! `decolor-lint` — the workspace invariant linter as a CI gate.
 //!
-//! Usage: `decolor-lint [--root <dir>] [--quiet]`
+//! Usage: `decolor-lint [--root <dir>] [--quiet] [--format text|json]
+//! [--explain <RULE_ID>]`
 //!
 //! Walks `src/`, `crates/*/src/`, and `vendor/*/src/` under the root
-//! (default: the current directory), prints `file:line: [rule] message`
-//! diagnostics, and exits 1 on any violation (2 on usage or I/O
-//! errors). See the README's "Static guarantees" section for the rules.
+//! (default: the current directory), prints
+//! `file:line: [ID name] message` diagnostics, and exits 1 on any
+//! violation (2 on usage or I/O errors). `--format json` emits one JSON
+//! array of diagnostic objects on stdout; `--explain <RULE_ID>` prints
+//! the rule's rationale and exits. See the README's "Static guarantees"
+//! section for the rules.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use decolor_lint::rules::Rule;
+use decolor_lint::FileViolation;
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// enough for diagnostic text, which is ASCII by construction.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if u32::from(c) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", u32::from(c)));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn print_json(violations: &[FileViolation]) {
+    println!("[");
+    for (i, fv) in violations.iter().enumerate() {
+        let comma = if i + 1 < violations.len() { "," } else { "" };
+        println!(
+            "  {{\"path\":\"{}\",\"line\":{},\"id\":\"{}\",\"rule\":\"{}\",\
+             \"message\":\"{}\",\"excerpt\":\"{}\"}}{comma}",
+            json_escape(&fv.path),
+            fv.violation.line,
+            fv.violation.rule.id(),
+            fv.violation.rule.name(),
+            json_escape(&fv.violation.message),
+            json_escape(&fv.excerpt),
+        );
+    }
+    println!("]");
+}
+
+fn explain(id: &str) -> Result<bool, String> {
+    let Some(rule) = Rule::from_id(&id.to_uppercase()) else {
+        let known: Vec<&str> = Rule::all().iter().map(|r| r.id()).collect();
+        return Err(format!(
+            "unknown rule id `{id}` (known: {})",
+            known.join(", ")
+        ));
+    };
+    println!("{}", rule.explain());
+    Ok(true)
+}
+
 fn run() -> Result<bool, String> {
     let mut root = PathBuf::from(".");
     let mut quiet = false;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -23,8 +80,25 @@ fn run() -> Result<bool, String> {
                 root = PathBuf::from(dir);
             }
             "--quiet" => quiet = true,
+            "--format" => match args.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                Some(other) => {
+                    return Err(format!("unknown format `{other}` (expected text|json)"))
+                }
+                None => return Err("--format needs an argument (text|json)".into()),
+            },
+            "--explain" => {
+                let Some(id) = args.next() else {
+                    return Err("--explain needs a rule id (e.g. CAST01)".into());
+                };
+                return explain(&id);
+            }
             "--help" | "-h" => {
-                println!("usage: decolor-lint [--root <dir>] [--quiet]");
+                println!(
+                    "usage: decolor-lint [--root <dir>] [--quiet] [--format text|json] \
+                     [--explain <RULE_ID>]"
+                );
                 return Ok(true);
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -32,6 +106,10 @@ fn run() -> Result<bool, String> {
     }
 
     let violations = decolor_lint::lint_workspace(&root)?;
+    if json {
+        print_json(&violations);
+        return Ok(violations.is_empty());
+    }
     if violations.is_empty() {
         if !quiet {
             println!("decolor-lint: workspace invariants hold");
@@ -40,9 +118,10 @@ fn run() -> Result<bool, String> {
     }
     for fv in &violations {
         eprintln!(
-            "{}:{}: [{}] {}",
+            "{}:{}: [{} {}] {}",
             fv.path,
             fv.violation.line,
+            fv.violation.rule.id(),
             fv.violation.rule.name(),
             fv.violation.message
         );
@@ -51,7 +130,8 @@ fn run() -> Result<bool, String> {
         }
     }
     eprintln!(
-        "decolor-lint: {} violation(s) — see README \"Static guarantees\"",
+        "decolor-lint: {} violation(s) — see README \"Static guarantees\" or \
+         `decolor-lint --explain <RULE_ID>`",
         violations.len()
     );
     Ok(false)

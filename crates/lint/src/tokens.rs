@@ -1,0 +1,277 @@
+//! A bracket-matched token stream over [`Lexed`](crate::lexer::Lexed)
+//! code.
+//!
+//! The line-based rules of PR 6 cannot see *expressions*: a cast split
+//! as `usize::try_from(x)\n    .unwrap_or(0) as u32` or a multi-line
+//! call chain defeats any per-line pattern. This module re-tokenizes the
+//! scrubbed code (comments, literals, and `#[cfg(test)]` items are
+//! already blanked by the lexer, so nothing here can fire on prose) into
+//! a flat stream of identifier / number / punctuation tokens, each
+//! carrying its original line and column, plus a bracket-match table so
+//! rules can jump across `(…)` / `[…]` / `{…}` groups when walking an
+//! operand.
+//!
+//! The expression-aware rule families — lossy casts, unchecked offset
+//! arithmetic, discarded `Result`s — are built on this stream; see
+//! [`crate::rules`].
+
+/// What kind of token a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`offset`, `as`, `let`, `usize`, ...).
+    Ident,
+    /// A numeric literal (`0`, `8`, `0x4443`, `1.5`, `1u64`, ...).
+    Number,
+    /// Punctuation, with multi-character operators (`+=`, `::`, `..`)
+    /// kept as one token.
+    Punct,
+}
+
+/// One token of scrubbed code, anchored to its source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokenKind,
+    /// The token text (identifier name, literal text, or operator).
+    pub text: String,
+    /// 0-based source line (columns are preserved by the lexer, so this
+    /// matches the original file).
+    pub line: usize,
+    /// 0-based character column on that line.
+    pub col: usize,
+}
+
+/// A token stream with a bracket-match table.
+#[derive(Debug)]
+pub struct TokenStream {
+    /// The tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// `matching[i]` is the index of the bracket matching token `i`
+    /// (open → close and close → open), or `None` for non-bracket
+    /// tokens and unbalanced brackets.
+    pub matching: Vec<Option<usize>>,
+}
+
+/// Multi-character operators kept as single tokens, longest first so the
+/// greedy scan picks `<<=` over `<<` over `<`.
+const MULTI_PUNCT: [&str; 24] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes scrubbed code lines (from [`crate::lexer::lex`]) into a
+/// bracket-matched stream.
+pub fn tokenize(code: &[String]) -> TokenStream {
+    let mut tokens = Vec::new();
+    for (line_no, line) in code.iter().enumerate() {
+        let chars: Vec<char> = line.chars().collect();
+        let n = chars.len();
+        let mut i = 0;
+        while i < n {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if is_ident_start(c) {
+                let start = i;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line: line_no,
+                    col: start,
+                });
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let start = i;
+                while i < n
+                    && (is_ident_continue(chars[i])
+                        // A dot continues the literal only for a float
+                        // like `1.5`; `0..n` stays three tokens.
+                        || (chars[i] == '.'
+                            && chars.get(i + 1).is_some_and(char::is_ascii_digit)
+                            && !chars[start..i].contains(&'.')))
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: chars[start..i].iter().collect(),
+                    line: line_no,
+                    col: start,
+                });
+                continue;
+            }
+            // Punctuation: greedy multi-char match first.
+            let rest: String = chars[i..n.min(i + 3)].iter().collect();
+            let multi = MULTI_PUNCT.iter().find(|op| rest.starts_with(**op));
+            let text = multi.map_or_else(|| c.to_string(), |op| (*op).to_string());
+            let len = text.chars().count();
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text,
+                line: line_no,
+                col: i,
+            });
+            i += len;
+        }
+    }
+    let matching = match_brackets(&tokens);
+    TokenStream { tokens, matching }
+}
+
+/// Builds the bracket-match table over `(`/`)`, `[`/`]`, `{`/`}`.
+fn match_brackets(tokens: &[Token]) -> Vec<Option<usize>> {
+    let mut matching = vec![None; tokens.len()];
+    let mut stack: Vec<(usize, char)> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => {
+                let open = t.text.chars().next().unwrap_or('(');
+                stack.push((i, open));
+            }
+            ")" | "]" | "}" => {
+                let want = match t.text.as_str() {
+                    ")" => '(',
+                    "]" => '[',
+                    _ => '{',
+                };
+                // Tolerate imbalance (macro fragments): pop only a true
+                // partner, leave strays unmatched.
+                if stack.last().is_some_and(|&(_, open)| open == want) {
+                    if let Some((j, _)) = stack.pop() {
+                        matching[i] = Some(j);
+                        matching[j] = Some(i);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    matching
+}
+
+impl TokenStream {
+    /// The token at `i`, if any.
+    pub fn get(&self, i: usize) -> Option<&Token> {
+        self.tokens.get(i)
+    }
+
+    /// `true` when token `i` is the identifier `name`.
+    pub fn is_ident(&self, i: usize, name: &str) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text == name)
+    }
+
+    /// `true` when token `i` is the punctuation `op`.
+    pub fn is_punct(&self, i: usize, op: &str) -> bool {
+        self.tokens
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text == op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn stream(src: &str) -> TokenStream {
+        tokenize(&lex(src).code)
+    }
+
+    fn texts(ts: &TokenStream) -> Vec<&str> {
+        ts.tokens.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn idents_numbers_and_puncts() {
+        let ts = stream("let x = off * 8 + 1;\n");
+        assert_eq!(
+            texts(&ts),
+            vec!["let", "x", "=", "off", "*", "8", "+", "1", ";"]
+        );
+        assert_eq!(ts.tokens[3].line, 0);
+        assert_eq!(ts.tokens[3].col, 8);
+    }
+
+    #[test]
+    fn multi_char_operators_stay_whole() {
+        let ts = stream("a += b; c <<= 2; x..y; p::q(r ..= s)\n");
+        let t = texts(&ts);
+        assert!(t.contains(&"+="));
+        assert!(t.contains(&"<<="));
+        assert!(t.contains(&".."));
+        assert!(t.contains(&"::"));
+        assert!(t.contains(&"..="));
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let ts = stream("for i in 0..n { f(1.5); }\n");
+        let t = texts(&ts);
+        assert!(t.contains(&"0"));
+        assert!(t.contains(&".."));
+        assert!(t.contains(&"1.5"));
+    }
+
+    #[test]
+    fn brackets_match_across_lines() {
+        let ts = stream("f(a,\n   g[b],\n) + h;\n");
+        let open = ts
+            .tokens
+            .iter()
+            .position(|t| t.text == "(")
+            .unwrap_or_else(|| panic!("no open paren"));
+        let close = ts.matching[open].unwrap_or_else(|| panic!("unmatched paren"));
+        assert_eq!(ts.tokens[close].text, ")");
+        assert_eq!(ts.tokens[close].line, 2);
+        assert_eq!(ts.matching[close], Some(open));
+    }
+
+    #[test]
+    fn scrubbed_text_yields_no_tokens() {
+        let ts = stream("// off * 8\nlet s = \"a + b\";\n");
+        let t = texts(&ts);
+        assert!(!t.contains(&"+"));
+        assert!(!t.contains(&"*"));
+        assert_eq!(t, vec!["let", "s", "=", ";"]);
+    }
+
+    #[test]
+    fn columns_survive_scrubbing() {
+        // The string contents are blanked but every following token must
+        // keep its original column.
+        let ts = stream("let s = \"xxxx\"; let k = 7;\n");
+        let k = ts
+            .tokens
+            .iter()
+            .find(|t| t.text == "k")
+            .unwrap_or_else(|| panic!("no k token"));
+        assert_eq!(k.col, 20);
+    }
+
+    #[test]
+    fn stray_close_bracket_is_tolerated() {
+        let ts = stream("macro_rows! { ) ( }\n");
+        // No panic, and the `(`/`)` strays stay unmatched.
+        let open = ts.tokens.iter().position(|t| t.text == "(").unwrap_or(0);
+        assert_eq!(ts.matching[open], None);
+    }
+}

@@ -1,0 +1,34 @@
+//! Negative fixture for the offset-arithmetic rule: checked operations,
+//! compile-time constant products, marker-free arithmetic, and justified
+//! annotations. The linter must stay silent on this file even inside the
+//! storage scope.
+
+pub fn checked_sum(offset: u64, len: u64) -> Option<u64> {
+    offset.checked_add(len)
+}
+
+pub fn checked_product(words: u64) -> Option<u64> {
+    words.checked_mul(8)
+}
+
+pub const HEADER_WORDS: usize = 9;
+
+pub fn const_const_product() -> usize {
+    // Two numeric literals are a compile-time constant, not runtime
+    // offset arithmetic.
+    9 * 8
+}
+
+pub fn marker_free(a: u64, b: u64) -> u64 {
+    a + b
+}
+
+pub fn annotated(word_index: usize) -> usize {
+    // lint: allow(arith, "callers validated word_index against the buffer length")
+    word_index * 8
+}
+
+pub fn deref_is_not_a_product(x: &u64) -> u64 {
+    let copied = *x;
+    copied
+}

@@ -1,0 +1,20 @@
+// Counter-example fixture for ARITH01: unchecked `+` / `*` on
+// byte-offset/length expressions, linted as if it lived in the storage
+// scope. One diagnostic per site, lines pinned by the integration test.
+
+pub fn offset_sum(base_offset: u64, len: u64) -> u64 {
+    base_offset + len
+}
+
+pub fn stride_product(words: u64) -> u64 {
+    words * 8
+}
+
+pub fn compound_accumulate(cursor: &mut usize, chunk: usize) {
+    *cursor += chunk;
+}
+
+pub fn multi_line_offset(header_bytes: u64, payload_len: u64) -> u64 {
+    header_bytes
+        + payload_len
+}

@@ -1,0 +1,44 @@
+//! Negative fixture for the lossy-cast rule: every `as <numeric>` below
+//! is inert text, test-only code, a non-numeric cast, or carries a
+//! justified annotation. The linter must stay silent on this file.
+
+/// Truncation hazard, documented with an example:
+///
+/// ```rust
+/// let x: u64 = 1 << 40;
+/// let bad = x as u32; // doc examples are comments to the lexer
+/// ```
+pub fn describe() -> &'static str {
+    "never write `x as u32` when x is a byte offset"
+}
+
+pub fn raw_literal() -> &'static str {
+    r#"offset as usize inside a raw string is data, not code"#
+}
+
+pub fn annotated(color: u32, palette: usize) -> bool {
+    // lint: allow(cast, "colors were validated against the palette above")
+    (color as usize) < palette
+}
+
+pub fn trailing_annotation(x: u64) -> u32 {
+    (x & 0xFF) as u32 // lint: allow(cast, "masked to 8 bits")
+}
+
+pub fn non_numeric_target(b: Box<u32>) -> Box<dyn std::fmt::Debug> {
+    b as Box<dyn std::fmt::Debug>
+}
+
+pub fn as_in_import_rename() -> u32 {
+    use std::cmp::max as maximum;
+    maximum(1, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_cast() {
+        let x: u64 = 7;
+        assert_eq!(x as u32, 7);
+    }
+}

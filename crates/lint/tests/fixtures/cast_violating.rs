@@ -1,0 +1,26 @@
+// Counter-example fixture: raw `as` casts to numeric types in plain
+// library code. The integration test pins one CAST01 diagnostic per site
+// and the exact line of each.
+
+pub fn truncating(x: u64) -> u32 {
+    x as u32
+}
+
+pub fn widening_still_flagged(x: u32) -> u64 {
+    x as u64
+}
+
+pub fn index_position(slots: &[u8], p: u32) -> u8 {
+    slots[p as usize]
+}
+
+pub fn multi_line_chain(counts: &[u64]) -> f64 {
+    counts
+        .iter()
+        .sum::<u64>() as f64
+}
+
+pub fn malformed_allow_suppresses_nothing(x: usize) -> u32 {
+    // lint: allow(cast)
+    x as u32
+}

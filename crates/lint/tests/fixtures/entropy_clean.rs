@@ -1,0 +1,24 @@
+//! Negative fixture for the det-entropy rule: explicit seeding, inert
+//! text, and test-only code. The linter must stay silent on this file.
+
+/// Seeding policy:
+///
+/// ```rust
+/// let rng = SmallRng::from_entropy(); // doc examples are comments
+/// ```
+pub fn seeded(seed: u64) -> u64 {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    rng.next_u64()
+}
+
+pub fn describe() -> &'static str {
+    "never call thread_rng() in result-affecting code"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_entropy() {
+        let _rng = rand::thread_rng();
+    }
+}

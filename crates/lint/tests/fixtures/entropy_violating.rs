@@ -1,0 +1,12 @@
+// Counter-example fixture for DET05: entropy-seeded RNG in
+// result-affecting code. One diagnostic per site.
+
+pub fn ambient_thread_rng() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn entropy_seeded() -> u64 {
+    let mut rng = rand::rngs::SmallRng::from_entropy();
+    rng.next_u64()
+}

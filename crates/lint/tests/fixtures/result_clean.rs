@@ -1,0 +1,40 @@
+//! Negative fixture for the discarded-Result rules: named discards,
+//! expression-position `.ok()`, tuple patterns, inert text, and justified
+//! annotations. The linter must stay silent on this file.
+
+fn fallible() -> Result<u32, std::io::Error> {
+    Ok(1)
+}
+
+pub fn named_discard_keeps_the_value() {
+    let _guard = fallible();
+}
+
+pub fn ok_in_expression_position() -> Option<u32> {
+    fallible().ok()
+}
+
+pub fn tuple_pattern() -> u32 {
+    let (_, kept) = (fallible(), 2);
+    kept
+}
+
+pub fn annotated_best_effort() {
+    // lint: allow(result, "best-effort cleanup; the store is already durable")
+    let _ = fallible();
+}
+
+pub fn describe() -> &'static str {
+    "let _ = write!(buf) and .ok(); in a string are data, not code"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fallible;
+
+    #[test]
+    fn test_code_may_discard() {
+        let _ = fallible();
+        fallible().ok();
+    }
+}

@@ -1,0 +1,24 @@
+// Counter-example fixture for RES01/RES02: discarded values and
+// statement-level `.ok()` drops in plain library code.
+
+fn fallible() -> Result<u32, std::io::Error> {
+    Ok(1)
+}
+
+pub fn let_underscore_discard() {
+    let _ = fallible();
+}
+
+pub fn typed_underscore_discard() {
+    let _: Result<u32, std::io::Error> = fallible();
+}
+
+pub fn statement_ok_drop() {
+    fallible().ok();
+}
+
+pub fn multi_line_ok_drop() {
+    fallible()
+        .map(|v| v + 1)
+        .ok();
+}

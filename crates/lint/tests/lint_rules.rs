@@ -147,6 +147,117 @@ fn out_of_scope_paths_are_not_linted() {
     }
 }
 
+// ------------------------------------------------------------ lossy-cast --
+
+#[test]
+fn cast_fixture_flags_every_site() {
+    let v = lint_as("crates/core/src/fixture.rs", "cast_violating.rs");
+    assert_eq!(
+        lines(&v, "lossy-cast"),
+        vec![6, 10, 14, 20, 25],
+        "truncating, widening, index, multi-line chain, malformed-allow: {v:?}"
+    );
+    assert_eq!(
+        count(&v, "allow-syntax"),
+        1,
+        "the reason-less allow is itself a diagnostic: {v:?}"
+    );
+}
+
+#[test]
+fn cast_clean_fixture_is_silent() {
+    // Exercises the traps: cast in a string, in a raw string, in a doc
+    // example, in `#[cfg(test)]`, a non-numeric `as` coercion, an `as`
+    // import rename, and own-line + trailing annotations.
+    let v = lint_as("crates/core/src/fixture.rs", "cast_clean.rs");
+    assert!(v.is_empty(), "expected silence, got: {v:?}");
+}
+
+#[test]
+fn cast_rule_is_off_for_bench_cli_and_vendor() {
+    for scope in [
+        "crates/bench/src/fixture.rs",
+        "crates/cli/src/fixture.rs",
+        "vendor/memmap2/src/fixture.rs",
+    ] {
+        let v = lint_as(scope, "cast_violating.rs");
+        assert_eq!(count(&v, "lossy-cast"), 0, "{scope} should tolerate casts");
+    }
+}
+
+// -------------------------------------------------- unchecked-offset-arith --
+
+#[test]
+fn arith_fixture_flags_every_site_in_storage_scope() {
+    let v = lint_as("crates/graph/src/storage/fixture.rs", "arith_violating.rs");
+    assert_eq!(
+        lines(&v, "unchecked-offset-arith"),
+        vec![6, 10, 14, 19],
+        "offset sum, stride product, compound accumulate, multi-line sum: {v:?}"
+    );
+}
+
+#[test]
+fn arith_rule_fires_in_checkpoint_scope_only() {
+    let v = lint_as("crates/core/src/checkpoint.rs", "arith_violating.rs");
+    assert_eq!(count(&v, "unchecked-offset-arith"), 4, "got: {v:?}");
+    // The same expressions outside the audited byte-layout scopes are
+    // ordinary integer arithmetic.
+    let out = lint_as("crates/core/src/fixture.rs", "arith_violating.rs");
+    assert_eq!(count(&out, "unchecked-offset-arith"), 0, "got: {out:?}");
+}
+
+#[test]
+fn arith_clean_fixture_is_silent() {
+    // checked_add/checked_mul, a const-const product, marker-free sums,
+    // a deref that must not parse as multiplication, and an annotation.
+    let v = lint_as("crates/graph/src/storage/fixture.rs", "arith_clean.rs");
+    assert!(v.is_empty(), "expected silence, got: {v:?}");
+}
+
+// ------------------------------------------------------- discarded-result --
+
+#[test]
+fn result_fixture_flags_every_site() {
+    let v = lint_as("crates/core/src/fixture.rs", "result_violating.rs");
+    assert_eq!(
+        lines(&v, "discarded-result"),
+        vec![9, 13],
+        "let _ and let _: T: {v:?}"
+    );
+    assert_eq!(
+        lines(&v, "discarded-result-ok"),
+        vec![17, 23],
+        "statement-level and multi-line .ok() drops: {v:?}"
+    );
+}
+
+#[test]
+fn result_clean_fixture_is_silent() {
+    // Named discards, expression-position `.ok()`, tuple patterns,
+    // string/test traps, and a justified annotation.
+    let v = lint_as("crates/core/src/fixture.rs", "result_clean.rs");
+    assert!(v.is_empty(), "expected silence, got: {v:?}");
+}
+
+// ----------------------------------------------------------- det-entropy --
+
+#[test]
+fn entropy_fixture_flags_every_site() {
+    let v = lint_as("crates/graph/src/fixture.rs", "entropy_violating.rs");
+    assert_eq!(
+        count(&v, "det-entropy"),
+        2,
+        "thread_rng + from_entropy: {v:?}"
+    );
+}
+
+#[test]
+fn entropy_clean_fixture_is_silent() {
+    let v = lint_as("crates/graph/src/fixture.rs", "entropy_clean.rs");
+    assert!(v.is_empty(), "expected silence, got: {v:?}");
+}
+
 // ---------------------------------------------------------- allow-syntax --
 
 #[test]
@@ -181,6 +292,43 @@ fn forbid_unsafe_attribute_detection() {
         !has_forbid_unsafe(&lex("// #![forbid(unsafe_code)]\npub fn f() {}\n")),
         "a commented-out attribute must not count"
     );
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[test]
+fn lexer_preserves_columns_through_scrubbing() {
+    use decolor_lint::lexer::lex;
+    use decolor_lint::tokens::{tokenize, TokenKind};
+
+    // The string literal is scrubbed to blanks, so `offset` must keep the
+    // exact column it has in the original source.
+    let src = "let msg = \"cast as u32 here\"; let x = offset as u32;\n";
+    let lexed = lex(src);
+    let ts = tokenize(&lexed.code);
+    let offset_tok = ts
+        .tokens
+        .iter()
+        .find(|t| t.kind == TokenKind::Ident && t.text == "offset")
+        .expect("offset token present");
+    assert_eq!(offset_tok.line, 0);
+    assert_eq!(offset_tok.col, src.find("offset").unwrap());
+    assert!(
+        !ts.tokens.iter().any(|t| t.text == "cast"),
+        "string contents must be scrubbed, not tokenized"
+    );
+
+    // Multi-line strings shift nothing either: the token after the
+    // closing quote keeps its original line and column.
+    let src2 = "let s = \"a\nb\"; let word_len = 4;\n";
+    let ts2 = tokenize(&lex(src2).code);
+    let word_tok = ts2
+        .tokens
+        .iter()
+        .find(|t| t.kind == TokenKind::Ident && t.text == "word_len")
+        .expect("word_len token present");
+    assert_eq!(word_tok.line, 1);
+    assert_eq!(word_tok.col, "b\"; let ".len());
 }
 
 // -------------------------------------------------------------- dogfood --

@@ -11,7 +11,7 @@
 //! construction.
 
 use decolor_graph::subgraph::GraphView;
-use decolor_graph::VertexId;
+use decolor_graph::{num, VertexId};
 
 use crate::error::RuntimeError;
 
@@ -138,7 +138,7 @@ impl<M> RoundBuffer<M> {
         self.ports[base..end]
             .iter()
             .zip(&self.slots[base..end])
-            .map(|(&p, s)| (p as usize, s))
+            .map(|(&p, s)| (num::usize_from(p), s))
     }
 
     /// The `i`-th message delivered to `v` this round.
@@ -235,6 +235,7 @@ impl<M> RoundBuffer<M> {
         M: Clone,
     {
         let base = self.offsets[v.index()];
+        // lint: allow(cast, "port indices are below a u32 vertex degree")
         self.ports[base + p] = p as u32;
         self.slots[base + p].clone_from(message);
     }
@@ -258,7 +259,7 @@ impl<M> RoundBuffer<M> {
         (0..k)
             .map(|i| {
                 (
-                    self.ports[base + i] as usize,
+                    num::usize_from(self.ports[base + i]),
                     std::mem::take(&mut self.slots[base + i]),
                 )
             })

@@ -6,6 +6,7 @@
 //! inherit identifiers (or, per §3, inherit a proper O(Δ²)-coloring *in
 //! place of* identifiers).
 
+use decolor_graph::num;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
@@ -28,14 +29,14 @@ impl IdAssignment {
     /// Identifiers equal to vertex indices (`id(v) = v`).
     pub fn sequential(n: usize) -> Self {
         IdAssignment {
-            ids: (0..n as u64).collect(),
+            ids: (0..num::to_u64(n)).collect(),
         }
     }
 
     /// A seeded uniformly random permutation of `0..n` — the standard
     /// adversarial-ish setting for deterministic symmetry breaking.
     pub fn shuffled(n: usize, seed: u64) -> Self {
-        let mut ids: Vec<u64> = (0..n as u64).collect();
+        let mut ids: Vec<u64> = (0..num::to_u64(n)).collect();
         ids.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(seed));
         IdAssignment { ids }
     }

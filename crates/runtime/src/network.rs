@@ -2,6 +2,7 @@
 
 use std::cell::OnceCell;
 
+use decolor_graph::num;
 use decolor_graph::subgraph::GraphView;
 use decolor_graph::{EdgeId, Graph, VertexId};
 
@@ -117,9 +118,9 @@ impl<'g, V: GraphView> Network<'g, V> {
         }
         let [lo, hi] = self.graph.endpoints(e);
         if v == lo {
-            Ok(self.ports()[e.index()].0 as usize)
+            Ok(num::usize_from(self.ports()[e.index()].0))
         } else if v == hi {
-            Ok(self.ports()[e.index()].1 as usize)
+            Ok(num::usize_from(self.ports()[e.index()].1))
         } else {
             Err(RuntimeError::NotAnEndpoint { vertex: v, edge: e })
         }
@@ -132,9 +133,9 @@ impl<'g, V: GraphView> Network<'g, V> {
     fn port_of_incident(&self, v: VertexId, e: EdgeId) -> usize {
         let [lo, _hi] = self.graph.endpoints(e);
         if v == lo {
-            self.ports()[e.index()].0 as usize
+            num::usize_from(self.ports()[e.index()].0)
         } else {
-            self.ports()[e.index()].1 as usize
+            num::usize_from(self.ports()[e.index()].1)
         }
     }
 
@@ -184,6 +185,7 @@ impl<'g, V: GraphView> Network<'g, V> {
                                 port: *port,
                                 degree: self.graph.degree(v),
                             })?;
+                    // lint: allow(cast, "ports are stored as u32 pairs, so the incident port fits u32")
                     let their_port = self.port_of_incident(u, e) as u32;
                     buf.push(u, their_port, msg)?;
                     messages += 1;
@@ -201,7 +203,7 @@ impl<'g, V: GraphView> Network<'g, V> {
         };
         self.stats.rounds += 1;
         self.stats.messages += messages;
-        self.stats.payload_bytes += messages * std::mem::size_of::<M>() as u64;
+        self.stats.payload_bytes += messages * num::to_u64(std::mem::size_of::<M>());
         Ok(())
     }
 
@@ -268,11 +270,11 @@ impl<'g, V: GraphView> Network<'g, V> {
                 p += 1;
             });
             buf.set_full(v);
-            messages += self.graph.degree(v) as u64;
+            messages += num::to_u64(self.graph.degree(v));
         }
         self.stats.rounds += 1;
         self.stats.messages += messages;
-        self.stats.payload_bytes += messages * std::mem::size_of::<M>() as u64;
+        self.stats.payload_bytes += messages * num::to_u64(std::mem::size_of::<M>());
         Ok(())
     }
 
@@ -302,7 +304,7 @@ impl<'g, V: GraphView> Network<'g, V> {
         let inbox: Vec<Vec<M>> = (0..self.graph.num_vertices())
             .map(|vi| {
                 let v = VertexId::new(vi);
-                messages += self.graph.degree(v) as u64;
+                messages += num::to_u64(self.graph.degree(v));
                 let mut row = Vec::with_capacity(self.graph.degree(v));
                 self.graph
                     .for_each_port(v, |u, _| row.push(values[u.index()].clone()));
@@ -311,7 +313,7 @@ impl<'g, V: GraphView> Network<'g, V> {
             .collect();
         self.stats.rounds += 1;
         self.stats.messages += messages;
-        self.stats.payload_bytes += messages * std::mem::size_of::<M>() as u64;
+        self.stats.payload_bytes += messages * num::to_u64(std::mem::size_of::<M>());
         Ok(inbox)
     }
 
@@ -368,6 +370,7 @@ impl<'g, V: GraphView> Network<'g, V> {
                 if failed.is_some() {
                     return;
                 }
+                // lint: allow(cast, "ports are stored as u32 pairs, so the incident port fits u32")
                 let their_port = self.port_of_incident(u, e) as u32;
                 match buf.push(u, their_port, &values[v.index()]) {
                     Ok(()) => messages += 1,
@@ -382,7 +385,7 @@ impl<'g, V: GraphView> Network<'g, V> {
         }
         self.stats.rounds += 1;
         self.stats.messages += messages;
-        self.stats.payload_bytes += messages * std::mem::size_of::<M>() as u64;
+        self.stats.payload_bytes += messages * num::to_u64(std::mem::size_of::<M>());
         Ok(())
     }
 
@@ -439,10 +442,10 @@ impl<'g, V: GraphView> Network<'g, V> {
                 (values[lo.index()].clone(), values[hi.index()].clone()),
             );
         }
-        let messages = 2 * edges.len() as u64;
+        let messages = 2 * num::to_u64(edges.len());
         self.stats.rounds += 1;
         self.stats.messages += messages;
-        self.stats.payload_bytes += messages * std::mem::size_of::<M>() as u64;
+        self.stats.payload_bytes += messages * num::to_u64(std::mem::size_of::<M>());
         Ok(())
     }
 

@@ -27,6 +27,8 @@ for threads in 1 4; do
     if [[ "$QUICK" == 0 ]]; then
         echo "=== cargo test (DECOLOR_THREADS=$threads) ==="
         DECOLOR_THREADS=$threads cargo test -q --workspace
+        echo "=== cargo test, overflow checks on (DECOLOR_THREADS=$threads) ==="
+        DECOLOR_THREADS=$threads RUSTFLAGS="-C overflow-checks=on" cargo test -q --workspace
     fi
     for backend in ram mmap; do
         echo "=== scaling --quick --backend $backend (DECOLOR_THREADS=$threads) ==="

@@ -167,6 +167,15 @@ pub mod prelude {
                 op,
             }
         }
+
+        /// Applies `op` to every element for its side effects, in
+        /// parallel (rayon's `for_each`).
+        pub fn for_each<F>(self, op: F)
+        where
+            F: Fn(&'data T) + Sync,
+        {
+            chunked_map(self.slice, &op);
+        }
     }
 
     impl<'data, T, F> ParMap<'data, T, F> {
