@@ -37,6 +37,17 @@
 //!   chunked Linial pass persists a round checkpoint, so a killed
 //!   n = 10⁸ run resumes instead of restarting (results byte-identical
 //!   — pinned by the crash-recovery suite).
+//! * `--threads 1,2,4,8` — run the whole ladder once per pool width in
+//!   this single process (`rayon::with_num_threads`), appending one
+//!   provenance record per (row, width); the experiments report renders
+//!   the widths into its speedup-vs-threads table. Without the flag the
+//!   ambient pool (the `DECOLOR_THREADS` knob) is used, as before.
+//! * `--relayout` — (ram backend) rebuild the star/t52 workloads under
+//!   the degree-class relabeling (`decolor_graph::Relabeling`) before
+//!   coloring, and assert the result proper on the **original** graph
+//!   (edge ids survive the relayout; rounds/palettes are pinned
+//!   identical by the relayout-equivalence proptests). Rows are tagged
+//!   `[relayout]` in the provenance records.
 //!
 //! `cargo run --release -p decolor-bench --bin scaling [-- --quick]`
 
@@ -55,7 +66,7 @@ use decolor_core::star_partition::{
 use decolor_graph::line_graph::LineGraph;
 use decolor_graph::storage::{ShardedCsr, ShardedCsrBuilder};
 use decolor_graph::subgraph::GraphView;
-use decolor_graph::{generators, Graph};
+use decolor_graph::{generators, Graph, Relabeling};
 use decolor_runtime::{IdAssignment, Network};
 use std::time::Instant;
 
@@ -129,70 +140,40 @@ fn spill(dir: &std::path::Path, g: Graph) -> ShardedCsr {
     ShardedCsr::from_graph(dir, &g).expect("sharded CSR spill succeeds")
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let (nproc, threads) = decolor_bench::pool_provenance();
-    let quick = args.iter().any(|a| a == "--quick");
-    let reference = args.iter().any(|a| a == "--reference");
-    let flag_value = |name: &str| {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .map(String::as_str)
-    };
-    let only: Option<&str> = flag_value("--only");
-    let backend = flag_value("--backend").unwrap_or("ram");
-    let mmap = match backend {
-        "ram" => false,
-        "mmap" => true,
-        other => {
-            eprintln!("unknown --backend `{other}` (expected ram or mmap)");
-            std::process::exit(1);
-        }
-    };
-    if mmap && reference {
-        eprintln!("--reference runs the materializing paths, which are ram-only");
-        std::process::exit(1);
-    }
-    let checkpoint = args.iter().any(|a| a == "--checkpoint");
-    if checkpoint && !mmap {
-        eprintln!("--checkpoint applies to the out-of-core paths; add --backend mmap");
-        std::process::exit(1);
-    }
-    // Journal cadence for --checkpoint builds: every 2^20 edges.
-    let journal_every = if checkpoint { 1 << 20 } else { 0 };
-    let max_n: usize = flag_value("--max-n").map_or(1_048_576, |v| {
-        v.parse().unwrap_or_else(|_| {
-            eprintln!("--max-n expects an integer, got `{v}`");
-            std::process::exit(1);
-        })
-    });
-    let runs = |row: &str| only.is_none_or(|o| o == row);
-    let sizes: Vec<usize> = if quick {
-        vec![256, 1024]
-    } else {
-        SIZES.iter().copied().filter(|&n| n <= max_n).collect()
-    };
-    let path = if reference {
-        "materializing *_reference paths"
-    } else if mmap {
-        "out-of-core mmap backend (sharded CSR + chunked Linial)"
-    } else {
-        "borrowed-view paths"
-    };
-    // Rows measured under --reference / --backend mmap are tagged in the
-    // provenance records so EXPERIMENTS.md can tell the paths apart.
-    let tag = if reference {
-        " [reference]"
-    } else if mmap {
-        " [mmap]"
-    } else {
-        ""
-    };
+/// Rebuilds `g` under its degree-class relabeling (the `--relayout`
+/// path). Edge ids are preserved, so edge colorings of the result are
+/// asserted on `g` directly.
+fn relay(g: &Graph) -> Graph {
+    let relab = Relabeling::by_degree_classes(g).expect("vertex ids fit u32");
+    relab.apply_to_graph(g).expect("same vertex count")
+}
 
-    println!("# Scaling study — rounds vs n at fixed Δ ({path})\n");
+/// One pass over the size ladder at the ambient pool width. Returns the
+/// printed table rows; records provenance (including the live pool
+/// width) per row.
+struct LadderCfg<'a> {
+    sizes: &'a [usize],
+    mmap: bool,
+    reference: bool,
+    checkpoint: bool,
+    journal_every: usize,
+    relayout: bool,
+    tag: &'a str,
+}
+
+fn run_ladder(cfg: &LadderCfg<'_>, runs: impl Fn(&str) -> bool) -> Vec<Vec<String>> {
+    let (nproc, threads) = decolor_bench::pool_provenance();
+    let &LadderCfg {
+        mmap,
+        reference,
+        checkpoint,
+        journal_every,
+        relayout,
+        tag,
+        ..
+    } = cfg;
     let mut rows = Vec::new();
-    for &n in &sizes {
+    for &n in cfg.sizes {
         let mut linial: Option<(u64, f64)> = None;
         if runs("linial") {
             // Linial on 8-regular graphs: rounds should be ~flat (log* n).
@@ -243,6 +224,7 @@ fn main() {
                 rounds: stats.rounds,
                 messages: stats.messages,
                 time_shape: 0.0,
+                wall_s: secs,
                 nproc,
                 threads,
             });
@@ -272,20 +254,23 @@ fn main() {
                 out
             } else {
                 let g = regular_workload(n, 8, 1);
-                let params = StarPartitionParams::for_levels(&g, 1);
+                let colored = if relayout { relay(&g) } else { g.clone() };
+                let params = StarPartitionParams::for_levels(&colored, 1);
                 let (m, delta) = (g.num_edges(), g.max_degree());
                 let out = run_star(
                     &|| {
                         if reference {
-                            star_partition_edge_coloring_reference(&g, &params)
+                            star_partition_edge_coloring_reference(&colored, &params)
                         } else {
-                            star_partition_edge_coloring(&g, &params)
+                            star_partition_edge_coloring(&colored, &params)
                         }
                         .expect("star partition succeeds")
                     },
                     m,
                     delta,
                 );
+                // Edge ids survive the relayout, so the coloring must be
+                // proper on the *original* workload either way.
                 assert!(out.0.coloring.is_proper(&g));
                 out
             };
@@ -303,6 +288,7 @@ fn main() {
                 rounds: star.stats.rounds,
                 messages: star.stats.messages,
                 time_shape: 0.0,
+                wall_s: elapsed.as_secs_f64(),
                 nproc,
                 threads,
             });
@@ -322,15 +308,17 @@ fn main() {
                 assert!(t52.coloring.is_proper(&g));
                 (t52, secs)
             } else {
+                let colored = if relayout { relay(&ga) } else { ga.clone() };
                 let started = Instant::now();
                 let t52 = if reference {
-                    theorem52_reference(&ga, 2, 2.5, SubroutineConfig::default())
+                    theorem52_reference(&colored, 2, 2.5, SubroutineConfig::default())
                 } else {
-                    theorem52(&ga, 2, 2.5, SubroutineConfig::default())
+                    theorem52(&colored, 2, 2.5, SubroutineConfig::default())
                 }
                 .expect("theorem 5.2 succeeds");
+                let secs = started.elapsed().as_secs_f64();
                 assert!(t52.coloring.is_proper(&ga));
-                (t52, started.elapsed().as_secs_f64())
+                (t52, secs)
             };
             t52_row = Some((t52.stats.rounds, secs));
             let d = (2.5f64 * 2.0).ceil() as u64;
@@ -347,6 +335,7 @@ fn main() {
                 rounds: t52.stats.rounds,
                 messages: t52.stats.messages,
                 time_shape: 0.0,
+                wall_s: secs,
                 nproc,
                 threads,
             });
@@ -400,6 +389,7 @@ fn main() {
                 rounds: cd.stats.rounds,
                 messages: cd.stats.messages,
                 time_shape: 0.0,
+                wall_s: secs,
                 nproc,
                 threads,
             });
@@ -424,6 +414,10 @@ fn main() {
             rss_cell(),
         ]);
     }
+    rows
+}
+
+fn print_ladder(rows: &[Vec<String>]) {
     println!(
         "{}",
         markdown_table(
@@ -439,9 +433,121 @@ fn main() {
                 "cd wall (s)",
                 "peak RSS (MB)"
             ],
-            &rows
+            rows
         )
     );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let reference = args.iter().any(|a| a == "--reference");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let only: Option<String> = flag_value("--only").map(str::to_string);
+    let backend = flag_value("--backend").unwrap_or("ram");
+    let mmap = match backend {
+        "ram" => false,
+        "mmap" => true,
+        other => {
+            eprintln!("unknown --backend `{other}` (expected ram or mmap)");
+            std::process::exit(1);
+        }
+    };
+    if mmap && reference {
+        eprintln!("--reference runs the materializing paths, which are ram-only");
+        std::process::exit(1);
+    }
+    let checkpoint = args.iter().any(|a| a == "--checkpoint");
+    if checkpoint && !mmap {
+        eprintln!("--checkpoint applies to the out-of-core paths; add --backend mmap");
+        std::process::exit(1);
+    }
+    let relayout = args.iter().any(|a| a == "--relayout");
+    if relayout && mmap {
+        eprintln!(
+            "--relayout rebuilds the in-RAM workloads; the streamed mmap \
+             builds take the relabeling through `Relabeling::sink` (see \
+             the storage tests) and are not benched here"
+        );
+        std::process::exit(1);
+    }
+    // Journal cadence for --checkpoint builds: every 2^20 edges.
+    let journal_every = if checkpoint { 1 << 20 } else { 0 };
+    let max_n: usize = flag_value("--max-n").map_or(1_048_576, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--max-n expects an integer, got `{v}`");
+            std::process::exit(1);
+        })
+    });
+    // Pool widths for the thread-scaling axis; empty = ambient pool.
+    let widths: Vec<usize> = flag_value("--threads").map_or_else(Vec::new, |v| {
+        v.split(',')
+            .map(|w| {
+                w.trim()
+                    .parse()
+                    .ok()
+                    .filter(|&w| w >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads expects a comma list of widths ≥ 1, got `{v}`");
+                        std::process::exit(1);
+                    })
+            })
+            .collect()
+    });
+    let runs = move |row: &str| only.as_deref().is_none_or(|o| o == row);
+    let sizes: Vec<usize> = if quick {
+        vec![256, 1024]
+    } else {
+        SIZES.iter().copied().filter(|&n| n <= max_n).collect()
+    };
+    let path = if reference {
+        "materializing *_reference paths"
+    } else if mmap {
+        "out-of-core mmap backend (sharded CSR + chunked Linial)"
+    } else {
+        "borrowed-view paths"
+    };
+    // Rows measured under --reference / --backend mmap / --relayout are
+    // tagged in the provenance records so EXPERIMENTS.md can tell the
+    // paths apart.
+    let mut tag = String::new();
+    if reference {
+        tag.push_str(" [reference]");
+    } else if mmap {
+        tag.push_str(" [mmap]");
+    }
+    if relayout {
+        tag.push_str(" [relayout]");
+    }
+    let cfg = LadderCfg {
+        sizes: &sizes,
+        mmap,
+        reference,
+        checkpoint,
+        journal_every,
+        relayout,
+        tag: &tag,
+    };
+
+    println!("# Scaling study — rounds vs n at fixed Δ ({path})\n");
+    if widths.is_empty() {
+        print_ladder(&run_ladder(&cfg, &runs));
+    } else {
+        // One process, one ladder per pool width: per-width wall/RSS
+        // rows land in experiments.jsonl with distinct `threads`
+        // provenance (RSS stays cumulative across widths — it is a
+        // process-lifetime high-water mark).
+        for &w in &widths {
+            println!("## pool width {w}\n");
+            let rows = rayon::with_num_threads(w, || run_ladder(&cfg, &runs));
+            print_ladder(&rows);
+        }
+    }
     println!(
         "Expected shapes: Linial ~flat; star partition and CD-Coloring \
          ~flat after the log* entry; Theorem 5.2 grows ~logarithmically \

@@ -53,6 +53,7 @@ fn main() {
                 bound,
                 rounds,
                 messages: msgs,
+                wall_s: 0.0,
                 time_shape: shape,
                 nproc,
                 threads,

@@ -91,6 +91,7 @@ fn main() {
                 bound,
                 rounds: res.stats.rounds,
                 messages: res.stats.messages,
+                wall_s: 0.0,
                 time_shape: t_ours,
                 nproc,
                 threads,

@@ -48,6 +48,9 @@ pub struct Record {
     pub messages: u64,
     /// The paper's Õ(·) time-shape score for this row.
     pub time_shape: f64,
+    /// Measured wall-clock seconds for the row (0 when the emitting bin
+    /// does not time its runs).
+    pub wall_s: f64,
     /// Hardware parallelism of the machine that ran the row.
     pub nproc: usize,
     /// Worker-pool width the row ran at (the `DECOLOR_THREADS` knob).
@@ -150,6 +153,7 @@ mod tests {
             rounds: 8,
             messages: 9,
             time_shape: 0.5,
+            wall_s: 1.25,
             nproc: 8,
             threads: 4,
         };

@@ -30,6 +30,7 @@ use decolor_graph::subgraph::GraphView;
 use decolor_graph::{EdgeId, Graph, VertexId};
 use decolor_runtime::NetworkStats;
 
+use crate::bitset::PaletteSet;
 use crate::delta_plus_one::{ReductionStrategy, SubroutineConfig};
 use crate::error::AlgoError;
 use crate::linial::{choose_parameters, eval_poly, final_palette_bound};
@@ -81,40 +82,6 @@ impl ClassIndex {
     fn put(&mut self, color: u64, e: u32) {
         // lint: allow(cast, "color < palette, the bucket count this index was built with")
         self.buckets[color as usize].push(e);
-    }
-}
-
-/// Smallest color `< limit` not marked in `taken` by the closure-driven
-/// marking pass; `taken` is reset (only the marked prefix) before use.
-struct MexScratch {
-    taken: Vec<bool>,
-}
-
-impl MexScratch {
-    fn new() -> Self {
-        MexScratch { taken: Vec::new() }
-    }
-
-    /// Marks every `c < limit` yielded by `mark`, then returns the mex.
-    fn mex_below(&mut self, limit: u64, mark: impl FnOnce(&mut dyn FnMut(u64))) -> Option<u64> {
-        // lint: allow(cast, "limit ≤ the palette size, an in-memory count that started as a usize")
-        let limit = limit as usize;
-        if self.taken.len() < limit {
-            self.taken.resize(limit, false);
-        }
-        self.taken[..limit].fill(false);
-        let taken = &mut self.taken;
-        mark(&mut |c| {
-            // lint: allow(cast, "colors are < palette ≤ m, which is a usize; the < limit guard re-checks after conversion")
-            if (c as usize) < limit {
-                // lint: allow(cast, "guarded < limit on the line above")
-                taken[c as usize] = true;
-            }
-        });
-        self.taken[..limit]
-            .iter()
-            .position(|&t| !t)
-            .map(num::to_u64)
     }
 }
 
@@ -257,8 +224,10 @@ pub fn edge_coloring_direct_on<V: GraphView>(
 
     // Phase 2: color reduction to `target`, per the configured strategy.
     // Only the deciding class gathers each round; every round is still
-    // charged at full broadcast cost.
-    let mut scratch = MexScratch::new();
+    // charged at full broadcast cost. Mex runs on the u64-word
+    // `PaletteSet` kernel (see `crate::bitset`) — allocation-free at
+    // these limits.
+    let mut scratch = PaletteSet::new();
     let final_palette = match cfg.reduction {
         ReductionStrategy::Basic => basic_phase(
             g,
@@ -295,7 +264,7 @@ fn basic_phase<V: GraphView>(
     colors: &mut [u64],
     palette: u64,
     target: u64,
-    scratch: &mut MexScratch,
+    scratch: &mut PaletteSet,
     stats: &mut NetworkStats,
     round_cost: NetworkStats,
 ) -> u64 {
@@ -307,7 +276,7 @@ fn basic_phase<V: GraphView>(
         for e in classes.take(top) {
             let eid = EdgeId::new(num::usize_from(e));
             let free = scratch
-                .mex_below(target, |mark| for_each_incident_color(g, colors, eid, mark))
+                .mex_marked(target, |mark| for_each_incident_color(g, colors, eid, mark))
                 // lint: allow(panic, "2Δ − 2 incident edges cannot block 2Δ − 1 colors")
                 .expect("2Δ − 2 incident edges cannot block 2Δ − 1 colors");
             colors[num::usize_from(e)] = free;
@@ -327,7 +296,7 @@ fn kw_phase<V: GraphView>(
     colors: &mut [u64],
     palette: u64,
     target: u64,
-    scratch: &mut MexScratch,
+    scratch: &mut PaletteSet,
     stats: &mut NetworkStats,
     round_cost: NetworkStats,
 ) -> u64 {
@@ -343,7 +312,7 @@ fn kw_phase<V: GraphView>(
                     let eid = EdgeId::new(num::usize_from(e));
                     // Only same-block neighbors constrain the local mex.
                     let free = scratch
-                        .mex_below(t, |mark| {
+                        .mex_marked(t, |mark| {
                             for_each_incident_color(g, colors, eid, |c| {
                                 if c / (2 * t) == b {
                                     mark(c % (2 * t));

@@ -5,6 +5,8 @@
 //!
 //! * [`linial`] / [`reduction`] / [`delta_plus_one`] — the coloring
 //!   subroutine stack standing in for the paper's black box \[17\].
+//! * [`bitset`] — u64 palette-set kernels backing every hot mex loop
+//!   (allocation-free color selection in the reductions and trims).
 //! * [`edge_space`] — the same edge-coloring pipeline run directly on
 //!   edge agents (no line-graph materialization), used by the (2Δ − 1)
 //!   baseline at large Δ.
@@ -31,6 +33,7 @@
 
 pub mod analysis;
 pub mod arboricity;
+pub mod bitset;
 pub mod cd_coloring;
 pub mod checkpoint;
 pub mod connectors;

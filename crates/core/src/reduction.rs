@@ -15,13 +15,20 @@
 use decolor_graph::coloring::Color;
 use decolor_graph::subgraph::GraphView;
 use decolor_graph::{num, EdgeId, VertexId};
-use decolor_runtime::{Network, RoundBuffer};
+use decolor_runtime::{Network, NetworkStats, RoundBuffer};
 
+use crate::bitset::PaletteSet;
 use crate::error::AlgoError;
 
 /// Smallest color `< limit` absent from `used` (the "mex below limit").
 ///
 /// Returns `None` if all of `0..limit` are used.
+///
+/// This is the allocating **reference** implementation: the hot loops
+/// below all route through the u64-word [`PaletteSet`] kernel instead
+/// (no per-decision allocation, word-at-a-time scan). A unit test pins
+/// kernel ≡ reference over random used-sets.
+#[cfg_attr(not(test), allow(dead_code))] // retained as the reference oracle
 pub(crate) fn mex_below(used: impl Iterator<Item = Color>, limit: u64) -> Option<Color> {
     // lint: allow(cast, "callers pass limit <= palette <= 2 * max_degree, which fits usize")
     let mut taken = vec![false; limit as usize];
@@ -77,14 +84,21 @@ fn basic_reduction_rounds<V: GraphView>(
     palette: u64,
     target: u64,
 ) -> Result<(), AlgoError> {
+    let mut set = PaletteSet::new();
     for top in (target..palette).rev() {
         net.broadcast_into(colors, buf)?;
         #[allow(clippy::needless_range_loop)] // v also names the buffer row
         for v in 0..colors.len() {
             if u64::from(colors[v]) == top {
-                colors[v] = mex_below(buf.row(VertexId::new(v)).copied(), target)
+                set.reset(target);
+                for &c in buf.row(VertexId::new(v)) {
+                    set.insert(u64::from(c));
+                }
+                let free = set
+                    .mex()
                     // lint: allow(panic, "Δ neighbors cannot block Δ + 1 colors")
                     .expect("Δ neighbors cannot block Δ + 1 colors");
+                colors[v] = free as Color;
             }
         }
     }
@@ -117,6 +131,7 @@ pub fn kw_reduction<V: GraphView>(
     let t = target;
     let mut m = palette.max(1);
     let mut buf = net.make_buffer();
+    let mut set = PaletteSet::new();
     // Halving phases: blocks of size 2t reduce to t colors each, all
     // blocks in parallel (they occupy disjoint vertex sets).
     while m > 2 * t {
@@ -130,17 +145,19 @@ pub fn kw_reduction<V: GraphView>(
                 if local == top_local {
                     let b = block_of(colors[v]);
                     // Only same-block neighbors constrain the local mex.
-                    let local_used = buf
-                        .row(VertexId::new(v))
-                        .copied()
-                        .filter(|&c| block_of(c) == b)
-                        .map(|c| (u64::from(c) % (2 * t)) as Color);
-                    let free = mex_below(local_used, t)
+                    set.reset(t);
+                    for &c in buf.row(VertexId::new(v)) {
+                        if block_of(c) == b {
+                            set.insert(u64::from(c) % (2 * t));
+                        }
+                    }
+                    let free = set
+                        .mex()
                         // lint: allow(panic, "Δ same-block neighbors cannot block t ≥ Δ + 1 colors")
                         .expect("Δ same-block neighbors cannot block t ≥ Δ + 1 colors");
                     // Stay in the original block encoding during the
                     // phase so neighbors keep classifying us correctly.
-                    colors[v] = (b * 2 * t) as Color + free;
+                    colors[v] = (b * 2 * t + free) as Color;
                 }
             }
         }
@@ -192,49 +209,72 @@ pub fn edge_palette_trim<V: GraphView>(
     if palette <= target {
         return Ok(palette.max(1));
     }
-    // Incident-color lists are built once (position `p` in `v`'s list is
-    // the color of the edge on port `p`) and patched incrementally after
-    // each round's recoloring, instead of being rebuilt at O(Σ deg) per
-    // round. Each round every vertex broadcasts its list (LOCAL messages
-    // are unbounded) into the reusable flat buffer.
-    let mut incident_colors: Vec<Vec<Color>> = (0..g.num_vertices())
-        .map(|v| {
-            let mut row = Vec::with_capacity(g.degree(VertexId::new(v)));
-            g.for_each_incident_edge(VertexId::new(v), |e| row.push(colors[e.index()]));
-            row
-        })
-        .collect();
-    let mut buf = net.make_buffer();
+    // Incident-color table in one flat CSR-style buffer: slot
+    // `inc_off[v] + p` holds the color of the edge on `v`'s port `p`.
+    // Built once, patched incrementally after each round's recoloring —
+    // no per-vertex `Vec`s and no per-round rebuild.
+    let nv = g.num_vertices();
+    let mut inc_off: Vec<usize> = Vec::with_capacity(nv + 1);
+    let mut acc = 0usize;
+    inc_off.push(0);
+    for v in 0..nv {
+        acc += g.degree(VertexId::new(v));
+        inc_off.push(acc);
+    }
+    let mut inc: Vec<Color> = vec![0; acc];
+    for (v, &start) in inc_off.iter().enumerate().take(nv) {
+        let mut slot = start;
+        g.for_each_incident_edge(VertexId::new(v), |e| {
+            inc[slot] = colors[e.index()];
+            slot += 1;
+        });
+    }
+    // Each round every vertex still broadcasts its incident-color list
+    // (LOCAL messages are unbounded); the exchange is realized by
+    // reading the flat table directly, charged at exactly the ledger
+    // cost of the `Vec<Color>`-message broadcast it replaces: one
+    // message per (vertex, port) pair, `size_of::<Vec<Color>>()` bytes
+    // per message.
+    let round_cost = NetworkStats {
+        rounds: 1,
+        messages: num::to_u64(acc),
+        payload_bytes: num::to_u64(acc) * num::to_u64(std::mem::size_of::<Vec<Color>>()),
+    };
+    let mut set = PaletteSet::new();
     let mut updates: Vec<(EdgeId, Color)> = Vec::new();
     for top in (target..palette).rev() {
-        net.broadcast_into(&incident_colors, &mut buf)?;
+        net.absorb_sequential(round_cost);
         updates.clear();
         for e in (0..g.num_edges()).map(EdgeId::new) {
             if u64::from(colors[e.index()]) != top {
                 continue;
             }
-            let [u, _v] = g.endpoints(e);
+            let [u, v] = g.endpoints(e);
             // The lower endpoint u decides: it knows its own incident
-            // colors locally and the other endpoint's from the inbox.
-            // Top-class edges form a matching, so decisions are
-            // independent.
-            let pu = net.port_of(u, e)?;
-            let used = incident_colors[u.index()]
-                .iter()
-                .chain(buf.msg(u, pu).iter())
-                .copied();
-            let free =
+            // colors locally and the other endpoint's from the inbox
+            // (v's row of the table — updates are deferred below, so
+            // live reads equal the round's snapshot). Top-class edges
+            // form a matching, so decisions are independent.
+            set.reset(target);
+            for &c in &inc[inc_off[u.index()]..inc_off[u.index() + 1]] {
+                set.insert(u64::from(c));
+            }
+            for &c in &inc[inc_off[v.index()]..inc_off[v.index() + 1]] {
+                set.insert(u64::from(c));
+            }
+            let free = set
+                .mex()
                 // lint: allow(panic, "2Δ − 2 incident edges cannot block 2Δ − 1 colors")
-                mex_below(used, target).expect("2Δ − 2 incident edges cannot block 2Δ − 1 colors");
-            updates.push((e, free));
+                .expect("2Δ − 2 incident edges cannot block 2Δ − 1 colors");
+            updates.push((e, free as Color));
         }
         for &(e, c) in &updates {
             colors[e.index()] = c;
             let [u, v] = g.endpoints(e);
             let pu = net.port_of(u, e)?;
             let pv = net.port_of(v, e)?;
-            incident_colors[u.index()][pu] = c;
-            incident_colors[v.index()][pv] = c;
+            inc[inc_off[u.index()] + pu] = c;
+            inc[inc_off[v.index()] + pv] = c;
         }
     }
     Ok(target)
@@ -360,6 +400,52 @@ mod tests {
         let mut net = Network::new(&g);
         let mut colors: Vec<Color> = (0..6).collect();
         assert!(edge_palette_trim(&mut net, &mut colors, 6, 4).is_err());
+    }
+
+    #[test]
+    fn palette_set_kernel_matches_reference_mex() {
+        // Deterministic splitmix-style stream; covers empty used-sets,
+        // saturated prefixes, colors beyond the limit, and limits past
+        // the kernel's inline words (spill path).
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut set = crate::bitset::PaletteSet::new();
+        for trial in 0..600u64 {
+            let limit = match trial % 4 {
+                0 => 1 + next() % 8,
+                1 => 1 + next() % 200,
+                2 => 1 + next() % 700,
+                // Past INLINE_COLORS: exercises the spill buffer.
+                _ => crate::bitset::INLINE_COLORS + 1 + next() % 300,
+            };
+            let count = (next() % (2 * limit + 2)) as usize;
+            let used: Vec<Color> = (0..count)
+                .map(|_| (next() % (limit + limit / 2 + 2)) as Color)
+                .collect();
+            let reference = mex_below(used.iter().copied(), limit);
+            set.reset(limit);
+            for &c in &used {
+                set.insert(u64::from(c));
+            }
+            assert_eq!(
+                set.mex().map(|c| c as Color),
+                reference,
+                "kernel diverges from reference at limit {limit}, used {used:?}"
+            );
+            // The closure-marking shape must agree too.
+            let marked = set.mex_marked(limit, |mark| {
+                for &c in &used {
+                    mark(u64::from(c));
+                }
+            });
+            assert_eq!(marked.map(|c| c as Color), reference);
+        }
     }
 
     #[test]

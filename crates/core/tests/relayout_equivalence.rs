@@ -1,0 +1,99 @@
+//! Degree-ordered relayout must be a pure layout change: coloring the
+//! relabeled graph and mapping the result back yields a proper coloring
+//! of the original with identical palette and round counts — at both
+//! pool widths, since the relabeled CSR is built through the parallel
+//! scatter seam.
+//!
+//! For the vertex pipeline the equivalence is *exact* (the permuted-id
+//! run is the same computation under renaming); for the edge pipelines
+//! edge ids are preserved by the relayout, so the edge coloring of the
+//! relabeled graph is asserted directly on the original.
+
+use decolor_core::arboricity::theorem52;
+use decolor_core::delta_plus_one::{vertex_coloring_with_target, Seed, SubroutineConfig};
+use decolor_core::star_partition::{star_partition_edge_coloring, StarPartitionParams};
+use decolor_graph::coloring::VertexColoring;
+use decolor_graph::{generators, Relabeling};
+use decolor_runtime::IdAssignment;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Vertex pipeline (Linial + KW reduction): running on the
+    /// degree-relabeled graph with permuted ids and pulling the colors
+    /// back is bit-identical to the direct run.
+    #[test]
+    fn vertex_pipeline_roundtrips_through_relayout(seed in 0u64..500) {
+        let g = generators::gnm(120, 400, seed).unwrap();
+        let relab = Relabeling::by_degree_classes(&g).unwrap();
+        let h = relab.apply_to_graph(&g).unwrap();
+        let ids = IdAssignment::shuffled(g.num_vertices(), seed);
+        let pushed_ids = IdAssignment::from_ids(relab.push_values(ids.as_slice()));
+        let target = g.max_degree() as u64 + 1;
+        for threads in [1usize, 4] {
+            let (direct, direct_stats) = rayon::with_num_threads(threads, || {
+                vertex_coloring_with_target(
+                    &g, Seed::Ids(&ids), target, SubroutineConfig::default(),
+                ).unwrap()
+            });
+            let (relaid, relaid_stats) = rayon::with_num_threads(threads, || {
+                vertex_coloring_with_target(
+                    &h, Seed::Ids(&pushed_ids), target, SubroutineConfig::default(),
+                ).unwrap()
+            });
+            let pulled = VertexColoring::new(
+                relab.pull_values(relaid.as_slice()),
+                relaid.palette(),
+            ).unwrap();
+            prop_assert!(pulled.is_proper(&g));
+            prop_assert_eq!(pulled.as_slice(), direct.as_slice());
+            prop_assert_eq!(relaid.palette(), direct.palette());
+            prop_assert_eq!(relaid_stats.rounds, direct_stats.rounds);
+        }
+    }
+
+    /// Star partition is edge-space driven; under relayout (edge ids
+    /// preserved) its coloring must be bit-identical and apply to the
+    /// original graph verbatim.
+    #[test]
+    fn star_partition_roundtrips_through_relayout(seed in 0u64..500, x in 1usize..3) {
+        let g = generators::gnm(100, 360, seed).unwrap();
+        let relab = Relabeling::by_degree_classes(&g).unwrap();
+        let h = relab.apply_to_graph(&g).unwrap();
+        for threads in [1usize, 4] {
+            let params = StarPartitionParams::for_levels(&g, x);
+            let direct = rayon::with_num_threads(threads, || {
+                star_partition_edge_coloring(&g, &params).unwrap()
+            });
+            let relaid = rayon::with_num_threads(threads, || {
+                star_partition_edge_coloring(&h, &params).unwrap()
+            });
+            prop_assert!(relaid.coloring.is_proper(&g));
+            prop_assert_eq!(relaid.coloring.as_slice(), direct.coloring.as_slice());
+            prop_assert_eq!(relaid.coloring.palette(), direct.coloring.palette());
+            prop_assert_eq!(relaid.stats.rounds, direct.stats.rounds);
+        }
+    }
+
+    /// Theorem 5.2 (H-partition + intra/crossing stages) on an
+    /// arboricity-bounded workload: the relaid run's edge coloring stays
+    /// proper on the original and matches palette/round counts.
+    #[test]
+    fn theorem52_roundtrips_through_relayout(seed in 0u64..500) {
+        let g = generators::forest_union(150, 2, 6, seed).unwrap();
+        let relab = Relabeling::by_degree_classes(&g).unwrap();
+        let h = relab.apply_to_graph(&g).unwrap();
+        for threads in [1usize, 4] {
+            let direct = rayon::with_num_threads(threads, || {
+                theorem52(&g, 2, 2.5, SubroutineConfig::default()).unwrap()
+            });
+            let relaid = rayon::with_num_threads(threads, || {
+                theorem52(&h, 2, 2.5, SubroutineConfig::default()).unwrap()
+            });
+            prop_assert!(relaid.coloring.is_proper(&g));
+            prop_assert_eq!(relaid.coloring.palette(), direct.coloring.palette());
+            prop_assert_eq!(relaid.stats.rounds, direct.stats.rounds);
+        }
+    }
+}
