@@ -19,12 +19,15 @@
 //!   backend-equivalence tests), so only the wall/RSS columns differ.
 //!
 //! The mmap backend raises the row ceilings: Linial runs to
-//! `--max-n` ≤ 10⁸ and Theorem 5.2 to 10⁷ (star/cd stay at 10⁶ — their
-//! line-graph/connector stages are the next ceiling, see ROADMAP).
+//! `--max-n` ≤ 10⁸, and Theorem 5.2, the star partition, and
+//! CD-Coloring to 10⁷ — star streams its top-level edge connector and
+//! cd its line graph into sharded CSR scratch, so no in-RAM `Graph` is
+//! materialized on any mmap row. Theorems 5.3/5.4 rows run on both
+//! backends up to 2²⁰.
 //!
 //! Flags:
 //! * `--quick` — CI sizes only (256, 1024).
-//! * `--only <linial|star|t52|cd>` — run a single row (gives clean
+//! * `--only <linial|star|t52|cd|t53|t54>` — run a single row (gives clean
 //!   per-row peak-RSS numbers; `VmHWM` is a process-lifetime high-water
 //!   mark, so in a full run the column is cumulative across rows).
 //! * `--reference` — run the composite rows through the kept
@@ -54,16 +57,20 @@
 use decolor_bench::{
     append_record, arboricity_workload, markdown_table, peak_rss_mb, regular_workload, Record,
 };
-use decolor_core::arboricity::{theorem52, theorem52_reference};
+use decolor_core::analysis;
+use decolor_core::arboricity::{
+    theorem52, theorem52_reference, theorem53, theorem53_reference, theorem54, theorem54_reference,
+};
 use decolor_core::cd_coloring::{cd_coloring, cd_coloring_reference, CdParams};
 use decolor_core::delta_plus_one::SubroutineConfig;
 use decolor_core::linial::{
     linial_coloring, linial_coloring_chunked, linial_coloring_chunked_checkpointed,
 };
 use decolor_core::star_partition::{
-    star_partition_edge_coloring, star_partition_edge_coloring_reference, StarPartitionParams,
+    star_partition_edge_coloring, star_partition_edge_coloring_reference,
+    star_partition_edge_coloring_spilled, StarPartitionParams,
 };
-use decolor_graph::line_graph::LineGraph;
+use decolor_graph::line_graph::{line_graph_cover, line_graph_stream, LineGraph};
 use decolor_graph::storage::{ShardedCsr, ShardedCsrBuilder};
 use decolor_graph::subgraph::GraphView;
 use decolor_graph::{generators, Graph, Relabeling};
@@ -87,9 +94,16 @@ const SIZES: &[usize] = &[
 ];
 /// Ceiling for the Theorem 5.2 composite row (mmap backend).
 const T52_CAP: usize = 10_000_000;
-/// Ceiling for the star-partition and CD-Coloring rows (their connector
-/// and line-graph stages are the next out-of-core frontier).
-const STAR_CD_CAP: usize = 1_048_576;
+/// Ceiling for the star-partition and CD-Coloring rows on the **ram**
+/// backend, where the connector / line graph is materialized in memory.
+const STAR_CD_RAM_CAP: usize = 1_048_576;
+/// Ceiling for star/cd on the **mmap** backend: the top-level connector
+/// and the line graph are streamed into sharded CSR scratch, so the rows
+/// scale like the other out-of-core composites.
+const STAR_CD_MMAP_CAP: usize = 10_000_000;
+/// Ceiling for the Theorem 5.3 / 5.4 rows (recursive pipelines; enough
+/// to show the n-trend on both backends).
+const T53_T54_CAP: usize = 1_048_576;
 
 fn rss_cell() -> String {
     peak_rss_mb().map_or_else(|| "-".into(), |mb| format!("{mb}"))
@@ -99,11 +113,16 @@ fn rss_cell() -> String {
 struct MmapDir(std::path::PathBuf);
 
 impl MmapDir {
+    /// Unique per call (pid + monotonic counter): concurrent scaling
+    /// processes — or repeated ladders in one process (`--threads`) —
+    /// never share or clobber a scratch directory, unlike the previous
+    /// fixed `{tag}-{n}` path that was `remove_dir_all`'d on entry.
     fn new(tag: &str, n: usize) -> MmapDir {
+        static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let dir = std::path::Path::new("target")
             .join("scaling-mmap")
-            .join(format!("{tag}-{n}"));
-        let _ = std::fs::remove_dir_all(&dir);
+            .join(format!("{tag}-{n}-{}-{seq}", std::process::id()));
         MmapDir(dir)
     }
 }
@@ -232,7 +251,12 @@ fn run_ladder(cfg: &LadderCfg<'_>, runs: impl Fn(&str) -> bool) -> Vec<Vec<Strin
 
         // Star partition x = 1 on the same workload: log*-dominated entry.
         let mut star_row: Option<(u64, f64)> = None;
-        if runs("star") && n <= STAR_CD_CAP {
+        let star_cap = if mmap {
+            STAR_CD_MMAP_CAP
+        } else {
+            STAR_CD_RAM_CAP
+        };
+        if runs("star") && n <= star_cap {
             let run_star = |g: &dyn Fn() -> decolor_core::star_partition::StarPartitionResult,
                             m: usize,
                             delta: usize| {
@@ -241,12 +265,19 @@ fn run_ladder(cfg: &LadderCfg<'_>, runs: impl Fn(&str) -> bool) -> Vec<Vec<Strin
                 (star, m, delta, started.elapsed())
             };
             let (star, m, delta, elapsed) = if mmap {
+                // The top-level edge connector (m virtual edges) is
+                // streamed into a second sharded CSR under the same
+                // scratch root — no in-RAM Graph on this path.
                 let dir = MmapDir::new("star", n);
-                let g = regular_workload_mmap(&dir.0, n, 8, 1, journal_every);
+                let g = regular_workload_mmap(&dir.0.join("input"), n, 8, 1, journal_every);
+                let conn_dir = dir.0.join("conn");
                 let params = StarPartitionParams::for_levels(&g, 1);
                 let (m, delta) = (g.num_edges(), GraphView::max_degree(&g));
                 let out = run_star(
-                    &|| star_partition_edge_coloring(&g, &params).expect("star succeeds"),
+                    &|| {
+                        star_partition_edge_coloring_spilled(&g, &params, &conn_dir)
+                            .expect("star succeeds")
+                    },
                     m,
                     delta,
                 );
@@ -345,26 +376,39 @@ fn run_ladder(cfg: &LadderCfg<'_>, runs: impl Fn(&str) -> bool) -> Vec<Vec<Strin
         // graph with n/4 base vertices: the colored graph has exactly n
         // vertices, diversity 2, clique size Δ = 8.
         let mut cd_row: Option<(u64, f64)> = None;
-        if runs("cd") && n <= STAR_CD_CAP {
-            let base = regular_workload((n / 4).max(8), 8, 1);
-            let lg = LineGraph::new(&base);
-            let params = CdParams::for_levels(lg.cover.max_clique_size(), 1);
-            let ids = IdAssignment::sequential(lg.graph.num_vertices());
-            let (lg_n, lg_m, lg_delta) = (
-                lg.graph.num_vertices(),
-                lg.graph.num_edges(),
-                lg.graph.max_degree(),
-            );
-            let (cd, secs) = if mmap {
+        if runs("cd") && n <= star_cap {
+            let base_n = (n / 4).max(8);
+            let (cd, secs, lg_n, lg_m, lg_delta) = if mmap {
+                // Fully streamed: the base workload goes straight to a
+                // sharded CSR, the canonical cover is computed off that
+                // view, and L(base) is streamed into a second sharded
+                // CSR — L(base) never exists as an in-RAM Graph.
                 let dir = MmapDir::new("cd", n);
-                let cover = lg.cover;
-                let g = spill(&dir.0, lg.graph);
+                let base = regular_workload_mmap(&dir.0.join("base"), base_n, 8, 1, journal_every);
+                let cover = line_graph_cover(&base).expect("canonical line cover is well-formed");
+                let lg = {
+                    let mut b = ShardedCsrBuilder::create(dir.0.join("lg"), base.num_edges())
+                        .expect("scratch storage dir is writable");
+                    line_graph_stream(&base, &mut b).expect("line edges are valid");
+                    b.finish().expect("sharded CSR build succeeds")
+                };
+                let params = CdParams::for_levels(cover.max_clique_size(), 1);
+                let ids = IdAssignment::sequential(lg.num_vertices());
                 let started = Instant::now();
-                let cd = cd_coloring(&g, &cover, &params, &ids).expect("cd coloring succeeds");
+                let cd = cd_coloring(&lg, &cover, &params, &ids).expect("cd coloring succeeds");
                 let secs = started.elapsed().as_secs_f64();
-                assert!(cd.coloring.is_proper(&g));
-                (cd, secs)
+                assert!(cd.coloring.is_proper(&lg));
+                let (lg_n, lg_m, lg_delta) = (
+                    lg.num_vertices(),
+                    lg.num_edges(),
+                    GraphView::max_degree(&lg),
+                );
+                (cd, secs, lg_n, lg_m, lg_delta)
             } else {
+                let base = regular_workload(base_n, 8, 1);
+                let lg = LineGraph::new(&base);
+                let params = CdParams::for_levels(lg.cover.max_clique_size(), 1);
+                let ids = IdAssignment::sequential(lg.graph.num_vertices());
                 let started = Instant::now();
                 let cd = if reference {
                     cd_coloring_reference(&lg.graph, &lg.cover, &params, &ids)
@@ -372,8 +416,14 @@ fn run_ladder(cfg: &LadderCfg<'_>, runs: impl Fn(&str) -> bool) -> Vec<Vec<Strin
                     cd_coloring(&lg.graph, &lg.cover, &params, &ids)
                 }
                 .expect("cd coloring succeeds");
+                let secs = started.elapsed().as_secs_f64();
                 assert!(cd.coloring.is_proper(&lg.graph));
-                (cd, started.elapsed().as_secs_f64())
+                let (lg_n, lg_m, lg_delta) = (
+                    lg.graph.num_vertices(),
+                    lg.graph.num_edges(),
+                    lg.graph.max_degree(),
+                );
+                (cd, secs, lg_n, lg_m, lg_delta)
             };
             cd_row = Some((cd.stats.rounds, secs));
             append_record(&Record {
@@ -395,6 +445,83 @@ fn run_ladder(cfg: &LadderCfg<'_>, runs: impl Fn(&str) -> bool) -> Vec<Vec<Strin
             });
         }
 
+        // Theorems 5.3 / 5.4 on the same arboricity-2 workload as t52:
+        // the recursive pipelines run unmodified on either backend.
+        let mut t53_row: Option<(u64, f64)> = None;
+        let mut t54_row: Option<(u64, f64)> = None;
+        if (runs("t53") || runs("t54")) && n <= T53_T54_CAP {
+            let ga = arboricity_workload(n, 2, 8, 3);
+            let (m, delta) = (ga.num_edges(), ga.max_degree());
+            let cfg53 = SubroutineConfig::default();
+            let record = |experiment: &str,
+                          res: &decolor_core::arboricity::ArboricityColoring,
+                          x: u32,
+                          bound: u64,
+                          secs: f64| {
+                append_record(&Record {
+                    experiment: experiment.into(),
+                    workload: format!("n={n}{tag}"),
+                    n,
+                    m,
+                    delta,
+                    x,
+                    palette: res.coloring.palette(),
+                    colors_used: res.coloring.distinct_colors(),
+                    bound,
+                    rounds: res.stats.rounds,
+                    messages: res.stats.messages,
+                    time_shape: 0.0,
+                    wall_s: secs,
+                    nproc,
+                    threads,
+                });
+            };
+            let spilled = if mmap {
+                let dir = MmapDir::new("t5354", n);
+                Some((spill(&dir.0, ga.clone()), dir))
+            } else {
+                None
+            };
+            if runs("t53") {
+                let started = Instant::now();
+                let res = match (&spilled, reference) {
+                    (Some((g, _)), _) => theorem53(g, 2, 2.5, cfg53),
+                    (None, true) => theorem53_reference(&ga, 2, 2.5, cfg53),
+                    (None, false) => theorem53(&ga, 2, 2.5, cfg53),
+                }
+                .expect("theorem 5.3 succeeds");
+                let secs = started.elapsed().as_secs_f64();
+                assert!(res.coloring.is_proper(&ga));
+                t53_row = Some((res.stats.rounds, secs));
+                record(
+                    "scaling_t53",
+                    &res,
+                    1,
+                    analysis::theorem53_palette(delta as u64, 2, 2.5),
+                    secs,
+                );
+            }
+            if runs("t54") {
+                let started = Instant::now();
+                let res = match (&spilled, reference) {
+                    (Some((g, _)), _) => theorem54(g, 2, 2.5, 2, cfg53),
+                    (None, true) => theorem54_reference(&ga, 2, 2.5, 2, cfg53),
+                    (None, false) => theorem54(&ga, 2, 2.5, 2, cfg53),
+                }
+                .expect("theorem 5.4 succeeds");
+                let secs = started.elapsed().as_secs_f64();
+                assert!(res.coloring.is_proper(&ga));
+                t54_row = Some((res.stats.rounds, secs));
+                record(
+                    "scaling_t54",
+                    &res,
+                    2,
+                    2 * analysis::theorem54_palette(delta as u64, 2, 2.5, 2),
+                    secs,
+                );
+            }
+        }
+
         // Rows not selected by --only (or beyond their ceiling) render as
         // "-", never as a fake 0.
         let rounds_cell =
@@ -407,10 +534,14 @@ fn run_ladder(cfg: &LadderCfg<'_>, runs: impl Fn(&str) -> bool) -> Vec<Vec<Strin
             rounds_cell(&star_row),
             rounds_cell(&t52_row),
             rounds_cell(&cd_row),
+            rounds_cell(&t53_row),
+            rounds_cell(&t54_row),
             wall_cell(&linial),
             wall_cell(&star_row),
             wall_cell(&t52_row),
             wall_cell(&cd_row),
+            wall_cell(&t53_row),
+            wall_cell(&t54_row),
             rss_cell(),
         ]);
     }
@@ -427,10 +558,14 @@ fn print_ladder(rows: &[Vec<String>]) {
                 "star partition x=1",
                 "Theorem 5.2 (O(log n))",
                 "CD-Coloring x=1",
+                "Theorem 5.3 (O(√a·log n))",
+                "Theorem 5.4 x=2",
                 "Linial wall (s)",
                 "star wall (s)",
                 "t52 wall (s)",
                 "cd wall (s)",
+                "t53 wall (s)",
+                "t54 wall (s)",
                 "peak RSS (MB)"
             ],
             rows

@@ -5,11 +5,14 @@ use decolor_baselines::greedy::greedy_edge_coloring;
 use decolor_baselines::misra_gries::misra_gries_edge_coloring;
 use decolor_baselines::randomized::randomized_edge_coloring;
 use decolor_core::arboricity::{corollary55, theorem52, theorem53, theorem54};
-use decolor_core::cd_coloring::{cd_edge_coloring, CdParams};
+use decolor_core::cd_coloring::{cd_edge_coloring, cd_edge_coloring_spilled, CdParams};
 use decolor_core::delta_plus_one::SubroutineConfig;
-use decolor_core::star_partition::{star_partition_edge_coloring, StarPartitionParams};
+use decolor_core::star_partition::{
+    star_partition_edge_coloring, star_partition_edge_coloring_spilled, StarPartitionParams,
+};
 use decolor_core::verify;
 use decolor_graph::coloring::EdgeColoring;
+use decolor_graph::subgraph::GraphView;
 use decolor_graph::Graph;
 use decolor_runtime::NetworkStats;
 
@@ -103,39 +106,87 @@ fn certificate_report(algo: &str, g: &Graph, coloring: &EdgeColoring) -> Result<
     Ok(verify::render_report(&checks))
 }
 
+/// Algorithms [`dispatch_mmap`] handles. The unsupported-algorithm error
+/// message is derived from this table, and `mmap_dispatch_matches_ram`
+/// pins that every listed name actually dispatches — so the list cannot
+/// drift from the match arms.
+const MMAP_SUPPORTED: &[&str] = &["star", "cd", "t52", "t53", "t54", "c55"];
+
 /// Runs the algorithm on the **out-of-core backend**: the graph is
 /// spilled to a sharded mmap CSR under a scratch directory and the
 /// view-generic pipeline runs on it unmodified (bit-identical results to
 /// the ram backend — pinned by the core backend-equivalence tests).
+/// star and cd additionally stream their derived graphs (the top-level
+/// edge connector and the line graph) into sharded CSRs under the same
+/// scratch root, so no in-RAM `Graph` is materialized on any path.
 /// Algorithms whose entry points are still `Graph`-bound report a clear
 /// error instead of silently falling back.
 fn dispatch_mmap(
     algo: &str,
     g: &Graph,
 ) -> Result<(EdgeColoring, Option<NetworkStats>, String), String> {
+    static SCRATCH_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let seq = SCRATCH_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("decolor-cli-mmap-{}-{seq}", std::process::id()));
+    dispatch_mmap_in(algo, g, &dir)
+}
+
+/// [`dispatch_mmap`] with an explicit scratch root — split out so tests
+/// can pin that the root is gone after success *and* error exits.
+fn dispatch_mmap_in(
+    algo: &str,
+    g: &Graph,
+    dir: &std::path::Path,
+) -> Result<(EdgeColoring, Option<NetworkStats>, String), String> {
     let (name, params) = algo.split_once(':').unwrap_or((algo, ""));
     let kv = parse_kv(params)?;
     let cfg = SubroutineConfig::default();
     let err = |e: decolor_core::AlgoError| e.to_string();
-    let dir = std::env::temp_dir().join(format!("decolor-cli-mmap-{}", std::process::id()));
+    if !MMAP_SUPPORTED.contains(&name) {
+        return Err(match name {
+            "baseline" | "misra" | "random" | "greedy" => format!(
+                "algorithm `{name}` does not support --backend mmap yet (supported: {})",
+                MMAP_SUPPORTED.join(", ")
+            ),
+            other => format!("unknown algorithm `{other}`"),
+        });
+    }
     struct Cleanup(std::path::PathBuf);
     impl Drop for Cleanup {
         fn drop(&mut self) {
             let _ = std::fs::remove_dir_all(&self.0);
         }
     }
-    let _cleanup = Cleanup(dir.clone());
-    let sc = decolor_graph::storage::ShardedCsr::from_graph(&dir, g)
+    let _cleanup = Cleanup(dir.to_path_buf());
+    let sc = decolor_graph::storage::ShardedCsr::from_graph(dir.join("input"), g)
         .map_err(|e| format!("cannot spill graph to mmap storage: {e}"))?;
     match name {
         "star" => {
             let x = opt_usize(&kv, "x", 1)?;
-            let res = star_partition_edge_coloring(&sc, &StarPartitionParams::for_levels(&sc, x))
-                .map_err(err)?;
+            let res = star_partition_edge_coloring_spilled(
+                &sc,
+                &StarPartitionParams::for_levels(&sc, x),
+                &dir.join("conn"),
+            )
+            .map_err(err)?;
             Ok((
                 res.coloring,
                 Some(res.stats),
                 format!("star partition (x = {x}) [mmap backend]"),
+            ))
+        }
+        "cd" => {
+            let x = opt_usize(&kv, "x", 1)?;
+            let (c, s) = cd_edge_coloring_spilled(
+                &sc,
+                &CdParams::for_levels(sc.max_degree().max(2), x),
+                &dir.join("lg"),
+            )
+            .map_err(err)?;
+            Ok((
+                c,
+                Some(s),
+                format!("CD-Coloring of the line graph (x = {x}) [mmap backend]"),
             ))
         }
         "t52" => {
@@ -148,10 +199,42 @@ fn dispatch_mmap(
                 format!("Theorem 5.2 (a = {a}) [mmap backend]"),
             ))
         }
-        "cd" | "t53" | "t54" | "c55" | "baseline" | "misra" | "random" | "greedy" => Err(format!(
-            "algorithm `{name}` does not support --backend mmap yet (supported: star, t52)"
+        "t53" => {
+            let a = opt_usize(&kv, "a", 2)?;
+            let q = opt_f64(&kv, "q", 2.5)?;
+            let res = theorem53(&sc, a, q, cfg).map_err(err)?;
+            Ok((
+                res.coloring,
+                Some(res.stats),
+                format!("Theorem 5.3 (a = {a}) [mmap backend]"),
+            ))
+        }
+        "t54" => {
+            let a = opt_usize(&kv, "a", 2)?;
+            let x = opt_usize(&kv, "x", 2)?;
+            let q = opt_f64(&kv, "q", 2.5)?;
+            let res = theorem54(&sc, a, q, x, cfg).map_err(err)?;
+            Ok((
+                res.coloring,
+                Some(res.stats),
+                format!("Theorem 5.4 (a = {a}, x = {x}) [mmap backend]"),
+            ))
+        }
+        "c55" => {
+            let a = opt_usize(&kv, "a", 2)?;
+            let (res, p) = corollary55(&sc, a, cfg).map_err(err)?;
+            Ok((
+                res.coloring,
+                Some(res.stats),
+                format!(
+                    "Corollary 5.5 (a = {a}; chose x = {}, q = {:.1}) [mmap backend]",
+                    p.x, p.q
+                ),
+            ))
+        }
+        other => Err(format!(
+            "algorithm `{other}` is listed as mmap-supported but has no dispatch arm"
         )),
-        other => Err(format!("unknown algorithm `{other}`")),
     }
 }
 
@@ -249,7 +332,23 @@ mod tests {
     #[test]
     fn mmap_dispatch_matches_ram() {
         let g = decolor_graph::generators::forest_union(60, 2, 6, 1).unwrap();
-        for algo in ["star:x=1", "t52:a=2"] {
+        // One parameterization per MMAP_SUPPORTED entry — pins the const
+        // against the dispatch table.
+        let algos = [
+            "star:x=1",
+            "cd:x=1",
+            "t52:a=2",
+            "t53:a=2",
+            "t54:a=2,x=2",
+            "c55:a=2",
+        ];
+        for name in MMAP_SUPPORTED {
+            assert!(
+                algos.iter().any(|a| a.split(':').next() == Some(*name)),
+                "MMAP_SUPPORTED entry `{name}` is not exercised"
+            );
+        }
+        for algo in algos {
             let (ram, ram_stats, _) = dispatch(algo, &g).unwrap();
             let (mmap, mmap_stats, label) = dispatch_mmap(algo, &g).unwrap();
             assert_eq!(mmap.as_slice(), ram.as_slice(), "{algo} diverges");
@@ -258,7 +357,28 @@ mod tests {
         }
         let err = dispatch_mmap("misra", &g).unwrap_err();
         assert!(err.contains("does not support --backend mmap"), "{err}");
+        assert!(
+            err.contains(&MMAP_SUPPORTED.join(", ")),
+            "error list not derived from dispatch table: {err}"
+        );
         assert!(dispatch_mmap("zzz", &g).unwrap_err().contains("unknown"));
+    }
+
+    #[test]
+    fn mmap_scratch_removed_on_success_and_error() {
+        let g = decolor_graph::generators::forest_union(60, 2, 6, 1).unwrap();
+        let root =
+            std::env::temp_dir().join(format!("decolor-cli-scratch-test-{}", std::process::id()));
+        for algo in ["star:x=1", "cd:x=1", "t53:a=2"] {
+            let dir = root.join(algo.replace([':', ','], "-"));
+            dispatch_mmap_in(algo, &g, &dir).unwrap();
+            assert!(!dir.exists(), "{algo}: scratch survived a success exit");
+        }
+        // q < 2 fails inside theorem52 *after* the graph was spilled.
+        let dir = root.join("err");
+        assert!(dispatch_mmap_in("t52:a=2,q=1.0", &g, &dir).is_err());
+        assert!(!dir.exists(), "scratch survived an error exit");
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

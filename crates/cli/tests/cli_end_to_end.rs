@@ -48,6 +48,26 @@ fn generate_analyze_color_pipeline() {
 
 #[test]
 fn mmap_backend_colors_out_of_core() {
+    // The CLI names its scratch dirs `decolor-cli-mmap-<pid>-<seq>`;
+    // after a child process exits — success or error — none may remain.
+    let leftover = || -> Vec<std::path::PathBuf> {
+        std::fs::read_dir(std::env::temp_dir())
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| {
+                        e.file_name()
+                            .to_string_lossy()
+                            .starts_with("decolor-cli-mmap-")
+                    })
+                    .map(|e| e.path())
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    for stale in leftover() {
+        let _ = std::fs::remove_dir_all(stale);
+    }
+
     let (ok, stdout, stderr) = decolor(&[
         "color",
         "t52:a=2",
@@ -59,13 +79,48 @@ fn mmap_backend_colors_out_of_core() {
     assert!(stdout.contains("mmap backend"), "{stdout}");
     assert!(stdout.contains("palette"));
 
-    // Unsupported algorithm on the mmap backend: clean error, exit 1.
+    // Every mmap-dispatched algorithm runs end-to-end, and the scratch
+    // directory is gone after each successful exit.
+    for algo in ["star:x=1", "cd:x=1", "t53:a=2", "t54:a=2,x=2", "c55:a=2"] {
+        let (ok, stdout, stderr) = decolor(&[
+            "color",
+            algo,
+            "forest:n=200,a=2,cap=8,seed=1",
+            "--backend",
+            "mmap",
+        ]);
+        assert!(ok, "{algo} on mmap failed: {stderr}");
+        assert!(stdout.contains("mmap backend"), "{stdout}");
+        let left = leftover();
+        assert!(left.is_empty(), "{algo} left mmap scratch behind: {left:?}");
+    }
+
+    // Error exit *after* the graph was spilled (q < 2 fails inside the
+    // algorithm): scratch must be gone too.
+    let (ok, _, stderr) = decolor(&[
+        "color",
+        "t52:a=2,q=1.0",
+        "grid:rows=5,cols=5",
+        "--backend",
+        "mmap",
+    ]);
+    assert!(!ok, "q < 2 should fail");
+    assert!(stderr.contains("q"), "{stderr}");
+    let left = leftover();
+    assert!(
+        left.is_empty(),
+        "error exit left mmap scratch behind: {left:?}"
+    );
+
+    // Unsupported algorithm on the mmap backend: clean error, exit 1,
+    // listing the supported table.
     let (ok, _, stderr) = decolor(&["color", "misra", "grid:rows=5,cols=5", "--backend", "mmap"]);
     assert!(!ok);
     assert!(
         stderr.contains("does not support --backend mmap"),
         "{stderr}"
     );
+    assert!(stderr.contains("star, cd, t52, t53, t54, c55"), "{stderr}");
 
     // Unknown backend: clean error.
     let (ok, _, stderr) = decolor(&["color", "star:x=1", "grid:rows=5,cols=5", "--backend", "zz"]);

@@ -346,8 +346,8 @@ pub fn theorem52_reference(
 /// # Errors
 ///
 /// Propagates parameter errors from the H-partition and Theorem 5.2.
-pub fn theorem53(
-    g: &Graph,
+pub fn theorem53<G: GraphView + Sync>(
+    g: &G,
     a: usize,
     q: f64,
     cfg: SubroutineConfig,
@@ -382,8 +382,8 @@ pub fn theorem53_reference(
 /// connector, Theorem 5.2 on the connector. Returns `None` for edgeless
 /// inputs.
 type Theorem53Head = Option<(Orientation, ArboricityColoring, NetworkStats)>;
-fn theorem53_head(
-    g: &Graph,
+fn theorem53_head<G: GraphView + Sync>(
+    g: &G,
     a: usize,
     q: f64,
     cfg: SubroutineConfig,
@@ -410,14 +410,13 @@ fn theorem53_head(
 /// Maximum out-degree over the class under `orient` — what the reference
 /// path reads off `Orientation::max_out_degree` of the restricted
 /// orientation, computed here without materializing either.
-fn class_max_out_degree(g: &Graph, orient: &Orientation, class: &[EdgeId]) -> usize {
+fn class_max_out_degree<G: GraphView>(g: &G, orient: &Orientation, class: &[EdgeId]) -> usize {
     let mut out_deg = vec![0u32; g.num_vertices()];
     for &e in class {
         let head = orient.head(e);
-        let tail = g
-            .other_endpoint(e, head)
-            // lint: allow(panic, "orientation heads are endpoints by construction")
-            .expect("orientation heads are endpoints by construction");
+        let [u, v] = g.endpoints(e);
+        debug_assert!(head == u || head == v, "orientation heads are endpoints");
+        let tail = if head == u { v } else { u };
         out_deg[tail.index()] += 1;
     }
     num::usize_from(out_deg.iter().copied().max().unwrap_or(0))
@@ -426,8 +425,8 @@ fn class_max_out_degree(g: &Graph, orient: &Orientation, class: &[EdgeId]) -> us
 /// Groups the edges of `g` by `phi` (whose edge ids align with `g`) and
 /// colors every class with the view-generic Theorem 5.2 in parallel, each
 /// class a borrowed [`EdgeSubgraphView`] of `g`.
-fn combine_classes_on(
-    g: &Graph,
+fn combine_classes_on<G: GraphView + Sync>(
+    g: &G,
     orient: &Orientation,
     phi: &EdgeColoring,
     q: f64,
@@ -572,8 +571,8 @@ fn combine_classes_reference(
 /// # Errors
 ///
 /// [`AlgoError::InvalidParameters`] if `x == 0` or `q < 2`.
-pub fn theorem54(
-    g: &Graph,
+pub fn theorem54<G: GraphView + Sync>(
+    g: &G,
     a: usize,
     q: f64,
     x: usize,
@@ -692,8 +691,8 @@ struct T54Ctx {
 /// One Theorem 5.4 level over a borrowed view of the root: the bipartite
 /// connector is built straight off the view (`heads[e]` = head of local
 /// edge `e`), its classes recurse as child views with their head slices.
-fn t54_level_on<V: GraphView + Sync>(
-    root: &Graph,
+fn t54_level_on<R: GraphView + Sync, V: GraphView + Sync>(
+    root: &R,
     view: &V,
     heads: &[VertexId],
     ctx: &T54Ctx,
@@ -876,8 +875,8 @@ pub struct Corollary55Params {
 /// # Errors
 ///
 /// Propagates [`theorem54`] errors.
-pub fn corollary55(
-    g: &Graph,
+pub fn corollary55<G: GraphView + Sync>(
+    g: &G,
     a: usize,
     cfg: SubroutineConfig,
 ) -> Result<(ArboricityColoring, Corollary55Params), AlgoError> {

@@ -14,9 +14,12 @@
 //! graph; every recursive subroutine call is seeded with the inherited
 //! coloring instead of IDs, so the O(log* n) term is paid once.
 
+use std::path::{Path, PathBuf};
+
 use decolor_graph::cliques::CliqueCover;
 use decolor_graph::coloring::{Color, VertexColoring};
-use decolor_graph::line_graph::LineGraph;
+use decolor_graph::line_graph::{line_graph_cover, line_graph_stream, LineGraph};
+use decolor_graph::storage::ShardedCsrBuilder;
 use decolor_graph::subgraph::{GraphView, InducedSubgraph, InducedSubgraphView, VertexSubsetView};
 use decolor_graph::{Graph, VertexId};
 use decolor_runtime::{IdAssignment, Network, NetworkStats};
@@ -534,19 +537,14 @@ struct ChildOutcome {
 /// # Errors
 ///
 /// Propagates [`cd_coloring`] errors.
-pub fn cd_edge_coloring(
-    g: &Graph,
+pub fn cd_edge_coloring<G: GraphView + Sync>(
+    g: &G,
     params: &CdParams,
 ) -> Result<(decolor_graph::coloring::EdgeColoring, NetworkStats), AlgoError> {
     if g.num_edges() == 0 {
-        let empty = decolor_graph::coloring::EdgeColoring::new(vec![], 1).map_err(|e| {
-            AlgoError::InvariantViolated {
-                reason: e.to_string(),
-            }
-        })?;
-        return Ok((empty, NetworkStats::default()));
+        return empty_edge_coloring();
     }
-    let lg = LineGraph::new(g);
+    let lg = LineGraph::from_view(g)?;
     let ids = IdAssignment::sequential(lg.graph.num_vertices());
     let result = cd_coloring(&lg.graph, &lg.cover, params, &ids)?;
     let mut stats = result.stats;
@@ -556,6 +554,86 @@ pub fn cd_edge_coloring(
         .map_err(|e| AlgoError::InvariantViolated {
             reason: e.to_string(),
         })?;
+    debug_assert!(ec.is_proper(g));
+    Ok((ec, stats))
+}
+
+fn empty_edge_coloring() -> Result<(decolor_graph::coloring::EdgeColoring, NetworkStats), AlgoError>
+{
+    let empty = decolor_graph::coloring::EdgeColoring::new(vec![], 1).map_err(|e| {
+        AlgoError::InvariantViolated {
+            reason: e.to_string(),
+        }
+    })?;
+    Ok((empty, NetworkStats::default()))
+}
+
+/// Removes a scratch directory when dropped — covers every exit path of
+/// the spilled construction, success and error alike.
+struct ScratchDir(PathBuf);
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        // lint: allow(result, "best-effort scratch cleanup in Drop; a leftover dir is harmless")
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// [`cd_edge_coloring`] with the line graph **spilled to disk**: L(g) is
+/// streamed through [`ShardedCsrBuilder`] into `scratch_dir` and the
+/// CD-Coloring recursion runs off the mmap CSR, so no in-RAM graph
+/// proportional to the line graph (Θ(Σ deg²) edges) is ever
+/// materialized. The canonical cover is computed straight off the source
+/// view (O(2m) ids — proportional to the *source*). Decisions, palettes,
+/// and [`NetworkStats`] are bit-identical to [`cd_edge_coloring`] (same
+/// line-edge stream order), which the backend-equivalence tests pin. The
+/// scratch directory is removed before returning, on success and on
+/// error.
+///
+/// # Errors
+///
+/// As [`cd_edge_coloring`], plus [`AlgoError::Graph`] for
+/// scratch-directory I/O failures.
+pub fn cd_edge_coloring_spilled<G: GraphView + Sync>(
+    g: &G,
+    params: &CdParams,
+    scratch_dir: &Path,
+) -> Result<(decolor_graph::coloring::EdgeColoring, NetworkStats), AlgoError> {
+    if g.num_edges() == 0 {
+        return empty_edge_coloring();
+    }
+    if g.has_parallel_edges() {
+        return Err(AlgoError::InvalidParameters {
+            reason: "line graph requires a simple source graph".into(),
+        });
+    }
+    let _cleanup = ScratchDir(scratch_dir.to_path_buf());
+    let m = g.num_edges();
+    let cover = line_graph_cover(g)?;
+    let lg = {
+        let mut b = ShardedCsrBuilder::create(scratch_dir, m)?;
+        line_graph_stream(g, &mut b)?;
+        b.finish()?
+    };
+    let ids = IdAssignment::sequential(m);
+    let result = cd_coloring(&lg, &cover, params, &ids)?;
+    let mut stats = result.stats;
+    stats.rounds += 1;
+    if result.coloring.len() != m {
+        return Err(AlgoError::InvariantViolated {
+            reason: format!(
+                "line coloring has {} entries for {m} line vertices",
+                result.coloring.len()
+            ),
+        });
+    }
+    let ec = decolor_graph::coloring::EdgeColoring::new(
+        result.coloring.as_slice().to_vec(),
+        result.coloring.palette(),
+    )
+    .map_err(|e| AlgoError::InvariantViolated {
+        reason: e.to_string(),
+    })?;
     debug_assert!(ec.is_proper(g));
     Ok((ec, stats))
 }

@@ -9,8 +9,11 @@
 //! the connector is a candidate labeling of `E(G)` directly — this is the
 //! "no line-graph simulation needed" point of §4.
 
+use std::path::{Path, PathBuf};
+
+use decolor_graph::storage::{ShardedCsr, ShardedCsrBuilder};
 use decolor_graph::subgraph::GraphView;
-use decolor_graph::{num, EdgeId, Graph, GraphBuilder, VertexId};
+use decolor_graph::{num, EdgeId, EdgeSink, Graph, GraphBuilder, VertexId};
 
 use crate::error::AlgoError;
 
@@ -114,81 +117,170 @@ fn port_of(g: &Graph, v: VertexId, e: EdgeId) -> usize {
 /// [`AlgoError::InvalidParameters`] if `t == 0`;
 /// [`AlgoError::InvariantViolated`] if the degree bound fails.
 pub fn edge_connector_graph_on<V: GraphView>(view: &V, t: usize) -> Result<Graph, AlgoError> {
-    if t == 0 {
-        return Err(AlgoError::InvalidParameters {
-            reason: "edge-connector group size t must be positive".into(),
-        });
-    }
-    let k = view.num_edges();
-    let n = view.num_vertices();
-    // Virtual-vertex base index per touched (active-degree > 0) vertex:
-    // ⌈deg/t⌉ groups each. `u32::MAX` marks untouched vertices.
-    let mut virt_base = vec![u32::MAX; n];
-    let mut acc = 0usize;
-    for v in (0..n).map(VertexId::new) {
-        let deg = view.degree(v);
-        if deg > 0 {
-            let base = u32::try_from(acc).map_err(|_| AlgoError::InvalidParameters {
-                reason: format!("connector needs more than u32::MAX virtual vertices (t = {t})"),
-            })?;
-            virt_base[v.index()] = base;
-            acc += deg.div_ceil(t);
-        }
-    }
-    if u32::try_from(acc).is_err() {
-        return Err(AlgoError::InvalidParameters {
-            reason: format!("connector needs {acc} virtual vertices (exceeds u32 ids)"),
-        });
-    }
-    // Virtual endpoint of every active edge on each side: the vertex's
-    // base plus (position within its active incidence) / t — exactly the
-    // port grouping of `edge_connector` on the materialized subgraph.
-    let mut virt_lo = vec![0u32; k];
-    let mut virt_hi = vec![0u32; k];
-    for v in (0..n).map(VertexId::new) {
-        let base = virt_base[v.index()];
-        if base == u32::MAX {
-            continue;
-        }
-        let mut pos = 0usize;
-        view.for_each_incident_edge(v, |le| {
-            // lint: allow(cast, "pos / t is below the vertex's virtual-group count, which fits u32")
-            let virt = base + (pos / t) as u32;
-            let [lo, _hi] = view.endpoints(le);
-            if v == lo {
-                virt_lo[le.index()] = virt;
-            } else {
-                virt_hi[le.index()] = virt;
-            }
-            pos += 1;
-        });
-    }
+    let layout = ConnectorLayout::compute(view, t)?;
     // Connector edges are unique by construction (distinct source edges
     // share at most one endpoint, so at most one virtual vertex), so the
     // multigraph builder can skip the per-edge dedup hashing.
-    let mut b = GraphBuilder::new_multi(acc).with_edge_capacity(k);
-    for le in 0..k {
-        b.add_edge(num::usize_from(virt_lo[le]), num::usize_from(virt_hi[le]))
-            .map_err(|err| AlgoError::InvariantViolated {
-                reason: err.to_string(),
-            })?;
-    }
+    let mut b = GraphBuilder::new_multi(layout.num_virtuals).with_edge_capacity(view.num_edges());
+    layout.stream_into(&mut b)?;
     // The CSR over ~2k incidence slots is the hot spot of the whole
     // connector build at n = 10⁶; the sharded build is bit-identical to
     // the sequential one at any `DECOLOR_THREADS`.
     let graph = b.build_parallel();
     debug_assert!(!graph.has_parallel_edges());
-    for v in graph.vertices() {
-        if graph.degree(v) > t {
+    verify_connector_degree(&graph, t)?;
+    Ok(graph)
+}
+
+/// The per-edge virtual-endpoint layout shared by the in-RAM and spilled
+/// edge-connector builds: which virtual vertex each side of every active
+/// edge attaches to, plus the total virtual-vertex count. Computing it
+/// once and streaming the edges into an [`EdgeSink`] keeps the two
+/// backends byte-identical (same push order ⇒ same edge ids ⇒ same
+/// incidence structure).
+struct ConnectorLayout {
+    num_virtuals: usize,
+    virt_lo: Vec<u32>,
+    virt_hi: Vec<u32>,
+}
+
+impl ConnectorLayout {
+    fn compute<V: GraphView>(view: &V, t: usize) -> Result<ConnectorLayout, AlgoError> {
+        if t == 0 {
+            return Err(AlgoError::InvalidParameters {
+                reason: "edge-connector group size t must be positive".into(),
+            });
+        }
+        let k = view.num_edges();
+        let n = view.num_vertices();
+        // Virtual-vertex base index per touched (active-degree > 0) vertex:
+        // ⌈deg/t⌉ groups each. `u32::MAX` marks untouched vertices.
+        let mut virt_base = vec![u32::MAX; n];
+        let mut acc = 0usize;
+        for v in (0..n).map(VertexId::new) {
+            let deg = view.degree(v);
+            if deg > 0 {
+                let base = u32::try_from(acc).map_err(|_| AlgoError::InvalidParameters {
+                    reason: format!(
+                        "connector needs more than u32::MAX virtual vertices (t = {t})"
+                    ),
+                })?;
+                virt_base[v.index()] = base;
+                acc += deg.div_ceil(t);
+            }
+        }
+        if u32::try_from(acc).is_err() {
+            return Err(AlgoError::InvalidParameters {
+                reason: format!("connector needs {acc} virtual vertices (exceeds u32 ids)"),
+            });
+        }
+        // Virtual endpoint of every active edge on each side: the vertex's
+        // base plus (position within its active incidence) / t — exactly the
+        // port grouping of `edge_connector` on the materialized subgraph.
+        let mut virt_lo = vec![0u32; k];
+        let mut virt_hi = vec![0u32; k];
+        for v in (0..n).map(VertexId::new) {
+            let base = virt_base[v.index()];
+            if base == u32::MAX {
+                continue;
+            }
+            let mut pos = 0usize;
+            view.for_each_incident_edge(v, |le| {
+                // lint: allow(cast, "pos / t is below the vertex's virtual-group count, which fits u32")
+                let virt = base + (pos / t) as u32;
+                let [lo, _hi] = view.endpoints(le);
+                if v == lo {
+                    virt_lo[le.index()] = virt;
+                } else {
+                    virt_hi[le.index()] = virt;
+                }
+                pos += 1;
+            });
+        }
+        Ok(ConnectorLayout {
+            num_virtuals: acc,
+            virt_lo,
+            virt_hi,
+        })
+    }
+
+    /// Streams connector edge `k` = source edge `k` into `sink`, in edge-id
+    /// order.
+    fn stream_into<S: EdgeSink>(&self, sink: &mut S) -> Result<(), AlgoError> {
+        for le in 0..self.virt_lo.len() {
+            sink.add_edge(
+                num::usize_from(self.virt_lo[le]),
+                num::usize_from(self.virt_hi[le]),
+            )
+            .map_err(|err| AlgoError::InvariantViolated {
+                reason: err.to_string(),
+            })?;
+        }
+        Ok(())
+    }
+}
+
+/// The §4 **Δ(connector) ≤ t** guarantee, checked on either backend.
+fn verify_connector_degree<V: GraphView>(conn: &V, t: usize) -> Result<(), AlgoError> {
+    for v in (0..conn.num_vertices()).map(VertexId::new) {
+        if conn.degree(v) > t {
             return Err(AlgoError::InvariantViolated {
-                reason: format!(
-                    "virtual vertex {v} has degree {} > t = {t}",
-                    graph.degree(v)
-                ),
+                reason: format!("virtual vertex {v} has degree {} > t = {t}", conn.degree(v)),
             });
         }
     }
-    Ok(graph)
+    Ok(())
+}
+
+/// An edge connector spilled to an on-disk [`ShardedCsr`] under a scratch
+/// directory. Dropping the wrapper removes the directory, so the spill
+/// lives exactly as long as the stage that colors it.
+pub struct SpilledConnector {
+    csr: ShardedCsr,
+    dir: PathBuf,
+}
+
+impl SpilledConnector {
+    /// The spilled connector topology (edge `k` = source edge `k`).
+    pub fn csr(&self) -> &ShardedCsr {
+        &self.csr
+    }
+}
+
+impl Drop for SpilledConnector {
+    fn drop(&mut self) {
+        // Unlinking while the CSR is still mapped is fine on the target
+        // platforms; the mapping itself is released right after.
+        // lint: allow(result, "best-effort scratch cleanup in Drop; a leftover dir is harmless")
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// [`edge_connector_graph_on`] streamed into a [`ShardedCsrBuilder`]
+/// instead of an in-RAM [`GraphBuilder`]: the connector never exists as an
+/// in-RAM graph, so the star partition's top-level stage runs out-of-core
+/// end to end. Identical edge-push order makes the spilled CSR's
+/// edge-space structure bit-identical to the in-RAM build, which the
+/// backend-equivalence tests pin.
+///
+/// # Errors
+///
+/// As [`edge_connector_graph_on`], plus [`AlgoError::Graph`] for I/O
+/// failures in the scratch directory.
+pub fn edge_connector_sharded_on<V: GraphView>(
+    view: &V,
+    t: usize,
+    dir: &Path,
+) -> Result<SpilledConnector, AlgoError> {
+    let layout = ConnectorLayout::compute(view, t)?;
+    let mut b = ShardedCsrBuilder::create(dir, layout.num_virtuals)?;
+    layout.stream_into(&mut b)?;
+    let conn = SpilledConnector {
+        csr: b.finish()?,
+        dir: dir.to_path_buf(),
+    };
+    verify_connector_degree(conn.csr(), t)?;
+    Ok(conn)
 }
 
 impl EdgeConnector {

@@ -58,8 +58,8 @@ pub struct OrientationConnector {
 ///
 /// [`AlgoError::InvalidParameters`] if a group size is 0, the orientation
 /// shape mismatches, or `g` has parallel edges.
-pub fn orientation_connector(
-    g: &Graph,
+pub fn orientation_connector<V: GraphView>(
+    g: &V,
     orientation: &Orientation,
     s_in: usize,
     s_out: usize,
@@ -82,8 +82,9 @@ pub fn orientation_connector(
     let mut out_slot = vec![0usize; g.num_edges()]; // index among tail's out-edges
     let mut in_count = vec![0usize; n];
     let mut out_count = vec![0usize; n];
-    for v in g.vertices() {
-        for &(_, e) in g.incidence(v) {
+    for vi in 0..n {
+        let v = VertexId::new(vi);
+        g.for_each_incident_edge(v, |e| {
             if orientation.head(e) == v {
                 in_slot[e.index()] = in_count[v.index()];
                 in_count[v.index()] += 1;
@@ -91,14 +92,14 @@ pub fn orientation_connector(
                 out_slot[e.index()] = out_count[v.index()];
                 out_count[v.index()] += 1;
             }
-        }
+        });
     }
 
     let mut owner = Vec::new();
     let mut kind = Vec::new();
     let mut in_virtuals: Vec<Vec<VertexId>> = Vec::with_capacity(n);
     let mut out_virtuals: Vec<Vec<VertexId>> = Vec::with_capacity(n);
-    for v in g.vertices() {
+    for v in (0..n).map(VertexId::new) {
         let k_in = in_count[v.index()].div_ceil(s_in).max(1);
         let k_out = out_count[v.index()].div_ceil(s_out).max(1);
         if bipartite {
@@ -131,13 +132,15 @@ pub fn orientation_connector(
 
     let mut b = GraphBuilder::new(owner.len()).with_edge_capacity(g.num_edges());
     let mut heads = Vec::with_capacity(g.num_edges());
-    for (e, _) in g.edge_list() {
+    for e in (0..g.num_edges()).map(EdgeId::new) {
         let head = orientation.head(e);
-        let tail = g
-            .other_endpoint(e, head)
-            .map_err(|err| AlgoError::InvariantViolated {
-                reason: err.to_string(),
-            })?;
+        let [ea, eb] = g.endpoints(e);
+        if head != ea && head != eb {
+            return Err(AlgoError::InvariantViolated {
+                reason: format!("head {head} of edge {e} is not an endpoint"),
+            });
+        }
+        let tail = if head == ea { eb } else { ea };
         let cv_head = in_virtuals[head.index()][in_slot[e.index()] / s_in];
         let cv_tail = out_virtuals[tail.index()][out_slot[e.index()] / s_out];
         b.add_edge(cv_tail.index(), cv_head.index())

@@ -12,9 +12,9 @@
 //! higher ID) yields an **acyclic orientation with out-degree ≤ d** — the
 //! arboricity certificate consumed by the orientation connectors.
 
+use decolor_graph::num;
 use decolor_graph::orientation::Orientation;
 use decolor_graph::subgraph::GraphView;
-use decolor_graph::{num, Graph};
 use decolor_runtime::{Network, NetworkStats};
 
 use crate::error::AlgoError;
@@ -113,13 +113,16 @@ impl HPartition {
     /// # Errors
     ///
     /// [`AlgoError::InvariantViolated`] naming the violating vertex.
-    pub fn verify(&self, g: &Graph) -> Result<(), AlgoError> {
-        for v in g.vertices() {
+    pub fn verify<V: GraphView>(&self, g: &V) -> Result<(), AlgoError> {
+        for vi in 0..g.num_vertices() {
+            let v = decolor_graph::VertexId::new(vi);
             let i = self.index[v.index()];
-            let later = g
-                .neighbors(v)
-                .filter(|u| self.index[u.index()] >= i)
-                .count();
+            let mut later = 0usize;
+            g.for_each_port(v, |u, _| {
+                if self.index[u.index()] >= i {
+                    later += 1;
+                }
+            });
             if later > self.degree_bound {
                 return Err(AlgoError::InvariantViolated {
                     reason: format!(
@@ -135,7 +138,7 @@ impl HPartition {
 
     /// The acyclic orientation of \[4\]: edges point to the higher H-index,
     /// ties to the higher ID. Out-degree ≤ `d`.
-    pub fn orientation(&self, g: &Graph) -> Orientation {
+    pub fn orientation<V: GraphView>(&self, g: &V) -> Orientation {
         let rank: Vec<u64> = self.index.iter().map(|&i| num::to_u64(i)).collect();
         Orientation::from_rank(g, &rank)
     }

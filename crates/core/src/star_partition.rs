@@ -16,7 +16,9 @@ use decolor_graph::{EdgeId, Graph};
 use decolor_runtime::{Network, NetworkStats};
 use rayon::prelude::*;
 
-use crate::connectors::edge::{edge_connector, edge_connector_graph_on};
+use std::path::Path;
+
+use crate::connectors::edge::{edge_connector, edge_connector_graph_on, edge_connector_sharded_on};
 use crate::delta_plus_one::SubroutineConfig;
 use crate::edge_space::{edge_coloring_direct, edge_coloring_direct_on};
 use crate::error::AlgoError;
@@ -129,6 +131,44 @@ pub fn star_partition_edge_coloring<G: GraphView + Sync>(
         params.x,
         params.subroutine,
         params.adaptive_t,
+        None,
+    )?;
+    finish(g, params, staged)
+}
+
+/// [`star_partition_edge_coloring`] with the **top-level connector spilled
+/// to disk**: the one construction of the star pipeline that is
+/// proportional to the input (the stage-one connector has exactly `m`
+/// edges) is streamed through [`ShardedCsrBuilder`] into `scratch_dir`
+/// and colored off the mmap CSR, so no in-RAM graph proportional to the
+/// input is ever materialized — the entry point the mmap backend uses.
+/// Recursion-level connectors are geometrically smaller (≤ m/(2t−1) edges
+/// per class) and stay in RAM.
+///
+/// Decisions, palettes, and [`NetworkStats`] are bit-identical to
+/// [`star_partition_edge_coloring`] (same connector edge-push order ⇒
+/// same edge-space structure), which the backend-equivalence tests pin.
+/// The scratch directory is created on entry and removed before
+/// returning, on success and on error.
+///
+/// # Errors
+///
+/// As [`star_partition_edge_coloring`], plus [`AlgoError::Graph`] for
+/// scratch-directory I/O failures.
+pub fn star_partition_edge_coloring_spilled<G: GraphView + Sync>(
+    g: &G,
+    params: &StarPartitionParams,
+    scratch_dir: &Path,
+) -> Result<StarPartitionResult, AlgoError> {
+    check_params(g, params)?;
+    let staged = stage_on(
+        g,
+        g,
+        params.t,
+        params.x,
+        params.subroutine,
+        params.adaptive_t,
+        Some(scratch_dir),
     )?;
     finish(g, params, staged)
 }
@@ -210,6 +250,7 @@ pub fn star_partition_edge_coloring_on<R: GraphView + Sync>(
         params.x,
         params.subroutine,
         params.adaptive_t,
+        None,
     )?;
     finish(view, params, staged)
 }
@@ -258,6 +299,12 @@ fn finish<V: GraphView>(
 /// root CSR — so no per-class graph, port table, or line graph is ever
 /// materialized; the only allocations are O(m/64 + n) words of view
 /// index per class. Decisions are bit-identical to [`stage`].
+///
+/// `spill`: scratch directory for the stage's connector. `Some` only at
+/// the top level of the spilled entry point — the stage-one connector is
+/// the single input-proportional construction; class connectors shrink
+/// geometrically and always build in RAM (`None` on recursion).
+#[allow(clippy::too_many_arguments)]
 fn stage_on<R: GraphView + Sync, V: GraphView + Sync>(
     root: &R,
     view: &V,
@@ -265,6 +312,7 @@ fn stage_on<R: GraphView + Sync, V: GraphView + Sync>(
     x: usize,
     cfg: SubroutineConfig,
     adaptive_t: bool,
+    spill: Option<&Path>,
 ) -> Result<(Vec<Color>, u64, NetworkStats), AlgoError> {
     if view.num_edges() == 0 {
         return Ok((vec![], 1, NetworkStats::default()));
@@ -284,10 +332,24 @@ fn stage_on<R: GraphView + Sync, V: GraphView + Sync>(
 
     // Build the connector (O(1) local rounds) over the view and
     // edge-color it with 2t − 1 colors; Δ(connector) ≤ t is verified
-    // inside the builder.
-    let conn = edge_connector_graph_on(view, t)?;
+    // inside the builder. With `spill` set, the connector streams to an
+    // on-disk CSR and is colored off the mmap — never an in-RAM graph.
     let target_conn = (2 * num::to_u64(t) - 1).max(1);
-    let (phi, phi_stats) = edge_coloring_direct(&conn, target_conn, cfg)?;
+    let (phi, phi_stats) = match spill {
+        Some(dir) => {
+            let conn = edge_connector_sharded_on(view, t, dir)?;
+            let (colors, palette, s) = edge_coloring_direct_on(conn.csr(), target_conn, cfg)?;
+            let phi =
+                EdgeColoring::new(colors, palette).map_err(|e| AlgoError::InvariantViolated {
+                    reason: e.to_string(),
+                })?;
+            (phi, s)
+        }
+        None => {
+            let conn = edge_connector_graph_on(view, t)?;
+            edge_coloring_direct(&conn, target_conn, cfg)?
+        }
+    };
     let mut stats = NetworkStats {
         rounds: 1,
         ..Default::default()
@@ -314,7 +376,15 @@ fn stage_on<R: GraphView + Sync, V: GraphView + Sync>(
                     ),
                 });
             }
-            Ok(Some(stage_on(root, &child, t, x - 1, cfg, adaptive_t)?))
+            Ok(Some(stage_on(
+                root,
+                &child,
+                t,
+                x - 1,
+                cfg,
+                adaptive_t,
+                None,
+            )?))
         })
         .collect();
 

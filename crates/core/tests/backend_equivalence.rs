@@ -5,11 +5,15 @@
 //! the environment knob). The Linial rows additionally pin the chunked
 //! streaming realization against the `Network`-simulated one.
 
-use decolor_core::arboricity::theorem52;
-use decolor_core::cd_coloring::{cd_coloring, CdParams};
+use decolor_core::arboricity::{theorem52, theorem53, theorem54};
+use decolor_core::cd_coloring::{
+    cd_coloring, cd_edge_coloring, cd_edge_coloring_spilled, CdParams,
+};
 use decolor_core::delta_plus_one::SubroutineConfig;
 use decolor_core::linial::{linial_coloring, linial_coloring_chunked};
-use decolor_core::star_partition::{star_partition_edge_coloring, StarPartitionParams};
+use decolor_core::star_partition::{
+    star_partition_edge_coloring, star_partition_edge_coloring_spilled, StarPartitionParams,
+};
 use decolor_graph::line_graph::LineGraph;
 use decolor_graph::storage::ShardedCsr;
 use decolor_graph::{generators, Graph};
@@ -102,6 +106,112 @@ fn star_partition_mmap_matches_ram() {
             assert_eq!(mmap.coloring.palette(), ram.coloring.palette());
             assert_eq!(mmap.untrimmed_palette, ram.untrimmed_palette);
             assert_eq!(mmap.stats, ram.stats, "star ledger diverges");
+        });
+    }
+    drop(sc);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn theorem53_mmap_matches_ram() {
+    let g = generators::forest_union(500, 2, 10, 3).unwrap();
+    let (sc, dir) = spill("t53", &g);
+    for threads in [1usize, 4] {
+        rayon::with_num_threads(threads, || {
+            let ram = theorem53(&g, 2, 2.5, SubroutineConfig::default()).unwrap();
+            let mmap = theorem53(&sc, 2, 2.5, SubroutineConfig::default()).unwrap();
+            assert_eq!(
+                mmap.coloring.as_slice(),
+                ram.coloring.as_slice(),
+                "t53 coloring diverges at {threads} threads"
+            );
+            assert_eq!(mmap.coloring.palette(), ram.coloring.palette());
+            assert_eq!(mmap.stats, ram.stats, "t53 ledger diverges");
+            assert!(ram.coloring.is_proper(&g));
+        });
+    }
+    drop(sc);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn theorem54_mmap_matches_ram() {
+    let g = generators::forest_union(500, 2, 10, 3).unwrap();
+    let (sc, dir) = spill("t54", &g);
+    for threads in [1usize, 4] {
+        rayon::with_num_threads(threads, || {
+            let ram = theorem54(&g, 2, 2.5, 2, SubroutineConfig::default()).unwrap();
+            let mmap = theorem54(&sc, 2, 2.5, 2, SubroutineConfig::default()).unwrap();
+            assert_eq!(
+                mmap.coloring.as_slice(),
+                ram.coloring.as_slice(),
+                "t54 coloring diverges at {threads} threads"
+            );
+            assert_eq!(mmap.coloring.palette(), ram.coloring.palette());
+            assert_eq!(mmap.stats, ram.stats, "t54 ledger diverges");
+            assert!(ram.coloring.is_proper(&g));
+        });
+    }
+    drop(sc);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The streamed (spilled-connector) star path against the fully in-RAM
+/// one, with the mmap CSR as the root view: top-level connector colors,
+/// palettes, trims, and the full message ledger must be bit-identical,
+/// and the connector scratch must be gone afterwards.
+#[test]
+fn star_spilled_connector_matches_materialized() {
+    let g = generators::random_regular(256, 16, 5).unwrap();
+    let (sc, dir) = spill("star-spill", &g);
+    let params = StarPartitionParams::for_levels(&g, 1);
+    for threads in [1usize, 4] {
+        rayon::with_num_threads(threads, || {
+            let ram = star_partition_edge_coloring(&g, &params).unwrap();
+            let scratch = std::env::temp_dir().join(format!(
+                "decolor-backend-starconn-{}-{threads}",
+                std::process::id()
+            ));
+            let spilled = star_partition_edge_coloring_spilled(&sc, &params, &scratch).unwrap();
+            assert_eq!(
+                spilled.coloring.as_slice(),
+                ram.coloring.as_slice(),
+                "spilled star coloring diverges at {threads} threads"
+            );
+            assert_eq!(spilled.coloring.palette(), ram.coloring.palette());
+            assert_eq!(spilled.untrimmed_palette, ram.untrimmed_palette);
+            assert_eq!(spilled.stats, ram.stats, "spilled star ledger diverges");
+            assert!(!scratch.exists(), "connector scratch survived");
+        });
+    }
+    drop(sc);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The streamed (spilled-line-graph) cd path against the materializing
+/// one, with the mmap CSR as the source view.
+#[test]
+fn cd_spilled_line_graph_matches_materialized() {
+    let base = generators::random_regular(64, 8, 1).unwrap();
+    let (sc, dir) = spill("cd-spill", &base);
+    let params = CdParams::for_levels(base.max_degree().max(2), 1);
+    for threads in [1usize, 4] {
+        rayon::with_num_threads(threads, || {
+            let (ram, ram_stats) = cd_edge_coloring(&base, &params).unwrap();
+            let scratch = std::env::temp_dir().join(format!(
+                "decolor-backend-cdlg-{}-{threads}",
+                std::process::id()
+            ));
+            let (spilled, stats) = cd_edge_coloring_spilled(&sc, &params, &scratch).unwrap();
+            assert_eq!(
+                spilled.as_slice(),
+                ram.as_slice(),
+                "spilled cd coloring diverges at {threads} threads"
+            );
+            assert_eq!(spilled.palette(), ram.palette());
+            assert_eq!(stats, ram_stats, "spilled cd ledger diverges");
+            assert!(spilled.is_proper(&base));
+            assert!(!scratch.exists(), "line-graph scratch survived");
         });
     }
     drop(sc);

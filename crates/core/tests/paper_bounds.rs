@@ -15,10 +15,12 @@
 
 use decolor_core::analysis;
 use decolor_core::arboricity::{theorem52, theorem53, theorem54};
-use decolor_core::cd_coloring::{cd_coloring, CdParams};
+use decolor_core::cd_coloring::{cd_coloring, cd_edge_coloring_spilled, CdParams};
 use decolor_core::delta_plus_one::SubroutineConfig;
 use decolor_core::linial::{final_palette_bound, linial_coloring};
-use decolor_core::star_partition::{star_partition_edge_coloring, StarPartitionParams};
+use decolor_core::star_partition::{
+    star_partition_edge_coloring, star_partition_edge_coloring_spilled, StarPartitionParams,
+};
 use decolor_graph::line_graph::LineGraph;
 use decolor_graph::{generators, Graph};
 use decolor_runtime::{IdAssignment, Network};
@@ -190,6 +192,58 @@ fn theorem54_palette_and_rounds_within_bounds() {
             );
         }
     }
+}
+
+/// The same analytic bounds hold when the pipelines run over the mmap
+/// backend — t53/t54 on a spilled CSR root, and the streamed star
+/// connector / cd line-graph paths (the scaling bench's new mmap rows).
+/// Equality with the ram results is pinned by the backend-equivalence
+/// suite; this asserts the paper bounds directly on the mmap outputs.
+#[test]
+fn bounds_hold_on_mmap_backend() {
+    let root = std::env::temp_dir().join(format!("decolor-bounds-mmap-{}", std::process::id()));
+
+    let g = generators::forest_union(1024, 2, 8, 1).unwrap();
+    let sc = decolor_graph::storage::ShardedCsr::from_graph(root.join("arb"), &g).unwrap();
+    let (n, a) = (g.num_vertices(), 2usize);
+    let t53 = theorem53(&sc, a, 2.5, SubroutineConfig::default()).unwrap();
+    assert!(t53.coloring.is_proper(&g));
+    assert!(
+        t53.coloring.palette() <= analysis::theorem53_palette(g.max_degree() as u64, a as u64, 2.5)
+    );
+    let round_bound =
+        (T53_ROUND_SLACK * analysis::theorem53_time(a as u64, n as u64)).ceil() as u64;
+    assert!(t53.stats.rounds <= round_bound, "t53-mmap rounds");
+    let t54 = theorem54(&sc, a, 2.5, 2, SubroutineConfig::default()).unwrap();
+    assert!(t54.coloring.is_proper(&g));
+    assert!(
+        t54.coloring.palette()
+            <= 2 * analysis::theorem54_palette(g.max_degree() as u64, a as u64, 2.5, 2)
+    );
+    let round_bound =
+        (T54_ROUND_SLACK * analysis::theorem54_time(a as u64, 2.5, 2, n as u64)).ceil() as u64;
+    assert!(t54.stats.rounds <= round_bound, "t54-mmap rounds");
+
+    let rg = generators::random_regular(256, 8, 1).unwrap();
+    let rsc = decolor_graph::storage::ShardedCsr::from_graph(root.join("reg"), &rg).unwrap();
+    let star = star_partition_edge_coloring_spilled(
+        &rsc,
+        &StarPartitionParams::for_levels(&rg, 1),
+        &root.join("conn"),
+    )
+    .unwrap();
+    assert!(star.coloring.is_proper(&rg));
+    assert!(star.coloring.palette() <= analysis::table1_ours_colors(8, 1));
+
+    let params = CdParams::for_levels(rg.max_degree().max(2), 1);
+    let (cd, _) = cd_edge_coloring_spilled(&rsc, &params, &root.join("lg")).unwrap();
+    assert!(cd.is_proper(&rg));
+    // D = 2, S = Δ under the canonical line-graph identification.
+    assert!(cd.palette() <= analysis::cd_palette_product(2, 8, params.t as u64, 1));
+
+    drop(sc);
+    drop(rsc);
+    std::fs::remove_dir_all(&root).unwrap();
 }
 
 #[test]

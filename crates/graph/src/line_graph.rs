@@ -6,11 +6,13 @@
 //! consisting of the edges incident on it — every line-graph vertex belongs
 //! to exactly 2 cliques, so `D(L(G)) ≤ 2` (§1.2 and footnote 5).
 
+use crate::builder::EdgeSink;
 use crate::cliques::CliqueCover;
 use crate::coloring::{EdgeColoring, VertexColoring};
 use crate::error::GraphError;
 use crate::graph::Graph;
 use crate::ids::{EdgeId, VertexId};
+use crate::subgraph::GraphView;
 
 /// The line graph of a [`Graph`] with its canonical clique cover.
 ///
@@ -80,6 +82,33 @@ impl LineGraph {
         LineGraph { graph, cover }
     }
 
+    /// [`LineGraph::new`] for any [`GraphView`] topology — in particular
+    /// an out-of-core [`ShardedCsr`](crate::storage::ShardedCsr) — built
+    /// through the same [`line_graph_stream`] the spilled construction
+    /// uses, so the in-RAM graph is bit-identical to [`LineGraph::new`]'s
+    /// (same edge sequence; the sharded CSR build is pinned identical to
+    /// the sequential one).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::ValidationFailed`] if `g` has parallel edges.
+    pub fn from_view<G: GraphView>(g: &G) -> Result<Self, GraphError> {
+        if g.has_parallel_edges() {
+            return Err(GraphError::ValidationFailed {
+                reason: "line graph requires a simple source graph".into(),
+            });
+        }
+        let m = g.num_edges();
+        // Line edges are unique for simple sources, so the multigraph
+        // builder can skip the per-edge dedup hashing.
+        let mut b = crate::builder::GraphBuilder::new_multi(m)
+            .with_edge_capacity(line_graph_edge_count_on(g));
+        line_graph_stream(g, &mut b)?;
+        let graph = b.build_parallel();
+        let cover = line_graph_cover(g)?;
+        Ok(LineGraph { graph, cover })
+    }
+
     /// The source edge corresponding to line-graph vertex `v`.
     #[inline]
     pub fn source_edge(&self, v: VertexId) -> EdgeId {
@@ -110,6 +139,67 @@ impl LineGraph {
         }
         EdgeColoring::new(c.as_slice().to_vec(), c.palette())
     }
+}
+
+/// Number of line-graph edges of any [`GraphView`]: Σ_v C(deg(v), 2).
+/// The view-generic counterpart of [`Graph::line_graph_edge_count`].
+pub fn line_graph_edge_count_on<G: GraphView>(g: &G) -> usize {
+    (0..g.num_vertices())
+        .map(|v| {
+            let d = g.degree(VertexId::new(v));
+            d * d.saturating_sub(1) / 2
+        })
+        .sum()
+}
+
+/// Streams the line-graph edge sequence of `g` into any [`EdgeSink`] —
+/// a [`GraphBuilder`](crate::GraphBuilder) for the in-RAM build or a
+/// [`ShardedCsrBuilder`](crate::storage::ShardedCsrBuilder) for the
+/// out-of-core one — in exactly [`LineGraph::new`]'s order (vertices
+/// ascending, incident-edge pairs in port order), so both backends build
+/// byte-identical structures. The sink must be sized for `g.num_edges()`
+/// vertices. The caller is responsible for `g` being simple.
+///
+/// # Errors
+///
+/// Propagates sink validation or I/O errors.
+pub fn line_graph_stream<G: GraphView, S: EdgeSink>(g: &G, sink: &mut S) -> Result<(), GraphError> {
+    let mut inc: Vec<EdgeId> = Vec::new();
+    for v in (0..g.num_vertices()).map(VertexId::new) {
+        inc.clear();
+        g.for_each_incident_edge(v, |e| inc.push(e));
+        for (i, &e1) in inc.iter().enumerate() {
+            for &e2 in &inc[i + 1..] {
+                // Distinct simple-graph edges share at most one vertex,
+                // so each line edge is streamed exactly once.
+                sink.add_edge(e1.index(), e2.index())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The canonical clique cover of the line graph of `g`: one clique per
+/// source vertex of degree ≥ 1 (diversity ≤ 2), computed straight off the
+/// view without materializing L(g). O(2m) ids — proportional to the
+/// *source*, not the line graph.
+///
+/// # Errors
+///
+/// [`GraphError::ValidationFailed`] if the cover shape is malformed
+/// (unreachable for well-formed views).
+pub fn line_graph_cover<G: GraphView>(g: &G) -> Result<CliqueCover, GraphError> {
+    let m = g.num_edges();
+    let cliques: Vec<Vec<VertexId>> = (0..g.num_vertices())
+        .map(VertexId::new)
+        .filter(|&v| g.degree(v) > 0)
+        .map(|v| {
+            let mut clique = Vec::with_capacity(g.degree(v));
+            g.for_each_incident_edge(v, |e| clique.push(VertexId::new(e.index())));
+            clique
+        })
+        .collect();
+    CliqueCover::new_unchecked(m, cliques)
 }
 
 #[cfg(test)]
@@ -166,6 +256,39 @@ mod tests {
         assert!(c.is_proper(&lg.graph));
         let ec = lg.to_edge_coloring(&c).unwrap();
         assert!(ec.is_proper(&g));
+    }
+
+    #[test]
+    fn from_view_matches_new_bit_for_bit() {
+        for seed in 0..4u64 {
+            let g = generators::gnm(60, 180, seed).unwrap();
+            let reference = LineGraph::new(&g);
+            let streamed = LineGraph::from_view(&g).unwrap();
+            assert_eq!(streamed.graph, reference.graph, "seed {seed}");
+            assert_eq!(
+                streamed.cover.diversity(),
+                reference.cover.diversity(),
+                "seed {seed}"
+            );
+            streamed.cover.validate(&streamed.graph).unwrap();
+        }
+    }
+
+    #[test]
+    fn stream_and_count_agree_with_materialized() {
+        let g = generators::gnm(40, 100, 3).unwrap();
+        assert_eq!(line_graph_edge_count_on(&g), g.line_graph_edge_count());
+        let mut b = crate::GraphBuilder::new_multi(g.num_edges());
+        line_graph_stream(&g, &mut b).unwrap();
+        assert_eq!(b.build(), LineGraph::new(&g).graph);
+    }
+
+    #[test]
+    fn from_view_rejects_multigraphs() {
+        let mut b = crate::GraphBuilder::new_multi(2);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 1).unwrap();
+        assert!(LineGraph::from_view(&b.build()).is_err());
     }
 
     #[test]

@@ -4,12 +4,16 @@
 //! out-degree*: an acyclic orientation with out-degree ≤ d certifies
 //! arboricity ≤ d, and the orientation connector groups incoming/outgoing
 //! edges separately.
+//!
+//! Every method is generic over [`GraphView`], so orientations work
+//! unchanged on an in-RAM [`Graph`](crate::Graph), a borrowed subgraph
+//! view, or an out-of-core [`ShardedCsr`](crate::storage::ShardedCsr).
 
 use crate::error::GraphError;
-use crate::graph::Graph;
 use crate::ids::{EdgeId, VertexId};
+use crate::subgraph::GraphView;
 
-/// An orientation of every edge of a [`Graph`].
+/// An orientation of every edge of a [`GraphView`] topology.
 ///
 /// For each edge we store its *head* (the vertex the edge points **to**).
 ///
@@ -34,14 +38,15 @@ impl Orientation {
     ///
     /// [`GraphError::ValidationFailed`] if the length mismatches `g` or a
     /// head is not an endpoint of its edge.
-    pub fn new(g: &Graph, head: Vec<VertexId>) -> Result<Self, GraphError> {
+    pub fn new<V: GraphView>(g: &V, head: Vec<VertexId>) -> Result<Self, GraphError> {
         if head.len() != g.num_edges() {
             return Err(GraphError::ValidationFailed {
                 reason: format!("{} heads for {} edges", head.len(), g.num_edges()),
             });
         }
-        for (e, [u, v]) in g.edge_list() {
-            let h = head[e.index()];
+        for (i, &h) in head.iter().enumerate() {
+            let e = EdgeId::new(i);
+            let [u, v] = g.endpoints(e);
             if h != u && h != v {
                 return Err(GraphError::ValidationFailed {
                     reason: format!("head {h} of edge {e} is not an endpoint"),
@@ -53,19 +58,24 @@ impl Orientation {
 
     /// Orients every edge toward its higher-indexed endpoint. Always
     /// acyclic; out-degree can be as large as Δ.
-    pub fn toward_higher_id(g: &Graph) -> Self {
+    pub fn toward_higher_id<V: GraphView>(g: &V) -> Self {
         Orientation {
-            head: g.edge_list().map(|(_, [u, v])| u.max(v)).collect(),
+            head: (0..g.num_edges())
+                .map(|i| {
+                    let [u, v] = g.endpoints(EdgeId::new(i));
+                    u.max(v)
+                })
+                .collect(),
         }
     }
 
     /// Orients every edge according to a vertex order: each edge points to
     /// the endpoint with larger `rank`. Ties broken by vertex id, so any
     /// rank vector yields an acyclic orientation.
-    pub fn from_rank(g: &Graph, rank: &[u64]) -> Self {
-        let head = g
-            .edge_list()
-            .map(|(_, [u, v])| {
+    pub fn from_rank<V: GraphView>(g: &V, rank: &[u64]) -> Self {
+        let head = (0..g.num_edges())
+            .map(|i| {
+                let [u, v] = g.endpoints(EdgeId::new(i));
                 let ku = (rank[u.index()], u.index());
                 let kv = (rank[v.index()], v.index());
                 if ku > kv {
@@ -94,10 +104,15 @@ impl Orientation {
     ///
     /// Panics if `e` is out of range for `g` or this orientation.
     #[inline]
-    pub fn tail(&self, g: &Graph, e: EdgeId) -> VertexId {
-        g.other_endpoint(e, self.head(e))
-            // lint: allow(panic, "every Orientation constructor validates or derives heads from endpoints, so head(e) is an endpoint of e")
-            .expect("orientation heads are endpoints by construction")
+    pub fn tail<V: GraphView>(&self, g: &V, e: EdgeId) -> VertexId {
+        let [u, v] = g.endpoints(e);
+        let h = self.head(e);
+        debug_assert!(h == u || h == v, "orientation heads are endpoints");
+        if h == u {
+            v
+        } else {
+            u
+        }
     }
 
     /// `true` if `e` points out of `v` (i.e. `v` is the tail).
@@ -106,46 +121,63 @@ impl Orientation {
     ///
     /// Panics if `v` is not an endpoint of `e`.
     #[inline]
-    pub fn points_out_of(&self, g: &Graph, e: EdgeId, v: VertexId) -> bool {
+    pub fn points_out_of<V: GraphView>(&self, g: &V, e: EdgeId, v: VertexId) -> bool {
         self.tail(g, e) == v
     }
 
     /// Out-degree of `v` under this orientation.
-    pub fn out_degree(&self, g: &Graph, v: VertexId) -> usize {
-        g.incident_edges(v)
-            .filter(|&e| self.points_out_of(g, e, v))
-            .count()
+    pub fn out_degree<V: GraphView>(&self, g: &V, v: VertexId) -> usize {
+        let mut out = 0usize;
+        g.for_each_incident_edge(v, |e| {
+            if self.points_out_of(g, e, v) {
+                out += 1;
+            }
+        });
+        out
     }
 
     /// Maximum out-degree over all vertices.
-    pub fn max_out_degree(&self, g: &Graph) -> usize {
-        g.vertices()
-            .map(|v| self.out_degree(g, v))
+    pub fn max_out_degree<V: GraphView>(&self, g: &V) -> usize {
+        (0..g.num_vertices())
+            .map(|v| self.out_degree(g, VertexId::new(v)))
             .max()
             .unwrap_or(0)
     }
 
     /// Outgoing edges of `v` (in port order).
-    pub fn out_edges<'a>(&'a self, g: &'a Graph, v: VertexId) -> impl Iterator<Item = EdgeId> + 'a {
-        g.incident_edges(v)
-            .filter(move |&e| self.points_out_of(g, e, v))
+    pub fn out_edges<V: GraphView>(&self, g: &V, v: VertexId) -> Vec<EdgeId> {
+        let mut out = Vec::new();
+        g.for_each_incident_edge(v, |e| {
+            if self.points_out_of(g, e, v) {
+                out.push(e);
+            }
+        });
+        out
     }
 
     /// Incoming edges of `v` (in port order).
-    pub fn in_edges<'a>(&'a self, g: &'a Graph, v: VertexId) -> impl Iterator<Item = EdgeId> + 'a {
-        g.incident_edges(v)
-            .filter(move |&e| !self.points_out_of(g, e, v))
+    pub fn in_edges<V: GraphView>(&self, g: &V, v: VertexId) -> Vec<EdgeId> {
+        let mut ins = Vec::new();
+        g.for_each_incident_edge(v, |e| {
+            if !self.points_out_of(g, e, v) {
+                ins.push(e);
+            }
+        });
+        ins
     }
 
     /// `true` iff the oriented graph has no directed cycle (Kahn's
     /// algorithm).
-    pub fn is_acyclic(&self, g: &Graph) -> bool {
+    pub fn is_acyclic<V: GraphView>(&self, g: &V) -> bool {
         let n = g.num_vertices();
         let mut indeg = vec![0usize; n];
-        for e in g.edges() {
-            indeg[self.head(e).index()] += 1;
+        for i in 0..g.num_edges() {
+            indeg[self.head(EdgeId::new(i)).index()] += 1;
         }
-        let mut queue: Vec<VertexId> = g.vertices().filter(|&v| indeg[v.index()] == 0).collect();
+        let mut queue: Vec<VertexId> = (0..n)
+            .map(VertexId::new)
+            .filter(|&v| indeg[v.index()] == 0)
+            .collect();
         let mut removed = 0usize;
         while let Some(v) = queue.pop() {
             removed += 1;
@@ -165,6 +197,7 @@ impl Orientation {
 mod tests {
     use super::*;
     use crate::builder_from_edges;
+    use crate::graph::Graph;
 
     fn triangle() -> Graph {
         builder_from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap()
@@ -214,8 +247,8 @@ mod tests {
         let g = triangle();
         let o = Orientation::toward_higher_id(&g);
         for v in g.vertices() {
-            let outs = o.out_edges(&g, v).count();
-            let ins = o.in_edges(&g, v).count();
+            let outs = o.out_edges(&g, v).len();
+            let ins = o.in_edges(&g, v).len();
             assert_eq!(outs + ins, g.degree(v));
         }
     }
@@ -231,6 +264,23 @@ mod tests {
             assert!(h == u || h == v);
             assert!(t == u || t == v);
             assert_ne!(h, t);
+        }
+    }
+
+    #[test]
+    fn generic_methods_agree_between_graph_and_edge_view() {
+        use crate::subgraph::EdgeSubgraphView;
+        let g = builder_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]).unwrap();
+        let all: Vec<EdgeId> = g.edges().collect();
+        let view = EdgeSubgraphView::new(&g, all).unwrap();
+        let og = Orientation::toward_higher_id(&g);
+        let ov = Orientation::toward_higher_id(&view);
+        assert_eq!(og, ov);
+        assert_eq!(og.is_acyclic(&g), ov.is_acyclic(&view));
+        assert_eq!(og.max_out_degree(&g), ov.max_out_degree(&view));
+        for v in g.vertices() {
+            assert_eq!(og.out_degree(&g, v), ov.out_degree(&view, v));
+            assert_eq!(og.out_edges(&g, v), ov.out_edges(&view, v));
         }
     }
 }

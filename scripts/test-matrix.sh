@@ -35,6 +35,11 @@ for threads in 1 4; do
         DECOLOR_THREADS=$threads cargo run --release -q -p decolor-bench --bin scaling -- \
             --quick --backend "$backend"
     done
+    for row in t53 t54; do
+        echo "=== scaling --quick --only $row --backend mmap (DECOLOR_THREADS=$threads) ==="
+        DECOLOR_THREADS=$threads cargo run --release -q -p decolor-bench --bin scaling -- \
+            --quick --only "$row" --backend mmap
+    done
     echo "=== scaling --quick --relayout (DECOLOR_THREADS=$threads) ==="
     DECOLOR_THREADS=$threads cargo run --release -q -p decolor-bench --bin scaling -- \
         --quick --relayout
